@@ -1,0 +1,188 @@
+//! Criterion performance benches for the hot paths every experiment
+//! leans on: block counting, set algebra, sampling, prediction curves, the
+//! NetFlow codec, and flow generation. These are engineering benches (the
+//! paper-reproduction experiments live in `src/bin/`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unclean_core::prelude::*;
+use unclean_core::blocks::block_count_naive;
+use unclean_flowgen::{
+    decode_datagram, encode_datagram, record::EPOCH_UNIX_SECS, Flow, FlowGenerator,
+    GeneratorConfig, V5Header,
+};
+use unclean_netmodel::{ActivityEvent, ActivityKind, ObservedNetwork};
+use unclean_stats::SeedTree;
+
+/// A pseudo-random but clustered address set of the given size.
+fn clustered_set(n: usize) -> IpSet {
+    let mut raw = Vec::with_capacity(n);
+    let mut x = 0x2545_f491u32;
+    for i in 0..n {
+        // ~8 addresses per /24, /24s clustered into /16 runs.
+        x = x.wrapping_mul(0x9e37_79b9).wrapping_add(i as u32);
+        let block = (x >> 12) % (n as u32 / 8 + 1);
+        let host = x % 256;
+        raw.push((4u32 << 24) | (block << 8) | host);
+    }
+    IpSet::from_raw(raw)
+}
+
+fn bench_block_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_counts");
+    for size in [10_000usize, 100_000, 1_000_000] {
+        let set = clustered_set(size);
+        g.throughput(Throughput::Elements(size as u64));
+        g.bench_with_input(BenchmarkId::new("all_prefixes_one_pass", size), &set, |b, s| {
+            b.iter(|| BlockCounts::of(black_box(s)))
+        });
+    }
+    // The naive (hash-set) baseline at one prefix length, for contrast.
+    let set = clustered_set(100_000);
+    g.bench_function("naive_hashset_at_24", |b| {
+        b.iter(|| block_count_naive(black_box(&set), 24))
+    });
+    g.finish();
+}
+
+fn bench_ipset_algebra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipset");
+    let a = clustered_set(500_000);
+    let b2 = clustered_set(400_000);
+    g.throughput(Throughput::Elements(900_000));
+    g.bench_function("union_500k_400k", |bch| b_iter_union(bch, &a, &b2));
+    g.bench_function("intersect_500k_400k", |bch| {
+        bch.iter(|| black_box(&a).intersect(black_box(&b2)))
+    });
+    g.bench_function("difference_500k_400k", |bch| {
+        bch.iter(|| black_box(&a).difference(black_box(&b2)))
+    });
+    let mut rng = SeedTree::new(1).stream("bench");
+    g.bench_function("sample_50k_of_500k", |bch| {
+        bch.iter(|| black_box(&a).sample(&mut rng, 50_000).expect("k <= n"))
+    });
+    g.finish();
+}
+
+fn b_iter_union(bch: &mut criterion::Bencher<'_>, a: &IpSet, b: &IpSet) {
+    bch.iter(|| black_box(a).union(black_box(b)))
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prediction");
+    let past = clustered_set(200);
+    let present = clustered_set(200_000);
+    g.bench_function("curve_16_32_200_vs_200k", |b| {
+        b.iter(|| prediction_curve(black_box(&past), black_box(&present), PrefixRange::PAPER))
+    });
+    let bs_past = BlockSet::of(&past, 24);
+    let bs_present = BlockSet::of(&present, 24);
+    g.bench_function("blockset_intersect_at_24", |b| {
+        b.iter(|| black_box(&bs_past).intersect_count(black_box(&bs_present)))
+    });
+    g.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trie");
+    let set = clustered_set(50_000);
+    g.bench_function("build_50k", |b| b.iter(|| PrefixTrie::from_set(black_box(&set))));
+    let trie = PrefixTrie::from_set(&set);
+    g.bench_function("aggregate_50k", |b| b.iter(|| black_box(&trie).aggregate()));
+    g.finish();
+}
+
+fn bench_netflow_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netflow_v5");
+    let flows: Vec<Flow> = (0..30)
+        .map(|i| Flow {
+            src: Ip(0x0a00_0000 + i),
+            dst: Ip(0x1e00_0001),
+            src_port: 40_000,
+            dst_port: 80,
+            proto: 6,
+            packets: 10,
+            octets: 900,
+            flags: 0x1b,
+            start_secs: 86_400 * 273 + i as i64,
+            duration_secs: 5,
+        })
+        .collect();
+    let records: Vec<_> = flows.iter().map(|f| f.to_v5(EPOCH_UNIX_SECS + 86_400 * 270)).collect();
+    let header = V5Header {
+        count: 30,
+        sys_uptime_ms: 0,
+        unix_secs: EPOCH_UNIX_SECS,
+        unix_nsecs: 0,
+        flow_sequence: 0,
+        engine_type: 0,
+        engine_id: 0,
+        sampling_interval: 0,
+    };
+    g.throughput(Throughput::Elements(30));
+    g.bench_function("encode_datagram_30", |b| {
+        b.iter(|| encode_datagram(black_box(&header), black_box(&records)))
+    });
+    let wire = encode_datagram(&header, &records);
+    g.bench_function("decode_datagram_30", |b| {
+        b.iter(|| decode_datagram(black_box(&wire)).expect("valid"))
+    });
+    g.finish();
+}
+
+fn bench_flow_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowgen");
+    let observed = ObservedNetwork::paper_default();
+    let generator = FlowGenerator::new(&observed, GeneratorConfig::default(), SeedTree::new(7));
+    let scan = ActivityEvent {
+        day: Day(273),
+        src: Ip(0x0901_0203),
+        kind: ActivityKind::Scan { targets: 180 },
+    };
+    g.throughput(Throughput::Elements(180));
+    g.bench_function("expand_scan_180_targets", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            generator.expand(black_box(&scan), |f| n = n.wrapping_add(f.packets));
+            n
+        })
+    });
+    let spam = ActivityEvent {
+        day: Day(273),
+        src: Ip(0x0901_0203),
+        kind: ActivityKind::Spam { messages: 35 },
+    };
+    g.bench_function("expand_spam_35_messages", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            generator.expand(black_box(&spam), |f| n = n.wrapping_add(f.octets));
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_density_trial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("density");
+    g.sample_size(20);
+    let control = clustered_set(1_000_000);
+    let mut rng = SeedTree::new(2).stream("bench-density");
+    g.bench_function("one_control_trial_100k", |b| {
+        b.iter(|| {
+            let sample = control.sample(&mut rng, 100_000).expect("k <= n");
+            density_curve(&sample, PrefixRange::PAPER)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_counts,
+    bench_ipset_algebra,
+    bench_prediction,
+    bench_trie,
+    bench_netflow_codec,
+    bench_flow_generation,
+    bench_density_trial,
+);
+criterion_main!(benches);

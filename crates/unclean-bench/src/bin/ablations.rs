@@ -1,0 +1,9 @@
+//! Runs the ablation studies (report aging, detector comparison,
+//! aggregation-level sweep) beyond the paper's own evaluation.
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::ablations::run(&ctx);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the cross-relationship overlap matrix (the paper's
+//! abstract-level claim that bots/spam/scan interrelate and phishing does
+//! not).
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::crossrel::run(&ctx);
+}

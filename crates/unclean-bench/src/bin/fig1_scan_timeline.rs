@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 1 (scanning vs botnet report timeline).
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::fig1::run(&ctx);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 2 (naive vs empirical density estimates).
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::fig2::run(&ctx);
+}

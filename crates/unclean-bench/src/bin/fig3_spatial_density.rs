@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 3 (comparative density of the unclean classes).
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::fig3::run(&ctx);
+}

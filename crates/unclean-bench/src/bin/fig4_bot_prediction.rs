@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 4 (predictive capacity of the bot-test report).
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::fig4::run(&ctx);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 5 (phishing self-prediction).
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::fig5::run(&ctx);
+}

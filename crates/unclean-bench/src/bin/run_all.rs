@@ -1,0 +1,18 @@
+//! Regenerates every table and figure in the paper's evaluation in order,
+//! writing one JSON result per experiment plus a combined `all.json`.
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let mut combined = serde_json::Map::new();
+    for (id, description, runner) in experiments::all() {
+        eprintln!("\n[bench] ===== {id}: {description} =====");
+        let t0 = std::time::Instant::now();
+        let value = runner(&ctx);
+        eprintln!("[bench] {id} finished in {:.1?}", t0.elapsed());
+        combined.insert(id.to_string(), value);
+    }
+    ctx.write_result("all", &serde_json::Value::Object(combined));
+    eprintln!("\n[bench] all experiments complete");
+}

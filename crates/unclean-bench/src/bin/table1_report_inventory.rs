@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 1 (report inventory).
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::table1::run(&ctx);
+}

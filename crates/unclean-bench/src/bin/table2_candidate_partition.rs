@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 2 (candidate partition).
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::table2::run(&ctx);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 3 (blocking sweep TP/FP/pop/unknown).
+
+use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::generate(BenchOpts::from_args());
+    let _ = experiments::table3::run(&ctx);
+}

@@ -1,0 +1,21 @@
+//! Prints diagnostics of the generated world and epidemic: the
+//! substitution-argument sanity report (DESIGN.md §2) for any scale/seed.
+
+use unclean_bench::BenchOpts;
+use unclean_netmodel::{EpidemicDiagnostics, Scenario, ScenarioConfig, WorldDiagnostics};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let scenario = Scenario::generate(ScenarioConfig::at_scale(opts.scale, opts.seed));
+    println!("== world diagnostics (scale {}, seed {}) ==\n", opts.scale, opts.seed);
+    println!("{}\n", WorldDiagnostics::of(&scenario.world).render());
+    println!("== epidemic diagnostics ==\n");
+    println!(
+        "{}",
+        EpidemicDiagnostics::of(&scenario.world, &scenario.infections).render()
+    );
+    println!(
+        "expected control-week coverage: {:.1}%",
+        scenario.expected_control_coverage() * 100.0
+    );
+}

@@ -1,0 +1,380 @@
+//! Ablation studies beyond the paper's evaluation, probing the design
+//! choices DESIGN.md calls out:
+//!
+//! * **Report aging** — how does the bot report's predictive power decay
+//!   with age? The paper only tests one gap (five months) and argues
+//!   fresher reports must do better; we sweep the gap.
+//! * **Detector choice** — the deployed hourly fan-out detector vs the TRW
+//!   sequential-hypothesis baseline: report size and overlap.
+//! * **Aggregation level** — Figure 1's /24 overlap gain, swept over
+//!   prefix lengths: how much extra scanning does each level of
+//!   aggregation attribute to the botnet, and when does it dissolve into
+//!   noise?
+
+use crate::{row, rule, ExperimentContext};
+use serde_json::{json, Value};
+use unclean_core::prelude::*;
+use unclean_detect::{BotMonitor, FanoutConfig, HourlyFanoutDetector, PipelineConfig, TrwConfig, TrwDetector};
+use unclean_flowgen::{FlowGenerator, GeneratorConfig};
+use unclean_stats::SeedTree;
+
+/// Ablation A: predictive power vs report age.
+///
+/// Takes channel snapshots at increasing distances before the unclean
+/// window and measures each one's predictive band and /24 advantage over
+/// control draws against the present bot report.
+pub fn report_aging(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Ablation A: prediction vs report age ===\n");
+    let scenario = &ctx.scenario;
+    let window_start = scenario.dates.unclean_window.start;
+    let analysis = TemporalAnalysis::with_config(TemporalConfig {
+        trials: ctx.opts.trials.min(250),
+        ..TemporalConfig::default()
+    });
+    let seeds = SeedTree::new(ctx.opts.seed).child("ablation-aging");
+    let control = ctx.reports.control.addresses();
+
+    let widths = [10, 9, 12, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["age_days".into(), "size".into(), "band".into(), "obs@24".into(), "ctl_med@24".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    let mut rows = Vec::new();
+    for age in [7i32, 30, 90, 150, 240] {
+        let day = window_start - age;
+        // The busiest channel's roster at that day plays the "old report".
+        let snapshot = BotMonitor::channel_snapshot(
+            &scenario.infections,
+            scenario.bot_test_channel,
+            day,
+        );
+        if snapshot.len() < 10 {
+            println!("{age:>10}  (channel roster too small at this date; skipped)");
+            continue;
+        }
+        let past = Report::new(
+            format!("bot-age-{age}"),
+            ReportClass::Bots,
+            Provenance::Provided,
+            DateRange::single(day),
+            snapshot,
+        );
+        let res = analysis.run(&past, &ctx.reports.bot, control, &seeds);
+        let idx24 = res.xs.iter().position(|&x| x == 24).expect("24 in range");
+        let ctl_med = res.control.five_numbers()[idx24].1.median;
+        println!(
+            "{}",
+            row(
+                &[
+                    age.to_string(),
+                    past.len().to_string(),
+                    format!("{:?}", res.predictive_band()),
+                    res.observed[idx24].to_string(),
+                    format!("{ctl_med:.1}"),
+                ],
+                &widths
+            )
+        );
+        rows.push(json!({
+            "age_days": age,
+            "size": past.len(),
+            "band": res.predictive_band(),
+            "holds": res.hypothesis_holds(),
+            "observed_at_24": res.observed[idx24],
+            "control_median_at_24": ctl_med,
+        }));
+    }
+    println!("\neven multi-month-old rosters keep predicting (temporal persistence);");
+    println!("fresher rosters have larger absolute overlap.");
+
+    let result = json!({
+        "experiment": "ablation_aging",
+        "scale": ctx.opts.scale,
+        "rows": rows,
+    });
+    ctx.write_result("ablation_aging", &result);
+    result
+}
+
+/// Ablation B: hourly fan-out detector vs the TRW baseline on one day of
+/// border traffic.
+pub fn detector_comparison(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Ablation B: fan-out detector vs TRW ===\n");
+    let scenario = &ctx.scenario;
+    let model = scenario.activity();
+    let generator = FlowGenerator::new(
+        &scenario.observed,
+        GeneratorConfig::default(),
+        scenario.seeds.child("flowgen"),
+    );
+    let mut fanout = HourlyFanoutDetector::new(FanoutConfig::default());
+    let mut trw = TrwDetector::new(TrwConfig::default());
+    let day = scenario.dates.unclean_window.start;
+    let mut flows = 0u64;
+    generator.flows_on(&model, day, true, |f| {
+        flows += 1;
+        fanout.observe(&f);
+        trw.observe(&f);
+    });
+
+    let fan = fanout.detected();
+    let t = trw.detected();
+    let both = fan.intersect(&t);
+    println!("flows examined      : {flows}");
+    println!("fan-out detections  : {}", fan.len());
+    println!("TRW detections      : {}", t.len());
+    println!("agreement           : {}", both.len());
+    println!("TRW-only (incl. slow scanners the fan-out threshold misses): {}", t.difference(&fan).len());
+    println!("fan-out-only        : {}", fan.difference(&t).len());
+
+    let result = json!({
+        "experiment": "ablation_detectors",
+        "flows": flows,
+        "fanout": fan.len(),
+        "trw": t.len(),
+        "agreement": both.len(),
+        "trw_only": t.difference(&fan).len(),
+        "fanout_only": fan.difference(&t).len(),
+    });
+    ctx.write_result("ablation_detectors", &result);
+    result
+}
+
+/// Ablation C: the Figure 1 overlap gain, swept over aggregation levels.
+pub fn aggregation_sweep(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Ablation C: bot/scan overlap vs aggregation level ===\n");
+    let scenario = &ctx.scenario;
+    let day = scenario.dates.fig1_report_day;
+    let bot_report = BotMonitor::channel_snapshot(
+        &scenario.infections,
+        scenario.fig1_channel,
+        day,
+    );
+    let scanners = unclean_detect::daily_scanners(
+        scenario,
+        DateRange::single(day),
+        false,
+        &PipelineConfig::paper(),
+    )
+    .remove(0)
+    .1;
+
+    let widths = [3, 10, 12, 16];
+    println!("scanners on {day}: {} | bot report: {}\n", scanners.len(), bot_report.len());
+    println!(
+        "{}",
+        row(&["n".into(), "overlap".into(), "bot blocks".into(), "span (addrs)".into()], &widths)
+    );
+    println!("{}", rule(&widths));
+    let mut rows = Vec::new();
+    for n in [32u8, 28, 24, 20, 16] {
+        let blocks = BlockSet::of(&bot_report, n);
+        let overlap = scanners.iter().filter(|&ip| blocks.contains(ip)).count();
+        println!(
+            "{}",
+            row(
+                &[
+                    n.to_string(),
+                    overlap.to_string(),
+                    blocks.len().to_string(),
+                    blocks.address_span().to_string(),
+                ],
+                &widths
+            )
+        );
+        rows.push(json!({
+            "n": n,
+            "overlap": overlap,
+            "bot_blocks": blocks.len(),
+            "span": blocks.address_span(),
+        }));
+    }
+    println!("\ncoarser aggregation attributes more scanners to the botnet, at the");
+    println!("price of an exploding address span — /24 is the paper's sweet spot.");
+
+    let result = json!({
+        "experiment": "ablation_aggregation",
+        "rows": rows,
+    });
+    ctx.write_result("ablation_aggregation", &result);
+    result
+}
+
+/// Ablation D: how strong must the hygiene–hazard coupling be before
+/// spatial uncleanliness disappears? Regenerates small scenarios with the
+/// hazard exponent swept from "compromise ignores hygiene" (0) upward and
+/// tests Eq. 3 on each bot report.
+pub fn concentration_sweep(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Ablation D: hygiene–hazard coupling strength ===\n");
+    use unclean_detect::build_reports;
+    use unclean_netmodel::{Scenario, ScenarioConfig};
+
+    let widths = [9, 8, 10, 12, 9];
+    println!(
+        "{}",
+        row(
+            &["exponent".into(), "|bot|".into(), "|C24 bot|".into(), "ctl med@24".into(), "Eq3".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    let mut rows = Vec::new();
+    for exponent in [0.0, 1.0, 2.0, 4.0] {
+        let mut cfg = ScenarioConfig::at_scale(0.002, ctx.opts.seed);
+        cfg.compromise.hygiene_exponent = exponent;
+        let scenario = Scenario::generate(cfg);
+        let reports = build_reports(&scenario, &PipelineConfig::paper());
+        let analysis = DensityAnalysis::with_config(DensityConfig {
+            trials: 200,
+            ..DensityConfig::default()
+        });
+        let res = analysis.run(
+            &reports.bot,
+            reports.control.addresses(),
+            &[],
+            &SeedTree::new(ctx.opts.seed).child("ablation-conc"),
+        );
+        let idx24 = res.xs.iter().position(|&x| x == 24).expect("in range");
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{exponent:.1}"),
+                    reports.bot.len().to_string(),
+                    res.observed[idx24].to_string(),
+                    format!("{:.0}", res.control_boxes[idx24].1.median),
+                    res.hypothesis_holds().to_string(),
+                ],
+                &widths
+            )
+        );
+        rows.push(json!({
+            "exponent": exponent,
+            "bot_size": reports.bot.len(),
+            "observed_at_24": res.observed[idx24],
+            "control_median_at_24": res.control_boxes[idx24].1.median,
+            "eq3_holds": res.hypothesis_holds(),
+        }));
+    }
+    println!("\nwith no coupling (exponent 0) compromise scatters like the control");
+    println!("and Eq. 3 collapses; clustering strengthens monotonically with it.");
+
+    let result = json!({ "experiment": "ablation_concentration", "rows": rows });
+    ctx.write_result("ablation_concentration", &result);
+    result
+}
+
+/// Ablation E: homogeneous CIDR blocks vs network-aware clusters — the
+/// partitioning choice §4.1 makes by assumption. Measures the spatial
+/// signal (occupied partitions, unclean vs equal-size control draws) under
+/// both partitionings and reports the cluster-population dispersion the
+/// paper warns about.
+pub fn clustering_comparison(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Ablation E: fixed /24 blocks vs network-aware clusters ===\n");
+    let control = ctx.reports.control.addresses();
+    let clusters = NetworkClusters::build(control, &ClusterConfig::default());
+    println!(
+        "clusters: {} (population dispersion ×{:.0}; the paper's \"several\norders of magnitude\" objection)",
+        clusters.len(),
+        clusters.population_dispersion()
+    );
+
+    let mut rng = SeedTree::new(ctx.opts.seed).stream("ablation-clusters");
+    let widths = [8, 9, 12, 12, 14, 14];
+    println!(
+        "\n{}",
+        row(
+            &["report".into(), "size".into(), "/24 blocks".into(), "ctl /24".into(),
+              "clusters".into(), "ctl clusters".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    let mut rows = Vec::new();
+    for report in ctx.reports.unclean_reports() {
+        let sample = control.sample(&mut rng, report.len()).expect("control larger");
+        let blocks = report.block_counts().at(24);
+        let ctl_blocks = BlockCounts::of(&sample).at(24);
+        let occ = clusters.occupied_by(report.addresses());
+        let ctl_occ = clusters.occupied_by(&sample);
+        println!(
+            "{}",
+            row(
+                &[
+                    report.tag().into(),
+                    report.len().to_string(),
+                    blocks.to_string(),
+                    ctl_blocks.to_string(),
+                    occ.to_string(),
+                    ctl_occ.to_string(),
+                ],
+                &widths
+            )
+        );
+        rows.push(json!({
+            "tag": report.tag(),
+            "size": report.len(),
+            "blocks24": blocks,
+            "control_blocks24": ctl_blocks,
+            "clusters": occ,
+            "control_clusters": ctl_occ,
+        }));
+    }
+    println!("\nboth partitionings show the clustering signal; fixed /24s keep the");
+    println!("population-comparability assumption the clusters give up.");
+
+    let result = json!({
+        "experiment": "ablation_clustering",
+        "cluster_count": clusters.len(),
+        "dispersion": clusters.population_dispersion(),
+        "rows": rows,
+    });
+    ctx.write_result("ablation_clustering", &result);
+    result
+}
+
+/// Ablation F: the ground-truth persistence curve — the survival function
+/// `S(Δ) = P(/24 unclean at t+Δ | unclean at t)` that the temporal
+/// uncleanliness hypothesis rides on, measured directly from the
+/// simulation's infection history.
+pub fn persistence_curve(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Ablation F: /24 uncleanliness survival ===\n");
+    use unclean_netmodel::UncleanTimelines;
+    let timelines = UncleanTimelines::build(&ctx.scenario.infections);
+    let window = DateRange::new(Day(0), ctx.scenario.dates.unclean_window.start);
+    let lags = [7u32, 14, 30, 60, 90, 150];
+    let curve = timelines.survival(window, 7, &lags);
+    println!("ever-unclean /24s: {}\n", timelines.len());
+    println!("  Δ (days)   S(Δ)");
+    println!("  --------   -----");
+    for (lag, s) in &curve {
+        println!("  {lag:>8}   {s:.3}");
+    }
+    println!("\nS(150) is the quantity §5 exploits: five months on, a meaningful");
+    println!("fraction of once-unclean /24s still hold compromised hosts.");
+    let result = json!({
+        "experiment": "ablation_persistence",
+        "ever_unclean_blocks": timelines.len(),
+        "curve": curve,
+    });
+    ctx.write_result("ablation_persistence", &result);
+    result
+}
+
+/// Run all ablations.
+pub fn run(ctx: &ExperimentContext) -> Value {
+    let a = report_aging(ctx);
+    let b = detector_comparison(ctx);
+    let c = aggregation_sweep(ctx);
+    let d = concentration_sweep(ctx);
+    let e = clustering_comparison(ctx);
+    let f = persistence_curve(ctx);
+    json!({
+        "aging": a, "detectors": b, "aggregation": c,
+        "concentration": d, "clustering": e, "persistence": f,
+    })
+}

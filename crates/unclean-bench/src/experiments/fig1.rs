@@ -1,0 +1,114 @@
+//! Figure 1: the relationship between scanning and botnet population.
+//!
+//! Upper series: unique hosts scanning the observed network per day,
+//! January–April. Lower series: how many of the reported botnet's
+//! addresses were seen scanning each day — by exact address and by /24
+//! block. The paper's observations: the campaign swells for about a month
+//! before the report and drops after it, the bot/scan intersection peaks
+//! around 35%, and the /24 view finds more scanners than the address view.
+
+use crate::{row, rule, ExperimentContext};
+use serde_json::{json, Value};
+use unclean_core::BlockSet;
+use unclean_detect::{daily_scanners, BotMonitor, PipelineConfig};
+
+/// Run the Figure 1 experiment.
+pub fn run(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Figure 1: scanning vs botnet report ===\n");
+    let scenario = &ctx.scenario;
+    let dates = scenario.dates;
+
+    let bot_report = BotMonitor::channel_snapshot(
+        &scenario.infections,
+        scenario.fig1_channel,
+        dates.fig1_report_day,
+    );
+    let bot_blocks = BlockSet::of(&bot_report, 24);
+    println!(
+        "bot report: channel {} on {} — {} addresses, {} /24s\n",
+        scenario.fig1_channel,
+        dates.fig1_report_day,
+        bot_report.len(),
+        bot_blocks.len()
+    );
+
+    let series = daily_scanners(scenario, dates.fig1_span, false, &PipelineConfig::paper());
+    let widths = [12, 9, 10, 9];
+    println!(
+        "{}",
+        row(
+            &["day".into(), "scanners".into(), "bot∩addr".into(), "bot∩/24".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+
+    let mut days = Vec::new();
+    let mut scanners = Vec::new();
+    let mut addr_overlap = Vec::new();
+    let mut block_overlap = Vec::new();
+    for (day, set) in &series {
+        let a = set.intersect(&bot_report).len();
+        let b = set.iter().filter(|&ip| bot_blocks.contains(ip)).count();
+        days.push(day.to_string());
+        scanners.push(set.len());
+        addr_overlap.push(a);
+        block_overlap.push(b);
+        if (day.0 - dates.fig1_span.start.0) % 7 == 0 || *day == dates.fig1_report_day {
+            let marker = if *day == dates.fig1_report_day { "  ← report" } else { "" };
+            println!(
+                "{}{}",
+                row(
+                    &[day.to_string(), set.len().to_string(), a.to_string(), b.to_string()],
+                    &widths
+                ),
+                marker
+            );
+        }
+    }
+
+    // Shape checks the paper's prose makes.
+    let report_idx = (dates.fig1_report_day.0 - dates.fig1_span.start.0) as usize;
+    let peak = *scanners.iter().max().expect("non-empty");
+    let peak_idx = scanners.iter().position(|&v| v == peak).expect("present");
+    let pre = scanners[..14].iter().sum::<usize>() as f64 / 14.0;
+    let post: f64 =
+        scanners[report_idx + 28..].iter().sum::<usize>() as f64 / (scanners.len() - report_idx - 28) as f64;
+    let peak_overlap_frac = addr_overlap[peak_idx] as f64 / scanners[peak_idx].max(1) as f64;
+    let mean_gain: f64 = {
+        let pairs: Vec<f64> = addr_overlap
+            .iter()
+            .zip(&block_overlap)
+            .filter(|(a, _)| **a > 0)
+            .map(|(a, b)| *b as f64 / *a as f64)
+            .collect();
+        pairs.iter().sum::<f64>() / pairs.len().max(1) as f64
+    };
+
+    println!("\nshape summary:");
+    println!("  pre-campaign baseline : {pre:.0} scanners/day");
+    println!("  campaign peak         : {peak} scanners/day (day index {peak_idx})");
+    println!("  post-report (4w later): {post:.0} scanners/day");
+    println!("  bot∩scan at the peak  : {:.0}% of scanners (paper: up to 35%)", peak_overlap_frac * 100.0);
+    println!("  /24-view gain         : ×{mean_gain:.2} scanners vs the address view");
+
+    let result = json!({
+        "experiment": "fig1",
+        "scale": ctx.opts.scale,
+        "seed": ctx.opts.seed,
+        "bot_report_size": bot_report.len(),
+        "bot_report_blocks24": bot_blocks.len(),
+        "days": days,
+        "scanners_per_day": scanners,
+        "bot_overlap_addr": addr_overlap,
+        "bot_overlap_block24": block_overlap,
+        "report_day_index": report_idx,
+        "pre_campaign_mean": pre,
+        "peak": peak,
+        "post_report_mean": post,
+        "peak_overlap_fraction": peak_overlap_frac,
+        "block_view_gain": mean_gain,
+    });
+    ctx.write_result("fig1", &result);
+    result
+}

@@ -1,0 +1,92 @@
+//! Figure 2: comparison of density estimation techniques.
+//!
+//! Plots `|C_n(·)|` for n ∈ [16, 32] for (a) the naive estimate (uniform
+//! over IANA-allocated /8s), (b) the empirical estimate (random subsets of
+//! the control report), and (c) the actual bot report — all at the bot
+//! report's cardinality. The paper's observation: the naive estimate is
+//! "considerably higher", roughly doubling per bit, while the empirical
+//! estimate and the bot report bend far below it.
+
+use crate::{row, rule, ExperimentContext};
+use serde_json::{json, Value};
+use unclean_core::prelude::*;
+use unclean_netmodel::allocated_slash8s;
+use unclean_stats::SeedTree;
+
+/// Run the Figure 2 experiment.
+pub fn run(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Figure 2: density estimation techniques ===\n");
+    let bot = &ctx.reports.bot;
+    let control = ctx.reports.control.addresses();
+    let seeds = SeedTree::new(ctx.opts.seed).child("fig2");
+    let trials = ctx.opts.trials;
+
+    let empirical = DensityAnalysis::with_config(DensityConfig {
+        trials,
+        estimator: Estimator::Empirical,
+        ..DensityConfig::default()
+    })
+    .run(bot, control, &[], &seeds.child("empirical"));
+    let naive = DensityAnalysis::with_config(DensityConfig {
+        trials: trials.min(100), // the naive sampler is slower; 100 is plenty
+        estimator: Estimator::Naive,
+        ..DensityConfig::default()
+    })
+    .run(bot, control, &allocated_slash8s(), &seeds.child("naive"));
+
+    let widths = [3, 12, 24, 24];
+    println!("bot report: {} addresses\n", bot.len());
+    println!(
+        "{}",
+        row(
+            &["n".into(), "bot |C_n|".into(), "empirical (med [min,max])".into(),
+              "naive (med [min,max])".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    let mut rows = Vec::new();
+    for (i, &n) in empirical.xs.iter().enumerate() {
+        let e = &empirical.control_boxes[i].1;
+        let v = &naive.control_boxes[i].1;
+        println!(
+            "{}",
+            row(
+                &[
+                    n.to_string(),
+                    empirical.observed[i].to_string(),
+                    format!("{:.0} [{:.0}, {:.0}]", e.median, e.min, e.max),
+                    format!("{:.0} [{:.0}, {:.0}]", v.median, v.min, v.max),
+                ],
+                &widths
+            )
+        );
+        rows.push(json!({
+            "n": n,
+            "bot": empirical.observed[i],
+            "empirical_median": e.median,
+            "empirical_min": e.min,
+            "empirical_max": e.max,
+            "naive_median": v.median,
+        }));
+    }
+
+    // The paper's headline ratios.
+    let idx24 = empirical.xs.iter().position(|&x| x == 24).expect("24 in range");
+    let naive_over_empirical = naive.control_boxes[idx24].1.median / empirical.control_boxes[idx24].1.median;
+    let empirical_over_bot = empirical.control_boxes[idx24].1.median / empirical.observed[idx24] as f64;
+    println!("\nat /24: naive is ×{naive_over_empirical:.1} the empirical estimate;");
+    println!("the empirical estimate is ×{empirical_over_bot:.1} the actual bot density.");
+
+    let result = json!({
+        "experiment": "fig2",
+        "scale": ctx.opts.scale,
+        "seed": ctx.opts.seed,
+        "cardinality": bot.len(),
+        "rows": rows,
+        "naive_over_empirical_at_24": naive_over_empirical,
+        "empirical_over_bot_at_24": empirical_over_bot,
+    });
+    ctx.write_result("fig2", &result);
+    result
+}

@@ -1,0 +1,92 @@
+//! Figure 3: comparative density of unclean blocks against control draws,
+//! for each of the four classes — bots (i), phishing (ii), spamming (iii)
+//! and scanning (iv). Each panel compares `|C_n(R_class)|` against the
+//! boxplot of 1000 equal-cardinality control subsets; the unclean curve
+//! must sit at or below the control's at every prefix length (Eq. 3).
+
+use crate::{row, rule, ExperimentContext};
+use serde_json::{json, Value};
+use unclean_core::prelude::*;
+use unclean_stats::SeedTree;
+
+/// Run the Figure 3 experiment.
+pub fn run(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Figure 3: comparative density of the unclean classes ===");
+    let control = ctx.reports.control.addresses();
+    let analysis = DensityAnalysis::with_config(DensityConfig {
+        trials: ctx.opts.trials,
+        ..DensityConfig::default()
+    });
+    let seeds = SeedTree::new(ctx.opts.seed).child("fig3");
+
+    let panels = [
+        ("(i)", &ctx.reports.bot),
+        ("(ii)", &ctx.reports.phish),
+        ("(iii)", &ctx.reports.spam),
+        ("(iv)", &ctx.reports.scan),
+    ];
+    let mut json_panels = Vec::new();
+    for (panel, report) in panels {
+        let res = analysis.run(report, control, &[], &seeds);
+        println!(
+            "\n-- {panel} R_{} ({} addresses) — Eq. 3 holds: {} --",
+            report.tag(),
+            report.len(),
+            res.hypothesis_holds()
+        );
+        let widths = [3, 12, 26, 8];
+        println!(
+            "{}",
+            row(
+                &["n".into(), "observed".into(), "control (med [min,max])".into(), "ratio".into()],
+                &widths
+            )
+        );
+        println!("{}", rule(&widths));
+        let mut rows = Vec::new();
+        for (i, &n) in res.xs.iter().enumerate() {
+            let b = &res.control_boxes[i].1;
+            let ratio = res.density_ratio()[i];
+            if n % 2 == 0 {
+                println!(
+                    "{}",
+                    row(
+                        &[
+                            n.to_string(),
+                            res.observed[i].to_string(),
+                            format!("{:.0} [{:.0}, {:.0}]", b.median, b.min, b.max),
+                            format!("{ratio:.2}"),
+                        ],
+                        &widths
+                    )
+                );
+            }
+            rows.push(json!({
+                "n": n,
+                "observed": res.observed[i],
+                "control_median": b.median,
+                "control_min": b.min,
+                "control_max": b.max,
+                "density_ratio": ratio,
+            }));
+        }
+        json_panels.push(json!({
+            "panel": panel,
+            "tag": report.tag(),
+            "cardinality": report.len(),
+            "holds": res.hypothesis_holds(),
+            "holds_strict": res.hypothesis_holds_strict(),
+            "rows": rows,
+        }));
+    }
+
+    let result = json!({
+        "experiment": "fig3",
+        "scale": ctx.opts.scale,
+        "seed": ctx.opts.seed,
+        "trials": ctx.opts.trials,
+        "panels": json_panels,
+    });
+    ctx.write_result("fig3", &result);
+    result
+}

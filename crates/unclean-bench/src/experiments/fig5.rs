@@ -1,0 +1,95 @@
+//! Figure 5: comparative predictive capacity of phishing reports.
+//!
+//! `R_phish-test` (early phishing history) against the same present
+//! phishing sub-report that `R_bot-test` failed to predict in Figure
+//! 4(ii). The paper: "this figure shows strong evidence for temporal
+//! uncleanliness in phishing" — phishing predicts itself even though
+//! botnet history cannot predict it.
+
+use crate::{row, rule, ExperimentContext};
+use serde_json::{json, Value};
+use unclean_core::prelude::*;
+use unclean_stats::{SeedTree, Verdict};
+
+/// Run the Figure 5 experiment.
+pub fn run(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Figure 5: phishing self-prediction ===\n");
+    let control = ctx.reports.control.addresses();
+    let analysis = TemporalAnalysis::with_config(TemporalConfig {
+        trials: ctx.opts.trials,
+        ..TemporalConfig::default()
+    });
+    let seeds = SeedTree::new(ctx.opts.seed).child("fig5");
+
+    println!(
+        "predictor: R_{} — {} addresses ({})",
+        ctx.reports.phish_test.tag(),
+        ctx.reports.phish_test.len(),
+        ctx.reports.phish_test.period()
+    );
+    println!(
+        "target   : R_{} — {} addresses ({})\n",
+        ctx.reports.phish_window.tag(),
+        ctx.reports.phish_window.len(),
+        ctx.reports.phish_window.period()
+    );
+
+    let res = analysis.run(&ctx.reports.phish_test, &ctx.reports.phish_window, control, &seeds);
+    let widths = [3, 9, 24, 9];
+    println!(
+        "{}",
+        row(
+            &["n".into(), "observed".into(), "control (med [min,max])".into(), "verdict".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    let fives = res.control.five_numbers();
+    let mut rows = Vec::new();
+    for (i, &n) in res.xs.iter().enumerate() {
+        let b = &fives[i].1;
+        let verdict = match res.verdicts()[i] {
+            Verdict::Better => "BETTER",
+            Verdict::Worse => "worse",
+            Verdict::Indistinguishable => "—",
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    n.to_string(),
+                    res.observed[i].to_string(),
+                    format!("{:.1} [{:.0}, {:.0}]", b.median, b.min, b.max),
+                    verdict.into(),
+                ],
+                &widths
+            )
+        );
+        rows.push(json!({
+            "n": n,
+            "observed": res.observed[i],
+            "control_median": b.median,
+            "verdict": verdict,
+        }));
+    }
+    println!(
+        "\nEq. 5 holds: {} | predictive band: {:?}",
+        res.hypothesis_holds(),
+        res.predictive_band()
+    );
+    println!("(compare Figure 4(ii), where R_bot-test failed on the same target)");
+
+    let result = json!({
+        "experiment": "fig5",
+        "scale": ctx.opts.scale,
+        "seed": ctx.opts.seed,
+        "trials": ctx.opts.trials,
+        "phish_test_size": ctx.reports.phish_test.len(),
+        "phish_present_size": ctx.reports.phish_window.len(),
+        "holds": res.hypothesis_holds(),
+        "predictive_band": res.predictive_band(),
+        "rows": rows,
+    });
+    ctx.write_result("fig5", &result);
+    result
+}

@@ -1,0 +1,72 @@
+//! Table 2: the reports used for the prediction (blocking) test — the
+//! `R_unclean` union, the candidate traffic from `C_24(R_bot-test)`, and
+//! its partition into hostile / unknown / innocent.
+
+use crate::{row, rule, ExperimentContext};
+use serde_json::{json, Value};
+use unclean_core::prelude::*;
+use unclean_detect::{build_candidates, PipelineConfig};
+
+/// Compute the candidate partition (shared with Table 3).
+pub fn partition(ctx: &ExperimentContext) -> (Vec<Candidate>, Partition) {
+    let candidates = build_candidates(
+        &ctx.scenario,
+        &ctx.reports.bot_test,
+        24,
+        &PipelineConfig::paper(),
+    );
+    let partition = Partition::new(&candidates, ctx.reports.unclean.addresses());
+    (candidates, partition)
+}
+
+/// Run the Table 2 experiment.
+pub fn run(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Table 2: reports used for the prediction test ===\n");
+    let (candidates, part) = partition(ctx);
+    let window = ctx.scenario.dates.unclean_window;
+
+    let widths = [10, 9, 24, 9];
+    println!(
+        "{}",
+        row(&["tag".into(), "type".into(), "valid dates".into(), "size".into()], &widths)
+    );
+    println!("{}", rule(&widths));
+    let rows: Vec<(&str, &str, usize)> = vec![
+        ("unclean", "Provided", ctx.reports.unclean.len()),
+        ("candidate", "Observed", candidates.len()),
+        ("hostile", "Observed", part.hostile.len()),
+        ("unknown", "Observed", part.unknown.len()),
+        ("innocent", "Observed", part.innocent.len()),
+    ];
+    for (tag, ty, size) in &rows {
+        println!(
+            "{}",
+            row(
+                &[(*tag).into(), (*ty).into(), window.to_string(), size.to_string()],
+                &widths
+            )
+        );
+    }
+
+    println!("\npaper shape: hostile ≫ innocent (287 vs 35), unknown a large middle");
+    println!(
+        "ours: hostile/innocent = {:.1}, unknown/candidate = {:.2}",
+        part.hostile.len() as f64 / part.innocent.len().max(1) as f64,
+        part.unknown.len() as f64 / candidates.len().max(1) as f64
+    );
+
+    let result = json!({
+        "experiment": "table2",
+        "scale": ctx.opts.scale,
+        "seed": ctx.opts.seed,
+        "window": window.to_string(),
+        "unclean": ctx.reports.unclean.len(),
+        "candidate": candidates.len(),
+        "hostile": part.hostile.len(),
+        "unknown": part.unknown.len(),
+        "innocent": part.innocent.len(),
+        "paper": { "unclean": 1_158_103, "candidate": 1030, "hostile": 287, "unknown": 708, "innocent": 35 },
+    });
+    ctx.write_result("table2", &result);
+    result
+}

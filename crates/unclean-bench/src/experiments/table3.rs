@@ -1,0 +1,111 @@
+//! Table 3: observed true- and false-positive counts for the virtual
+//! blocking sweep over n ∈ [24, 32], plus the derived precision and the
+//! §6.2 sparseness numbers (blocks spanned vs addresses that actually
+//! communicated).
+
+use crate::experiments::table2;
+use crate::{row, rule, ExperimentContext};
+use serde_json::{json, Value};
+use unclean_core::prelude::*;
+
+/// The paper's Table 3, for side-by-side printing.
+const PAPER_ROWS: [(u8, u64, u64, u64, u64); 9] = [
+    (24, 287, 35, 322, 708),
+    (25, 172, 22, 194, 344),
+    (26, 81, 1, 82, 200),
+    (27, 38, 1, 39, 105),
+    (28, 18, 0, 18, 60),
+    (29, 7, 0, 7, 29),
+    (30, 1, 0, 1, 14),
+    (31, 1, 0, 1, 7),
+    (32, 1, 0, 1, 0),
+];
+
+/// Run the Table 3 experiment.
+pub fn run(ctx: &ExperimentContext) -> Value {
+    println!("\n=== Table 3: observed true and false positive counts ===\n");
+    let (_candidates, part) = table2::partition(ctx);
+    let table = BlockingAnalysis::default().run(ctx.reports.bot_test.addresses(), &part);
+
+    let widths = [3, 7, 7, 8, 9, 6, 22];
+    println!(
+        "{}",
+        row(
+            &["n".into(), "TP(n)".into(), "FP(n)".into(), "pop(n)".into(),
+              "unknown".into(), "prec".into(), "paper (TP/FP/pop/unk)".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    let mut rows = Vec::new();
+    for (r, paper) in table.rows.iter().zip(PAPER_ROWS) {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.n.to_string(),
+                    r.tp.to_string(),
+                    r.fp.to_string(),
+                    r.pop.to_string(),
+                    r.unknown.to_string(),
+                    format!("{:.2}", r.precision()),
+                    format!("{}/{}/{}/{}", paper.1, paper.2, paper.3, paper.4),
+                ],
+                &widths
+            )
+        );
+        rows.push(json!({
+            "n": r.n, "tp": r.tp, "fp": r.fp, "pop": r.pop, "unknown": r.unknown,
+            "precision": r.precision(),
+            "precision_unknown_hostile": r.precision_assuming_unknown_hostile(),
+            "paper_tp": paper.1, "paper_fp": paper.2, "paper_pop": paper.3, "paper_unknown": paper.4,
+        }));
+    }
+
+    let r24 = table.row(24).expect("row 24");
+    let (_, blocks24) = table.blocks_per_n[0];
+    let (_, span24) = table.span_per_n[0];
+    let roc = table.roc(part.hostile.len() as u64, part.innocent.len() as u64);
+
+    // Bootstrap CI on the /24 precision: resample the scored candidates.
+    let outcomes: Vec<bool> = std::iter::repeat_n(true, r24.tp as usize)
+        .chain(std::iter::repeat_n(false, r24.fp as usize))
+        .collect();
+    let ci = unclean_stats::bootstrap_proportion_ci(
+        &outcomes,
+        1000,
+        0.95,
+        &unclean_stats::SeedTree::new(ctx.opts.seed).child("table3-ci"),
+    );
+    println!("\nheadlines:");
+    println!(
+        "  precision at /24: {:.0}% (95% CI [{:.0}%, {:.0}%]; paper: 90%); counting unknowns hostile: {:.0}% (paper: 97%)",
+        r24.precision() * 100.0,
+        ci.lo * 100.0,
+        ci.hi * 100.0,
+        r24.precision_assuming_unknown_hostile() * 100.0
+    );
+    println!(
+        "  sparseness: {} /24s span {} addresses; {} communicated ({:.1}%; paper: <2%)",
+        blocks24,
+        span24,
+        part.total(),
+        100.0 * part.total() as f64 / span24 as f64
+    );
+
+    let result = json!({
+        "experiment": "table3",
+        "scale": ctx.opts.scale,
+        "seed": ctx.opts.seed,
+        "rows": rows,
+        "precision_at_24": r24.precision(),
+        "precision_at_24_ci": [ci.lo, ci.hi],
+        "precision_at_24_unknown_hostile": r24.precision_assuming_unknown_hostile(),
+        "blocks_24": blocks24,
+        "span_24": span24,
+        "communicating": part.total(),
+        "auc": roc.auc(),
+    });
+    ctx.write_result("table3", &result);
+    result
+}

@@ -1,0 +1,183 @@
+//! # unclean-bench
+//!
+//! The experiment harness: one module (and one binary) per table and
+//! figure in the paper's evaluation, plus Criterion performance benches.
+//!
+//! Every experiment consumes an [`ExperimentContext`] — a generated
+//! scenario plus its report inventory — prints the same rows/series the
+//! paper reports, and returns a JSON value that `run_all` collects into
+//! `results/*.json` for EXPERIMENTS.md.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`experiments::table1`] | Table 1 — report inventory |
+//! | [`experiments::fig1`] | Figure 1 — scanning vs botnet report timeline |
+//! | [`experiments::fig2`] | Figure 2 — naive vs empirical density estimates |
+//! | [`experiments::fig3`] | Figure 3 — comparative density of the four classes |
+//! | [`experiments::fig4`] | Figure 4 — bot-test predictive capacity |
+//! | [`experiments::fig5`] | Figure 5 — phishing self-prediction |
+//! | [`experiments::table2`] | Table 2 — candidate partition |
+//! | [`experiments::table3`] | Table 3 — blocking sweep TP/FP/pop/unknown |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use serde::Serialize;
+use unclean_detect::{build_reports, PipelineConfig, ReportSet};
+use unclean_netmodel::{Scenario, ScenarioConfig};
+
+/// Options every experiment binary accepts.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Scenario scale relative to the paper's sizes.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Control-ensemble trials (the paper uses 1000).
+    pub trials: usize,
+    /// Directory for JSON results (`None` = print only).
+    pub out_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> BenchOpts {
+        BenchOpts {
+            scale: 0.02,
+            seed: 20061001,
+            trials: 1000,
+            out_dir: Some("results".into()),
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parse process arguments (`--scale`, `--seed`, `--trials`, `--out`,
+    /// `--no-out`).
+    pub fn from_args() -> BenchOpts {
+        let mut opts = BenchOpts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: usize| {
+                args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    opts.scale = value(i).parse().expect("--scale takes a float");
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.seed = value(i).parse().expect("--seed takes an integer");
+                    i += 2;
+                }
+                "--trials" => {
+                    opts.trials = value(i).parse().expect("--trials takes an integer");
+                    i += 2;
+                }
+                "--out" => {
+                    opts.out_dir = Some(value(i).into());
+                    i += 2;
+                }
+                "--no-out" => {
+                    opts.out_dir = None;
+                    i += 1;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--scale 0.02] [--seed N] [--trials 1000] [--out results] [--no-out]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+}
+
+/// A generated scenario plus the report inventory: what every experiment
+/// consumes.
+pub struct ExperimentContext {
+    /// The options used.
+    pub opts: BenchOpts,
+    /// The scenario.
+    pub scenario: Scenario,
+    /// The Table 1 / Table 2 report inventory.
+    pub reports: ReportSet,
+}
+
+impl ExperimentContext {
+    /// Generate a context (this runs the full pipeline; seconds to minutes
+    /// depending on scale).
+    pub fn generate(opts: BenchOpts) -> ExperimentContext {
+        eprintln!(
+            "[bench] generating scenario: scale {} seed {} …",
+            opts.scale, opts.seed
+        );
+        let t0 = std::time::Instant::now();
+        let scenario = Scenario::generate(ScenarioConfig::at_scale(opts.scale, opts.seed));
+        eprintln!(
+            "[bench] world: {} hosts / {} blocks ({:.1?}); running detectors …",
+            scenario.world.population.total_hosts(),
+            scenario.world.population.block_count(),
+            t0.elapsed()
+        );
+        let reports = build_reports(&scenario, &PipelineConfig::paper());
+        eprintln!("[bench] pipeline complete ({:.1?})", t0.elapsed());
+        ExperimentContext { opts, scenario, reports }
+    }
+
+    /// Persist one experiment's JSON result (no-op when `--no-out`).
+    pub fn write_result<T: Serialize>(&self, name: &str, value: &T) {
+        let Some(dir) = &self.opts.out_dir else {
+            return;
+        };
+        std::fs::create_dir_all(dir).expect("create results directory");
+        let path = dir.join(format!("{name}.json"));
+        let file = std::fs::File::create(&path).expect("create result file");
+        serde_json::to_writer_pretty(file, value).expect("serialize result");
+        eprintln!("[bench] wrote {}", path.display());
+    }
+}
+
+/// Fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Horizontal rule matching a table's widths.
+pub fn rule(widths: &[usize]) -> String {
+    widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("--")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts() {
+        let o = BenchOpts::default();
+        assert!(o.scale > 0.0);
+        assert_eq!(o.trials, 1000);
+        assert!(o.out_dir.is_some());
+    }
+
+    #[test]
+    fn table_helpers() {
+        assert_eq!(row(&["7".into()], &[3]), "  7");
+        assert_eq!(rule(&[3, 2]).len(), 7);
+    }
+}

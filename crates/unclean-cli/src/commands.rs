@@ -1,0 +1,388 @@
+//! The CLI subcommands, factored out of `main` so they can be tested
+//! without spawning processes. Every command returns its human-readable
+//! output as a `String` (plus side-effect files where documented).
+
+use crate::io::{load_report, parse_class, parse_format, write_addresses};
+use std::fmt::Write as _;
+use std::path::Path;
+use unclean_core::prelude::*;
+use unclean_stats::SeedTree;
+
+/// `unclean inspect <file>`: parse and profile one report.
+pub fn inspect(path: &Path) -> Result<String, String> {
+    let report = load_report(path, "report", ReportClass::Bots, Provenance::Provided)?;
+    let counts = report.block_counts();
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: {} addresses", path.display(), report.len());
+    let _ = writeln!(
+        out,
+        "blocks: /8 {}  /16 {}  /20 {}  /24 {}  /28 {}",
+        counts.at(8),
+        counts.at(16),
+        counts.at(20),
+        counts.at(24),
+        counts.at(28)
+    );
+    let _ = writeln!(
+        out,
+        "span:  {} .. {}",
+        report.addresses().min().expect("non-empty"),
+        report.addresses().max().expect("non-empty")
+    );
+    let density = report.len() as f64 / counts.at(24) as f64;
+    let _ = writeln!(out, "mean addresses per occupied /24: {density:.2}");
+    // Top /16s by membership.
+    let scores = UncleanlinessScorer::default().score(&[&report]);
+    let _ = writeln!(out, "top /16s:");
+    for ns in scores.iter().take(5) {
+        let _ = writeln!(out, "  {}  {} addresses", ns.network, ns.total_evidence());
+    }
+    Ok(out)
+}
+
+/// `unclean spatial --report R --control C`: the Eq. 3 test.
+pub fn spatial(
+    report_path: &Path,
+    control_path: &Path,
+    trials: usize,
+    seed: u64,
+) -> Result<String, String> {
+    let report = load_report(report_path, "report", ReportClass::Bots, Provenance::Provided)?;
+    let control = load_report(control_path, "control", ReportClass::Control, Provenance::Observed)?;
+    if control.len() <= report.len() {
+        return Err(format!(
+            "control ({}) must be larger than the report ({})",
+            control.len(),
+            report.len()
+        ));
+    }
+    let analysis = DensityAnalysis::with_config(DensityConfig {
+        trials,
+        ..DensityConfig::default()
+    });
+    let res = analysis.run(&report, control.addresses(), &[], &SeedTree::new(seed));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "spatial uncleanliness (Eq. 3) over {} control draws: {}",
+        trials,
+        if res.hypothesis_holds() { "HOLDS" } else { "does NOT hold" }
+    );
+    let _ = writeln!(out, "  n  observed  control-median  ratio");
+    for (i, &n) in res.xs.iter().enumerate() {
+        if n % 4 == 0 {
+            let _ = writeln!(
+                out,
+                " {n:>2}  {:>8}  {:>14.0}  {:>5.2}",
+                res.observed[i],
+                res.control_boxes[i].1.median,
+                res.density_ratio()[i]
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `unclean temporal --past P --present Q --control C`: the Eq. 5 test.
+pub fn temporal(
+    past_path: &Path,
+    present_path: &Path,
+    control_path: &Path,
+    trials: usize,
+    seed: u64,
+) -> Result<String, String> {
+    let past = load_report(past_path, "past", ReportClass::Bots, Provenance::Provided)?;
+    let present = load_report(present_path, "present", ReportClass::Bots, Provenance::Provided)?;
+    let control = load_report(control_path, "control", ReportClass::Control, Provenance::Observed)?;
+    if control.len() <= past.len() {
+        return Err(format!(
+            "control ({}) must be larger than the past report ({})",
+            control.len(),
+            past.len()
+        ));
+    }
+    let analysis = TemporalAnalysis::with_config(TemporalConfig {
+        trials,
+        ..TemporalConfig::default()
+    });
+    let res = analysis.run(&past, &present, control.addresses(), &SeedTree::new(seed));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "temporal uncleanliness (Eq. 5) over {trials} control draws: {}",
+        if res.hypothesis_holds() { "HOLDS" } else { "does NOT hold" }
+    );
+    match res.predictive_band() {
+        Some((lo, hi)) => {
+            let _ = writeln!(out, "predictive band: /{lo} ..= /{hi}");
+        }
+        None => {
+            let _ = writeln!(out, "no prefix length beats random draws");
+        }
+    }
+    let fives = res.control.five_numbers();
+    let _ = writeln!(out, "  n  observed  control-median");
+    for (i, &n) in res.xs.iter().enumerate() {
+        if n % 4 == 0 {
+            let _ = writeln!(out, " {n:>2}  {:>8}  {:>14.1}", res.observed[i], fives[i].1.median);
+        }
+    }
+    Ok(out)
+}
+
+/// `unclean blocklist --report R`: emit a deploy-ready deny list.
+pub fn blocklist(
+    report_path: &Path,
+    prefix_len: u8,
+    format_name: &str,
+    aggregate: bool,
+) -> Result<String, String> {
+    if !(8..=32).contains(&prefix_len) {
+        return Err(format!("prefix length {prefix_len} out of [8, 32]"));
+    }
+    let format = parse_format(format_name)?;
+    let report = load_report(report_path, "report", ReportClass::Bots, Provenance::Provided)?;
+    let cidrs = if aggregate {
+        // Minimal cover: merge adjacent sibling blocks into parents.
+        merge_siblings(report.blocks(prefix_len).to_cidrs())
+    } else {
+        report.blocks(prefix_len).to_cidrs()
+    };
+    Ok(unclean_core::blocklist::render(
+        &cidrs,
+        format,
+        &format!("unclean-{prefix_len}"),
+    ))
+}
+
+/// Merge adjacent sibling blocks into their parents, repeatedly.
+fn merge_siblings(mut blocks: Vec<Cidr>) -> Vec<Cidr> {
+    loop {
+        blocks.sort();
+        let mut merged = Vec::with_capacity(blocks.len());
+        let mut changed = false;
+        let mut i = 0;
+        while i < blocks.len() {
+            if i + 1 < blocks.len() {
+                let (a, b) = (blocks[i], blocks[i + 1]);
+                if let Some(parent) = a.parent() {
+                    if b.parent() == Some(parent)
+                        && a.len() == b.len()
+                        && a != b
+                        && parent.len() + 1 == a.len()
+                    {
+                        merged.push(parent);
+                        changed = true;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            merged.push(blocks[i]);
+            i += 1;
+        }
+        blocks = merged;
+        if !changed {
+            return blocks;
+        }
+    }
+}
+
+/// `unclean score --report class=path ...`: rank networks by combined
+/// evidence.
+pub fn score(inputs: &[(String, std::path::PathBuf)], prefix_len: u8) -> Result<String, String> {
+    if inputs.is_empty() {
+        return Err("score needs at least one class=path report".into());
+    }
+    let mut reports = Vec::new();
+    for (class_name, path) in inputs {
+        let class = parse_class(class_name)?;
+        reports.push(load_report(path, class_name, class, Provenance::Provided)?);
+    }
+    let refs: Vec<&Report> = reports.iter().collect();
+    let scorer = UncleanlinessScorer { prefix_len, ..UncleanlinessScorer::default() };
+    let scores = scorer.score(&refs);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} networks scored at /{prefix_len}:", scores.len());
+    let _ = writeln!(out, "{:<20} {:>7} {:>5} {:>5} {:>5} {:>5}", "network", "score", "bot", "spam", "scan", "phish");
+    for ns in scores.iter().take(20) {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>7.2} {:>5} {:>5} {:>5} {:>5}",
+            ns.network.to_string(),
+            ns.score,
+            ns.bots,
+            ns.spamming,
+            ns.scanning,
+            ns.phishing
+        );
+    }
+    Ok(out)
+}
+
+/// `unclean demo --out DIR`: generate synthetic paper-shaped report files
+/// so the other commands can be tried without real data.
+pub fn demo(out_dir: &Path, scale: f64, seed: u64) -> Result<String, String> {
+    use unclean_detect::{build_reports, PipelineConfig};
+    use unclean_netmodel::{Scenario, ScenarioConfig};
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let scenario = Scenario::generate(ScenarioConfig::at_scale(scale, seed));
+    let reports = build_reports(&scenario, &PipelineConfig::paper());
+    let mut out = String::new();
+    let _ = writeln!(out, "synthetic reports (scale {scale}, seed {seed}):");
+    for (name, report) in [
+        ("bot.txt", &reports.bot),
+        ("phish.txt", &reports.phish),
+        ("scan.txt", &reports.scan),
+        ("spam.txt", &reports.spam),
+        ("bot-test.txt", &reports.bot_test),
+        ("control.txt", &reports.control),
+    ] {
+        let path = out_dir.join(name);
+        write_addresses(
+            &path,
+            report.addresses(),
+            &format!("R_{} | {} | {}", report.tag(), report.class(), report.period()),
+        )?;
+        let _ = writeln!(out, "  {} ({} addresses)", path.display(), report.len());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("unclean-cli-cmd").join(name);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir
+    }
+
+    fn write_file(dir: &Path, name: &str, addrs: &[&str]) -> std::path::PathBuf {
+        let path = dir.join(name);
+        let body: String = addrs.iter().map(|a| format!("{a}\n")).collect();
+        std::fs::write(&path, body).expect("write");
+        path
+    }
+
+    #[test]
+    fn inspect_profiles_a_report() {
+        let dir = tmp_dir("inspect");
+        let path = write_file(&dir, "r.txt", &["9.1.1.1", "9.1.1.2", "9.1.2.1", "10.0.0.1"]);
+        let out = inspect(&path).expect("ok");
+        assert!(out.contains("4 addresses"));
+        assert!(out.contains("/24 3"), "{out}");
+        assert!(out.contains("top /16s"));
+    }
+
+    #[test]
+    fn spatial_on_clustered_vs_scattered() {
+        let dir = tmp_dir("spatial");
+        // Clustered report: one /24.
+        let report: Vec<String> = (1..=40).map(|i| format!("9.1.1.{i}")).collect();
+        let report_refs: Vec<&str> = report.iter().map(String::as_str).collect();
+        let r = write_file(&dir, "r.txt", &report_refs);
+        // Scattered control: one host per /16.
+        let control: Vec<String> = (0..250u32)
+            .flat_map(|i| (0..4u32).map(move |j| format!("11.{i}.{j}.7")))
+            .collect();
+        let control_refs: Vec<&str> = control.iter().map(String::as_str).collect();
+        let c = write_file(&dir, "c.txt", &control_refs);
+        let out = spatial(&r, &c, 50, 1).expect("ok");
+        assert!(out.contains("HOLDS"), "{out}");
+    }
+
+    #[test]
+    fn spatial_rejects_small_control() {
+        let dir = tmp_dir("spatial-small");
+        let r = write_file(&dir, "r.txt", &["1.1.1.1", "2.2.2.2"]);
+        let c = write_file(&dir, "c.txt", &["3.3.3.3"]);
+        assert!(spatial(&r, &c, 10, 1).is_err());
+    }
+
+    #[test]
+    fn temporal_self_prediction() {
+        let dir = tmp_dir("temporal");
+        let past: Vec<String> = (0..20).map(|i| format!("9.1.{i}.5")).collect();
+        let past_refs: Vec<&str> = past.iter().map(String::as_str).collect();
+        let p = write_file(&dir, "p.txt", &past_refs);
+        let present: Vec<String> = (0..20).map(|i| format!("9.1.{i}.200")).collect();
+        let present_refs: Vec<&str> = present.iter().map(String::as_str).collect();
+        let q = write_file(&dir, "q.txt", &present_refs);
+        let control: Vec<String> = (0..200u32)
+            .flat_map(|i| (0..5u32).map(move |j| format!("11.{}.{}.7", i % 250, (i / 250) * 5 + j)))
+            .collect();
+        let control_refs: Vec<&str> = control.iter().map(String::as_str).collect();
+        let c = write_file(&dir, "c.txt", &control_refs);
+        let out = temporal(&p, &q, &c, 50, 1).expect("ok");
+        assert!(out.contains("HOLDS"), "{out}");
+        assert!(out.contains("predictive band"));
+    }
+
+    #[test]
+    fn blocklist_formats_and_aggregation() {
+        let dir = tmp_dir("blocklist");
+        let r = write_file(
+            &dir,
+            "r.txt",
+            &["9.1.0.1", "9.1.1.1"], // adjacent /24s → one /23 when aggregated
+        );
+        let plain = blocklist(&r, 24, "plain", false).expect("ok");
+        assert!(plain.contains("9.1.0.0/24"));
+        assert!(plain.contains("9.1.1.0/24"));
+        let agg = blocklist(&r, 24, "plain", true).expect("ok");
+        assert!(agg.contains("9.1.0.0/23"), "{agg}");
+        assert!(!agg.contains("/24"));
+        let cisco = blocklist(&r, 24, "cisco", false).expect("ok");
+        assert!(cisco.contains("deny ip 9.1.0.0 0.0.0.255 any"));
+        assert!(blocklist(&r, 40, "plain", false).is_err());
+        assert!(blocklist(&r, 24, "xml", false).is_err());
+    }
+
+    #[test]
+    fn score_ranks_networks() {
+        let dir = tmp_dir("score");
+        let bot = write_file(&dir, "bot.txt", &["9.1.0.1", "9.1.0.2"]);
+        let spam = write_file(&dir, "spam.txt", &["9.1.0.3", "10.0.0.1"]);
+        let out = score(
+            &[("bot".into(), bot), ("spam".into(), spam)],
+            16,
+        )
+        .expect("ok");
+        assert!(out.lines().nth(2).expect("rows").starts_with("9.1.0.0/16"), "{out}");
+    }
+
+    #[test]
+    fn demo_generates_loadable_reports() {
+        let dir = tmp_dir("demo");
+        let out = demo(&dir, 0.001, 7).expect("ok");
+        assert!(out.contains("bot.txt"));
+        let bot = load_report(&dir.join("bot.txt"), "bot", ReportClass::Bots, Provenance::Provided)
+            .expect("loadable");
+        assert!(!bot.is_empty());
+        let control = load_report(
+            &dir.join("control.txt"),
+            "control",
+            ReportClass::Control,
+            Provenance::Observed,
+        )
+        .expect("loadable");
+        assert!(control.len() > bot.len());
+    }
+
+    #[test]
+    fn merge_siblings_collapses_pairs() {
+        let blocks: Vec<Cidr> = vec![
+            "9.1.0.0/24".parse().expect("ok"),
+            "9.1.1.0/24".parse().expect("ok"),
+            "9.1.2.0/24".parse().expect("ok"),
+            "9.1.3.0/24".parse().expect("ok"),
+            "9.9.0.0/24".parse().expect("ok"),
+        ];
+        let merged = merge_siblings(blocks);
+        let strs: Vec<String> = merged.iter().map(|c| c.to_string()).collect();
+        assert_eq!(strs, vec!["9.1.0.0/22", "9.9.0.0/24"]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Report file I/O for the CLI.
+//!
+//! The interchange format is the simplest thing an operator already has:
+//! one IPv4 address per line, blank lines and `#` comments ignored. A
+//! report's metadata (tag, class) comes from the command line, not the
+//! file, so existing blocklists and log extracts work untouched.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+use unclean_core::prelude::*;
+
+/// Parse a report body: one address per line, `#` comments, blank lines.
+///
+/// Returns the set plus the number of ignored (comment/blank) lines; a
+/// malformed address aborts with its line number, because silently
+/// dropping entries from a blocklist is how incidents happen.
+pub fn parse_addresses(reader: impl BufRead) -> Result<(IpSet, usize), String> {
+    let mut raw = Vec::new();
+    let mut ignored = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error at line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            ignored += 1;
+            continue;
+        }
+        let ip: Ip = trimmed
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        raw.push(ip.raw());
+    }
+    Ok((IpSet::from_raw(raw), ignored))
+}
+
+/// Load a report from a file path, with metadata from the caller.
+pub fn load_report(
+    path: &Path,
+    tag: &str,
+    class: ReportClass,
+    provenance: Provenance,
+) -> Result<Report, String> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let (addresses, _) = parse_addresses(std::io::BufReader::new(file))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    if addresses.is_empty() {
+        return Err(format!("{}: no addresses found", path.display()));
+    }
+    // CLI reports carry no dates; a single-day placeholder period keeps the
+    // type honest without inventing calendars.
+    Ok(Report::new(
+        tag,
+        class,
+        provenance,
+        DateRange::single(Day::EPOCH),
+        addresses,
+    ))
+}
+
+/// Write an address set to a file, one per line with a header comment.
+pub fn write_addresses(path: &Path, set: &IpSet, comment: &str) -> Result<(), String> {
+    let mut out = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    let mut buf = String::with_capacity(set.len() * 16);
+    buf.push_str(&format!("# {comment}\n"));
+    for ip in set.iter() {
+        buf.push_str(&ip.to_string());
+        buf.push('\n');
+    }
+    out.write_all(buf.as_bytes())
+        .map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Parse a report-class name.
+pub fn parse_class(s: &str) -> Result<ReportClass, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "bots" | "bot" => Ok(ReportClass::Bots),
+        "phishing" | "phish" => Ok(ReportClass::Phishing),
+        "scanning" | "scan" => Ok(ReportClass::Scanning),
+        "spamming" | "spam" => Ok(ReportClass::Spamming),
+        "control" => Ok(ReportClass::Control),
+        other => Err(format!(
+            "unknown class {other:?} (expected bot|phish|scan|spam|control)"
+        )),
+    }
+}
+
+/// Parse a blocklist format name.
+pub fn parse_format(s: &str) -> Result<BlocklistFormat, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "plain" => Ok(BlocklistFormat::Plain),
+        "cisco" | "acl" => Ok(BlocklistFormat::CiscoAcl),
+        "iptables" => Ok(BlocklistFormat::Iptables),
+        other => Err(format!("unknown format {other:?} (expected plain|cisco|iptables)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_basic_file() {
+        let text = "# comment\n8.8.8.8\n\n1.2.3.4\n  9.9.9.9  \n";
+        let (set, ignored) = parse_addresses(Cursor::new(text)).expect("valid");
+        assert_eq!(set.len(), 3);
+        assert_eq!(ignored, 2);
+        assert!(set.contains("1.2.3.4".parse().expect("ok")));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_with_line_number() {
+        let text = "8.8.8.8\nnot-an-ip\n";
+        let err = parse_addresses(Cursor::new(text)).expect_err("malformed");
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parse_dedups() {
+        let text = "1.1.1.1\n1.1.1.1\n";
+        let (set, _) = parse_addresses(Cursor::new(text)).expect("valid");
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn round_trip_through_files() {
+        let dir = std::env::temp_dir().join("unclean-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("report.txt");
+        let set = IpSet::from_raw(vec![1, 2, 0xffff_ffff]);
+        write_addresses(&path, &set, "test report").expect("write");
+        let report =
+            load_report(&path, "t", ReportClass::Bots, Provenance::Provided).expect("load");
+        assert_eq!(report.addresses(), &set);
+        assert_eq!(report.tag(), "t");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn load_rejects_empty() {
+        let dir = std::env::temp_dir().join("unclean-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("empty.txt");
+        std::fs::write(&path, "# nothing\n").expect("write");
+        let err = load_report(&path, "t", ReportClass::Bots, Provenance::Provided)
+            .expect_err("empty report");
+        assert!(err.contains("no addresses"));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn class_and_format_parsing() {
+        assert_eq!(parse_class("BOT").expect("ok"), ReportClass::Bots);
+        assert_eq!(parse_class("phish").expect("ok"), ReportClass::Phishing);
+        assert!(parse_class("nonsense").is_err());
+        assert_eq!(parse_format("cisco").expect("ok"), BlocklistFormat::CiscoAcl);
+        assert!(parse_format("xml").is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! `unclean` — run the uncleanliness analyses of Collins et al. (IMC 2007)
+//! on your own IP report files.
+//!
+//! ```text
+//! unclean demo --out demo-reports --scale 0.002
+//! unclean inspect demo-reports/bot.txt
+//! unclean spatial  --report demo-reports/bot.txt --control demo-reports/control.txt
+//! unclean temporal --past demo-reports/bot-test.txt --present demo-reports/spam.txt \
+//!                  --control demo-reports/control.txt
+//! unclean blocklist --report demo-reports/bot-test.txt --format cisco --aggregate
+//! unclean score --report bot=demo-reports/bot.txt --report spam=demo-reports/spam.txt
+//! ```
+//!
+//! Report files are one IPv4 address per line; `#` comments and blank
+//! lines are ignored.
+
+mod commands;
+mod io;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+unclean — uncleanliness analyses over IP report files (Collins et al., IMC 2007)
+
+USAGE:
+  unclean inspect <file>
+  unclean spatial   --report <file> --control <file> [--trials N] [--seed N]
+  unclean temporal  --past <file> --present <file> --control <file> [--trials N] [--seed N]
+  unclean blocklist --report <file> [--prefix 24] [--format plain|cisco|iptables] [--aggregate]
+  unclean score     --report <class>=<file> ... [--prefix 16]
+  unclean demo      [--out DIR] [--scale 0.002] [--seed 42]
+
+Report files: one IPv4 address per line; '#' comments and blanks ignored.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Dispatch a full argument vector; returns the output text.
+fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "inspect" => {
+            let path = positional(&rest, 0, "report file")?;
+            commands::inspect(&PathBuf::from(path))
+        }
+        "spatial" => commands::spatial(
+            &flag_path(&rest, "--report")?,
+            &flag_path(&rest, "--control")?,
+            flag_num(&rest, "--trials", 200)?,
+            flag_num(&rest, "--seed", 42)?,
+        ),
+        "temporal" => commands::temporal(
+            &flag_path(&rest, "--past")?,
+            &flag_path(&rest, "--present")?,
+            &flag_path(&rest, "--control")?,
+            flag_num(&rest, "--trials", 200)?,
+            flag_num(&rest, "--seed", 42)?,
+        ),
+        "blocklist" => commands::blocklist(
+            &flag_path(&rest, "--report")?,
+            flag_num(&rest, "--prefix", 24u8)?,
+            &flag_str(&rest, "--format", "plain"),
+            has_flag(&rest, "--aggregate"),
+        ),
+        "score" => {
+            let mut inputs = Vec::new();
+            for value in flag_all(&rest, "--report") {
+                let (class, path) = value
+                    .split_once('=')
+                    .ok_or_else(|| format!("--report wants class=path, got {value:?}"))?;
+                inputs.push((class.to_string(), PathBuf::from(path)));
+            }
+            commands::score(&inputs, flag_num(&rest, "--prefix", 16u8)?)
+        }
+        "demo" => commands::demo(
+            &PathBuf::from(flag_str(&rest, "--out", "demo-reports")),
+            flag_num(&rest, "--scale", 0.002f64)?,
+            flag_num(&rest, "--seed", 42u64)?,
+        ),
+        "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn positional<'a>(rest: &[&'a String], idx: usize, what: &str) -> Result<&'a str, String> {
+    rest.get(idx)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+fn flag_value<'a>(rest: &[&'a String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a.as_str() == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn flag_all<'a>(rest: &[&'a String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i].as_str() == flag {
+            if let Some(v) = rest.get(i + 1) {
+                out.push(v.as_str());
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn flag_path(rest: &[&String], flag: &str) -> Result<PathBuf, String> {
+    flag_value(rest, flag)
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("missing required {flag} <file>"))
+}
+
+fn flag_str(rest: &[&String], flag: &str, default: &str) -> String {
+    flag_value(rest, flag).unwrap_or(default).to_string()
+}
+
+fn flag_num<T: std::str::FromStr>(rest: &[&String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(rest, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{flag} got unparseable value {v:?}")),
+    }
+}
+
+fn has_flag(rest: &[&String], flag: &str) -> bool {
+    rest.iter().any(|a| a.as_str() == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv("help")).expect("ok");
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let err = run(&argv("spatial --report x.txt")).expect_err("no control");
+        assert!(err.contains("--control"), "{err}");
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let err = run(&argv("spatial --report a --control b --trials lots"))
+            .expect_err("bad trials");
+        assert!(err.contains("--trials"), "{err}");
+    }
+
+    #[test]
+    fn end_to_end_demo_then_analyses() {
+        let dir = std::env::temp_dir().join("unclean-cli-e2e");
+        let dir_s = dir.to_string_lossy().to_string();
+        let out = run(&argv(&format!("demo --out {dir_s} --scale 0.001 --seed 9")))
+            .expect("demo runs");
+        assert!(out.contains("control.txt"));
+
+        let out = run(&argv(&format!("inspect {dir_s}/bot.txt"))).expect("inspect runs");
+        assert!(out.contains("addresses"));
+
+        let out = run(&argv(&format!(
+            "spatial --report {dir_s}/bot.txt --control {dir_s}/control.txt --trials 30"
+        )))
+        .expect("spatial runs");
+        assert!(out.contains("Eq. 3"));
+        assert!(out.contains("HOLDS"), "{out}");
+
+        let out = run(&argv(&format!(
+            "temporal --past {dir_s}/bot-test.txt --present {dir_s}/spam.txt \
+             --control {dir_s}/control.txt --trials 30"
+        )))
+        .expect("temporal runs");
+        assert!(out.contains("Eq. 5"));
+
+        let out = run(&argv(&format!(
+            "blocklist --report {dir_s}/bot-test.txt --format iptables"
+        )))
+        .expect("blocklist runs");
+        assert!(out.contains("iptables -A INPUT"));
+
+        let out = run(&argv(&format!(
+            "score --report bot={dir_s}/bot.txt --report spam={dir_s}/spam.txt"
+        )))
+        .expect("score runs");
+        assert!(out.contains("networks scored"));
+    }
+}

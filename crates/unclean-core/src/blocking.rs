@@ -1,0 +1,336 @@
+//! Predictive blocking evaluation (§6).
+//!
+//! The scenario: the network operator blocks `C_n(R_bot-test)` for some
+//! n ∈ [24, 32]. Addresses observed crossing the network that fall inside
+//! the /24s of the old bot report form `R_candidate`; each is partitioned
+//! by ground truth and flow behaviour:
+//!
+//! * **hostile** — present in the union of the unclean reports;
+//! * **unknown** — not in the unclean reports *and* never exchanged a
+//!   payload-bearing flow (TCP, ≥36 bytes of payload, ≥1 ACK); suspicious
+//!   but unscorable, excluded from the false-positive calculation;
+//! * **innocent** — exchanged payload and is in no unclean report.
+//!
+//! [`BlockingAnalysis`] computes the paper's Table 3: `TP(n)`, `FP(n)`,
+//! `pop(n)` and the unknown population for each prefix length, plus the
+//! derived ROC curve.
+
+use crate::blocks::BlockSet;
+use crate::density::PrefixRange;
+use crate::ip::Ip;
+use crate::ipset::IpSet;
+use serde::{Deserialize, Serialize};
+use unclean_stats::{RocCurve, RocPoint};
+
+/// One candidate address with the flow-derived evidence the partition
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The external address observed crossing the network border.
+    pub ip: Ip,
+    /// Whether the address exchanged at least one payload-bearing flow
+    /// during the observation period (§6.1's 36-byte/ACK test).
+    pub payload_bearing: bool,
+}
+
+/// The §6.1 partition of the candidate report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Candidates present in the unclean union (`R_hostile`).
+    pub hostile: IpSet,
+    /// Candidates not in the unclean union with no payload-bearing flows
+    /// (`R_unknown`).
+    pub unknown: IpSet,
+    /// Candidates with payload-bearing activity and no unclean report
+    /// membership (`R_innocent`).
+    pub innocent: IpSet,
+}
+
+impl Partition {
+    /// Partition candidates against the unclean union report.
+    ///
+    /// Order of precedence follows the paper: hostile membership is decided
+    /// first ("once an IP address is identified as hostile it cannot be
+    /// present in the remaining two reports"), then payload behaviour
+    /// separates unknown from innocent.
+    pub fn new(candidates: &[Candidate], unclean: &IpSet) -> Partition {
+        let mut hostile = Vec::new();
+        let mut unknown = Vec::new();
+        let mut innocent = Vec::new();
+        for c in candidates {
+            if unclean.contains(c.ip) {
+                hostile.push(c.ip.raw());
+            } else if !c.payload_bearing {
+                unknown.push(c.ip.raw());
+            } else {
+                innocent.push(c.ip.raw());
+            }
+        }
+        Partition {
+            hostile: IpSet::from_raw(hostile),
+            unknown: IpSet::from_raw(unknown),
+            innocent: IpSet::from_raw(innocent),
+        }
+    }
+
+    /// Total candidates (|R_candidate|).
+    pub fn total(&self) -> usize {
+        self.hostile.len() + self.unknown.len() + self.innocent.len()
+    }
+
+    /// The scored population: hostile ∪ innocent (unknowns are excluded
+    /// from scoring, Eq. 7).
+    pub fn scored(&self) -> IpSet {
+        self.hostile.union(&self.innocent)
+    }
+}
+
+/// One row of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingRow {
+    /// Prefix length used for the block list.
+    pub n: u8,
+    /// `TP(n)`: hostile addresses blocked (Eq. 8).
+    pub tp: u64,
+    /// `FP(n)`: innocent addresses blocked (Eq. 9).
+    pub fp: u64,
+    /// `pop(n)`: scored addresses blocked (Eq. 7): `tp + fp`.
+    pub pop: u64,
+    /// Unknown addresses inside the blocked blocks (reported but unscored).
+    pub unknown: u64,
+}
+
+impl BlockingRow {
+    /// Precision at this row (`tp / pop`); the paper's "90% of the incoming
+    /// addresses are correctly identified as hostile" at n = 24.
+    pub fn precision(&self) -> f64 {
+        if self.pop == 0 {
+            0.0
+        } else {
+            self.tp as f64 / self.pop as f64
+        }
+    }
+
+    /// Precision if unknown addresses are assumed hostile (the paper's
+    /// alternative 97% figure).
+    pub fn precision_assuming_unknown_hostile(&self) -> f64 {
+        let denom = self.pop + self.unknown;
+        if denom == 0 {
+            0.0
+        } else {
+            (self.tp + self.unknown) as f64 / denom as f64
+        }
+    }
+}
+
+/// The full Table 3 plus derived quantities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockingTable {
+    /// Rows in ascending prefix-length order.
+    pub rows: Vec<BlockingRow>,
+    /// `|C_24(R_bot-test)|`-style block counts per n, for the sparseness
+    /// argument.
+    pub blocks_per_n: Vec<(u8, u64)>,
+    /// Addresses spanned by the blocked blocks per n (e.g. the paper's
+    /// 44,288 at n = 24).
+    pub span_per_n: Vec<(u8, u64)>,
+}
+
+impl BlockingTable {
+    /// Derive the ROC curve: the positives/negatives universe is the
+    /// scored candidate population.
+    pub fn roc(&self, positives: u64, negatives: u64) -> RocCurve {
+        RocCurve::new(
+            self.rows
+                .iter()
+                .map(|r| RocPoint {
+                    characteristic: r.n as u32,
+                    true_positives: r.tp,
+                    false_positives: r.fp,
+                    positives,
+                    negatives,
+                })
+                .collect(),
+        )
+    }
+
+    /// Row lookup by prefix length.
+    pub fn row(&self, n: u8) -> Option<&BlockingRow> {
+        self.rows.iter().find(|r| r.n == n)
+    }
+}
+
+/// The §6 analysis driver.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockingAnalysis {
+    /// Prefix lengths swept (the paper: [24, 32]).
+    pub range: PrefixRange,
+}
+
+impl Default for BlockingAnalysis {
+    fn default() -> BlockingAnalysis {
+        BlockingAnalysis { range: PrefixRange::BLOCKING }
+    }
+}
+
+impl BlockingAnalysis {
+    /// Compute the table: for each n, count partition members inside
+    /// `C_n(bot_test)`.
+    pub fn run(&self, bot_test: &IpSet, partition: &Partition) -> BlockingTable {
+        assert!(!bot_test.is_empty(), "cannot block on an empty report");
+        let mut rows = Vec::with_capacity(self.range.len());
+        let mut blocks_per_n = Vec::with_capacity(self.range.len());
+        let mut span_per_n = Vec::with_capacity(self.range.len());
+        for n in self.range.lo..=self.range.hi {
+            let blocks = BlockSet::of(bot_test, n);
+            let tp = blocks.members_of(&partition.hostile).count() as u64;
+            let fp = blocks.members_of(&partition.innocent).count() as u64;
+            let unknown = blocks.members_of(&partition.unknown).count() as u64;
+            rows.push(BlockingRow { n, tp, fp, pop: tp + fp, unknown });
+            blocks_per_n.push((n, blocks.len() as u64));
+            span_per_n.push((n, blocks.address_span()));
+        }
+        BlockingTable { rows, blocks_per_n, span_per_n }
+    }
+}
+
+/// Gather candidate traffic: all addresses from `traffic` that share an
+/// n-bit block with the old bot report (§6.1's `R_candidate` with n = 24).
+pub fn collect_candidates<'a>(
+    traffic: impl IntoIterator<Item = &'a Candidate>,
+    bot_test: &IpSet,
+    n: u8,
+) -> Vec<Candidate> {
+    let blocks = BlockSet::of(bot_test, n);
+    traffic
+        .into_iter()
+        .filter(|c| blocks.contains(c.ip))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ip {
+        s.parse().expect("valid ip")
+    }
+
+    fn cand(s: &str, payload: bool) -> Candidate {
+        Candidate { ip: ip(s), payload_bearing: payload }
+    }
+
+    fn bot_test() -> IpSet {
+        IpSet::from_ips([ip("9.1.1.10"), ip("9.1.2.10"), ip("9.5.5.5")])
+    }
+
+    #[test]
+    fn partition_precedence() {
+        let unclean = IpSet::from_ips([ip("9.1.1.50")]);
+        let cands = vec![
+            cand("9.1.1.50", false), // hostile even without payload
+            cand("9.1.1.51", false), // unknown
+            cand("9.1.1.52", true),  // innocent
+        ];
+        let p = Partition::new(&cands, &unclean);
+        assert_eq!(p.hostile.len(), 1);
+        assert_eq!(p.unknown.len(), 1);
+        assert_eq!(p.innocent.len(), 1);
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.scored().len(), 2);
+        assert!(p.hostile.contains(ip("9.1.1.50")));
+        assert!(p.unknown.contains(ip("9.1.1.51")));
+        assert!(p.innocent.contains(ip("9.1.1.52")));
+    }
+
+    #[test]
+    fn collect_candidates_filters_by_block() {
+        let traffic = vec![
+            cand("9.1.1.200", true),  // same /24 as 9.1.1.10
+            cand("9.1.3.200", true),  // different /24
+            cand("9.5.5.77", false),  // same /24 as 9.5.5.5
+        ];
+        let got = collect_candidates(&traffic, &bot_test(), 24);
+        let ips: Vec<String> = got.iter().map(|c| c.ip.to_string()).collect();
+        assert_eq!(ips, vec!["9.1.1.200", "9.5.5.77"]);
+    }
+
+    #[test]
+    fn table_rows_shrink_with_longer_prefixes() {
+        let unclean = IpSet::from_ips([ip("9.1.1.200"), ip("9.5.5.5")]);
+        let cands = vec![
+            cand("9.1.1.200", true),
+            cand("9.1.1.201", true),
+            cand("9.1.2.77", false),
+            cand("9.5.5.5", false),
+        ];
+        let p = Partition::new(&cands, &unclean);
+        let table = BlockingAnalysis::default().run(&bot_test(), &p);
+        assert_eq!(table.rows.len(), 9); // 24..=32
+        let r24 = table.row(24).expect("row");
+        // At /24 everything is inside some block: tp = 2 (9.1.1.200 and
+        // 9.5.5.5), fp = 1 (9.1.1.201), unknown = 1 (9.1.2.77).
+        assert_eq!((r24.tp, r24.fp, r24.unknown, r24.pop), (2, 1, 1, 3));
+        let r32 = table.row(32).expect("row");
+        // At /32 only exact matches with bot-test blocks count: 9.5.5.5.
+        assert_eq!((r32.tp, r32.fp, r32.unknown, r32.pop), (1, 0, 0, 1));
+        // Monotone: pop shrinks as n grows.
+        assert!(table.rows.windows(2).all(|w| w[0].pop >= w[1].pop));
+    }
+
+    #[test]
+    fn precision_calculations() {
+        let row = BlockingRow { n: 24, tp: 287, fp: 35, pop: 322, unknown: 708 };
+        assert!((row.precision() - 287.0 / 322.0).abs() < 1e-12);
+        // (287 + 708) / (322 + 708) ≈ 0.966, the paper's 97%.
+        assert!((row.precision_assuming_unknown_hostile() - 995.0 / 1030.0).abs() < 1e-12);
+        let empty = BlockingRow { n: 32, tp: 0, fp: 0, pop: 0, unknown: 0 };
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.precision_assuming_unknown_hostile(), 0.0);
+    }
+
+    #[test]
+    fn span_reflects_sparseness_argument() {
+        let p = Partition::new(&[], &IpSet::empty());
+        let table = BlockingAnalysis::default().run(&bot_test(), &p);
+        // bot_test covers 3 distinct /24s → span 3 * 256 = 768.
+        assert_eq!(table.span_per_n[0], (24, 768));
+        assert_eq!(table.blocks_per_n[0], (24, 3));
+        // And 3 /32s → span 3.
+        assert_eq!(table.span_per_n[8], (32, 3));
+    }
+
+    #[test]
+    fn roc_derivation() {
+        let unclean = IpSet::from_ips([ip("9.1.1.200")]);
+        let cands = vec![cand("9.1.1.200", true), cand("9.1.1.201", true)];
+        let p = Partition::new(&cands, &unclean);
+        let table = BlockingAnalysis::default().run(&bot_test(), &p);
+        let roc = table.roc(p.hostile.len() as u64, p.innocent.len() as u64);
+        assert_eq!(roc.points().len(), 9);
+        let p24 = &roc.points()[0];
+        assert_eq!(p24.characteristic, 24);
+        assert!((p24.tpr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty report")]
+    fn empty_bot_test_panics() {
+        let p = Partition::new(&[], &IpSet::empty());
+        BlockingAnalysis::default().run(&IpSet::empty(), &p);
+    }
+
+    #[test]
+    fn duplicate_candidates_collapse() {
+        // The same address seen with and without payload: sets dedupe, and
+        // hostile precedence keeps classification coherent.
+        let unclean = IpSet::empty();
+        let cands = vec![cand("9.1.1.7", false), cand("9.1.1.7", true)];
+        let p = Partition::new(&cands, &unclean);
+        // One lands in unknown, one in innocent, as distinct *instances*,
+        // but as sets each holds the single address.
+        assert_eq!(p.unknown.len(), 1);
+        assert_eq!(p.innocent.len(), 1);
+    }
+}

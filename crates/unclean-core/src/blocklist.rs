@@ -1,0 +1,123 @@
+//! Router-ready block-list rendering.
+//!
+//! §6's conclusion is operational: "spatial and temporal uncleanliness …
+//! can be effectively used to block hostile traffic". This module turns a
+//! set of CIDR blocks (typically `C_24(R_bot-test)` or a trie-aggregated
+//! cover) into the formats an operator would actually deploy — and parses
+//! the plain format back, so lists survive a round trip through version
+//! control.
+
+use crate::cidr::Cidr;
+use crate::error::Error;
+use crate::ip::Ip;
+use std::fmt::Write as _;
+
+/// Supported output formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlocklistFormat {
+    /// One `a.b.c.d/len` per line (comments start with `#`).
+    Plain,
+    /// Cisco IOS extended-ACL deny lines (wildcard masks).
+    CiscoAcl,
+    /// iptables `-A INPUT -s … -j DROP` lines.
+    Iptables,
+}
+
+/// Render a block list.
+///
+/// `name` labels the list (ACL number/name, comment header). Blocks are
+/// emitted in the order given; deduplicate or aggregate first (see
+/// [`crate::trie::PrefixTrie::aggregate`]) if the source may overlap.
+pub fn render(blocks: &[Cidr], format: BlocklistFormat, name: &str) -> String {
+    let mut out = String::new();
+    match format {
+        BlocklistFormat::Plain => {
+            let _ = writeln!(out, "# blocklist: {name} ({} entries)", blocks.len());
+            for b in blocks {
+                let _ = writeln!(out, "{b}");
+            }
+        }
+        BlocklistFormat::CiscoAcl => {
+            let _ = writeln!(out, "ip access-list extended {name}");
+            for b in blocks {
+                let wildcard = Ip(!crate::cidr::mask(b.len()));
+                let _ = writeln!(out, " deny ip {} {} any", b.base(), wildcard);
+            }
+            let _ = writeln!(out, " permit ip any any");
+        }
+        BlocklistFormat::Iptables => {
+            let _ = writeln!(out, "# iptables blocklist: {name}");
+            for b in blocks {
+                let _ = writeln!(out, "iptables -A INPUT -s {b} -j DROP");
+            }
+        }
+    }
+    out
+}
+
+/// Parse a plain-format list (ignores blank lines and `#` comments).
+pub fn parse_plain(text: &str) -> Result<Vec<Cidr>, Error> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(line.parse()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks() -> Vec<Cidr> {
+        vec![
+            "9.1.1.0/24".parse().expect("valid"),
+            "9.5.0.0/16".parse().expect("valid"),
+            "203.0.113.7/32".parse().expect("valid"),
+        ]
+    }
+
+    #[test]
+    fn plain_round_trips() {
+        let text = render(&blocks(), BlocklistFormat::Plain, "bot-test-24s");
+        assert!(text.starts_with("# blocklist: bot-test-24s (3 entries)"));
+        let parsed = parse_plain(&text).expect("well-formed");
+        assert_eq!(parsed, blocks());
+    }
+
+    #[test]
+    fn cisco_wildcard_masks() {
+        let text = render(&blocks(), BlocklistFormat::CiscoAcl, "UNCLEAN");
+        assert!(text.contains("ip access-list extended UNCLEAN"));
+        assert!(text.contains(" deny ip 9.1.1.0 0.0.0.255 any"));
+        assert!(text.contains(" deny ip 9.5.0.0 0.0.255.255 any"));
+        assert!(text.contains(" deny ip 203.0.113.7 0.0.0.0 any"));
+        assert!(text.trim_end().ends_with("permit ip any any"));
+    }
+
+    #[test]
+    fn iptables_lines() {
+        let text = render(&blocks(), BlocklistFormat::Iptables, "unclean");
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("iptables -A INPUT -s ")).count(),
+            3
+        );
+        assert!(text.contains("-s 9.1.1.0/24 -j DROP"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_lines() {
+        assert!(parse_plain("9.1.1.0/24\nnot-a-cidr\n").is_err());
+        assert_eq!(parse_plain("\n# only comments\n").expect("ok"), vec![]);
+    }
+
+    #[test]
+    fn empty_list_renders_headers_only() {
+        let text = render(&[], BlocklistFormat::CiscoAcl, "EMPTY");
+        assert!(text.contains("EMPTY"));
+        assert!(!text.contains("deny"));
+    }
+}

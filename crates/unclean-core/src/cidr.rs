@@ -1,0 +1,250 @@
+//! CIDR blocks and the paper's masking function `C_n`.
+//!
+//! §3.1: *"We define a CIDR masking function `C_n(i)`. The CIDR masking
+//! function evaluates to the unique CIDR block with prefix length n that
+//! contains the IP address i (e.g., C₁₆(127.1.135.14) = 127.1.0.0/16)."*
+//! [`Cidr::of`] is exactly that function. Applying it to whole sets (the
+//! paper's Eq. 1) lives in [`crate::blocks::BlockSet`].
+
+use crate::error::Error;
+use crate::ip::Ip;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A CIDR block: a base address (with host bits zeroed) plus a prefix
+/// length in `[0, 32]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Cidr {
+    base: u32,
+    len: u8,
+}
+
+/// The 32-bit network mask for a prefix length. `mask(0) == 0`,
+/// `mask(32) == 0xffff_ffff`.
+pub const fn mask(len: u8) -> u32 {
+    debug_assert!(len <= 32);
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+impl Cidr {
+    /// The paper's `C_n(i)`: the unique block of prefix length `n`
+    /// containing `ip`. Panics if `n > 32` (a programmer error — prefix
+    /// lengths are compile-time-ish constants in every analysis).
+    pub fn of(ip: Ip, n: u8) -> Cidr {
+        assert!(n <= 32, "prefix length {n} out of range");
+        Cidr {
+            base: ip.raw() & mask(n),
+            len: n,
+        }
+    }
+
+    /// Construct from a base that must already be properly masked.
+    pub fn new(base: Ip, len: u8) -> Result<Cidr, Error> {
+        if len > 32 {
+            return Err(Error::InvalidPrefixLen(len));
+        }
+        if base.raw() & !mask(len) != 0 {
+            return Err(Error::UnalignedCidr { base, len });
+        }
+        Ok(Cidr { base: base.raw(), len })
+    }
+
+    /// The (masked) base address.
+    pub const fn base(&self) -> Ip {
+        Ip(self.base)
+    }
+
+    /// The prefix length.
+    pub const fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether the block covers no addresses — never true; present so the
+    /// `len`/`is_empty` API convention holds.
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First address in the block (== base).
+    pub const fn first(&self) -> Ip {
+        Ip(self.base)
+    }
+
+    /// Last address in the block.
+    pub const fn last(&self) -> Ip {
+        Ip(self.base | !mask(self.len))
+    }
+
+    /// Number of addresses covered (2^(32−len)); 2³² for the zero prefix.
+    pub const fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Whether `ip` falls inside this block.
+    pub fn contains(&self, ip: Ip) -> bool {
+        ip.raw() & mask(self.len) == self.base
+    }
+
+    /// Whether `other` is entirely inside this block (equal counts).
+    pub fn contains_cidr(&self, other: &Cidr) -> bool {
+        other.len >= self.len && other.base & mask(self.len) == self.base
+    }
+
+    /// The enclosing block one bit shorter; `None` at the zero prefix.
+    pub fn parent(&self) -> Option<Cidr> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Cidr {
+                base: self.base & mask(self.len - 1),
+                len: self.len - 1,
+            })
+        }
+    }
+
+    /// The two halves of this block; `None` for a /32.
+    pub fn split(&self) -> Option<(Cidr, Cidr)> {
+        if self.len == 32 {
+            return None;
+        }
+        let l = Cidr { base: self.base, len: self.len + 1 };
+        let r = Cidr {
+            base: self.base | (1 << (31 - self.len)),
+            len: self.len + 1,
+        };
+        Some((l, r))
+    }
+
+    /// Iterate over every address in the block. Be sensible: a /8 yields
+    /// 16.7M items.
+    pub fn addrs(&self) -> impl Iterator<Item = Ip> {
+        let first = self.base as u64;
+        let size = self.size();
+        (first..first + size).map(|v| Ip(v as u32))
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base(), self.len)
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Cidr, Error> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| Error::ParseCidr(s.to_string()))?;
+        let base: Ip = addr.parse().map_err(|_| Error::ParseCidr(s.to_string()))?;
+        let len: u8 = len.parse().map_err(|_| Error::ParseCidr(s.to_string()))?;
+        Cidr::new(base, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_c16() {
+        // §3.1: C₁₆(127.1.135.14) = 127.1.0.0/16.
+        let ip: Ip = "127.1.135.14".parse().expect("valid");
+        let block = Cidr::of(ip, 16);
+        assert_eq!(block.to_string(), "127.1.0.0/16");
+    }
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 0x8000_0000);
+        assert_eq!(mask(16), 0xffff_0000);
+        assert_eq!(mask(24), 0xffff_ff00);
+        assert_eq!(mask(32), 0xffff_ffff);
+    }
+
+    #[test]
+    fn of_masks_host_bits() {
+        let ip = Ip::from_octets(10, 20, 30, 40);
+        assert_eq!(Cidr::of(ip, 24).base(), Ip::from_octets(10, 20, 30, 0));
+        assert_eq!(Cidr::of(ip, 32).base(), ip);
+        assert_eq!(Cidr::of(ip, 0).base(), Ip(0));
+    }
+
+    #[test]
+    fn new_rejects_unaligned_and_long() {
+        assert!(Cidr::new(Ip::from_octets(10, 0, 0, 1), 24).is_err());
+        assert!(Cidr::new(Ip::from_octets(10, 0, 0, 0), 33).is_err());
+        assert!(Cidr::new(Ip::from_octets(10, 0, 0, 0), 24).is_ok());
+    }
+
+    #[test]
+    fn first_last_size() {
+        let c: Cidr = "192.168.4.0/22".parse().expect("valid");
+        assert_eq!(c.first(), Ip::from_octets(192, 168, 4, 0));
+        assert_eq!(c.last(), Ip::from_octets(192, 168, 7, 255));
+        assert_eq!(c.size(), 1024);
+        let all: Cidr = "0.0.0.0/0".parse().expect("valid");
+        assert_eq!(all.size(), 1u64 << 32);
+        assert_eq!(all.last(), Ip(u32::MAX));
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let c: Cidr = "10.1.2.0/24".parse().expect("valid");
+        assert!(c.contains(Ip::from_octets(10, 1, 2, 0)));
+        assert!(c.contains(Ip::from_octets(10, 1, 2, 255)));
+        assert!(!c.contains(Ip::from_octets(10, 1, 3, 0)));
+        assert!(!c.contains(Ip::from_octets(10, 1, 1, 255)));
+    }
+
+    #[test]
+    fn contains_cidr_nesting() {
+        let outer: Cidr = "10.0.0.0/8".parse().expect("valid");
+        let inner: Cidr = "10.5.0.0/16".parse().expect("valid");
+        assert!(outer.contains_cidr(&inner));
+        assert!(!inner.contains_cidr(&outer));
+        assert!(outer.contains_cidr(&outer));
+        let other: Cidr = "11.0.0.0/16".parse().expect("valid");
+        assert!(!outer.contains_cidr(&other));
+    }
+
+    #[test]
+    fn parent_and_split_invert() {
+        let c: Cidr = "10.1.2.0/24".parse().expect("valid");
+        let (l, r) = c.split().expect("splittable");
+        assert_eq!(l.to_string(), "10.1.2.0/25");
+        assert_eq!(r.to_string(), "10.1.2.128/25");
+        assert_eq!(l.parent(), Some(c));
+        assert_eq!(r.parent(), Some(c));
+        let host: Cidr = "10.1.2.3/32".parse().expect("valid");
+        assert!(host.split().is_none());
+        let all: Cidr = "0.0.0.0/0".parse().expect("valid");
+        assert!(all.parent().is_none());
+    }
+
+    #[test]
+    fn addrs_iterates_exactly_the_block() {
+        let c: Cidr = "10.0.0.252/30".parse().expect("valid");
+        let got: Vec<String> = c.addrs().map(|i| i.to_string()).collect();
+        assert_eq!(got, vec!["10.0.0.252", "10.0.0.253", "10.0.0.254", "10.0.0.255"]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "10.0.0.0", "10.0.0.0/", "/24", "10.0.0.0/33", "10.0.0.1/24", "x/8"] {
+            assert!(s.parse::<Cidr>().is_err(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.4.0/22", "1.2.3.4/32"] {
+            assert_eq!(s.parse::<Cidr>().expect("valid").to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Network-aware clustering — the heterogeneous alternative to fixed CIDR
+//! blocks.
+//!
+//! §4.1: *"Given that we lack accurate information on network populations,
+//! we make a ceteris paribus assumption that equally sized blocks should
+//! have equivalent populations. In comparison, heterogeneous partitioning
+//! such as network-aware clustering [Krishnamurthy & Wang], can result in
+//! network populations that differ in size by several orders of
+//! magnitude."*
+//!
+//! This module implements the alternative the paper sets aside, so the
+//! choice can be evaluated instead of assumed: adaptive clusters derived
+//! from a reference population (the control report standing in for a
+//! routing table) by recursively splitting blocks until each cluster's
+//! reference population falls under a cap. Unclean reports can then be
+//! measured in clusters-per-report, mirroring the homogeneous
+//! blocks-per-report analysis.
+
+use crate::cidr::Cidr;
+use crate::ip::Ip;
+use crate::ipset::IpSet;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for adaptive clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Coarsest cluster granularity (clusters never get shorter prefixes).
+    pub min_prefix: u8,
+    /// Finest cluster granularity (splitting stops here regardless of
+    /// population).
+    pub max_prefix: u8,
+    /// Split a cluster while its reference population exceeds this.
+    pub max_population: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig { min_prefix: 8, max_prefix: 24, max_population: 256 }
+    }
+}
+
+/// A heterogeneous partition of the populated address space into
+/// variable-size clusters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkClusters {
+    /// Sorted, non-overlapping cluster blocks.
+    clusters: Vec<Cidr>,
+    /// Reference population per cluster, aligned with `clusters`.
+    populations: Vec<u32>,
+}
+
+impl NetworkClusters {
+    /// Build clusters from a reference population.
+    ///
+    /// Every reference address ends up in exactly one cluster; address
+    /// space with no reference population gets no cluster (exactly like a
+    /// routing-table-derived clustering, which only covers announced
+    /// space).
+    pub fn build(reference: &IpSet, config: &ClusterConfig) -> NetworkClusters {
+        assert!(
+            config.min_prefix <= config.max_prefix && config.max_prefix <= 32,
+            "bad cluster prefix range"
+        );
+        assert!(config.max_population > 0, "population cap must be positive");
+        let mut clusters = Vec::new();
+        let mut populations = Vec::new();
+        // Seed with the occupied min_prefix blocks, then split recursively.
+        let mut stack: Vec<Cidr> = crate::blocks::BlockSet::of(reference, config.min_prefix)
+            .to_cidrs()
+            .into_iter()
+            .rev()
+            .collect();
+        while let Some(block) = stack.pop() {
+            let pop = reference.count_in(&block);
+            if pop == 0 {
+                continue;
+            }
+            if pop > config.max_population && block.len() < config.max_prefix {
+                let (l, r) = block.split().expect("len < max_prefix <= 32");
+                stack.push(r);
+                stack.push(l);
+            } else {
+                clusters.push(block);
+                populations.push(pop as u32);
+            }
+        }
+        NetworkClusters { clusters, populations }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the clustering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The clusters, sorted and non-overlapping.
+    pub fn clusters(&self) -> &[Cidr] {
+        &self.clusters
+    }
+
+    /// Reference population of cluster `i`.
+    pub fn population(&self, i: usize) -> u32 {
+        self.populations[i]
+    }
+
+    /// Index of the cluster containing `ip`, if any.
+    pub fn find(&self, ip: Ip) -> Option<usize> {
+        // Clusters are sorted by base; binary search the last cluster whose
+        // base precedes ip, then confirm containment.
+        let idx = self.clusters.partition_point(|c| c.base() <= ip);
+        idx.checked_sub(1).filter(|&i| self.clusters[i].contains(ip))
+    }
+
+    /// Number of distinct clusters a report occupies (the heterogeneous
+    /// analogue of `|C_n(R)|`).
+    pub fn occupied_by(&self, report: &IpSet) -> usize {
+        let mut count = 0;
+        let mut last: Option<usize> = None;
+        for ip in report.iter() {
+            let hit = self.find(ip);
+            if hit.is_some() && hit != last {
+                count += 1;
+            }
+            if hit.is_some() {
+                last = hit;
+            }
+        }
+        count
+    }
+
+    /// Cluster-size dispersion: ratio of the largest to the smallest
+    /// cluster population — the "several orders of magnitude" the paper
+    /// warns about.
+    pub fn population_dispersion(&self) -> f64 {
+        let max = self.populations.iter().copied().max().unwrap_or(0) as f64;
+        let min = self.populations.iter().copied().min().unwrap_or(0).max(1) as f64;
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(a: u32, b: u32, c: u32, d: u32) -> u32 {
+        (a << 24) | (b << 16) | (c << 8) | d
+    }
+
+    /// A reference population with one dense /16 and scattered singles.
+    fn reference() -> IpSet {
+        let mut raw = Vec::new();
+        for i in 0..4_000u32 {
+            raw.push(addr(9, 1, i / 250, i % 250)); // dense 9.1/16
+        }
+        for i in 0..50u32 {
+            raw.push(addr(60 + i, 7, 7, 7)); // singletons across /8s
+        }
+        IpSet::from_raw(raw)
+    }
+
+    #[test]
+    fn clusters_partition_the_reference() {
+        let refset = reference();
+        let clusters = NetworkClusters::build(&refset, &ClusterConfig::default());
+        assert!(!clusters.is_empty());
+        // Every reference address is in exactly one cluster.
+        for ip in refset.iter().step_by(37) {
+            let idx = clusters.find(ip).expect("covered");
+            assert!(clusters.clusters()[idx].contains(ip));
+        }
+        // Clusters are sorted and non-overlapping.
+        for w in clusters.clusters().windows(2) {
+            assert!(w[0].last() < w[1].first(), "{} vs {}", w[0], w[1]);
+        }
+        // Populations sum to the reference size.
+        let total: u32 = (0..clusters.len()).map(|i| clusters.population(i)).sum();
+        assert_eq!(total as usize, refset.len());
+    }
+
+    #[test]
+    fn dense_space_splits_finer_than_sparse_space() {
+        let refset = reference();
+        let clusters = NetworkClusters::build(&refset, &ClusterConfig::default());
+        // The dense 9.1/16 must be split into multiple clusters …
+        let dense: Vec<&Cidr> = clusters
+            .clusters()
+            .iter()
+            .filter(|c| c.contains(Ip(addr(9, 1, 0, 0))) || Cidr::of(Ip(addr(9, 1, 0, 0)), 16).contains_cidr(c))
+            .collect();
+        assert!(dense.len() > 4, "dense space fragments: {}", dense.len());
+        // … while each scattered singleton sits alone in a coarse /8-to-/24.
+        let lonely = clusters.find(Ip(addr(60, 7, 7, 7))).expect("covered");
+        assert_eq!(clusters.population(lonely), 1);
+    }
+
+    #[test]
+    fn population_cap_is_respected_where_splittable() {
+        let refset = reference();
+        let cfg = ClusterConfig::default();
+        let clusters = NetworkClusters::build(&refset, &cfg);
+        for i in 0..clusters.len() {
+            let c = &clusters.clusters()[i];
+            if c.len() < cfg.max_prefix {
+                assert!(
+                    clusters.population(i) as usize <= cfg.max_population,
+                    "{c} holds {}",
+                    clusters.population(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispersion_shows_orders_of_magnitude() {
+        // The paper's warning: heterogeneous clusters differ wildly in
+        // population.
+        let refset = reference();
+        let clusters = NetworkClusters::build(&refset, &ClusterConfig::default());
+        assert!(clusters.population_dispersion() >= 100.0);
+    }
+
+    #[test]
+    fn occupied_by_counts_distinct_clusters() {
+        let refset = reference();
+        let clusters = NetworkClusters::build(&refset, &ClusterConfig::default());
+        // A report of three addresses in one singleton cluster plus one in
+        // the dense region occupies exactly 2 clusters.
+        let report = IpSet::from_raw(vec![
+            addr(60, 7, 7, 7),
+            addr(9, 1, 0, 3),
+            addr(9, 1, 0, 4),
+        ]);
+        let occupied = clusters.occupied_by(&report);
+        assert_eq!(occupied, 2);
+        // Addresses outside any cluster count nothing.
+        let outside = IpSet::from_raw(vec![addr(200, 0, 0, 1)]);
+        assert_eq!(clusters.occupied_by(&outside), 0);
+    }
+
+    #[test]
+    fn find_misses_uncovered_space() {
+        let refset = reference();
+        let clusters = NetworkClusters::build(&refset, &ClusterConfig::default());
+        assert!(clusters.find(Ip(addr(200, 0, 0, 1))).is_none());
+        assert!(clusters.find(Ip(0)).is_none());
+    }
+
+    #[test]
+    fn empty_reference_is_empty_clustering() {
+        let clusters = NetworkClusters::build(&IpSet::empty(), &ClusterConfig::default());
+        assert!(clusters.is_empty());
+        assert_eq!(clusters.occupied_by(&reference()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "population cap")]
+    fn zero_cap_rejected() {
+        let cfg = ClusterConfig { max_population: 0, ..ClusterConfig::default() };
+        let _ = NetworkClusters::build(&IpSet::empty(), &cfg);
+    }
+}

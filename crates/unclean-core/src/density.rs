@@ -1,0 +1,402 @@
+//! Spatial uncleanliness analysis (§4).
+//!
+//! The hypothesis (Eq. 3): for a report of unclean traffic and a control
+//! group of equal cardinality,
+//!
+//! ```text
+//! ∀ n ∈ [16, 32]   |C_n(R_unclean)| ≤ |C_n(R_normal)|
+//! ```
+//!
+//! [`DensityAnalysis`] draws the control ensemble (1000 random subsets of
+//! the control report, per the paper), computes per-prefix-length block
+//! counts for the observed report and every trial, and evaluates the
+//! hypothesis both strictly (against the ensemble minimum) and at the 95%
+//! level used elsewhere in the paper.
+
+use crate::blocks::BlockCounts;
+use crate::ipset::IpSet;
+use crate::report::Report;
+use crate::sampling::{naive_sample, Estimator};
+use serde::{Deserialize, Serialize};
+use unclean_stats::{Ensemble, EnsembleBuilder, FiveNumber, SeedTree};
+
+/// An inclusive range of CIDR prefix lengths, `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixRange {
+    /// Shortest prefix length (coarsest blocks).
+    pub lo: u8,
+    /// Longest prefix length (finest blocks).
+    pub hi: u8,
+}
+
+impl PrefixRange {
+    /// The paper's analysis range: "we limit our block sizes to between 16
+    /// and 32 bits" (§4.1, following Collins & Reiter's finding that
+    /// prefixes above 16 bits are too imprecise for filtering).
+    pub const PAPER: PrefixRange = PrefixRange { lo: 16, hi: 32 };
+
+    /// The §6 blocking range: "n ∈ [24, 32]".
+    pub const BLOCKING: PrefixRange = PrefixRange { lo: 24, hi: 32 };
+
+    /// Construct; panics on an inverted or out-of-bounds range.
+    pub fn new(lo: u8, hi: u8) -> PrefixRange {
+        assert!(lo <= hi && hi <= 32, "bad prefix range [{lo}, {hi}]");
+        PrefixRange { lo, hi }
+    }
+
+    /// The prefix lengths as an x-axis vector.
+    pub fn xs(&self) -> Vec<u32> {
+        (self.lo..=self.hi).map(u32::from).collect()
+    }
+
+    /// Number of prefix lengths covered.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo + 1) as usize
+    }
+
+    /// Whether the range covers no lengths (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The block-count curve of one address set over a prefix range.
+pub fn density_curve(set: &IpSet, range: PrefixRange) -> Vec<u64> {
+    BlockCounts::of(set).over(range.lo, range.hi)
+}
+
+/// Configuration for a spatial density analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct DensityConfig {
+    /// Prefix lengths analyzed. The paper uses [16, 32].
+    pub range: PrefixRange,
+    /// Control ensemble size. The paper uses 1000.
+    pub trials: usize,
+    /// Decision threshold for the per-n comparison (0.95 in the paper).
+    pub threshold: f64,
+    /// How reference populations are drawn.
+    pub estimator: Estimator,
+}
+
+impl Default for DensityConfig {
+    fn default() -> DensityConfig {
+        DensityConfig {
+            range: PrefixRange::PAPER,
+            trials: 1000,
+            threshold: 0.95,
+            estimator: Estimator::Empirical,
+        }
+    }
+}
+
+/// Result of a spatial uncleanliness test for one unclean report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DensityResult {
+    /// Tag of the report analyzed.
+    pub tag: String,
+    /// Report cardinality (the control samples match it).
+    pub cardinality: usize,
+    /// Prefix lengths (x-axis).
+    pub xs: Vec<u32>,
+    /// Observed `|C_n(R_unclean)|` per prefix length.
+    pub observed: Vec<u64>,
+    /// Control-sample block counts per prefix length.
+    pub control: Ensemble,
+    /// Boxplot summaries of the control distribution per prefix length.
+    pub control_boxes: Vec<(u32, FiveNumber)>,
+    /// Per-n fraction of control trials with at least as many blocks as
+    /// observed (evidence the unclean report is at least as dense).
+    pub support: Vec<f64>,
+    /// Per-n fraction of control trials with *strictly more* blocks than
+    /// observed (evidence the unclean report is strictly denser).
+    pub denser: Vec<f64>,
+    /// Decision threshold used.
+    pub threshold: f64,
+}
+
+impl DensityResult {
+    /// Eq. 3 at the configured threshold, read as a statistical statement:
+    /// the report is never *significantly sparser* than control at any
+    /// prefix length (control almost never undershoots it), and it is
+    /// *significantly denser* at at least one prefix length. The second
+    /// clause keeps the test from passing vacuously in the long-prefix
+    /// regime where both curves degenerate to all-singletons and only ties
+    /// remain.
+    pub fn hypothesis_holds(&self) -> bool {
+        let never_sparser = self.support.iter().all(|&f| f > 1.0 - self.threshold);
+        let somewhere_denser = self.denser.iter().any(|&f| f >= self.threshold);
+        never_sparser && somewhere_denser
+    }
+
+    /// Strict version: the observed count never exceeds even the sparsest
+    /// control trial.
+    pub fn hypothesis_holds_strict(&self) -> bool {
+        self.observed
+            .iter()
+            .zip(&self.control_boxes)
+            .all(|(&obs, (_, five))| (obs as f64) <= five.min)
+    }
+
+    /// Density ratio per prefix length: control median / observed
+    /// (≥ 1 means the unclean report is denser). Infinite when observed
+    /// is 0 and control positive.
+    pub fn density_ratio(&self) -> Vec<f64> {
+        self.observed
+            .iter()
+            .zip(&self.control_boxes)
+            .map(|(&obs, (_, five))| {
+                if obs == 0 {
+                    if five.median > 0.0 {
+                        f64::INFINITY
+                    } else {
+                        1.0
+                    }
+                } else {
+                    five.median / obs as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// The spatial uncleanliness analysis driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DensityAnalysis {
+    /// Analysis configuration.
+    pub config: DensityConfig,
+}
+
+impl DensityAnalysis {
+    /// A driver with the paper's defaults.
+    pub fn paper() -> DensityAnalysis {
+        DensityAnalysis { config: DensityConfig::default() }
+    }
+
+    /// With a custom configuration.
+    pub fn with_config(config: DensityConfig) -> DensityAnalysis {
+        DensityAnalysis { config }
+    }
+
+    /// Run the analysis: compare `unclean` against `trials` random
+    /// control samples of equal cardinality.
+    ///
+    /// `allocated_slash8s` is only consulted by the naive estimator; pass
+    /// the IANA table from the netmodel crate (or an empty slice when using
+    /// the empirical estimator).
+    pub fn run(
+        &self,
+        unclean: &Report,
+        control: &IpSet,
+        allocated_slash8s: &[u8],
+        seeds: &SeedTree,
+    ) -> DensityResult {
+        let cfg = &self.config;
+        let k = unclean.len();
+        assert!(k > 0, "cannot analyze an empty report");
+        let xs = cfg.range.xs();
+        let observed = density_curve(unclean.addresses(), cfg.range);
+
+        let estimator = cfg.estimator;
+        let range = cfg.range;
+        let ensemble = EnsembleBuilder::new(xs.clone(), cfg.trials).run(
+            &seeds.child("density").child(unclean.tag()),
+            move |_idx, rng, _xs| {
+                let sample = match estimator {
+                    Estimator::Empirical => control
+                        .sample(rng, k)
+                        .expect("control is larger than any unclean report"),
+                    Estimator::Naive => naive_sample(allocated_slash8s, k, rng)
+                        .expect("allocated space exceeds any report size"),
+                };
+                density_curve(&sample, range).into_iter().map(|c| c as f64).collect()
+            },
+        );
+
+        let support: Vec<f64> = observed
+            .iter()
+            .enumerate()
+            .map(|(i, &obs)| {
+                // Fraction of trials with count >= observed.
+                1.0 - ensemble.fraction_below(i, obs as f64)
+            })
+            .collect();
+        let denser: Vec<f64> = observed
+            .iter()
+            .enumerate()
+            .map(|(i, &obs)| ensemble.fraction_above(i, obs as f64))
+            .collect();
+        let control_boxes = ensemble.five_numbers();
+        DensityResult {
+            tag: unclean.tag().to_string(),
+            cardinality: k,
+            xs,
+            observed,
+            control: ensemble,
+            control_boxes,
+            support,
+            denser,
+            threshold: cfg.threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Provenance, Report, ReportClass};
+    use crate::time::{DateRange, Day};
+
+    fn mk_report(tag: &str, addrs: Vec<u32>) -> Report {
+        Report::new(
+            tag,
+            ReportClass::Bots,
+            Provenance::Provided,
+            DateRange::new(Day(0), Day(13)),
+            IpSet::from_raw(addrs),
+        )
+    }
+
+    /// A spread-out control population: hosts scattered over many /16s.
+    fn scattered_control() -> IpSet {
+        let mut raw = Vec::new();
+        for i in 0..60_000u32 {
+            // Spread over 240 /16s within 4.0.0.0/8 .. 63.x, ~4 hosts per /24.
+            let net = i % 15_000;
+            let host = (i / 15_000) * 61 % 256;
+            raw.push((4 << 24) | (net << 8) | host);
+        }
+        IpSet::from_raw(raw)
+    }
+
+    /// A clustered "unclean" set: the same cardinality budget packed into
+    /// a handful of /24s.
+    fn clustered_report(k: usize) -> Report {
+        let mut raw = Vec::new();
+        let mut i = 0u32;
+        'outer: for block in 0..1024u32 {
+            for host in 0..200u32 {
+                raw.push((9 << 24) | (block << 8) | host);
+                i += 1;
+                if i as usize >= k {
+                    break 'outer;
+                }
+            }
+        }
+        mk_report("bot", raw)
+    }
+
+    #[test]
+    fn prefix_range_helpers() {
+        let r = PrefixRange::PAPER;
+        assert_eq!(r.lo, 16);
+        assert_eq!(r.hi, 32);
+        assert_eq!(r.len(), 17);
+        assert_eq!(r.xs().len(), 17);
+        assert_eq!(r.xs()[0], 16);
+        assert_eq!(*r.xs().last().expect("non-empty"), 32);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad prefix range")]
+    fn prefix_range_validates() {
+        let _ = PrefixRange::new(20, 16);
+    }
+
+    #[test]
+    fn density_curve_matches_block_counts() {
+        let s = IpSet::from_raw(vec![0x0a000001, 0x0a000002, 0x0b000001]);
+        let curve = density_curve(&s, PrefixRange::new(8, 8));
+        assert_eq!(curve, vec![2]);
+    }
+
+    #[test]
+    fn clustered_report_supports_hypothesis() {
+        let control = scattered_control();
+        let unclean = clustered_report(2000);
+        let analysis = DensityAnalysis::with_config(DensityConfig {
+            trials: 50,
+            ..DensityConfig::default()
+        });
+        let res = analysis.run(&unclean, &control, &[], &SeedTree::new(42));
+        assert!(res.hypothesis_holds(), "support = {:?}", res.support);
+        assert!(res.hypothesis_holds_strict());
+        // Density ratio should exceed 1 at /24 (clustered ≫ scattered).
+        let idx24 = res.xs.iter().position(|&x| x == 24).expect("24 in range");
+        assert!(res.density_ratio()[idx24] > 2.0);
+        assert_eq!(res.cardinality, 2000);
+        assert_eq!(res.tag, "bot");
+    }
+
+    #[test]
+    fn control_sample_against_itself_is_indistinguishable() {
+        // A random subset of control tested against control should NOT
+        // show (strict) spatial uncleanliness.
+        let control = scattered_control();
+        let mut rng = SeedTree::new(7).stream("sub");
+        let sub = control.sample(&mut rng, 2000).expect("ok");
+        let fake = mk_report("fake", sub.as_raw().to_vec());
+        let analysis = DensityAnalysis::with_config(DensityConfig {
+            trials: 50,
+            ..DensityConfig::default()
+        });
+        let res = analysis.run(&fake, &control, &[], &SeedTree::new(43));
+        assert!(
+            !res.hypothesis_holds(),
+            "a control subset must not look unclean: support = {:?}",
+            res.support
+        );
+    }
+
+    #[test]
+    fn observed_curve_is_monotone() {
+        let control = scattered_control();
+        let unclean = clustered_report(500);
+        let analysis = DensityAnalysis::with_config(DensityConfig {
+            trials: 10,
+            ..DensityConfig::default()
+        });
+        let res = analysis.run(&unclean, &control, &[], &SeedTree::new(1));
+        assert!(res.observed.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*res.observed.last().expect("non-empty"), 500);
+    }
+
+    #[test]
+    fn naive_estimator_runs() {
+        let control = scattered_control();
+        let unclean = clustered_report(300);
+        let analysis = DensityAnalysis::with_config(DensityConfig {
+            trials: 5,
+            estimator: Estimator::Naive,
+            ..DensityConfig::default()
+        });
+        let res = analysis.run(&unclean, &control, &[4, 9, 11], &SeedTree::new(2));
+        // Naive sampling of 300 addrs over 3 /8s virtually never collides
+        // at /24, so control counts sit near 300 at every n.
+        let idx24 = res.xs.iter().position(|&x| x == 24).expect("in range");
+        assert!(res.control_boxes[idx24].1.median > 290.0);
+        assert!(res.hypothesis_holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty report")]
+    fn empty_report_panics() {
+        let control = scattered_control();
+        let empty = mk_report("none", vec![]);
+        DensityAnalysis::paper().run(&empty, &control, &[], &SeedTree::new(1));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let control = scattered_control();
+        let unclean = clustered_report(400);
+        let analysis = DensityAnalysis::with_config(DensityConfig {
+            trials: 8,
+            ..DensityConfig::default()
+        });
+        let a = analysis.run(&unclean, &control, &[], &SeedTree::new(5));
+        let b = analysis.run(&unclean, &control, &[], &SeedTree::new(5));
+        assert_eq!(a.control, b.control);
+        assert_eq!(a.support, b.support);
+    }
+}

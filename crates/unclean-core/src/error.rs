@@ -1,0 +1,88 @@
+//! Error type for the core crate.
+//!
+//! Parsing and construction return `Result`; analysis-internal invariant
+//! violations (mismatched x-axes, out-of-range prefix lengths passed as
+//! constants) panic, since they are programmer errors, not data errors.
+
+use crate::ip::Ip;
+use std::fmt;
+
+/// Errors produced by the core library's fallible operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A string did not parse as a dotted-quad IPv4 address.
+    ParseIp(String),
+    /// A string did not parse as `a.b.c.d/len`.
+    ParseCidr(String),
+    /// A prefix length outside `[0, 32]`.
+    InvalidPrefixLen(u8),
+    /// A CIDR base address with non-zero host bits.
+    UnalignedCidr {
+        /// The offending base address.
+        base: Ip,
+        /// The prefix length it was paired with.
+        len: u8,
+    },
+    /// An operation that requires a non-empty report got an empty one.
+    EmptyReport(String),
+    /// Requested a sample larger than the population it is drawn from.
+    SampleTooLarge {
+        /// Requested sample size.
+        requested: usize,
+        /// Available population size.
+        available: usize,
+    },
+    /// A date string or component was invalid.
+    InvalidDate(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ParseIp(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            Error::ParseCidr(s) => write!(f, "invalid CIDR block: {s:?}"),
+            Error::InvalidPrefixLen(n) => write!(f, "prefix length {n} out of range [0, 32]"),
+            Error::UnalignedCidr { base, len } => {
+                write!(f, "CIDR base {base} has host bits set for prefix length {len}")
+            }
+            Error::EmptyReport(tag) => write!(f, "report {tag:?} is empty"),
+            Error::SampleTooLarge { requested, available } => {
+                write!(f, "cannot sample {requested} addresses from a population of {available}")
+            }
+            Error::InvalidDate(s) => write!(f, "invalid date: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::ParseIp("x".into()), "invalid IPv4 address"),
+            (Error::ParseCidr("x".into()), "invalid CIDR"),
+            (Error::InvalidPrefixLen(40), "40"),
+            (
+                Error::UnalignedCidr { base: Ip::from_octets(10, 0, 0, 1), len: 24 },
+                "10.0.0.1",
+            ),
+            (Error::EmptyReport("bot".into()), "bot"),
+            (Error::SampleTooLarge { requested: 5, available: 3 }, "5"),
+            (Error::InvalidDate("2006-13-01".into()), "2006-13-01"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<Error>();
+    }
+}

@@ -1,0 +1,242 @@
+//! IPv4 addresses backed by `u32`, and the reserved-range taxonomy used to
+//! filter reports.
+//!
+//! The paper's reports "have been filtered to only include addresses that
+//! are outside of the observed network and are not otherwise reserved
+//! (e.g., all addresses specified in RFC 1918 have been removed)" (§3.2).
+//! [`ReservedClass`] enumerates the protocol-reserved ranges as of the
+//! paper's era (2006/2007); filtering against the observed network itself
+//! happens in [`crate::report`].
+
+use crate::error::Error;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address. A transparent wrapper over the host-order `u32`, which
+/// is the representation every analysis in this crate works in.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    /// From dotted-quad octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Ip {
+        Ip(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// The raw host-order value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The address's /8 number (its first octet).
+    pub const fn slash8(self) -> u8 {
+        (self.0 >> 24) as u8
+    }
+
+    /// The protocol-reserved class this address falls in, if any.
+    pub fn reserved_class(self) -> Option<ReservedClass> {
+        use ReservedClass::*;
+        let o = self.octets();
+        match o[0] {
+            0 => Some(ThisNetwork),
+            10 => Some(Rfc1918),
+            127 => Some(Loopback),
+            169 if o[1] == 254 => Some(LinkLocal),
+            172 if (16..=31).contains(&o[1]) => Some(Rfc1918),
+            192 if o[1] == 168 => Some(Rfc1918),
+            192 if o[1] == 0 && o[2] == 2 => Some(TestNet),
+            198 if o[1] & 0xfe == 18 => Some(Benchmarking),
+            224..=239 => Some(Multicast),
+            240..=255 => Some(FutureUse),
+            _ => None,
+        }
+    }
+
+    /// Whether the address is protocol-reserved (never a real Internet host).
+    pub fn is_reserved(self) -> bool {
+        self.reserved_class().is_some()
+    }
+}
+
+impl From<u32> for Ip {
+    fn from(v: u32) -> Ip {
+        Ip(v)
+    }
+}
+
+impl From<Ip> for u32 {
+    fn from(ip: Ip) -> u32 {
+        ip.0
+    }
+}
+
+impl From<std::net::Ipv4Addr> for Ip {
+    fn from(a: std::net::Ipv4Addr) -> Ip {
+        Ip(u32::from(a))
+    }
+}
+
+impl From<Ip> for std::net::Ipv4Addr {
+    fn from(ip: Ip) -> std::net::Ipv4Addr {
+        std::net::Ipv4Addr::from(ip.0)
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl FromStr for Ip {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Ip, Error> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(|| Error::ParseIp(s.to_string()))?;
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(Error::ParseIp(s.to_string()));
+            }
+            *slot = part.parse().map_err(|_| Error::ParseIp(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(Error::ParseIp(s.to_string()));
+        }
+        Ok(Ip::from_octets(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// Protocol-reserved IPv4 ranges (per the RFCs in force in 2006).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReservedClass {
+    /// 0.0.0.0/8 — "this network".
+    ThisNetwork,
+    /// RFC 1918 private space: 10/8, 172.16/12, 192.168/16.
+    Rfc1918,
+    /// 127.0.0.0/8 loopback.
+    Loopback,
+    /// 169.254.0.0/16 link-local (RFC 3927).
+    LinkLocal,
+    /// 192.0.2.0/24 TEST-NET.
+    TestNet,
+    /// 198.18.0.0/15 benchmarking (RFC 2544).
+    Benchmarking,
+    /// 224.0.0.0/4 multicast.
+    Multicast,
+    /// 240.0.0.0/4 reserved for future use (includes broadcast).
+    FutureUse,
+}
+
+impl fmt::Display for ReservedClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReservedClass::ThisNetwork => "this-network (0/8)",
+            ReservedClass::Rfc1918 => "RFC 1918 private",
+            ReservedClass::Loopback => "loopback (127/8)",
+            ReservedClass::LinkLocal => "link-local (169.254/16)",
+            ReservedClass::TestNet => "TEST-NET (192.0.2/24)",
+            ReservedClass::Benchmarking => "benchmarking (198.18/15)",
+            ReservedClass::Multicast => "multicast (224/4)",
+            ReservedClass::FutureUse => "future-use (240/4)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_round_trip() {
+        let ip = Ip::from_octets(127, 1, 135, 14);
+        assert_eq!(ip.octets(), [127, 1, 135, 14]);
+        assert_eq!(ip.raw(), 0x7f01_870e);
+        assert_eq!(ip.slash8(), 127);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for s in ["0.0.0.0", "255.255.255.255", "192.168.1.1", "8.8.8.8"] {
+            let ip: Ip = s.parse().expect("valid");
+            assert_eq!(ip.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "01x.2.3.4", "1.2.3.1234"] {
+            assert!(s.parse::<Ip>().is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn std_conversions() {
+        let std_ip: std::net::Ipv4Addr = "10.1.2.3".parse().expect("valid");
+        let ip: Ip = std_ip.into();
+        assert_eq!(ip, Ip::from_octets(10, 1, 2, 3));
+        let back: std::net::Ipv4Addr = ip.into();
+        assert_eq!(back, std_ip);
+    }
+
+    #[test]
+    fn rfc1918_ranges() {
+        assert_eq!(Ip::from_octets(10, 0, 0, 1).reserved_class(), Some(ReservedClass::Rfc1918));
+        assert_eq!(Ip::from_octets(172, 16, 0, 1).reserved_class(), Some(ReservedClass::Rfc1918));
+        assert_eq!(Ip::from_octets(172, 31, 255, 255).reserved_class(), Some(ReservedClass::Rfc1918));
+        assert_eq!(Ip::from_octets(192, 168, 44, 1).reserved_class(), Some(ReservedClass::Rfc1918));
+        // Edges that are NOT private.
+        assert_eq!(Ip::from_octets(172, 15, 0, 1).reserved_class(), None);
+        assert_eq!(Ip::from_octets(172, 32, 0, 1).reserved_class(), None);
+        assert_eq!(Ip::from_octets(192, 169, 0, 1).reserved_class(), None);
+        assert_eq!(Ip::from_octets(11, 0, 0, 1).reserved_class(), None);
+    }
+
+    #[test]
+    fn other_reserved_ranges() {
+        assert_eq!(Ip::from_octets(0, 1, 2, 3).reserved_class(), Some(ReservedClass::ThisNetwork));
+        assert_eq!(Ip::from_octets(127, 0, 0, 1).reserved_class(), Some(ReservedClass::Loopback));
+        assert_eq!(Ip::from_octets(169, 254, 9, 9).reserved_class(), Some(ReservedClass::LinkLocal));
+        assert_eq!(Ip::from_octets(169, 253, 9, 9).reserved_class(), None);
+        assert_eq!(Ip::from_octets(192, 0, 2, 77).reserved_class(), Some(ReservedClass::TestNet));
+        assert_eq!(Ip::from_octets(192, 0, 3, 77).reserved_class(), None);
+        assert_eq!(Ip::from_octets(198, 18, 0, 1).reserved_class(), Some(ReservedClass::Benchmarking));
+        assert_eq!(Ip::from_octets(198, 19, 255, 1).reserved_class(), Some(ReservedClass::Benchmarking));
+        assert_eq!(Ip::from_octets(198, 20, 0, 1).reserved_class(), None);
+        assert_eq!(Ip::from_octets(224, 0, 0, 1).reserved_class(), Some(ReservedClass::Multicast));
+        assert_eq!(Ip::from_octets(239, 255, 255, 255).reserved_class(), Some(ReservedClass::Multicast));
+        assert_eq!(Ip::from_octets(240, 0, 0, 0).reserved_class(), Some(ReservedClass::FutureUse));
+        assert_eq!(Ip::from_octets(255, 255, 255, 255).reserved_class(), Some(ReservedClass::FutureUse));
+    }
+
+    #[test]
+    fn public_addresses_are_not_reserved() {
+        for s in ["4.2.2.2", "8.8.8.8", "66.35.250.150", "212.58.224.131"] {
+            assert!(!s.parse::<Ip>().expect("valid").is_reserved(), "{s}");
+        }
+    }
+
+    #[test]
+    fn ordering_matches_numeric_order() {
+        let a = Ip::from_octets(9, 255, 255, 255);
+        let b = Ip::from_octets(10, 0, 0, 0);
+        assert!(a < b);
+    }
+}

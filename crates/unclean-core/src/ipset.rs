@@ -1,0 +1,351 @@
+//! Sets of IPv4 addresses.
+//!
+//! Every report in the paper is, at bottom, a set of IP addresses, and the
+//! analyses are set algebra at scale: the control report alone holds 47
+//! million addresses. [`IpSet`] stores a sorted, deduplicated `Vec<u32>`
+//! (4 bytes per address — the 47M-address control fits in ~180 MB) and
+//! implements union/intersection/difference as linear merges, membership as
+//! binary search, and random subsetting via Floyd's algorithm.
+
+use crate::cidr::{mask, Cidr};
+use crate::error::Error;
+use crate::ip::Ip;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use unclean_stats::rng::sample_indices;
+
+/// An immutable, sorted, duplicate-free set of IPv4 addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IpSet {
+    addrs: Vec<u32>,
+}
+
+impl IpSet {
+    /// The empty set.
+    pub fn empty() -> IpSet {
+        IpSet { addrs: Vec::new() }
+    }
+
+    /// Build from any iterator of addresses (sorts and deduplicates).
+    pub fn from_ips<I: IntoIterator<Item = Ip>>(ips: I) -> IpSet {
+        let mut addrs: Vec<u32> = ips.into_iter().map(|ip| ip.raw()).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        IpSet { addrs }
+    }
+
+    /// Build from raw `u32` values (sorts and deduplicates).
+    pub fn from_raw(mut addrs: Vec<u32>) -> IpSet {
+        addrs.sort_unstable();
+        addrs.dedup();
+        IpSet { addrs }
+    }
+
+    /// Build from a vector that is already sorted and duplicate-free.
+    ///
+    /// Checked in debug builds; in release this is O(1).
+    pub fn from_sorted(addrs: Vec<u32>) -> IpSet {
+        debug_assert!(
+            addrs.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly ascending input"
+        );
+        IpSet { addrs }
+    }
+
+    /// Number of addresses.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Membership by binary search.
+    pub fn contains(&self, ip: Ip) -> bool {
+        self.addrs.binary_search(&ip.raw()).is_ok()
+    }
+
+    /// Iterate in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Ip> + '_ {
+        self.addrs.iter().map(|&v| Ip(v))
+    }
+
+    /// The underlying sorted raw values.
+    pub fn as_raw(&self) -> &[u32] {
+        &self.addrs
+    }
+
+    /// Smallest address, if any.
+    pub fn min(&self) -> Option<Ip> {
+        self.addrs.first().map(|&v| Ip(v))
+    }
+
+    /// Largest address, if any.
+    pub fn max(&self) -> Option<Ip> {
+        self.addrs.last().map(|&v| Ip(v))
+    }
+
+    /// Set union (linear merge).
+    pub fn union(&self, other: &IpSet) -> IpSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.addrs.len() && j < other.addrs.len() {
+            match self.addrs[i].cmp(&other.addrs[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.addrs[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.addrs[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.addrs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.addrs[i..]);
+        out.extend_from_slice(&other.addrs[j..]);
+        IpSet { addrs: out }
+    }
+
+    /// Set intersection (linear merge).
+    pub fn intersect(&self, other: &IpSet) -> IpSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.addrs.len() && j < other.addrs.len() {
+            match self.addrs[i].cmp(&other.addrs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.addrs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        IpSet { addrs: out }
+    }
+
+    /// Set difference `self \ other` (linear merge).
+    pub fn difference(&self, other: &IpSet) -> IpSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.addrs.len() {
+            if j >= other.addrs.len() || self.addrs[i] < other.addrs[j] {
+                out.push(self.addrs[i]);
+                i += 1;
+            } else if self.addrs[i] > other.addrs[j] {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        IpSet { addrs: out }
+    }
+
+    /// Keep only addresses satisfying the predicate.
+    pub fn filter(&self, mut pred: impl FnMut(Ip) -> bool) -> IpSet {
+        IpSet {
+            addrs: self.addrs.iter().copied().filter(|&v| pred(Ip(v))).collect(),
+        }
+    }
+
+    /// A uniform random subset of `k` distinct addresses.
+    ///
+    /// This is the paper's "randomly generated subsets of R_control" —
+    /// used 1000 times per figure — so it must be fast at
+    /// k ≈ 600k, n ≈ 47M: Floyd's algorithm gives O(k) draws and the output
+    /// stays sorted because indices are emitted sorted.
+    pub fn sample(&self, rng: &mut impl RngCore, k: usize) -> Result<IpSet, Error> {
+        if k > self.len() {
+            return Err(Error::SampleTooLarge { requested: k, available: self.len() });
+        }
+        let idx = sample_indices(rng, self.len(), k);
+        Ok(IpSet {
+            addrs: idx.into_iter().map(|i| self.addrs[i]).collect(),
+        })
+    }
+
+    /// Number of members inside `cidr` (two binary searches).
+    pub fn count_in(&self, cidr: &Cidr) -> usize {
+        let lo = self.addrs.partition_point(|&v| v < cidr.first().raw());
+        let hi = self.addrs.partition_point(|&v| v <= cidr.last().raw());
+        hi - lo
+    }
+
+    /// Whether any member shares the `n`-bit prefix of `ip` — the paper's
+    /// CIDR inclusion relation `i ⊏ S` at a fixed prefix length (Eq. 2).
+    pub fn contains_block(&self, ip: Ip, n: u8) -> bool {
+        assert!(n <= 32, "prefix length {n} out of range");
+        let first = ip.raw() & mask(n);
+        let last = first | !mask(n);
+        let lo = self.addrs.partition_point(|&v| v < first);
+        lo < self.addrs.len() && self.addrs[lo] <= last
+    }
+
+    /// Members that fall inside `cidr`, as a new set.
+    pub fn members_in(&self, cidr: &Cidr) -> IpSet {
+        let lo = self.addrs.partition_point(|&v| v < cidr.first().raw());
+        let hi = self.addrs.partition_point(|&v| v <= cidr.last().raw());
+        IpSet { addrs: self.addrs[lo..hi].to_vec() }
+    }
+}
+
+impl FromIterator<Ip> for IpSet {
+    fn from_iter<I: IntoIterator<Item = Ip>>(iter: I) -> IpSet {
+        IpSet::from_ips(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a IpSet {
+    type Item = Ip;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, u32>, fn(&u32) -> Ip>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.addrs.iter().map(|&v| Ip(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unclean_stats::SeedTree;
+
+    fn set(vals: &[u32]) -> IpSet {
+        IpSet::from_raw(vals.to_vec())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = set(&[5, 1, 3, 3, 1]);
+        assert_eq!(s.as_raw(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(IpSet::empty().is_empty());
+    }
+
+    #[test]
+    fn from_ips_and_iter_round_trip() {
+        let ips = vec![Ip(10), Ip(2), Ip(10)];
+        let s = IpSet::from_ips(ips);
+        let back: Vec<Ip> = s.iter().collect();
+        assert_eq!(back, vec![Ip(2), Ip(10)]);
+        let collected: IpSet = vec![Ip(7), Ip(7), Ip(1)].into_iter().collect();
+        assert_eq!(collected.as_raw(), &[1, 7]);
+    }
+
+    #[test]
+    fn membership() {
+        let s = set(&[1, 5, 9]);
+        assert!(s.contains(Ip(5)));
+        assert!(!s.contains(Ip(4)));
+        assert_eq!(s.min(), Some(Ip(1)));
+        assert_eq!(s.max(), Some(Ip(9)));
+        assert_eq!(IpSet::empty().min(), None);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = set(&[1, 2, 3, 5]);
+        let b = set(&[2, 4, 5, 6]);
+        assert_eq!(a.union(&b).as_raw(), &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(a.intersect(&b).as_raw(), &[2, 5]);
+        assert_eq!(a.difference(&b).as_raw(), &[1, 3]);
+        assert_eq!(b.difference(&a).as_raw(), &[4, 6]);
+    }
+
+    #[test]
+    fn operations_with_empty() {
+        let a = set(&[1, 2]);
+        let e = IpSet::empty();
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.union(&a), a);
+        assert_eq!(a.intersect(&e), e);
+        assert_eq!(a.difference(&e), a);
+        assert_eq!(e.difference(&a), e);
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let s = set(&[1, 2, 3, 4, 5]);
+        let odd = s.filter(|ip| ip.raw() % 2 == 1);
+        assert_eq!(odd.as_raw(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn sample_is_subset_of_requested_size() {
+        let s = IpSet::from_raw((0..10_000).collect());
+        let mut rng = SeedTree::new(1).stream("sample");
+        let sub = s.sample(&mut rng, 250).expect("k <= n");
+        assert_eq!(sub.len(), 250);
+        assert!(sub.iter().all(|ip| s.contains(ip)));
+        // Sorted-unique invariant preserved.
+        assert!(sub.as_raw().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sample_too_large_errors() {
+        let s = set(&[1, 2, 3]);
+        let mut rng = SeedTree::new(1).stream("sample");
+        assert_eq!(
+            s.sample(&mut rng, 4),
+            Err(Error::SampleTooLarge { requested: 4, available: 3 })
+        );
+    }
+
+    #[test]
+    fn sample_deterministic_per_seed() {
+        let s = IpSet::from_raw((0..1000).collect());
+        let a = s.sample(&mut SeedTree::new(9).stream("x"), 10).expect("ok");
+        let b = s.sample(&mut SeedTree::new(9).stream("x"), 10).expect("ok");
+        let c = s.sample(&mut SeedTree::new(10).stream("x"), 10).expect("ok");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn count_in_and_members_in() {
+        let s = IpSet::from_ips([
+            "10.0.0.1".parse().expect("ip"),
+            "10.0.0.200".parse().expect("ip"),
+            "10.0.1.1".parse().expect("ip"),
+            "11.0.0.1".parse().expect("ip"),
+        ]);
+        let c: Cidr = "10.0.0.0/24".parse().expect("cidr");
+        assert_eq!(s.count_in(&c), 2);
+        assert_eq!(s.members_in(&c).len(), 2);
+        let whole: Cidr = "0.0.0.0/0".parse().expect("cidr");
+        assert_eq!(s.count_in(&whole), 4);
+        let none: Cidr = "12.0.0.0/8".parse().expect("cidr");
+        assert_eq!(s.count_in(&none), 0);
+    }
+
+    #[test]
+    fn contains_block_matches_prefix_sharing() {
+        let s = IpSet::from_ips(["10.1.2.3".parse().expect("ip")]);
+        assert!(s.contains_block("10.1.2.200".parse().expect("ip"), 24));
+        assert!(s.contains_block("10.1.99.1".parse().expect("ip"), 16));
+        assert!(!s.contains_block("10.1.3.1".parse().expect("ip"), 24));
+        assert!(s.contains_block("10.1.2.3".parse().expect("ip"), 32));
+        assert!(!s.contains_block("10.1.2.4".parse().expect("ip"), 32));
+        // Prefix length 0: any address shares the empty prefix.
+        assert!(s.contains_block(Ip(u32::MAX), 0));
+        assert!(!IpSet::empty().contains_block(Ip(0), 0));
+    }
+
+    #[test]
+    fn contains_block_near_address_space_edges() {
+        let s = IpSet::from_raw(vec![u32::MAX]);
+        assert!(s.contains_block(Ip(u32::MAX - 1), 24));
+        assert!(s.contains_block(Ip(u32::MAX), 32));
+        let s0 = IpSet::from_raw(vec![0]);
+        assert!(s0.contains_block(Ip(200), 24));
+        assert!(!s0.contains_block(Ip(300), 24));
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-indicator overlap analysis.
+//!
+//! The paper's abstract claims: *"We further show evidence for
+//! cross-relationship between the various datasets, showing that botnet
+//! activity predicts spamming and scanning, while phishing activity
+//! appears to be unrelated to the other indicators."* Beyond the temporal
+//! prediction tests, the simplest evidence is contemporaneous overlap:
+//! how many addresses (or /24s) two indicator reports share, against what
+//! equal-size random draws would share. This module computes that matrix.
+
+use crate::blocks::BlockSet;
+use crate::report::Report;
+use serde::{Deserialize, Serialize};
+
+/// Overlap between one ordered pair of reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapCell {
+    /// Tag of the row report.
+    pub a: String,
+    /// Tag of the column report.
+    pub b: String,
+    /// `|A ∩ B|` at the address level.
+    pub addresses: usize,
+    /// `|C_24(A) ∩ C_24(B)|`.
+    pub blocks24: u64,
+    /// Jaccard index at the address level: `|A∩B| / |A∪B|`.
+    pub jaccard: f64,
+    /// Fraction of the *smaller* report contained in the larger — the
+    /// containment coefficient, which is the operationally interesting
+    /// number ("35% of the botnet was seen scanning").
+    pub containment: f64,
+}
+
+/// The full pairwise overlap matrix for a set of reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapMatrix {
+    /// Report tags, in input order.
+    pub tags: Vec<String>,
+    /// Cells for every unordered pair (i < j), row-major.
+    pub cells: Vec<OverlapCell>,
+}
+
+impl OverlapMatrix {
+    /// Compute overlaps for every unordered pair.
+    pub fn compute(reports: &[&Report]) -> OverlapMatrix {
+        assert!(reports.len() >= 2, "need at least two reports to intersect");
+        let tags: Vec<String> = reports.iter().map(|r| r.tag().to_string()).collect();
+        let blocks: Vec<BlockSet> = reports.iter().map(|r| r.blocks(24)).collect();
+        let mut cells = Vec::new();
+        for i in 0..reports.len() {
+            for j in i + 1..reports.len() {
+                let (a, b) = (reports[i], reports[j]);
+                let inter = a.addresses().intersect(b.addresses()).len();
+                let union = a.len() + b.len() - inter;
+                let smaller = a.len().min(b.len());
+                cells.push(OverlapCell {
+                    a: tags[i].clone(),
+                    b: tags[j].clone(),
+                    addresses: inter,
+                    blocks24: blocks[i].intersect_count(&blocks[j]),
+                    jaccard: if union == 0 { 0.0 } else { inter as f64 / union as f64 },
+                    containment: if smaller == 0 { 0.0 } else { inter as f64 / smaller as f64 },
+                });
+            }
+        }
+        OverlapMatrix { tags, cells }
+    }
+
+    /// The cell for a pair of tags, if present (order-insensitive).
+    pub fn cell(&self, a: &str, b: &str) -> Option<&OverlapCell> {
+        self.cells
+            .iter()
+            .find(|c| (c.a == a && c.b == b) || (c.a == b && c.b == a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipset::IpSet;
+    use crate::report::{Provenance, ReportClass};
+    use crate::time::{DateRange, Day};
+
+    fn report(tag: &str, addrs: &[u32]) -> Report {
+        Report::new(
+            tag,
+            ReportClass::Bots,
+            Provenance::Provided,
+            DateRange::new(Day(0), Day(13)),
+            IpSet::from_raw(addrs.to_vec()),
+        )
+    }
+
+    #[test]
+    fn pairwise_cells() {
+        let a = report("bot", &[1, 2, 3, 256 + 1]);
+        let b = report("spam", &[2, 3, 4]);
+        let c = report("phish", &[1 << 30]);
+        let m = OverlapMatrix::compute(&[&a, &b, &c]);
+        assert_eq!(m.tags, vec!["bot", "spam", "phish"]);
+        assert_eq!(m.cells.len(), 3);
+
+        let ab = m.cell("bot", "spam").expect("cell");
+        assert_eq!(ab.addresses, 2);
+        // Jaccard 2 / (4 + 3 - 2) = 0.4; containment 2/3.
+        assert!((ab.jaccard - 0.4).abs() < 1e-12);
+        assert!((ab.containment - 2.0 / 3.0).abs() < 1e-12);
+        // /24 blocks: bot occupies {0, 1}; spam occupies {0} → 1 shared.
+        assert_eq!(ab.blocks24, 1);
+
+        let ac = m.cell("phish", "bot").expect("order-insensitive");
+        assert_eq!(ac.addresses, 0);
+        assert_eq!(ac.jaccard, 0.0);
+        assert_eq!(ac.blocks24, 0);
+    }
+
+    #[test]
+    fn identical_reports_have_full_overlap() {
+        let a = report("x", &[10, 20, 30]);
+        let b = report("y", &[10, 20, 30]);
+        let m = OverlapMatrix::compute(&[&a, &b]);
+        let cell = &m.cells[0];
+        assert_eq!(cell.addresses, 3);
+        assert!((cell.jaccard - 1.0).abs() < 1e-12);
+        assert!((cell.containment - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_yields_zeroes() {
+        let a = report("x", &[1]);
+        let b = report("none", &[]);
+        let m = OverlapMatrix::compute(&[&a, &b]);
+        assert_eq!(m.cells[0].addresses, 0);
+        assert_eq!(m.cells[0].containment, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_report_rejected() {
+        let a = report("x", &[1]);
+        let _ = OverlapMatrix::compute(&[&a]);
+    }
+
+    #[test]
+    fn missing_cell_is_none() {
+        let a = report("x", &[1]);
+        let b = report("y", &[2]);
+        let m = OverlapMatrix::compute(&[&a, &b]);
+        assert!(m.cell("x", "z").is_none());
+    }
+}

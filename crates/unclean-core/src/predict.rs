@@ -1,0 +1,319 @@
+//! Temporal uncleanliness analysis (§5).
+//!
+//! The hypothesis (Eq. 5): given equal-cardinality past reports, there
+//! exists a prefix length n ∈ [16, 32] where
+//!
+//! ```text
+//! |C_n(R_unclean-past) ∩ C_n(R_unclean-present)| >
+//! |C_n(R_normal-past)  ∩ C_n(R_unclean-present)|
+//! ```
+//!
+//! with the decision rule that the past unclean report must beat the
+//! random draw in ≥95% of 1000 trials. [`TemporalAnalysis`] computes the
+//! observed intersection curve, the control ensemble, the per-n verdicts,
+//! the predictive band, and the crossover the paper highlights (random
+//! addresses win at short prefixes because of spatial uncleanliness —
+//! the control sample covers more blocks, so coarse blocks give it many
+//! imprecise successes).
+
+use crate::blocks::BlockSet;
+use crate::density::PrefixRange;
+use crate::ipset::IpSet;
+use crate::report::Report;
+use serde::{Deserialize, Serialize};
+use unclean_stats::{Ensemble, EnsembleBuilder, ExceedanceTest, SeedTree, Verdict};
+
+/// `|C_n(past) ∩ C_n(present)|` for each prefix length in `range`.
+pub fn prediction_curve(past: &IpSet, present: &IpSet, range: PrefixRange) -> Vec<u64> {
+    (range.lo..=range.hi)
+        .map(|n| BlockSet::of(past, n).intersect_count(&BlockSet::of(present, n)))
+        .collect()
+}
+
+/// Configuration for a temporal uncleanliness analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalConfig {
+    /// Prefix lengths analyzed (the paper: [16, 32]).
+    pub range: PrefixRange,
+    /// Control ensemble size (the paper: 1000).
+    pub trials: usize,
+    /// The "better predictor" threshold (the paper: 0.95).
+    pub threshold: f64,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> TemporalConfig {
+        TemporalConfig {
+            range: PrefixRange::PAPER,
+            trials: 1000,
+            threshold: 0.95,
+        }
+    }
+}
+
+/// Result of testing one past report's ability to predict one present
+/// report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemporalResult {
+    /// Tag of the past (predictor) report.
+    pub past_tag: String,
+    /// Tag of the present (predicted) report.
+    pub present_tag: String,
+    /// Cardinality of the past report (control samples match it).
+    pub past_cardinality: usize,
+    /// Prefix lengths (x-axis).
+    pub xs: Vec<u32>,
+    /// Observed `|C_n(past) ∩ C_n(present)|`.
+    pub observed: Vec<u64>,
+    /// Control intersections per prefix length.
+    pub control: Ensemble,
+    /// The exceedance test at the configured threshold.
+    pub test: ExceedanceTest,
+}
+
+impl TemporalResult {
+    /// Eq. 5: does *any* prefix length make the past unclean report a
+    /// better predictor than random?
+    pub fn hypothesis_holds(&self) -> bool {
+        self.test.any_better()
+    }
+
+    /// The contiguous band of prefix lengths where the past report wins
+    /// (the paper reports e.g. "between 20 and 25 bits" for bots).
+    pub fn predictive_band(&self) -> Option<(u32, u32)> {
+        self.test.better_band()
+    }
+
+    /// The shortest prefix length at which the past report wins. Below
+    /// this, spatial clustering hands the advantage to the control sample.
+    pub fn crossover(&self) -> Option<u32> {
+        self.test.better_xs().into_iter().min()
+    }
+
+    /// Per-prefix verdicts, aligned with `xs`.
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.test.verdicts
+    }
+}
+
+/// The temporal uncleanliness analysis driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TemporalAnalysis {
+    /// Analysis configuration.
+    pub config: TemporalConfig,
+}
+
+impl TemporalAnalysis {
+    /// Driver with the paper's defaults (1000 trials, 95%, n ∈ [16, 32]).
+    pub fn paper() -> TemporalAnalysis {
+        TemporalAnalysis { config: TemporalConfig::default() }
+    }
+
+    /// Driver with a custom configuration.
+    pub fn with_config(config: TemporalConfig) -> TemporalAnalysis {
+        TemporalAnalysis { config }
+    }
+
+    /// Test whether `past` predicts `present` better than random samples
+    /// of `control` with `|past|` addresses.
+    pub fn run(
+        &self,
+        past: &Report,
+        present: &Report,
+        control: &IpSet,
+        seeds: &SeedTree,
+    ) -> TemporalResult {
+        let cfg = &self.config;
+        let k = past.len();
+        assert!(k > 0, "cannot analyze an empty past report");
+        assert!(!present.is_empty(), "cannot analyze an empty present report");
+        let xs = cfg.range.xs();
+        let observed = prediction_curve(past.addresses(), present.addresses(), cfg.range);
+
+        // Precompute the present block sets once; each trial only has to
+        // block-ify its own sample.
+        let present_blocks: Vec<BlockSet> = (cfg.range.lo..=cfg.range.hi)
+            .map(|n| BlockSet::of(present.addresses(), n))
+            .collect();
+        let range = cfg.range;
+        let ensemble = EnsembleBuilder::new(xs.clone(), cfg.trials).run(
+            &seeds.child("temporal").child(past.tag()).child(present.tag()),
+            move |_idx, rng, _xs| {
+                let sample = control
+                    .sample(rng, k)
+                    .expect("control outnumbers any past report");
+                (range.lo..=range.hi)
+                    .zip(&present_blocks)
+                    .map(|(n, pb)| BlockSet::of(&sample, n).intersect_count(pb) as f64)
+                    .collect()
+            },
+        );
+
+        let observed_f: Vec<f64> = observed.iter().map(|&v| v as f64).collect();
+        let test = ExceedanceTest::run(&ensemble, &observed_f, cfg.threshold);
+        TemporalResult {
+            past_tag: past.tag().to_string(),
+            present_tag: present.tag().to_string(),
+            past_cardinality: k,
+            xs,
+            observed,
+            control: ensemble,
+            test,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Provenance, Report, ReportClass};
+    use crate::time::{DateRange, Day};
+
+    fn mk_report(tag: &str, addrs: Vec<u32>) -> Report {
+        Report::new(
+            tag,
+            ReportClass::Bots,
+            Provenance::Provided,
+            DateRange::new(Day(0), Day(13)),
+            IpSet::from_raw(addrs),
+        )
+    }
+
+    fn addr(s8: u32, b2: u32, b3: u32, b4: u32) -> u32 {
+        (s8 << 24) | (b2 << 16) | (b3 << 8) | b4
+    }
+
+    /// Control: 50k hosts spread across /16s in 4.0.0.0/8.
+    fn control() -> IpSet {
+        let mut raw = Vec::new();
+        for i in 0..50_000u32 {
+            raw.push(addr(4, i % 200, i / 200 % 250, i / 50_000 + 7));
+        }
+        IpSet::from_raw(raw)
+    }
+
+    /// "Unclean networks": /24s 9.x.y for small x, y.
+    fn unclean_past() -> Report {
+        let mut raw = Vec::new();
+        for net in 0..20u32 {
+            for host in 0..10u32 {
+                raw.push(addr(9, net, net, host));
+            }
+        }
+        mk_report("bot-test", raw)
+    }
+
+    /// Present report: different hosts in the SAME /24s plus noise blocks.
+    fn unclean_present() -> Report {
+        let mut raw = Vec::new();
+        for net in 0..20u32 {
+            for host in 100..130u32 {
+                raw.push(addr(9, net, net, host));
+            }
+        }
+        // Noise elsewhere in address space.
+        for i in 0..400u32 {
+            raw.push(addr(60, i % 250, (i * 7) % 250, 9));
+        }
+        mk_report("bot", raw)
+    }
+
+    #[test]
+    fn prediction_curve_counts_shared_blocks() {
+        let past = IpSet::from_raw(vec![addr(9, 1, 1, 5), addr(9, 2, 2, 5)]);
+        let present = IpSet::from_raw(vec![addr(9, 1, 1, 200), addr(10, 0, 0, 1)]);
+        let curve = prediction_curve(&past, &present, PrefixRange::new(24, 32));
+        assert_eq!(curve[0], 1); // shares 9.1.1/24
+        assert_eq!(curve[8], 0); // no exact /32 match
+    }
+
+    #[test]
+    fn prediction_curve_is_self_consistent_at_32() {
+        let past = IpSet::from_raw(vec![1, 2, 3]);
+        let curve = prediction_curve(&past, &past, PrefixRange::new(32, 32));
+        assert_eq!(curve, vec![3]);
+    }
+
+    #[test]
+    fn unclean_past_predicts_unclean_present() {
+        let analysis = TemporalAnalysis::with_config(TemporalConfig {
+            trials: 60,
+            ..TemporalConfig::default()
+        });
+        let res = analysis.run(&unclean_past(), &unclean_present(), &control(), &SeedTree::new(1));
+        assert!(res.hypothesis_holds(), "verdicts: {:?}", res.verdicts());
+        let band = res.predictive_band().expect("band exists");
+        assert!(band.0 >= 16 && band.1 <= 32);
+        // The /24 blocks coincide exactly, so 24 must be inside the band.
+        assert!(band.0 <= 24 && 24 <= band.1, "band {band:?} should include 24");
+        assert_eq!(res.past_tag, "bot-test");
+        assert_eq!(res.present_tag, "bot");
+    }
+
+    #[test]
+    fn random_past_does_not_predict() {
+        // A past report drawn from the control population itself must not
+        // be a "better" predictor.
+        let c = control();
+        let mut rng = SeedTree::new(2).stream("r");
+        let sample = c.sample(&mut rng, 200).expect("ok");
+        let fake_past = mk_report("random", sample.as_raw().to_vec());
+        let analysis = TemporalAnalysis::with_config(TemporalConfig {
+            trials: 60,
+            ..TemporalConfig::default()
+        });
+        let res = analysis.run(&fake_past, &unclean_present(), &c, &SeedTree::new(3));
+        // "Better in ≥95% of trials" should fail essentially everywhere.
+        let better = res.test.better_xs();
+        assert!(
+            better.len() <= 1,
+            "random past should rarely if ever win: {better:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_present_is_equally_unpredictable() {
+        // Present activity in blocks the past report never touched: the
+        // observed intersection is 0 everywhere, so the past report can
+        // never be better.
+        let present = mk_report(
+            "phish",
+            (0..300u32).map(|i| addr(77, i % 200, i % 250, 1)).collect(),
+        );
+        let analysis = TemporalAnalysis::with_config(TemporalConfig {
+            trials: 40,
+            ..TemporalConfig::default()
+        });
+        let res = analysis.run(&unclean_past(), &present, &control(), &SeedTree::new(4));
+        assert!(!res.hypothesis_holds());
+        assert!(res.observed.iter().all(|&v| v == 0));
+        assert!(res.crossover().is_none());
+        assert!(res.predictive_band().is_none());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let analysis = TemporalAnalysis::with_config(TemporalConfig {
+            trials: 12,
+            ..TemporalConfig::default()
+        });
+        let a = analysis.run(&unclean_past(), &unclean_present(), &control(), &SeedTree::new(9));
+        let b = analysis.run(&unclean_past(), &unclean_present(), &control(), &SeedTree::new(9));
+        assert_eq!(a.control, b.control);
+        assert_eq!(a.test.verdicts, b.test.verdicts);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty past report")]
+    fn empty_past_panics() {
+        let empty = mk_report("none", vec![]);
+        TemporalAnalysis::paper().run(&empty, &unclean_present(), &control(), &SeedTree::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty present report")]
+    fn empty_present_panics() {
+        let empty = mk_report("none", vec![]);
+        TemporalAnalysis::paper().run(&unclean_past(), &empty, &control(), &SeedTree::new(1));
+    }
+}

@@ -1,0 +1,373 @@
+//! Reports: tagged, classed, dated sets of IP addresses.
+//!
+//! §3.1: *"We call these sources reports, each of which consists of a set
+//! of IP addresses describing a particular phenomenon over some period.
+//! Reports differ by the class of data reported, the period covered by the
+//! report, and the method used to generate that data."* Reports are either
+//! **provided** (from external parties) or **observed** (generated from the
+//! observed network's own traffic logs).
+
+use crate::blocks::{BlockCounts, BlockSet};
+use crate::cidr::Cidr;
+use crate::error::Error;
+use crate::ip::Ip;
+use crate::ipset::IpSet;
+use crate::time::DateRange;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of unclean phenomenon a report describes (§3.1), plus the two
+/// auxiliary classes used in the analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReportClass {
+    /// Hosts running bot software or talking to a C&C host.
+    Bots,
+    /// Hosts serving phishing sites.
+    Phishing,
+    /// Hosts scanning the observed network.
+    Scanning,
+    /// Hosts spamming the observed network.
+    Spamming,
+    /// The control population (Table 1's `control`).
+    Control,
+    /// Derived/special reports (Table 2's `unclean` union and the
+    /// candidate partition).
+    Special,
+}
+
+impl ReportClass {
+    /// Whether this class counts as *unclean* ground truth.
+    pub fn is_unclean(&self) -> bool {
+        matches!(
+            self,
+            ReportClass::Bots | ReportClass::Phishing | ReportClass::Scanning | ReportClass::Spamming
+        )
+    }
+}
+
+impl fmt::Display for ReportClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReportClass::Bots => "Bots",
+            ReportClass::Phishing => "Phishing",
+            ReportClass::Scanning => "Scanning",
+            ReportClass::Spamming => "Spam",
+            ReportClass::Control => "Control",
+            ReportClass::Special => "Special",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a report came from (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Collected from an external party.
+    Provided,
+    /// Generated from the observed network's traffic logs.
+    Observed,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Provenance::Provided => "Provided",
+            Provenance::Observed => "Observed",
+        })
+    }
+}
+
+/// A report `R_tag`: a set of addresses describing one phenomenon over one
+/// period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    tag: String,
+    class: ReportClass,
+    provenance: Provenance,
+    period: DateRange,
+    addresses: IpSet,
+}
+
+impl Report {
+    /// Assemble a report.
+    pub fn new(
+        tag: impl Into<String>,
+        class: ReportClass,
+        provenance: Provenance,
+        period: DateRange,
+        addresses: IpSet,
+    ) -> Report {
+        Report {
+            tag: tag.into(),
+            class,
+            provenance,
+            period,
+            addresses,
+        }
+    }
+
+    /// The report tag (the subscript in the paper's `R_tag` notation).
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// The data class.
+    pub fn class(&self) -> ReportClass {
+        self.class
+    }
+
+    /// Provided or observed.
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// Validity period.
+    pub fn period(&self) -> DateRange {
+        self.period
+    }
+
+    /// The address set.
+    pub fn addresses(&self) -> &IpSet {
+        &self.addresses
+    }
+
+    /// `|R|` — report cardinality.
+    pub fn len(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// Whether the report holds no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+
+    /// §3.2's analysis filter: drop protocol-reserved addresses and
+    /// addresses inside the observed network. Returns a new report with the
+    /// same metadata and `-filtered` appended to the tag if anything was
+    /// removed.
+    pub fn filter_for_analysis(&self, observed_network: &[Cidr]) -> Report {
+        let filtered = self.addresses.filter(|ip| {
+            !ip.is_reserved() && !observed_network.iter().any(|c| c.contains(ip))
+        });
+        let tag = if filtered.len() == self.addresses.len() {
+            self.tag.clone()
+        } else {
+            format!("{}-filtered", self.tag)
+        };
+        Report {
+            tag,
+            class: self.class,
+            provenance: self.provenance,
+            period: self.period,
+            addresses: filtered,
+        }
+    }
+
+    /// Union with another report (Table 2's `R_unclean`, "the union of the
+    /// four unclean reports, note that there is overlap"). The result is
+    /// `Special`-classed and spans both periods.
+    pub fn union(&self, other: &Report, tag: impl Into<String>) -> Report {
+        let period = DateRange::new(
+            self.period.start.min(other.period.start),
+            self.period.end.max(other.period.end),
+        );
+        Report {
+            tag: tag.into(),
+            class: ReportClass::Special,
+            provenance: Provenance::Provided,
+            period,
+            addresses: self.addresses.union(&other.addresses),
+        }
+    }
+
+    /// `C_n(R)` as a materialized block set.
+    pub fn blocks(&self, n: u8) -> BlockSet {
+        BlockSet::of(&self.addresses, n)
+    }
+
+    /// Distinct-block counts for every prefix length.
+    pub fn block_counts(&self) -> BlockCounts {
+        BlockCounts::of(&self.addresses)
+    }
+
+    /// A random equal-metadata sub-report of `k` addresses (for building
+    /// test reports like the paper's 2302-address `phish` sub-report).
+    pub fn sample(
+        &self,
+        rng: &mut impl rand::RngCore,
+        k: usize,
+        tag: impl Into<String>,
+    ) -> Result<Report, Error> {
+        Ok(Report {
+            tag: tag.into(),
+            class: self.class,
+            provenance: self.provenance,
+            period: self.period,
+            addresses: self.addresses.sample(rng, k)?,
+        })
+    }
+
+    /// Membership test for one address.
+    pub fn contains(&self, ip: Ip) -> bool {
+        self.addresses.contains(ip)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R_{} [{} | {} | {} | {} addresses]",
+            self.tag,
+            self.provenance,
+            self.class,
+            self.period,
+            self.len()
+        )
+    }
+}
+
+/// Union of many unclean reports into one `Special` report — Table 2's
+/// `R_unclean`. Panics on an empty input slice.
+pub fn union_reports(reports: &[&Report], tag: impl Into<String>) -> Report {
+    assert!(!reports.is_empty(), "cannot union zero reports");
+    let mut acc = reports[0].clone();
+    for r in &reports[1..] {
+        acc = acc.union(r, "tmp");
+    }
+    Report {
+        tag: tag.into(),
+        ..acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Day;
+    use unclean_stats::SeedTree;
+
+    fn period() -> DateRange {
+        DateRange::new(
+            "2006-10-01".parse().expect("ok"),
+            "2006-10-14".parse().expect("ok"),
+        )
+    }
+
+    fn report(tag: &str, addrs: &[&str]) -> Report {
+        Report::new(
+            tag,
+            ReportClass::Bots,
+            Provenance::Provided,
+            period(),
+            IpSet::from_ips(addrs.iter().map(|s| s.parse::<Ip>().expect("valid"))),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let r = report("bot", &["8.8.8.8", "9.9.9.9"]);
+        assert_eq!(r.tag(), "bot");
+        assert_eq!(r.class(), ReportClass::Bots);
+        assert_eq!(r.provenance(), Provenance::Provided);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!(r.contains("8.8.8.8".parse().expect("ok")));
+        assert_eq!(r.period().len_days(), 14);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let r = report("bot", &["8.8.8.8"]);
+        let s = r.to_string();
+        assert!(s.starts_with("R_bot"), "{s}");
+        assert!(s.contains("Provided"), "{s}");
+        assert!(s.contains("1 addresses"), "{s}");
+    }
+
+    #[test]
+    fn class_uncleanliness() {
+        assert!(ReportClass::Bots.is_unclean());
+        assert!(ReportClass::Phishing.is_unclean());
+        assert!(ReportClass::Scanning.is_unclean());
+        assert!(ReportClass::Spamming.is_unclean());
+        assert!(!ReportClass::Control.is_unclean());
+        assert!(!ReportClass::Special.is_unclean());
+    }
+
+    #[test]
+    fn filter_removes_reserved_and_observed() {
+        let r = report(
+            "bot",
+            &["8.8.8.8", "10.0.0.1", "192.168.1.1", "66.35.250.150", "66.35.251.1"],
+        );
+        let observed = vec!["66.35.250.0/24".parse::<Cidr>().expect("ok")];
+        let f = r.filter_for_analysis(&observed);
+        assert_eq!(f.len(), 2); // 8.8.8.8 and 66.35.251.1 survive
+        assert_eq!(f.tag(), "bot-filtered");
+        assert!(!f.contains("10.0.0.1".parse().expect("ok")));
+        assert!(!f.contains("66.35.250.150".parse().expect("ok")));
+        assert!(f.contains("66.35.251.1".parse().expect("ok")));
+        // No-op filtering keeps the tag.
+        let clean = report("bot", &["8.8.8.8"]);
+        assert_eq!(clean.filter_for_analysis(&observed).tag(), "bot");
+    }
+
+    #[test]
+    fn union_merges_addresses_and_periods() {
+        let a = Report::new(
+            "a",
+            ReportClass::Bots,
+            Provenance::Provided,
+            DateRange::new(Day(0), Day(10)),
+            IpSet::from_raw(vec![1, 2]),
+        );
+        let b = Report::new(
+            "b",
+            ReportClass::Spamming,
+            Provenance::Observed,
+            DateRange::new(Day(5), Day(20)),
+            IpSet::from_raw(vec![2, 3]),
+        );
+        let u = a.union(&b, "unclean");
+        assert_eq!(u.tag(), "unclean");
+        assert_eq!(u.class(), ReportClass::Special);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.period(), DateRange::new(Day(0), Day(20)));
+    }
+
+    #[test]
+    fn union_reports_many() {
+        let a = report("a", &["1.1.1.1"]);
+        let b = report("b", &["2.2.2.2"]);
+        let c = report("c", &["1.1.1.1", "3.3.3.3"]);
+        let u = union_reports(&[&a, &b, &c], "unclean");
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.tag(), "unclean");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reports")]
+    fn union_reports_empty_panics() {
+        let _ = union_reports(&[], "x");
+    }
+
+    #[test]
+    fn blocks_and_counts_agree() {
+        let r = report("bot", &["10.1.2.3", "10.1.2.4", "10.2.0.1"]);
+        assert_eq!(r.blocks(24).len() as u64, r.block_counts().at(24));
+        assert_eq!(r.blocks(24).len(), 2);
+    }
+
+    #[test]
+    fn sample_preserves_metadata() {
+        let r = report("phish", &["1.1.1.1", "2.2.2.2", "3.3.3.3"]);
+        let mut rng = SeedTree::new(4).stream("s");
+        let sub = r.sample(&mut rng, 2, "phish-test").expect("k <= n");
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.tag(), "phish-test");
+        assert_eq!(sub.class(), ReportClass::Bots);
+        assert!(sub.addresses().iter().all(|ip| r.contains(ip)));
+        assert!(r.sample(&mut rng, 99, "x").is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Multidimensional uncleanliness scoring — the paper's stated next step
+//! (§7): *"a multidimensional uncleanliness metric to measure the
+//! aggregate probability that an address is occupied."*
+//!
+//! The score combines the per-network evidence from all four indicator
+//! classes. Because §5.2 shows phishing is a *different dimension* from
+//! the bot/spam/scan cluster (bot history predicts spam and scanning but
+//! not phishing), the default weighting keeps phishing's contribution
+//! separate and small; callers studying hosting abuse can invert that.
+//!
+//! Counts enter through `log1p` so that one prolific network cannot drown
+//! the ranking by a single indicator, and each class is weighted before
+//! summation. The result is a ranked list of networks with per-class
+//! evidence attached.
+
+use crate::cidr::Cidr;
+use crate::ip::Ip;
+use crate::report::{Report, ReportClass};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-class weights for the combined score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreWeights {
+    /// Weight for bot-report members.
+    pub bots: f64,
+    /// Weight for spam-report members.
+    pub spamming: f64,
+    /// Weight for scan-report members.
+    pub scanning: f64,
+    /// Weight for phishing-report members.
+    pub phishing: f64,
+}
+
+impl Default for ScoreWeights {
+    fn default() -> ScoreWeights {
+        // Bots are the direct compromise signal; spam/scan are correlated
+        // uses of the same machines; phishing is its own dimension.
+        ScoreWeights { bots: 1.0, spamming: 0.8, scanning: 0.8, phishing: 0.3 }
+    }
+}
+
+impl ScoreWeights {
+    /// The weight applied to a report class (Control/Special score 0).
+    pub fn for_class(&self, class: ReportClass) -> f64 {
+        match class {
+            ReportClass::Bots => self.bots,
+            ReportClass::Spamming => self.spamming,
+            ReportClass::Scanning => self.scanning,
+            ReportClass::Phishing => self.phishing,
+            ReportClass::Control | ReportClass::Special => 0.0,
+        }
+    }
+}
+
+/// Per-network indicator evidence and combined score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkScore {
+    /// The scored network block.
+    pub network: Cidr,
+    /// Combined weighted score.
+    pub score: f64,
+    /// Bot addresses observed in the network.
+    pub bots: u32,
+    /// Spamming addresses observed.
+    pub spamming: u32,
+    /// Scanning addresses observed.
+    pub scanning: u32,
+    /// Phishing addresses observed.
+    pub phishing: u32,
+}
+
+impl NetworkScore {
+    /// Total indicator addresses across classes (with multiplicity across
+    /// classes — one host can be bot *and* spammer).
+    pub fn total_evidence(&self) -> u32 {
+        self.bots + self.spamming + self.scanning + self.phishing
+    }
+}
+
+/// The scorer: aggregation prefix length plus class weights.
+#[derive(Debug, Clone, Copy)]
+pub struct UncleanlinessScorer {
+    /// Network granularity (the paper's network unit; 16 for /16s).
+    pub prefix_len: u8,
+    /// Class weights.
+    pub weights: ScoreWeights,
+}
+
+impl Default for UncleanlinessScorer {
+    fn default() -> UncleanlinessScorer {
+        UncleanlinessScorer { prefix_len: 16, weights: ScoreWeights::default() }
+    }
+}
+
+impl UncleanlinessScorer {
+    /// Score every network that appears in at least one report, ranked
+    /// most-unclean first (ties broken by network for determinism).
+    ///
+    /// Pass each class's report once; reports of class Control/Special are
+    /// ignored (weight 0). Scores are `Σ_class w_class · ln(1 + count)`.
+    pub fn score(&self, reports: &[&Report]) -> Vec<NetworkScore> {
+        assert!(self.prefix_len <= 32, "prefix length out of range");
+        let mut acc: HashMap<u32, NetworkScore> = HashMap::new();
+        let shift = 32 - self.prefix_len as u32;
+        for report in reports {
+            let class = report.class();
+            if self.weights.for_class(class) == 0.0 {
+                continue;
+            }
+            for ip in report.addresses().iter() {
+                let key = if self.prefix_len == 0 { 0 } else { ip.raw() >> shift };
+                let entry = acc.entry(key).or_insert_with(|| NetworkScore {
+                    network: Cidr::of(ip, self.prefix_len),
+                    score: 0.0,
+                    bots: 0,
+                    spamming: 0,
+                    scanning: 0,
+                    phishing: 0,
+                });
+                match class {
+                    ReportClass::Bots => entry.bots += 1,
+                    ReportClass::Spamming => entry.spamming += 1,
+                    ReportClass::Scanning => entry.scanning += 1,
+                    ReportClass::Phishing => entry.phishing += 1,
+                    _ => unreachable!("zero-weight classes skipped above"),
+                }
+            }
+        }
+        let mut out: Vec<NetworkScore> = acc
+            .into_values()
+            .map(|mut ns| {
+                ns.score = self.weights.bots * f64::ln(1.0 + ns.bots as f64)
+                    + self.weights.spamming * f64::ln(1.0 + ns.spamming as f64)
+                    + self.weights.scanning * f64::ln(1.0 + ns.scanning as f64)
+                    + self.weights.phishing * f64::ln(1.0 + ns.phishing as f64);
+                ns
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.network.cmp(&b.network))
+        });
+        out
+    }
+
+    /// Score of one address's network, if any report implicates it.
+    pub fn score_of(&self, reports: &[&Report], ip: Ip) -> Option<f64> {
+        let target = Cidr::of(ip, self.prefix_len);
+        self.score(reports)
+            .into_iter()
+            .find(|ns| ns.network == target)
+            .map(|ns| ns.score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipset::IpSet;
+    use crate::report::Provenance;
+    use crate::time::{DateRange, Day};
+
+    fn report(class: ReportClass, addrs: &[u32]) -> Report {
+        Report::new(
+            format!("{class}"),
+            class,
+            Provenance::Provided,
+            DateRange::new(Day(0), Day(13)),
+            IpSet::from_raw(addrs.to_vec()),
+        )
+    }
+
+    fn addr(a: u32, b: u32, c: u32, d: u32) -> u32 {
+        (a << 24) | (b << 16) | (c << 8) | d
+    }
+
+    #[test]
+    fn ranks_multi_indicator_networks_first() {
+        // Network 9.1/16 shows bots + spam; 9.2/16 only spam; 9.3/16 only
+        // phishing (low weight).
+        let bots = report(ReportClass::Bots, &[addr(9, 1, 0, 1), addr(9, 1, 0, 2)]);
+        let spam = report(ReportClass::Spamming, &[addr(9, 1, 0, 1), addr(9, 2, 0, 1)]);
+        let phish = report(ReportClass::Phishing, &[addr(9, 3, 0, 1), addr(9, 3, 0, 2)]);
+        let scores = UncleanlinessScorer::default().score(&[&bots, &spam, &phish]);
+        assert_eq!(scores.len(), 3);
+        assert_eq!(scores[0].network.to_string(), "9.1.0.0/16");
+        assert!(scores[0].score > scores[1].score);
+        assert_eq!(scores[0].bots, 2);
+        assert_eq!(scores[0].spamming, 1);
+        assert_eq!(scores[0].total_evidence(), 3);
+        // Phishing-only network ranks last under default weights.
+        assert_eq!(scores[2].network.to_string(), "9.3.0.0/16");
+    }
+
+    #[test]
+    fn log_damping_prevents_single_indicator_domination() {
+        // 200 scanners in one network vs 5 bots + 5 spammers in another:
+        // the multi-indicator network should win despite fewer addresses.
+        let scan: Vec<u32> = (0..200).map(|i| addr(9, 9, i / 200, i % 200)).collect();
+        let scan = report(ReportClass::Scanning, &scan);
+        let bots = report(ReportClass::Bots, &[addr(9, 8, 0, 1), addr(9, 8, 0, 2), addr(9, 8, 0, 3), addr(9, 8, 0, 4), addr(9, 8, 0, 5)]);
+        let spam = report(ReportClass::Spamming, &[addr(9, 8, 1, 1), addr(9, 8, 1, 2), addr(9, 8, 1, 3), addr(9, 8, 1, 4), addr(9, 8, 1, 5)]);
+        let scores = UncleanlinessScorer::default().score(&[&scan, &bots, &spam]);
+        // ln(201)*0.8 = 4.24 vs ln(6)*1.0 + ln(6)*0.8 = 3.22 — scanning
+        // still wins on volume, but within the same order of magnitude.
+        let top = &scores[0];
+        let second = &scores[1];
+        assert!(top.score / second.score < 2.0, "no runaway domination");
+    }
+
+    #[test]
+    fn control_reports_are_ignored() {
+        let control = report(ReportClass::Control, &[addr(9, 1, 0, 1)]);
+        let scores = UncleanlinessScorer::default().score(&[&control]);
+        assert!(scores.is_empty());
+    }
+
+    #[test]
+    fn prefix_granularity() {
+        let bots = report(ReportClass::Bots, &[addr(9, 1, 1, 1), addr(9, 1, 2, 1)]);
+        let at16 = UncleanlinessScorer { prefix_len: 16, ..Default::default() }.score(&[&bots]);
+        let at24 = UncleanlinessScorer { prefix_len: 24, ..Default::default() }.score(&[&bots]);
+        assert_eq!(at16.len(), 1);
+        assert_eq!(at24.len(), 2);
+        assert_eq!(at16[0].bots, 2);
+    }
+
+    #[test]
+    fn score_of_single_network() {
+        let bots = report(ReportClass::Bots, &[addr(9, 1, 0, 1)]);
+        let scorer = UncleanlinessScorer::default();
+        let s = scorer.score_of(&[&bots], Ip(addr(9, 1, 200, 200)));
+        assert!(s.expect("network is implicated") > 0.0);
+        assert!(scorer.score_of(&[&bots], Ip(addr(10, 0, 0, 1))).is_none());
+    }
+
+    #[test]
+    fn deterministic_ordering_with_ties() {
+        let a = report(ReportClass::Bots, &[addr(9, 1, 0, 1)]);
+        let b = report(ReportClass::Bots, &[addr(9, 2, 0, 1)]);
+        let s1 = UncleanlinessScorer::default().score(&[&a, &b]);
+        let s2 = UncleanlinessScorer::default().score(&[&a, &b]);
+        assert_eq!(s1, s2);
+        // Equal scores tie-break by network order.
+        assert_eq!(s1[0].network.to_string(), "9.1.0.0/16");
+    }
+
+    #[test]
+    fn custom_weights_flip_the_ranking() {
+        let bots = report(ReportClass::Bots, &[addr(9, 1, 0, 1)]);
+        let phish = report(ReportClass::Phishing, &[addr(9, 3, 0, 1)]);
+        let hosting_focused = UncleanlinessScorer {
+            weights: ScoreWeights { bots: 0.2, spamming: 0.1, scanning: 0.1, phishing: 1.0 },
+            ..Default::default()
+        };
+        let scores = hosting_focused.score(&[&bots, &phish]);
+        assert_eq!(scores[0].network.to_string(), "9.3.0.0/16");
+    }
+}

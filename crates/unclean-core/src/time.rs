@@ -1,0 +1,275 @@
+//! Calendar days and report periods.
+//!
+//! Reports carry validity periods ("2006/10/01–2006/10/14", Table 1) and
+//! the temporal analysis reasons about gaps between them ("a five month gap
+//! in time"). A [`Day`] is a day count relative to 2006-01-01 (the epoch of
+//! every scenario in this repository), convertible to and from civil dates
+//! with the standard days-from-civil algorithm — no external date crate
+//! needed.
+
+use crate::error::Error;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+use std::str::FromStr;
+
+/// Days since 2006-01-01 (which is day 0). May be negative.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Day(pub i32);
+
+/// 2006-01-01 as a count of days since the civil epoch 1970-01-01.
+const EPOCH_OFFSET: i64 = 13149;
+
+/// Days from civil date (Howard Hinnant's algorithm), relative to 1970-01-01.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let mp = ((m + 9) % 12) as u64;
+    let doy = (153 * mp + 2) / 5 + d as u64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Civil date from days since 1970-01-01 (inverse of `days_from_civil`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl Day {
+    /// From a civil date. Validates month/day ranges (including leap years).
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Day, Error> {
+        let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+        let dim = match month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 if leap => 29,
+            2 => 28,
+            _ => return Err(Error::InvalidDate(format!("{year}-{month:02}-{day:02}"))),
+        };
+        if day == 0 || day > dim {
+            return Err(Error::InvalidDate(format!("{year}-{month:02}-{day:02}")));
+        }
+        Ok(Day((days_from_civil(year as i64, month, day) - EPOCH_OFFSET) as i32))
+    }
+
+    /// To `(year, month, day)`.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        let (y, m, d) = civil_from_days(self.0 as i64 + EPOCH_OFFSET);
+        (y as i32, m, d)
+    }
+
+    /// The scenario epoch, 2006-01-01.
+    pub const EPOCH: Day = Day(0);
+}
+
+impl Add<i32> for Day {
+    type Output = Day;
+    fn add(self, rhs: i32) -> Day {
+        Day(self.0 + rhs)
+    }
+}
+
+impl Sub<i32> for Day {
+    type Output = Day;
+    fn sub(self, rhs: i32) -> Day {
+        Day(self.0 - rhs)
+    }
+}
+
+impl Sub<Day> for Day {
+    type Output = i32;
+    fn sub(self, rhs: Day) -> i32 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl FromStr for Day {
+    type Err = Error;
+
+    /// Parses `YYYY-MM-DD` or the paper's `YYYY/MM/DD`.
+    fn from_str(s: &str) -> Result<Day, Error> {
+        let norm = s.replace('/', "-");
+        let mut it = norm.splitn(3, '-');
+        let err = || Error::InvalidDate(s.to_string());
+        let y: i32 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let m: u32 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let d: u32 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        Day::from_ymd(y, m, d)
+    }
+}
+
+/// An inclusive range of days (a report validity period).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DateRange {
+    /// First day covered.
+    pub start: Day,
+    /// Last day covered (inclusive).
+    pub end: Day,
+}
+
+impl DateRange {
+    /// A range; panics if `end < start`.
+    pub fn new(start: Day, end: Day) -> DateRange {
+        assert!(end >= start, "date range ends ({end}) before it starts ({start})");
+        DateRange { start, end }
+    }
+
+    /// A single-day range.
+    pub fn single(day: Day) -> DateRange {
+        DateRange { start: day, end: day }
+    }
+
+    /// Number of days covered (inclusive: a single day is length 1).
+    pub fn len_days(&self) -> u32 {
+        (self.end - self.start + 1) as u32
+    }
+
+    /// Whether `day` falls in the range.
+    pub fn contains(&self, day: Day) -> bool {
+        day >= self.start && day <= self.end
+    }
+
+    /// Iterate the covered days in order.
+    pub fn days(&self) -> impl Iterator<Item = Day> {
+        (self.start.0..=self.end.0).map(Day)
+    }
+
+    /// Whether two ranges overlap.
+    pub fn overlaps(&self, other: &DateRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+impl fmt::Display for DateRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start == self.end {
+            write!(f, "{}", self.start)
+        } else {
+            write!(f, "{}\u{2013}{}", self.start, self.end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_2006_01_01() {
+        assert_eq!(Day::EPOCH.ymd(), (2006, 1, 1));
+        assert_eq!(Day::EPOCH.to_string(), "2006-01-01");
+    }
+
+    #[test]
+    fn paper_dates_round_trip() {
+        for s in ["2006-10-01", "2006-10-14", "2006-05-10", "2006-09-25", "2006-11-01"] {
+            let d: Day = s.parse().expect("valid");
+            assert_eq!(d.to_string(), s);
+        }
+        // The paper's slash notation parses too.
+        let d: Day = "2006/10/01".parse().expect("valid");
+        assert_eq!(d.to_string(), "2006-10-01");
+    }
+
+    #[test]
+    fn known_day_numbers() {
+        assert_eq!("2006-01-02".parse::<Day>().expect("valid"), Day(1));
+        assert_eq!("2006-02-01".parse::<Day>().expect("valid"), Day(31));
+        assert_eq!("2007-01-01".parse::<Day>().expect("valid"), Day(365));
+        assert_eq!("2005-12-31".parse::<Day>().expect("valid"), Day(-1));
+        // 2006-10-01: Jan 31 + Feb 28 + Mar 31 + Apr 30 + May 31 + Jun 30 +
+        // Jul 31 + Aug 31 + Sep 30 = 273.
+        assert_eq!("2006-10-01".parse::<Day>().expect("valid"), Day(273));
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert!(Day::from_ymd(2008, 2, 29).is_ok());
+        assert!(Day::from_ymd(2006, 2, 29).is_err());
+        assert!(Day::from_ymd(2000, 2, 29).is_ok());
+        assert!(Day::from_ymd(1900, 2, 29).is_err());
+    }
+
+    #[test]
+    fn from_ymd_validates() {
+        assert!(Day::from_ymd(2006, 0, 1).is_err());
+        assert!(Day::from_ymd(2006, 13, 1).is_err());
+        assert!(Day::from_ymd(2006, 4, 31).is_err());
+        assert!(Day::from_ymd(2006, 1, 0).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "2006", "2006-10", "2006-10-01-02", "abcd-ef-gh"] {
+            assert!(s.parse::<Day>().is_err(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let d: Day = "2006-10-01".parse().expect("valid");
+        assert_eq!((d + 13).to_string(), "2006-10-14");
+        assert_eq!((d - 1).to_string(), "2006-09-30");
+        let five_months_earlier: Day = "2006-05-10".parse().expect("valid");
+        assert_eq!(d - five_months_earlier, 144);
+    }
+
+    #[test]
+    fn range_basics() {
+        let r = DateRange::new("2006-10-01".parse().expect("ok"), "2006-10-14".parse().expect("ok"));
+        assert_eq!(r.len_days(), 14);
+        assert!(r.contains("2006-10-07".parse().expect("ok")));
+        assert!(!r.contains("2006-10-15".parse().expect("ok")));
+        assert_eq!(r.days().count(), 14);
+        assert_eq!(r.to_string(), "2006-10-01\u{2013}2006-10-14");
+        let single = DateRange::single("2006-05-10".parse().expect("ok"));
+        assert_eq!(single.len_days(), 1);
+        assert_eq!(single.to_string(), "2006-05-10");
+    }
+
+    #[test]
+    fn range_overlap() {
+        let a = DateRange::new(Day(0), Day(10));
+        let b = DateRange::new(Day(10), Day(20));
+        let c = DateRange::new(Day(11), Day(20));
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "ends")]
+    fn inverted_range_panics() {
+        let _ = DateRange::new(Day(5), Day(4));
+    }
+
+    #[test]
+    fn civil_round_trip_sweep() {
+        // Round-trip every day across several years including leap years.
+        for i in -800..1500 {
+            let d = Day(i);
+            let (y, m, dd) = d.ymd();
+            assert_eq!(Day::from_ymd(y, m, dd).expect("valid"), d);
+        }
+    }
+}

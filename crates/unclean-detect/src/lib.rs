@@ -1,0 +1,31 @@
+//! # unclean-detect
+//!
+//! Report generators for the uncleanliness reproduction: the detectors and
+//! monitors whose outputs are the paper's Table 1 reports.
+//!
+//! * [`scan`] — behavioural scan detection: the deployed hourly fan-out
+//!   detector (with the paper's documented slow-scan blind spot) plus a
+//!   TRW sequential-hypothesis-testing baseline;
+//! * [`spam`] — behavioural SMTP-burst detection;
+//! * [`botmonitor`] — partial-visibility C&C channel monitoring (the
+//!   "provided" bot report) and single-channel roster snapshots (the
+//!   bot-test report);
+//! * [`phishlist`] — the provided phishing list;
+//! * [`builder`] — the full pipeline: scenario → flows → detectors →
+//!   the paper's report inventory, candidate collection, and Figure 1's
+//!   daily scanner series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod botmonitor;
+pub mod builder;
+pub mod phishlist;
+pub mod scan;
+pub mod spam;
+
+pub use botmonitor::{BotMonitor, MonitorConfig};
+pub use builder::{build_candidates, build_reports, daily_scanners, PipelineConfig, ReportSet};
+pub use phishlist::phish_report;
+pub use scan::{FanoutConfig, HourlyFanoutDetector, TrwConfig, TrwDetector};
+pub use spam::{SpamConfig, SpamDetector};

@@ -1,0 +1,65 @@
+//! The phishing report list.
+//!
+//! The paper's phishing data is a *provided* list in the style of
+//! CastleCops PIRT or a spam-trap feed (§3.1): sites get reported by users
+//! and accumulate on a public list with some delay and some misses. The
+//! netmodel already simulates the reporting process per site; this module
+//! materializes the list over a window as a [`Report`].
+
+use serde::{Deserialize, Serialize};
+use unclean_core::{DateRange, IpSet, Provenance, Report, ReportClass};
+use unclean_netmodel::PhishSite;
+
+/// Phish-list configuration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhishListConfig {}
+
+/// Build the provided phishing report for a window: every address whose
+/// site was reported during the window.
+pub fn phish_report(sites: &[PhishSite], window: DateRange, tag: &str) -> Report {
+    let raw: Vec<u32> = sites
+        .iter()
+        .filter(|s| s.reported_in(&window))
+        .map(|s| s.addr)
+        .collect();
+    Report::new(
+        tag,
+        ReportClass::Phishing,
+        Provenance::Provided,
+        window,
+        IpSet::from_raw(raw),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unclean_core::Day;
+
+    fn site(addr: u32, reported: Option<i32>) -> PhishSite {
+        PhishSite { addr, start: 0, end: 200, reported }
+    }
+
+    #[test]
+    fn report_collects_window_reports() {
+        let sites = vec![
+            site(10, Some(5)),
+            site(11, Some(50)),
+            site(12, None),
+            site(10, Some(7)), // same address reported twice → dedup
+        ];
+        let r = phish_report(&sites, DateRange::new(Day(0), Day(20)), "phish");
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(unclean_core::Ip(10)));
+        assert_eq!(r.class(), ReportClass::Phishing);
+        assert_eq!(r.provenance(), Provenance::Provided);
+        assert_eq!(r.tag(), "phish");
+    }
+
+    #[test]
+    fn empty_window_empty_report() {
+        let sites = vec![site(10, Some(100))];
+        let r = phish_report(&sites, DateRange::new(Day(0), Day(20)), "phish");
+        assert!(r.is_empty());
+    }
+}

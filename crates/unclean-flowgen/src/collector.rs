@@ -1,0 +1,279 @@
+//! Flow collection and per-source aggregation.
+//!
+//! Border traffic at realistic scale is far too voluminous to retain, so —
+//! exactly like an operational SiLK/NetFlow pipeline — flows stream through
+//! aggregators:
+//!
+//! * [`CandidateCollector`] watches the /24s of an old bot report and
+//!   accumulates the per-source evidence §6.1 needs (any TCP record?
+//!   any payload-bearing record?) to build the candidate partition;
+//! * [`FlowStore`] retains raw flows matching a block filter, for
+//!   hand-examination (the paper's authors did the same to find the slow
+//!   scanners) and for tests.
+
+use crate::session::Flow;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use unclean_core::{BlockSet, Candidate, Day, Ip};
+
+/// Per-source evidence accumulated over an observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SrcEvidence {
+    /// Total flows seen.
+    pub flows: u32,
+    /// TCP flows seen (§6.1 requires at least one to be a candidate).
+    pub tcp_flows: u32,
+    /// Payload-bearing flows (§6.1's 36-byte + ACK test).
+    pub payload_flows: u32,
+    /// Ephemeral-to-ephemeral flows (suspicion signal).
+    pub probe_flows: u32,
+    /// First day seen (Day.0).
+    pub first_day: i32,
+    /// Last day seen (Day.0).
+    pub last_day: i32,
+}
+
+impl SrcEvidence {
+    fn observe(&mut self, flow: &Flow) {
+        let day = flow.day().0;
+        if self.flows == 0 {
+            self.first_day = day;
+            self.last_day = day;
+        } else {
+            self.first_day = self.first_day.min(day);
+            self.last_day = self.last_day.max(day);
+        }
+        self.flows += 1;
+        if flow.proto == crate::record::proto::TCP {
+            self.tcp_flows += 1;
+        }
+        if flow.payload_bearing() {
+            self.payload_flows += 1;
+        }
+        if flow.ephemeral_to_ephemeral() && !flow.payload_bearing() {
+            self.probe_flows += 1;
+        }
+    }
+}
+
+/// Streams flows and keeps evidence only for sources inside a block set
+/// (the candidate /24s).
+#[derive(Debug, Clone)]
+pub struct CandidateCollector {
+    blocks: BlockSet,
+    evidence: HashMap<u32, SrcEvidence>,
+}
+
+impl CandidateCollector {
+    /// Watch the given blocks (typically `C_24(R_bot-test)`).
+    pub fn new(blocks: BlockSet) -> CandidateCollector {
+        CandidateCollector { blocks, evidence: HashMap::new() }
+    }
+
+    /// The watched block set.
+    pub fn blocks(&self) -> &BlockSet {
+        &self.blocks
+    }
+
+    /// Feed one flow.
+    pub fn observe(&mut self, flow: &Flow) {
+        if self.blocks.contains(flow.src) {
+            self.evidence.entry(flow.src.raw()).or_default().observe(flow);
+        }
+    }
+
+    /// Number of distinct sources seen so far.
+    pub fn len(&self) -> usize {
+        self.evidence.len()
+    }
+
+    /// Whether nothing matched yet.
+    pub fn is_empty(&self) -> bool {
+        self.evidence.is_empty()
+    }
+
+    /// Evidence for one source.
+    pub fn evidence_for(&self, ip: Ip) -> Option<&SrcEvidence> {
+        self.evidence.get(&ip.raw())
+    }
+
+    /// Build the §6.1 candidate list: sources with at least one TCP record,
+    /// tagged with whether they ever exchanged payload. Sorted by address
+    /// for determinism.
+    pub fn candidates(&self) -> Vec<Candidate> {
+        let mut out: Vec<Candidate> = self
+            .evidence
+            .iter()
+            .filter(|(_, ev)| ev.tcp_flows > 0)
+            .map(|(&addr, ev)| Candidate {
+                ip: Ip(addr),
+                payload_bearing: ev.payload_flows > 0,
+            })
+            .collect();
+        out.sort_by_key(|c| c.ip);
+        out
+    }
+}
+
+/// Retains raw flows whose source matches a filter, bounded by a cap.
+#[derive(Debug, Clone)]
+pub struct FlowStore {
+    blocks: Option<BlockSet>,
+    cap: usize,
+    flows: Vec<Flow>,
+    dropped: u64,
+}
+
+impl FlowStore {
+    /// Retain flows from sources in `blocks` (or all flows when `None`),
+    /// keeping at most `cap` (further flows are counted, not stored).
+    pub fn new(blocks: Option<BlockSet>, cap: usize) -> FlowStore {
+        FlowStore { blocks, cap, flows: Vec::new(), dropped: 0 }
+    }
+
+    /// Feed one flow.
+    pub fn observe(&mut self, flow: &Flow) {
+        if let Some(b) = &self.blocks {
+            if !b.contains(flow.src) {
+                return;
+            }
+        }
+        if self.flows.len() < self.cap {
+            self.flows.push(*flow);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Stored flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Matching flows that exceeded the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Stored flows from one source.
+    pub fn flows_from(&self, src: Ip) -> Vec<&Flow> {
+        self.flows.iter().filter(|f| f.src == src).collect()
+    }
+
+    /// Stored flows on one day.
+    pub fn flows_on(&self, day: Day) -> Vec<&Flow> {
+        self.flows.iter().filter(|f| f.day() == day).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{proto, tcp_flags};
+    use unclean_core::IpSet;
+
+    fn flow(src: &str, payload: bool, day: i32) -> Flow {
+        Flow {
+            src: src.parse().expect("ok"),
+            dst: "30.0.0.1".parse().expect("ok"),
+            src_port: 40_000,
+            dst_port: if payload { 80 } else { 445 },
+            proto: proto::TCP,
+            packets: 5,
+            octets: if payload { 5 * 40 + 500 } else { 5 * 40 },
+            flags: if payload {
+                tcp_flags::SYN | tcp_flags::ACK | tcp_flags::PSH
+            } else {
+                tcp_flags::SYN
+            },
+            start_secs: day as i64 * 86_400 + 100,
+            duration_secs: 1,
+        }
+    }
+
+    fn watch(addrs: &[&str]) -> BlockSet {
+        BlockSet::of(
+            &IpSet::from_ips(addrs.iter().map(|s| s.parse::<Ip>().expect("ok"))),
+            24,
+        )
+    }
+
+    #[test]
+    fn collector_filters_by_block() {
+        let mut c = CandidateCollector::new(watch(&["9.1.1.5"]));
+        c.observe(&flow("9.1.1.200", true, 273)); // inside
+        c.observe(&flow("9.1.2.200", true, 273)); // outside
+        assert_eq!(c.len(), 1);
+        assert!(c.evidence_for("9.1.1.200".parse().expect("ok")).is_some());
+        assert!(c.evidence_for("9.1.2.200".parse().expect("ok")).is_none());
+    }
+
+    #[test]
+    fn evidence_accumulates() {
+        let mut c = CandidateCollector::new(watch(&["9.1.1.5"]));
+        let ip = "9.1.1.7";
+        c.observe(&flow(ip, false, 273));
+        c.observe(&flow(ip, false, 275));
+        c.observe(&flow(ip, true, 274));
+        let ev = c.evidence_for(ip.parse().expect("ok")).expect("seen");
+        assert_eq!(ev.flows, 3);
+        assert_eq!(ev.tcp_flows, 3);
+        assert_eq!(ev.payload_flows, 1);
+        assert_eq!(ev.first_day, 273);
+        assert_eq!(ev.last_day, 275);
+    }
+
+    #[test]
+    fn candidates_partition_inputs() {
+        let mut c = CandidateCollector::new(watch(&["9.1.1.5"]));
+        c.observe(&flow("9.1.1.10", true, 273));
+        c.observe(&flow("9.1.1.20", false, 273));
+        let cands = c.candidates();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].ip.to_string(), "9.1.1.10");
+        assert!(cands[0].payload_bearing);
+        assert!(!cands[1].payload_bearing);
+    }
+
+    #[test]
+    fn non_tcp_sources_are_not_candidates() {
+        let mut c = CandidateCollector::new(watch(&["9.1.1.5"]));
+        let mut f = flow("9.1.1.30", false, 273);
+        f.proto = proto::UDP;
+        c.observe(&f);
+        assert_eq!(c.len(), 1, "evidence retained");
+        assert!(c.candidates().is_empty(), "but no TCP record → not a candidate");
+    }
+
+    #[test]
+    fn probe_flows_counted() {
+        let mut c = CandidateCollector::new(watch(&["9.1.1.5"]));
+        let mut f = flow("9.1.1.40", false, 273);
+        f.dst_port = 44_123;
+        c.observe(&f);
+        let ev = c.evidence_for("9.1.1.40".parse().expect("ok")).expect("seen");
+        assert_eq!(ev.probe_flows, 1);
+    }
+
+    #[test]
+    fn store_caps_and_counts() {
+        let mut s = FlowStore::new(Some(watch(&["9.1.1.5"])), 2);
+        for i in 0..5 {
+            s.observe(&flow("9.1.1.9", false, 273 + i));
+        }
+        s.observe(&flow("8.0.0.1", false, 273)); // filtered out entirely
+        assert_eq!(s.flows().len(), 2);
+        assert_eq!(s.dropped(), 3);
+    }
+
+    #[test]
+    fn store_queries() {
+        let mut s = FlowStore::new(None, 100);
+        s.observe(&flow("9.1.1.9", false, 273));
+        s.observe(&flow("9.1.1.9", true, 274));
+        s.observe(&flow("9.2.2.2", true, 273));
+        assert_eq!(s.flows_from("9.1.1.9".parse().expect("ok")).len(), 2);
+        assert_eq!(s.flows_on(Day(273)).len(), 2);
+        assert_eq!(s.dropped(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # unclean-flowgen
+//!
+//! The NetFlow substrate for the uncleanliness reproduction.
+//!
+//! The paper's §6 analysis runs over Cisco NetFlow V5 logs of a large edge
+//! network. This crate supplies the equivalent synthetic pipeline:
+//!
+//! * [`record`] — the actual NetFlow V5 wire format (24-byte header +
+//!   48-byte records, big-endian), encodable and decodable;
+//! * [`session`] — the in-pipeline [`session::Flow`] type with the
+//!   paper's payload-bearing test (TCP, ≥36 estimated payload bytes,
+//!   ≥1 ACK — including the TCP-options pitfall the paper documents);
+//! * [`generator`] — deterministic expansion of netmodel activity events
+//!   into border flows (benign sessions, SYN sweeps, slow scans,
+//!   ephemeral probes, SMTP bursts);
+//! * [`collector`] — streaming per-source aggregation: candidate evidence
+//!   for the §6 partition, plus a capped raw-flow store for inspection;
+//! * [`faults`] — seeded drop/duplicate/corrupt fault injection, for
+//!   proving the analyses degrade gracefully under real telemetry loss;
+//! * [`archive`] — framed on-disk spooling of V5 export streams with
+//!   sequence-gap accounting on replay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod collector;
+pub mod faults;
+pub mod generator;
+pub mod record;
+pub mod session;
+
+pub use archive::{ArchiveError, ArchiveReader, ArchiveWriter};
+pub use collector::{CandidateCollector, FlowStore, SrcEvidence};
+pub use faults::{FaultConfig, FaultInjector, FaultStats};
+pub use generator::{FlowGenerator, GeneratorConfig};
+pub use record::{
+    decode_datagram, encode_datagram, DecodeError, V5Header, V5Record, V5_HEADER_LEN,
+    V5_MAX_RECORDS, V5_RECORD_LEN,
+};
+pub use session::Flow;

@@ -1,0 +1,377 @@
+//! Cisco NetFlow V5 wire format.
+//!
+//! §6.1: "The traffic data used in this analysis consists of CISCO NetFlow
+//! V5 records. NetFlow records are a representation of approximate sessions
+//! consisting of a log of all identically addressed packets within a
+//! limited time. Flow records are a compact representation of traffic, but
+//! do not contain payload."
+//!
+//! This module implements the actual V5 export datagram layout — a 24-byte
+//! header followed by up to 30 48-byte flow records — so that synthetic
+//! traffic can round-trip through the same representation an operational
+//! collector would store.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// NetFlow V5 protocol version constant.
+pub const V5_VERSION: u16 = 5;
+/// Size of the export header in bytes.
+pub const V5_HEADER_LEN: usize = 24;
+/// Size of one flow record in bytes.
+pub const V5_RECORD_LEN: usize = 48;
+/// Maximum records per datagram, per the Cisco specification.
+pub const V5_MAX_RECORDS: usize = 30;
+
+/// Unix timestamp of the scenario epoch, 2006-01-01T00:00:00Z.
+pub const EPOCH_UNIX_SECS: u32 = 1_136_073_600;
+
+/// TCP flag bits as they appear in the `tcp_flags` record field.
+pub mod tcp_flags {
+    /// FIN.
+    pub const FIN: u8 = 0x01;
+    /// SYN.
+    pub const SYN: u8 = 0x02;
+    /// RST.
+    pub const RST: u8 = 0x04;
+    /// PSH.
+    pub const PSH: u8 = 0x08;
+    /// ACK.
+    pub const ACK: u8 = 0x10;
+    /// URG.
+    pub const URG: u8 = 0x20;
+}
+
+/// IP protocol numbers used by the generator.
+pub mod proto {
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+}
+
+/// The V5 export header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct V5Header {
+    /// Record count in this datagram (1–30).
+    pub count: u16,
+    /// Milliseconds since the exporting device booted.
+    pub sys_uptime_ms: u32,
+    /// Export time, Unix seconds.
+    pub unix_secs: u32,
+    /// Export time, residual nanoseconds.
+    pub unix_nsecs: u32,
+    /// Total flows seen by the exporter (sequence number).
+    pub flow_sequence: u32,
+    /// Exporter engine type.
+    pub engine_type: u8,
+    /// Exporter engine slot.
+    pub engine_id: u8,
+    /// Sampling mode and interval.
+    pub sampling_interval: u16,
+}
+
+/// One V5 flow record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct V5Record {
+    /// Source IPv4 address.
+    pub srcaddr: u32,
+    /// Destination IPv4 address.
+    pub dstaddr: u32,
+    /// Next-hop router address.
+    pub nexthop: u32,
+    /// SNMP input interface index.
+    pub input: u16,
+    /// SNMP output interface index.
+    pub output: u16,
+    /// Packets in the flow.
+    pub d_pkts: u32,
+    /// Total layer-3 octets in the flow.
+    pub d_octets: u32,
+    /// SysUptime at flow start (ms).
+    pub first: u32,
+    /// SysUptime at flow end (ms).
+    pub last: u32,
+    /// Source port.
+    pub srcport: u16,
+    /// Destination port.
+    pub dstport: u16,
+    /// Cumulative OR of TCP flags.
+    pub tcp_flags: u8,
+    /// IP protocol.
+    pub prot: u8,
+    /// Type of service.
+    pub tos: u8,
+    /// Source AS number.
+    pub src_as: u16,
+    /// Destination AS number.
+    pub dst_as: u16,
+    /// Source prefix mask bits.
+    pub src_mask: u8,
+    /// Destination prefix mask bits.
+    pub dst_mask: u8,
+}
+
+/// Errors from decoding a V5 datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input shorter than a header.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Version field was not 5.
+    BadVersion(u16),
+    /// Record count outside 1..=30 or inconsistent with the payload size.
+    BadCount(u16),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, got } => {
+                write!(f, "truncated datagram: need {needed} bytes, have {got}")
+            }
+            DecodeError::BadVersion(v) => write!(f, "not a NetFlow V5 datagram (version {v})"),
+            DecodeError::BadCount(c) => write!(f, "invalid record count {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a header + records into one export datagram.
+///
+/// Panics if `records` is empty or exceeds [`V5_MAX_RECORDS`], or if
+/// `header.count` disagrees with `records.len()`.
+pub fn encode_datagram(header: &V5Header, records: &[V5Record]) -> Bytes {
+    assert!(
+        !records.is_empty() && records.len() <= V5_MAX_RECORDS,
+        "V5 datagrams carry 1..=30 records, got {}",
+        records.len()
+    );
+    assert_eq!(header.count as usize, records.len(), "header count mismatch");
+    let mut buf = BytesMut::with_capacity(V5_HEADER_LEN + records.len() * V5_RECORD_LEN);
+    buf.put_u16(V5_VERSION);
+    buf.put_u16(header.count);
+    buf.put_u32(header.sys_uptime_ms);
+    buf.put_u32(header.unix_secs);
+    buf.put_u32(header.unix_nsecs);
+    buf.put_u32(header.flow_sequence);
+    buf.put_u8(header.engine_type);
+    buf.put_u8(header.engine_id);
+    buf.put_u16(header.sampling_interval);
+    for r in records {
+        buf.put_u32(r.srcaddr);
+        buf.put_u32(r.dstaddr);
+        buf.put_u32(r.nexthop);
+        buf.put_u16(r.input);
+        buf.put_u16(r.output);
+        buf.put_u32(r.d_pkts);
+        buf.put_u32(r.d_octets);
+        buf.put_u32(r.first);
+        buf.put_u32(r.last);
+        buf.put_u16(r.srcport);
+        buf.put_u16(r.dstport);
+        buf.put_u8(0); // pad1
+        buf.put_u8(r.tcp_flags);
+        buf.put_u8(r.prot);
+        buf.put_u8(r.tos);
+        buf.put_u16(r.src_as);
+        buf.put_u16(r.dst_as);
+        buf.put_u8(r.src_mask);
+        buf.put_u8(r.dst_mask);
+        buf.put_u16(0); // pad2
+    }
+    buf.freeze()
+}
+
+/// Decode one export datagram.
+pub fn decode_datagram(mut data: &[u8]) -> Result<(V5Header, Vec<V5Record>), DecodeError> {
+    if data.len() < V5_HEADER_LEN {
+        return Err(DecodeError::Truncated { needed: V5_HEADER_LEN, got: data.len() });
+    }
+    let version = data.get_u16();
+    if version != V5_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let count = data.get_u16();
+    if count == 0 || count as usize > V5_MAX_RECORDS {
+        return Err(DecodeError::BadCount(count));
+    }
+    let header = V5Header {
+        count,
+        sys_uptime_ms: data.get_u32(),
+        unix_secs: data.get_u32(),
+        unix_nsecs: data.get_u32(),
+        flow_sequence: data.get_u32(),
+        engine_type: data.get_u8(),
+        engine_id: data.get_u8(),
+        sampling_interval: data.get_u16(),
+    };
+    let needed = count as usize * V5_RECORD_LEN;
+    if data.len() < needed {
+        return Err(DecodeError::Truncated { needed: V5_HEADER_LEN + needed, got: V5_HEADER_LEN + data.len() });
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let srcaddr = data.get_u32();
+        let dstaddr = data.get_u32();
+        let nexthop = data.get_u32();
+        let input = data.get_u16();
+        let output = data.get_u16();
+        let d_pkts = data.get_u32();
+        let d_octets = data.get_u32();
+        let first = data.get_u32();
+        let last = data.get_u32();
+        let srcport = data.get_u16();
+        let dstport = data.get_u16();
+        let _pad1 = data.get_u8();
+        let tcp_flags = data.get_u8();
+        let prot = data.get_u8();
+        let tos = data.get_u8();
+        let src_as = data.get_u16();
+        let dst_as = data.get_u16();
+        let src_mask = data.get_u8();
+        let dst_mask = data.get_u8();
+        let _pad2 = data.get_u16();
+        records.push(V5Record {
+            srcaddr,
+            dstaddr,
+            nexthop,
+            input,
+            output,
+            d_pkts,
+            d_octets,
+            first,
+            last,
+            srcport,
+            dstport,
+            tcp_flags,
+            prot,
+            tos,
+            src_as,
+            dst_as,
+            src_mask,
+            dst_mask,
+        });
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u32) -> V5Record {
+        V5Record {
+            srcaddr: 0x0a00_0001 + i,
+            dstaddr: 0x1e00_0001,
+            nexthop: 0x1e00_00fe,
+            input: 1,
+            output: 2,
+            d_pkts: 3 + i,
+            d_octets: 180 + i,
+            first: 1000,
+            last: 2000,
+            srcport: (1024 + i) as u16,
+            dstport: 80,
+            tcp_flags: tcp_flags::SYN | tcp_flags::ACK,
+            prot: proto::TCP,
+            tos: 0,
+            src_as: 65000,
+            dst_as: 64999,
+            src_mask: 24,
+            dst_mask: 16,
+        }
+    }
+
+    fn header(n: u16) -> V5Header {
+        V5Header {
+            count: n,
+            sys_uptime_ms: 123_456,
+            unix_secs: EPOCH_UNIX_SECS,
+            unix_nsecs: 42,
+            flow_sequence: 7,
+            engine_type: 0,
+            engine_id: 1,
+            sampling_interval: 0,
+        }
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let recs = vec![record(0)];
+        let bytes = encode_datagram(&header(1), &recs);
+        assert_eq!(bytes.len(), V5_HEADER_LEN + V5_RECORD_LEN);
+        let (h, r) = decode_datagram(&bytes).expect("valid");
+        assert_eq!(h, header(1));
+        assert_eq!(r, recs);
+    }
+
+    #[test]
+    fn round_trip_full_datagram() {
+        let recs: Vec<V5Record> = (0..30).map(record).collect();
+        let bytes = encode_datagram(&header(30), &recs);
+        assert_eq!(bytes.len(), V5_HEADER_LEN + 30 * V5_RECORD_LEN);
+        let (h, r) = decode_datagram(&bytes).expect("valid");
+        assert_eq!(h.count, 30);
+        assert_eq!(r, recs);
+    }
+
+    #[test]
+    fn wire_layout_is_big_endian_and_versioned() {
+        let bytes = encode_datagram(&header(1), &[record(0)]);
+        assert_eq!(&bytes[0..2], &[0, 5], "version 5, network order");
+        assert_eq!(&bytes[2..4], &[0, 1], "count 1");
+        // srcaddr at offset 24.
+        assert_eq!(&bytes[24..28], &[0x0a, 0, 0, 1]);
+        // dstport at offset 24 + 34 = 58.
+        assert_eq!(&bytes[58..60], &[0, 80]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(decode_datagram(&[]), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            decode_datagram(&[0u8; V5_HEADER_LEN - 1]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Wrong version.
+        let mut bytes = encode_datagram(&header(1), &[record(0)]).to_vec();
+        bytes[1] = 9;
+        assert_eq!(decode_datagram(&bytes), Err(DecodeError::BadVersion(9)));
+        // Count beyond payload.
+        let mut bytes = encode_datagram(&header(1), &[record(0)]).to_vec();
+        bytes[3] = 5;
+        assert!(matches!(decode_datagram(&bytes), Err(DecodeError::Truncated { .. })));
+        // Zero count.
+        let mut bytes = encode_datagram(&header(1), &[record(0)]).to_vec();
+        bytes[3] = 0;
+        assert_eq!(decode_datagram(&bytes), Err(DecodeError::BadCount(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=30 records")]
+    fn encode_rejects_oversized() {
+        let recs: Vec<V5Record> = (0..31).map(record).collect();
+        let _ = encode_datagram(&header(31), &recs);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn encode_rejects_count_mismatch() {
+        let _ = encode_datagram(&header(2), &[record(0)]);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(DecodeError::BadVersion(9).to_string().contains("version 9"));
+        assert!(DecodeError::BadCount(0).to_string().contains('0'));
+        assert!(DecodeError::Truncated { needed: 24, got: 3 }.to_string().contains("24"));
+    }
+}

@@ -1,0 +1,253 @@
+//! The in-pipeline flow representation.
+//!
+//! [`Flow`] is what the generator emits and the detectors consume: one
+//! unidirectional approximate session, carrying exactly the fields the §6
+//! analysis needs (addresses, ports, protocol, packets, octets, flags,
+//! timing). It converts losslessly to and from the V5 wire record given the
+//! export epoch.
+
+use crate::record::{proto, tcp_flags, V5Record, EPOCH_UNIX_SECS};
+use serde::{Deserialize, Serialize};
+use unclean_core::{Day, Ip};
+
+/// Estimated bytes of L3+L4 header per packet used when deriving payload
+/// from octet counts (IPv4 20 + TCP 20, options counted as payload — which
+/// is precisely the 36-byte SYN-scan pitfall §6.1 describes).
+pub const HEADER_BYTES_PER_PACKET: u32 = 40;
+
+/// One unidirectional flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Source address.
+    pub src: Ip,
+    /// Destination address.
+    pub dst: Ip,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP protocol (6 = TCP).
+    pub proto: u8,
+    /// Packet count.
+    pub packets: u32,
+    /// Total octets.
+    pub octets: u32,
+    /// Cumulative TCP flags.
+    pub flags: u8,
+    /// Start time, seconds since the scenario epoch (2006-01-01T00:00Z).
+    pub start_secs: i64,
+    /// Duration in seconds.
+    pub duration_secs: u32,
+}
+
+impl Flow {
+    /// The day this flow started.
+    pub fn day(&self) -> Day {
+        Day(self.start_secs.div_euclid(86_400) as i32)
+    }
+
+    /// Second-of-day of the flow start.
+    pub fn second_of_day(&self) -> u32 {
+        self.start_secs.rem_euclid(86_400) as u32
+    }
+
+    /// Hour-of-day of the flow start (0–23), the scan detector's window.
+    pub fn hour(&self) -> u32 {
+        self.second_of_day() / 3600
+    }
+
+    /// Estimated payload octets: total minus 40 per packet, clamped at 0.
+    /// TCP options inflate this — a 3-packet SYN retry train with 12 bytes
+    /// of options per packet "carries" 36 bytes by this estimate while
+    /// never completing a handshake.
+    pub fn payload_estimate(&self) -> u32 {
+        self.octets.saturating_sub(self.packets.saturating_mul(HEADER_BYTES_PER_PACKET))
+    }
+
+    /// Whether the ACK flag was ever set.
+    pub fn has_ack(&self) -> bool {
+        self.flags & tcp_flags::ACK != 0
+    }
+
+    /// §6.1's payload-bearing test: TCP, ≥36 bytes of estimated payload,
+    /// and at least one ACK.
+    pub fn payload_bearing(&self) -> bool {
+        self.proto == proto::TCP && self.payload_estimate() >= 36 && self.has_ack()
+    }
+
+    /// Whether both ports are ephemeral (the §6.2 "communications from
+    /// ephemeral ports to ephemeral ports" oddity).
+    pub fn ephemeral_to_ephemeral(&self) -> bool {
+        self.src_port >= 1024 && self.dst_port >= 1024
+    }
+
+    /// Convert to a V5 wire record. `boot_unix_secs` anchors the exporter's
+    /// SysUptime clock; like a real exporter, the 32-bit millisecond
+    /// counter wraps every ~49.7 days, so lossless round-tripping requires
+    /// the boot time to sit within that horizon of the flow.
+    pub fn to_v5(&self, boot_unix_secs: u32) -> V5Record {
+        let unix_start = EPOCH_UNIX_SECS as i64 + self.start_secs;
+        let first_ms = (((unix_start - boot_unix_secs as i64) * 1000).max(0) as u64
+            % (u32::MAX as u64 + 1)) as u32;
+        V5Record {
+            srcaddr: self.src.raw(),
+            dstaddr: self.dst.raw(),
+            nexthop: 0,
+            input: 1,
+            output: 2,
+            d_pkts: self.packets,
+            d_octets: self.octets,
+            first: first_ms,
+            last: first_ms.wrapping_add(self.duration_secs.wrapping_mul(1000)),
+            srcport: self.src_port,
+            dstport: self.dst_port,
+            tcp_flags: self.flags,
+            prot: self.proto,
+            tos: 0,
+            src_as: 0,
+            dst_as: 0,
+            src_mask: 0,
+            dst_mask: 0,
+        }
+    }
+
+    /// Reconstruct from a V5 wire record and its exporter's boot time.
+    pub fn from_v5(r: &V5Record, boot_unix_secs: u32) -> Flow {
+        let unix_start = boot_unix_secs as i64 + (r.first / 1000) as i64;
+        Flow {
+            src: Ip(r.srcaddr),
+            dst: Ip(r.dstaddr),
+            src_port: r.srcport,
+            dst_port: r.dstport,
+            proto: r.prot,
+            packets: r.d_pkts,
+            octets: r.d_octets,
+            flags: r.tcp_flags,
+            start_secs: unix_start - EPOCH_UNIX_SECS as i64,
+            // Wrapping difference: `last` may have wrapped past `first`
+            // when a long flow straddles the 49.7-day uptime rollover.
+            duration_secs: r.last.wrapping_sub(r.first) / 1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_flow() -> Flow {
+        Flow {
+            src: "9.1.2.3".parse().expect("ok"),
+            dst: "30.0.0.1".parse().expect("ok"),
+            src_port: 40_000,
+            dst_port: 80,
+            proto: proto::TCP,
+            packets: 10,
+            octets: 40 * 10 + 500,
+            flags: tcp_flags::SYN | tcp_flags::ACK | tcp_flags::PSH | tcp_flags::FIN,
+            start_secs: 86_400 * 273 + 3_700, // 2006-10-01, 01:01:40
+            duration_secs: 12,
+        }
+    }
+
+    #[test]
+    fn time_derivations() {
+        let f = base_flow();
+        assert_eq!(f.day().to_string(), "2006-10-01");
+        assert_eq!(f.second_of_day(), 3_700);
+        assert_eq!(f.hour(), 1);
+    }
+
+    #[test]
+    fn payload_estimate_and_bearing() {
+        let f = base_flow();
+        assert_eq!(f.payload_estimate(), 500);
+        assert!(f.payload_bearing());
+    }
+
+    #[test]
+    fn syn_scan_with_options_is_not_payload_bearing() {
+        // The paper's §6.1 trap: 3 SYN packets of 52 bytes each estimate
+        // exactly 36 bytes of "payload" but carry no ACK.
+        let f = Flow {
+            flags: tcp_flags::SYN,
+            packets: 3,
+            octets: 3 * 52,
+            ..base_flow()
+        };
+        assert_eq!(f.payload_estimate(), 36);
+        assert!(!f.has_ack());
+        assert!(!f.payload_bearing(), "no ACK, no payload verdict");
+    }
+
+    #[test]
+    fn small_ack_flow_is_not_payload_bearing() {
+        let f = Flow {
+            packets: 3,
+            octets: 3 * 40 + 20, // only 20 payload bytes
+            ..base_flow()
+        };
+        assert!(!f.payload_bearing());
+    }
+
+    #[test]
+    fn udp_is_never_payload_bearing() {
+        let f = Flow { proto: proto::UDP, ..base_flow() };
+        assert!(!f.payload_bearing());
+    }
+
+    #[test]
+    fn payload_estimate_clamps_at_zero() {
+        let f = Flow { packets: 100, octets: 50, ..base_flow() };
+        assert_eq!(f.payload_estimate(), 0);
+    }
+
+    #[test]
+    fn ephemeral_detection() {
+        let f = base_flow();
+        assert!(!f.ephemeral_to_ephemeral(), "dst port 80 is a service");
+        let weird = Flow { dst_port: 33_001, ..f };
+        assert!(weird.ephemeral_to_ephemeral());
+    }
+
+    #[test]
+    fn v5_round_trip() {
+        let f = base_flow();
+        // Exporter booted shortly before the observation window (the
+        // 32-bit SysUptime counter wraps every ~49.7 days).
+        let boot = EPOCH_UNIX_SECS + 86_400 * 270;
+        let rec = f.to_v5(boot);
+        let back = Flow::from_v5(&rec, boot);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn v5_uptime_wraps_like_a_real_exporter() {
+        // A flow ~273 days after boot overflows the 32-bit ms counter; the
+        // encoder must wrap rather than saturate or panic.
+        let f = base_flow();
+        let rec = f.to_v5(EPOCH_UNIX_SECS - 10_000);
+        let expected = ((f.start_secs + 10_000) as u64 * 1000) % (u32::MAX as u64 + 1);
+        assert_eq!(rec.first as u64, expected);
+    }
+
+    #[test]
+    fn v5_record_fields_populate() {
+        let f = base_flow();
+        let rec = f.to_v5(EPOCH_UNIX_SECS);
+        assert_eq!(rec.srcaddr, f.src.raw());
+        assert_eq!(rec.dstport, 80);
+        assert_eq!(rec.prot, proto::TCP);
+        assert_eq!(rec.d_octets, f.octets);
+        assert_eq!(rec.last - rec.first, 12_000);
+    }
+
+    #[test]
+    fn negative_epoch_times_day() {
+        // Flows before the epoch (burn-in period) still resolve to the
+        // correct calendar day.
+        let f = Flow { start_secs: -1, ..base_flow() };
+        assert_eq!(f.day(), Day(-1));
+        assert_eq!(f.second_of_day(), 86_399);
+    }
+}

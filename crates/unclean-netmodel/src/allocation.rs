@@ -1,0 +1,117 @@
+//! The IANA IPv4 /8 allocation map, circa late 2006.
+//!
+//! §4.2 of the paper builds its *naive* population estimate by selecting
+//! addresses "evenly from across all /8's which are listed as populated by
+//! IANA". This module encodes an approximation of that map as it stood at
+//! the paper's observation window (October 2006): which /8s were allocated
+//! (to RIRs or legacy holders) and could therefore contain hosts, which
+//! sat in the IANA free pool, and which are protocol-reserved.
+//!
+//! The table is reconstructed from the IANA ipv4-address-space registry
+//! history. A handful of /8s changed hands within weeks of the paper's
+//! window (e.g. 96–99/8 went to ARIN in October 2006); their exact
+//! classification only perturbs the naive estimate by a percent or two,
+//! which the analyses are insensitive to.
+
+/// Status of a /8 in the 2006 allocation map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slash8Status {
+    /// Assigned to an RIR or a legacy holder — may contain reachable hosts.
+    Allocated,
+    /// In the IANA free pool in October 2006.
+    Unallocated,
+    /// Protocol-reserved (0/8, 10/8, 127/8, multicast, class E).
+    Reserved,
+}
+
+/// The late-2006 status of a /8.
+pub fn slash8_status(slash8: u8) -> Slash8Status {
+    use Slash8Status::*;
+    match slash8 {
+        // Protocol-reserved space.
+        0 | 10 | 127 => Reserved,
+        224..=255 => Reserved,
+        // The IANA free pool as of October 2006.
+        1 | 2 | 5 | 7 => Unallocated,
+        23 | 27 | 31 | 36 | 37 | 39 | 42 | 46 | 49 | 50 => Unallocated,
+        92..=120 => Unallocated,
+        173..=188 => Unallocated,
+        223 => Unallocated,
+        // Everything else: RIR or legacy allocations (3/8 GE, 4/8 Level 3,
+        // 9/8 IBM, ..., 24/8 cable, 58–61 APNIC, 62 RIPE, 63–76 ARIN,
+        // 77–91 RIPE, 121–126 APNIC, 128–172 legacy class B space,
+        // 189–190 LACNIC, 191–222 RIR class C space).
+        _ => Allocated,
+    }
+}
+
+/// The allocated /8s, ascending. This is the population universe for the
+/// naive density estimator and the synthetic address cascade.
+pub fn allocated_slash8s() -> Vec<u8> {
+    (0u8..=255).filter(|&s| slash8_status(s) == Slash8Status::Allocated).collect()
+}
+
+/// The number of allocated /8s.
+pub fn allocated_count() -> usize {
+    allocated_slash8s().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_reserved_ranges() {
+        assert_eq!(slash8_status(0), Slash8Status::Reserved);
+        assert_eq!(slash8_status(10), Slash8Status::Reserved);
+        assert_eq!(slash8_status(127), Slash8Status::Reserved);
+        assert_eq!(slash8_status(224), Slash8Status::Reserved);
+        assert_eq!(slash8_status(239), Slash8Status::Reserved);
+        assert_eq!(slash8_status(255), Slash8Status::Reserved);
+    }
+
+    #[test]
+    fn known_allocations() {
+        // Legacy class A holders and RIR space present in 2006.
+        for s in [3u8, 4, 9, 12, 17, 18, 24, 58, 62, 64, 80, 121, 126, 128, 160, 172, 192, 204, 218, 222] {
+            assert_eq!(slash8_status(s), Slash8Status::Allocated, "{s}/8");
+        }
+    }
+
+    #[test]
+    fn known_free_pool() {
+        // Famously unallocated until years later: 1/8 (APNIC 2010),
+        // 5/8 (RIPE 2010), 100–120 range (2007–2011), 173–186 (2008+).
+        for s in [1u8, 2, 5, 7, 23, 36, 39, 46, 100, 110, 120, 173, 186, 223] {
+            assert_eq!(slash8_status(s), Slash8Status::Unallocated, "{s}/8");
+        }
+    }
+
+    #[test]
+    fn allocated_list_is_sorted_and_consistent() {
+        let list = allocated_slash8s();
+        assert!(list.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(list.len(), allocated_count());
+        assert!(list.iter().all(|&s| slash8_status(s) == Slash8Status::Allocated));
+        // The 2006 Internet had well over 100 but under 180 populated /8s.
+        assert!(
+            (100..180).contains(&list.len()),
+            "plausible 2006 allocation count, got {}",
+            list.len()
+        );
+    }
+
+    #[test]
+    fn statuses_partition_the_space() {
+        let mut counts = [0usize; 3];
+        for s in 0u8..=255 {
+            match slash8_status(s) {
+                Slash8Status::Allocated => counts[0] += 1,
+                Slash8Status::Unallocated => counts[1] += 1,
+                Slash8Status::Reserved => counts[2] += 1,
+            }
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 256);
+        assert_eq!(counts[2], 35); // 0, 10, 127, 224..=255
+    }
+}

@@ -1,0 +1,453 @@
+//! The compromise epidemic: who gets infected, when, and for how long.
+//!
+//! The paper's model of attack is *opportunistic*: "the probability that a
+//! machine will be compromised during some period is not a function of that
+//! host's attacker … it is instead a property of the host's defenders"
+//! (§1). The epidemic therefore needs no contact network: each host faces a
+//! steady hazard of compromise proportional to its network's
+//! (un)cleanliness, and once compromised stays so until its administrators
+//! notice — which also takes longer on unclean networks. Both effects
+//! concentrate infections in unclean networks (spatial uncleanliness) and
+//! keep the same networks infected across months (temporal uncleanliness).
+
+use crate::randutil::{geometric_days, pareto, poisson};
+use crate::world::World;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use unclean_core::{DateRange, Day, Ip};
+use unclean_stats::SeedTree;
+
+/// One host-compromise interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Infection {
+    /// The compromised host.
+    pub addr: u32,
+    /// First day compromised (Day.0 value).
+    pub start: i32,
+    /// Last day compromised, inclusive.
+    pub end: i32,
+    /// Whether a botnet herder recruited this host.
+    pub recruited: bool,
+    /// The C&C channel the recruited host joined (meaningless when
+    /// `recruited` is false).
+    pub channel: u16,
+}
+
+impl Infection {
+    /// Whether the host is compromised on `day`.
+    pub fn active_on(&self, day: Day) -> bool {
+        self.start <= day.0 && day.0 <= self.end
+    }
+
+    /// Whether the compromise interval overlaps a date range.
+    pub fn overlaps(&self, range: &DateRange) -> bool {
+        self.start <= range.end.0 && range.start.0 <= self.end
+    }
+
+    /// The host address.
+    pub fn ip(&self) -> Ip {
+        Ip(self.addr)
+    }
+}
+
+/// Epidemic tunables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompromiseConfig {
+    /// Per host-day compromise hazard for a fully unclean (hygiene → 0)
+    /// network. Use [`calibrate_base_hazard`] to derive it from a target
+    /// count instead of guessing.
+    pub base_hazard: f64,
+    /// Hazard scales as `(1 - hygiene)^exponent`.
+    pub hygiene_exponent: f64,
+    /// Mean infection lifetime on the cleanest networks (days).
+    pub min_duration_mean: f64,
+    /// Additional mean lifetime for unclean networks: total mean is
+    /// `min + extra * (1 - hygiene)^2`.
+    pub extra_duration_mean: f64,
+    /// Probability a compromised host is recruited into a botnet.
+    pub recruit_prob: f64,
+    /// Number of C&C channels in the ecosystem.
+    pub channels: u16,
+    /// Pareto shape of channel popularity (some botnets are huge).
+    pub channel_alpha: f64,
+    /// Probability a recruited host joins a channel *homed* in its own /8
+    /// (botnet geographic concentration; the paper's bot-test was 70%
+    /// Turkish).
+    pub channel_locality: f64,
+    /// Days of burn-in simulated before the span of interest so the epidemic
+    /// is in steady state by day 0.
+    pub burn_in_days: u32,
+}
+
+impl Default for CompromiseConfig {
+    fn default() -> CompromiseConfig {
+        CompromiseConfig {
+            base_hazard: 2e-3,
+            // Steep: institution-B networks carry nearly all compromises,
+            // matching the per-/24 infection densities the paper's §6
+            // candidate analysis implies (~6 suspicious hosts per /24).
+            hygiene_exponent: 4.0,
+            min_duration_mean: 4.0,
+            extra_duration_mean: 55.0,
+            recruit_prob: 0.4,
+            channels: 96,
+            channel_alpha: 1.1,
+            channel_locality: 0.7,
+            burn_in_days: 90,
+        }
+    }
+}
+
+impl CompromiseConfig {
+    /// Per host-day hazard in a network of the given hygiene.
+    pub fn hazard(&self, hygiene: f32) -> f64 {
+        self.base_hazard * (1.0 - hygiene as f64).powf(self.hygiene_exponent)
+    }
+
+    /// Mean infection lifetime in a network of the given hygiene.
+    pub fn duration_mean(&self, hygiene: f32) -> f64 {
+        self.min_duration_mean + self.extra_duration_mean * (1.0 - hygiene as f64).powi(2)
+    }
+}
+
+/// Expected number of *distinct infection events active at some point in a
+/// window* of `window_days`, for the given world and config.
+///
+/// For a Poisson process with rate r per host-day and mean duration D, the
+/// expected number of intervals overlapping a window of length W is
+/// `hosts · r · (D + W)`. Summed over blocks, this is linear in
+/// `base_hazard`, which makes calibration a one-liner.
+pub fn expected_active_in_window(world: &World, cfg: &CompromiseConfig, window_days: f64) -> f64 {
+    let mut total = 0.0;
+    for (i, (block, hygiene)) in world.blocks_with_hygiene().enumerate() {
+        let r = block_rate(world, cfg, i, hygiene);
+        let d = cfg.duration_mean(hygiene);
+        total += block.hosts.len() as f64 * r * (d + window_days);
+    }
+    total
+}
+
+/// Per host-day compromise rate of one block: the hygiene hazard times the
+/// block's attack exposure, with the exposure's bite damped by hygiene —
+/// a worm sweeping a well-defended subnet compromises nothing, so hot
+/// blocks only exist inside unclean networks.
+fn block_rate(world: &World, cfg: &CompromiseConfig, block_idx: usize, hygiene: f32) -> f64 {
+    let exposure = world.block_exposure(block_idx) as f64;
+    cfg.hazard(hygiene) * exposure.powf(1.0 - hygiene as f64)
+}
+
+/// Scale `base_hazard` so that the expected number of infections active in
+/// a `window_days` window equals `target`.
+pub fn calibrate_base_hazard(
+    world: &World,
+    cfg: &CompromiseConfig,
+    target: f64,
+    window_days: f64,
+) -> f64 {
+    let expected = expected_active_in_window(world, cfg, window_days);
+    assert!(expected > 0.0, "world has no infectable mass");
+    cfg.base_hazard * target / expected
+}
+
+/// Channel metadata: popularity weights and home /8s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelDirectory {
+    /// Cumulative popularity weights (for weighted sampling).
+    cum_weights: Vec<f64>,
+    /// Home /8 of each channel.
+    homes: Vec<u8>,
+}
+
+impl ChannelDirectory {
+    /// Build the directory: Pareto popularity, homes spread over the /8s
+    /// that actually contain population.
+    pub fn generate(world: &World, cfg: &CompromiseConfig, seeds: &SeedTree) -> ChannelDirectory {
+        let mut rng = seeds.stream("channels");
+        let mut slash8s: Vec<u8> = world.slash16s().iter().map(|&p| (p >> 8) as u8).collect();
+        slash8s.dedup();
+        let mut cum = Vec::with_capacity(cfg.channels as usize);
+        let mut homes = Vec::with_capacity(cfg.channels as usize);
+        let mut acc = 0.0;
+        for _ in 0..cfg.channels {
+            acc += pareto(&mut rng, cfg.channel_alpha);
+            cum.push(acc);
+            homes.push(slash8s[rng.gen_range(0..slash8s.len())]);
+        }
+        ChannelDirectory { cum_weights: cum, homes }
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.homes.is_empty()
+    }
+
+    /// Home /8 of a channel.
+    pub fn home(&self, channel: u16) -> u8 {
+        self.homes[channel as usize]
+    }
+
+    /// Popularity weight of a channel.
+    pub fn weight(&self, channel: u16) -> f64 {
+        let i = channel as usize;
+        if i == 0 {
+            self.cum_weights[0]
+        } else {
+            self.cum_weights[i] - self.cum_weights[i - 1]
+        }
+    }
+
+    /// Channels sorted by popularity, most popular first.
+    pub fn by_popularity(&self) -> Vec<u16> {
+        let mut order: Vec<u16> = (0..self.homes.len() as u16).collect();
+        order.sort_by(|&a, &b| {
+            self.weight(b).partial_cmp(&self.weight(a)).expect("finite weights")
+        });
+        order
+    }
+
+    /// Channels homed in the given /8.
+    pub fn homed_in(&self, slash8: u8) -> Vec<u16> {
+        (0..self.homes.len() as u16).filter(|&c| self.homes[c as usize] == slash8).collect()
+    }
+
+    /// Pick a channel for a new recruit at `addr`.
+    pub fn recruit_channel(&self, addr: u32, cfg: &CompromiseConfig, rng: &mut impl Rng) -> u16 {
+        let s8 = (addr >> 24) as u8;
+        if rng.gen_range(0.0..1.0f64) < cfg.channel_locality {
+            let local = self.homed_in(s8);
+            if !local.is_empty() {
+                return local[rng.gen_range(0..local.len())];
+            }
+        }
+        // Global popularity-weighted pick.
+        let total = *self.cum_weights.last().expect("non-empty directory");
+        let x = rng.gen_range(0.0..total);
+        self.cum_weights.partition_point(|&w| w <= x) as u16
+    }
+}
+
+/// Generate the full infection history for `span` (burn-in included
+/// automatically: intervals may begin before `span.start`).
+pub fn generate_infections(
+    world: &World,
+    channels: &ChannelDirectory,
+    span: DateRange,
+    cfg: &CompromiseConfig,
+    seeds: &SeedTree,
+) -> Vec<Infection> {
+    let gen_start = span.start.0 - cfg.burn_in_days as i32;
+    let gen_days = (span.end.0 - gen_start + 1) as f64;
+    let mut infections = Vec::new();
+    let block_count = world.population.block_count();
+    for i in 0..block_count {
+        let block = world.population.block(i);
+        let hygiene = world.block_hygiene(i);
+        let rate = block_rate(world, cfg, i, hygiene);
+        let lambda = block.hosts.len() as f64 * rate * gen_days;
+        if lambda <= 0.0 {
+            continue;
+        }
+        let mut rng = seeds.child("infections").stream_idx(block.prefix as u64);
+        let n = poisson(&mut rng, lambda);
+        for _ in 0..n {
+            let host = block.hosts[rng.gen_range(0..block.hosts.len())];
+            let addr = (block.prefix << 8) | host as u32;
+            let start = gen_start + rng.gen_range(0..gen_days as i32);
+            let dur = geometric_days(&mut rng, cfg.duration_mean(hygiene));
+            let end = start + dur as i32 - 1;
+            if end < span.start.0 {
+                continue; // cleaned up before the span of interest
+            }
+            let recruited = rng.gen_range(0.0..1.0f64) < cfg.recruit_prob;
+            let channel = if recruited {
+                channels.recruit_channel(addr, cfg, &mut rng)
+            } else {
+                0
+            };
+            infections.push(Infection { addr, start, end, recruited, channel });
+        }
+    }
+    infections.sort_by_key(|inf| (inf.start, inf.addr));
+    infections
+}
+
+/// The set of infections active on a given day.
+pub fn active_on(infections: &[Infection], day: Day) -> impl Iterator<Item = &Infection> {
+    infections.iter().filter(move |i| i.active_on(day))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::CascadeConfig;
+    use crate::world::WorldConfig;
+
+    fn world(seed: u64) -> World {
+        let cfg = WorldConfig {
+            cascade: CascadeConfig { target_hosts: 30_000, ..CascadeConfig::default() },
+            ..WorldConfig::default()
+        };
+        World::generate(&cfg, &SeedTree::new(seed))
+    }
+
+    fn span() -> DateRange {
+        DateRange::new(Day(0), Day(120))
+    }
+
+    #[test]
+    fn hazard_and_duration_scale_with_hygiene() {
+        let cfg = CompromiseConfig::default();
+        assert!(cfg.hazard(0.1) > cfg.hazard(0.9) * 10.0);
+        assert!(cfg.duration_mean(0.05) > cfg.duration_mean(0.95) * 5.0);
+        assert!(cfg.duration_mean(0.99) >= cfg.min_duration_mean);
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let w = world(1);
+        let mut cfg = CompromiseConfig::default();
+        let target = 1500.0;
+        cfg.base_hazard = calibrate_base_hazard(&w, &cfg, target, 14.0);
+        let expected = expected_active_in_window(&w, &cfg, 14.0);
+        assert!((expected - target).abs() < 1e-6, "calibrated expectation {expected}");
+
+        // And the realized count is in the right ballpark.
+        let channels = ChannelDirectory::generate(&w, &cfg, &SeedTree::new(1));
+        let infections = generate_infections(&w, &channels, span(), &cfg, &SeedTree::new(1));
+        let window = DateRange::new(Day(50), Day(63));
+        let active: usize = infections.iter().filter(|i| i.overlaps(&window)).count();
+        assert!(
+            (target * 0.6..target * 1.5).contains(&(active as f64)),
+            "realized {active} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn infections_cluster_in_unclean_networks() {
+        let w = world(2);
+        let mut cfg = CompromiseConfig::default();
+        cfg.base_hazard = calibrate_base_hazard(&w, &cfg, 3000.0, 14.0);
+        let channels = ChannelDirectory::generate(&w, &cfg, &SeedTree::new(2));
+        let infections = generate_infections(&w, &channels, span(), &cfg, &SeedTree::new(2));
+        assert!(!infections.is_empty());
+        // Mean hygiene of infected hosts' networks is far below the world
+        // mean.
+        let mut infected_h = 0.0;
+        for inf in &infections {
+            let p = w.profile_of(inf.ip()).expect("infected hosts are in population");
+            infected_h += p.hygiene as f64;
+        }
+        infected_h /= infections.len() as f64;
+        let world_h: f64 = (0..w.network_count()).map(|i| w.profile(i).hygiene as f64).sum::<f64>()
+            / w.network_count() as f64;
+        assert!(
+            infected_h < world_h - 0.15,
+            "infected {infected_h:.3} vs world {world_h:.3}"
+        );
+    }
+
+    #[test]
+    fn durations_are_longer_in_unclean_networks() {
+        let w = world(3);
+        let mut cfg = CompromiseConfig::default();
+        cfg.base_hazard = calibrate_base_hazard(&w, &cfg, 4000.0, 14.0);
+        let channels = ChannelDirectory::generate(&w, &cfg, &SeedTree::new(3));
+        let infections = generate_infections(&w, &channels, span(), &cfg, &SeedTree::new(3));
+        let (mut clean_d, mut clean_n, mut dirty_d, mut dirty_n) = (0.0, 0, 0.0, 0);
+        for inf in &infections {
+            let h = w.profile_of(inf.ip()).expect("in population").hygiene;
+            let dur = (inf.end - inf.start + 1) as f64;
+            if h > 0.7 {
+                clean_d += dur;
+                clean_n += 1;
+            } else if h < 0.3 {
+                dirty_d += dur;
+                dirty_n += 1;
+            }
+        }
+        assert!(clean_n > 0 && dirty_n > 0);
+        let clean_mean = clean_d / clean_n as f64;
+        let dirty_mean = dirty_d / dirty_n as f64;
+        assert!(
+            dirty_mean > clean_mean * 2.0,
+            "dirty {dirty_mean:.1}d vs clean {clean_mean:.1}d"
+        );
+    }
+
+    #[test]
+    fn active_on_filters_correctly() {
+        let inf = Infection { addr: 1, start: 10, end: 20, recruited: false, channel: 0 };
+        assert!(inf.active_on(Day(10)));
+        assert!(inf.active_on(Day(20)));
+        assert!(!inf.active_on(Day(9)));
+        assert!(!inf.active_on(Day(21)));
+        assert!(inf.overlaps(&DateRange::new(Day(20), Day(30))));
+        assert!(!inf.overlaps(&DateRange::new(Day(21), Day(30))));
+        let list = vec![
+            inf,
+            Infection { addr: 2, start: 15, end: 16, recruited: false, channel: 0 },
+        ];
+        assert_eq!(active_on(&list, Day(15)).count(), 2);
+        assert_eq!(active_on(&list, Day(18)).count(), 1);
+    }
+
+    #[test]
+    fn burn_in_produces_steady_state_at_day_zero() {
+        let w = world(4);
+        let mut cfg = CompromiseConfig::default();
+        cfg.base_hazard = calibrate_base_hazard(&w, &cfg, 3000.0, 14.0);
+        let channels = ChannelDirectory::generate(&w, &cfg, &SeedTree::new(4));
+        let infections = generate_infections(&w, &channels, span(), &cfg, &SeedTree::new(4));
+        let at_zero = active_on(&infections, Day(0)).count();
+        let at_sixty = active_on(&infections, Day(60)).count();
+        assert!(at_zero > 0, "prevalence should be non-zero at day 0");
+        // Steady state: prevalence at day 0 within 3x of day 60.
+        let ratio = at_zero as f64 / at_sixty.max(1) as f64;
+        assert!((0.33..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn recruitment_and_channels() {
+        let w = world(5);
+        let mut cfg = CompromiseConfig::default();
+        cfg.base_hazard = calibrate_base_hazard(&w, &cfg, 5000.0, 14.0);
+        let channels = ChannelDirectory::generate(&w, &cfg, &SeedTree::new(5));
+        assert_eq!(channels.len(), cfg.channels as usize);
+        let infections = generate_infections(&w, &channels, span(), &cfg, &SeedTree::new(5));
+        let recruited = infections.iter().filter(|i| i.recruited).count();
+        let frac = recruited as f64 / infections.len() as f64;
+        assert!((frac - cfg.recruit_prob).abs() < 0.05, "recruit fraction {frac}");
+        // Channel locality: most recruits join a channel homed in their /8
+        // when one exists.
+        let mut local = 0;
+        let mut with_local_channel = 0;
+        for inf in infections.iter().filter(|i| i.recruited) {
+            let s8 = (inf.addr >> 24) as u8;
+            if !channels.homed_in(s8).is_empty() {
+                with_local_channel += 1;
+                if channels.home(inf.channel) == s8 {
+                    local += 1;
+                }
+            }
+        }
+        if with_local_channel > 100 {
+            let lfrac = local as f64 / with_local_channel as f64;
+            assert!(lfrac > 0.5, "local recruitment fraction {lfrac}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world(6);
+        let cfg = CompromiseConfig::default();
+        let channels = ChannelDirectory::generate(&w, &cfg, &SeedTree::new(6));
+        let a = generate_infections(&w, &channels, span(), &cfg, &SeedTree::new(6));
+        let b = generate_infections(&w, &channels, span(), &cfg, &SeedTree::new(6));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,255 @@
+//! World diagnostics: summary statistics of a generated scenario, for
+//! sanity-checking the synthetic substrate against the properties the
+//! substitution argument (DESIGN.md §2) promises — multifractal address
+//! clustering, a clean majority with an unclean tail, narrow audience
+//! locality, heavy-tailed exposure, and hygiene-dependent infection
+//! durations.
+
+use crate::compromise::Infection;
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+use unclean_core::blocks::BlockCounts;
+use unclean_stats::{FiveNumber, Histogram};
+
+/// Summary statistics of a generated world (population + profiles).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldDiagnostics {
+    /// Total active hosts.
+    pub hosts: usize,
+    /// Active /24 blocks.
+    pub blocks24: usize,
+    /// Distinct /16 networks.
+    pub networks16: usize,
+    /// Distinct populated /8s.
+    pub slash8s: usize,
+    /// Five-number summary of hosts per active /24.
+    pub hosts_per_block: FiveNumber,
+    /// Block counts at /8, /16, /24 (multifractality check: growth far
+    /// below 256× per octet).
+    pub block_counts: [u64; 3],
+    /// Fraction of /16s with hygiene below 0.3 (the unclean tail).
+    pub unclean_fraction: f64,
+    /// Fraction of /16s in the observed network's audience.
+    pub audience_fraction: f64,
+    /// Fraction of /16s flagged datacenter.
+    pub datacenter_fraction: f64,
+    /// Five-number summary of the per-/24 attack-exposure multiplier.
+    pub exposure: FiveNumber,
+}
+
+impl WorldDiagnostics {
+    /// Compute diagnostics for a world.
+    pub fn of(world: &World) -> WorldDiagnostics {
+        let set = world.population.to_ipset();
+        let counts = BlockCounts::of(&set);
+        let per_block: Vec<f64> = world
+            .population
+            .blocks()
+            .map(|b| b.hosts.len() as f64)
+            .collect();
+        let n16 = world.network_count();
+        let mut unclean = 0usize;
+        let mut audience = 0usize;
+        let mut datacenter = 0usize;
+        for i in 0..n16 {
+            let p = world.profile(i);
+            if p.hygiene < 0.3 {
+                unclean += 1;
+            }
+            if p.is_audience() {
+                audience += 1;
+            }
+            if p.datacenter {
+                datacenter += 1;
+            }
+        }
+        let exposures: Vec<f64> = (0..world.population.block_count())
+            .map(|i| world.block_exposure(i) as f64)
+            .collect();
+        let mut slash8s: Vec<u8> = set.iter().map(|ip| ip.slash8()).collect();
+        slash8s.dedup();
+        WorldDiagnostics {
+            hosts: world.population.total_hosts(),
+            blocks24: world.population.block_count(),
+            networks16: n16,
+            slash8s: slash8s.len(),
+            hosts_per_block: FiveNumber::of(&per_block).expect("worlds are non-empty"),
+            block_counts: [counts.at(8), counts.at(16), counts.at(24)],
+            unclean_fraction: unclean as f64 / n16 as f64,
+            audience_fraction: audience as f64 / n16 as f64,
+            datacenter_fraction: datacenter as f64 / n16 as f64,
+            exposure: FiveNumber::of(&exposures).expect("non-empty"),
+        }
+    }
+
+    /// Render as a human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "hosts              : {}\n\
+             /24 blocks         : {} (hosts/block median {:.0}, max {:.0})\n\
+             /16 networks       : {} across {} /8s\n\
+             block growth       : /8 {} → /16 {} → /24 {} (multifractal: ≪256× per octet)\n\
+             unclean /16s       : {:.1}%\n\
+             audience /16s      : {:.1}%\n\
+             datacenter /16s    : {:.1}%\n\
+             exposure (per /24) : median {:.2}, max {:.1} (heavy tail)",
+            self.hosts,
+            self.blocks24,
+            self.hosts_per_block.median,
+            self.hosts_per_block.max,
+            self.networks16,
+            self.slash8s,
+            self.block_counts[0],
+            self.block_counts[1],
+            self.block_counts[2],
+            self.unclean_fraction * 100.0,
+            self.audience_fraction * 100.0,
+            self.datacenter_fraction * 100.0,
+            self.exposure.median,
+            self.exposure.max,
+        )
+    }
+}
+
+/// Summary statistics of an infection history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpidemicDiagnostics {
+    /// Total infection intervals.
+    pub infections: usize,
+    /// Fraction recruited into botnets.
+    pub recruited_fraction: f64,
+    /// Five-number summary of infection durations (days).
+    pub duration_days: FiveNumber,
+    /// Mean hygiene of infected hosts' /16s (should sit far below the
+    /// world's mean — the concentration check).
+    pub mean_infected_hygiene: f64,
+    /// Distinct /24s ever infected.
+    pub infected_blocks24: usize,
+    /// Histogram of infections per infected /24 (burstiness check).
+    pub per_block_histogram: Vec<(String, u64)>,
+}
+
+impl EpidemicDiagnostics {
+    /// Compute diagnostics for an infection history within a world.
+    pub fn of(world: &World, infections: &[Infection]) -> EpidemicDiagnostics {
+        assert!(!infections.is_empty(), "no infections to summarize");
+        let durations: Vec<f64> = infections
+            .iter()
+            .map(|i| (i.end - i.start + 1) as f64)
+            .collect();
+        let recruited = infections.iter().filter(|i| i.recruited).count();
+        let mut hygiene_sum = 0.0;
+        let mut hygiene_n = 0usize;
+        let mut per_block: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for inf in infections {
+            if let Some(p) = world.profile_of(inf.ip()) {
+                hygiene_sum += p.hygiene as f64;
+                hygiene_n += 1;
+            }
+            *per_block.entry(inf.addr >> 8).or_default() += 1;
+        }
+        let mut hist = Histogram::new(1.0, 33.0, 8);
+        for &c in per_block.values() {
+            hist.record(c as f64);
+        }
+        let per_block_histogram = (0..hist.counts().len())
+            .map(|i| {
+                let (lo, hi) = hist.bin_edges(i);
+                (format!("[{lo:.0},{hi:.0})"), hist.counts()[i])
+            })
+            .chain(std::iter::once(("≥33".to_string(), hist.overflow())))
+            .collect();
+        EpidemicDiagnostics {
+            infections: infections.len(),
+            recruited_fraction: recruited as f64 / infections.len() as f64,
+            duration_days: FiveNumber::of(&durations).expect("non-empty"),
+            mean_infected_hygiene: hygiene_sum / hygiene_n.max(1) as f64,
+            infected_blocks24: per_block.len(),
+            per_block_histogram,
+        }
+    }
+
+    /// Render as a human-readable report.
+    pub fn render(&self) -> String {
+        let hist: String = self
+            .per_block_histogram
+            .iter()
+            .map(|(label, count)| format!("    {label:>8}  {count}\n"))
+            .collect();
+        format!(
+            "infections         : {} over {} /24s\n\
+             recruited          : {:.0}%\n\
+             duration (days)    : median {:.0}, q3 {:.0}, max {:.0}\n\
+             infected hygiene   : mean {:.2} (world networks skew far cleaner)\n\
+             infections per /24 :\n{hist}",
+            self.infections,
+            self.infected_blocks24,
+            self.recruited_fraction * 100.0,
+            self.duration_days.median,
+            self.duration_days.q3,
+            self.duration_days.max,
+            self.mean_infected_hygiene,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+
+    fn scenario() -> Scenario {
+        Scenario::generate(ScenarioConfig::at_scale(0.001, 3))
+    }
+
+    #[test]
+    fn world_diagnostics_report_the_promised_properties() {
+        let s = scenario();
+        let d = WorldDiagnostics::of(&s.world);
+        assert_eq!(d.hosts, s.world.population.total_hosts());
+        assert_eq!(d.blocks24, s.world.population.block_count());
+        // Multifractality: /16→/24 growth well below 256×.
+        assert!(d.block_counts[2] < d.block_counts[1] * 64);
+        assert!(d.block_counts[0] < d.block_counts[1]);
+        // The unclean tail exists but is a minority.
+        assert!(d.unclean_fraction > 0.01 && d.unclean_fraction < 0.25, "{}", d.unclean_fraction);
+        // Audience is narrow.
+        assert!(d.audience_fraction < 0.25);
+        // Exposure is heavy-tailed around mean 1.
+        assert!(d.exposure.median < 1.0);
+        assert!(d.exposure.max > 3.0);
+        let text = d.render();
+        assert!(text.contains("multifractal"));
+        assert!(text.contains(&format!("{}", d.hosts)));
+    }
+
+    #[test]
+    fn epidemic_diagnostics_show_concentration_and_persistence() {
+        let s = scenario();
+        let d = EpidemicDiagnostics::of(&s.world, &s.infections);
+        assert_eq!(d.infections, s.infections.len());
+        assert!((d.recruited_fraction - s.config.compromise.recruit_prob).abs() < 0.05);
+        // Durations skew long (unclean networks keep hosts compromised).
+        assert!(d.duration_days.median >= 2.0);
+        assert!(d.duration_days.max > 60.0);
+        // Concentration: infected networks are much dirtier than average.
+        assert!(d.mean_infected_hygiene < 0.45, "{}", d.mean_infected_hygiene);
+        // Burstiness: some /24s carry many infections.
+        let multi: u64 = d
+            .per_block_histogram
+            .iter()
+            .skip(1)
+            .map(|(_, c)| *c)
+            .sum();
+        assert!(multi > 0, "some blocks are hit repeatedly");
+        let text = d.render();
+        assert!(text.contains("infections per /24"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no infections")]
+    fn empty_epidemic_rejected() {
+        let s = scenario();
+        let _ = EpidemicDiagnostics::of(&s.world, &[]);
+    }
+}

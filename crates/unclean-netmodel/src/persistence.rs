@@ -1,0 +1,215 @@
+//! Block-level uncleanliness persistence.
+//!
+//! The temporal uncleanliness hypothesis is, mechanically, a survival
+//! claim: once a /24 contains a compromised host, how long does it keep
+//! containing one? The paper infers this indirectly (a five-month-old
+//! report still predicts); with the simulation's ground truth we can
+//! measure it directly as a survival curve
+//! `S(Δ) = P(block unclean at t + Δ | block unclean at t)`, the quantity
+//! an operator needs to pick a block-list refresh interval.
+
+use crate::compromise::Infection;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use unclean_core::{DateRange, Day};
+
+/// Per-/24 union of compromise intervals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockTimeline {
+    /// Disjoint, sorted (start, end) day intervals when the block held at
+    /// least one compromised host.
+    pub intervals: Vec<(i32, i32)>,
+}
+
+impl BlockTimeline {
+    /// Whether the block is unclean on a given day.
+    pub fn unclean_on(&self, day: Day) -> bool {
+        self.intervals
+            .binary_search_by(|&(s, e)| {
+                if e < day.0 {
+                    std::cmp::Ordering::Less
+                } else if s > day.0 {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Total unclean days.
+    pub fn unclean_days(&self) -> u32 {
+        self.intervals.iter().map(|&(s, e)| (e - s + 1) as u32).sum()
+    }
+}
+
+/// Block timelines for a whole infection history, at /24 granularity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UncleanTimelines {
+    /// Map from /24 prefix (address >> 8) to its timeline.
+    timelines: HashMap<u32, BlockTimeline>,
+}
+
+impl UncleanTimelines {
+    /// Build from an infection history: per /24, merge overlapping
+    /// compromise intervals.
+    pub fn build(infections: &[Infection]) -> UncleanTimelines {
+        let mut per_block: HashMap<u32, Vec<(i32, i32)>> = HashMap::new();
+        for inf in infections {
+            per_block.entry(inf.addr >> 8).or_default().push((inf.start, inf.end));
+        }
+        let timelines = per_block
+            .into_iter()
+            .map(|(prefix, mut ivals)| {
+                ivals.sort_unstable();
+                let mut merged: Vec<(i32, i32)> = Vec::with_capacity(ivals.len());
+                for (s, e) in ivals {
+                    match merged.last_mut() {
+                        Some(last) if s <= last.1 + 1 => last.1 = last.1.max(e),
+                        _ => merged.push((s, e)),
+                    }
+                }
+                (prefix, BlockTimeline { intervals: merged })
+            })
+            .collect();
+        UncleanTimelines { timelines }
+    }
+
+    /// Number of /24s that were ever unclean.
+    pub fn len(&self) -> usize {
+        self.timelines.len()
+    }
+
+    /// Whether no block was ever unclean.
+    pub fn is_empty(&self) -> bool {
+        self.timelines.is_empty()
+    }
+
+    /// The timeline of a /24 prefix (address >> 8), if it was ever unclean.
+    pub fn timeline(&self, prefix24: u32) -> Option<&BlockTimeline> {
+        self.timelines.get(&prefix24)
+    }
+
+    /// The survival curve: for each lag Δ in `lags`, the fraction of
+    /// (block, day) pairs unclean on `day` that are still (or again)
+    /// unclean on `day + Δ`. Days are sampled from `window` at `stride`-day
+    /// spacing to bound cost.
+    pub fn survival(&self, window: DateRange, stride: u32, lags: &[u32]) -> Vec<(u32, f64)> {
+        assert!(stride >= 1, "stride must be at least one day");
+        let mut results = Vec::with_capacity(lags.len());
+        for &lag in lags {
+            let mut at_risk = 0u64;
+            let mut survived = 0u64;
+            for tl in self.timelines.values() {
+                let mut day = window.start;
+                while day <= window.end {
+                    if tl.unclean_on(day) {
+                        at_risk += 1;
+                        if tl.unclean_on(day + lag as i32) {
+                            survived += 1;
+                        }
+                    }
+                    day = day + stride as i32;
+                }
+            }
+            let s = if at_risk == 0 { 0.0 } else { survived as f64 / at_risk as f64 };
+            results.push((lag, s));
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inf(addr: u32, start: i32, end: i32) -> Infection {
+        Infection { addr, start, end, recruited: false, channel: 0 }
+    }
+
+    #[test]
+    fn intervals_merge_per_block() {
+        // Same /24 (addresses 0x0901_01xx): overlapping and adjacent
+        // intervals merge; a distant one stays separate.
+        let infections = vec![
+            inf(0x0901_0101, 10, 20),
+            inf(0x0901_0102, 15, 30),
+            inf(0x0901_0103, 31, 40), // adjacent → merges
+            inf(0x0901_0104, 100, 110),
+            inf(0x0902_0101, 5, 6), // different /24
+        ];
+        let t = UncleanTimelines::build(&infections);
+        assert_eq!(t.len(), 2);
+        let tl = t.timeline(0x0009_0101).expect("present");
+        assert_eq!(tl.intervals, vec![(10, 40), (100, 110)]);
+        assert_eq!(tl.unclean_days(), 31 + 11);
+    }
+
+    #[test]
+    fn unclean_on_boundaries() {
+        let t = UncleanTimelines::build(&[inf(0x0901_0101, 10, 20)]);
+        let tl = t.timeline(0x0009_0101).expect("present");
+        assert!(tl.unclean_on(Day(10)));
+        assert!(tl.unclean_on(Day(20)));
+        assert!(!tl.unclean_on(Day(9)));
+        assert!(!tl.unclean_on(Day(21)));
+    }
+
+    #[test]
+    fn survival_of_permanent_block_is_one() {
+        let t = UncleanTimelines::build(&[inf(0x0901_0101, 0, 1000)]);
+        let s = t.survival(DateRange::new(Day(0), Day(100)), 10, &[7, 30, 150]);
+        for (_, v) in s {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn survival_decays_with_lag() {
+        // Blocks unclean for 30 days starting at staggered offsets.
+        let infections: Vec<Infection> = (0..50)
+            .map(|i| inf(0x0901_0100 + (i << 8), i as i32 * 3, i as i32 * 3 + 29))
+            .collect();
+        let t = UncleanTimelines::build(&infections);
+        let s = t.survival(DateRange::new(Day(0), Day(150)), 1, &[0, 7, 30, 60]);
+        assert_eq!(s[0].1, 1.0, "zero lag is identity");
+        assert!(s[1].1 > s[2].1, "7-day survival beats 30-day");
+        assert!(s[2].1 < 0.2, "30-day lag outlives the 30-day infections rarely");
+        assert!(s[3].1 < s[2].1 + 1e-9);
+    }
+
+    #[test]
+    fn survival_counts_reinfection_as_survival() {
+        // Unclean at day 0-10 and again 50-60: a 50-day lag from day 0-10
+        // lands in the second interval.
+        let t = UncleanTimelines::build(&[
+            inf(0x0901_0101, 0, 10),
+            inf(0x0901_0102, 50, 60),
+        ]);
+        let s = t.survival(DateRange::new(Day(0), Day(10)), 1, &[50]);
+        assert_eq!(s[0].1, 1.0);
+    }
+
+    #[test]
+    fn empty_history() {
+        let t = UncleanTimelines::build(&[]);
+        assert!(t.is_empty());
+        let s = t.survival(DateRange::new(Day(0), Day(10)), 1, &[7]);
+        assert_eq!(s[0].1, 0.0);
+    }
+
+    #[test]
+    fn synthetic_world_has_long_horizon_persistence() {
+        // The property the whole paper rests on, measured on ground truth.
+        use crate::scenario::{Scenario, ScenarioConfig};
+        let s = Scenario::generate(ScenarioConfig::at_scale(0.001, 5));
+        let t = UncleanTimelines::build(&s.infections);
+        let window = DateRange::new(Day(0), Day(120));
+        let curve = t.survival(window, 7, &[7, 30, 90, 150]);
+        let get = |lag: u32| curve.iter().find(|(l, _)| *l == lag).expect("present").1;
+        assert!(get(7) > 0.5, "a week later most unclean /24s are still unclean: {}", get(7));
+        assert!(get(30) > 0.3, "30-day persistence: {}", get(30));
+        assert!(get(150) > 0.1, "five-month persistence is what makes bot-test work: {}", get(150));
+        assert!(get(7) >= get(30) && get(30) >= get(150), "monotone decay");
+    }
+}

@@ -1,0 +1,366 @@
+//! The synthetic active-host population: a multiplicative cascade over the
+//! prefix tree.
+//!
+//! Kohler, Li, Paxson and Shenker (cited as \[13\] by the paper) showed that
+//! addresses observed in real traffic are *multifractally* clustered: mass
+//! concentrates unevenly at every aggregation level, so the number of
+//! occupied blocks grows far slower than 2× per prefix bit. The paper's
+//! empirical control estimate inherits that structure from real traffic;
+//! since we have no real traffic, we generate the structure directly:
+//!
+//! 1. each allocated /8 receives a heavy-tailed (Pareto) share of the host
+//!    budget;
+//! 2. within a /8, a limited number of /16s activate, again with Pareto
+//!    shares;
+//! 3. within a /16, a limited number of /24s activate, with Pareto shares;
+//! 4. within a /24, the share rounds to a host count in `[1, 254]` and
+//!    that many host octets are chosen.
+//!
+//! The result reproduces the qualitative curve of the paper's Figure 2:
+//! block counts that bend well below the naive doubling line.
+
+use crate::allocation::allocated_slash8s;
+use crate::randutil::pareto;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use unclean_core::{Ip, IpSet};
+use unclean_stats::rng::sample_indices;
+use unclean_stats::SeedTree;
+
+/// Tunables for the cascade.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CascadeConfig {
+    /// Total active hosts to generate (approximately; rounding and the
+    /// 254-hosts-per-/24 cap introduce a few percent of slack).
+    pub target_hosts: usize,
+    /// Pareto shape for /8 shares (smaller = heavier tail = more skew).
+    pub slash8_alpha: f64,
+    /// Pareto shape for /16 shares within a /8.
+    pub slash16_alpha: f64,
+    /// Pareto shape for /24 shares within a /16.
+    pub slash24_alpha: f64,
+    /// Mean hosts per active /24 (drives how many /24s activate).
+    pub mean_hosts_per_slash24: f64,
+    /// Mean active /24s per active /16 (drives how many /16s activate).
+    pub mean_slash24s_per_slash16: f64,
+    /// /8s to exclude entirely (the observed network lives here).
+    pub exclude_slash8s: Vec<u8>,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> CascadeConfig {
+        CascadeConfig {
+            target_hosts: 1_000_000,
+            slash8_alpha: 1.4,
+            slash16_alpha: 1.1,
+            slash24_alpha: 1.0,
+            mean_hosts_per_slash24: 12.0,
+            mean_slash24s_per_slash16: 32.0,
+            exclude_slash8s: Vec::new(),
+        }
+    }
+}
+
+/// The generated population: active /24 blocks and their host octets, in a
+/// flat, cache-friendly CSR-style layout (47M-host full-scale runs fit
+/// comfortably in memory).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Population {
+    /// Sorted /24 prefixes (address >> 8).
+    prefixes: Vec<u32>,
+    /// `offsets[i]..offsets[i+1]` indexes `hosts` for block `i`.
+    offsets: Vec<u32>,
+    /// Host octets, ascending within each block.
+    hosts: Vec<u8>,
+}
+
+/// A view of one active /24.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockView<'a> {
+    /// The /24 prefix (address >> 8).
+    pub prefix: u32,
+    /// The active host octets in this /24, ascending.
+    pub hosts: &'a [u8],
+}
+
+impl BlockView<'_> {
+    /// The full address of host `i` in this block.
+    pub fn addr(&self, i: usize) -> Ip {
+        Ip((self.prefix << 8) | self.hosts[i] as u32)
+    }
+
+    /// Iterate the full addresses in this block.
+    pub fn addrs(&self) -> impl Iterator<Item = Ip> + '_ {
+        self.hosts.iter().map(|&h| Ip((self.prefix << 8) | h as u32))
+    }
+}
+
+impl Population {
+    /// Run the cascade.
+    pub fn generate(cfg: &CascadeConfig, seeds: &SeedTree) -> Population {
+        assert!(cfg.target_hosts > 0, "empty population requested");
+        let slash8s: Vec<u8> = allocated_slash8s()
+            .into_iter()
+            .filter(|s| !cfg.exclude_slash8s.contains(s))
+            .collect();
+        assert!(!slash8s.is_empty(), "every /8 excluded");
+
+        // Level 1: /8 shares.
+        let mut rng8 = seeds.stream("cascade-slash8");
+        let w8: Vec<f64> = slash8s.iter().map(|_| pareto(&mut rng8, cfg.slash8_alpha)).collect();
+        let total_w8: f64 = w8.iter().sum();
+
+        let mut prefixes = Vec::new();
+        let mut offsets: Vec<u32> = vec![0];
+        let mut hosts: Vec<u8> = Vec::with_capacity(cfg.target_hosts);
+
+        for (i, &s8) in slash8s.iter().enumerate() {
+            let t8 = cfg.target_hosts as f64 * w8[i] / total_w8;
+            if t8 < 0.5 {
+                continue;
+            }
+            let mut rng = seeds.child("cascade-slash16").stream_idx(s8 as u64);
+            Self::fill_slash8(cfg, s8, t8, &mut rng, &mut prefixes, &mut offsets, &mut hosts);
+        }
+        debug_assert!(prefixes.windows(2).all(|w| w[0] < w[1]));
+        Population { prefixes, offsets, hosts }
+    }
+
+    fn fill_slash8(
+        cfg: &CascadeConfig,
+        s8: u8,
+        t8: f64,
+        rng: &mut impl Rng,
+        prefixes: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+        hosts: &mut Vec<u8>,
+    ) {
+        // Level 2: choose active /16s.
+        let per16 = cfg.mean_slash24s_per_slash16 * cfg.mean_hosts_per_slash24;
+        let k16 = ((t8 / per16).ceil() as usize).clamp(1, 256);
+        let picks16 = sample_indices(rng, 256, k16);
+        let w16: Vec<f64> = picks16.iter().map(|_| pareto(rng, cfg.slash16_alpha)).collect();
+        let total_w16: f64 = w16.iter().sum();
+
+        for (j, &o16) in picks16.iter().enumerate() {
+            let t16 = t8 * w16[j] / total_w16;
+            if t16 < 0.5 {
+                continue;
+            }
+            // Level 3: choose active /24s.
+            let k24 = ((t16 / cfg.mean_hosts_per_slash24).ceil() as usize).clamp(1, 256);
+            let picks24 = sample_indices(rng, 256, k24);
+            let w24: Vec<f64> = picks24.iter().map(|_| pareto(rng, cfg.slash24_alpha)).collect();
+            let total_w24: f64 = w24.iter().sum();
+
+            for (l, &o24) in picks24.iter().enumerate() {
+                let t24 = t16 * w24[l] / total_w24;
+                // Level 4: host count, capped by the /24 host space.
+                let count = (t24.round() as usize).clamp(0, 254);
+                if count == 0 {
+                    continue;
+                }
+                let prefix = ((s8 as u32) << 16) | ((o16 as u32) << 8) | o24 as u32;
+                // Skip protocol-reserved sub-ranges inside allocated /8s
+                // (RFC 1918's 172.16/12 and 192.168/16, link-local,
+                // TEST-NET, benchmarking) — no real hosts live there.
+                if Ip(prefix << 8).is_reserved() {
+                    continue;
+                }
+                // Host octets 1..=254 (skip network and broadcast).
+                let octets = sample_indices(rng, 254, count);
+                prefixes.push(prefix);
+                hosts.extend(octets.into_iter().map(|o| (o + 1) as u8));
+                offsets.push(hosts.len() as u32);
+            }
+        }
+    }
+
+    /// Number of active /24 blocks.
+    pub fn block_count(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Total active hosts.
+    pub fn total_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// View of block `i` (panics out of range).
+    pub fn block(&self, i: usize) -> BlockView<'_> {
+        BlockView {
+            prefix: self.prefixes[i],
+            hosts: &self.hosts[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+        }
+    }
+
+    /// Find a block by its /24 prefix (address >> 8).
+    pub fn find(&self, prefix: u32) -> Option<usize> {
+        self.prefixes.binary_search(&prefix).ok()
+    }
+
+    /// Iterate all blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockView<'_>> {
+        (0..self.block_count()).map(move |i| self.block(i))
+    }
+
+    /// Iterate every active host address, ascending.
+    pub fn addrs(&self) -> impl Iterator<Item = Ip> + '_ {
+        self.blocks().flat_map(|b| {
+            let prefix = b.prefix;
+            b.hosts.iter().map(move |&h| Ip((prefix << 8) | h as u32))
+        })
+    }
+
+    /// All host addresses as an [`IpSet`].
+    pub fn to_ipset(&self) -> IpSet {
+        let mut raw = Vec::with_capacity(self.total_hosts());
+        raw.extend(self.addrs().map(|ip| ip.raw()));
+        IpSet::from_sorted(raw)
+    }
+
+    /// Whether a given address is an active host.
+    pub fn contains(&self, ip: Ip) -> bool {
+        match self.find(ip.raw() >> 8) {
+            None => false,
+            Some(i) => self.block(i).hosts.binary_search(&(ip.raw() as u8)).is_ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unclean_core::blocks::BlockCounts;
+
+    fn small_cfg() -> CascadeConfig {
+        CascadeConfig {
+            target_hosts: 50_000,
+            ..CascadeConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Population::generate(&small_cfg(), &SeedTree::new(1));
+        let b = Population::generate(&small_cfg(), &SeedTree::new(1));
+        assert_eq!(a, b);
+        let c = Population::generate(&small_cfg(), &SeedTree::new(2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn total_near_target() {
+        let p = Population::generate(&small_cfg(), &SeedTree::new(3));
+        let total = p.total_hosts();
+        assert!(
+            (25_000..=75_000).contains(&total),
+            "total {total} should be near the 50k target"
+        );
+    }
+
+    #[test]
+    fn structure_invariants() {
+        let p = Population::generate(&small_cfg(), &SeedTree::new(4));
+        // Prefixes strictly ascending.
+        let mut last = None;
+        for b in p.blocks() {
+            if let Some(l) = last {
+                assert!(b.prefix > l);
+            }
+            last = Some(b.prefix);
+            // Hosts ascending, in 1..=254, non-empty.
+            assert!(!b.hosts.is_empty());
+            assert!(b.hosts.windows(2).all(|w| w[0] < w[1]));
+            assert!(b.hosts.iter().all(|&h| (1..=254).contains(&h)));
+            assert!(b.hosts.len() <= 254);
+        }
+        assert_eq!(p.blocks().map(|b| b.hosts.len()).sum::<usize>(), p.total_hosts());
+    }
+
+    #[test]
+    fn respects_allocation_and_exclusion() {
+        let mut cfg = small_cfg();
+        cfg.exclude_slash8s = vec![4, 24];
+        let p = Population::generate(&cfg, &SeedTree::new(5));
+        use crate::allocation::{slash8_status, Slash8Status};
+        for b in p.blocks() {
+            let s8 = (b.prefix >> 16) as u8;
+            assert_eq!(slash8_status(s8), Slash8Status::Allocated, "{s8}/8");
+            assert!(s8 != 4 && s8 != 24, "excluded /8 {s8} appeared");
+        }
+    }
+
+    #[test]
+    fn lookup_and_membership() {
+        let p = Population::generate(&small_cfg(), &SeedTree::new(6));
+        let first = p.block(0);
+        let ip = first.addr(0);
+        assert!(p.contains(ip));
+        assert_eq!(p.find(first.prefix), Some(0));
+        // An address in an inactive /24 is absent.
+        assert!(!p.contains(Ip(1 << 24)), "1/8 is unallocated in 2006");
+    }
+
+    #[test]
+    fn to_ipset_matches_iteration() {
+        let p = Population::generate(&small_cfg(), &SeedTree::new(7));
+        let set = p.to_ipset();
+        assert_eq!(set.len(), p.total_hosts());
+        let sample: Vec<Ip> = p.addrs().take(100).collect();
+        assert!(sample.iter().all(|&ip| set.contains(ip)));
+    }
+
+    #[test]
+    fn population_is_multifractal_not_uniform() {
+        // The heart of the substitution argument: block counts must grow
+        // sub-exponentially with prefix length, unlike uniform sampling.
+        let p = Population::generate(&small_cfg(), &SeedTree::new(8));
+        let set = p.to_ipset();
+        let counts = BlockCounts::of(&set);
+        // Uniform sampling of ~50k addrs over ~150 /8s would occupy ~50k
+        // distinct /24s; the cascade packs them far more tightly.
+        let c24 = counts.at(24);
+        assert!(
+            (c24 as usize) < p.total_hosts() / 3,
+            "/24 count {c24} should be far below host count {}",
+            p.total_hosts()
+        );
+        // And growth from /16 to /24 is well below 2^8 = 256×.
+        let c16 = counts.at(16);
+        assert!(
+            c24 < c16 * 64,
+            "growth /16→/24 should be sub-uniform: {c16} → {c24}"
+        );
+        // Per-block host counts are heavy-tailed: the largest block should
+        // dwarf the mean.
+        let max_block = p.blocks().map(|b| b.hosts.len()).max().expect("non-empty");
+        let mean_block = p.total_hosts() as f64 / p.block_count() as f64;
+        assert!(max_block as f64 > mean_block * 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn zero_target_panics() {
+        let cfg = CascadeConfig { target_hosts: 0, ..CascadeConfig::default() };
+        let _ = Population::generate(&cfg, &SeedTree::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "every /8 excluded")]
+    fn full_exclusion_panics() {
+        let cfg = CascadeConfig {
+            exclude_slash8s: (0u8..=255).collect(),
+            ..small_cfg()
+        };
+        let _ = Population::generate(&cfg, &SeedTree::new(1));
+    }
+
+    #[test]
+    fn scales_to_larger_targets() {
+        let cfg = CascadeConfig { target_hosts: 500_000, ..CascadeConfig::default() };
+        let p = Population::generate(&cfg, &SeedTree::new(9));
+        assert!(p.total_hosts() > 250_000);
+        assert!(p.block_count() > 10_000);
+    }
+}

@@ -1,0 +1,355 @@
+//! The world: the host population plus per-network defensive posture.
+//!
+//! Uncleanliness is *defined* by the paper as a latent property of a
+//! network's defenders (§1's institution A vs institution B). The synthetic
+//! world makes that latent property explicit: every /16 receives a hygiene
+//! score in `(0, 1)` (1 = institution A: aggressive firewalling, nightly
+//! reimaging; 0 = institution B: no inventory, no firewall), each /24
+//! inherits its /16's score with a little noise, and a small fraction of
+//! /16s are flagged as *hosting/datacenter* networks — well-run but
+//! attractive to phishers, which is the paper's proposed explanation for
+//! why phishing does not co-locate with botnets (§5.2).
+//!
+//! Every /16 also carries an *affinity* to the observed network: the
+//! heavy-tailed propensity of its hosts to legitimately communicate with
+//! the observed edge network. This models the locality phenomenon
+//! (McHugh & Gates, cited as \[17\]) that §6 leans on: normal audiences are
+//! narrow, so blocking far-away unclean /24s barely touches legitimate
+//! traffic.
+
+use crate::population::{BlockView, CascadeConfig, Population};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use unclean_stats::SeedTree;
+
+/// Tunables for network profiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Cascade settings for the population.
+    pub cascade: CascadeConfig,
+    /// Skew of the hygiene distribution: hygiene = u^(1/gamma) for uniform
+    /// u, so larger gamma pushes mass toward 1 (mostly clean networks).
+    pub hygiene_gamma: f64,
+    /// Fraction of /16s that are catastrophically unclean (institution B).
+    pub unclean_fraction: f64,
+    /// Unclean networks' hygiene is scaled into `(0, unclean_ceiling)`.
+    pub unclean_ceiling: f64,
+    /// Per-/24 hygiene noise half-width around the /16 score.
+    pub hygiene_noise: f64,
+    /// Fraction of /16s that are hosting/datacenter networks.
+    pub datacenter_fraction: f64,
+    /// Fraction of /16s in the observed network's *audience*: networks
+    /// with a real communication relationship (McHugh & Gates locality).
+    pub audience_fraction: f64,
+    /// Affinity range for audience networks (multiplies the base daily
+    /// visit probability).
+    pub audience_affinity: (f64, f64),
+    /// Affinity ceiling for every other ("remote") network — most of the
+    /// Internet essentially never initiates legitimate traffic to a given
+    /// edge network. Scaled by hygiene: institution-B networks have even
+    /// less business with the observed network.
+    pub remote_affinity_max: f64,
+    /// Pareto shape of the per-/24 attack-exposure multiplier (how heavily
+    /// worms pound a block once they find it; smaller = more concentrated).
+    pub exposure_alpha: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> WorldConfig {
+        WorldConfig {
+            cascade: CascadeConfig::default(),
+            hygiene_gamma: 2.6,
+            unclean_fraction: 0.03,
+            unclean_ceiling: 0.25,
+            hygiene_noise: 0.04,
+            datacenter_fraction: 0.04,
+            audience_fraction: 0.25,
+            audience_affinity: (0.35, 1.5),
+            remote_affinity_max: 0.025,
+            exposure_alpha: 1.08,
+        }
+    }
+}
+
+/// The defensive profile of a /16 network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Hygiene in `(0, 1)`; low = unclean.
+    pub hygiene: f32,
+    /// Whether this is a hosting/datacenter network.
+    pub datacenter: bool,
+    /// Multiplier on the base daily visit probability: ≳ 1 for audience
+    /// networks, ≈ 0 for the remote majority.
+    pub affinity: f32,
+}
+
+impl NetworkProfile {
+    /// Whether the network belongs to the observed network's audience.
+    pub fn is_audience(&self) -> bool {
+        self.affinity >= 0.5
+    }
+}
+
+/// The world: population + aligned per-/24 profiles + per-/16 profiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct World {
+    /// The active-host population.
+    pub population: Population,
+    /// Sorted /16 prefixes (address >> 16) that contain active hosts.
+    slash16s: Vec<u32>,
+    /// Profile per /16, aligned with `slash16s`.
+    profiles: Vec<NetworkProfile>,
+    /// Per-/24 hygiene, aligned with `population` block order.
+    block_hygiene: Vec<f32>,
+    /// Per-/24 attack-exposure multiplier (mean 1), aligned with
+    /// `population` block order. Worm propagation is subnet-bursty: once a
+    /// block is found, it is swept — so compromise hazard concentrates in
+    /// "hot" blocks, and the same blocks stay hot for the whole simulated
+    /// year (a key source of both spatial and temporal uncleanliness).
+    block_exposure: Vec<f32>,
+}
+
+impl World {
+    /// Generate population and profiles.
+    pub fn generate(cfg: &WorldConfig, seeds: &SeedTree) -> World {
+        let population = Population::generate(&cfg.cascade, seeds);
+
+        // Distinct /16s in population order.
+        let mut slash16s: Vec<u32> = population.blocks().map(|b| b.prefix >> 8).collect();
+        slash16s.dedup();
+
+        let mut rng = seeds.stream("world-profiles");
+        let mut profiles = Vec::with_capacity(slash16s.len());
+        for _ in &slash16s {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let mut hygiene = u.powf(1.0 / cfg.hygiene_gamma);
+            let datacenter = rng.gen_range(0.0..1.0f64) < cfg.datacenter_fraction;
+            if datacenter {
+                // Hosting networks are professionally run.
+                hygiene = hygiene.max(0.9);
+            } else if rng.gen_range(0.0..1.0f64) < cfg.unclean_fraction {
+                // Institution B: catastrophic posture.
+                hygiene *= cfg.unclean_ceiling;
+            }
+            // Audience membership requires a working relationship with the
+            // observed network — institution-B networks (no inventory, no
+            // firewall) are not its business partners. This is the §6.2
+            // demographics observation: the unclean networks' legitimate
+            // traffic toward the observed network was negligible.
+            let audience_draw = rng.gen_range(0.0..1.0f64);
+            let audience_aff = rng.gen_range(cfg.audience_affinity.0..cfg.audience_affinity.1);
+            let remote_u: f64 = rng.gen_range(0.0..1.0);
+            let affinity = if hygiene >= 0.7 && audience_draw < cfg.audience_fraction {
+                audience_aff
+            } else {
+                // Remote networks: vanishingly small, skewed toward zero,
+                // and smaller still for poorly run networks.
+                remote_u * remote_u * cfg.remote_affinity_max * hygiene
+            } as f32;
+            profiles.push(NetworkProfile {
+                hygiene: hygiene.clamp(0.005, 0.995) as f32,
+                datacenter,
+                affinity,
+            });
+        }
+
+        // Per-/24 hygiene: /16 score plus noise.
+        let mut block_hygiene = Vec::with_capacity(population.block_count());
+        let mut rng24 = seeds.stream("world-block-hygiene");
+        for b in population.blocks() {
+            let idx = slash16s
+                .binary_search(&(b.prefix >> 8))
+                .expect("every block's /16 is registered");
+            let base = profiles[idx].hygiene;
+            let noise = rng24.gen_range(-cfg.hygiene_noise..=cfg.hygiene_noise) as f32;
+            block_hygiene.push((base + noise).clamp(0.005, 0.995));
+        }
+
+        // Per-/24 attack exposure: heavy-tailed, normalized to mean 1 so
+        // the analytic hazard calibration stays exact.
+        let mut rng_exp = seeds.stream("world-exposure");
+        let raw_exposure: Vec<f64> = (0..population.block_count())
+            .map(|_| crate::randutil::pareto(&mut rng_exp, cfg.exposure_alpha))
+            .collect();
+        let mean_exp =
+            raw_exposure.iter().sum::<f64>() / raw_exposure.len().max(1) as f64;
+        let block_exposure = raw_exposure.iter().map(|&e| (e / mean_exp) as f32).collect();
+
+        World {
+            population,
+            slash16s,
+            profiles,
+            block_hygiene,
+            block_exposure,
+        }
+    }
+
+    /// Number of distinct /16 networks.
+    pub fn network_count(&self) -> usize {
+        self.slash16s.len()
+    }
+
+    /// Profile of the /16 containing an address (None if no active hosts
+    /// there).
+    pub fn profile_of(&self, ip: unclean_core::Ip) -> Option<&NetworkProfile> {
+        self.slash16s
+            .binary_search(&(ip.raw() >> 16))
+            .ok()
+            .map(|i| &self.profiles[i])
+    }
+
+    /// Profile by /16 index.
+    pub fn profile(&self, slash16_idx: usize) -> &NetworkProfile {
+        &self.profiles[slash16_idx]
+    }
+
+    /// The /16 prefixes with profiles, aligned with indices.
+    pub fn slash16s(&self) -> &[u32] {
+        &self.slash16s
+    }
+
+    /// Hygiene of population block `i` (aligned with
+    /// [`Population::block`]).
+    pub fn block_hygiene(&self, i: usize) -> f32 {
+        self.block_hygiene[i]
+    }
+
+    /// Attack-exposure multiplier of population block `i` (mean 1 across
+    /// the world).
+    pub fn block_exposure(&self, i: usize) -> f32 {
+        self.block_exposure[i]
+    }
+
+    /// Whether population block `i` sits in a datacenter /16.
+    pub fn block_datacenter(&self, i: usize) -> bool {
+        let prefix16 = self.population.block(i).prefix >> 8;
+        let idx = self.slash16s.binary_search(&prefix16).expect("registered");
+        self.profiles[idx].datacenter
+    }
+
+    /// Audience affinity of block `i` (the /16's visit-probability
+    /// multiplier).
+    pub fn block_affinity(&self, i: usize) -> f64 {
+        let prefix16 = self.population.block(i).prefix >> 8;
+        let idx = self.slash16s.binary_search(&prefix16).expect("registered");
+        self.profiles[idx].affinity as f64
+    }
+
+    /// Iterate blocks together with their hygiene.
+    pub fn blocks_with_hygiene(&self) -> impl Iterator<Item = (BlockView<'_>, f32)> {
+        (0..self.population.block_count()).map(move |i| (self.population.block(i), self.block_hygiene[i]))
+    }
+
+    /// Indices of datacenter blocks (phishing hosting candidates).
+    pub fn datacenter_blocks(&self) -> Vec<usize> {
+        (0..self.population.block_count())
+            .filter(|&i| self.block_datacenter(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world(seed: u64) -> World {
+        let cfg = WorldConfig {
+            cascade: CascadeConfig { target_hosts: 40_000, ..CascadeConfig::default() },
+            ..WorldConfig::default()
+        };
+        World::generate(&cfg, &SeedTree::new(seed))
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small_world(1);
+        let b = small_world(1);
+        assert_eq!(a.slash16s, b.slash16s);
+        assert_eq!(a.block_hygiene, b.block_hygiene);
+    }
+
+    #[test]
+    fn every_block_has_a_profile() {
+        let w = small_world(2);
+        assert_eq!(w.block_hygiene.len(), w.population.block_count());
+        for i in 0..w.population.block_count() {
+            let h = w.block_hygiene(i);
+            assert!((0.0..=1.0).contains(&h));
+            let ip = w.population.block(i).addr(0);
+            assert!(w.profile_of(ip).is_some());
+        }
+    }
+
+    #[test]
+    fn hygiene_is_skewed_clean_with_unclean_tail() {
+        let w = small_world(3);
+        let hygienes: Vec<f32> = (0..w.network_count()).map(|i| w.profile(i).hygiene).collect();
+        let n = hygienes.len() as f64;
+        let clean = hygienes.iter().filter(|&&h| h > 0.7).count() as f64 / n;
+        let filthy = hygienes.iter().filter(|&&h| h < 0.25).count() as f64 / n;
+        assert!(clean > 0.45, "most networks are clean-ish: {clean}");
+        assert!(filthy > 0.03, "an unclean minority exists: {filthy}");
+        assert!(filthy < 0.30, "unclean networks stay a minority: {filthy}");
+    }
+
+    #[test]
+    fn slash24_hygiene_tracks_slash16() {
+        let w = small_world(4);
+        for i in (0..w.population.block_count()).step_by(7) {
+            let ip = w.population.block(i).addr(0);
+            let h16 = w.profile_of(ip).expect("registered").hygiene;
+            let h24 = w.block_hygiene(i);
+            assert!(
+                (h16 - h24).abs() <= 0.05,
+                "block hygiene {h24} near its /16's {h16}"
+            );
+        }
+    }
+
+    #[test]
+    fn datacenters_are_clean_and_minority() {
+        let w = small_world(5);
+        let dc: Vec<usize> = w.datacenter_blocks();
+        assert!(!dc.is_empty(), "some datacenter blocks exist");
+        assert!(
+            dc.len() < w.population.block_count() / 5,
+            "datacenters are a minority"
+        );
+        for &i in dc.iter().take(50) {
+            let ip = w.population.block(i).addr(0);
+            let p = w.profile_of(ip).expect("registered");
+            assert!(p.datacenter);
+            assert!(p.hygiene >= 0.85, "datacenters are well-run: {}", p.hygiene);
+        }
+    }
+
+    #[test]
+    fn affinity_is_a_narrow_audience() {
+        // Locality: a small audience with real affinity, a large remote
+        // majority with almost none.
+        let w = small_world(6);
+        let n = w.network_count();
+        let audience = (0..n).filter(|&i| w.profile(i).is_audience()).count();
+        let frac = audience as f64 / n as f64;
+        assert!((0.06..0.20).contains(&frac), "audience fraction {frac}");
+        let affs: Vec<f64> = (0..w.population.block_count())
+            .step_by(3)
+            .map(|i| w.block_affinity(i))
+            .collect();
+        let median = {
+            let mut s = affs.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            s[s.len() / 2]
+        };
+        assert!(median < 0.05, "the median network is remote: {median}");
+        let max = affs.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.8, "audience networks exist among blocks: {max}");
+    }
+
+    #[test]
+    fn profile_of_unpopulated_space_is_none() {
+        let w = small_world(7);
+        // 1/8 is unallocated in the 2006 map, so never populated.
+        assert!(w.profile_of(unclean_core::Ip(1 << 24)).is_none());
+    }
+}

@@ -1,0 +1,190 @@
+//! Bootstrap confidence intervals.
+//!
+//! The paper reports point observations against trial distributions; when
+//! *we* report derived ratios (precision at /24, density ratios, overlap
+//! lifts) it is honest to attach uncertainty. With no closed forms for
+//! ratios of clustered counts, the percentile bootstrap is the right tool:
+//! resample the observations with replacement, recompute the statistic,
+//! take quantiles of the resampled distribution.
+
+use crate::quantile::quantile_sorted;
+use crate::rng::SeedTree;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval from a percentile bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the statistic on the un-resampled data).
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether a value lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile bootstrap of an arbitrary statistic of a sample.
+///
+/// `statistic` receives a resampled view of `data` (same length, drawn
+/// with replacement) and must return a finite value. Deterministic for a
+/// fixed seed tree. Panics on an empty sample, a nonsensical confidence
+/// level, or zero resamples.
+pub fn bootstrap_ci<T: Copy>(
+    data: &[T],
+    statistic: impl Fn(&[T]) -> f64,
+    resamples: usize,
+    level: f64,
+    seeds: &SeedTree,
+) -> ConfidenceInterval {
+    assert!(!data.is_empty(), "cannot bootstrap an empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!((0.5..1.0).contains(&level), "confidence level {level} out of (0.5, 1.0)");
+    let estimate = statistic(data);
+    assert!(estimate.is_finite(), "statistic must be finite on the data");
+
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf: Vec<T> = Vec::with_capacity(data.len());
+    for r in 0..resamples {
+        let mut rng = seeds.stream_idx(r as u64);
+        buf.clear();
+        for _ in 0..data.len() {
+            buf.push(data[rng.gen_range(0..data.len())]);
+        }
+        let v = statistic(&buf);
+        assert!(v.is_finite(), "statistic must be finite on resamples");
+        stats.push(v);
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let alpha = (1.0 - level) / 2.0;
+    ConfidenceInterval {
+        estimate,
+        lo: quantile_sorted(&stats, alpha),
+        hi: quantile_sorted(&stats, 1.0 - alpha),
+        level,
+    }
+}
+
+/// Convenience: bootstrap CI of a mean.
+pub fn bootstrap_mean_ci(
+    data: &[f64],
+    resamples: usize,
+    level: f64,
+    seeds: &SeedTree,
+) -> ConfidenceInterval {
+    bootstrap_ci(
+        data,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        level,
+        seeds,
+    )
+}
+
+/// Convenience: bootstrap CI of a proportion over boolean outcomes.
+pub fn bootstrap_proportion_ci(
+    outcomes: &[bool],
+    resamples: usize,
+    level: f64,
+    seeds: &SeedTree,
+) -> ConfidenceInterval {
+    bootstrap_ci(
+        outcomes,
+        |s| s.iter().filter(|&&b| b).count() as f64 / s.len() as f64,
+        resamples,
+        level,
+        seeds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_covers_the_mean() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_mean_ci(&data, 500, 0.95, &SeedTree::new(1));
+        assert!((ci.estimate - 4.5).abs() < 1e-9);
+        assert!(ci.contains(4.5));
+        assert!(ci.lo < ci.estimate && ci.estimate < ci.hi);
+        assert!(ci.width() < 1.0, "200 observations pin the mean tightly");
+    }
+
+    #[test]
+    fn proportion_ci() {
+        let outcomes: Vec<bool> = (0..300).map(|i| i % 10 < 9).collect();
+        let ci = bootstrap_proportion_ci(&outcomes, 400, 0.95, &SeedTree::new(2));
+        assert!((ci.estimate - 0.9).abs() < 1e-9);
+        assert!(ci.contains(0.9));
+        assert!(ci.lo > 0.8 && ci.hi < 1.0);
+    }
+
+    #[test]
+    fn constant_data_gives_degenerate_interval() {
+        let data = vec![7.0; 50];
+        let ci = bootstrap_mean_ci(&data, 100, 0.95, &SeedTree::new(3));
+        assert_eq!(ci.lo, 7.0);
+        assert_eq!(ci.hi, 7.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn wider_level_widens_interval() {
+        let data: Vec<f64> = (0..60).map(|i| ((i * 37) % 100) as f64).collect();
+        let seeds = SeedTree::new(4);
+        let ci90 = bootstrap_mean_ci(&data, 400, 0.90, &seeds);
+        let ci99 = bootstrap_mean_ci(&data, 400, 0.99, &seeds);
+        assert!(ci99.width() > ci90.width());
+    }
+
+    #[test]
+    fn deterministic() {
+        let data: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let a = bootstrap_mean_ci(&data, 200, 0.95, &SeedTree::new(5));
+        let b = bootstrap_mean_ci(&data, 200, 0.95, &SeedTree::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let data: Vec<f64> = (1..=99).map(f64::from).collect();
+        let ci = bootstrap_ci(
+            &data,
+            |s| {
+                let mut v = s.to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                v[v.len() / 2]
+            },
+            300,
+            0.95,
+            &SeedTree::new(6),
+        );
+        assert!(ci.contains(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        let _ = bootstrap_mean_ci(&[], 10, 0.95, &SeedTree::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn bad_level_rejected() {
+        let _ = bootstrap_mean_ci(&[1.0], 10, 1.5, &SeedTree::new(1));
+    }
+}

@@ -1,0 +1,226 @@
+//! Trial ensembles over a shared x-axis.
+//!
+//! The paper's reference distributions come from repeating an analysis over
+//! 1000 randomly drawn control subsets and summarizing, per x-value (CIDR
+//! prefix length), the distribution of the resulting y-values (block counts
+//! or intersection counts). [`Ensemble`] holds that per-x sample matrix;
+//! [`EnsembleBuilder::run`] executes the trials across threads with one
+//! deterministic RNG stream per trial, so parallel and serial execution
+//! produce identical results.
+
+use crate::rng::SeedTree;
+use crate::summary::FiveNumber;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A completed ensemble: for each x-axis position, the y-values produced by
+/// every trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ensemble {
+    xs: Vec<u32>,
+    /// `samples[i]` holds one y-value per trial, for x = `xs[i]`.
+    samples: Vec<Vec<f64>>,
+}
+
+impl Ensemble {
+    /// Construct from raw parts. `samples` must be one vector per x, all of
+    /// equal length (one entry per trial).
+    pub fn from_parts(xs: Vec<u32>, samples: Vec<Vec<f64>>) -> Ensemble {
+        assert_eq!(xs.len(), samples.len(), "one sample vector per x");
+        if let Some(first) = samples.first() {
+            assert!(
+                samples.iter().all(|s| s.len() == first.len()),
+                "ragged ensemble: all x positions must have the same trial count"
+            );
+        }
+        Ensemble { xs, samples }
+    }
+
+    /// The shared x-axis.
+    pub fn xs(&self) -> &[u32] {
+        &self.xs
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// The raw trial values at x-index `i`.
+    pub fn samples_at(&self, i: usize) -> &[f64] {
+        &self.samples[i]
+    }
+
+    /// The raw trial values for an x-axis *value* (not index).
+    pub fn samples_for(&self, x: u32) -> Option<&[f64]> {
+        self.xs.iter().position(|&v| v == x).map(|i| self.samples[i].as_slice())
+    }
+
+    /// Boxplot summaries per x position, in x order.
+    pub fn five_numbers(&self) -> Vec<(u32, FiveNumber)> {
+        self.xs
+            .iter()
+            .zip(&self.samples)
+            .map(|(&x, s)| (x, FiveNumber::of(s).expect("ensembles are non-empty and finite")))
+            .collect()
+    }
+
+    /// Fraction of trials at x-index `i` with y strictly less than `v`.
+    pub fn fraction_below(&self, i: usize, v: f64) -> f64 {
+        let s = &self.samples[i];
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().filter(|&&y| y < v).count() as f64 / s.len() as f64
+    }
+
+    /// Fraction of trials at x-index `i` with y strictly greater than `v`.
+    pub fn fraction_above(&self, i: usize, v: f64) -> f64 {
+        let s = &self.samples[i];
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().filter(|&&y| y > v).count() as f64 / s.len() as f64
+    }
+}
+
+/// Runs N trials, each producing a curve over a fixed x-axis.
+#[derive(Debug, Clone)]
+pub struct EnsembleBuilder {
+    xs: Vec<u32>,
+    trials: usize,
+    threads: usize,
+}
+
+impl EnsembleBuilder {
+    /// An ensemble over the given x-axis with `trials` repetitions.
+    pub fn new(xs: Vec<u32>, trials: usize) -> EnsembleBuilder {
+        EnsembleBuilder {
+            xs,
+            trials,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// Cap the worker thread count (1 = serial).
+    pub fn threads(mut self, n: usize) -> EnsembleBuilder {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Execute the ensemble.
+    ///
+    /// `trial` receives the trial index, a ChaCha8 RNG derived from
+    /// `seeds.child_idx(index)`, and the x-axis; it must return one y per x.
+    /// Trials are distributed over threads; determinism is preserved because
+    /// each trial's randomness depends only on its index.
+    pub fn run<F>(&self, seeds: &SeedTree, trial: F) -> Ensemble
+    where
+        F: Fn(usize, &mut ChaCha8Rng, &[u32]) -> Vec<f64> + Sync,
+    {
+        let n_threads = self.threads.min(self.trials.max(1));
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); self.trials];
+        if self.trials > 0 {
+            crossbeam::scope(|scope| {
+                let chunks = rows.chunks_mut(self.trials.div_ceil(n_threads));
+                for (chunk_no, chunk) in chunks.enumerate() {
+                    let base = chunk_no * self.trials.div_ceil(n_threads);
+                    let xs = &self.xs;
+                    let trial = &trial;
+                    scope.spawn(move |_| {
+                        for (off, row) in chunk.iter_mut().enumerate() {
+                            let idx = base + off;
+                            let mut rng = seeds.stream_idx(idx as u64);
+                            let ys = trial(idx, &mut rng, xs);
+                            assert_eq!(
+                                ys.len(),
+                                xs.len(),
+                                "trial {idx} returned {} y-values for {} x positions",
+                                ys.len(),
+                                xs.len()
+                            );
+                            *row = ys;
+                        }
+                    });
+                }
+            })
+            .expect("ensemble worker panicked");
+        }
+        // Transpose rows (per-trial) into columns (per-x).
+        let mut samples = vec![Vec::with_capacity(self.trials); self.xs.len()];
+        for row in &rows {
+            for (col, &y) in samples.iter_mut().zip(row) {
+                col.push(y);
+            }
+        }
+        Ensemble::from_parts(self.xs.clone(), samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trial(idx: usize, _rng: &mut ChaCha8Rng, xs: &[u32]) -> Vec<f64> {
+        xs.iter().map(|&x| (x as f64) * 10.0 + idx as f64).collect()
+    }
+
+    #[test]
+    fn ensemble_shape() {
+        let e = EnsembleBuilder::new(vec![16, 17, 18], 5).run(&SeedTree::new(1), toy_trial);
+        assert_eq!(e.xs(), &[16, 17, 18]);
+        assert_eq!(e.trials(), 5);
+        assert_eq!(e.samples_at(0), &[160.0, 161.0, 162.0, 163.0, 164.0]);
+        assert_eq!(e.samples_for(18).expect("x exists"), &[180.0, 181.0, 182.0, 183.0, 184.0]);
+        assert!(e.samples_for(99).is_none());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let seeds = SeedTree::new(99);
+        let trial = |_idx: usize, rng: &mut ChaCha8Rng, xs: &[u32]| {
+            use rand::Rng;
+            xs.iter().map(|&x| x as f64 + rng.gen_range(0.0..1.0)).collect::<Vec<_>>()
+        };
+        let serial = EnsembleBuilder::new(vec![1, 2, 3, 4], 17).threads(1).run(&seeds, trial);
+        let parallel = EnsembleBuilder::new(vec![1, 2, 3, 4], 17).threads(8).run(&seeds, trial);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn five_numbers_per_x() {
+        let e = EnsembleBuilder::new(vec![16, 17], 9).run(&SeedTree::new(1), toy_trial);
+        let fives = e.five_numbers();
+        assert_eq!(fives.len(), 2);
+        let (x, f) = fives[0];
+        assert_eq!(x, 16);
+        assert_eq!(f.min, 160.0);
+        assert_eq!(f.max, 168.0);
+        assert_eq!(f.median, 164.0);
+    }
+
+    #[test]
+    fn fraction_below_and_above() {
+        let e = Ensemble::from_parts(vec![1], vec![vec![1.0, 2.0, 3.0, 4.0]]);
+        assert_eq!(e.fraction_below(0, 2.5), 0.5);
+        assert_eq!(e.fraction_above(0, 2.5), 0.5);
+        assert_eq!(e.fraction_below(0, 0.0), 0.0);
+        assert_eq!(e.fraction_above(0, 0.0), 1.0);
+        // Strict comparison: equal values count in neither direction.
+        assert_eq!(e.fraction_below(0, 3.0), 0.5);
+        assert_eq!(e.fraction_above(0, 3.0), 0.25);
+    }
+
+    #[test]
+    fn zero_trials() {
+        let e = EnsembleBuilder::new(vec![1, 2], 0).run(&SeedTree::new(1), toy_trial);
+        assert_eq!(e.trials(), 0);
+        assert_eq!(e.fraction_below(0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged ensemble")]
+    fn ragged_rejected() {
+        let _ = Ensemble::from_parts(vec![1, 2], vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Fixed-width histograms for diagnostics.
+//!
+//! Used by the synthetic-population diagnostics (per-/24 host-count
+//! distributions, infection-duration distributions) and by the experiment
+//! binaries when dumping distribution sanity checks alongside figures.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// accumulated into underflow/overflow counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// Panics if `bins == 0` or the range is empty/non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() || v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((v - self.lo) / w) as usize;
+            // Floating point can land exactly on the upper edge.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Record many observations.
+    pub fn extend(&mut self, vs: impl IntoIterator<Item = f64>) {
+        for v in vs {
+            self.record(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Render as an ASCII bar chart (for experiment binary diagnostics).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!("[{lo:>10.2}, {hi:>10.2})  {c:>8}  {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_receive_correct_values() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.0, 1.9, 2.0, 5.5, 9.999]);
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([-0.5, 0.5, 1.0, 2.0, f64::NAN]);
+        assert_eq!(h.underflow(), 2); // -0.5 and NaN
+        assert_eq!(h.overflow(), 2); // 1.0 (half-open) and 2.0
+        assert_eq!(h.counts(), &[0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn bin_edges_partition_range() {
+        let h = Histogram::new(0.0, 10.0, 4);
+        assert_eq!(h.bin_edges(0), (0.0, 2.5));
+        assert_eq!(h.bin_edges(3), (7.5, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn empty_range_rejected() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.extend([0.5, 0.6, 1.5]);
+        let s = h.render(10);
+        assert!(s.contains("##########"), "fullest bin renders at full width:\n{s}");
+        assert_eq!(s.lines().count(), 2);
+    }
+}

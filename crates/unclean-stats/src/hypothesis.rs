@@ -1,0 +1,202 @@
+//! Exceedance-fraction hypothesis tests.
+//!
+//! §5.2 of the paper: *"We consider `bot-test` to be a better predictor than
+//! `control` if the cardinality of its intersection with the corresponding
+//! unclean report is higher than the intersection with randomly selected
+//! addresses in 95% of the observed cases."* This module encodes that
+//! decision rule, per x-axis position, against an [`Ensemble`].
+
+use crate::ensemble::Ensemble;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of `samples` that `observed` strictly exceeds.
+pub fn exceedance_fraction(observed: f64, samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&s| observed > s).count() as f64 / samples.len() as f64
+}
+
+/// Per-x verdict of an exceedance test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Observed beats the control draw in at least the threshold fraction
+    /// of trials ("better predictor" in the paper's language).
+    Better,
+    /// Control beats the observed value in at least the threshold fraction
+    /// of trials.
+    Worse,
+    /// Neither dominates at the threshold.
+    Indistinguishable,
+}
+
+/// Result of testing an observed curve against an ensemble at a confidence
+/// threshold (the paper uses 0.95).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExceedanceTest {
+    /// x-axis (CIDR prefix lengths in the paper's analyses).
+    pub xs: Vec<u32>,
+    /// Observed y per x.
+    pub observed: Vec<f64>,
+    /// Fraction of trials the observation exceeds, per x.
+    pub exceed_fraction: Vec<f64>,
+    /// Fraction of trials exceeding the observation, per x.
+    pub deceed_fraction: Vec<f64>,
+    /// The decision threshold used.
+    pub threshold: f64,
+    /// Per-x verdicts.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl ExceedanceTest {
+    /// Run the test: `observed[i]` against `ensemble.samples_at(i)`.
+    ///
+    /// Panics if `observed` does not match the ensemble's x-axis length or
+    /// the threshold is outside `(0.5, 1.0]` (a threshold at or below 0.5
+    /// would let both verdicts hold at once).
+    pub fn run(ensemble: &Ensemble, observed: &[f64], threshold: f64) -> ExceedanceTest {
+        assert_eq!(
+            observed.len(),
+            ensemble.xs().len(),
+            "observed curve and ensemble must share an x-axis"
+        );
+        assert!(
+            threshold > 0.5 && threshold <= 1.0,
+            "threshold must be in (0.5, 1.0], got {threshold}"
+        );
+        let mut exceed = Vec::with_capacity(observed.len());
+        let mut deceed = Vec::with_capacity(observed.len());
+        let mut verdicts = Vec::with_capacity(observed.len());
+        for (i, &obs) in observed.iter().enumerate() {
+            let ex = exceedance_fraction(obs, ensemble.samples_at(i));
+            let de = ensemble.fraction_above(i, obs);
+            exceed.push(ex);
+            deceed.push(de);
+            verdicts.push(if ex >= threshold {
+                Verdict::Better
+            } else if de >= threshold {
+                Verdict::Worse
+            } else {
+                Verdict::Indistinguishable
+            });
+        }
+        ExceedanceTest {
+            xs: ensemble.xs().to_vec(),
+            observed: observed.to_vec(),
+            exceed_fraction: exceed,
+            deceed_fraction: deceed,
+            threshold,
+            verdicts,
+        }
+    }
+
+    /// The x-values where the observation is `Better`.
+    pub fn better_xs(&self) -> Vec<u32> {
+        self.xs
+            .iter()
+            .zip(&self.verdicts)
+            .filter(|(_, v)| **v == Verdict::Better)
+            .map(|(&x, _)| x)
+            .collect()
+    }
+
+    /// The maximal contiguous run of x-values verdicted `Better`, as an
+    /// inclusive `(lo, hi)` range. The paper reports predictive bands this
+    /// way ("between 20 and 25 bits").
+    pub fn better_band(&self) -> Option<(u32, u32)> {
+        let mut best: Option<(u32, u32)> = None;
+        let mut cur: Option<(u32, u32)> = None;
+        for (&x, v) in self.xs.iter().zip(&self.verdicts) {
+            if *v == Verdict::Better {
+                cur = Some(match cur {
+                    Some((lo, _)) => (lo, x),
+                    None => (x, x),
+                });
+                let c = cur.expect("just set");
+                best = Some(match best {
+                    Some(b) if b.1 - b.0 >= c.1 - c.0 => b,
+                    _ => c,
+                });
+            } else {
+                cur = None;
+            }
+        }
+        best
+    }
+
+    /// True if any x position is verdicted `Better` — the paper's Eq. 5
+    /// existential ("∃ n ∈ [16, 32] s.t. ...").
+    pub fn any_better(&self) -> bool {
+        self.verdicts.contains(&Verdict::Better)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::Ensemble;
+
+    fn fixed_ensemble() -> Ensemble {
+        // Two x positions; samples 0..10 at each.
+        let samples: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        Ensemble::from_parts(vec![20, 21], vec![samples.clone(), samples])
+    }
+
+    #[test]
+    fn exceedance_fraction_basics() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(exceedance_fraction(5.0, &s), 1.0);
+        assert_eq!(exceedance_fraction(0.0, &s), 0.0);
+        assert_eq!(exceedance_fraction(2.5, &s), 0.5);
+        // Strict: ties do not count as exceedance.
+        assert_eq!(exceedance_fraction(2.0, &s), 0.25);
+        assert_eq!(exceedance_fraction(1.0, &[]), 0.0);
+    }
+
+    #[test]
+    fn verdicts_at_95() {
+        let e = fixed_ensemble();
+        // Observed 100 beats all 10 samples; observed -1 loses to all.
+        let t = ExceedanceTest::run(&e, &[100.0, -1.0], 0.95);
+        assert_eq!(t.verdicts, vec![Verdict::Better, Verdict::Worse]);
+        assert!(t.any_better());
+        assert_eq!(t.better_xs(), vec![20]);
+    }
+
+    #[test]
+    fn middle_values_are_indistinguishable() {
+        let e = fixed_ensemble();
+        let t = ExceedanceTest::run(&e, &[5.0, 5.0], 0.95);
+        assert!(t.verdicts.iter().all(|v| *v == Verdict::Indistinguishable));
+        assert!(!t.any_better());
+        assert!(t.better_band().is_none());
+    }
+
+    #[test]
+    fn better_band_finds_longest_run() {
+        let samples: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let e = Ensemble::from_parts(
+            vec![16, 17, 18, 19, 20, 21],
+            vec![samples.clone(); 6],
+        );
+        // Better at 17, and at 19-21 (longest run).
+        let obs = [0.0, 99.0, 0.0, 99.0, 99.0, 99.0];
+        let t = ExceedanceTest::run(&e, &obs, 0.95);
+        assert_eq!(t.better_band(), Some((19, 21)));
+        assert_eq!(t.better_xs(), vec![17, 19, 20, 21]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share an x-axis")]
+    fn mismatched_lengths_rejected() {
+        let e = fixed_ensemble();
+        let _ = ExceedanceTest::run(&e, &[1.0], 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_must_be_meaningful() {
+        let e = fixed_ensemble();
+        let _ = ExceedanceTest::run(&e, &[1.0, 1.0], 0.4);
+    }
+}

@@ -1,0 +1,54 @@
+//! # unclean-stats
+//!
+//! Statistics substrate for the reproduction of *Using Uncleanliness to
+//! Predict Future Botnet Addresses* (Collins et al., IMC 2007).
+//!
+//! The paper's analyses are distribution comparisons: an observed curve
+//! (block counts per CIDR prefix length, or prediction intersections per
+//! prefix length) is compared against the distribution of the same curve
+//! computed over 1000 randomly drawn control subsets. The Rust statistics
+//! ecosystem has no canonical crate for the handful of primitives this
+//! needs, so this crate provides them:
+//!
+//! * [`summary`] — five-number summaries (the boxplots of Figures 2–5),
+//!   means and variances computed in a numerically stable single pass.
+//! * [`quantile`] — interpolated quantile estimation on sorted samples.
+//! * [`ensemble`] — "run N seeded trials, each producing a curve over a
+//!   shared x-axis, and summarize the per-x distribution", with scoped
+//!   parallelism via crossbeam.
+//! * [`hypothesis`] — exceedance-fraction tests: the paper declares a
+//!   predictor *better* when it beats the control draw in at least 95% of
+//!   trials (§5.2).
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals for the
+//!   derived ratios the experiment reports quote.
+//! * [`histogram`] — fixed-width binning for diagnostics.
+//! * [`rank`] — Spearman rank correlation (score-vs-ground-truth checks).
+//! * [`roc`] — ROC points and area-under-curve for the §6 blocking study.
+//! * [`rng`] — deterministic fan-out of a master seed into independent,
+//!   version-stable ChaCha8 streams.
+//!
+//! Everything here is deterministic given a seed; nothing reads clocks or
+//! global state, so experiment outputs are reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod ensemble;
+pub mod histogram;
+pub mod hypothesis;
+pub mod quantile;
+pub mod rank;
+pub mod roc;
+pub mod rng;
+pub mod summary;
+
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, bootstrap_proportion_ci, ConfidenceInterval};
+pub use ensemble::{Ensemble, EnsembleBuilder};
+pub use histogram::Histogram;
+pub use hypothesis::{exceedance_fraction, ExceedanceTest, Verdict};
+pub use quantile::{quantile_sorted, Quantile};
+pub use rank::{midranks, spearman};
+pub use roc::{auc, RocCurve, RocPoint};
+pub use rng::SeedTree;
+pub use summary::{FiveNumber, Summary};

@@ -1,0 +1,126 @@
+//! Interpolated quantile estimation.
+//!
+//! Uses the "linear interpolation of the empirical CDF" definition (type 7
+//! in the Hyndman–Fan taxonomy, the R default), which is what the paper's
+//! boxplots imply and what most plotting software computes.
+
+use serde::{Deserialize, Serialize};
+
+/// A probability in `[0, 1]` naming a quantile.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Quantile(f64);
+
+impl Quantile {
+    /// Construct a quantile, returning `None` outside `[0, 1]` or for NaN.
+    pub fn new(p: f64) -> Option<Quantile> {
+        (p.is_finite() && (0.0..=1.0).contains(&p)).then_some(Quantile(p))
+    }
+
+    /// The probability value.
+    pub fn p(&self) -> f64 {
+        self.0
+    }
+
+    /// The median.
+    pub const MEDIAN: Quantile = Quantile(0.5);
+    /// Lower quartile.
+    pub const Q1: Quantile = Quantile(0.25);
+    /// Upper quartile.
+    pub const Q3: Quantile = Quantile(0.75);
+    /// The paper's 95% decision threshold (§5.2).
+    pub const P95: Quantile = Quantile(0.95);
+}
+
+/// Interpolated quantile of an **already sorted, non-empty** slice.
+///
+/// `p` is clamped to `[0, 1]`. For an empty slice this returns NaN — callers
+/// holding possibly-empty data should check first (the public types in this
+/// crate all do).
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = h - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Convenience: copy, sort, and take a quantile of unsorted data.
+/// Returns `None` for empty input or input containing NaN.
+pub fn quantile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+    Some(quantile_sorted(&sorted, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_bounds() {
+        assert!(Quantile::new(-0.1).is_none());
+        assert!(Quantile::new(1.1).is_none());
+        assert!(Quantile::new(f64::NAN).is_none());
+        assert_eq!(Quantile::new(0.5).map(|q| q.p()), Some(0.5));
+        assert_eq!(Quantile::MEDIAN.p(), 0.5);
+        assert_eq!(Quantile::P95.p(), 0.95);
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let v = [1.0, 5.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn median_of_even_sample_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn type7_matches_r_reference() {
+        // R: quantile(c(10,20,30,40,50), 0.4, type=7) == 26
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert!((quantile(&v, 0.4).expect("some") - 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_nan_inputs() {
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(quantile(&[f64::NAN], 0.5).is_none());
+        assert!(quantile_sorted(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn clamps_out_of_range_p() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(quantile_sorted(&v, -3.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 7.0), 3.0);
+    }
+
+    #[test]
+    fn monotone_in_p() {
+        let v: Vec<f64> = (0..100).map(|i| (i * 7 % 100) as f64).collect();
+        let mut sorted = v.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = quantile_sorted(&sorted, i as f64 / 20.0);
+            assert!(q >= last);
+            last = q;
+        }
+    }
+}

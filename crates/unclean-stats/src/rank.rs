@@ -1,0 +1,124 @@
+//! Rank statistics: Spearman correlation.
+//!
+//! Used to validate the multidimensional uncleanliness score against the
+//! simulation's latent hygiene: the score should *rank* networks the way
+//! (inverse) hygiene does, and a rank correlation is the right measure
+//! because neither quantity is on a meaningful linear scale.
+
+/// Midranks of a sample (ties share the average of their positions,
+/// 1-based).
+pub fn midranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the midrank.
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = mid;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation ρ ∈ [−1, 1] between two paired samples.
+///
+/// Computed as the Pearson correlation of midranks (exact under ties).
+/// Panics on length mismatch or fewer than two observations; returns 0
+/// when either sample is constant (correlation undefined).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired samples must match in length");
+    assert!(a.len() >= 2, "need at least two observations");
+    let ra = midranks(a);
+    let rb = midranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Pearson correlation of two equal-length samples; 0 if either is
+/// constant.
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midranks_simple() {
+        assert_eq!(midranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn midranks_with_ties() {
+        // 5 appears twice at positions 2 and 3 → midrank 2.5.
+        assert_eq!(midranks(&[1.0, 5.0, 5.0, 9.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        // All equal: everyone gets the central rank.
+        assert_eq!(midranks(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn perfect_monotone_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 100.0, 1000.0, 10000.0]; // nonlinear but monotone
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_inverse_is_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_is_near_zero() {
+        // A deterministic "shuffled" pairing with no monotone trend.
+        let a: Vec<f64> = (0..100).map(f64::from).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let rho = spearman(&a, &b);
+        assert!(rho.abs() < 0.2, "rho {rho}");
+    }
+
+    #[test]
+    fn constant_sample_yields_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Classic example: ranks differ by one swap.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 2.0, 3.0, 5.0, 4.0];
+        // ρ = 1 − 6·Σd²/(n(n²−1)) = 1 − 6·2/120 = 0.9.
+        assert!((spearman(&a, &b) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "match in length")]
+    fn mismatched_lengths_rejected() {
+        let _ = spearman(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,177 @@
+//! ROC curves for the §6 blocking study.
+//!
+//! The paper evaluates predictive blocking with "ROC analysis: we compare
+//! true positive rates and false positive rates against an operating
+//! characteristic of the prefix length". Each prefix length n ∈ [24, 32]
+//! yields one operating point; this module holds those points, derives
+//! rates, and computes trapezoidal AUC.
+
+use serde::{Deserialize, Serialize};
+
+/// One operating point: raw true/false positive counts at a given operating
+/// characteristic (prefix length in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Operating characteristic (the paper's prefix length n).
+    pub characteristic: u32,
+    /// True positives blocked at this operating point.
+    pub true_positives: u64,
+    /// False positives blocked at this operating point.
+    pub false_positives: u64,
+    /// Total real positives available (|hostile|).
+    pub positives: u64,
+    /// Total real negatives available (|innocent|).
+    pub negatives: u64,
+}
+
+impl RocPoint {
+    /// True positive rate; 0 when no positives exist.
+    pub fn tpr(&self) -> f64 {
+        if self.positives == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / self.positives as f64
+        }
+    }
+
+    /// False positive rate; 0 when no negatives exist.
+    pub fn fpr(&self) -> f64 {
+        if self.negatives == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.negatives as f64
+        }
+    }
+
+    /// Precision over blocked addresses (the paper's "90% of the incoming
+    /// addresses are correctly identified as hostile" at n = 24).
+    pub fn precision(&self) -> f64 {
+        let blocked = self.true_positives + self.false_positives;
+        if blocked == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / blocked as f64
+        }
+    }
+}
+
+/// An ROC curve: operating points ordered by characteristic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Build a curve; points are sorted by operating characteristic.
+    pub fn new(mut points: Vec<RocPoint>) -> RocCurve {
+        points.sort_by_key(|p| p.characteristic);
+        RocCurve { points }
+    }
+
+    /// The operating points in characteristic order.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the (FPR, TPR) curve via [`auc`].
+    pub fn auc(&self) -> f64 {
+        let pairs: Vec<(f64, f64)> = self.points.iter().map(|p| (p.fpr(), p.tpr())).collect();
+        auc(&pairs)
+    }
+
+    /// The operating point whose precision first reaches `target`, scanning
+    /// from the smallest characteristic upward.
+    pub fn first_reaching_precision(&self, target: f64) -> Option<&RocPoint> {
+        self.points.iter().find(|p| p.precision() >= target)
+    }
+}
+
+/// Trapezoidal area under a set of (fpr, tpr) pairs.
+///
+/// The pairs are sorted by FPR and the curve is anchored at (0,0) and (1,1),
+/// the standard convention for sparse operating-point sets.
+pub fn auc(pairs: &[(f64, f64)]) -> f64 {
+    let mut pts: Vec<(f64, f64)> = pairs.to_vec();
+    pts.push((0.0, 0.0));
+    pts.push((1.0, 1.0));
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    let mut area = 0.0;
+    for w in pts.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        area += (x1 - x0) * (y0 + y1) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(c: u32, tp: u64, fp: u64, p: u64, n: u64) -> RocPoint {
+        RocPoint {
+            characteristic: c,
+            true_positives: tp,
+            false_positives: fp,
+            positives: p,
+            negatives: n,
+        }
+    }
+
+    #[test]
+    fn rates_and_precision() {
+        let p = point(24, 287, 35, 287, 35);
+        assert!((p.tpr() - 1.0).abs() < 1e-12);
+        assert!((p.fpr() - 1.0).abs() < 1e-12);
+        // The paper's Table 3 row at n=24: 287 / 322 ≈ 0.89.
+        assert!((p.precision() - 287.0 / 322.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators() {
+        let p = point(32, 0, 0, 0, 0);
+        assert_eq!(p.tpr(), 0.0);
+        assert_eq!(p.fpr(), 0.0);
+        assert_eq!(p.precision(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier_auc_is_one() {
+        // A point at (0, 1): TPR 1 with FPR 0.
+        assert!((auc(&[(0.0, 1.0)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chance_diagonal_auc_is_half() {
+        assert!((auc(&[(0.5, 0.5)]) - 0.5).abs() < 1e-12);
+        assert!((auc(&[]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_sorts_points() {
+        let c = RocCurve::new(vec![point(26, 81, 1, 300, 40), point(24, 287, 35, 300, 40)]);
+        assert_eq!(c.points()[0].characteristic, 24);
+        assert_eq!(c.points()[1].characteristic, 26);
+    }
+
+    #[test]
+    fn first_reaching_precision_scans_upward() {
+        let c = RocCurve::new(vec![
+            point(24, 287, 35, 300, 40),  // precision ~0.89
+            point(26, 81, 1, 300, 40),    // precision ~0.99
+        ]);
+        let hit = c.first_reaching_precision(0.95).expect("26 qualifies");
+        assert_eq!(hit.characteristic, 26);
+        assert!(c.first_reaching_precision(0.999).is_none());
+    }
+
+    #[test]
+    fn auc_of_good_blocker_beats_chance() {
+        let c = RocCurve::new(vec![
+            point(24, 90, 5, 100, 100),
+            point(26, 60, 1, 100, 100),
+            point(28, 20, 0, 100, 100),
+        ]);
+        assert!(c.auc() > 0.8, "auc = {}", c.auc());
+    }
+}

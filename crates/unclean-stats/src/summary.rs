@@ -1,0 +1,284 @@
+//! Single-pass summary statistics and five-number (boxplot) summaries.
+//!
+//! The paper renders control distributions as boxplots (Figures 2–5). A
+//! [`FiveNumber`] is exactly the data a boxplot draws: minimum, lower
+//! quartile, median, upper quartile, maximum. [`Summary`] additionally
+//! carries mean and variance, computed with Welford's algorithm so large
+//! ensembles do not lose precision.
+
+use crate::quantile::quantile_sorted;
+use serde::{Deserialize, Serialize};
+
+/// Mean/variance/extent of a sample, accumulated in one numerically stable
+/// pass (Welford's online algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Build a summary from a slice in one pass.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Accumulate one observation.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = v - self.mean;
+        self.m2 += delta * delta2;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0.0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0.0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// The five numbers a boxplot draws, plus the sample size and mean for
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumber {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum (lower whisker extent; we do not clip outliers).
+    pub min: f64,
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum (upper whisker extent).
+    pub max: f64,
+    /// Arithmetic mean, carried along for tables.
+    pub mean: f64,
+}
+
+impl FiveNumber {
+    /// Compute a five-number summary. The input is copied and sorted; NaN
+    /// values are rejected.
+    ///
+    /// Returns `None` for an empty sample or a sample containing NaN.
+    pub fn of(values: &[f64]) -> Option<FiveNumber> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(FiveNumber {
+            count: sorted.len(),
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: *sorted.last().expect("non-empty"),
+            mean,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Whether `v` lies strictly below every observation in the sample.
+    pub fn all_above(&self, v: f64) -> bool {
+        v < self.min
+    }
+
+    /// Whether `v` lies strictly above every observation in the sample.
+    pub fn all_below(&self, v: f64) -> bool {
+        v > self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_identity() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+    }
+
+    #[test]
+    fn summary_matches_naive_mean_and_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&data);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance of this classic data set is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+        let whole = Summary::of(&data);
+        let mut left = Summary::of(&data[..337]);
+        let right = Summary::of(&data[337..]);
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_noop() {
+        let mut s = Summary::of(&[1.0, 2.0, 3.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn five_number_of_empty_is_none() {
+        assert!(FiveNumber::of(&[]).is_none());
+    }
+
+    #[test]
+    fn five_number_rejects_nan() {
+        assert!(FiveNumber::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn five_number_of_singleton() {
+        let f = FiveNumber::of(&[42.0]).expect("non-empty");
+        assert_eq!(f.min, 42.0);
+        assert_eq!(f.q1, 42.0);
+        assert_eq!(f.median, 42.0);
+        assert_eq!(f.q3, 42.0);
+        assert_eq!(f.max, 42.0);
+        assert_eq!(f.mean, 42.0);
+        assert_eq!(f.iqr(), 0.0);
+    }
+
+    #[test]
+    fn five_number_known_quartiles() {
+        // 1..=9: median 5, quartiles at interpolated positions.
+        let data: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let f = FiveNumber::of(&data).expect("non-empty");
+        assert_eq!(f.median, 5.0);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.max, 9.0);
+        assert_eq!(f.q1, 3.0);
+        assert_eq!(f.q3, 7.0);
+    }
+
+    #[test]
+    fn five_number_order_independent() {
+        let a = FiveNumber::of(&[3.0, 1.0, 2.0]).expect("some");
+        let b = FiveNumber::of(&[1.0, 2.0, 3.0]).expect("some");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_above_below() {
+        let f = FiveNumber::of(&[10.0, 20.0, 30.0]).expect("some");
+        assert!(f.all_above(9.0));
+        assert!(!f.all_above(10.0));
+        assert!(f.all_below(31.0));
+        assert!(!f.all_below(30.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared helpers for the example binaries: a tiny argument parser (scale,
+//! seed, trials) and text-table rendering, so each example stays focused on
+//! the API it demonstrates.
+
+use unclean_netmodel::{Scenario, ScenarioConfig};
+
+/// Options shared by all examples.
+#[derive(Debug, Clone, Copy)]
+pub struct ExampleOpts {
+    /// Scenario scale relative to the paper's report sizes.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Control-ensemble trials.
+    pub trials: usize,
+}
+
+impl Default for ExampleOpts {
+    fn default() -> ExampleOpts {
+        ExampleOpts { scale: 0.002, seed: 42, trials: 200 }
+    }
+}
+
+impl ExampleOpts {
+    /// Parse `--scale X --seed N --trials K` from the process arguments;
+    /// unknown arguments abort with usage help.
+    pub fn from_args() -> ExampleOpts {
+        let mut opts = ExampleOpts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: usize| {
+                args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    opts.scale = value(i).parse().expect("--scale takes a float");
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.seed = value(i).parse().expect("--seed takes an integer");
+                    i += 2;
+                }
+                "--trials" => {
+                    opts.trials = value(i).parse().expect("--trials takes an integer");
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale 0.002] [--seed 42] [--trials 200]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// Generate the scenario these options describe.
+    pub fn scenario(&self) -> Scenario {
+        Scenario::generate(ScenarioConfig::at_scale(self.scale, self.seed))
+    }
+}
+
+/// Render one row of a fixed-width text table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Render a rule matching the table width.
+pub fn rule(widths: &[usize]) -> String {
+    widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("--")
+}
+
+/// Render a simple horizontal bar for ASCII charts.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = ExampleOpts::default();
+        assert!(o.scale > 0.0 && o.trials > 0);
+    }
+
+    #[test]
+    fn table_helpers_render() {
+        let widths = [5, 8];
+        let r = row(&["a".into(), "bb".into()], &widths);
+        assert!(r.contains('a') && r.contains("bb"));
+        assert_eq!(rule(&widths).len(), 5 + 2 + 8);
+        assert_eq!(bar(5.0, 10.0, 10), "█████");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

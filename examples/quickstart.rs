@@ -1,0 +1,106 @@
+//! Quickstart: generate a paper-shaped world, build the report inventory,
+//! and run both uncleanliness hypothesis tests.
+//!
+//! ```text
+//! cargo run --release --bin quickstart -- --scale 0.002 --seed 42
+//! ```
+
+use unclean_core::prelude::*;
+use unclean_detect::{build_reports, PipelineConfig};
+use unclean_examples::{row, rule, ExampleOpts};
+use unclean_stats::SeedTree;
+
+fn main() {
+    let opts = ExampleOpts::from_args();
+    println!("== uncleanliness quickstart ==");
+    println!("scale {} | seed {} | trials {}\n", opts.scale, opts.seed, opts.trials);
+
+    // 1. Synthesize the world and run the full detection pipeline.
+    let scenario = opts.scenario();
+    println!(
+        "world: {} hosts in {} /24s across {} /16 networks",
+        scenario.world.population.total_hosts(),
+        scenario.world.population.block_count(),
+        scenario.world.network_count()
+    );
+    let reports = build_reports(&scenario, &PipelineConfig::paper());
+
+    // 2. The report inventory (the paper's Table 1).
+    let widths = [10, 9, 9, 24, 9];
+    println!("\n-- report inventory --");
+    println!(
+        "{}",
+        row(
+            &["tag".into(), "type".into(), "class".into(), "valid dates".into(), "size".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for r in [
+        &reports.bot,
+        &reports.phish,
+        &reports.scan,
+        &reports.spam,
+        &reports.bot_test,
+        &reports.control,
+    ] {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.tag().to_string(),
+                    r.provenance().to_string(),
+                    r.class().to_string(),
+                    r.period().to_string(),
+                    r.len().to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+
+    // 3. Spatial uncleanliness (Eq. 3) for each unclean report.
+    println!("\n-- spatial uncleanliness (Eq. 3) --");
+    let analysis = DensityAnalysis::with_config(DensityConfig {
+        trials: opts.trials,
+        ..DensityConfig::default()
+    });
+    let seeds = SeedTree::new(opts.seed ^ 0xD15EA5E);
+    for r in reports.unclean_reports() {
+        let res = analysis.run(r, reports.control.addresses(), &[], &seeds);
+        let idx24 = res.xs.iter().position(|&x| x == 24).expect("24 in range");
+        println!(
+            "  {:<8} holds: {:<5}  |C_24| = {} vs control median {:.0} ({}x denser)",
+            r.tag(),
+            res.hypothesis_holds(),
+            res.observed[idx24],
+            res.control_boxes[idx24].1.median,
+            res.density_ratio()[idx24].round()
+        );
+    }
+
+    // 4. Temporal uncleanliness (Eq. 5): the five-month-old bot-test
+    // report against each present-day report.
+    println!("\n-- temporal uncleanliness (Eq. 5): R_bot-test as predictor --");
+    let temporal = TemporalAnalysis::with_config(TemporalConfig {
+        trials: opts.trials,
+        ..TemporalConfig::default()
+    });
+    for (name, present) in [
+        ("bots", &reports.bot),
+        ("phishing", &reports.phish_window),
+        ("spamming", &reports.spam),
+        ("scanning", &reports.scan),
+    ] {
+        let res = temporal.run(&reports.bot_test, present, reports.control.addresses(), &seeds);
+        match res.predictive_band() {
+            Some((lo, hi)) => println!(
+                "  {name:<9} predicted: better than random at /{lo}..=/{hi}"
+            ),
+            None => println!("  {name:<9} NOT predicted (no prefix length beats random)"),
+        }
+    }
+
+    println!("\nBots, spam and scanning are predictable from months-old botnet");
+    println!("history; phishing is not — exactly the paper's Figure 4.");
+}

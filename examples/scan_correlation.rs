@@ -1,0 +1,86 @@
+//! Scan/botnet correlation: the paper's Figure 1 as a terminal chart.
+//!
+//! Tracks the number of unique hosts scanning the observed network day by
+//! day through a botnet campaign, then overlays how many members of the
+//! reported botnet were seen scanning — both by exact address and by /24 —
+//! showing the campaign swell before the report and the collapse after.
+//!
+//! ```text
+//! cargo run --release --bin scan_correlation -- --scale 0.002
+//! ```
+
+use unclean_core::prelude::*;
+use unclean_detect::{daily_scanners, BotMonitor, PipelineConfig};
+use unclean_examples::{bar, ExampleOpts};
+
+fn main() {
+    let opts = ExampleOpts::from_args();
+    println!("== scan/botnet correlation (paper Figure 1) ==\n");
+    let scenario = opts.scenario();
+    let dates = scenario.dates;
+
+    // The bot report: the campaign channel's roster in the report week.
+    let bot_report = BotMonitor::channel_snapshot(
+        &scenario.infections,
+        scenario.fig1_channel,
+        dates.fig1_report_day,
+    );
+    let bot_blocks = BlockSet::of(&bot_report, 24);
+    println!(
+        "botnet report (channel {}, {}): {} addresses in {} /24s\n",
+        scenario.fig1_channel,
+        dates.fig1_report_day,
+        bot_report.len(),
+        bot_blocks.len()
+    );
+
+    // Daily scanner series across the Figure 1 span (sampled every 3 days
+    // to keep the chart readable).
+    let series = daily_scanners(&scenario, dates.fig1_span, false, &PipelineConfig::paper());
+    let max = series.iter().map(|(_, s)| s.len()).max().unwrap_or(1) as f64;
+
+    println!("{:<12} {:>6} {:>6} {:>6}  scanners/day", "day", "scan", "∩addr", "∩/24");
+    for (day, scanners) in series.iter().step_by(3) {
+        let addr_overlap = scanners.intersect(&bot_report).len();
+        let block_overlap = scanners.iter().filter(|&ip| bot_blocks.contains(ip)).count();
+        let marker = if *day == dates.fig1_report_day { " ← bot report" } else { "" };
+        println!(
+            "{:<12} {:>6} {:>6} {:>6}  {}{}",
+            day.to_string(),
+            scanners.len(),
+            addr_overlap,
+            block_overlap,
+            bar(scanners.len() as f64, max, 40),
+            marker
+        );
+    }
+
+    // The paper's two observations.
+    let peak_day = series
+        .iter()
+        .max_by_key(|(_, s)| s.len())
+        .expect("non-empty span")
+        .0;
+    let at_peak = series
+        .iter()
+        .find(|(d, _)| *d == peak_day)
+        .expect("present")
+        .1
+        .clone();
+    let addr_overlap = at_peak.intersect(&bot_report).len();
+    let block_overlap = at_peak.iter().filter(|&ip| bot_blocks.contains(ip)).count();
+    println!("\nat the peak ({peak_day}):");
+    println!(
+        "  {} of {} scanners are reported bot addresses ({:.0}%)",
+        addr_overlap,
+        at_peak.len(),
+        100.0 * addr_overlap as f64 / at_peak.len().max(1) as f64
+    );
+    println!(
+        "  {} are inside the botnet's /24s — the /24 view finds {} more scanners",
+        block_overlap,
+        block_overlap.saturating_sub(addr_overlap)
+    );
+    println!("\nScanning swells for weeks before the report and collapses after —");
+    println!("unclean networks telegraph future hostility (paper §1, Figure 1).");
+}

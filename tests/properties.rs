@@ -1,0 +1,319 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! invariants every analysis relies on.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use unclean_core::blocks::block_count_naive;
+use unclean_core::prelude::*;
+use unclean_stats::{quantile_sorted, FiveNumber, SeedTree};
+
+fn ipset_strategy() -> impl Strategy<Value = IpSet> {
+    vec(any::<u32>(), 0..500).prop_map(IpSet::from_raw)
+}
+
+proptest! {
+    #[test]
+    fn ipset_construction_is_sorted_unique(raw in vec(any::<u32>(), 0..500)) {
+        let set = IpSet::from_raw(raw.clone());
+        prop_assert!(set.as_raw().windows(2).all(|w| w[0] < w[1]));
+        for v in raw {
+            prop_assert!(set.contains(Ip(v)));
+        }
+    }
+
+    #[test]
+    fn set_algebra_laws(a in ipset_strategy(), b in ipset_strategy()) {
+        let union = a.union(&b);
+        let inter = a.intersect(&b);
+        let diff_ab = a.difference(&b);
+        let diff_ba = b.difference(&a);
+        // |A ∪ B| + |A ∩ B| = |A| + |B|
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        // A = (A \ B) ⊎ (A ∩ B)
+        prop_assert_eq!(diff_ab.len() + inter.len(), a.len());
+        // Union is commutative; intersection distributes.
+        prop_assert_eq!(&union, &b.union(&a));
+        prop_assert_eq!(&inter, &b.intersect(&a));
+        // Disjointness of the difference pieces.
+        prop_assert!(diff_ab.intersect(&diff_ba).is_empty());
+        // Every union member is in A or B.
+        for ip in union.iter() {
+            prop_assert!(a.contains(ip) || b.contains(ip));
+        }
+    }
+
+    #[test]
+    fn sample_is_uniformly_a_subset(raw in vec(any::<u32>(), 1..300), seed in any::<u64>()) {
+        let set = IpSet::from_raw(raw);
+        let k = set.len() / 2;
+        let mut rng = SeedTree::new(seed).stream("prop");
+        let sub = set.sample(&mut rng, k).expect("k <= n");
+        prop_assert_eq!(sub.len(), k);
+        for ip in sub.iter() {
+            prop_assert!(set.contains(ip));
+        }
+    }
+
+    #[test]
+    fn block_counts_match_naive_at_all_prefixes(set in ipset_strategy()) {
+        let fast = BlockCounts::of(&set);
+        for n in [0u8, 1, 7, 8, 15, 16, 20, 24, 29, 32] {
+            prop_assert_eq!(fast.at(n), block_count_naive(&set, n), "n = {}", n);
+        }
+    }
+
+    #[test]
+    fn block_counts_are_monotone(set in ipset_strategy()) {
+        let counts = BlockCounts::of(&set);
+        for n in 1..=32u8 {
+            prop_assert!(counts.at(n) >= counts.at(n - 1));
+            // Growth is at most 2× per bit.
+            prop_assert!(counts.at(n) <= counts.at(n - 1) * 2);
+        }
+    }
+
+    #[test]
+    fn blockset_agrees_with_blockcounts(set in ipset_strategy(), n in 0u8..=32) {
+        let bs = BlockSet::of(&set, n);
+        prop_assert_eq!(bs.len() as u64, BlockCounts::of(&set).at(n));
+        // Every member's block is contained.
+        for ip in set.iter() {
+            prop_assert!(bs.contains(ip));
+        }
+    }
+
+    #[test]
+    fn blockset_intersection_is_bounded(a in ipset_strategy(), b in ipset_strategy(), n in 0u8..=32) {
+        let ba = BlockSet::of(&a, n);
+        let bb = BlockSet::of(&b, n);
+        let i = ba.intersect_count(&bb);
+        prop_assert!(i <= ba.len() as u64);
+        prop_assert!(i <= bb.len() as u64);
+        // Self-intersection is identity.
+        prop_assert_eq!(ba.intersect_count(&ba), ba.len() as u64);
+    }
+
+    #[test]
+    fn trie_and_flat_paths_agree(set in ipset_strategy(), n in 0u8..=32) {
+        let trie = PrefixTrie::from_set(&set);
+        prop_assert_eq!(trie.len(), set.len());
+        prop_assert_eq!(trie.block_count(n), BlockCounts::of(&set).at(n));
+        for ip in set.iter().take(50) {
+            prop_assert!(trie.contains(ip));
+            prop_assert!(trie.contains_prefix(ip, n));
+        }
+    }
+
+    #[test]
+    fn trie_aggregate_is_an_exact_disjoint_cover(raw in vec(any::<u32>(), 1..200)) {
+        let set = IpSet::from_raw(raw);
+        let trie = PrefixTrie::from_set(&set);
+        let cover = trie.aggregate();
+        let span: u64 = cover.iter().map(|c| c.size()).sum();
+        prop_assert_eq!(span, set.len() as u64, "cover size equals set size");
+        for ip in set.iter().take(100) {
+            prop_assert_eq!(cover.iter().filter(|c| c.contains(ip)).count(), 1);
+        }
+    }
+
+    #[test]
+    fn cidr_of_is_idempotent_and_nested(v in any::<u32>(), n in 0u8..=32) {
+        let ip = Ip(v);
+        let block = Cidr::of(ip, n);
+        prop_assert!(block.contains(ip));
+        prop_assert_eq!(Cidr::of(block.base(), n), block);
+        // Parent chains nest.
+        if let Some(parent) = block.parent() {
+            prop_assert!(parent.contains_cidr(&block));
+            prop_assert!(parent.contains(ip));
+        }
+    }
+
+    #[test]
+    fn cidr_display_parse_round_trip(v in any::<u32>(), n in 0u8..=32) {
+        let block = Cidr::of(Ip(v), n);
+        let parsed: Cidr = block.to_string().parse().expect("display is parseable");
+        prop_assert_eq!(parsed, block);
+    }
+
+    #[test]
+    fn ip_display_parse_round_trip(v in any::<u32>()) {
+        let ip = Ip(v);
+        let parsed: Ip = ip.to_string().parse().expect("display is parseable");
+        prop_assert_eq!(parsed, ip);
+    }
+
+    #[test]
+    fn day_round_trip(offset in -40_000i32..40_000) {
+        let day = Day(offset);
+        let (y, m, d) = day.ymd();
+        prop_assert_eq!(Day::from_ymd(y, m, d).expect("valid"), day);
+        let parsed: Day = day.to_string().parse().expect("display is parseable");
+        prop_assert_eq!(parsed, day);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(mut values in vec(-1e6f64..1e6, 1..200)) {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = quantile_sorted(&values, i as f64 / 10.0);
+            prop_assert!(q >= last);
+            prop_assert!(q >= values[0] && q <= *values.last().expect("non-empty"));
+            last = q;
+        }
+    }
+
+    #[test]
+    fn five_number_is_ordered(values in vec(-1e6f64..1e6, 1..200)) {
+        let f = FiveNumber::of(&values).expect("non-empty, finite");
+        prop_assert!(f.min <= f.q1);
+        prop_assert!(f.q1 <= f.median);
+        prop_assert!(f.median <= f.q3);
+        prop_assert!(f.q3 <= f.max);
+        prop_assert!(f.mean >= f.min && f.mean <= f.max);
+    }
+
+    #[test]
+    fn prediction_curve_bounded_by_past_blocks(a in ipset_strategy(), b in ipset_strategy()) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let curve = prediction_curve(&a, &b, PrefixRange::PAPER);
+        let counts = BlockCounts::of(&a);
+        for (i, n) in (16u8..=32).enumerate() {
+            prop_assert!(curve[i] <= counts.at(n));
+        }
+    }
+
+    #[test]
+    fn netflow_v5_round_trip(
+        src in any::<u32>(), dst in any::<u32>(),
+        sport in any::<u16>(), dport in any::<u16>(),
+        packets in 1u32..1000, payload in 0u32..100_000,
+        // V5's 32-bit millisecond uptime wraps every ~49.7 days, so the
+        // round trip is only lossless within that horizon of boot (the
+        // wrap itself is covered by flowgen's unit tests).
+        flags in 0u8..64, secs in 0i64..49 * 86_400,
+    ) {
+        use unclean_flowgen::{Flow, record::EPOCH_UNIX_SECS};
+        let flow = Flow {
+            src: Ip(src), dst: Ip(dst),
+            src_port: sport, dst_port: dport,
+            proto: 6, packets, octets: packets * 40 + payload,
+            flags, start_secs: secs, duration_secs: 30,
+        };
+        let boot = EPOCH_UNIX_SECS;
+        let back = Flow::from_v5(&flow.to_v5(boot), boot);
+        prop_assert_eq!(back, flow);
+    }
+}
+
+proptest! {
+    #[test]
+    fn v5_decoder_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..2048)) {
+        // Fuzz-shaped robustness: arbitrary input must yield Ok or a typed
+        // error, never a panic or an over-read.
+        let _ = unclean_flowgen::decode_datagram(&bytes);
+    }
+
+    #[test]
+    fn v5_decoder_accepts_what_the_encoder_emits_after_count_preserving_mutation(
+        n_records in 1usize..=30,
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        // Flip any single bit outside the version/count fields: decoding
+        // must still succeed (the format has no checksum) and return the
+        // same record count.
+        use unclean_flowgen::{encode_datagram, decode_datagram, V5Header, V5Record};
+        let records: Vec<V5Record> = (0..n_records)
+            .map(|i| V5Record { srcaddr: i as u32, ..V5Record::default() })
+            .collect();
+        let header = V5Header {
+            count: n_records as u16,
+            sys_uptime_ms: 0,
+            unix_secs: 0,
+            unix_nsecs: 0,
+            flow_sequence: 0,
+            engine_type: 0,
+            engine_id: 0,
+            sampling_interval: 0,
+        };
+        let mut wire = encode_datagram(&header, &records).to_vec();
+        let idx = 4 + flip_at % (wire.len() - 4); // skip version+count
+        wire[idx] ^= 1 << flip_bit;
+        let (h, r) = decode_datagram(&wire).expect("bit flips outside framing decode");
+        prop_assert_eq!(h.count as usize, n_records);
+        prop_assert_eq!(r.len(), n_records);
+    }
+
+    #[test]
+    fn archive_round_trip(flow_count in 0usize..200, seed in any::<u64>()) {
+        use unclean_flowgen::{ArchiveReader, ArchiveWriter, Flow, record::EPOCH_UNIX_SECS};
+        let mut rng = SeedTree::new(seed).stream("archive-prop");
+        use rand::Rng;
+        let flows: Vec<Flow> = (0..flow_count)
+            .map(|_| Flow {
+                src: Ip(rng.gen()),
+                dst: Ip(rng.gen()),
+                src_port: rng.gen(),
+                dst_port: rng.gen(),
+                proto: 6,
+                packets: rng.gen_range(1..100),
+                octets: rng.gen_range(40..100_000),
+                flags: rng.gen_range(0..64),
+                start_secs: rng.gen_range(0..40 * 86_400),
+                duration_secs: rng.gen_range(0..600),
+            })
+            .collect();
+        let mut w = ArchiveWriter::new(Vec::new(), EPOCH_UNIX_SECS);
+        for f in &flows {
+            w.push(f).expect("in-memory write");
+        }
+        let (bytes, _) = w.finish().expect("finish");
+        let mut r = ArchiveReader::new(bytes.as_slice(), EPOCH_UNIX_SECS);
+        let back = r.read_all().expect("well-formed");
+        prop_assert_eq!(back, flows);
+        prop_assert_eq!(r.lost_flows, 0);
+    }
+
+    #[test]
+    fn fault_injector_conserves_flow_accounting(
+        drop in 0.0f64..1.0, dup in 0.0f64..1.0, corrupt in 0.0f64..1.0,
+        n in 0u32..500, seed in any::<u64>(),
+    ) {
+        use unclean_flowgen::{FaultConfig, FaultInjector, Flow};
+        let mut inj = FaultInjector::new(
+            FaultConfig { drop_chance: drop, duplicate_chance: dup, corrupt_chance: corrupt },
+            SeedTree::new(seed),
+        );
+        let template = Flow {
+            src: Ip(1), dst: Ip(2), src_port: 1, dst_port: 2, proto: 6,
+            packets: 1, octets: 40, flags: 2, start_secs: 100, duration_secs: 0,
+        };
+        let mut delivered = 0u64;
+        for _ in 0..n {
+            inj.apply(&template, |_| delivered += 1);
+        }
+        let s = inj.stats();
+        prop_assert_eq!(s.seen, n as u64);
+        prop_assert_eq!(delivered, s.seen - s.dropped + s.duplicated);
+        prop_assert!(s.corrupted <= s.seen - s.dropped);
+    }
+}
+
+#[test]
+fn contains_block_is_equivalent_to_blockset_contains() {
+    // Deterministic sweep complementing the proptest cases: the two
+    // inclusion-relation implementations agree.
+    let set = IpSet::from_raw((0..5_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect());
+    for n in [8u8, 16, 20, 24, 28, 32] {
+        let bs = BlockSet::of(&set, n);
+        for probe in (0..2_000u32).map(|i| Ip(i.wrapping_mul(0x9e37_79b9))) {
+            assert_eq!(
+                set.contains_block(probe, n),
+                bs.contains(probe),
+                "probe {probe} at /{n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Cross-seed robustness: the paper-shape claims must hold for *any* seed,
+//! not one lucky draw. Three fresh worlds (distinct master seeds, the
+//! integration scale) each rebuild the full pipeline and re-check the
+//! headline shapes with reduced trial counts.
+
+use unclean_core::prelude::*;
+use unclean_detect::{build_candidates, build_reports, PipelineConfig};
+use unclean_netmodel::{Scenario, ScenarioConfig};
+use unclean_stats::SeedTree;
+
+const SEEDS: [u64; 3] = [101, 7_777, 424_242];
+const SCALE: f64 = 0.002;
+const TRIALS: usize = 60;
+
+fn pipeline(seed: u64) -> (Scenario, unclean_detect::ReportSet) {
+    let scenario = Scenario::generate(ScenarioConfig::at_scale(SCALE, seed));
+    let reports = build_reports(&scenario, &PipelineConfig::paper());
+    (scenario, reports)
+}
+
+#[test]
+fn headline_shapes_hold_across_seeds() {
+    for seed in SEEDS {
+        let (scenario, reports) = pipeline(seed);
+        let control = reports.control.addresses();
+
+        // Spatial uncleanliness for the bot report (Eq. 3).
+        let density = DensityAnalysis::with_config(DensityConfig {
+            trials: TRIALS,
+            ..DensityConfig::default()
+        })
+        .run(&reports.bot, control, &[], &SeedTree::new(seed ^ 1));
+        assert!(
+            density.hypothesis_holds(),
+            "seed {seed}: Eq. 3 for bots, support {:?}",
+            density.support
+        );
+
+        // Temporal uncleanliness: bot-test → spam (Eq. 5).
+        let temporal = TemporalAnalysis::with_config(TemporalConfig {
+            trials: TRIALS,
+            ..TemporalConfig::default()
+        });
+        let spam_pred =
+            temporal.run(&reports.bot_test, &reports.spam, control, &SeedTree::new(seed ^ 2));
+        assert!(
+            spam_pred.hypothesis_holds(),
+            "seed {seed}: bot-test must predict spam, verdicts {:?}",
+            spam_pred.verdicts()
+        );
+
+        // The phishing negative.
+        if !reports.phish_window.is_empty() {
+            let phish_pred = temporal.run(
+                &reports.bot_test,
+                &reports.phish_window,
+                control,
+                &SeedTree::new(seed ^ 3),
+            );
+            assert!(
+                !phish_pred.hypothesis_holds(),
+                "seed {seed}: bot-test must NOT predict phishing"
+            );
+        }
+
+        // Blocking precision at /24.
+        let candidates = build_candidates(&scenario, &reports.bot_test, 24, &PipelineConfig::paper());
+        let partition = Partition::new(&candidates, reports.unclean.addresses());
+        let table = BlockingAnalysis::default().run(reports.bot_test.addresses(), &partition);
+        let r24 = table.row(24).expect("row 24");
+        assert!(
+            r24.precision() > 0.7,
+            "seed {seed}: precision at /24 = {:.2} (tp {} fp {})",
+            r24.precision(),
+            r24.tp,
+            r24.fp
+        );
+        assert!(
+            partition.hostile.len() > partition.innocent.len() * 2,
+            "seed {seed}: hostile {} ≫ innocent {}",
+            partition.hostile.len(),
+            partition.innocent.len()
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration tests for the extension modules: the multidimensional
+//! uncleanliness score (paper §7 future work) and the cross-indicator
+//! overlap matrix (the abstract's cross-relationship claim), both run over
+//! the full pipeline's reports.
+
+use unclean_core::prelude::*;
+use unclean_integration::fixture;
+
+#[test]
+fn score_recovers_latent_hygiene() {
+    let f = fixture();
+    let scorer = UncleanlinessScorer::default();
+    let scores = scorer.score(&[
+        &f.reports.bot,
+        &f.reports.spam,
+        &f.reports.scan,
+        &f.reports.phish,
+    ]);
+    assert!(scores.len() > 10, "many networks carry evidence");
+    // Scores descend.
+    assert!(scores.windows(2).all(|w| w[0].score >= w[1].score));
+
+    // Ground-truth check: the top-decile networks are genuinely filthier
+    // than the rest (hygiene is the latent variable the score estimates).
+    let hygiene = |ns: &NetworkScore| {
+        f.scenario
+            .world
+            .profile_of(ns.network.base())
+            .map(|p| p.hygiene as f64)
+    };
+    let top_n = (scores.len() / 10).max(1);
+    let mean = |s: &[NetworkScore]| {
+        let v: Vec<f64> = s.iter().filter_map(hygiene).collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let top = mean(&scores[..top_n]);
+    let rest = mean(&scores[top_n..]);
+    assert!(
+        top + 0.1 < rest,
+        "top-decile hygiene {top:.3} should undercut the rest {rest:.3}"
+    );
+}
+
+#[test]
+fn phishing_weighting_is_a_separate_dimension() {
+    let f = fixture();
+    let reports: [&Report; 4] = [
+        &f.reports.bot,
+        &f.reports.spam,
+        &f.reports.scan,
+        &f.reports.phish,
+    ];
+    let botnet_view = UncleanlinessScorer::default().score(&reports);
+    let hosting_view = UncleanlinessScorer {
+        weights: ScoreWeights { bots: 0.05, spamming: 0.05, scanning: 0.05, phishing: 1.0 },
+        ..UncleanlinessScorer::default()
+    }
+    .score(&reports);
+    let top = |v: &[NetworkScore]| -> Vec<Cidr> {
+        v.iter().take(5).map(|n| n.network).collect()
+    };
+    let a = top(&botnet_view);
+    let b = top(&hosting_view);
+    let shared = a.iter().filter(|n| b.contains(n)).count();
+    assert!(
+        shared <= 2,
+        "botnet-led and phishing-led rankings should diverge, shared {shared}"
+    );
+}
+
+#[test]
+fn cross_relationship_matrix_matches_the_abstract() {
+    let f = fixture();
+    let matrix = OverlapMatrix::compute(&[
+        &f.reports.bot,
+        &f.reports.spam,
+        &f.reports.scan,
+        &f.reports.phish,
+    ]);
+    assert_eq!(matrix.cells.len(), 6);
+
+    let bot = f.reports.bot.tag();
+    let spam = f.reports.spam.tag();
+    let scan = f.reports.scan.tag();
+    let phish = f.reports.phish.tag();
+
+    // The botnet ecosystem interrelates: most spammers/scanners are bots.
+    let bot_spam = matrix.cell(bot, spam).expect("pair");
+    let bot_scan = matrix.cell(bot, scan).expect("pair");
+    assert!(bot_spam.containment > 0.3, "bot∩spam containment {}", bot_spam.containment);
+    assert!(bot_scan.containment > 0.3, "bot∩scan containment {}", bot_scan.containment);
+    assert!(bot_spam.blocks24 > 0 && bot_scan.blocks24 > 0);
+
+    // Phishing is unrelated to all of it.
+    for other in [bot, spam, scan] {
+        let cell = matrix.cell(phish, other).expect("pair");
+        assert!(
+            cell.containment < 0.05,
+            "phish∩{other} containment {} should be negligible",
+            cell.containment
+        );
+    }
+}
+
+#[test]
+fn blocklist_round_trip_of_the_deny_list() {
+    // The operational §6 artifact: render C_24(bot-test) and parse it back.
+    let f = fixture();
+    let cidrs = f.reports.bot_test.blocks(24).to_cidrs();
+    let text = render_blocklist(&cidrs, BlocklistFormat::Plain, "bot-test");
+    let parsed = parse_plain(&text).expect("well-formed");
+    assert_eq!(parsed, cidrs);
+    // Cisco rendering covers every block with a deny line.
+    let acl = render_blocklist(&cidrs, BlocklistFormat::CiscoAcl, "UNCLEAN");
+    assert_eq!(acl.matches(" deny ip ").count(), cidrs.len());
+}

@@ -1,0 +1,159 @@
+//! End-to-end spatial uncleanliness (§4): the full pipeline's unclean
+//! reports must satisfy Eq. 3 against the pipeline's own control report —
+//! the assertions DESIGN.md §5 promises.
+
+use unclean_core::prelude::*;
+use unclean_integration::{fixture, TEST_TRIALS};
+use unclean_stats::SeedTree;
+
+fn analysis() -> DensityAnalysis {
+    DensityAnalysis::with_config(DensityConfig {
+        trials: TEST_TRIALS,
+        ..DensityConfig::default()
+    })
+}
+
+#[test]
+fn bot_report_is_spatially_unclean() {
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.bot,
+        f.reports.control.addresses(),
+        &[],
+        &SeedTree::new(1),
+    );
+    assert!(res.hypothesis_holds(), "Eq. 3 for bots: support {:?}", res.support);
+}
+
+#[test]
+fn spam_report_is_spatially_unclean() {
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.spam,
+        f.reports.control.addresses(),
+        &[],
+        &SeedTree::new(2),
+    );
+    assert!(res.hypothesis_holds(), "Eq. 3 for spam: support {:?}", res.support);
+}
+
+#[test]
+fn scan_report_is_spatially_unclean() {
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.scan,
+        f.reports.control.addresses(),
+        &[],
+        &SeedTree::new(3),
+    );
+    assert!(res.hypothesis_holds(), "Eq. 3 for scanning: support {:?}", res.support);
+}
+
+#[test]
+fn phish_report_is_spatially_unclean() {
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.phish,
+        f.reports.control.addresses(),
+        &[],
+        &SeedTree::new(4),
+    );
+    assert!(res.hypothesis_holds(), "Eq. 3 for phishing: support {:?}", res.support);
+}
+
+#[test]
+fn control_subsets_are_not_spatially_unclean() {
+    // The negative control: a random subset of the control report must NOT
+    // register as unclean, or the test is vacuous.
+    let f = fixture();
+    let control = f.reports.control.addresses();
+    let mut rng = SeedTree::new(5).stream("subset");
+    let sub = control.sample(&mut rng, f.reports.bot.len()).expect("control is larger");
+    let fake = Report::new(
+        "fake-control-subset",
+        ReportClass::Special,
+        Provenance::Observed,
+        f.reports.control.period(),
+        sub,
+    );
+    let res = analysis().run(&fake, control, &[], &SeedTree::new(6));
+    assert!(
+        !res.hypothesis_holds(),
+        "a control subset must look like control: support {:?}",
+        res.support
+    );
+}
+
+#[test]
+fn naive_estimate_is_dramatically_sparser_than_empirical() {
+    // Figure 2's point: uniform sampling over allocated /8s vastly
+    // over-counts blocks relative to the empirically clustered population.
+    let f = fixture();
+    let control = f.reports.control.addresses();
+    // Use a draw large enough for collisions to matter; at the bot
+    // report's own (small-scale) size both estimators are nearly
+    // collision-free and the contrast only shows in the tail.
+    let k = control.len() / 3;
+    let slash8s = unclean_netmodel::allocated_slash8s();
+    let mut rng = SeedTree::new(7).stream("naive");
+    let naive = naive_sample(&slash8s, k, &mut rng).expect("space is ample");
+    let empirical = empirical_sample(control, k, &mut rng).expect("control is larger");
+    let naive24 = BlockCounts::of(&naive).at(24);
+    let emp24 = BlockCounts::of(&empirical).at(24);
+    assert!(
+        naive24 as f64 > emp24 as f64 * 1.5,
+        "naive {naive24} should far exceed empirical {emp24}"
+    );
+    // And the actual bot report is sparser than an equal-size empirical
+    // draw (Figure 2's third curve).
+    let bot_k = f.reports.bot.len();
+    let emp_bot = empirical_sample(control, bot_k, &mut rng).expect("control is larger");
+    let bot24 = f.reports.bot.block_counts().at(24);
+    assert!(
+        BlockCounts::of(&emp_bot).at(24) > bot24,
+        "empirical draw exceeds the bot report's {bot24} blocks"
+    );
+}
+
+#[test]
+fn density_curves_are_monotone_and_bounded() {
+    let f = fixture();
+    for report in f.reports.unclean_reports() {
+        let curve = density_curve(report.addresses(), PrefixRange::PAPER);
+        assert!(
+            curve.windows(2).all(|w| w[0] <= w[1]),
+            "{}: block counts grow with prefix length",
+            report.tag()
+        );
+        assert_eq!(
+            *curve.last().expect("non-empty") as usize,
+            report.len(),
+            "{}: /32 count equals cardinality",
+            report.tag()
+        );
+        assert!(curve[0] >= 1);
+    }
+}
+
+#[test]
+fn unclean_reports_are_denser_than_control_at_every_prefix() {
+    // The direct statement of Eq. 3 (strict form) on the /20 and /24
+    // midpoints, report by report.
+    let f = fixture();
+    let control = f.reports.control.addresses();
+    let mut rng = SeedTree::new(8).stream("direct");
+    for report in f.reports.unclean_reports() {
+        let sample = control.sample(&mut rng, report.len()).expect("control larger");
+        let rep_counts = report.block_counts();
+        let ctl_counts = BlockCounts::of(&sample);
+        for n in [20u8, 24] {
+            assert!(
+                rep_counts.at(n) <= ctl_counts.at(n),
+                "{} at /{n}: {} vs control {}",
+                report.tag(),
+                rep_counts.at(n),
+                ctl_counts.at(n)
+            );
+        }
+    }
+}

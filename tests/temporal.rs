@@ -1,0 +1,176 @@
+//! End-to-end temporal uncleanliness (§5): the five-month-old bot-test
+//! report must predict the present bot/spam/scan reports better than
+//! random control draws (Eq. 5), must NOT predict phishing, and phishing
+//! history must predict phishing (Figure 5).
+
+use unclean_core::prelude::*;
+use unclean_integration::{fixture, TEST_TRIALS};
+use unclean_stats::SeedTree;
+
+fn analysis() -> TemporalAnalysis {
+    TemporalAnalysis::with_config(TemporalConfig {
+        trials: TEST_TRIALS,
+        ..TemporalConfig::default()
+    })
+}
+
+#[test]
+fn bot_test_predicts_future_bots() {
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.bot_test,
+        &f.reports.bot,
+        f.reports.control.addresses(),
+        &SeedTree::new(1),
+    );
+    assert!(res.hypothesis_holds(), "Eq. 5 for bots: verdicts {:?}", res.verdicts());
+    let band = res.predictive_band().expect("band exists");
+    // The /24 view must always sit inside the predictive band (it is where
+    // the paper anchors §6's blocking). The paper additionally sees the
+    // band's lower edge at 20 bits — a full-scale effect: its present
+    // reports blanket the /16 universe, which a scaled-down report set
+    // cannot (see EXPERIMENTS.md).
+    assert!(band.0 <= 24 && 24 <= band.1, "/24 inside the band, got {band:?}");
+}
+
+#[test]
+fn bot_test_predicts_future_spamming() {
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.bot_test,
+        &f.reports.spam,
+        f.reports.control.addresses(),
+        &SeedTree::new(2),
+    );
+    assert!(res.hypothesis_holds(), "Eq. 5 for spam: verdicts {:?}", res.verdicts());
+}
+
+#[test]
+fn bot_test_predicts_future_scanning() {
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.bot_test,
+        &f.reports.scan,
+        f.reports.control.addresses(),
+        &SeedTree::new(3),
+    );
+    assert!(res.hypothesis_holds(), "Eq. 5 for scanning: verdicts {:?}", res.verdicts());
+}
+
+#[test]
+fn bot_test_does_not_predict_phishing() {
+    // Figure 4(ii)'s negative result: phishing lives on hosting
+    // infrastructure, not in the botnet's unclean networks.
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.bot_test,
+        &f.reports.phish_window,
+        f.reports.control.addresses(),
+        &SeedTree::new(4),
+    );
+    assert!(
+        !res.hypothesis_holds(),
+        "bots must not predict phishing: verdicts {:?}, observed {:?}",
+        res.verdicts(),
+        res.observed
+    );
+}
+
+#[test]
+fn phish_test_predicts_future_phishing() {
+    // Figure 5: phishing history predicts phishing, so temporal
+    // uncleanliness holds for all four indicators.
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.phish_test,
+        &f.reports.phish_window,
+        f.reports.control.addresses(),
+        &SeedTree::new(5),
+    );
+    assert!(
+        res.hypothesis_holds(),
+        "phish-test predicts phishing: verdicts {:?}",
+        res.verdicts()
+    );
+}
+
+#[test]
+fn control_gains_imprecise_successes_at_coarse_prefixes() {
+    // §5.2's mechanism for the crossover: "as block size increases, the
+    // control report will have a larger number of imprecise successes".
+    // At full scale this hands control the win below ~19–20 bits; at
+    // reduced scale the crossover slides out of [16, 32], but the
+    // mechanism — control intersections growing as prefixes coarsen —
+    // must be visible regardless.
+    let f = fixture();
+    let res = analysis().run(
+        &f.reports.bot_test,
+        &f.reports.spam,
+        f.reports.control.addresses(),
+        &SeedTree::new(6),
+    );
+    let median_at = |n: u32| {
+        let i = res.xs.iter().position(|&x| x == n).expect("in range");
+        res.control.five_numbers()[i].1.median
+    };
+    assert!(
+        median_at(16) > median_at(20) && median_at(20) >= median_at(24),
+        "control intersections grow with coarser prefixes: /16 {} /20 {} /24 {}",
+        median_at(16),
+        median_at(20),
+        median_at(24)
+    );
+    // And the unclean report's *relative* advantage shrinks toward /16.
+    let idx = |n: u32| res.xs.iter().position(|&x| x == n).expect("in range");
+    let advantage = |n: u32| res.observed[idx(n)] as f64 / median_at(n).max(0.5);
+    assert!(
+        advantage(16) < advantage(24),
+        "the coarse end erodes the predictor's edge: /16 {:.1} vs /24 {:.1}",
+        advantage(16),
+        advantage(24)
+    );
+}
+
+#[test]
+fn random_past_predicts_nothing() {
+    // Negative control for Eq. 5.
+    let f = fixture();
+    let control = f.reports.control.addresses();
+    let mut rng = SeedTree::new(7).stream("rand-past");
+    let sample = control.sample(&mut rng, f.reports.bot_test.len()).expect("larger");
+    let fake = Report::new(
+        "random-past",
+        ReportClass::Special,
+        Provenance::Observed,
+        f.reports.bot_test.period(),
+        sample,
+    );
+    let res = analysis().run(&fake, &f.reports.bot, control, &SeedTree::new(8));
+    assert!(
+        res.test.better_xs().len() <= 1,
+        "random history should not predict: {:?}",
+        res.test.better_xs()
+    );
+}
+
+#[test]
+fn prediction_over_five_month_gap() {
+    // The headline claim: the predictor is five months older than what it
+    // predicts.
+    let f = fixture();
+    let gap = f.reports.bot.period().start - f.reports.bot_test.period().end;
+    assert!(gap >= 140, "bot-test precedes the unclean window by ~5 months: {gap} days");
+}
+
+#[test]
+fn observed_intersections_decay_with_prefix_length() {
+    let f = fixture();
+    let curve = prediction_curve(
+        f.reports.bot_test.addresses(),
+        f.reports.bot.addresses(),
+        PrefixRange::PAPER,
+    );
+    // |C_16 ∩| ≥ |C_24 ∩| ≥ |C_32 ∩| need not be monotone in general, but
+    // the coarse end must dominate the fine end.
+    assert!(curve[0] >= curve[16], "coarse blocks intersect at least as much");
+}
