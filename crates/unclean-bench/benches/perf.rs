@@ -4,8 +4,8 @@
 //! paper-reproduction experiments live in `src/bin/`).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use unclean_core::prelude::*;
 use unclean_core::blocks::block_count_naive;
+use unclean_core::prelude::*;
 use unclean_flowgen::{
     decode_datagram, encode_datagram, record::EPOCH_UNIX_SECS, Flow, FlowGenerator,
     GeneratorConfig, V5Header,
@@ -32,9 +32,11 @@ fn bench_block_counts(c: &mut Criterion) {
     for size in [10_000usize, 100_000, 1_000_000] {
         let set = clustered_set(size);
         g.throughput(Throughput::Elements(size as u64));
-        g.bench_with_input(BenchmarkId::new("all_prefixes_one_pass", size), &set, |b, s| {
-            b.iter(|| BlockCounts::of(black_box(s)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("all_prefixes_one_pass", size),
+            &set,
+            |b, s| b.iter(|| BlockCounts::of(black_box(s))),
+        );
     }
     // The naive (hash-set) baseline at one prefix length, for contrast.
     let set = clustered_set(100_000);
@@ -85,7 +87,9 @@ fn bench_prediction(c: &mut Criterion) {
 fn bench_trie(c: &mut Criterion) {
     let mut g = c.benchmark_group("trie");
     let set = clustered_set(50_000);
-    g.bench_function("build_50k", |b| b.iter(|| PrefixTrie::from_set(black_box(&set))));
+    g.bench_function("build_50k", |b| {
+        b.iter(|| PrefixTrie::from_set(black_box(&set)))
+    });
     let trie = PrefixTrie::from_set(&set);
     g.bench_function("aggregate_50k", |b| b.iter(|| black_box(&trie).aggregate()));
     g.finish();
@@ -107,7 +111,10 @@ fn bench_netflow_codec(c: &mut Criterion) {
             duration_secs: 5,
         })
         .collect();
-    let records: Vec<_> = flows.iter().map(|f| f.to_v5(EPOCH_UNIX_SECS + 86_400 * 270)).collect();
+    let records: Vec<_> = flows
+        .iter()
+        .map(|f| f.to_v5(EPOCH_UNIX_SECS + 86_400 * 270))
+        .collect();
     let header = V5Header {
         count: 30,
         sys_uptime_ms: 0,

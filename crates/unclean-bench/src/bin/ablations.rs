@@ -1,9 +1,7 @@
 //! Runs the ablation studies (report aging, detector comparison,
-//! aggregation-level sweep) beyond the paper's own evaluation.
 
-use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = ExperimentContext::generate(BenchOpts::from_args());
-    let _ = experiments::ablations::run(&ctx);
+fn main() -> ExitCode {
+    unclean_bench::runner::single_main("ablations")
 }

@@ -1,10 +1,7 @@
 //! Regenerates the cross-relationship overlap matrix (the paper's
-//! abstract-level claim that bots/spam/scan interrelate and phishing does
-//! not).
 
-use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = ExperimentContext::generate(BenchOpts::from_args());
-    let _ = experiments::crossrel::run(&ctx);
+fn main() -> ExitCode {
+    unclean_bench::runner::single_main("crossrel")
 }

@@ -1,8 +1,7 @@
 //! Regenerates the paper's Figure 3 (comparative density of the unclean classes).
 
-use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = ExperimentContext::generate(BenchOpts::from_args());
-    let _ = experiments::fig3::run(&ctx);
+fn main() -> ExitCode {
+    unclean_bench::runner::single_main("fig3")
 }

@@ -1,18 +1,33 @@
-//! Regenerates every table and figure in the paper's evaluation in order,
-//! writing one JSON result per experiment plus a combined `all.json`.
+//! Regenerates every table and figure in the paper's evaluation under the
+//! crash-safe supervisor: each experiment runs fault-isolated (panics and
+//! deadline overruns are recorded, not fatal), results are written
+//! atomically, and `results/manifest.json` records per-experiment status
+//! so `--resume` re-runs only what failed.
+//!
+//! Exit codes: 0 = every experiment succeeded, 3 = partial (see the
+//! failure summary and manifest), 2 = usage error.
 
-use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+use std::process::ExitCode;
+use std::sync::Arc;
+use unclean_bench::runner::{RunnerConfig, EXIT_USAGE};
+use unclean_bench::{BenchOpts, ExperimentContext};
 
-fn main() {
-    let ctx = ExperimentContext::generate(BenchOpts::from_args());
-    let mut combined = serde_json::Map::new();
-    for (id, description, runner) in experiments::all() {
-        eprintln!("\n[bench] ===== {id}: {description} =====");
-        let t0 = std::time::Instant::now();
-        let value = runner(&ctx);
-        eprintln!("[bench] {id} finished in {:.1?}", t0.elapsed());
-        combined.insert(id.to_string(), value);
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, cfg) = match BenchOpts::parse_known(&args)
+        .and_then(|(opts, extra)| RunnerConfig::parse(&extra).map(|cfg| (opts, cfg)))
+    {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    // Fail on `--only` typos before spending minutes generating a world.
+    if let Err(e) = unclean_bench::runner::validate_config(&cfg) {
+        eprintln!("{e}");
+        return ExitCode::from(EXIT_USAGE);
     }
-    ctx.write_result("all", &serde_json::Value::Object(combined));
-    eprintln!("\n[bench] all experiments complete");
+    let ctx = Arc::new(ExperimentContext::generate(opts));
+    unclean_bench::runner::run_all(ctx, &cfg)
 }

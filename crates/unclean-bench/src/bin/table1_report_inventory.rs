@@ -1,8 +1,7 @@
 //! Regenerates the paper's Table 1 (report inventory).
 
-use unclean_bench::{experiments, BenchOpts, ExperimentContext};
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = ExperimentContext::generate(BenchOpts::from_args());
-    let _ = experiments::table1::run(&ctx);
+fn main() -> ExitCode {
+    unclean_bench::runner::single_main("table1")
 }

@@ -1,13 +1,24 @@
 //! Prints diagnostics of the generated world and epidemic: the
 //! substitution-argument sanity report (DESIGN.md §2) for any scale/seed.
 
+use std::process::ExitCode;
+use unclean_bench::runner::EXIT_USAGE;
 use unclean_bench::BenchOpts;
 use unclean_netmodel::{EpidemicDiagnostics, Scenario, ScenarioConfig, WorldDiagnostics};
 
-fn main() {
-    let opts = BenchOpts::from_args();
+fn main() -> ExitCode {
+    let opts = match BenchOpts::from_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
     let scenario = Scenario::generate(ScenarioConfig::at_scale(opts.scale, opts.seed));
-    println!("== world diagnostics (scale {}, seed {}) ==\n", opts.scale, opts.seed);
+    println!(
+        "== world diagnostics (scale {}, seed {}) ==\n",
+        opts.scale, opts.seed
+    );
     println!("{}\n", WorldDiagnostics::of(&scenario.world).render());
     println!("== epidemic diagnostics ==\n");
     println!(
@@ -18,4 +29,5 @@ fn main() {
         "expected control-week coverage: {:.1}%",
         scenario.expected_control_coverage() * 100.0
     );
+    ExitCode::SUCCESS
 }

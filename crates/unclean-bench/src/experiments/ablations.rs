@@ -11,10 +11,12 @@
 //!   aggregation attribute to the botnet, and when does it dissolve into
 //!   noise?
 
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
-use unclean_detect::{BotMonitor, FanoutConfig, HourlyFanoutDetector, PipelineConfig, TrwConfig, TrwDetector};
+use unclean_detect::{
+    BotMonitor, FanoutConfig, HourlyFanoutDetector, PipelineConfig, TrwConfig, TrwDetector,
+};
 use unclean_flowgen::{FlowGenerator, GeneratorConfig};
 use unclean_stats::SeedTree;
 
@@ -23,7 +25,7 @@ use unclean_stats::SeedTree;
 /// Takes channel snapshots at increasing distances before the unclean
 /// window and measures each one's predictive band and /24 advantage over
 /// control draws against the present bot report.
-pub fn report_aging(ctx: &ExperimentContext) -> Value {
+pub fn report_aging(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Ablation A: prediction vs report age ===\n");
     let scenario = &ctx.scenario;
     let window_start = scenario.dates.unclean_window.start;
@@ -31,14 +33,20 @@ pub fn report_aging(ctx: &ExperimentContext) -> Value {
         trials: ctx.opts.trials.min(250),
         ..TemporalConfig::default()
     });
-    let seeds = SeedTree::new(ctx.opts.seed).child("ablation-aging");
+    let seeds = SeedTree::new(ctx.experiment_seed()).child("ablation-aging");
     let control = ctx.reports.control.addresses();
 
     let widths = [10, 9, 12, 12, 12];
     println!(
         "{}",
         row(
-            &["age_days".into(), "size".into(), "band".into(), "obs@24".into(), "ctl_med@24".into()],
+            &[
+                "age_days".into(),
+                "size".into(),
+                "band".into(),
+                "obs@24".into(),
+                "ctl_med@24".into()
+            ],
             &widths
         )
     );
@@ -47,11 +55,8 @@ pub fn report_aging(ctx: &ExperimentContext) -> Value {
     for age in [7i32, 30, 90, 150, 240] {
         let day = window_start - age;
         // The busiest channel's roster at that day plays the "old report".
-        let snapshot = BotMonitor::channel_snapshot(
-            &scenario.infections,
-            scenario.bot_test_channel,
-            day,
-        );
+        let snapshot =
+            BotMonitor::channel_snapshot(&scenario.infections, scenario.bot_test_channel, day);
         if snapshot.len() < 10 {
             println!("{age:>10}  (channel roster too small at this date; skipped)");
             continue;
@@ -96,13 +101,13 @@ pub fn report_aging(ctx: &ExperimentContext) -> Value {
         "scale": ctx.opts.scale,
         "rows": rows,
     });
-    ctx.write_result("ablation_aging", &result);
-    result
+    ctx.write_result("ablation_aging", &result)?;
+    Ok(result)
 }
 
 /// Ablation B: hourly fan-out detector vs the TRW baseline on one day of
 /// border traffic.
-pub fn detector_comparison(ctx: &ExperimentContext) -> Value {
+pub fn detector_comparison(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Ablation B: fan-out detector vs TRW ===\n");
     let scenario = &ctx.scenario;
     let model = scenario.activity();
@@ -128,7 +133,10 @@ pub fn detector_comparison(ctx: &ExperimentContext) -> Value {
     println!("fan-out detections  : {}", fan.len());
     println!("TRW detections      : {}", t.len());
     println!("agreement           : {}", both.len());
-    println!("TRW-only (incl. slow scanners the fan-out threshold misses): {}", t.difference(&fan).len());
+    println!(
+        "TRW-only (incl. slow scanners the fan-out threshold misses): {}",
+        t.difference(&fan).len()
+    );
     println!("fan-out-only        : {}", fan.difference(&t).len());
 
     let result = json!({
@@ -140,20 +148,16 @@ pub fn detector_comparison(ctx: &ExperimentContext) -> Value {
         "trw_only": t.difference(&fan).len(),
         "fanout_only": fan.difference(&t).len(),
     });
-    ctx.write_result("ablation_detectors", &result);
-    result
+    ctx.write_result("ablation_detectors", &result)?;
+    Ok(result)
 }
 
 /// Ablation C: the Figure 1 overlap gain, swept over aggregation levels.
-pub fn aggregation_sweep(ctx: &ExperimentContext) -> Value {
+pub fn aggregation_sweep(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Ablation C: bot/scan overlap vs aggregation level ===\n");
     let scenario = &ctx.scenario;
     let day = scenario.dates.fig1_report_day;
-    let bot_report = BotMonitor::channel_snapshot(
-        &scenario.infections,
-        scenario.fig1_channel,
-        day,
-    );
+    let bot_report = BotMonitor::channel_snapshot(&scenario.infections, scenario.fig1_channel, day);
     let scanners = unclean_detect::daily_scanners(
         scenario,
         DateRange::single(day),
@@ -164,10 +168,22 @@ pub fn aggregation_sweep(ctx: &ExperimentContext) -> Value {
     .1;
 
     let widths = [3, 10, 12, 16];
-    println!("scanners on {day}: {} | bot report: {}\n", scanners.len(), bot_report.len());
+    println!(
+        "scanners on {day}: {} | bot report: {}\n",
+        scanners.len(),
+        bot_report.len()
+    );
     println!(
         "{}",
-        row(&["n".into(), "overlap".into(), "bot blocks".into(), "span (addrs)".into()], &widths)
+        row(
+            &[
+                "n".into(),
+                "overlap".into(),
+                "bot blocks".into(),
+                "span (addrs)".into()
+            ],
+            &widths
+        )
     );
     println!("{}", rule(&widths));
     let mut rows = Vec::new();
@@ -200,15 +216,15 @@ pub fn aggregation_sweep(ctx: &ExperimentContext) -> Value {
         "experiment": "ablation_aggregation",
         "rows": rows,
     });
-    ctx.write_result("ablation_aggregation", &result);
-    result
+    ctx.write_result("ablation_aggregation", &result)?;
+    Ok(result)
 }
 
 /// Ablation D: how strong must the hygiene–hazard coupling be before
 /// spatial uncleanliness disappears? Regenerates small scenarios with the
 /// hazard exponent swept from "compromise ignores hygiene" (0) upward and
 /// tests Eq. 3 on each bot report.
-pub fn concentration_sweep(ctx: &ExperimentContext) -> Value {
+pub fn concentration_sweep(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Ablation D: hygiene–hazard coupling strength ===\n");
     use unclean_detect::build_reports;
     use unclean_netmodel::{Scenario, ScenarioConfig};
@@ -217,14 +233,20 @@ pub fn concentration_sweep(ctx: &ExperimentContext) -> Value {
     println!(
         "{}",
         row(
-            &["exponent".into(), "|bot|".into(), "|C24 bot|".into(), "ctl med@24".into(), "Eq3".into()],
+            &[
+                "exponent".into(),
+                "|bot|".into(),
+                "|C24 bot|".into(),
+                "ctl med@24".into(),
+                "Eq3".into()
+            ],
             &widths
         )
     );
     println!("{}", rule(&widths));
     let mut rows = Vec::new();
     for exponent in [0.0, 1.0, 2.0, 4.0] {
-        let mut cfg = ScenarioConfig::at_scale(0.002, ctx.opts.seed);
+        let mut cfg = ScenarioConfig::at_scale(0.002, ctx.experiment_seed());
         cfg.compromise.hygiene_exponent = exponent;
         let scenario = Scenario::generate(cfg);
         let reports = build_reports(&scenario, &PipelineConfig::paper());
@@ -236,7 +258,7 @@ pub fn concentration_sweep(ctx: &ExperimentContext) -> Value {
             &reports.bot,
             reports.control.addresses(),
             &[],
-            &SeedTree::new(ctx.opts.seed).child("ablation-conc"),
+            &SeedTree::new(ctx.experiment_seed()).child("ablation-conc"),
         );
         let idx24 = res.xs.iter().position(|&x| x == 24).expect("in range");
         println!(
@@ -264,8 +286,8 @@ pub fn concentration_sweep(ctx: &ExperimentContext) -> Value {
     println!("and Eq. 3 collapses; clustering strengthens monotonically with it.");
 
     let result = json!({ "experiment": "ablation_concentration", "rows": rows });
-    ctx.write_result("ablation_concentration", &result);
-    result
+    ctx.write_result("ablation_concentration", &result)?;
+    Ok(result)
 }
 
 /// Ablation E: homogeneous CIDR blocks vs network-aware clusters — the
@@ -273,7 +295,7 @@ pub fn concentration_sweep(ctx: &ExperimentContext) -> Value {
 /// signal (occupied partitions, unclean vs equal-size control draws) under
 /// both partitionings and reports the cluster-population dispersion the
 /// paper warns about.
-pub fn clustering_comparison(ctx: &ExperimentContext) -> Value {
+pub fn clustering_comparison(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Ablation E: fixed /24 blocks vs network-aware clusters ===\n");
     let control = ctx.reports.control.addresses();
     let clusters = NetworkClusters::build(control, &ClusterConfig::default());
@@ -283,20 +305,28 @@ pub fn clustering_comparison(ctx: &ExperimentContext) -> Value {
         clusters.population_dispersion()
     );
 
-    let mut rng = SeedTree::new(ctx.opts.seed).stream("ablation-clusters");
+    let mut rng = SeedTree::new(ctx.experiment_seed()).stream("ablation-clusters");
     let widths = [8, 9, 12, 12, 14, 14];
     println!(
         "\n{}",
         row(
-            &["report".into(), "size".into(), "/24 blocks".into(), "ctl /24".into(),
-              "clusters".into(), "ctl clusters".into()],
+            &[
+                "report".into(),
+                "size".into(),
+                "/24 blocks".into(),
+                "ctl /24".into(),
+                "clusters".into(),
+                "ctl clusters".into()
+            ],
             &widths
         )
     );
     println!("{}", rule(&widths));
     let mut rows = Vec::new();
     for report in ctx.reports.unclean_reports() {
-        let sample = control.sample(&mut rng, report.len()).expect("control larger");
+        let sample = control
+            .sample(&mut rng, report.len())
+            .expect("control larger");
         let blocks = report.block_counts().at(24);
         let ctl_blocks = BlockCounts::of(&sample).at(24);
         let occ = clusters.occupied_by(report.addresses());
@@ -333,15 +363,15 @@ pub fn clustering_comparison(ctx: &ExperimentContext) -> Value {
         "dispersion": clusters.population_dispersion(),
         "rows": rows,
     });
-    ctx.write_result("ablation_clustering", &result);
-    result
+    ctx.write_result("ablation_clustering", &result)?;
+    Ok(result)
 }
 
 /// Ablation F: the ground-truth persistence curve — the survival function
 /// `S(Δ) = P(/24 unclean at t+Δ | unclean at t)` that the temporal
 /// uncleanliness hypothesis rides on, measured directly from the
 /// simulation's infection history.
-pub fn persistence_curve(ctx: &ExperimentContext) -> Value {
+pub fn persistence_curve(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Ablation F: /24 uncleanliness survival ===\n");
     use unclean_netmodel::UncleanTimelines;
     let timelines = UncleanTimelines::build(&ctx.scenario.infections);
@@ -361,20 +391,20 @@ pub fn persistence_curve(ctx: &ExperimentContext) -> Value {
         "ever_unclean_blocks": timelines.len(),
         "curve": curve,
     });
-    ctx.write_result("ablation_persistence", &result);
-    result
+    ctx.write_result("ablation_persistence", &result)?;
+    Ok(result)
 }
 
 /// Run all ablations.
-pub fn run(ctx: &ExperimentContext) -> Value {
-    let a = report_aging(ctx);
-    let b = detector_comparison(ctx);
-    let c = aggregation_sweep(ctx);
-    let d = concentration_sweep(ctx);
-    let e = clustering_comparison(ctx);
-    let f = persistence_curve(ctx);
-    json!({
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+    let a = report_aging(ctx)?;
+    let b = detector_comparison(ctx)?;
+    let c = aggregation_sweep(ctx)?;
+    let d = concentration_sweep(ctx)?;
+    let e = clustering_comparison(ctx)?;
+    let f = persistence_curve(ctx)?;
+    Ok(json!({
         "aging": a, "detectors": b, "aggregation": c,
         "concentration": d, "clustering": e, "persistence": f,
-    })
+    }))
 }

@@ -3,7 +3,7 @@
 //! is unrelated to all three. Prints the pairwise overlap matrix with a
 //! random-draw baseline for every pair.
 
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_stats::SeedTree;
@@ -21,15 +21,19 @@ fn baseline_overlap(
     let mut total = 0usize;
     for t in 0..trials {
         let mut rng = seeds.stream_idx(t as u64);
-        let a = control.sample(&mut rng, size_a.min(control.len())).expect("bounded");
-        let b = control.sample(&mut rng, size_b.min(control.len())).expect("bounded");
+        let a = control
+            .sample(&mut rng, size_a.min(control.len()))
+            .expect("bounded");
+        let b = control
+            .sample(&mut rng, size_b.min(control.len()))
+            .expect("bounded");
         total += a.intersect(&b).len();
     }
     total as f64 / trials as f64
 }
 
 /// Run the cross-relationship experiment.
-pub fn run(ctx: &ExperimentContext) -> Value {
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Cross-relationship: pairwise indicator overlap ===\n");
     let reports = [
         &ctx.reports.bot,
@@ -39,24 +43,43 @@ pub fn run(ctx: &ExperimentContext) -> Value {
     ];
     let matrix = OverlapMatrix::compute(&reports);
     let control = ctx.reports.control.addresses();
-    let seeds = SeedTree::new(ctx.opts.seed).child("crossrel");
+    let seeds = SeedTree::new(ctx.experiment_seed()).child("crossrel");
 
     let widths = [6, 6, 10, 10, 12, 10, 9];
     println!(
         "{}",
         row(
-            &["a".into(), "b".into(), "∩ addrs".into(), "chance".into(),
-              "lift".into(), "∩ /24s".into(), "contain".into()],
+            &[
+                "a".into(),
+                "b".into(),
+                "∩ addrs".into(),
+                "chance".into(),
+                "lift".into(),
+                "∩ /24s".into(),
+                "contain".into()
+            ],
             &widths
         )
     );
     println!("{}", rule(&widths));
     let mut cells = Vec::new();
     for cell in &matrix.cells {
-        let size_a = reports.iter().find(|r| r.tag() == cell.a).expect("present").len();
-        let size_b = reports.iter().find(|r| r.tag() == cell.b).expect("present").len();
+        let size_a = reports
+            .iter()
+            .find(|r| r.tag() == cell.a)
+            .expect("present")
+            .len();
+        let size_b = reports
+            .iter()
+            .find(|r| r.tag() == cell.b)
+            .expect("present")
+            .len();
         let chance = baseline_overlap(control, size_a, size_b, &seeds, 20);
-        let lift = if chance > 0.0 { cell.addresses as f64 / chance } else { f64::INFINITY };
+        let lift = if chance > 0.0 {
+            cell.addresses as f64 / chance
+        } else {
+            f64::INFINITY
+        };
         println!(
             "{}",
             row(
@@ -65,7 +88,11 @@ pub fn run(ctx: &ExperimentContext) -> Value {
                     cell.b.clone(),
                     cell.addresses.to_string(),
                     format!("{chance:.1}"),
-                    if lift.is_finite() { format!("×{lift:.0}") } else { "∞".into() },
+                    if lift.is_finite() {
+                        format!("×{lift:.0}")
+                    } else {
+                        "∞".into()
+                    },
                     cell.blocks24.to_string(),
                     format!("{:.2}", cell.containment),
                 ],
@@ -102,6 +129,6 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         "seed": ctx.opts.seed,
         "cells": cells,
     });
-    ctx.write_result("crossrel", &result);
-    result
+    ctx.write_result("crossrel", &result)?;
+    Ok(result)
 }

@@ -7,13 +7,13 @@
 //! before the report and drops after it, the bot/scan intersection peaks
 //! around 35%, and the /24 view finds more scanners than the address view.
 
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::BlockSet;
 use unclean_detect::{daily_scanners, BotMonitor, PipelineConfig};
 
 /// Run the Figure 1 experiment.
-pub fn run(ctx: &ExperimentContext) -> Value {
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Figure 1: scanning vs botnet report ===\n");
     let scenario = &ctx.scenario;
     let dates = scenario.dates;
@@ -37,7 +37,12 @@ pub fn run(ctx: &ExperimentContext) -> Value {
     println!(
         "{}",
         row(
-            &["day".into(), "scanners".into(), "bot∩addr".into(), "bot∩/24".into()],
+            &[
+                "day".into(),
+                "scanners".into(),
+                "bot∩addr".into(),
+                "bot∩/24".into()
+            ],
             &widths
         )
     );
@@ -55,11 +60,20 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         addr_overlap.push(a);
         block_overlap.push(b);
         if (day.0 - dates.fig1_span.start.0) % 7 == 0 || *day == dates.fig1_report_day {
-            let marker = if *day == dates.fig1_report_day { "  ← report" } else { "" };
+            let marker = if *day == dates.fig1_report_day {
+                "  ← report"
+            } else {
+                ""
+            };
             println!(
                 "{}{}",
                 row(
-                    &[day.to_string(), set.len().to_string(), a.to_string(), b.to_string()],
+                    &[
+                        day.to_string(),
+                        set.len().to_string(),
+                        a.to_string(),
+                        b.to_string()
+                    ],
                     &widths
                 ),
                 marker
@@ -72,8 +86,8 @@ pub fn run(ctx: &ExperimentContext) -> Value {
     let peak = *scanners.iter().max().expect("non-empty");
     let peak_idx = scanners.iter().position(|&v| v == peak).expect("present");
     let pre = scanners[..14].iter().sum::<usize>() as f64 / 14.0;
-    let post: f64 =
-        scanners[report_idx + 28..].iter().sum::<usize>() as f64 / (scanners.len() - report_idx - 28) as f64;
+    let post: f64 = scanners[report_idx + 28..].iter().sum::<usize>() as f64
+        / (scanners.len() - report_idx - 28) as f64;
     let peak_overlap_frac = addr_overlap[peak_idx] as f64 / scanners[peak_idx].max(1) as f64;
     let mean_gain: f64 = {
         let pairs: Vec<f64> = addr_overlap
@@ -89,7 +103,10 @@ pub fn run(ctx: &ExperimentContext) -> Value {
     println!("  pre-campaign baseline : {pre:.0} scanners/day");
     println!("  campaign peak         : {peak} scanners/day (day index {peak_idx})");
     println!("  post-report (4w later): {post:.0} scanners/day");
-    println!("  bot∩scan at the peak  : {:.0}% of scanners (paper: up to 35%)", peak_overlap_frac * 100.0);
+    println!(
+        "  bot∩scan at the peak  : {:.0}% of scanners (paper: up to 35%)",
+        peak_overlap_frac * 100.0
+    );
     println!("  /24-view gain         : ×{mean_gain:.2} scanners vs the address view");
 
     let result = json!({
@@ -109,6 +126,6 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         "peak_overlap_fraction": peak_overlap_frac,
         "block_view_gain": mean_gain,
     });
-    ctx.write_result("fig1", &result);
-    result
+    ctx.write_result("fig1", &result)?;
+    Ok(result)
 }

@@ -7,18 +7,18 @@
 //! "considerably higher", roughly doubling per bit, while the empirical
 //! estimate and the bot report bend far below it.
 
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_netmodel::allocated_slash8s;
 use unclean_stats::SeedTree;
 
 /// Run the Figure 2 experiment.
-pub fn run(ctx: &ExperimentContext) -> Value {
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Figure 2: density estimation techniques ===\n");
     let bot = &ctx.reports.bot;
     let control = ctx.reports.control.addresses();
-    let seeds = SeedTree::new(ctx.opts.seed).child("fig2");
+    let seeds = SeedTree::new(ctx.experiment_seed()).child("fig2");
     let trials = ctx.opts.trials;
 
     let empirical = DensityAnalysis::with_config(DensityConfig {
@@ -39,8 +39,12 @@ pub fn run(ctx: &ExperimentContext) -> Value {
     println!(
         "{}",
         row(
-            &["n".into(), "bot |C_n|".into(), "empirical (med [min,max])".into(),
-              "naive (med [min,max])".into()],
+            &[
+                "n".into(),
+                "bot |C_n|".into(),
+                "empirical (med [min,max])".into(),
+                "naive (med [min,max])".into()
+            ],
             &widths
         )
     );
@@ -72,9 +76,15 @@ pub fn run(ctx: &ExperimentContext) -> Value {
     }
 
     // The paper's headline ratios.
-    let idx24 = empirical.xs.iter().position(|&x| x == 24).expect("24 in range");
-    let naive_over_empirical = naive.control_boxes[idx24].1.median / empirical.control_boxes[idx24].1.median;
-    let empirical_over_bot = empirical.control_boxes[idx24].1.median / empirical.observed[idx24] as f64;
+    let idx24 = empirical
+        .xs
+        .iter()
+        .position(|&x| x == 24)
+        .expect("24 in range");
+    let naive_over_empirical =
+        naive.control_boxes[idx24].1.median / empirical.control_boxes[idx24].1.median;
+    let empirical_over_bot =
+        empirical.control_boxes[idx24].1.median / empirical.observed[idx24] as f64;
     println!("\nat /24: naive is ×{naive_over_empirical:.1} the empirical estimate;");
     println!("the empirical estimate is ×{empirical_over_bot:.1} the actual bot density.");
 
@@ -87,6 +97,6 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         "naive_over_empirical_at_24": naive_over_empirical,
         "empirical_over_bot_at_24": empirical_over_bot,
     });
-    ctx.write_result("fig2", &result);
-    result
+    ctx.write_result("fig2", &result)?;
+    Ok(result)
 }

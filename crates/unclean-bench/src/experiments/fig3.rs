@@ -4,20 +4,20 @@
 //! boxplot of 1000 equal-cardinality control subsets; the unclean curve
 //! must sit at or below the control's at every prefix length (Eq. 3).
 
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_stats::SeedTree;
 
 /// Run the Figure 3 experiment.
-pub fn run(ctx: &ExperimentContext) -> Value {
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Figure 3: comparative density of the unclean classes ===");
     let control = ctx.reports.control.addresses();
     let analysis = DensityAnalysis::with_config(DensityConfig {
         trials: ctx.opts.trials,
         ..DensityConfig::default()
     });
-    let seeds = SeedTree::new(ctx.opts.seed).child("fig3");
+    let seeds = SeedTree::new(ctx.experiment_seed()).child("fig3");
 
     let panels = [
         ("(i)", &ctx.reports.bot),
@@ -38,7 +38,12 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         println!(
             "{}",
             row(
-                &["n".into(), "observed".into(), "control (med [min,max])".into(), "ratio".into()],
+                &[
+                    "n".into(),
+                    "observed".into(),
+                    "control (med [min,max])".into(),
+                    "ratio".into()
+                ],
                 &widths
             )
         );
@@ -87,6 +92,6 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         "trials": ctx.opts.trials,
         "panels": json_panels,
     });
-    ctx.write_result("fig3", &result);
-    result
+    ctx.write_result("fig3", &result)?;
+    Ok(result)
 }

@@ -7,13 +7,13 @@
 //! spamming and scanning over a band of prefix lengths, and fails entirely
 //! for phishing.
 
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_stats::{SeedTree, Verdict};
 
 /// Run the Figure 4 experiment.
-pub fn run(ctx: &ExperimentContext) -> Value {
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Figure 4: predictive capacity of R_bot-test ===");
     println!(
         "predictor: {} addresses from {} (five months before the window)",
@@ -25,7 +25,7 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         trials: ctx.opts.trials,
         ..TemporalConfig::default()
     });
-    let seeds = SeedTree::new(ctx.opts.seed).child("fig4");
+    let seeds = SeedTree::new(ctx.experiment_seed()).child("fig4");
 
     let panels = [
         ("(i)", "bots", &ctx.reports.bot),
@@ -47,7 +47,12 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         println!(
             "{}",
             row(
-                &["n".into(), "observed".into(), "control (med [min,max])".into(), "verdict".into()],
+                &[
+                    "n".into(),
+                    "observed".into(),
+                    "control (med [min,max])".into(),
+                    "verdict".into()
+                ],
                 &widths
             )
         );
@@ -106,6 +111,6 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         "bot_test_size": ctx.reports.bot_test.len(),
         "panels": json_panels,
     });
-    ctx.write_result("fig4", &result);
-    result
+    ctx.write_result("fig4", &result)?;
+    Ok(result)
 }

@@ -6,20 +6,20 @@
 //! uncleanliness in phishing" — phishing predicts itself even though
 //! botnet history cannot predict it.
 
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_stats::{SeedTree, Verdict};
 
 /// Run the Figure 5 experiment.
-pub fn run(ctx: &ExperimentContext) -> Value {
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Figure 5: phishing self-prediction ===\n");
     let control = ctx.reports.control.addresses();
     let analysis = TemporalAnalysis::with_config(TemporalConfig {
         trials: ctx.opts.trials,
         ..TemporalConfig::default()
     });
-    let seeds = SeedTree::new(ctx.opts.seed).child("fig5");
+    let seeds = SeedTree::new(ctx.experiment_seed()).child("fig5");
 
     println!(
         "predictor: R_{} — {} addresses ({})",
@@ -34,12 +34,22 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         ctx.reports.phish_window.period()
     );
 
-    let res = analysis.run(&ctx.reports.phish_test, &ctx.reports.phish_window, control, &seeds);
+    let res = analysis.run(
+        &ctx.reports.phish_test,
+        &ctx.reports.phish_window,
+        control,
+        &seeds,
+    );
     let widths = [3, 9, 24, 9];
     println!(
         "{}",
         row(
-            &["n".into(), "observed".into(), "control (med [min,max])".into(), "verdict".into()],
+            &[
+                "n".into(),
+                "observed".into(),
+                "control (med [min,max])".into(),
+                "verdict".into()
+            ],
             &widths
         )
     );
@@ -90,6 +100,6 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         "predictive_band": res.predictive_band(),
         "rows": rows,
     });
-    ctx.write_result("fig5", &result);
-    result
+    ctx.write_result("fig5", &result)?;
+    Ok(result)
 }

@@ -1,6 +1,8 @@
 //! One module per paper table/figure. Each exposes
-//! `run(&ExperimentContext) -> serde_json::Value`: it prints the
-//! human-readable rows/series and returns the machine-readable result.
+//! `run(&ExperimentContext) -> Result<serde_json::Value, RunError>`: it
+//! prints the human-readable rows/series and returns the machine-readable
+//! result (persistence failures propagate; assertion failures panic and
+//! are caught by the supervisor in [`crate::runner`]).
 
 pub mod ablations;
 pub mod crossrel;
@@ -13,11 +15,14 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
-use crate::ExperimentContext;
+use crate::{ExperimentContext, RunError};
 use serde_json::Value;
 
+/// The signature every experiment implements.
+pub type Runner = fn(&ExperimentContext) -> Result<Value, RunError>;
+
 /// Every experiment, in paper order: (id, description, runner).
-pub type Experiment = (&'static str, &'static str, fn(&ExperimentContext) -> Value);
+pub type Experiment = (&'static str, &'static str, Runner);
 
 /// The full experiment registry.
 pub fn all() -> Vec<Experiment> {
@@ -25,12 +30,24 @@ pub fn all() -> Vec<Experiment> {
         ("table1", "report inventory", table1::run),
         ("fig1", "scanning vs botnet report timeline", fig1::run),
         ("fig2", "naive vs empirical density estimates", fig2::run),
-        ("fig3", "comparative density of the four unclean classes", fig3::run),
-        ("fig4", "predictive capacity of the bot-test report", fig4::run),
+        (
+            "fig3",
+            "comparative density of the four unclean classes",
+            fig3::run,
+        ),
+        (
+            "fig4",
+            "predictive capacity of the bot-test report",
+            fig4::run,
+        ),
         ("fig5", "phishing self-prediction", fig5::run),
         ("table2", "candidate partition", table2::run),
         ("table3", "blocking sweep TP/FP/pop/unknown", table3::run),
         ("crossrel", "cross-indicator overlap matrix", crossrel::run),
-        ("ablations", "aging / detector / aggregation ablations", ablations::run),
+        (
+            "ablations",
+            "aging / detector / aggregation ablations",
+            ablations::run,
+        ),
     ]
 }

@@ -2,13 +2,13 @@
 //! and sizes, compared against the paper's numbers scaled by the run's
 //! scale factor.
 
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::Report;
 use unclean_netmodel::paper_sizes;
 
 /// Run the Table 1 experiment.
-pub fn run(ctx: &ExperimentContext) -> Value {
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Table 1: report inventory ===\n");
     let scale = ctx.opts.scale;
     let rows: Vec<(&Report, usize)> = vec![
@@ -23,8 +23,15 @@ pub fn run(ctx: &ExperimentContext) -> Value {
     println!(
         "{}",
         row(
-            &["tag".into(), "type".into(), "class".into(), "valid dates".into(),
-              "size".into(), "paper×scale".into(), "ratio".into()],
+            &[
+                "tag".into(),
+                "type".into(),
+                "class".into(),
+                "valid dates".into(),
+                "size".into(),
+                "paper×scale".into(),
+                "ratio".into()
+            ],
             &widths
         )
     );
@@ -75,6 +82,6 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         "rows": json_rows,
         "unclean_union": ctx.reports.unclean.len(),
     });
-    ctx.write_result("table1", &result);
-    result
+    ctx.write_result("table1", &result)?;
+    Ok(result)
 }

@@ -2,7 +2,7 @@
 //! `R_unclean` union, the candidate traffic from `C_24(R_bot-test)`, and
 //! its partition into hostile / unknown / innocent.
 
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_detect::{build_candidates, PipelineConfig};
@@ -20,7 +20,7 @@ pub fn partition(ctx: &ExperimentContext) -> (Vec<Candidate>, Partition) {
 }
 
 /// Run the Table 2 experiment.
-pub fn run(ctx: &ExperimentContext) -> Value {
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Table 2: reports used for the prediction test ===\n");
     let (candidates, part) = partition(ctx);
     let window = ctx.scenario.dates.unclean_window;
@@ -28,7 +28,15 @@ pub fn run(ctx: &ExperimentContext) -> Value {
     let widths = [10, 9, 24, 9];
     println!(
         "{}",
-        row(&["tag".into(), "type".into(), "valid dates".into(), "size".into()], &widths)
+        row(
+            &[
+                "tag".into(),
+                "type".into(),
+                "valid dates".into(),
+                "size".into()
+            ],
+            &widths
+        )
     );
     println!("{}", rule(&widths));
     let rows: Vec<(&str, &str, usize)> = vec![
@@ -42,7 +50,12 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         println!(
             "{}",
             row(
-                &[(*tag).into(), (*ty).into(), window.to_string(), size.to_string()],
+                &[
+                    (*tag).into(),
+                    (*ty).into(),
+                    window.to_string(),
+                    size.to_string()
+                ],
                 &widths
             )
         );
@@ -67,6 +80,6 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         "innocent": part.innocent.len(),
         "paper": { "unclean": 1_158_103, "candidate": 1030, "hostile": 287, "unknown": 708, "innocent": 35 },
     });
-    ctx.write_result("table2", &result);
-    result
+    ctx.write_result("table2", &result)?;
+    Ok(result)
 }

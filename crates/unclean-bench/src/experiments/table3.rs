@@ -4,7 +4,7 @@
 //! communicated).
 
 use crate::experiments::table2;
-use crate::{row, rule, ExperimentContext};
+use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 
@@ -22,7 +22,7 @@ const PAPER_ROWS: [(u8, u64, u64, u64, u64); 9] = [
 ];
 
 /// Run the Table 3 experiment.
-pub fn run(ctx: &ExperimentContext) -> Value {
+pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Table 3: observed true and false positive counts ===\n");
     let (_candidates, part) = table2::partition(ctx);
     let table = BlockingAnalysis::default().run(ctx.reports.bot_test.addresses(), &part);
@@ -31,8 +31,15 @@ pub fn run(ctx: &ExperimentContext) -> Value {
     println!(
         "{}",
         row(
-            &["n".into(), "TP(n)".into(), "FP(n)".into(), "pop(n)".into(),
-              "unknown".into(), "prec".into(), "paper (TP/FP/pop/unk)".into()],
+            &[
+                "n".into(),
+                "TP(n)".into(),
+                "FP(n)".into(),
+                "pop(n)".into(),
+                "unknown".into(),
+                "prec".into(),
+                "paper (TP/FP/pop/unk)".into()
+            ],
             &widths
         )
     );
@@ -75,7 +82,7 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         &outcomes,
         1000,
         0.95,
-        &unclean_stats::SeedTree::new(ctx.opts.seed).child("table3-ci"),
+        &unclean_stats::SeedTree::new(ctx.experiment_seed()).child("table3-ci"),
     );
     println!("\nheadlines:");
     println!(
@@ -106,6 +113,6 @@ pub fn run(ctx: &ExperimentContext) -> Value {
         "communicating": part.total(),
         "auc": roc.auc(),
     });
-    ctx.write_result("table3", &result);
-    result
+    ctx.write_result("table3", &result)?;
+    Ok(result)
 }

@@ -23,8 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod runner;
+
+pub use runner::RunError;
 
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use unclean_detect::{build_reports, PipelineConfig, ReportSet};
 use unclean_netmodel::{Scenario, ScenarioConfig};
 
@@ -53,34 +58,40 @@ impl Default for BenchOpts {
 }
 
 impl BenchOpts {
-    /// Parse process arguments (`--scale`, `--seed`, `--trials`, `--out`,
-    /// `--no-out`).
-    pub fn from_args() -> BenchOpts {
+    /// Parse the shared flags (`--scale`, `--seed`, `--trials`, `--out`,
+    /// `--no-out`) out of `args`, returning the options plus any
+    /// unrecognized arguments for the caller to interpret (the `run_all`
+    /// supervisor layers its own flags on top). `--help` still exits 0.
+    pub fn parse_known(args: &[String]) -> Result<(BenchOpts, Vec<String>), RunError> {
         let mut opts = BenchOpts::default();
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut extra = Vec::new();
         let mut i = 0;
         while i < args.len() {
-            let value = |i: usize| {
-                args.get(i + 1).unwrap_or_else(|| {
-                    eprintln!("missing value for {}", args[i]);
-                    std::process::exit(2);
-                })
+            let value = |i: usize| -> Result<&String, RunError> {
+                args.get(i + 1)
+                    .ok_or_else(|| RunError::Usage(format!("missing value for {}", args[i])))
             };
             match args[i].as_str() {
                 "--scale" => {
-                    opts.scale = value(i).parse().expect("--scale takes a float");
+                    opts.scale = value(i)?
+                        .parse()
+                        .map_err(|_| RunError::Usage("--scale takes a float".into()))?;
                     i += 2;
                 }
                 "--seed" => {
-                    opts.seed = value(i).parse().expect("--seed takes an integer");
+                    opts.seed = value(i)?
+                        .parse()
+                        .map_err(|_| RunError::Usage("--seed takes an integer".into()))?;
                     i += 2;
                 }
                 "--trials" => {
-                    opts.trials = value(i).parse().expect("--trials takes an integer");
+                    opts.trials = value(i)?
+                        .parse()
+                        .map_err(|_| RunError::Usage("--trials takes an integer".into()))?;
                     i += 2;
                 }
                 "--out" => {
-                    opts.out_dir = Some(value(i).into());
+                    opts.out_dir = Some(value(i)?.into());
                     i += 2;
                 }
                 "--no-out" => {
@@ -89,17 +100,31 @@ impl BenchOpts {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale 0.02] [--seed N] [--trials 1000] [--out results] [--no-out]"
+                        "usage: [--scale 0.02] [--seed N] [--trials 1000] [--out results] [--no-out]\n\
+                         run_all also takes: [--resume] [--retries N] [--deadline SECS] [--only id1,id2]"
                     );
                     std::process::exit(0);
                 }
                 other => {
-                    eprintln!("unknown argument {other}; try --help");
-                    std::process::exit(2);
+                    extra.push(other.to_string());
+                    i += 1;
                 }
             }
         }
-        opts
+        Ok((opts, extra))
+    }
+
+    /// Parse process arguments; any argument `parse_known` doesn't
+    /// recognize is a usage error (exit code 2 at the binary boundary).
+    pub fn from_args() -> Result<BenchOpts, RunError> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let (opts, extra) = BenchOpts::parse_known(&args)?;
+        if let Some(unknown) = extra.first() {
+            return Err(RunError::Usage(format!(
+                "unknown argument {unknown}; try --help"
+            )));
+        }
+        Ok(opts)
     }
 }
 
@@ -112,6 +137,12 @@ pub struct ExperimentContext {
     pub scenario: Scenario,
     /// The Table 1 / Table 2 report inventory.
     pub reports: ReportSet,
+    /// Current supervised attempt (0 on the first try; retries bump it so
+    /// [`ExperimentContext::experiment_seed`] is perturbed).
+    pub attempt: AtomicU64,
+    /// Output files written during the current attempt, with content
+    /// hashes — drained into the manifest by the runner.
+    written: Mutex<Vec<runner::OutputFile>>,
 }
 
 impl ExperimentContext {
@@ -132,19 +163,61 @@ impl ExperimentContext {
         );
         let reports = build_reports(&scenario, &PipelineConfig::paper());
         eprintln!("[bench] pipeline complete ({:.1?})", t0.elapsed());
-        ExperimentContext { opts, scenario, reports }
+        ExperimentContext {
+            opts,
+            scenario,
+            reports,
+            attempt: AtomicU64::new(0),
+            written: Mutex::new(Vec::new()),
+        }
     }
 
-    /// Persist one experiment's JSON result (no-op when `--no-out`).
-    pub fn write_result<T: Serialize>(&self, name: &str, value: &T) {
+    /// Reset per-attempt state (the runner calls this before each try).
+    pub fn begin_attempt(&self, attempt: u64) {
+        self.attempt.store(attempt, Ordering::SeqCst);
+        self.written.lock().expect("written lock").clear();
+    }
+
+    /// The seed experiments should derive their local [`unclean_stats::SeedTree`]
+    /// from. Equal to the scenario seed on the first attempt; retries
+    /// perturb it (splitmix64 over seed ⊕ attempt) so a statistically
+    /// unlucky draw isn't replayed verbatim — the *scenario* seed, and
+    /// hence the shared generated world, is never changed.
+    pub fn experiment_seed(&self) -> u64 {
+        let attempt = self.attempt.load(Ordering::SeqCst);
+        if attempt == 0 {
+            return self.opts.seed;
+        }
+        let mut z = self
+            .opts
+            .seed
+            .wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Drain the output files recorded since `begin_attempt`.
+    pub fn take_written(&self) -> Vec<runner::OutputFile> {
+        std::mem::take(&mut *self.written.lock().expect("written lock"))
+    }
+
+    /// Persist one experiment's JSON result atomically (`NAME.json.tmp` →
+    /// fsync → rename; no-op when `--no-out`), recording the file and its
+    /// content hash for the run manifest.
+    pub fn write_result<T: Serialize>(&self, name: &str, value: &T) -> Result<(), RunError> {
         let Some(dir) = &self.opts.out_dir else {
-            return;
+            return Ok(());
         };
-        std::fs::create_dir_all(dir).expect("create results directory");
-        let path = dir.join(format!("{name}.json"));
-        let file = std::fs::File::create(&path).expect("create result file");
-        serde_json::to_writer_pretty(file, value).expect("serialize result");
+        let file = format!("{name}.json");
+        let path = dir.join(&file);
+        let hash = runner::atomic_write_json(&path, value)?;
+        self.written
+            .lock()
+            .expect("written lock")
+            .push(runner::OutputFile { file, hash });
         eprintln!("[bench] wrote {}", path.display());
+        Ok(())
     }
 }
 
@@ -160,7 +233,11 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
 
 /// Horizontal rule matching a table's widths.
 pub fn rule(widths: &[usize]) -> String {
-    widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("--")
+    widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("--")
 }
 
 #[cfg(test)]

@@ -2,18 +2,31 @@
 //! without spawning processes. Every command returns its human-readable
 //! output as a `String` (plus side-effect files where documented).
 
-use crate::io::{load_report, parse_class, parse_format, write_addresses};
+use crate::io::{
+    load_report, load_report_with, parse_class, parse_format, write_addresses, ParseMode,
+};
 use std::fmt::Write as _;
 use std::path::Path;
 use unclean_core::prelude::*;
 use unclean_stats::SeedTree;
 
-/// `unclean inspect <file>`: parse and profile one report.
-pub fn inspect(path: &Path) -> Result<String, String> {
-    let report = load_report(path, "report", ReportClass::Bots, Provenance::Provided)?;
+/// `unclean inspect <file> [--lenient [--max-bad N]]`: parse and profile
+/// one report. Lenient mode quarantines malformed lines (up to the error
+/// budget) and reports them instead of aborting.
+pub fn inspect(path: &Path, mode: ParseMode) -> Result<String, String> {
+    let (report, quarantine) = load_report_with(
+        path,
+        "report",
+        ReportClass::Bots,
+        Provenance::Provided,
+        mode,
+    )?;
     let counts = report.block_counts();
     let mut out = String::new();
     let _ = writeln!(out, "{}: {} addresses", path.display(), report.len());
+    if !quarantine.is_empty() {
+        out.push_str(&quarantine.summary());
+    }
     let _ = writeln!(
         out,
         "blocks: /8 {}  /16 {}  /20 {}  /24 {}  /28 {}",
@@ -47,8 +60,18 @@ pub fn spatial(
     trials: usize,
     seed: u64,
 ) -> Result<String, String> {
-    let report = load_report(report_path, "report", ReportClass::Bots, Provenance::Provided)?;
-    let control = load_report(control_path, "control", ReportClass::Control, Provenance::Observed)?;
+    let report = load_report(
+        report_path,
+        "report",
+        ReportClass::Bots,
+        Provenance::Provided,
+    )?;
+    let control = load_report(
+        control_path,
+        "control",
+        ReportClass::Control,
+        Provenance::Observed,
+    )?;
     if control.len() <= report.len() {
         return Err(format!(
             "control ({}) must be larger than the report ({})",
@@ -66,7 +89,11 @@ pub fn spatial(
         out,
         "spatial uncleanliness (Eq. 3) over {} control draws: {}",
         trials,
-        if res.hypothesis_holds() { "HOLDS" } else { "does NOT hold" }
+        if res.hypothesis_holds() {
+            "HOLDS"
+        } else {
+            "does NOT hold"
+        }
     );
     let _ = writeln!(out, "  n  observed  control-median  ratio");
     for (i, &n) in res.xs.iter().enumerate() {
@@ -92,8 +119,18 @@ pub fn temporal(
     seed: u64,
 ) -> Result<String, String> {
     let past = load_report(past_path, "past", ReportClass::Bots, Provenance::Provided)?;
-    let present = load_report(present_path, "present", ReportClass::Bots, Provenance::Provided)?;
-    let control = load_report(control_path, "control", ReportClass::Control, Provenance::Observed)?;
+    let present = load_report(
+        present_path,
+        "present",
+        ReportClass::Bots,
+        Provenance::Provided,
+    )?;
+    let control = load_report(
+        control_path,
+        "control",
+        ReportClass::Control,
+        Provenance::Observed,
+    )?;
     if control.len() <= past.len() {
         return Err(format!(
             "control ({}) must be larger than the past report ({})",
@@ -110,7 +147,11 @@ pub fn temporal(
     let _ = writeln!(
         out,
         "temporal uncleanliness (Eq. 5) over {trials} control draws: {}",
-        if res.hypothesis_holds() { "HOLDS" } else { "does NOT hold" }
+        if res.hypothesis_holds() {
+            "HOLDS"
+        } else {
+            "does NOT hold"
+        }
     );
     match res.predictive_band() {
         Some((lo, hi)) => {
@@ -124,7 +165,11 @@ pub fn temporal(
     let _ = writeln!(out, "  n  observed  control-median");
     for (i, &n) in res.xs.iter().enumerate() {
         if n % 4 == 0 {
-            let _ = writeln!(out, " {n:>2}  {:>8}  {:>14.1}", res.observed[i], fives[i].1.median);
+            let _ = writeln!(
+                out,
+                " {n:>2}  {:>8}  {:>14.1}",
+                res.observed[i], fives[i].1.median
+            );
         }
     }
     Ok(out)
@@ -141,7 +186,12 @@ pub fn blocklist(
         return Err(format!("prefix length {prefix_len} out of [8, 32]"));
     }
     let format = parse_format(format_name)?;
-    let report = load_report(report_path, "report", ReportClass::Bots, Provenance::Provided)?;
+    let report = load_report(
+        report_path,
+        "report",
+        ReportClass::Bots,
+        Provenance::Provided,
+    )?;
     let cidrs = if aggregate {
         // Minimal cover: merge adjacent sibling blocks into parents.
         merge_siblings(report.blocks(prefix_len).to_cidrs())
@@ -200,11 +250,18 @@ pub fn score(inputs: &[(String, std::path::PathBuf)], prefix_len: u8) -> Result<
         reports.push(load_report(path, class_name, class, Provenance::Provided)?);
     }
     let refs: Vec<&Report> = reports.iter().collect();
-    let scorer = UncleanlinessScorer { prefix_len, ..UncleanlinessScorer::default() };
+    let scorer = UncleanlinessScorer {
+        prefix_len,
+        ..UncleanlinessScorer::default()
+    };
     let scores = scorer.score(&refs);
     let mut out = String::new();
     let _ = writeln!(out, "{} networks scored at /{prefix_len}:", scores.len());
-    let _ = writeln!(out, "{:<20} {:>7} {:>5} {:>5} {:>5} {:>5}", "network", "score", "bot", "spam", "scan", "phish");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>7} {:>5} {:>5} {:>5} {:>5}",
+        "network", "score", "bot", "spam", "scan", "phish"
+    );
     for ns in scores.iter().take(20) {
         let _ = writeln!(
             out,
@@ -243,7 +300,12 @@ pub fn demo(out_dir: &Path, scale: f64, seed: u64) -> Result<String, String> {
         write_addresses(
             &path,
             report.addresses(),
-            &format!("R_{} | {} | {}", report.tag(), report.class(), report.period()),
+            &format!(
+                "R_{} | {} | {}",
+                report.tag(),
+                report.class(),
+                report.period()
+            ),
         )?;
         let _ = writeln!(out, "  {} ({} addresses)", path.display(), report.len());
     }
@@ -270,11 +332,32 @@ mod tests {
     #[test]
     fn inspect_profiles_a_report() {
         let dir = tmp_dir("inspect");
-        let path = write_file(&dir, "r.txt", &["9.1.1.1", "9.1.1.2", "9.1.2.1", "10.0.0.1"]);
-        let out = inspect(&path).expect("ok");
+        let path = write_file(
+            &dir,
+            "r.txt",
+            &["9.1.1.1", "9.1.1.2", "9.1.2.1", "10.0.0.1"],
+        );
+        let out = inspect(&path, ParseMode::Strict).expect("ok");
         assert!(out.contains("4 addresses"));
         assert!(out.contains("/24 3"), "{out}");
         assert!(out.contains("top /16s"));
+    }
+
+    #[test]
+    fn inspect_lenient_reports_quarantine() {
+        let dir = tmp_dir("inspect-lenient");
+        let path = write_file(&dir, "r.txt", &["9.1.1.1", "oops", "9.1.1.2"]);
+        // Strict aborts with the line number…
+        let err = inspect(&path, ParseMode::Strict).expect_err("strict");
+        assert!(err.contains("line 2"), "{err}");
+        // …lenient loads the valid addresses and reports the quarantine.
+        let out = inspect(&path, ParseMode::Lenient { max_bad: 10 }).expect("lenient");
+        assert!(out.contains("2 addresses"), "{out}");
+        assert!(out.contains("quarantined 1"), "{out}");
+        assert!(out.contains("line 2"), "{out}");
+        // …and the budget still binds.
+        let err = inspect(&path, ParseMode::Lenient { max_bad: 0 }).expect_err("budget");
+        assert!(err.contains("--max-bad budget of 0"), "{err}");
     }
 
     #[test]
@@ -346,12 +429,11 @@ mod tests {
         let dir = tmp_dir("score");
         let bot = write_file(&dir, "bot.txt", &["9.1.0.1", "9.1.0.2"]);
         let spam = write_file(&dir, "spam.txt", &["9.1.0.3", "10.0.0.1"]);
-        let out = score(
-            &[("bot".into(), bot), ("spam".into(), spam)],
-            16,
-        )
-        .expect("ok");
-        assert!(out.lines().nth(2).expect("rows").starts_with("9.1.0.0/16"), "{out}");
+        let out = score(&[("bot".into(), bot), ("spam".into(), spam)], 16).expect("ok");
+        assert!(
+            out.lines().nth(2).expect("rows").starts_with("9.1.0.0/16"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -359,8 +441,13 @@ mod tests {
         let dir = tmp_dir("demo");
         let out = demo(&dir, 0.001, 7).expect("ok");
         assert!(out.contains("bot.txt"));
-        let bot = load_report(&dir.join("bot.txt"), "bot", ReportClass::Bots, Provenance::Provided)
-            .expect("loadable");
+        let bot = load_report(
+            &dir.join("bot.txt"),
+            "bot",
+            ReportClass::Bots,
+            Provenance::Provided,
+        )
+        .expect("loadable");
         assert!(!bot.is_empty());
         let control = load_report(
             &dir.join("control.txt"),

@@ -24,14 +24,17 @@ const USAGE: &str = "\
 unclean — uncleanliness analyses over IP report files (Collins et al., IMC 2007)
 
 USAGE:
-  unclean inspect <file>
+  unclean inspect <file> [--lenient] [--max-bad N]
   unclean spatial   --report <file> --control <file> [--trials N] [--seed N]
   unclean temporal  --past <file> --present <file> --control <file> [--trials N] [--seed N]
   unclean blocklist --report <file> [--prefix 24] [--format plain|cisco|iptables] [--aggregate]
   unclean score     --report <class>=<file> ... [--prefix 16]
   unclean demo      [--out DIR] [--scale 0.002] [--seed 42]
 
-Report files: one IPv4 address per line; '#' comments and blanks ignored.";
+Report files: one IPv4 address per line; '#' comments and blanks ignored.
+Malformed lines abort the load; 'inspect --lenient' quarantines them
+instead (reported with line numbers), failing only past --max-bad (default
+100).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,7 +58,17 @@ fn run(args: &[String]) -> Result<String, String> {
     match command.as_str() {
         "inspect" => {
             let path = positional(&rest, 0, "report file")?;
-            commands::inspect(&PathBuf::from(path))
+            let mode = if has_flag(&rest, "--lenient") {
+                io::ParseMode::Lenient {
+                    max_bad: flag_num(&rest, "--max-bad", 100usize)?,
+                }
+            } else {
+                if flag_value(&rest, "--max-bad").is_some() {
+                    return Err("--max-bad only applies with --lenient".into());
+                }
+                io::ParseMode::Strict
+            };
+            commands::inspect(&PathBuf::from(path), mode)
         }
         "spatial" => commands::spatial(
             &flag_path(&rest, "--report")?,
@@ -138,7 +151,9 @@ fn flag_str(rest: &[&String], flag: &str, default: &str) -> String {
 fn flag_num<T: std::str::FromStr>(rest: &[&String], flag: &str, default: T) -> Result<T, String> {
     match flag_value(rest, flag) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{flag} got unparseable value {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} got unparseable value {v:?}")),
     }
 }
 
@@ -174,17 +189,42 @@ mod tests {
 
     #[test]
     fn bad_number_errors() {
-        let err = run(&argv("spatial --report a --control b --trials lots"))
-            .expect_err("bad trials");
+        let err =
+            run(&argv("spatial --report a --control b --trials lots")).expect_err("bad trials");
         assert!(err.contains("--trials"), "{err}");
+    }
+
+    #[test]
+    fn inspect_lenient_flags_parse_and_bind() {
+        let dir = std::env::temp_dir().join("unclean-cli-lenient");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("mixed.txt");
+        std::fs::write(&path, "9.1.1.1\ngarbage\n9.1.1.2\n").expect("write");
+        let p = path.to_string_lossy().to_string();
+        // Strict (default) aborts.
+        let err = run(&argv(&format!("inspect {p}"))).expect_err("strict aborts");
+        assert!(err.contains("line 2"), "{err}");
+        // Lenient quarantines and succeeds.
+        let out = run(&argv(&format!("inspect {p} --lenient"))).expect("lenient ok");
+        assert!(out.contains("quarantined 1"), "{out}");
+        // Budget of zero fails past the first bad line.
+        let err =
+            run(&argv(&format!("inspect {p} --lenient --max-bad 0"))).expect_err("budget binds");
+        assert!(err.contains("--max-bad"), "{err}");
+        // --max-bad without --lenient is a usage error.
+        let err = run(&argv(&format!("inspect {p} --max-bad 5"))).expect_err("usage");
+        assert!(err.contains("--lenient"), "{err}");
+        // Unparseable budget is a usage error.
+        let err = run(&argv(&format!("inspect {p} --lenient --max-bad lots"))).expect_err("usage");
+        assert!(err.contains("--max-bad"), "{err}");
     }
 
     #[test]
     fn end_to_end_demo_then_analyses() {
         let dir = std::env::temp_dir().join("unclean-cli-e2e");
         let dir_s = dir.to_string_lossy().to_string();
-        let out = run(&argv(&format!("demo --out {dir_s} --scale 0.001 --seed 9")))
-            .expect("demo runs");
+        let out =
+            run(&argv(&format!("demo --out {dir_s} --scale 0.001 --seed 9"))).expect("demo runs");
         assert!(out.contains("control.txt"));
 
         let out = run(&argv(&format!("inspect {dir_s}/bot.txt"))).expect("inspect runs");

@@ -169,7 +169,9 @@ pub struct BlockingAnalysis {
 
 impl Default for BlockingAnalysis {
     fn default() -> BlockingAnalysis {
-        BlockingAnalysis { range: PrefixRange::BLOCKING }
+        BlockingAnalysis {
+            range: PrefixRange::BLOCKING,
+        }
     }
 }
 
@@ -186,11 +188,21 @@ impl BlockingAnalysis {
             let tp = blocks.members_of(&partition.hostile).count() as u64;
             let fp = blocks.members_of(&partition.innocent).count() as u64;
             let unknown = blocks.members_of(&partition.unknown).count() as u64;
-            rows.push(BlockingRow { n, tp, fp, pop: tp + fp, unknown });
+            rows.push(BlockingRow {
+                n,
+                tp,
+                fp,
+                pop: tp + fp,
+                unknown,
+            });
             blocks_per_n.push((n, blocks.len() as u64));
             span_per_n.push((n, blocks.address_span()));
         }
-        BlockingTable { rows, blocks_per_n, span_per_n }
+        BlockingTable {
+            rows,
+            blocks_per_n,
+            span_per_n,
+        }
     }
 }
 
@@ -218,7 +230,10 @@ mod tests {
     }
 
     fn cand(s: &str, payload: bool) -> Candidate {
-        Candidate { ip: ip(s), payload_bearing: payload }
+        Candidate {
+            ip: ip(s),
+            payload_bearing: payload,
+        }
     }
 
     fn bot_test() -> IpSet {
@@ -247,9 +262,9 @@ mod tests {
     #[test]
     fn collect_candidates_filters_by_block() {
         let traffic = vec![
-            cand("9.1.1.200", true),  // same /24 as 9.1.1.10
-            cand("9.1.3.200", true),  // different /24
-            cand("9.5.5.77", false),  // same /24 as 9.5.5.5
+            cand("9.1.1.200", true), // same /24 as 9.1.1.10
+            cand("9.1.3.200", true), // different /24
+            cand("9.5.5.77", false), // same /24 as 9.5.5.5
         ];
         let got = collect_candidates(&traffic, &bot_test(), 24);
         let ips: Vec<String> = got.iter().map(|c| c.ip.to_string()).collect();
@@ -281,11 +296,23 @@ mod tests {
 
     #[test]
     fn precision_calculations() {
-        let row = BlockingRow { n: 24, tp: 287, fp: 35, pop: 322, unknown: 708 };
+        let row = BlockingRow {
+            n: 24,
+            tp: 287,
+            fp: 35,
+            pop: 322,
+            unknown: 708,
+        };
         assert!((row.precision() - 287.0 / 322.0).abs() < 1e-12);
         // (287 + 708) / (322 + 708) ≈ 0.966, the paper's 97%.
         assert!((row.precision_assuming_unknown_hostile() - 995.0 / 1030.0).abs() < 1e-12);
-        let empty = BlockingRow { n: 32, tp: 0, fp: 0, pop: 0, unknown: 0 };
+        let empty = BlockingRow {
+            n: 32,
+            tp: 0,
+            fp: 0,
+            pop: 0,
+            unknown: 0,
+        };
         assert_eq!(empty.precision(), 0.0);
         assert_eq!(empty.precision_assuming_unknown_hostile(), 0.0);
     }

@@ -102,7 +102,9 @@ mod tests {
     fn iptables_lines() {
         let text = render(&blocks(), BlocklistFormat::Iptables, "unclean");
         assert_eq!(
-            text.lines().filter(|l| l.starts_with("iptables -A INPUT -s ")).count(),
+            text.lines()
+                .filter(|l| l.starts_with("iptables -A INPUT -s "))
+                .count(),
             3
         );
         assert!(text.contains("-s 9.1.1.0/24 -j DROP"));

@@ -35,7 +35,9 @@ impl BlockCounts {
     pub fn of(set: &IpSet) -> BlockCounts {
         let raw = set.as_raw();
         if raw.is_empty() {
-            return BlockCounts { counts: vec![0; 33] };
+            return BlockCounts {
+                counts: vec![0; 33],
+            };
         }
         // lcp_hist[k] = number of consecutive pairs whose first differing
         // bit is bit k from the top (i.e., common prefix of exactly k bits).
@@ -113,7 +115,11 @@ impl BlockSet {
     /// Whether `ip`'s n-bit block is in the set — the inclusion relation
     /// `i ⊏ S` (Eq. 2) at this prefix length.
     pub fn contains(&self, ip: Ip) -> bool {
-        let p = if self.len == 0 { 0 } else { ip.raw() >> (32 - self.len as u32) };
+        let p = if self.len == 0 {
+            0
+        } else {
+            ip.raw() >> (32 - self.len as u32)
+        };
         self.prefixes.binary_search(&p).is_ok()
     }
 
@@ -252,7 +258,11 @@ mod tests {
 
     #[test]
     fn counts_are_monotone_in_prefix_length() {
-        let s = IpSet::from_raw((0..10_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect());
+        let s = IpSet::from_raw(
+            (0..10_000u32)
+                .map(|i| i.wrapping_mul(2_654_435_761))
+                .collect(),
+        );
         let c = BlockCounts::of(&s);
         for n in 1..=32 {
             assert!(c.at(n) >= c.at(n - 1), "monotone at {n}");

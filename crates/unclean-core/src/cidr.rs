@@ -51,7 +51,10 @@ impl Cidr {
         if base.raw() & !mask(len) != 0 {
             return Err(Error::UnalignedCidr { base, len });
         }
-        Ok(Cidr { base: base.raw(), len })
+        Ok(Cidr {
+            base: base.raw(),
+            len,
+        })
     }
 
     /// The (masked) base address.
@@ -112,7 +115,10 @@ impl Cidr {
         if self.len == 32 {
             return None;
         }
-        let l = Cidr { base: self.base, len: self.len + 1 };
+        let l = Cidr {
+            base: self.base,
+            len: self.len + 1,
+        };
         let r = Cidr {
             base: self.base | (1 << (31 - self.len)),
             len: self.len + 1,
@@ -139,7 +145,9 @@ impl FromStr for Cidr {
     type Err = Error;
 
     fn from_str(s: &str) -> Result<Cidr, Error> {
-        let (addr, len) = s.split_once('/').ok_or_else(|| Error::ParseCidr(s.to_string()))?;
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| Error::ParseCidr(s.to_string()))?;
         let base: Ip = addr.parse().map_err(|_| Error::ParseCidr(s.to_string()))?;
         let len: u8 = len.parse().map_err(|_| Error::ParseCidr(s.to_string()))?;
         Cidr::new(base, len)
@@ -231,12 +239,23 @@ mod tests {
     fn addrs_iterates_exactly_the_block() {
         let c: Cidr = "10.0.0.252/30".parse().expect("valid");
         let got: Vec<String> = c.addrs().map(|i| i.to_string()).collect();
-        assert_eq!(got, vec!["10.0.0.252", "10.0.0.253", "10.0.0.254", "10.0.0.255"]);
+        assert_eq!(
+            got,
+            vec!["10.0.0.252", "10.0.0.253", "10.0.0.254", "10.0.0.255"]
+        );
     }
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "10.0.0.0", "10.0.0.0/", "/24", "10.0.0.0/33", "10.0.0.1/24", "x/8"] {
+        for s in [
+            "",
+            "10.0.0.0",
+            "10.0.0.0/",
+            "/24",
+            "10.0.0.0/33",
+            "10.0.0.1/24",
+            "x/8",
+        ] {
             assert!(s.parse::<Cidr>().is_err(), "{s:?}");
         }
     }

@@ -35,7 +35,11 @@ pub struct ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> ClusterConfig {
-        ClusterConfig { min_prefix: 8, max_prefix: 24, max_population: 256 }
+        ClusterConfig {
+            min_prefix: 8,
+            max_prefix: 24,
+            max_population: 256,
+        }
     }
 }
 
@@ -84,7 +88,10 @@ impl NetworkClusters {
                 populations.push(pop as u32);
             }
         }
-        NetworkClusters { clusters, populations }
+        NetworkClusters {
+            clusters,
+            populations,
+        }
     }
 
     /// Number of clusters.
@@ -112,7 +119,8 @@ impl NetworkClusters {
         // Clusters are sorted by base; binary search the last cluster whose
         // base precedes ip, then confirm containment.
         let idx = self.clusters.partition_point(|c| c.base() <= ip);
-        idx.checked_sub(1).filter(|&i| self.clusters[i].contains(ip))
+        idx.checked_sub(1)
+            .filter(|&i| self.clusters[i].contains(ip))
     }
 
     /// Number of distinct clusters a report occupies (the heterogeneous
@@ -189,7 +197,10 @@ mod tests {
         let dense: Vec<&Cidr> = clusters
             .clusters()
             .iter()
-            .filter(|c| c.contains(Ip(addr(9, 1, 0, 0))) || Cidr::of(Ip(addr(9, 1, 0, 0)), 16).contains_cidr(c))
+            .filter(|c| {
+                c.contains(Ip(addr(9, 1, 0, 0)))
+                    || Cidr::of(Ip(addr(9, 1, 0, 0)), 16).contains_cidr(c)
+            })
             .collect();
         assert!(dense.len() > 4, "dense space fragments: {}", dense.len());
         // … while each scattered singleton sits alone in a coarse /8-to-/24.
@@ -229,11 +240,7 @@ mod tests {
         let clusters = NetworkClusters::build(&refset, &ClusterConfig::default());
         // A report of three addresses in one singleton cluster plus one in
         // the dense region occupies exactly 2 clusters.
-        let report = IpSet::from_raw(vec![
-            addr(60, 7, 7, 7),
-            addr(9, 1, 0, 3),
-            addr(9, 1, 0, 4),
-        ]);
+        let report = IpSet::from_raw(vec![addr(60, 7, 7, 7), addr(9, 1, 0, 3), addr(9, 1, 0, 4)]);
         let occupied = clusters.occupied_by(&report);
         assert_eq!(occupied, 2);
         // Addresses outside any cluster count nothing.
@@ -259,7 +266,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "population cap")]
     fn zero_cap_rejected() {
-        let cfg = ClusterConfig { max_population: 0, ..ClusterConfig::default() };
+        let cfg = ClusterConfig {
+            max_population: 0,
+            ..ClusterConfig::default()
+        };
         let _ = NetworkClusters::build(&IpSet::empty(), &cfg);
     }
 }

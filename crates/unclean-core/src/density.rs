@@ -169,7 +169,9 @@ pub struct DensityAnalysis {
 impl DensityAnalysis {
     /// A driver with the paper's defaults.
     pub fn paper() -> DensityAnalysis {
-        DensityAnalysis { config: DensityConfig::default() }
+        DensityAnalysis {
+            config: DensityConfig::default(),
+        }
     }
 
     /// With a custom configuration.
@@ -208,7 +210,10 @@ impl DensityAnalysis {
                     Estimator::Naive => naive_sample(allocated_slash8s, k, rng)
                         .expect("allocated space exceeds any report size"),
                 };
-                density_curve(&sample, range).into_iter().map(|c| c as f64).collect()
+                density_curve(&sample, range)
+                    .into_iter()
+                    .map(|c| c as f64)
+                    .collect()
             },
         );
 

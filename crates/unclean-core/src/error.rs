@@ -43,11 +43,20 @@ impl fmt::Display for Error {
             Error::ParseCidr(s) => write!(f, "invalid CIDR block: {s:?}"),
             Error::InvalidPrefixLen(n) => write!(f, "prefix length {n} out of range [0, 32]"),
             Error::UnalignedCidr { base, len } => {
-                write!(f, "CIDR base {base} has host bits set for prefix length {len}")
+                write!(
+                    f,
+                    "CIDR base {base} has host bits set for prefix length {len}"
+                )
             }
             Error::EmptyReport(tag) => write!(f, "report {tag:?} is empty"),
-            Error::SampleTooLarge { requested, available } => {
-                write!(f, "cannot sample {requested} addresses from a population of {available}")
+            Error::SampleTooLarge {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "cannot sample {requested} addresses from a population of {available}"
+                )
             }
             Error::InvalidDate(s) => write!(f, "invalid date: {s:?}"),
         }
@@ -67,11 +76,20 @@ mod tests {
             (Error::ParseCidr("x".into()), "invalid CIDR"),
             (Error::InvalidPrefixLen(40), "40"),
             (
-                Error::UnalignedCidr { base: Ip::from_octets(10, 0, 0, 1), len: 24 },
+                Error::UnalignedCidr {
+                    base: Ip::from_octets(10, 0, 0, 1),
+                    len: 24,
+                },
                 "10.0.0.1",
             ),
             (Error::EmptyReport("bot".into()), "bot"),
-            (Error::SampleTooLarge { requested: 5, available: 3 }, "5"),
+            (
+                Error::SampleTooLarge {
+                    requested: 5,
+                    available: 3,
+                },
+                "5",
+            ),
             (Error::InvalidDate("2006-13-01".into()), "2006-13-01"),
         ];
         for (err, needle) in cases {

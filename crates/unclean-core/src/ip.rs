@@ -182,7 +182,16 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "01x.2.3.4", "1.2.3.1234"] {
+        for s in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.1.1.1",
+            "a.b.c.d",
+            "1..2.3",
+            "01x.2.3.4",
+            "1.2.3.1234",
+        ] {
             assert!(s.parse::<Ip>().is_err(), "{s:?} should not parse");
         }
     }
@@ -198,10 +207,22 @@ mod tests {
 
     #[test]
     fn rfc1918_ranges() {
-        assert_eq!(Ip::from_octets(10, 0, 0, 1).reserved_class(), Some(ReservedClass::Rfc1918));
-        assert_eq!(Ip::from_octets(172, 16, 0, 1).reserved_class(), Some(ReservedClass::Rfc1918));
-        assert_eq!(Ip::from_octets(172, 31, 255, 255).reserved_class(), Some(ReservedClass::Rfc1918));
-        assert_eq!(Ip::from_octets(192, 168, 44, 1).reserved_class(), Some(ReservedClass::Rfc1918));
+        assert_eq!(
+            Ip::from_octets(10, 0, 0, 1).reserved_class(),
+            Some(ReservedClass::Rfc1918)
+        );
+        assert_eq!(
+            Ip::from_octets(172, 16, 0, 1).reserved_class(),
+            Some(ReservedClass::Rfc1918)
+        );
+        assert_eq!(
+            Ip::from_octets(172, 31, 255, 255).reserved_class(),
+            Some(ReservedClass::Rfc1918)
+        );
+        assert_eq!(
+            Ip::from_octets(192, 168, 44, 1).reserved_class(),
+            Some(ReservedClass::Rfc1918)
+        );
         // Edges that are NOT private.
         assert_eq!(Ip::from_octets(172, 15, 0, 1).reserved_class(), None);
         assert_eq!(Ip::from_octets(172, 32, 0, 1).reserved_class(), None);
@@ -211,19 +232,49 @@ mod tests {
 
     #[test]
     fn other_reserved_ranges() {
-        assert_eq!(Ip::from_octets(0, 1, 2, 3).reserved_class(), Some(ReservedClass::ThisNetwork));
-        assert_eq!(Ip::from_octets(127, 0, 0, 1).reserved_class(), Some(ReservedClass::Loopback));
-        assert_eq!(Ip::from_octets(169, 254, 9, 9).reserved_class(), Some(ReservedClass::LinkLocal));
+        assert_eq!(
+            Ip::from_octets(0, 1, 2, 3).reserved_class(),
+            Some(ReservedClass::ThisNetwork)
+        );
+        assert_eq!(
+            Ip::from_octets(127, 0, 0, 1).reserved_class(),
+            Some(ReservedClass::Loopback)
+        );
+        assert_eq!(
+            Ip::from_octets(169, 254, 9, 9).reserved_class(),
+            Some(ReservedClass::LinkLocal)
+        );
         assert_eq!(Ip::from_octets(169, 253, 9, 9).reserved_class(), None);
-        assert_eq!(Ip::from_octets(192, 0, 2, 77).reserved_class(), Some(ReservedClass::TestNet));
+        assert_eq!(
+            Ip::from_octets(192, 0, 2, 77).reserved_class(),
+            Some(ReservedClass::TestNet)
+        );
         assert_eq!(Ip::from_octets(192, 0, 3, 77).reserved_class(), None);
-        assert_eq!(Ip::from_octets(198, 18, 0, 1).reserved_class(), Some(ReservedClass::Benchmarking));
-        assert_eq!(Ip::from_octets(198, 19, 255, 1).reserved_class(), Some(ReservedClass::Benchmarking));
+        assert_eq!(
+            Ip::from_octets(198, 18, 0, 1).reserved_class(),
+            Some(ReservedClass::Benchmarking)
+        );
+        assert_eq!(
+            Ip::from_octets(198, 19, 255, 1).reserved_class(),
+            Some(ReservedClass::Benchmarking)
+        );
         assert_eq!(Ip::from_octets(198, 20, 0, 1).reserved_class(), None);
-        assert_eq!(Ip::from_octets(224, 0, 0, 1).reserved_class(), Some(ReservedClass::Multicast));
-        assert_eq!(Ip::from_octets(239, 255, 255, 255).reserved_class(), Some(ReservedClass::Multicast));
-        assert_eq!(Ip::from_octets(240, 0, 0, 0).reserved_class(), Some(ReservedClass::FutureUse));
-        assert_eq!(Ip::from_octets(255, 255, 255, 255).reserved_class(), Some(ReservedClass::FutureUse));
+        assert_eq!(
+            Ip::from_octets(224, 0, 0, 1).reserved_class(),
+            Some(ReservedClass::Multicast)
+        );
+        assert_eq!(
+            Ip::from_octets(239, 255, 255, 255).reserved_class(),
+            Some(ReservedClass::Multicast)
+        );
+        assert_eq!(
+            Ip::from_octets(240, 0, 0, 0).reserved_class(),
+            Some(ReservedClass::FutureUse)
+        );
+        assert_eq!(
+            Ip::from_octets(255, 255, 255, 255).reserved_class(),
+            Some(ReservedClass::FutureUse)
+        );
     }
 
     #[test]

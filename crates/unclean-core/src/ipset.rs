@@ -152,7 +152,12 @@ impl IpSet {
     /// Keep only addresses satisfying the predicate.
     pub fn filter(&self, mut pred: impl FnMut(Ip) -> bool) -> IpSet {
         IpSet {
-            addrs: self.addrs.iter().copied().filter(|&v| pred(Ip(v))).collect(),
+            addrs: self
+                .addrs
+                .iter()
+                .copied()
+                .filter(|&v| pred(Ip(v)))
+                .collect(),
         }
     }
 
@@ -164,7 +169,10 @@ impl IpSet {
     /// stays sorted because indices are emitted sorted.
     pub fn sample(&self, rng: &mut impl RngCore, k: usize) -> Result<IpSet, Error> {
         if k > self.len() {
-            return Err(Error::SampleTooLarge { requested: k, available: self.len() });
+            return Err(Error::SampleTooLarge {
+                requested: k,
+                available: self.len(),
+            });
         }
         let idx = sample_indices(rng, self.len(), k);
         Ok(IpSet {
@@ -193,7 +201,9 @@ impl IpSet {
     pub fn members_in(&self, cidr: &Cidr) -> IpSet {
         let lo = self.addrs.partition_point(|&v| v < cidr.first().raw());
         let hi = self.addrs.partition_point(|&v| v <= cidr.last().raw());
-        IpSet { addrs: self.addrs[lo..hi].to_vec() }
+        IpSet {
+            addrs: self.addrs[lo..hi].to_vec(),
+        }
     }
 }
 
@@ -295,7 +305,10 @@ mod tests {
         let mut rng = SeedTree::new(1).stream("sample");
         assert_eq!(
             s.sample(&mut rng, 4),
-            Err(Error::SampleTooLarge { requested: 4, available: 3 })
+            Err(Error::SampleTooLarge {
+                requested: 4,
+                available: 3
+            })
         );
     }
 
@@ -304,7 +317,9 @@ mod tests {
         let s = IpSet::from_raw((0..1000).collect());
         let a = s.sample(&mut SeedTree::new(9).stream("x"), 10).expect("ok");
         let b = s.sample(&mut SeedTree::new(9).stream("x"), 10).expect("ok");
-        let c = s.sample(&mut SeedTree::new(10).stream("x"), 10).expect("ok");
+        let c = s
+            .sample(&mut SeedTree::new(10).stream("x"), 10)
+            .expect("ok");
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -106,9 +106,7 @@ pub mod prelude {
     pub use crate::ip::{Ip, ReservedClass};
     pub use crate::ipset::IpSet;
     pub use crate::overlap::{OverlapCell, OverlapMatrix};
-    pub use crate::predict::{
-        prediction_curve, TemporalAnalysis, TemporalConfig, TemporalResult,
-    };
+    pub use crate::predict::{prediction_curve, TemporalAnalysis, TemporalConfig, TemporalResult};
     pub use crate::report::{union_reports, Provenance, Report, ReportClass};
     pub use crate::sampling::{empirical_sample, naive_sample, Estimator};
     pub use crate::score::{NetworkScore, ScoreWeights, UncleanlinessScorer};

@@ -58,8 +58,16 @@ impl OverlapMatrix {
                     b: tags[j].clone(),
                     addresses: inter,
                     blocks24: blocks[i].intersect_count(&blocks[j]),
-                    jaccard: if union == 0 { 0.0 } else { inter as f64 / union as f64 },
-                    containment: if smaller == 0 { 0.0 } else { inter as f64 / smaller as f64 },
+                    jaccard: if union == 0 {
+                        0.0
+                    } else {
+                        inter as f64 / union as f64
+                    },
+                    containment: if smaller == 0 {
+                        0.0
+                    } else {
+                        inter as f64 / smaller as f64
+                    },
                 });
             }
         }

@@ -106,7 +106,9 @@ pub struct TemporalAnalysis {
 impl TemporalAnalysis {
     /// Driver with the paper's defaults (1000 trials, 95%, n ∈ [16, 32]).
     pub fn paper() -> TemporalAnalysis {
-        TemporalAnalysis { config: TemporalConfig::default() }
+        TemporalAnalysis {
+            config: TemporalConfig::default(),
+        }
     }
 
     /// Driver with a custom configuration.
@@ -126,7 +128,10 @@ impl TemporalAnalysis {
         let cfg = &self.config;
         let k = past.len();
         assert!(k > 0, "cannot analyze an empty past report");
-        assert!(!present.is_empty(), "cannot analyze an empty present report");
+        assert!(
+            !present.is_empty(),
+            "cannot analyze an empty present report"
+        );
         let xs = cfg.range.xs();
         let observed = prediction_curve(past.addresses(), present.addresses(), cfg.range);
 
@@ -137,7 +142,10 @@ impl TemporalAnalysis {
             .collect();
         let range = cfg.range;
         let ensemble = EnsembleBuilder::new(xs.clone(), cfg.trials).run(
-            &seeds.child("temporal").child(past.tag()).child(present.tag()),
+            &seeds
+                .child("temporal")
+                .child(past.tag())
+                .child(present.tag()),
             move |_idx, rng, _xs| {
                 let sample = control
                     .sample(rng, k)
@@ -240,12 +248,20 @@ mod tests {
             trials: 60,
             ..TemporalConfig::default()
         });
-        let res = analysis.run(&unclean_past(), &unclean_present(), &control(), &SeedTree::new(1));
+        let res = analysis.run(
+            &unclean_past(),
+            &unclean_present(),
+            &control(),
+            &SeedTree::new(1),
+        );
         assert!(res.hypothesis_holds(), "verdicts: {:?}", res.verdicts());
         let band = res.predictive_band().expect("band exists");
         assert!(band.0 >= 16 && band.1 <= 32);
         // The /24 blocks coincide exactly, so 24 must be inside the band.
-        assert!(band.0 <= 24 && 24 <= band.1, "band {band:?} should include 24");
+        assert!(
+            band.0 <= 24 && 24 <= band.1,
+            "band {band:?} should include 24"
+        );
         assert_eq!(res.past_tag, "bot-test");
         assert_eq!(res.present_tag, "bot");
     }
@@ -297,8 +313,18 @@ mod tests {
             trials: 12,
             ..TemporalConfig::default()
         });
-        let a = analysis.run(&unclean_past(), &unclean_present(), &control(), &SeedTree::new(9));
-        let b = analysis.run(&unclean_past(), &unclean_present(), &control(), &SeedTree::new(9));
+        let a = analysis.run(
+            &unclean_past(),
+            &unclean_present(),
+            &control(),
+            &SeedTree::new(9),
+        );
+        let b = analysis.run(
+            &unclean_past(),
+            &unclean_present(),
+            &control(),
+            &SeedTree::new(9),
+        );
         assert_eq!(a.control, b.control);
         assert_eq!(a.test.verdicts, b.test.verdicts);
     }

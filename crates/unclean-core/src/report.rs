@@ -40,7 +40,10 @@ impl ReportClass {
     pub fn is_unclean(&self) -> bool {
         matches!(
             self,
-            ReportClass::Bots | ReportClass::Phishing | ReportClass::Scanning | ReportClass::Spamming
+            ReportClass::Bots
+                | ReportClass::Phishing
+                | ReportClass::Scanning
+                | ReportClass::Spamming
         )
     }
 }
@@ -146,9 +149,9 @@ impl Report {
     /// same metadata and `-filtered` appended to the tag if anything was
     /// removed.
     pub fn filter_for_analysis(&self, observed_network: &[Cidr]) -> Report {
-        let filtered = self.addresses.filter(|ip| {
-            !ip.is_reserved() && !observed_network.iter().any(|c| c.contains(ip))
-        });
+        let filtered = self
+            .addresses
+            .filter(|ip| !ip.is_reserved() && !observed_network.iter().any(|c| c.contains(ip)));
         let tag = if filtered.len() == self.addresses.len() {
             self.tag.clone()
         } else {
@@ -299,7 +302,13 @@ mod tests {
     fn filter_removes_reserved_and_observed() {
         let r = report(
             "bot",
-            &["8.8.8.8", "10.0.0.1", "192.168.1.1", "66.35.250.150", "66.35.251.1"],
+            &[
+                "8.8.8.8",
+                "10.0.0.1",
+                "192.168.1.1",
+                "66.35.250.150",
+                "66.35.251.1",
+            ],
         );
         let observed = vec!["66.35.250.0/24".parse::<Cidr>().expect("ok")];
         let f = r.filter_for_analysis(&observed);

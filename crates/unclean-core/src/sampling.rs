@@ -33,11 +33,17 @@ pub fn naive_sample(
     rng: &mut impl RngCore,
 ) -> Result<IpSet, Error> {
     if allocated_slash8s.is_empty() {
-        return Err(Error::SampleTooLarge { requested: k, available: 0 });
+        return Err(Error::SampleTooLarge {
+            requested: k,
+            available: 0,
+        });
     }
     let space = allocated_slash8s.len() as u64 * (1u64 << 24);
     if (k as u64) > space {
-        return Err(Error::SampleTooLarge { requested: k, available: space as usize });
+        return Err(Error::SampleTooLarge {
+            requested: k,
+            available: space as usize,
+        });
     }
     let mut addrs = std::collections::HashSet::with_capacity(k * 2);
     while addrs.len() < k {
@@ -50,11 +56,7 @@ pub fn naive_sample(
 
 /// Draw a `k`-address random subset of the control set (the empirical
 /// estimator). Thin, intention-revealing wrapper over [`IpSet::sample`].
-pub fn empirical_sample(
-    control: &IpSet,
-    k: usize,
-    rng: &mut impl RngCore,
-) -> Result<IpSet, Error> {
+pub fn empirical_sample(control: &IpSet, k: usize, rng: &mut impl RngCore) -> Result<IpSet, Error> {
     control.sample(rng, k)
 }
 

@@ -36,7 +36,12 @@ impl Default for ScoreWeights {
     fn default() -> ScoreWeights {
         // Bots are the direct compromise signal; spam/scan are correlated
         // uses of the same machines; phishing is its own dimension.
-        ScoreWeights { bots: 1.0, spamming: 0.8, scanning: 0.8, phishing: 0.3 }
+        ScoreWeights {
+            bots: 1.0,
+            spamming: 0.8,
+            scanning: 0.8,
+            phishing: 0.3,
+        }
     }
 }
 
@@ -89,7 +94,10 @@ pub struct UncleanlinessScorer {
 
 impl Default for UncleanlinessScorer {
     fn default() -> UncleanlinessScorer {
-        UncleanlinessScorer { prefix_len: 16, weights: ScoreWeights::default() }
+        UncleanlinessScorer {
+            prefix_len: 16,
+            weights: ScoreWeights::default(),
+        }
     }
 }
 
@@ -109,7 +117,11 @@ impl UncleanlinessScorer {
                 continue;
             }
             for ip in report.addresses().iter() {
-                let key = if self.prefix_len == 0 { 0 } else { ip.raw() >> shift };
+                let key = if self.prefix_len == 0 {
+                    0
+                } else {
+                    ip.raw() >> shift
+                };
                 let entry = acc.entry(key).or_insert_with(|| NetworkScore {
                     network: Cidr::of(ip, self.prefix_len),
                     score: 0.0,
@@ -201,8 +213,26 @@ mod tests {
         // the multi-indicator network should win despite fewer addresses.
         let scan: Vec<u32> = (0..200).map(|i| addr(9, 9, i / 200, i % 200)).collect();
         let scan = report(ReportClass::Scanning, &scan);
-        let bots = report(ReportClass::Bots, &[addr(9, 8, 0, 1), addr(9, 8, 0, 2), addr(9, 8, 0, 3), addr(9, 8, 0, 4), addr(9, 8, 0, 5)]);
-        let spam = report(ReportClass::Spamming, &[addr(9, 8, 1, 1), addr(9, 8, 1, 2), addr(9, 8, 1, 3), addr(9, 8, 1, 4), addr(9, 8, 1, 5)]);
+        let bots = report(
+            ReportClass::Bots,
+            &[
+                addr(9, 8, 0, 1),
+                addr(9, 8, 0, 2),
+                addr(9, 8, 0, 3),
+                addr(9, 8, 0, 4),
+                addr(9, 8, 0, 5),
+            ],
+        );
+        let spam = report(
+            ReportClass::Spamming,
+            &[
+                addr(9, 8, 1, 1),
+                addr(9, 8, 1, 2),
+                addr(9, 8, 1, 3),
+                addr(9, 8, 1, 4),
+                addr(9, 8, 1, 5),
+            ],
+        );
         let scores = UncleanlinessScorer::default().score(&[&scan, &bots, &spam]);
         // ln(201)*0.8 = 4.24 vs ln(6)*1.0 + ln(6)*0.8 = 3.22 — scanning
         // still wins on volume, but within the same order of magnitude.
@@ -221,8 +251,16 @@ mod tests {
     #[test]
     fn prefix_granularity() {
         let bots = report(ReportClass::Bots, &[addr(9, 1, 1, 1), addr(9, 1, 2, 1)]);
-        let at16 = UncleanlinessScorer { prefix_len: 16, ..Default::default() }.score(&[&bots]);
-        let at24 = UncleanlinessScorer { prefix_len: 24, ..Default::default() }.score(&[&bots]);
+        let at16 = UncleanlinessScorer {
+            prefix_len: 16,
+            ..Default::default()
+        }
+        .score(&[&bots]);
+        let at24 = UncleanlinessScorer {
+            prefix_len: 24,
+            ..Default::default()
+        }
+        .score(&[&bots]);
         assert_eq!(at16.len(), 1);
         assert_eq!(at24.len(), 2);
         assert_eq!(at16[0].bots, 2);
@@ -253,7 +291,12 @@ mod tests {
         let bots = report(ReportClass::Bots, &[addr(9, 1, 0, 1)]);
         let phish = report(ReportClass::Phishing, &[addr(9, 3, 0, 1)]);
         let hosting_focused = UncleanlinessScorer {
-            weights: ScoreWeights { bots: 0.2, spamming: 0.1, scanning: 0.1, phishing: 1.0 },
+            weights: ScoreWeights {
+                bots: 0.2,
+                spamming: 0.1,
+                scanning: 0.1,
+                phishing: 1.0,
+            },
             ..Default::default()
         };
         let scores = hosting_focused.score(&[&bots, &phish]);

@@ -62,7 +62,9 @@ impl Day {
         if day == 0 || day > dim {
             return Err(Error::InvalidDate(format!("{year}-{month:02}-{day:02}")));
         }
-        Ok(Day((days_from_civil(year as i64, month, day) - EPOCH_OFFSET) as i32))
+        Ok(Day(
+            (days_from_civil(year as i64, month, day) - EPOCH_OFFSET) as i32,
+        ))
     }
 
     /// To `(year, month, day)`.
@@ -130,13 +132,19 @@ pub struct DateRange {
 impl DateRange {
     /// A range; panics if `end < start`.
     pub fn new(start: Day, end: Day) -> DateRange {
-        assert!(end >= start, "date range ends ({end}) before it starts ({start})");
+        assert!(
+            end >= start,
+            "date range ends ({end}) before it starts ({start})"
+        );
         DateRange { start, end }
     }
 
     /// A single-day range.
     pub fn single(day: Day) -> DateRange {
-        DateRange { start: day, end: day }
+        DateRange {
+            start: day,
+            end: day,
+        }
     }
 
     /// Number of days covered (inclusive: a single day is length 1).
@@ -182,7 +190,13 @@ mod tests {
 
     #[test]
     fn paper_dates_round_trip() {
-        for s in ["2006-10-01", "2006-10-14", "2006-05-10", "2006-09-25", "2006-11-01"] {
+        for s in [
+            "2006-10-01",
+            "2006-10-14",
+            "2006-05-10",
+            "2006-09-25",
+            "2006-11-01",
+        ] {
             let d: Day = s.parse().expect("valid");
             assert_eq!(d.to_string(), s);
         }
@@ -236,7 +250,10 @@ mod tests {
 
     #[test]
     fn range_basics() {
-        let r = DateRange::new("2006-10-01".parse().expect("ok"), "2006-10-14".parse().expect("ok"));
+        let r = DateRange::new(
+            "2006-10-01".parse().expect("ok"),
+            "2006-10-14".parse().expect("ok"),
+        );
         assert_eq!(r.len_days(), 14);
         assert!(r.contains("2006-10-07".parse().expect("ok")));
         assert!(!r.contains("2006-10-15".parse().expect("ok")));

@@ -22,7 +22,9 @@ struct Node {
 
 impl Node {
     fn leaf() -> Node {
-        Node { children: [NONE, NONE] }
+        Node {
+            children: [NONE, NONE],
+        }
     }
 }
 
@@ -43,7 +45,10 @@ impl Default for PrefixTrie {
 impl PrefixTrie {
     /// An empty trie (just the root).
     pub fn new() -> PrefixTrie {
-        PrefixTrie { nodes: vec![Node::leaf()], len: 0 }
+        PrefixTrie {
+            nodes: vec![Node::leaf()],
+            len: 0,
+        }
     }
 
     /// Build from a set of addresses.
@@ -179,9 +184,7 @@ impl PrefixTrie {
         }
         // Emit any complete children that cannot merge upward.
         for (child_prefix, child_depth, _) in pending {
-            out.push(
-                Cidr::new(Ip(child_prefix), child_depth).expect("trie prefixes are aligned"),
-            );
+            out.push(Cidr::new(Ip(child_prefix), child_depth).expect("trie prefixes are aligned"));
         }
         false
     }
@@ -314,7 +317,9 @@ mod tests {
     #[test]
     fn aggregate_covers_exactly_the_set() {
         // Property-style check on a deterministic pseudo-random set.
-        let raw: Vec<u32> = (0..200u32).map(|i| i.wrapping_mul(0x9e3779b9) >> 8).collect();
+        let raw: Vec<u32> = (0..200u32)
+            .map(|i| i.wrapping_mul(0x9e3779b9) >> 8)
+            .collect();
         let set = IpSet::from_raw(raw);
         let t = PrefixTrie::from_set(&set);
         let agg = t.aggregate();

@@ -25,7 +25,9 @@ pub struct MonitorConfig {
 
 impl Default for MonitorConfig {
     fn default() -> MonitorConfig {
-        MonitorConfig { channel_coverage: 0.35 }
+        MonitorConfig {
+            channel_coverage: 0.35,
+        }
     }
 }
 
@@ -38,15 +40,17 @@ pub struct BotMonitor {
 impl BotMonitor {
     /// Watch the most popular channels up to the configured coverage.
     pub fn new(channels: &ChannelDirectory, config: &MonitorConfig) -> BotMonitor {
-        let k = ((channels.len() as f64 * config.channel_coverage).ceil() as usize)
-            .min(channels.len());
+        let k =
+            ((channels.len() as f64 * config.channel_coverage).ceil() as usize).min(channels.len());
         let monitored = channels.by_popularity().into_iter().take(k).collect();
         BotMonitor { monitored }
     }
 
     /// A monitor that sees every channel (for ablations).
     pub fn omniscient(total_channels: u16) -> BotMonitor {
-        BotMonitor { monitored: (0..total_channels).collect() }
+        BotMonitor {
+            monitored: (0..total_channels).collect(),
+        }
     }
 
     /// Whether a channel is visible to the monitor.
@@ -109,21 +113,34 @@ mod tests {
             ..WorldConfig::default()
         };
         let world = World::generate(&wcfg, &SeedTree::new(1));
-        let ccfg = CompromiseConfig { channels, ..CompromiseConfig::default() };
+        let ccfg = CompromiseConfig {
+            channels,
+            ..CompromiseConfig::default()
+        };
         ChannelDirectory::generate(&world, &ccfg, &SeedTree::new(1))
     }
 
     #[test]
     fn coverage_counts_channels() {
         let dir = directory(200);
-        let m = BotMonitor::new(&dir, &MonitorConfig { channel_coverage: 0.5 });
+        let m = BotMonitor::new(
+            &dir,
+            &MonitorConfig {
+                channel_coverage: 0.5,
+            },
+        );
         assert_eq!(m.monitored_count(), 100);
     }
 
     #[test]
     fn monitor_prefers_popular_channels() {
         let dir = directory(100);
-        let m = BotMonitor::new(&dir, &MonitorConfig { channel_coverage: 0.3 });
+        let m = BotMonitor::new(
+            &dir,
+            &MonitorConfig {
+                channel_coverage: 0.3,
+            },
+        );
         // Every monitored channel outweighs every unmonitored one.
         let min_watched = (0..100u16)
             .filter(|&c| m.watches(c))
@@ -137,7 +154,10 @@ mod tests {
         // Member-weighted coverage far exceeds the channel-count fraction
         // (the point of popularity ranking).
         let total: f64 = (0..100u16).map(|c| dir.weight(c)).sum();
-        let watched: f64 = (0..100u16).filter(|&c| m.watches(c)).map(|c| dir.weight(c)).sum();
+        let watched: f64 = (0..100u16)
+            .filter(|&c| m.watches(c))
+            .map(|c| dir.weight(c))
+            .sum();
         assert!(watched / total > 0.5, "mass coverage {}", watched / total);
     }
 
@@ -161,19 +181,52 @@ mod tests {
     #[test]
     fn zero_coverage_sees_nothing() {
         let dir = directory(64);
-        let m = BotMonitor::new(&dir, &MonitorConfig { channel_coverage: 0.0 });
+        let m = BotMonitor::new(
+            &dir,
+            &MonitorConfig {
+                channel_coverage: 0.0,
+            },
+        );
         assert_eq!(m.monitored_count(), 0);
     }
 
     #[test]
     fn snapshot_filters_roster() {
         let infections = vec![
-            Infection { addr: 1, start: 0, end: 100, recruited: true, channel: 5 },
-            Infection { addr: 2, start: 0, end: 100, recruited: true, channel: 6 },
-            Infection { addr: 3, start: 0, end: 10, recruited: true, channel: 5 },
-            Infection { addr: 4, start: 0, end: 100, recruited: false, channel: 5 },
+            Infection {
+                addr: 1,
+                start: 0,
+                end: 100,
+                recruited: true,
+                channel: 5,
+            },
+            Infection {
+                addr: 2,
+                start: 0,
+                end: 100,
+                recruited: true,
+                channel: 6,
+            },
+            Infection {
+                addr: 3,
+                start: 0,
+                end: 10,
+                recruited: true,
+                channel: 5,
+            },
+            Infection {
+                addr: 4,
+                start: 0,
+                end: 100,
+                recruited: false,
+                channel: 5,
+            },
         ];
         let snap = BotMonitor::channel_snapshot(&infections, 5, Day(50));
-        assert_eq!(snap.as_raw(), &[1], "active recruited channel-5 members only");
+        assert_eq!(
+            snap.as_raw(),
+            &[1],
+            "active recruited channel-5 members only"
+        );
     }
 }

@@ -40,7 +40,10 @@ pub struct PipelineConfig {
 impl PipelineConfig {
     /// The paper-shaped default, including benign traffic in detection.
     pub fn paper() -> PipelineConfig {
-        PipelineConfig { detect_over_benign: true, ..PipelineConfig::default() }
+        PipelineConfig {
+            detect_over_benign: true,
+            ..PipelineConfig::default()
+        }
     }
 }
 
@@ -302,9 +305,19 @@ mod tests {
         let cfg = PipelineConfig::paper();
         // Sample the series rather than the full 120 days to keep the test
         // quick: pre-campaign, peak, and post-decay days.
-        let pre = daily_scanners(&s, DateRange::single(s.dates.fig1_span.start + 5), false, &cfg);
+        let pre = daily_scanners(
+            &s,
+            DateRange::single(s.dates.fig1_span.start + 5),
+            false,
+            &cfg,
+        );
         let peak = daily_scanners(&s, DateRange::single(s.dates.fig1_report_day), false, &cfg);
-        let post = daily_scanners(&s, DateRange::single(s.dates.fig1_report_day + 40), false, &cfg);
+        let post = daily_scanners(
+            &s,
+            DateRange::single(s.dates.fig1_report_day + 40),
+            false,
+            &cfg,
+        );
         let n = |v: &Vec<(Day, IpSet)>| v[0].1.len();
         assert!(
             n(&peak) > n(&pre),
@@ -336,8 +349,16 @@ mod tests {
                 spam_det.observe(&f);
             })
         });
-        assert_eq!(scan_det.detected_count(), 0, "no benign scan false positives");
-        assert_eq!(spam_det.detected_count(), 0, "no benign spam false positives");
+        assert_eq!(
+            scan_det.detected_count(),
+            0,
+            "no benign scan false positives"
+        );
+        assert_eq!(
+            spam_det.detected_count(),
+            0,
+            "no benign spam false positives"
+        );
     }
 
     #[test]

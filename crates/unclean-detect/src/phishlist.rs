@@ -37,7 +37,12 @@ mod tests {
     use unclean_core::Day;
 
     fn site(addr: u32, reported: Option<i32>) -> PhishSite {
-        PhishSite { addr, start: 0, end: 200, reported }
+        PhishSite {
+            addr,
+            start: 0,
+            end: 200,
+            reported,
+        }
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub struct FanoutConfig {
 
 impl Default for FanoutConfig {
     fn default() -> FanoutConfig {
-        FanoutConfig { hourly_threshold: 64 }
+        FanoutConfig {
+            hourly_threshold: 64,
+        }
     }
 }
 
@@ -56,7 +58,11 @@ impl HourlyFanoutDetector {
     /// A detector with the given configuration.
     pub fn new(config: FanoutConfig) -> HourlyFanoutDetector {
         assert!(config.hourly_threshold > 0);
-        HourlyFanoutDetector { config, state: HashMap::new(), detected: HashSet::new() }
+        HourlyFanoutDetector {
+            config,
+            state: HashMap::new(),
+            detected: HashSet::new(),
+        }
     }
 
     /// Feed one flow.
@@ -120,7 +126,12 @@ impl Default for TrwConfig {
     fn default() -> TrwConfig {
         // The parameters of Jung et al. (2004): θ₀ = 0.8, θ₁ = 0.2, with
         // thresholds from α = 0.01, β = 0.99-style odds.
-        TrwConfig { theta0: 0.8, theta1: 0.2, eta1: 100.0, eta0: 0.01 }
+        TrwConfig {
+            theta0: 0.8,
+            theta1: 0.2,
+            eta1: 100.0,
+            eta0: 0.01,
+        }
     }
 }
 
@@ -141,14 +152,23 @@ pub struct TrwDetector {
 impl TrwDetector {
     /// A detector with the given configuration.
     pub fn new(config: TrwConfig) -> TrwDetector {
-        assert!(config.theta1 < config.theta0, "scanners succeed less than benign hosts");
+        assert!(
+            config.theta1 < config.theta0,
+            "scanners succeed less than benign hosts"
+        );
         assert!(config.eta0 < 1.0 && 1.0 < config.eta1);
-        TrwDetector { config, state: HashMap::new() }
+        TrwDetector {
+            config,
+            state: HashMap::new(),
+        }
     }
 
     /// Feed one flow; success = payload-bearing, failure = anything else.
     pub fn observe(&mut self, flow: &Flow) {
-        let entry = self.state.entry(flow.src.raw()).or_insert(TrwState::Walking(1.0));
+        let entry = self
+            .state
+            .entry(flow.src.raw())
+            .or_insert(TrwState::Walking(1.0));
         let TrwState::Walking(lambda) = entry else {
             return;
         };
@@ -181,7 +201,10 @@ impl TrwDetector {
 
     /// Sources adjudicated benign (walk hit the lower threshold).
     pub fn cleared_count(&self) -> usize {
-        self.state.values().filter(|s| matches!(s, TrwState::Benign)).count()
+        self.state
+            .values()
+            .filter(|s| matches!(s, TrwState::Benign))
+            .count()
     }
 
     /// Whether a source has been flagged.
@@ -254,7 +277,9 @@ mod tests {
 
     #[test]
     fn fanout_hour_window_resets() {
-        let mut d = HourlyFanoutDetector::new(FanoutConfig { hourly_threshold: 50 });
+        let mut d = HourlyFanoutDetector::new(FanoutConfig {
+            hourly_threshold: 50,
+        });
         // 40 targets in hour 10, 40 different ones in hour 11: no single
         // hour crosses 50.
         for i in 0..40 {
@@ -268,7 +293,9 @@ mod tests {
 
     #[test]
     fn fanout_repeat_dsts_do_not_count_twice() {
-        let mut d = HourlyFanoutDetector::new(FanoutConfig { hourly_threshold: 10 });
+        let mut d = HourlyFanoutDetector::new(FanoutConfig {
+            hourly_threshold: 10,
+        });
         for _ in 0..100 {
             d.observe(&probe("9.1.1.5", 1, 10));
         }
@@ -277,7 +304,9 @@ mod tests {
 
     #[test]
     fn fanout_flush_keeps_detections() {
-        let mut d = HourlyFanoutDetector::new(FanoutConfig { hourly_threshold: 10 });
+        let mut d = HourlyFanoutDetector::new(FanoutConfig {
+            hourly_threshold: 10,
+        });
         for i in 0..20 {
             d.observe(&probe("9.1.1.6", i, 10));
         }
@@ -337,6 +366,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "succeed less")]
     fn trw_rejects_inverted_thetas() {
-        let _ = TrwDetector::new(TrwConfig { theta0: 0.2, theta1: 0.8, ..TrwConfig::default() });
+        let _ = TrwDetector::new(TrwConfig {
+            theta0: 0.2,
+            theta1: 0.8,
+            ..TrwConfig::default()
+        });
     }
 }

@@ -23,7 +23,9 @@ pub struct SpamConfig {
 
 impl Default for SpamConfig {
     fn default() -> SpamConfig {
-        SpamConfig { daily_message_threshold: 8 }
+        SpamConfig {
+            daily_message_threshold: 8,
+        }
     }
 }
 
@@ -45,7 +47,11 @@ impl SpamDetector {
     /// A detector with the given configuration.
     pub fn new(config: SpamConfig) -> SpamDetector {
         assert!(config.daily_message_threshold > 0);
-        SpamDetector { config, state: HashMap::new(), detected: HashSet::new() }
+        SpamDetector {
+            config,
+            state: HashMap::new(),
+            detected: HashSet::new(),
+        }
     }
 
     /// Feed one flow.
@@ -135,19 +141,26 @@ mod tests {
 
     #[test]
     fn daily_counter_resets() {
-        let mut d = SpamDetector::new(SpamConfig { daily_message_threshold: 10 });
+        let mut d = SpamDetector::new(SpamConfig {
+            daily_message_threshold: 10,
+        });
         for i in 0..9 {
             d.observe(&smtp("9.3.3.5", 273, i));
         }
         for i in 0..9 {
             d.observe(&smtp("9.3.3.5", 274, i));
         }
-        assert!(!d.is_detected("9.3.3.5".parse().expect("ok")), "9+9 across days ≠ 10 in one day");
+        assert!(
+            !d.is_detected("9.3.3.5".parse().expect("ok")),
+            "9+9 across days ≠ 10 in one day"
+        );
     }
 
     #[test]
     fn non_smtp_traffic_is_ignored() {
-        let mut d = SpamDetector::new(SpamConfig { daily_message_threshold: 2 });
+        let mut d = SpamDetector::new(SpamConfig {
+            daily_message_threshold: 2,
+        });
         let mut f = smtp("9.3.3.6", 273, 0);
         f.dst_port = 80;
         for _ in 0..10 {
@@ -159,7 +172,9 @@ mod tests {
     #[test]
     fn syn_only_smtp_probes_are_not_deliveries() {
         // Port-25 scanning must not register as spamming.
-        let mut d = SpamDetector::new(SpamConfig { daily_message_threshold: 2 });
+        let mut d = SpamDetector::new(SpamConfig {
+            daily_message_threshold: 2,
+        });
         let f = Flow {
             packets: 1,
             octets: 40,

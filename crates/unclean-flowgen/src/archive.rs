@@ -11,6 +11,7 @@ use crate::record::{
     decode_datagram, encode_datagram, DecodeError, V5Header, V5Record, V5_MAX_RECORDS,
 };
 use crate::session::Flow;
+use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
 
 /// Packs flows into framed V5 datagrams on any `Write`.
@@ -77,14 +78,30 @@ impl<W: Write> ArchiveWriter<W> {
     }
 }
 
+/// What an [`ArchiveReader`] observed: the loss accounting a collector
+/// must surface rather than swallow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchiveTelemetry {
+    /// Datagrams decoded.
+    pub datagrams: u64,
+    /// Flow records delivered.
+    pub flows: u64,
+    /// Flows missing according to forward sequence-number gaps.
+    pub lost_flows: u64,
+    /// Forward gap events (distinct runs of loss, not flows).
+    pub sequence_gaps: u64,
+    /// Datagrams whose sequence number went *backwards* (reordered or
+    /// replayed export) — counted separately, never as loss.
+    pub reordered: u64,
+}
+
 /// Replays a framed archive, reporting flows and sequence gaps.
 #[derive(Debug)]
 pub struct ArchiveReader<R: Read> {
     input: R,
     boot_unix_secs: u32,
     expected_sequence: Option<u32>,
-    /// Flows missing according to sequence-number gaps.
-    pub lost_flows: u64,
+    telemetry: ArchiveTelemetry,
 }
 
 /// Errors while reading an archive.
@@ -110,7 +127,17 @@ impl std::error::Error for ArchiveError {}
 impl<R: Read> ArchiveReader<R> {
     /// A reader over a framed archive written with the same boot anchor.
     pub fn new(input: R, boot_unix_secs: u32) -> ArchiveReader<R> {
-        ArchiveReader { input, boot_unix_secs, expected_sequence: None, lost_flows: 0 }
+        ArchiveReader {
+            input,
+            boot_unix_secs,
+            expected_sequence: None,
+            telemetry: ArchiveTelemetry::default(),
+        }
+    }
+
+    /// Loss and delivery accounting so far.
+    pub fn telemetry(&self) -> ArchiveTelemetry {
+        self.telemetry
     }
 
     /// Read the next datagram's flows; `Ok(None)` at clean end-of-archive.
@@ -125,13 +152,34 @@ impl<R: Read> ArchiveReader<R> {
         let mut buf = vec![0u8; len];
         self.input.read_exact(&mut buf).map_err(ArchiveError::Io)?;
         let (header, records) = decode_datagram(&buf).map_err(ArchiveError::Decode)?;
-        if let Some(expected) = self.expected_sequence {
-            self.lost_flows += u64::from(header.flow_sequence.wrapping_sub(expected));
+        // A forward jump is loss; a *backward* jump is a reordered or
+        // replayed datagram and must not be booked as (huge, wrapped)
+        // loss. Split the u32 circle at its midpoint, the way RTP and
+        // NetFlow collectors disambiguate, and hold the high-water
+        // expectation across a reordered datagram.
+        let next = header.flow_sequence.wrapping_add(records.len() as u32);
+        match self.expected_sequence {
+            None => self.expected_sequence = Some(next),
+            Some(expected) => {
+                let delta = header.flow_sequence.wrapping_sub(expected);
+                if delta == 0 {
+                    self.expected_sequence = Some(next);
+                } else if delta <= u32::MAX / 2 {
+                    self.telemetry.lost_flows += u64::from(delta);
+                    self.telemetry.sequence_gaps += 1;
+                    self.expected_sequence = Some(next);
+                } else {
+                    self.telemetry.reordered += 1;
+                }
+            }
         }
-        self.expected_sequence =
-            Some(header.flow_sequence.wrapping_add(records.len() as u32));
+        self.telemetry.datagrams += 1;
+        self.telemetry.flows += records.len() as u64;
         Ok(Some(
-            records.iter().map(|r| Flow::from_v5(r, self.boot_unix_secs)).collect(),
+            records
+                .iter()
+                .map(|r| Flow::from_v5(r, self.boot_unix_secs))
+                .collect(),
         ))
     }
 
@@ -188,7 +236,12 @@ mod tests {
         for (i, f) in flows.iter().enumerate() {
             assert_eq!(*f, flow(i as u32));
         }
-        assert_eq!(r.lost_flows, 0);
+        let t = r.telemetry();
+        assert_eq!(t.lost_flows, 0);
+        assert_eq!(t.sequence_gaps, 0);
+        assert_eq!(t.reordered, 0);
+        assert_eq!(t.datagrams, 4, "3 full + 1 partial");
+        assert_eq!(t.flows, 95);
     }
 
     #[test]
@@ -224,7 +277,32 @@ mod tests {
         let mut r = ArchiveReader::new(spliced.as_slice(), boot());
         let flows = r.read_all().expect("well-formed");
         assert_eq!(flows.len(), 60);
-        assert_eq!(r.lost_flows, 30, "the missing datagram's flows are counted");
+        let t = r.telemetry();
+        assert_eq!(t.lost_flows, 30, "the missing datagram's flows are counted");
+        assert_eq!(t.sequence_gaps, 1, "one contiguous loss event");
+        assert_eq!(t.reordered, 0);
+    }
+
+    #[test]
+    fn reordered_datagram_is_not_booked_as_loss() {
+        // Swap datagrams 2 and 3: a collector seeing 1,3,2 must report the
+        // reorder — NOT ~4 billion "lost" flows from a wrapped subtraction.
+        let bytes = write_archive(90); // 3 datagrams of 30
+        let dg_len = 2 + V5_HEADER_LEN + 30 * V5_RECORD_LEN;
+        let mut swapped = Vec::new();
+        swapped.extend_from_slice(&bytes[..dg_len]); // datagram 1
+        swapped.extend_from_slice(&bytes[2 * dg_len..]); // datagram 3
+        swapped.extend_from_slice(&bytes[dg_len..2 * dg_len]); // datagram 2
+        let mut r = ArchiveReader::new(swapped.as_slice(), boot());
+        let flows = r.read_all().expect("well-formed");
+        assert_eq!(flows.len(), 90, "every flow still delivered");
+        let t = r.telemetry();
+        assert_eq!(t.reordered, 1, "the late datagram is flagged");
+        // The jump 1→3 looks like one gap; the late arrival must not add
+        // wrapped loss on top.
+        assert_eq!(t.sequence_gaps, 1);
+        assert_eq!(t.lost_flows, 30);
+        assert!(t.lost_flows < 100, "no wrapped u32 catastrophe");
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub struct CandidateCollector {
 impl CandidateCollector {
     /// Watch the given blocks (typically `C_24(R_bot-test)`).
     pub fn new(blocks: BlockSet) -> CandidateCollector {
-        CandidateCollector { blocks, evidence: HashMap::new() }
+        CandidateCollector {
+            blocks,
+            evidence: HashMap::new(),
+        }
     }
 
     /// The watched block set.
@@ -78,7 +81,10 @@ impl CandidateCollector {
     /// Feed one flow.
     pub fn observe(&mut self, flow: &Flow) {
         if self.blocks.contains(flow.src) {
-            self.evidence.entry(flow.src.raw()).or_default().observe(flow);
+            self.evidence
+                .entry(flow.src.raw())
+                .or_default()
+                .observe(flow);
         }
     }
 
@@ -128,7 +134,12 @@ impl FlowStore {
     /// Retain flows from sources in `blocks` (or all flows when `None`),
     /// keeping at most `cap` (further flows are counted, not stored).
     pub fn new(blocks: Option<BlockSet>, cap: usize) -> FlowStore {
-        FlowStore { blocks, cap, flows: Vec::new(), dropped: 0 }
+        FlowStore {
+            blocks,
+            cap,
+            flows: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// Feed one flow.
@@ -242,7 +253,10 @@ mod tests {
         f.proto = proto::UDP;
         c.observe(&f);
         assert_eq!(c.len(), 1, "evidence retained");
-        assert!(c.candidates().is_empty(), "but no TCP record → not a candidate");
+        assert!(
+            c.candidates().is_empty(),
+            "but no TCP record → not a candidate"
+        );
     }
 
     #[test]
@@ -251,7 +265,9 @@ mod tests {
         let mut f = flow("9.1.1.40", false, 273);
         f.dst_port = 44_123;
         c.observe(&f);
-        let ev = c.evidence_for("9.1.1.40".parse().expect("ok")).expect("seen");
+        let ev = c
+            .evidence_for("9.1.1.40".parse().expect("ok"))
+            .expect("seen");
         assert_eq!(ev.probe_flows, 1);
     }
 

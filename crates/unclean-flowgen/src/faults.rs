@@ -10,7 +10,13 @@
 //! * **duplicate** — the flow is delivered twice (retransmitted export);
 //! * **corrupt** — one byte of the flow's wire encoding flips; the flow is
 //!   re-decoded and delivered as whatever the bytes now say (fields-level
-//!   corruption, exactly what a bit-flipped datagram produces).
+//!   corruption, exactly what a bit-flipped datagram produces);
+//! * **burst loss** — a correlated run of consecutive drops, the signature
+//!   of a collector buffer overrun or a routing flap (real telemetry loss
+//!   clusters; independent drops alone understate the damage);
+//! * **truncation** — the export datagram is cut short mid-record, so the
+//!   flow's partial encoding never decodes and the flow is lost (counted
+//!   separately from drops: an operator diagnoses the two differently).
 //!
 //! The integration suite drives the detectors through this wrapper to show
 //! the paper's pipeline conclusions survive realistic telemetry loss.
@@ -30,18 +36,43 @@ pub struct FaultConfig {
     pub duplicate_chance: f64,
     /// Probability one byte of the flow's V5 encoding flips.
     pub corrupt_chance: f64,
+    /// Probability a loss burst *starts* at a given flow (when one isn't
+    /// already running); the burst then swallows [`FaultConfig::burst_len`]
+    /// consecutive flows.
+    pub burst_chance: f64,
+    /// Flows consumed by one loss burst.
+    pub burst_len: u32,
+    /// Probability the flow's export datagram is truncated mid-record,
+    /// losing the flow.
+    pub truncate_chance: f64,
 }
 
 impl Default for FaultConfig {
     fn default() -> FaultConfig {
-        FaultConfig { drop_chance: 0.0, duplicate_chance: 0.0, corrupt_chance: 0.0 }
+        FaultConfig {
+            drop_chance: 0.0,
+            duplicate_chance: 0.0,
+            corrupt_chance: 0.0,
+            burst_chance: 0.0,
+            burst_len: 8,
+            truncate_chance: 0.0,
+        }
     }
 }
 
 impl FaultConfig {
-    /// The smoltcp examples' "good starting value": 15% drop and corrupt.
+    /// The smoltcp examples' "good starting value" — 15% drop and corrupt —
+    /// plus correlated bursts and datagram truncation on top, the faults a
+    /// congested collector actually sees.
     pub fn adverse() -> FaultConfig {
-        FaultConfig { drop_chance: 0.15, duplicate_chance: 0.05, corrupt_chance: 0.15 }
+        FaultConfig {
+            drop_chance: 0.15,
+            duplicate_chance: 0.05,
+            corrupt_chance: 0.15,
+            burst_chance: 0.005,
+            burst_len: 8,
+            truncate_chance: 0.05,
+        }
     }
 }
 
@@ -50,12 +81,16 @@ impl FaultConfig {
 pub struct FaultStats {
     /// Flows seen.
     pub seen: u64,
-    /// Flows dropped.
+    /// Flows dropped (independent drops).
     pub dropped: u64,
     /// Flows duplicated.
     pub duplicated: u64,
     /// Flows corrupted.
     pub corrupted: u64,
+    /// Flows swallowed by correlated loss bursts.
+    pub burst_dropped: u64,
+    /// Flows lost to datagram truncation.
+    pub truncated: u64,
 }
 
 /// A seeded fault injector over flows.
@@ -65,16 +100,36 @@ pub struct FaultInjector {
     seeds: SeedTree,
     stats: FaultStats,
     counter: u32,
+    burst_remaining: u32,
 }
 
 impl FaultInjector {
     /// Build an injector; identical (config, seed) sequences produce
     /// identical fault patterns.
     pub fn new(config: FaultConfig, seeds: SeedTree) -> FaultInjector {
-        for p in [config.drop_chance, config.duplicate_chance, config.corrupt_chance] {
-            assert!((0.0..=1.0).contains(&p), "fault probability {p} out of range");
+        for p in [
+            config.drop_chance,
+            config.duplicate_chance,
+            config.corrupt_chance,
+            config.burst_chance,
+            config.truncate_chance,
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "fault probability {p} out of range"
+            );
         }
-        FaultInjector { config, seeds, stats: FaultStats::default(), counter: 0 }
+        assert!(
+            config.burst_chance == 0.0 || config.burst_len > 0,
+            "burst_len must be positive when bursts are enabled"
+        );
+        FaultInjector {
+            config,
+            seeds,
+            stats: FaultStats::default(),
+            counter: 0,
+            burst_remaining: 0,
+        }
     }
 
     /// What the injector has done so far.
@@ -88,12 +143,41 @@ impl FaultInjector {
         self.counter = self.counter.wrapping_add(1);
         let n = self.counter;
         self.stats.seen += 1;
+        // A running burst swallows everything until it ends — correlated
+        // loss, checked before any independent fault.
+        if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            self.stats.burst_dropped += 1;
+            return;
+        }
+        if decides(&self.seeds, n, 0, "fault-burst", self.config.burst_chance) {
+            self.burst_remaining = self.config.burst_len.saturating_sub(1);
+            self.stats.burst_dropped += 1;
+            return;
+        }
         if decides(&self.seeds, n, 0, "fault-drop", self.config.drop_chance) {
             self.stats.dropped += 1;
             return;
         }
-        let delivered = if decides(&self.seeds, n, 0, "fault-corrupt", self.config.corrupt_chance)
-        {
+        if decides(
+            &self.seeds,
+            n,
+            0,
+            "fault-trunc",
+            self.config.truncate_chance,
+        ) {
+            // The record sits past the cut in a truncated datagram: its
+            // partial bytes never decode, so the flow is simply lost.
+            self.stats.truncated += 1;
+            return;
+        }
+        let delivered = if decides(
+            &self.seeds,
+            n,
+            0,
+            "fault-corrupt",
+            self.config.corrupt_chance,
+        ) {
             self.stats.corrupted += 1;
             corrupt_one_byte(flow, &self.seeds, n)
         } else {
@@ -136,7 +220,11 @@ fn corrupt_one_byte(flow: &Flow, seeds: &SeedTree, nonce: u32) -> Flow {
         // Corruption that breaks framing loses the record: deliver the
         // original with zeroed counters (an exporter would emit garbage;
         // this keeps the stream total stable for the tests).
-        Err(_) => Flow { packets: 0, octets: 0, ..*flow },
+        Err(_) => Flow {
+            packets: 0,
+            octets: 0,
+            ..*flow
+        },
     }
 }
 
@@ -174,14 +262,24 @@ mod tests {
     fn no_faults_is_identity() {
         let (stats, out) = run(FaultConfig::default(), 500);
         assert_eq!(stats.seen, 500);
-        assert_eq!(stats.dropped + stats.duplicated + stats.corrupted, 0);
+        assert_eq!(
+            stats.dropped
+                + stats.duplicated
+                + stats.corrupted
+                + stats.burst_dropped
+                + stats.truncated,
+            0
+        );
         assert_eq!(out.len(), 500);
         assert_eq!(out[7], flow(7));
     }
 
     #[test]
     fn drop_rate_tracks_config() {
-        let cfg = FaultConfig { drop_chance: 0.2, ..FaultConfig::default() };
+        let cfg = FaultConfig {
+            drop_chance: 0.2,
+            ..FaultConfig::default()
+        };
         let (stats, out) = run(cfg, 10_000);
         let rate = stats.dropped as f64 / stats.seen as f64;
         assert!((rate - 0.2).abs() < 0.02, "drop rate {rate}");
@@ -190,7 +288,10 @@ mod tests {
 
     #[test]
     fn duplicates_deliver_twice() {
-        let cfg = FaultConfig { duplicate_chance: 0.3, ..FaultConfig::default() };
+        let cfg = FaultConfig {
+            duplicate_chance: 0.3,
+            ..FaultConfig::default()
+        };
         let (stats, out) = run(cfg, 5_000);
         assert_eq!(out.len() as u64, stats.seen + stats.duplicated);
         let rate = stats.duplicated as f64 / stats.seen as f64;
@@ -199,7 +300,10 @@ mod tests {
 
     #[test]
     fn corruption_changes_flows_but_keeps_count() {
-        let cfg = FaultConfig { corrupt_chance: 1.0, ..FaultConfig::default() };
+        let cfg = FaultConfig {
+            corrupt_chance: 1.0,
+            ..FaultConfig::default()
+        };
         let (stats, out) = run(cfg, 1_000);
         assert_eq!(stats.corrupted, 1_000);
         assert_eq!(out.len(), 1_000);
@@ -207,7 +311,10 @@ mod tests {
         // nexthop/AS/mask/padding bytes (~1/3 of the record) do not. All
         // still decode.
         let changed = out.iter().zip(0..).filter(|(f, i)| **f != flow(*i)).count();
-        assert!((500..1000).contains(&changed), "corruption visible in {changed}/1000");
+        assert!(
+            (500..1000).contains(&changed),
+            "corruption visible in {changed}/1000"
+        );
     }
 
     #[test]
@@ -220,18 +327,82 @@ mod tests {
     }
 
     #[test]
+    fn burst_loss_arrives_in_runs() {
+        let cfg = FaultConfig {
+            burst_chance: 0.01,
+            burst_len: 8,
+            ..FaultConfig::default()
+        };
+        let (stats, out) = run(cfg, 20_000);
+        assert_eq!(stats.dropped, 0, "only burst loss configured");
+        // Expected burst loss ≈ burst_chance * burst_len per eligible flow.
+        let rate = stats.burst_dropped as f64 / stats.seen as f64;
+        assert!((0.04..0.12).contains(&rate), "burst loss rate {rate}");
+        assert_eq!(out.len() as u64, stats.seen - stats.burst_dropped);
+        // Correlation: the loss indices must contain full runs of burst_len.
+        let delivered: std::collections::HashSet<u32> =
+            out.iter().map(|f| f.src.0 - 0x0901_0000).collect();
+        let mut longest = 0u32;
+        let mut current = 0u32;
+        for i in 0..20_000u32 {
+            if delivered.contains(&i) {
+                current = 0;
+            } else {
+                current += 1;
+                longest = longest.max(current);
+            }
+        }
+        assert!(
+            longest >= 8,
+            "longest loss run {longest} shows correlated loss"
+        );
+    }
+
+    #[test]
+    fn truncation_loses_flows_and_counts_them_separately() {
+        let cfg = FaultConfig {
+            truncate_chance: 0.2,
+            ..FaultConfig::default()
+        };
+        let (stats, out) = run(cfg, 10_000);
+        let rate = stats.truncated as f64 / stats.seen as f64;
+        assert!((rate - 0.2).abs() < 0.02, "truncation rate {rate}");
+        assert_eq!(stats.dropped, 0, "truncation is not booked as drop");
+        assert_eq!(out.len() as u64, stats.seen - stats.truncated);
+    }
+
+    #[test]
     fn adverse_preset_is_lossy_but_not_fatal() {
         let (stats, out) = run(FaultConfig::adverse(), 10_000);
         assert!(stats.dropped > 1_000 && stats.dropped < 2_000);
+        assert!(stats.burst_dropped > 0, "adverse now includes burst loss");
+        assert!(stats.truncated > 0, "adverse now includes truncation");
         assert!(!out.is_empty());
-        // Deliveries = seen - dropped + duplicated-of-survivors.
-        assert_eq!(out.len() as u64, stats.seen - stats.dropped + stats.duplicated);
+        // Deliveries = seen - all losses + duplicated-of-survivors.
+        assert_eq!(
+            out.len() as u64,
+            stats.seen - stats.dropped - stats.burst_dropped - stats.truncated + stats.duplicated
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "burst_len must be positive")]
+    fn zero_length_bursts_rejected() {
+        let cfg = FaultConfig {
+            burst_chance: 0.1,
+            burst_len: 0,
+            ..FaultConfig::default()
+        };
+        let _ = FaultInjector::new(cfg, SeedTree::new(1));
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn invalid_probability_rejected() {
-        let cfg = FaultConfig { drop_chance: 1.5, ..FaultConfig::default() };
+        let cfg = FaultConfig {
+            drop_chance: 1.5,
+            ..FaultConfig::default()
+        };
         let _ = FaultInjector::new(cfg, SeedTree::new(1));
     }
 }

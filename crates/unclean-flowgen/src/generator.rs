@@ -65,7 +65,11 @@ impl<'a> FlowGenerator<'a> {
             "mail servers are a subset of servers"
         );
         assert!(!config.benign_ports.is_empty() && !config.scan_ports.is_empty());
-        FlowGenerator { observed, config, seeds }
+        FlowGenerator {
+            observed,
+            config,
+            seeds,
+        }
     }
 
     /// Address of public server `idx`.
@@ -88,10 +92,22 @@ impl<'a> FlowGenerator<'a> {
         match event.kind {
             ActivityKind::Benign { sessions } => {
                 for k in 0..sessions as u32 {
-                    let u = |label: &str| uniform_hash(&self.seeds, e ^ k.rotate_left(13), d, label);
-                    let server = index_hash(&self.seeds, e ^ k, d, "b-server", self.config.server_count as usize);
-                    let port = self.config.benign_ports
-                        [index_hash(&self.seeds, e ^ k, d, "b-port", self.config.benign_ports.len())];
+                    let u =
+                        |label: &str| uniform_hash(&self.seeds, e ^ k.rotate_left(13), d, label);
+                    let server = index_hash(
+                        &self.seeds,
+                        e ^ k,
+                        d,
+                        "b-server",
+                        self.config.server_count as usize,
+                    );
+                    let port = self.config.benign_ports[index_hash(
+                        &self.seeds,
+                        e ^ k,
+                        d,
+                        "b-port",
+                        self.config.benign_ports.len(),
+                    )];
                     let packets = 8 + (u("b-pkts") * 52.0) as u32;
                     let payload = 200 + (u("b-bytes") * 19_800.0) as u32;
                     sink(Flow {
@@ -112,7 +128,8 @@ impl<'a> FlowGenerator<'a> {
                 // One sweep: a single port, targets spread across one hour.
                 let port = self.config.scan_ports
                     [index_hash(&self.seeds, e, d, "s-port", self.config.scan_ports.len())];
-                let hour_base = day_base + (uniform_hash(&self.seeds, e, d, "s-hour") * 23.0) as i64 * 3600;
+                let hour_base =
+                    day_base + (uniform_hash(&self.seeds, e, d, "s-hour") * 23.0) as i64 * 3600;
                 for t in 0..targets as u32 {
                     let u = |label: &str| uniform_hash(&self.seeds, e ^ t.rotate_left(7), d, label);
                     let packets = 1 + (u("s-pkts") * 2.0) as u32;
@@ -135,12 +152,19 @@ impl<'a> FlowGenerator<'a> {
             ActivityKind::SlowScan { targets } => {
                 for t in 0..targets as u32 {
                     let u = |label: &str| uniform_hash(&self.seeds, e ^ t.rotate_left(7), d, label);
-                    let port = self.config.scan_ports
-                        [index_hash(&self.seeds, e ^ t, d, "ss-port", self.config.scan_ports.len())];
+                    let port = self.config.scan_ports[index_hash(
+                        &self.seeds,
+                        e ^ t,
+                        d,
+                        "ss-port",
+                        self.config.scan_ports.len(),
+                    )];
                     let per_packet = if u("ss-opts") < 0.5 { 52 } else { 40 };
                     sink(Flow {
                         src,
-                        dst: self.observed.target_addr(&self.seeds, e, d, 0x8000_0000 | t),
+                        dst: self
+                            .observed
+                            .target_addr(&self.seeds, e, d, 0x8000_0000 | t),
                         src_port: ephemeral(u("ss-sport")),
                         dst_port: port,
                         proto: proto::TCP,
@@ -159,7 +183,9 @@ impl<'a> FlowGenerator<'a> {
                     let packets = 1 + (u("p-pkts") * 2.0) as u32;
                     sink(Flow {
                         src,
-                        dst: self.observed.target_addr(&self.seeds, e, d, 0x4000_0000 | t),
+                        dst: self
+                            .observed
+                            .target_addr(&self.seeds, e, d, 0x4000_0000 | t),
                         src_port: ephemeral(u("p-sport")),
                         dst_port: ephemeral(u("p-dport")),
                         proto: proto::TCP,
@@ -176,8 +202,15 @@ impl<'a> FlowGenerator<'a> {
                 // burst never floods the pipeline.
                 let flows = (messages as u32).min(60);
                 for t in 0..flows {
-                    let u = |label: &str| uniform_hash(&self.seeds, e ^ t.rotate_left(11), d, label);
-                    let mx = index_hash(&self.seeds, e ^ t, d, "m-server", self.config.mail_server_count as usize);
+                    let u =
+                        |label: &str| uniform_hash(&self.seeds, e ^ t.rotate_left(11), d, label);
+                    let mx = index_hash(
+                        &self.seeds,
+                        e ^ t,
+                        d,
+                        "m-server",
+                        self.config.mail_server_count as usize,
+                    );
                     let packets = 10 + (u("m-pkts") * 20.0) as u32;
                     let payload = 2_000 + (u("m-bytes") * 6_000.0) as u32;
                     sink(Flow {
@@ -230,7 +263,11 @@ mod tests {
     }
 
     fn event(kind: ActivityKind) -> ActivityEvent {
-        ActivityEvent { day: Day(273), src: "9.1.2.3".parse().expect("ok"), kind }
+        ActivityEvent {
+            day: Day(273),
+            src: "9.1.2.3".parse().expect("ok"),
+            kind,
+        }
     }
 
     fn expand_all(kind: ActivityKind) -> Vec<Flow> {
@@ -271,7 +308,10 @@ mod tests {
         }
         // The 36-byte option pitfall appears in roughly half the flows.
         let padded = flows.iter().filter(|f| f.payload_estimate() > 0).count();
-        assert!(padded > 30 && padded < 120, "option padding present: {padded}");
+        assert!(
+            padded > 30 && padded < 120,
+            "option padding present: {padded}"
+        );
     }
 
     #[test]
@@ -338,7 +378,10 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_rejected() {
         let net = ObservedNetwork::paper_default();
-        let cfg = GeneratorConfig { server_count: 0, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            server_count: 0,
+            ..GeneratorConfig::default()
+        };
         let _ = FlowGenerator::new(&net, cfg, SeedTree::new(1));
     }
 }

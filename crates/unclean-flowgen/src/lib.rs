@@ -30,7 +30,7 @@ pub mod generator;
 pub mod record;
 pub mod session;
 
-pub use archive::{ArchiveError, ArchiveReader, ArchiveWriter};
+pub use archive::{ArchiveError, ArchiveReader, ArchiveTelemetry, ArchiveWriter};
 pub use collector::{CandidateCollector, FlowStore, SrcEvidence};
 pub use faults::{FaultConfig, FaultInjector, FaultStats};
 pub use generator::{FlowGenerator, GeneratorConfig};

@@ -154,7 +154,11 @@ pub fn encode_datagram(header: &V5Header, records: &[V5Record]) -> Bytes {
         "V5 datagrams carry 1..=30 records, got {}",
         records.len()
     );
-    assert_eq!(header.count as usize, records.len(), "header count mismatch");
+    assert_eq!(
+        header.count as usize,
+        records.len(),
+        "header count mismatch"
+    );
     let mut buf = BytesMut::with_capacity(V5_HEADER_LEN + records.len() * V5_RECORD_LEN);
     buf.put_u16(V5_VERSION);
     buf.put_u16(header.count);
@@ -193,7 +197,10 @@ pub fn encode_datagram(header: &V5Header, records: &[V5Record]) -> Bytes {
 /// Decode one export datagram.
 pub fn decode_datagram(mut data: &[u8]) -> Result<(V5Header, Vec<V5Record>), DecodeError> {
     if data.len() < V5_HEADER_LEN {
-        return Err(DecodeError::Truncated { needed: V5_HEADER_LEN, got: data.len() });
+        return Err(DecodeError::Truncated {
+            needed: V5_HEADER_LEN,
+            got: data.len(),
+        });
     }
     let version = data.get_u16();
     if version != V5_VERSION {
@@ -215,7 +222,10 @@ pub fn decode_datagram(mut data: &[u8]) -> Result<(V5Header, Vec<V5Record>), Dec
     };
     let needed = count as usize * V5_RECORD_LEN;
     if data.len() < needed {
-        return Err(DecodeError::Truncated { needed: V5_HEADER_LEN + needed, got: V5_HEADER_LEN + data.len() });
+        return Err(DecodeError::Truncated {
+            needed: V5_HEADER_LEN + needed,
+            got: V5_HEADER_LEN + data.len(),
+        });
     }
     let mut records = Vec::with_capacity(count as usize);
     for _ in 0..count {
@@ -336,7 +346,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(matches!(decode_datagram(&[]), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            decode_datagram(&[]),
+            Err(DecodeError::Truncated { .. })
+        ));
         assert!(matches!(
             decode_datagram(&[0u8; V5_HEADER_LEN - 1]),
             Err(DecodeError::Truncated { .. })
@@ -348,7 +361,10 @@ mod tests {
         // Count beyond payload.
         let mut bytes = encode_datagram(&header(1), &[record(0)]).to_vec();
         bytes[3] = 5;
-        assert!(matches!(decode_datagram(&bytes), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            decode_datagram(&bytes),
+            Err(DecodeError::Truncated { .. })
+        ));
         // Zero count.
         let mut bytes = encode_datagram(&header(1), &[record(0)]).to_vec();
         bytes[3] = 0;
@@ -372,6 +388,8 @@ mod tests {
     fn error_messages() {
         assert!(DecodeError::BadVersion(9).to_string().contains("version 9"));
         assert!(DecodeError::BadCount(0).to_string().contains('0'));
-        assert!(DecodeError::Truncated { needed: 24, got: 3 }.to_string().contains("24"));
+        assert!(DecodeError::Truncated { needed: 24, got: 3 }
+            .to_string()
+            .contains("24"));
     }
 }

@@ -61,7 +61,8 @@ impl Flow {
     /// of options per packet "carries" 36 bytes by this estimate while
     /// never completing a handshake.
     pub fn payload_estimate(&self) -> u32 {
-        self.octets.saturating_sub(self.packets.saturating_mul(HEADER_BYTES_PER_PACKET))
+        self.octets
+            .saturating_sub(self.packets.saturating_mul(HEADER_BYTES_PER_PACKET))
     }
 
     /// Whether the ACK flag was ever set.
@@ -192,13 +193,20 @@ mod tests {
 
     #[test]
     fn udp_is_never_payload_bearing() {
-        let f = Flow { proto: proto::UDP, ..base_flow() };
+        let f = Flow {
+            proto: proto::UDP,
+            ..base_flow()
+        };
         assert!(!f.payload_bearing());
     }
 
     #[test]
     fn payload_estimate_clamps_at_zero() {
-        let f = Flow { packets: 100, octets: 50, ..base_flow() };
+        let f = Flow {
+            packets: 100,
+            octets: 50,
+            ..base_flow()
+        };
         assert_eq!(f.payload_estimate(), 0);
     }
 
@@ -206,7 +214,10 @@ mod tests {
     fn ephemeral_detection() {
         let f = base_flow();
         assert!(!f.ephemeral_to_ephemeral(), "dst port 80 is a service");
-        let weird = Flow { dst_port: 33_001, ..f };
+        let weird = Flow {
+            dst_port: 33_001,
+            ..f
+        };
         assert!(weird.ephemeral_to_ephemeral());
     }
 
@@ -246,7 +257,10 @@ mod tests {
     fn negative_epoch_times_day() {
         // Flows before the epoch (burn-in period) still resolve to the
         // correct calendar day.
-        let f = Flow { start_secs: -1, ..base_flow() };
+        let f = Flow {
+            start_secs: -1,
+            ..base_flow()
+        };
         assert_eq!(f.day(), Day(-1));
         assert_eq!(f.second_of_day(), 86_399);
     }

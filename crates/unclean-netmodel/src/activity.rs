@@ -57,7 +57,10 @@ impl ActivityKind {
     /// Whether this activity exchanges TCP payload (drives the §6.1
     /// unknown/innocent split).
     pub fn payload_bearing(&self) -> bool {
-        matches!(self, ActivityKind::Benign { .. } | ActivityKind::Spam { .. })
+        matches!(
+            self,
+            ActivityKind::Benign { .. } | ActivityKind::Spam { .. }
+        )
     }
 }
 
@@ -84,7 +87,10 @@ pub struct BenignConfig {
 
 impl Default for BenignConfig {
     fn default() -> BenignConfig {
-        BenignConfig { base_daily: 0.30, max_daily: 0.90 }
+        BenignConfig {
+            base_daily: 0.30,
+            max_daily: 0.90,
+        }
     }
 }
 
@@ -123,7 +129,11 @@ impl ActivityModel<'_> {
         filter: impl Fn(Ip) -> bool,
         mut sink: impl FnMut(ActivityEvent),
     ) {
-        for inf in self.infections.iter().filter(|i| i.active_on(day) && filter(i.ip())) {
+        for inf in self
+            .infections
+            .iter()
+            .filter(|i| i.active_on(day) && filter(i.ip()))
+        {
             let behavior = self.tasking.behavior(&self.seeds, inf);
             self.emit_for_infection(inf, &behavior, day, &mut sink);
         }
@@ -137,27 +147,78 @@ impl ActivityModel<'_> {
         sink: &mut impl FnMut(ActivityEvent),
     ) {
         let src = inf.ip();
-        if let Some(targets) = scan_decision(&self.seeds, &self.tasking, &self.campaigns, inf, behavior, day)
-        {
-            sink(ActivityEvent { day, src, kind: ActivityKind::Scan { targets } });
+        if let Some(targets) = scan_decision(
+            &self.seeds,
+            &self.tasking,
+            &self.campaigns,
+            inf,
+            behavior,
+            day,
+        ) {
+            sink(ActivityEvent {
+                day,
+                src,
+                kind: ActivityKind::Scan { targets },
+            });
         }
         if behavior.slow_scanner
-            && decides(&self.seeds, inf.addr, day.0, "slowscan", self.tasking.slow_scan_daily)
+            && decides(
+                &self.seeds,
+                inf.addr,
+                day.0,
+                "slowscan",
+                self.tasking.slow_scan_daily,
+            )
         {
             let u = uniform_hash(&self.seeds, inf.addr, day.0, "slowscan-targets");
-            let targets = 1 + (u * (self.tasking.slow_scan_targets.saturating_sub(1)) as f64) as u16;
-            sink(ActivityEvent { day, src, kind: ActivityKind::SlowScan { targets } });
+            let targets =
+                1 + (u * (self.tasking.slow_scan_targets.saturating_sub(1)) as f64) as u16;
+            sink(ActivityEvent {
+                day,
+                src,
+                kind: ActivityKind::SlowScan { targets },
+            });
         }
-        if behavior.prober && decides(&self.seeds, inf.addr, day.0, "probe", self.tasking.probe_daily) {
-            sink(ActivityEvent { day, src, kind: ActivityKind::Probe });
+        if behavior.prober
+            && decides(
+                &self.seeds,
+                inf.addr,
+                day.0,
+                "probe",
+                self.tasking.probe_daily,
+            )
+        {
+            sink(ActivityEvent {
+                day,
+                src,
+                kind: ActivityKind::Probe,
+            });
         }
-        if behavior.spammer && decides(&self.seeds, inf.addr, day.0, "spam", self.tasking.spam_daily) {
+        if behavior.spammer
+            && decides(
+                &self.seeds,
+                inf.addr,
+                day.0,
+                "spam",
+                self.tasking.spam_daily,
+            )
+        {
             let u = uniform_hash(&self.seeds, inf.addr, day.0, "spam-volume");
             let messages = (self.tasking.spam_messages as f64 * (0.5 + u)).max(1.0) as u16;
-            sink(ActivityEvent { day, src, kind: ActivityKind::Spam { messages } });
+            sink(ActivityEvent {
+                day,
+                src,
+                kind: ActivityKind::Spam { messages },
+            });
         }
         if inf.recruited && decides(&self.seeds, inf.addr, day.0, "c2", self.tasking.c2_daily) {
-            sink(ActivityEvent { day, src, kind: ActivityKind::C2Checkin { channel: inf.channel } });
+            sink(ActivityEvent {
+                day,
+                src,
+                kind: ActivityKind::C2Checkin {
+                    channel: inf.channel,
+                },
+            });
         }
     }
 
@@ -178,7 +239,11 @@ impl ActivityModel<'_> {
                 if decides(&self.seeds, ip.raw(), day.0, "benign", p) {
                     let u = uniform_hash(&self.seeds, ip.raw(), day.0, "benign-sessions");
                     let sessions = 1 + (u * 4.0) as u8;
-                    sink(ActivityEvent { day, src: ip, kind: ActivityKind::Benign { sessions } });
+                    sink(ActivityEvent {
+                        day,
+                        src: ip,
+                        kind: ActivityKind::Benign { sessions },
+                    });
                 }
             }
         }
@@ -205,7 +270,11 @@ impl ActivityModel<'_> {
                 if decides(&self.seeds, ip.raw(), day.0, "benign", p) {
                     let u = uniform_hash(&self.seeds, ip.raw(), day.0, "benign-sessions");
                     let sessions = 1 + (u * 4.0) as u8;
-                    sink(ActivityEvent { day, src: ip, kind: ActivityKind::Benign { sessions } });
+                    sink(ActivityEvent {
+                        day,
+                        src: ip,
+                        kind: ActivityKind::Benign { sessions },
+                    });
                 }
             }
         }
@@ -243,7 +312,10 @@ mod tests {
 
     fn fixture(seed: u64) -> Fixture {
         let wcfg = WorldConfig {
-            cascade: CascadeConfig { target_hosts: 30_000, ..CascadeConfig::default() },
+            cascade: CascadeConfig {
+                target_hosts: 30_000,
+                ..CascadeConfig::default()
+            },
             ..WorldConfig::default()
         };
         let seeds = SeedTree::new(seed);
@@ -251,8 +323,13 @@ mod tests {
         let mut ccfg = CompromiseConfig::default();
         ccfg.base_hazard = calibrate_base_hazard(&world, &ccfg, 2000.0, 14.0);
         let channels = ChannelDirectory::generate(&world, &ccfg, &seeds);
-        let infections =
-            generate_infections(&world, &channels, DateRange::new(Day(0), Day(60)), &ccfg, &seeds);
+        let infections = generate_infections(
+            &world,
+            &channels,
+            DateRange::new(Day(0), Day(60)),
+            &ccfg,
+            &seeds,
+        );
         Fixture { world, infections }
     }
 
@@ -280,7 +357,11 @@ mod tests {
             .collect();
         let mut n = 0;
         m.hostile_events_on(day, |e| {
-            assert!(active.contains(&e.src.raw()), "{} is an active infection", e.src);
+            assert!(
+                active.contains(&e.src.raw()),
+                "{} is an active infection",
+                e.src
+            );
             assert_eq!(e.day, day);
             n += 1;
         });
@@ -316,7 +397,10 @@ mod tests {
                 ActivityKind::Benign { .. } => panic!("no benign in hostile stream"),
             });
         }
-        assert!(slow > scans, "slow scanning dominates fast ({slow} vs {scans})");
+        assert!(
+            slow > scans,
+            "slow scanning dominates fast ({slow} vs {scans})"
+        );
         assert!(spam > 0 && probes > 0 && c2 > 0);
     }
 
@@ -368,7 +452,11 @@ mod tests {
             }
         });
         let mut filtered_h: Vec<ActivityEvent> = Vec::new();
-        m.hostile_events_on_filtered(day, |ip| ip.raw() >> 8 == target_prefix, |e| filtered_h.push(e));
+        m.hostile_events_on_filtered(
+            day,
+            |ip| ip.raw() >> 8 == target_prefix,
+            |e| filtered_h.push(e),
+        );
         assert_eq!(full_h, filtered_h);
     }
 

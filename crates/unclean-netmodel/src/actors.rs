@@ -188,7 +188,11 @@ pub fn scan_decision(
     day: Day,
 ) -> Option<u16> {
     debug_assert!(inf.active_on(day));
-    let mut p = if behavior.fast_scanner { cfg.fast_scan_daily } else { 0.0 };
+    let mut p = if behavior.fast_scanner {
+        cfg.fast_scan_daily
+    } else {
+        0.0
+    };
     if inf.recruited {
         p += campaigns.intensity_for(inf.channel, day);
     }
@@ -206,7 +210,13 @@ mod tests {
     use super::*;
 
     fn inf(addr: u32, recruited: bool, channel: u16) -> Infection {
-        Infection { addr, start: 0, end: 400, recruited, channel }
+        Infection {
+            addr,
+            start: 0,
+            end: 400,
+            recruited,
+            channel,
+        }
     }
 
     #[test]
@@ -224,7 +234,12 @@ mod tests {
             counts[2] += b.slow_scanner as usize;
             counts[3] += b.prober as usize;
         }
-        let expect = [cfg.p_spammer, cfg.p_fast_scanner, cfg.p_slow_scanner, cfg.p_prober];
+        let expect = [
+            cfg.p_spammer,
+            cfg.p_fast_scanner,
+            cfg.p_slow_scanner,
+            cfg.p_prober,
+        ];
         for (got, want) in counts.iter().zip(expect) {
             let rate = *got as f64 / n as f64;
             assert!((rate - want).abs() < 0.02, "rate {rate} vs {want}");
@@ -237,7 +252,10 @@ mod tests {
         let cfg = TaskingConfig::default();
         for a in 0..5_000u32 {
             let b = cfg.behavior(&seeds, &inf(a, false, 0));
-            assert!(!b.spammer && !b.fast_scanner, "herder tasks need recruitment");
+            assert!(
+                !b.spammer && !b.fast_scanner,
+                "herder tasks need recruitment"
+            );
         }
     }
 
@@ -267,8 +285,22 @@ mod tests {
     fn campaigns_sum_by_channel() {
         let cs = Campaigns {
             scan: vec![
-                Campaign { channel: 0, start: Day(0), peak: Day(10), end: Day(20), peak_intensity: 0.5, decay: 0.2 },
-                Campaign { channel: 1, start: Day(0), peak: Day(10), end: Day(20), peak_intensity: 0.9, decay: 0.2 },
+                Campaign {
+                    channel: 0,
+                    start: Day(0),
+                    peak: Day(10),
+                    end: Day(20),
+                    peak_intensity: 0.5,
+                    decay: 0.2,
+                },
+                Campaign {
+                    channel: 1,
+                    start: Day(0),
+                    peak: Day(10),
+                    end: Day(20),
+                    peak_intensity: 0.9,
+                    decay: 0.2,
+                },
             ],
         };
         assert!((cs.intensity_for(0, Day(10)) - 0.5).abs() < 1e-9);
@@ -281,8 +313,18 @@ mod tests {
         let seeds = SeedTree::new(2);
         let cfg = TaskingConfig::default();
         let cs = Campaigns::default();
-        let b_scan = Behavior { spammer: false, fast_scanner: true, slow_scanner: false, prober: false };
-        let b_quiet = Behavior { spammer: false, fast_scanner: false, slow_scanner: false, prober: false };
+        let b_scan = Behavior {
+            spammer: false,
+            fast_scanner: true,
+            slow_scanner: false,
+            prober: false,
+        };
+        let b_quiet = Behavior {
+            spammer: false,
+            fast_scanner: false,
+            slow_scanner: false,
+            prober: false,
+        };
         let mut scans = 0;
         for a in 0..10_000u32 {
             let i = inf(a, false, 0);
@@ -309,7 +351,12 @@ mod tests {
                 decay: 0.1,
             }],
         };
-        let quiet = Behavior { spammer: false, fast_scanner: false, slow_scanner: false, prober: false };
+        let quiet = Behavior {
+            spammer: false,
+            fast_scanner: false,
+            slow_scanner: false,
+            prober: false,
+        };
         let mut on_channel = 0;
         let mut off_channel = 0;
         for a in 0..5_000u32 {
@@ -320,7 +367,10 @@ mod tests {
                 off_channel += 1;
             }
         }
-        assert!(on_channel > 4000, "campaign drives channel-4 bots: {on_channel}");
+        assert!(
+            on_channel > 4000,
+            "campaign drives channel-4 bots: {on_channel}"
+        );
         assert_eq!(off_channel, 0, "other channels stay quiet");
     }
 
@@ -329,10 +379,18 @@ mod tests {
         let seeds = SeedTree::new(4);
         let cfg = TaskingConfig::default();
         let cs = Campaigns::default();
-        let b = Behavior { spammer: false, fast_scanner: true, slow_scanner: false, prober: false };
+        let b = Behavior {
+            spammer: false,
+            fast_scanner: true,
+            slow_scanner: false,
+            prober: false,
+        };
         for a in 0..2_000u32 {
             if let Some(t) = scan_decision(&seeds, &cfg, &cs, &inf(a, false, 0), &b, Day(9)) {
-                assert!(t > cfg.slow_scan_targets, "fast scans outrun the slow threshold");
+                assert!(
+                    t > cfg.slow_scan_targets,
+                    "fast scans outrun the slow threshold"
+                );
             }
         }
     }

@@ -48,7 +48,9 @@ pub fn slash8_status(slash8: u8) -> Slash8Status {
 /// The allocated /8s, ascending. This is the population universe for the
 /// naive density estimator and the synthetic address cascade.
 pub fn allocated_slash8s() -> Vec<u8> {
-    (0u8..=255).filter(|&s| slash8_status(s) == Slash8Status::Allocated).collect()
+    (0u8..=255)
+        .filter(|&s| slash8_status(s) == Slash8Status::Allocated)
+        .collect()
 }
 
 /// The number of allocated /8s.
@@ -73,7 +75,9 @@ mod tests {
     #[test]
     fn known_allocations() {
         // Legacy class A holders and RIR space present in 2006.
-        for s in [3u8, 4, 9, 12, 17, 18, 24, 58, 62, 64, 80, 121, 126, 128, 160, 172, 192, 204, 218, 222] {
+        for s in [
+            3u8, 4, 9, 12, 17, 18, 24, 58, 62, 64, 80, 121, 126, 128, 160, 172, 192, 204, 218, 222,
+        ] {
             assert_eq!(slash8_status(s), Slash8Status::Allocated, "{s}/8");
         }
     }
@@ -92,7 +96,9 @@ mod tests {
         let list = allocated_slash8s();
         assert!(list.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(list.len(), allocated_count());
-        assert!(list.iter().all(|&s| slash8_status(s) == Slash8Status::Allocated));
+        assert!(list
+            .iter()
+            .all(|&s| slash8_status(s) == Slash8Status::Allocated));
         // The 2006 Internet had well over 100 but under 180 populated /8s.
         assert!(
             (100..180).contains(&list.len()),

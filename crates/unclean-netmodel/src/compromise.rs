@@ -173,7 +173,10 @@ impl ChannelDirectory {
             cum.push(acc);
             homes.push(slash8s[rng.gen_range(0..slash8s.len())]);
         }
-        ChannelDirectory { cum_weights: cum, homes }
+        ChannelDirectory {
+            cum_weights: cum,
+            homes,
+        }
     }
 
     /// Number of channels.
@@ -205,14 +208,18 @@ impl ChannelDirectory {
     pub fn by_popularity(&self) -> Vec<u16> {
         let mut order: Vec<u16> = (0..self.homes.len() as u16).collect();
         order.sort_by(|&a, &b| {
-            self.weight(b).partial_cmp(&self.weight(a)).expect("finite weights")
+            self.weight(b)
+                .partial_cmp(&self.weight(a))
+                .expect("finite weights")
         });
         order
     }
 
     /// Channels homed in the given /8.
     pub fn homed_in(&self, slash8: u8) -> Vec<u16> {
-        (0..self.homes.len() as u16).filter(|&c| self.homes[c as usize] == slash8).collect()
+        (0..self.homes.len() as u16)
+            .filter(|&c| self.homes[c as usize] == slash8)
+            .collect()
     }
 
     /// Pick a channel for a new recruit at `addr`.
@@ -269,7 +276,13 @@ pub fn generate_infections(
             } else {
                 0
             };
-            infections.push(Infection { addr, start, end, recruited, channel });
+            infections.push(Infection {
+                addr,
+                start,
+                end,
+                recruited,
+                channel,
+            });
         }
     }
     infections.sort_by_key(|inf| (inf.start, inf.addr));
@@ -289,7 +302,10 @@ mod tests {
 
     fn world(seed: u64) -> World {
         let cfg = WorldConfig {
-            cascade: CascadeConfig { target_hosts: 30_000, ..CascadeConfig::default() },
+            cascade: CascadeConfig {
+                target_hosts: 30_000,
+                ..CascadeConfig::default()
+            },
             ..WorldConfig::default()
         };
         World::generate(&cfg, &SeedTree::new(seed))
@@ -314,7 +330,10 @@ mod tests {
         let target = 1500.0;
         cfg.base_hazard = calibrate_base_hazard(&w, &cfg, target, 14.0);
         let expected = expected_active_in_window(&w, &cfg, 14.0);
-        assert!((expected - target).abs() < 1e-6, "calibrated expectation {expected}");
+        assert!(
+            (expected - target).abs() < 1e-6,
+            "calibrated expectation {expected}"
+        );
 
         // And the realized count is in the right ballpark.
         let channels = ChannelDirectory::generate(&w, &cfg, &SeedTree::new(1));
@@ -339,11 +358,15 @@ mod tests {
         // mean.
         let mut infected_h = 0.0;
         for inf in &infections {
-            let p = w.profile_of(inf.ip()).expect("infected hosts are in population");
+            let p = w
+                .profile_of(inf.ip())
+                .expect("infected hosts are in population");
             infected_h += p.hygiene as f64;
         }
         infected_h /= infections.len() as f64;
-        let world_h: f64 = (0..w.network_count()).map(|i| w.profile(i).hygiene as f64).sum::<f64>()
+        let world_h: f64 = (0..w.network_count())
+            .map(|i| w.profile(i).hygiene as f64)
+            .sum::<f64>()
             / w.network_count() as f64;
         assert!(
             infected_h < world_h - 0.15,
@@ -381,7 +404,13 @@ mod tests {
 
     #[test]
     fn active_on_filters_correctly() {
-        let inf = Infection { addr: 1, start: 10, end: 20, recruited: false, channel: 0 };
+        let inf = Infection {
+            addr: 1,
+            start: 10,
+            end: 20,
+            recruited: false,
+            channel: 0,
+        };
         assert!(inf.active_on(Day(10)));
         assert!(inf.active_on(Day(20)));
         assert!(!inf.active_on(Day(9)));
@@ -390,7 +419,13 @@ mod tests {
         assert!(!inf.overlaps(&DateRange::new(Day(21), Day(30))));
         let list = vec![
             inf,
-            Infection { addr: 2, start: 15, end: 16, recruited: false, channel: 0 },
+            Infection {
+                addr: 2,
+                start: 15,
+                end: 16,
+                recruited: false,
+                channel: 0,
+            },
         ];
         assert_eq!(active_on(&list, Day(15)).count(), 2);
         assert_eq!(active_on(&list, Day(18)).count(), 1);
@@ -421,7 +456,10 @@ mod tests {
         let infections = generate_infections(&w, &channels, span(), &cfg, &SeedTree::new(5));
         let recruited = infections.iter().filter(|i| i.recruited).count();
         let frac = recruited as f64 / infections.len() as f64;
-        assert!((frac - cfg.recruit_prob).abs() < 0.05, "recruit fraction {frac}");
+        assert!(
+            (frac - cfg.recruit_prob).abs() < 0.05,
+            "recruit fraction {frac}"
+        );
         // Channel locality: most recruits join a channel homed in their /8
         // when one exists.
         let mut local = 0;

@@ -212,7 +212,11 @@ mod tests {
         assert!(d.block_counts[2] < d.block_counts[1] * 64);
         assert!(d.block_counts[0] < d.block_counts[1]);
         // The unclean tail exists but is a minority.
-        assert!(d.unclean_fraction > 0.01 && d.unclean_fraction < 0.25, "{}", d.unclean_fraction);
+        assert!(
+            d.unclean_fraction > 0.01 && d.unclean_fraction < 0.25,
+            "{}",
+            d.unclean_fraction
+        );
         // Audience is narrow.
         assert!(d.audience_fraction < 0.25);
         // Exposure is heavy-tailed around mean 1.
@@ -233,14 +237,13 @@ mod tests {
         assert!(d.duration_days.median >= 2.0);
         assert!(d.duration_days.max > 60.0);
         // Concentration: infected networks are much dirtier than average.
-        assert!(d.mean_infected_hygiene < 0.45, "{}", d.mean_infected_hygiene);
+        assert!(
+            d.mean_infected_hygiene < 0.45,
+            "{}",
+            d.mean_infected_hygiene
+        );
         // Burstiness: some /24s carry many infections.
-        let multi: u64 = d
-            .per_block_histogram
-            .iter()
-            .skip(1)
-            .map(|(_, c)| *c)
-            .sum();
+        let multi: u64 = d.per_block_histogram.iter().skip(1).map(|(_, c)| *c).sum();
         assert!(multi > 0, "some blocks are hit repeatedly");
         let text = d.render();
         assert!(text.contains("infections per /24"));

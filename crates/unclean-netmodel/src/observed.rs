@@ -46,7 +46,10 @@ impl ObservedNetwork {
 
     /// A custom observed network.
     pub fn new(blocks: Vec<Cidr>) -> ObservedNetwork {
-        assert!(!blocks.is_empty(), "observed network needs at least one block");
+        assert!(
+            !blocks.is_empty(),
+            "observed network needs at least one block"
+        );
         ObservedNetwork { blocks }
     }
 

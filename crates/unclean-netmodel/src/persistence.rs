@@ -39,7 +39,10 @@ impl BlockTimeline {
 
     /// Total unclean days.
     pub fn unclean_days(&self) -> u32 {
-        self.intervals.iter().map(|&(s, e)| (e - s + 1) as u32).sum()
+        self.intervals
+            .iter()
+            .map(|&(s, e)| (e - s + 1) as u32)
+            .sum()
     }
 }
 
@@ -56,7 +59,10 @@ impl UncleanTimelines {
     pub fn build(infections: &[Infection]) -> UncleanTimelines {
         let mut per_block: HashMap<u32, Vec<(i32, i32)>> = HashMap::new();
         for inf in infections {
-            per_block.entry(inf.addr >> 8).or_default().push((inf.start, inf.end));
+            per_block
+                .entry(inf.addr >> 8)
+                .or_default()
+                .push((inf.start, inf.end));
         }
         let timelines = per_block
             .into_iter()
@@ -112,7 +118,11 @@ impl UncleanTimelines {
                     day = day + stride as i32;
                 }
             }
-            let s = if at_risk == 0 { 0.0 } else { survived as f64 / at_risk as f64 };
+            let s = if at_risk == 0 {
+                0.0
+            } else {
+                survived as f64 / at_risk as f64
+            };
             results.push((lag, s));
         }
         results
@@ -124,7 +134,13 @@ mod tests {
     use super::*;
 
     fn inf(addr: u32, start: i32, end: i32) -> Infection {
-        Infection { addr, start, end, recruited: false, channel: 0 }
+        Infection {
+            addr,
+            start,
+            end,
+            recruited: false,
+            channel: 0,
+        }
     }
 
     #[test]
@@ -174,7 +190,10 @@ mod tests {
         let s = t.survival(DateRange::new(Day(0), Day(150)), 1, &[0, 7, 30, 60]);
         assert_eq!(s[0].1, 1.0, "zero lag is identity");
         assert!(s[1].1 > s[2].1, "7-day survival beats 30-day");
-        assert!(s[2].1 < 0.2, "30-day lag outlives the 30-day infections rarely");
+        assert!(
+            s[2].1 < 0.2,
+            "30-day lag outlives the 30-day infections rarely"
+        );
         assert!(s[3].1 < s[2].1 + 1e-9);
     }
 
@@ -182,10 +201,7 @@ mod tests {
     fn survival_counts_reinfection_as_survival() {
         // Unclean at day 0-10 and again 50-60: a 50-day lag from day 0-10
         // lands in the second interval.
-        let t = UncleanTimelines::build(&[
-            inf(0x0901_0101, 0, 10),
-            inf(0x0901_0102, 50, 60),
-        ]);
+        let t = UncleanTimelines::build(&[inf(0x0901_0101, 0, 10), inf(0x0901_0102, 50, 60)]);
         let s = t.survival(DateRange::new(Day(0), Day(10)), 1, &[50]);
         assert_eq!(s[0].1, 1.0);
     }
@@ -207,9 +223,17 @@ mod tests {
         let window = DateRange::new(Day(0), Day(120));
         let curve = t.survival(window, 7, &[7, 30, 90, 150]);
         let get = |lag: u32| curve.iter().find(|(l, _)| *l == lag).expect("present").1;
-        assert!(get(7) > 0.5, "a week later most unclean /24s are still unclean: {}", get(7));
+        assert!(
+            get(7) > 0.5,
+            "a week later most unclean /24s are still unclean: {}",
+            get(7)
+        );
         assert!(get(30) > 0.3, "30-day persistence: {}", get(30));
-        assert!(get(150) > 0.1, "five-month persistence is what makes bot-test work: {}", get(150));
+        assert!(
+            get(150) > 0.1,
+            "five-month persistence is what makes bot-test work: {}",
+            get(150)
+        );
         assert!(get(7) >= get(30) && get(30) >= get(150), "monotone decay");
     }
 }

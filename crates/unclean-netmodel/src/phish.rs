@@ -43,7 +43,8 @@ impl PhishSite {
 
     /// Whether the site was reported within a date range.
     pub fn reported_in(&self, range: &DateRange) -> bool {
-        self.reported.is_some_and(|r| range.start.0 <= r && r <= range.end.0)
+        self.reported
+            .is_some_and(|r| range.start.0 <= r && r <= range.end.0)
     }
 }
 
@@ -155,7 +156,12 @@ pub fn generate_phish(
         } else {
             None
         };
-        sites.push(PhishSite { addr, start, end, reported });
+        sites.push(PhishSite {
+            addr,
+            start,
+            end,
+            reported,
+        });
     }
     sites.sort_by_key(|s| (s.start, s.addr));
     sites
@@ -181,7 +187,10 @@ mod tests {
 
     fn world(seed: u64) -> World {
         let cfg = WorldConfig {
-            cascade: CascadeConfig { target_hosts: 60_000, ..CascadeConfig::default() },
+            cascade: CascadeConfig {
+                target_hosts: 60_000,
+                ..CascadeConfig::default()
+            },
             datacenter_fraction: 0.06,
             ..WorldConfig::default()
         };
@@ -206,7 +215,10 @@ mod tests {
     #[test]
     fn volume_tracks_rate() {
         let w = world(2);
-        let cfg = PhishConfig { sites_per_day: 10.0, ..PhishConfig::default() };
+        let cfg = PhishConfig {
+            sites_per_day: 10.0,
+            ..PhishConfig::default()
+        };
         let sites = generate_phish(&w, span(), &cfg, &SeedTree::new(2));
         let expected = 10.0 * span().len_days() as f64;
         assert!(
@@ -237,7 +249,10 @@ mod tests {
         // site *addresses* stay reasonably distinct (fresh vhosts). Run at
         // a site rate proportionate to this tiny world's hosting capacity.
         let w = world(4);
-        let cfg = PhishConfig { sites_per_day: 8.0, ..PhishConfig::default() };
+        let cfg = PhishConfig {
+            sites_per_day: 8.0,
+            ..PhishConfig::default()
+        };
         let sites = generate_phish(&w, span(), &cfg, &SeedTree::new(4));
         use std::collections::HashMap;
         let mut per_provider: HashMap<u32, usize> = HashMap::new();
@@ -273,8 +288,16 @@ mod tests {
         let sites = generate_phish(&w, span(), &PhishConfig::default(), &SeedTree::new(5));
         let mid = 90;
         use std::collections::HashSet;
-        let early: HashSet<u32> = sites.iter().filter(|s| s.start < mid).map(|s| s.addr >> 8).collect();
-        let late: HashSet<u32> = sites.iter().filter(|s| s.start >= mid).map(|s| s.addr >> 8).collect();
+        let early: HashSet<u32> = sites
+            .iter()
+            .filter(|s| s.start < mid)
+            .map(|s| s.addr >> 8)
+            .collect();
+        let late: HashSet<u32> = sites
+            .iter()
+            .filter(|s| s.start >= mid)
+            .map(|s| s.addr >> 8)
+            .collect();
         let overlap = early.intersection(&late).count();
         assert!(
             overlap * 4 > late.len(),
@@ -286,10 +309,30 @@ mod tests {
     #[test]
     fn reported_addrs_filters_by_window() {
         let sites = vec![
-            PhishSite { addr: 5, start: 0, end: 30, reported: Some(10) },
-            PhishSite { addr: 6, start: 0, end: 30, reported: Some(50) },
-            PhishSite { addr: 5, start: 40, end: 60, reported: Some(45) },
-            PhishSite { addr: 7, start: 0, end: 30, reported: None },
+            PhishSite {
+                addr: 5,
+                start: 0,
+                end: 30,
+                reported: Some(10),
+            },
+            PhishSite {
+                addr: 6,
+                start: 0,
+                end: 30,
+                reported: Some(50),
+            },
+            PhishSite {
+                addr: 5,
+                start: 40,
+                end: 60,
+                reported: Some(45),
+            },
+            PhishSite {
+                addr: 7,
+                start: 0,
+                end: 30,
+                reported: None,
+            },
         ];
         let w = DateRange::new(Day(0), Day(20));
         assert_eq!(reported_addrs(&sites, &w), vec![5]);

@@ -91,7 +91,9 @@ impl BlockView<'_> {
 
     /// Iterate the full addresses in this block.
     pub fn addrs(&self) -> impl Iterator<Item = Ip> + '_ {
-        self.hosts.iter().map(|&h| Ip((self.prefix << 8) | h as u32))
+        self.hosts
+            .iter()
+            .map(|&h| Ip((self.prefix << 8) | h as u32))
     }
 }
 
@@ -107,7 +109,10 @@ impl Population {
 
         // Level 1: /8 shares.
         let mut rng8 = seeds.stream("cascade-slash8");
-        let w8: Vec<f64> = slash8s.iter().map(|_| pareto(&mut rng8, cfg.slash8_alpha)).collect();
+        let w8: Vec<f64> = slash8s
+            .iter()
+            .map(|_| pareto(&mut rng8, cfg.slash8_alpha))
+            .collect();
         let total_w8: f64 = w8.iter().sum();
 
         let mut prefixes = Vec::new();
@@ -120,10 +125,22 @@ impl Population {
                 continue;
             }
             let mut rng = seeds.child("cascade-slash16").stream_idx(s8 as u64);
-            Self::fill_slash8(cfg, s8, t8, &mut rng, &mut prefixes, &mut offsets, &mut hosts);
+            Self::fill_slash8(
+                cfg,
+                s8,
+                t8,
+                &mut rng,
+                &mut prefixes,
+                &mut offsets,
+                &mut hosts,
+            );
         }
         debug_assert!(prefixes.windows(2).all(|w| w[0] < w[1]));
-        Population { prefixes, offsets, hosts }
+        Population {
+            prefixes,
+            offsets,
+            hosts,
+        }
     }
 
     fn fill_slash8(
@@ -139,7 +156,10 @@ impl Population {
         let per16 = cfg.mean_slash24s_per_slash16 * cfg.mean_hosts_per_slash24;
         let k16 = ((t8 / per16).ceil() as usize).clamp(1, 256);
         let picks16 = sample_indices(rng, 256, k16);
-        let w16: Vec<f64> = picks16.iter().map(|_| pareto(rng, cfg.slash16_alpha)).collect();
+        let w16: Vec<f64> = picks16
+            .iter()
+            .map(|_| pareto(rng, cfg.slash16_alpha))
+            .collect();
         let total_w16: f64 = w16.iter().sum();
 
         for (j, &o16) in picks16.iter().enumerate() {
@@ -150,7 +170,10 @@ impl Population {
             // Level 3: choose active /24s.
             let k24 = ((t16 / cfg.mean_hosts_per_slash24).ceil() as usize).clamp(1, 256);
             let picks24 = sample_indices(rng, 256, k24);
-            let w24: Vec<f64> = picks24.iter().map(|_| pareto(rng, cfg.slash24_alpha)).collect();
+            let w24: Vec<f64> = picks24
+                .iter()
+                .map(|_| pareto(rng, cfg.slash24_alpha))
+                .collect();
             let total_w24: f64 = w24.iter().sum();
 
             for (l, &o24) in picks24.iter().enumerate() {
@@ -275,7 +298,10 @@ mod tests {
             assert!(b.hosts.iter().all(|&h| (1..=254).contains(&h)));
             assert!(b.hosts.len() <= 254);
         }
-        assert_eq!(p.blocks().map(|b| b.hosts.len()).sum::<usize>(), p.total_hosts());
+        assert_eq!(
+            p.blocks().map(|b| b.hosts.len()).sum::<usize>(),
+            p.total_hosts()
+        );
     }
 
     #[test]
@@ -342,7 +368,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty population")]
     fn zero_target_panics() {
-        let cfg = CascadeConfig { target_hosts: 0, ..CascadeConfig::default() };
+        let cfg = CascadeConfig {
+            target_hosts: 0,
+            ..CascadeConfig::default()
+        };
         let _ = Population::generate(&cfg, &SeedTree::new(1));
     }
 
@@ -358,7 +387,10 @@ mod tests {
 
     #[test]
     fn scales_to_larger_targets() {
-        let cfg = CascadeConfig { target_hosts: 500_000, ..CascadeConfig::default() };
+        let cfg = CascadeConfig {
+            target_hosts: 500_000,
+            ..CascadeConfig::default()
+        };
         let p = Population::generate(&cfg, &SeedTree::new(9));
         assert!(p.total_hosts() > 250_000);
         assert!(p.block_count() > 10_000);

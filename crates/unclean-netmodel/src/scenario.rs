@@ -113,7 +113,10 @@ impl ScenarioConfig {
     /// The paper's inventory at a given scale. `scale = 1.0` is the full
     /// 47M-address control; `scale = 0.01` runs in seconds.
     pub fn at_scale(scale: f64, seed: u64) -> ScenarioConfig {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
         let s = |v: usize| ((v as f64 * scale).round() as usize).max(32);
         ScenarioConfig {
             seed,
@@ -325,7 +328,10 @@ fn closest_remote_channel(
     let max_channel = infections.iter().map(|i| i.channel).max().unwrap_or(0) as usize;
     let mut counts = vec![0usize; max_channel + 1];
     let mut audience = vec![0usize; max_channel + 1];
-    for inf in infections.iter().filter(|i| i.recruited && i.active_on(day)) {
+    for inf in infections
+        .iter()
+        .filter(|i| i.recruited && i.active_on(day))
+    {
         counts[inf.channel as usize] += 1;
         if world.profile_of(inf.ip()).is_some_and(|p| p.is_audience()) {
             audience[inf.channel as usize] += 1;
@@ -339,7 +345,11 @@ fn closest_remote_channel(
         // Audience members dominate the score outright — a channel with
         // any business-partner presence is the wrong analogue for the
         // paper's Turkish botnet; size closeness only breaks ties.
-        let size_score = if n >= target { n - target } else { (target - n) * 4 };
+        let size_score = if n >= target {
+            n - target
+        } else {
+            (target - n) * 4
+        };
         let score = audience[c] * 100_000 + size_score;
         if best.is_none() || score < best.expect("checked").1 {
             best = Some((c as u16, score));
@@ -351,7 +361,10 @@ fn closest_remote_channel(
 fn channel_counts(infections: &[Infection], day: Day) -> Vec<usize> {
     let max_channel = infections.iter().map(|i| i.channel).max().unwrap_or(0) as usize;
     let mut counts = vec![0usize; max_channel + 1];
-    for i in infections.iter().filter(|i| i.recruited && i.active_on(day)) {
+    for i in infections
+        .iter()
+        .filter(|i| i.recruited && i.active_on(day))
+    {
         counts[i.channel as usize] += 1;
     }
     counts
@@ -383,8 +396,14 @@ mod tests {
     #[test]
     fn config_scaling() {
         let c = ScenarioConfig::at_scale(0.01, 1);
-        assert_eq!(c.control_target, (paper_sizes::CONTROL as f64 * 0.01).round() as usize);
-        assert_eq!(c.bot_target, (paper_sizes::BOT as f64 * 0.01).round() as usize);
+        assert_eq!(
+            c.control_target,
+            (paper_sizes::CONTROL as f64 * 0.01).round() as usize
+        );
+        assert_eq!(
+            c.bot_target,
+            (paper_sizes::BOT as f64 * 0.01).round() as usize
+        );
     }
 
     #[test]

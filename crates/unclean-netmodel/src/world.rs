@@ -171,9 +171,11 @@ impl World {
         let raw_exposure: Vec<f64> = (0..population.block_count())
             .map(|_| crate::randutil::pareto(&mut rng_exp, cfg.exposure_alpha))
             .collect();
-        let mean_exp =
-            raw_exposure.iter().sum::<f64>() / raw_exposure.len().max(1) as f64;
-        let block_exposure = raw_exposure.iter().map(|&e| (e / mean_exp) as f32).collect();
+        let mean_exp = raw_exposure.iter().sum::<f64>() / raw_exposure.len().max(1) as f64;
+        let block_exposure = raw_exposure
+            .iter()
+            .map(|&e| (e / mean_exp) as f32)
+            .collect();
 
         World {
             population,
@@ -237,7 +239,8 @@ impl World {
 
     /// Iterate blocks together with their hygiene.
     pub fn blocks_with_hygiene(&self) -> impl Iterator<Item = (BlockView<'_>, f32)> {
-        (0..self.population.block_count()).map(move |i| (self.population.block(i), self.block_hygiene[i]))
+        (0..self.population.block_count())
+            .map(move |i| (self.population.block(i), self.block_hygiene[i]))
     }
 
     /// Indices of datacenter blocks (phishing hosting candidates).
@@ -254,7 +257,10 @@ mod tests {
 
     fn small_world(seed: u64) -> World {
         let cfg = WorldConfig {
-            cascade: CascadeConfig { target_hosts: 40_000, ..CascadeConfig::default() },
+            cascade: CascadeConfig {
+                target_hosts: 40_000,
+                ..CascadeConfig::default()
+            },
             ..WorldConfig::default()
         };
         World::generate(&cfg, &SeedTree::new(seed))
@@ -283,7 +289,9 @@ mod tests {
     #[test]
     fn hygiene_is_skewed_clean_with_unclean_tail() {
         let w = small_world(3);
-        let hygienes: Vec<f32> = (0..w.network_count()).map(|i| w.profile(i).hygiene).collect();
+        let hygienes: Vec<f32> = (0..w.network_count())
+            .map(|i| w.profile(i).hygiene)
+            .collect();
         let n = hygienes.len() as f64;
         let clean = hygienes.iter().filter(|&&h| h > 0.7).count() as f64 / n;
         let filthy = hygienes.iter().filter(|&&h| h < 0.25).count() as f64 / n;

@@ -52,7 +52,10 @@ pub fn bootstrap_ci<T: Copy>(
 ) -> ConfidenceInterval {
     assert!(!data.is_empty(), "cannot bootstrap an empty sample");
     assert!(resamples > 0, "need at least one resample");
-    assert!((0.5..1.0).contains(&level), "confidence level {level} out of (0.5, 1.0)");
+    assert!(
+        (0.5..1.0).contains(&level),
+        "confidence level {level} out of (0.5, 1.0)"
+    );
     let estimate = statistic(data);
     assert!(estimate.is_finite(), "statistic must be finite on the data");
 

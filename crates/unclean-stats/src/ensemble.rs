@@ -53,7 +53,10 @@ impl Ensemble {
 
     /// The raw trial values for an x-axis *value* (not index).
     pub fn samples_for(&self, x: u32) -> Option<&[f64]> {
-        self.xs.iter().position(|&v| v == x).map(|i| self.samples[i].as_slice())
+        self.xs
+            .iter()
+            .position(|&v| v == x)
+            .map(|i| self.samples[i].as_slice())
     }
 
     /// Boxplot summaries per x position, in x order.
@@ -61,7 +64,12 @@ impl Ensemble {
         self.xs
             .iter()
             .zip(&self.samples)
-            .map(|(&x, s)| (x, FiveNumber::of(s).expect("ensembles are non-empty and finite")))
+            .map(|(&x, s)| {
+                (
+                    x,
+                    FiveNumber::of(s).expect("ensembles are non-empty and finite"),
+                )
+            })
             .collect()
     }
 
@@ -171,7 +179,10 @@ mod tests {
         assert_eq!(e.xs(), &[16, 17, 18]);
         assert_eq!(e.trials(), 5);
         assert_eq!(e.samples_at(0), &[160.0, 161.0, 162.0, 163.0, 164.0]);
-        assert_eq!(e.samples_for(18).expect("x exists"), &[180.0, 181.0, 182.0, 183.0, 184.0]);
+        assert_eq!(
+            e.samples_for(18).expect("x exists"),
+            &[180.0, 181.0, 182.0, 183.0, 184.0]
+        );
         assert!(e.samples_for(99).is_none());
     }
 
@@ -180,10 +191,16 @@ mod tests {
         let seeds = SeedTree::new(99);
         let trial = |_idx: usize, rng: &mut ChaCha8Rng, xs: &[u32]| {
             use rand::Rng;
-            xs.iter().map(|&x| x as f64 + rng.gen_range(0.0..1.0)).collect::<Vec<_>>()
+            xs.iter()
+                .map(|&x| x as f64 + rng.gen_range(0.0..1.0))
+                .collect::<Vec<_>>()
         };
-        let serial = EnsembleBuilder::new(vec![1, 2, 3, 4], 17).threads(1).run(&seeds, trial);
-        let parallel = EnsembleBuilder::new(vec![1, 2, 3, 4], 17).threads(8).run(&seeds, trial);
+        let serial = EnsembleBuilder::new(vec![1, 2, 3, 4], 17)
+            .threads(1)
+            .run(&seeds, trial);
+        let parallel = EnsembleBuilder::new(vec![1, 2, 3, 4], 17)
+            .threads(8)
+            .run(&seeds, trial);
         assert_eq!(serial, parallel);
     }
 

@@ -23,7 +23,10 @@ impl Histogram {
     /// Panics if `bins == 0` or the range is empty/non-finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         Histogram {
             lo,
             hi,
@@ -140,7 +143,10 @@ mod tests {
         let mut h = Histogram::new(0.0, 2.0, 2);
         h.extend([0.5, 0.6, 1.5]);
         let s = h.render(10);
-        assert!(s.contains("##########"), "fullest bin renders at full width:\n{s}");
+        assert!(
+            s.contains("##########"),
+            "fullest bin renders at full width:\n{s}"
+        );
         assert_eq!(s.lines().count(), 2);
     }
 }

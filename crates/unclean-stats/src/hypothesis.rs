@@ -175,10 +175,7 @@ mod tests {
     #[test]
     fn better_band_finds_longest_run() {
         let samples: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let e = Ensemble::from_parts(
-            vec![16, 17, 18, 19, 20, 21],
-            vec![samples.clone(); 6],
-        );
+        let e = Ensemble::from_parts(vec![16, 17, 18, 19, 20, 21], vec![samples.clone(); 6]);
         // Better at 17, and at 19-21 (longest run).
         let obs = [0.0, 99.0, 0.0, 99.0, 99.0, 99.0];
         let t = ExceedanceTest::run(&e, &obs, 0.95);

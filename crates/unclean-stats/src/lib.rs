@@ -39,8 +39,8 @@ pub mod histogram;
 pub mod hypothesis;
 pub mod quantile;
 pub mod rank;
-pub mod roc;
 pub mod rng;
+pub mod roc;
 pub mod summary;
 
 pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, bootstrap_proportion_ci, ConfidenceInterval};
@@ -49,6 +49,6 @@ pub use histogram::Histogram;
 pub use hypothesis::{exceedance_fraction, ExceedanceTest, Verdict};
 pub use quantile::{quantile_sorted, Quantile};
 pub use rank::{midranks, spearman};
-pub use roc::{auc, RocCurve, RocPoint};
 pub use rng::SeedTree;
+pub use roc::{auc, RocCurve, RocPoint};
 pub use summary::{FiveNumber, Summary};

@@ -50,7 +50,12 @@ impl SeedTree {
     /// Derive an indexed child tree (for per-trial streams).
     pub fn child_idx(&self, index: u64) -> SeedTree {
         SeedTree {
-            state: splitmix64(self.state.wrapping_add(0x632b_e593_04b4_b0c7).wrapping_mul(index | 1) ^ index),
+            state: splitmix64(
+                self.state
+                    .wrapping_add(0x632b_e593_04b4_b0c7)
+                    .wrapping_mul(index | 1)
+                    ^ index,
+            ),
         }
     }
 
@@ -137,7 +142,10 @@ mod tests {
         let t = SeedTree::new(7);
         assert_ne!(t.stream("x").next_u64(), t.stream("y").next_u64());
         assert_ne!(t.stream_idx(0).next_u64(), t.stream_idx(1).next_u64());
-        assert_ne!(SeedTree::new(7).rng().next_u64(), SeedTree::new(8).rng().next_u64());
+        assert_ne!(
+            SeedTree::new(7).rng().next_u64(),
+            SeedTree::new(8).rng().next_u64()
+        );
     }
 
     #[test]

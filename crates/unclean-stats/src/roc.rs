@@ -157,8 +157,8 @@ mod tests {
     #[test]
     fn first_reaching_precision_scans_upward() {
         let c = RocCurve::new(vec![
-            point(24, 287, 35, 300, 40),  // precision ~0.89
-            point(26, 81, 1, 300, 40),    // precision ~0.99
+            point(24, 287, 35, 300, 40), // precision ~0.89
+            point(26, 81, 1, 300, 40),   // precision ~0.99
         ]);
         let hit = c.first_reaching_precision(0.95).expect("26 qualifies");
         assert_eq!(hit.characteristic, 26);

@@ -33,9 +33,18 @@ fn main() {
         "\ncandidate traffic in those /24s during {}:",
         scenario.dates.unclean_window
     );
-    println!("  hostile  (in an unclean report)   : {}", partition.hostile.len());
-    println!("  unknown  (no payload, no report)  : {}", partition.unknown.len());
-    println!("  innocent (payload, no report)     : {}", partition.innocent.len());
+    println!(
+        "  hostile  (in an unclean report)   : {}",
+        partition.hostile.len()
+    );
+    println!(
+        "  unknown  (no payload, no report)  : {}",
+        partition.unknown.len()
+    );
+    println!(
+        "  innocent (payload, no report)     : {}",
+        partition.innocent.len()
+    );
 
     // Table 3.
     let table = BlockingAnalysis::default().run(reports.bot_test.addresses(), &partition);
@@ -44,8 +53,15 @@ fn main() {
     println!(
         "{}",
         row(
-            &["n".into(), "TP(n)".into(), "FP(n)".into(), "pop(n)".into(),
-              "unknown".into(), "precision".into(), "w/ unknowns".into()],
+            &[
+                "n".into(),
+                "TP(n)".into(),
+                "FP(n)".into(),
+                "pop(n)".into(),
+                "unknown".into(),
+                "precision".into(),
+                "w/ unknowns".into()
+            ],
             &widths
         )
     );
@@ -84,11 +100,17 @@ fn main() {
     // Emit the deny list in deployable form.
     let cidrs = reports.bot_test.blocks(24).to_cidrs();
     let acl = render_blocklist(&cidrs, BlocklistFormat::CiscoAcl, "UNCLEAN-24S");
-    println!("\n-- recommended deny list (Cisco ACL, first 15 of {} entries) --", blocks24);
+    println!(
+        "\n-- recommended deny list (Cisco ACL, first 15 of {} entries) --",
+        blocks24
+    );
     for line in acl.lines().take(16) {
         println!("  {line}");
     }
     if blocks24 > 15 {
-        println!("  … ({} more; also available as plain/iptables via unclean_core::blocklist)", blocks24 - 15);
+        println!(
+            "  … ({} more; also available as plain/iptables via unclean_core::blocklist)",
+            blocks24 - 15
+        );
     }
 }

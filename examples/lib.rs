@@ -17,7 +17,11 @@ pub struct ExampleOpts {
 
 impl Default for ExampleOpts {
     fn default() -> ExampleOpts {
-        ExampleOpts { scale: 0.002, seed: 42, trials: 200 }
+        ExampleOpts {
+            scale: 0.002,
+            seed: 42,
+            trials: 200,
+        }
     }
 }
 
@@ -79,7 +83,11 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
 
 /// Render a rule matching the table width.
 pub fn rule(widths: &[usize]) -> String {
-    widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("--")
+    widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("--")
 }
 
 /// Render a simple horizontal bar for ASCII charts.

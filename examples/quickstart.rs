@@ -13,7 +13,10 @@ use unclean_stats::SeedTree;
 fn main() {
     let opts = ExampleOpts::from_args();
     println!("== uncleanliness quickstart ==");
-    println!("scale {} | seed {} | trials {}\n", opts.scale, opts.seed, opts.trials);
+    println!(
+        "scale {} | seed {} | trials {}\n",
+        opts.scale, opts.seed, opts.trials
+    );
 
     // 1. Synthesize the world and run the full detection pipeline.
     let scenario = opts.scenario();
@@ -31,7 +34,13 @@ fn main() {
     println!(
         "{}",
         row(
-            &["tag".into(), "type".into(), "class".into(), "valid dates".into(), "size".into()],
+            &[
+                "tag".into(),
+                "type".into(),
+                "class".into(),
+                "valid dates".into(),
+                "size".into()
+            ],
             &widths
         )
     );
@@ -92,11 +101,16 @@ fn main() {
         ("spamming", &reports.spam),
         ("scanning", &reports.scan),
     ] {
-        let res = temporal.run(&reports.bot_test, present, reports.control.addresses(), &seeds);
+        let res = temporal.run(
+            &reports.bot_test,
+            present,
+            reports.control.addresses(),
+            &seeds,
+        );
         match res.predictive_band() {
-            Some((lo, hi)) => println!(
-                "  {name:<9} predicted: better than random at /{lo}..=/{hi}"
-            ),
+            Some((lo, hi)) => {
+                println!("  {name:<9} predicted: better than random at /{lo}..=/{hi}")
+            }
             None => println!("  {name:<9} NOT predicted (no prefix length beats random)"),
         }
     }

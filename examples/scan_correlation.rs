@@ -39,11 +39,21 @@ fn main() {
     let series = daily_scanners(&scenario, dates.fig1_span, false, &PipelineConfig::paper());
     let max = series.iter().map(|(_, s)| s.len()).max().unwrap_or(1) as f64;
 
-    println!("{:<12} {:>6} {:>6} {:>6}  scanners/day", "day", "scan", "∩addr", "∩/24");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6}  scanners/day",
+        "day", "scan", "∩addr", "∩/24"
+    );
     for (day, scanners) in series.iter().step_by(3) {
         let addr_overlap = scanners.intersect(&bot_report).len();
-        let block_overlap = scanners.iter().filter(|&ip| bot_blocks.contains(ip)).count();
-        let marker = if *day == dates.fig1_report_day { " ← bot report" } else { "" };
+        let block_overlap = scanners
+            .iter()
+            .filter(|&ip| bot_blocks.contains(ip))
+            .count();
+        let marker = if *day == dates.fig1_report_day {
+            " ← bot report"
+        } else {
+            ""
+        };
         println!(
             "{:<12} {:>6} {:>6} {:>6}  {}{}",
             day.to_string(),

@@ -22,12 +22,7 @@ fn main() {
     let reports = build_reports(&scenario, &PipelineConfig::paper());
 
     let scorer = UncleanlinessScorer::default();
-    let scores = scorer.score(&[
-        &reports.bot,
-        &reports.spam,
-        &reports.scan,
-        &reports.phish,
-    ]);
+    let scores = scorer.score(&[&reports.bot, &reports.spam, &reports.scan, &reports.phish]);
     println!(
         "scored {} networks at /{} using weights {:?}\n",
         scores.len(),
@@ -40,8 +35,15 @@ fn main() {
     println!(
         "{}",
         row(
-            &["network".into(), "score".into(), "bot".into(), "spam".into(),
-              "scan".into(), "phish".into(), "hygiene*".into()],
+            &[
+                "network".into(),
+                "score".into(),
+                "bot".into(),
+                "spam".into(),
+                "scan".into(),
+                "phish".into(),
+                "hygiene*".into()
+            ],
             &widths
         )
     );
@@ -111,20 +113,30 @@ fn main() {
     // The phishing dimension: hosting-focused weights surface different
     // networks, echoing the paper's multidimensionality finding.
     let hosting = UncleanlinessScorer {
-        weights: ScoreWeights { bots: 0.1, spamming: 0.1, scanning: 0.1, phishing: 1.0 },
+        weights: ScoreWeights {
+            bots: 0.1,
+            spamming: 0.1,
+            scanning: 0.1,
+            phishing: 1.0,
+        },
         ..UncleanlinessScorer::default()
     };
-    let hosting_scores = hosting.score(&[
-        &reports.bot,
-        &reports.spam,
-        &reports.scan,
-        &reports.phish,
-    ]);
-    let botnet_top: Vec<String> =
-        scores.iter().take(5).map(|n| n.network.to_string()).collect();
-    let hosting_top: Vec<String> =
-        hosting_scores.iter().take(5).map(|n| n.network.to_string()).collect();
-    let shared = botnet_top.iter().filter(|n| hosting_top.contains(n)).count();
+    let hosting_scores =
+        hosting.score(&[&reports.bot, &reports.spam, &reports.scan, &reports.phish]);
+    let botnet_top: Vec<String> = scores
+        .iter()
+        .take(5)
+        .map(|n| n.network.to_string())
+        .collect();
+    let hosting_top: Vec<String> = hosting_scores
+        .iter()
+        .take(5)
+        .map(|n| n.network.to_string())
+        .collect();
+    let shared = botnet_top
+        .iter()
+        .filter(|n| hosting_top.contains(n))
+        .count();
     println!("\nbotnet-weighted top-5 : {botnet_top:?}");
     println!("hosting-weighted top-5: {hosting_top:?}");
     println!(

@@ -9,14 +9,22 @@ use unclean_integration::fixture;
 
 fn candidates() -> Vec<Candidate> {
     let f = fixture();
-    build_candidates(&f.scenario, &f.reports.bot_test, 24, &PipelineConfig::paper())
+    build_candidates(
+        &f.scenario,
+        &f.reports.bot_test,
+        24,
+        &PipelineConfig::paper(),
+    )
 }
 
 #[test]
 fn candidate_traffic_exists_and_is_sparse() {
     let f = fixture();
     let cands = candidates();
-    assert!(!cands.is_empty(), "unclean /24s keep emitting traffic months later");
+    assert!(
+        !cands.is_empty(),
+        "unclean /24s keep emitting traffic months later"
+    );
     let blocks = BlockSet::of(f.reports.bot_test.addresses(), 24);
     // §6.2: "less than 2% of the total IP addresses available in those
     // /24s communicated" — allow up to 10% for the synthetic world.
@@ -31,10 +39,18 @@ fn partition_shape_matches_the_paper() {
     let partition = Partition::new(&cands, f.reports.unclean.addresses());
     // Hostile dominates innocent by an order of magnitude; unknowns are a
     // large middle class (paper: 287 / 708 / 35).
-    assert!(partition.hostile.len() > partition.innocent.len() * 5,
-        "hostile {} ≫ innocent {}", partition.hostile.len(), partition.innocent.len());
-    assert!(partition.unknown.len() > partition.innocent.len(),
-        "unknown {} > innocent {}", partition.unknown.len(), partition.innocent.len());
+    assert!(
+        partition.hostile.len() > partition.innocent.len() * 5,
+        "hostile {} ≫ innocent {}",
+        partition.hostile.len(),
+        partition.innocent.len()
+    );
+    assert!(
+        partition.unknown.len() > partition.innocent.len(),
+        "unknown {} > innocent {}",
+        partition.unknown.len(),
+        partition.innocent.len()
+    );
     assert_eq!(
         partition.total(),
         cands.len(),
@@ -53,7 +69,11 @@ fn table3_shape() {
     let r24 = table.row(24).expect("row 24");
     // The paper reports 90% precision at n = 24 (97% counting unknowns as
     // hostile); require ≥ 80% / ≥ 85% for the synthetic world.
-    assert!(r24.precision() > 0.80, "precision at /24: {}", r24.precision());
+    assert!(
+        r24.precision() > 0.80,
+        "precision at /24: {}",
+        r24.precision()
+    );
     assert!(
         r24.precision_assuming_unknown_hostile() > 0.85,
         "precision w/ unknowns: {}",
@@ -87,10 +107,16 @@ fn roc_is_well_formed_and_precision_holds_up() {
     let cands = candidates();
     let partition = Partition::new(&cands, f.reports.unclean.addresses());
     let table = BlockingAnalysis::default().run(f.reports.bot_test.addresses(), &partition);
-    let roc = table.roc(partition.hostile.len() as u64, partition.innocent.len() as u64);
+    let roc = table.roc(
+        partition.hostile.len() as u64,
+        partition.innocent.len() as u64,
+    );
     assert_eq!(roc.points().len(), 9);
     let p24 = &roc.points()[0];
-    assert!((p24.tpr() - 1.0).abs() < 1e-9, "all candidates share a /24 with bot-test");
+    assert!(
+        (p24.tpr() - 1.0).abs() < 1e-9,
+        "all candidates share a /24 with bot-test"
+    );
     assert!((p24.fpr() - 1.0).abs() < 1e-9);
     // Rates decrease monotonically with the characteristic.
     for w in roc.points().windows(2) {
@@ -101,7 +127,10 @@ fn roc_is_well_formed_and_precision_holds_up() {
     // 0.89 → 0.99).
     let prec24 = table.row(24).expect("row").precision();
     let prec26 = table.row(26).expect("row").precision();
-    assert!(prec26 >= prec24 * 0.9, "precision holds up: {prec24} → {prec26}");
+    assert!(
+        prec26 >= prec24 * 0.9,
+        "precision holds up: {prec24} → {prec26}"
+    );
     // And the curve is not *worse* than chance.
     assert!(roc.auc() > 0.40, "AUC {}", roc.auc());
 }
@@ -117,7 +146,11 @@ fn unknowns_are_behaviourally_suspicious() {
     let partition = Partition::new(&cands, f.reports.unclean.addresses());
     for c in &cands {
         if partition.unknown.contains(c.ip) {
-            assert!(!c.payload_bearing, "{} is unknown yet carried payload", c.ip);
+            assert!(
+                !c.payload_bearing,
+                "{} is unknown yet carried payload",
+                c.ip
+            );
         }
     }
 }
@@ -143,5 +176,9 @@ fn collect_candidates_agrees_with_pipeline() {
     let f = fixture();
     let cands = candidates();
     let filtered = collect_candidates(&cands, f.reports.bot_test.addresses(), 24);
-    assert_eq!(filtered.len(), cands.len(), "pipeline already filtered to the /24s");
+    assert_eq!(
+        filtered.len(),
+        cands.len(),
+        "pipeline already filtered to the /24s"
+    );
 }

@@ -38,17 +38,72 @@ fn detectors_survive_adverse_telemetry() {
     let (faulty_scan, faulty_spam) = detect_under_faults(FaultConfig::adverse());
     assert!(!clean_scan.is_empty() && !clean_spam.is_empty());
 
-    // 15% drop + 15% corrupt costs some detections but nothing close to
-    // collapse: fast scans have 10x threshold headroom, spam bursts 2x.
+    // The adverse preset now stacks 15% drop + 15% corrupt with correlated
+    // loss bursts and 5% datagram truncation (~24% total loss). That costs
+    // detections but nothing close to collapse: fast scans have 10x
+    // threshold headroom, spam bursts 2x — the §6 conclusions (unclean
+    // reports remain detectable and predictive) must survive the richer
+    // fault model.
     let scan_recall = faulty_scan.intersect(&clean_scan).len() as f64 / clean_scan.len() as f64;
     let spam_recall = faulty_spam.intersect(&clean_spam).len() as f64 / clean_spam.len() as f64;
-    assert!(scan_recall > 0.85, "scan recall under faults: {scan_recall}");
-    assert!(spam_recall > 0.8, "spam recall under faults: {spam_recall}");
+    assert!(scan_recall > 0.8, "scan recall under faults: {scan_recall}");
+    assert!(
+        spam_recall > 0.75,
+        "spam recall under faults: {spam_recall}"
+    );
 
     // Corruption must not conjure spurious detections outside the real
     // scanner population by more than a sliver.
     let scan_extra = faulty_scan.difference(&clean_scan).len() as f64 / clean_scan.len() as f64;
     assert!(scan_extra < 0.05, "spurious scan detections: {scan_extra}");
+}
+
+#[test]
+fn burst_loss_alone_degrades_gracefully() {
+    // Correlated loss is the nastiest realistic fault: whole windows of a
+    // scanner's probes vanish together. Even ~8% of flows lost in bursts
+    // must leave the detector populations largely intact.
+    let (clean_scan, clean_spam) = detect_under_faults(FaultConfig::default());
+    let (burst_scan, burst_spam) = detect_under_faults(FaultConfig {
+        burst_chance: 0.01,
+        burst_len: 8,
+        ..FaultConfig::default()
+    });
+    let scan_recall = burst_scan.intersect(&clean_scan).len() as f64 / clean_scan.len() as f64;
+    let spam_recall = burst_spam.intersect(&clean_spam).len() as f64 / clean_spam.len() as f64;
+    assert!(
+        scan_recall > 0.8,
+        "scan recall under burst loss: {scan_recall}"
+    );
+    assert!(
+        spam_recall > 0.75,
+        "spam recall under burst loss: {spam_recall}"
+    );
+    // Loss can only remove evidence, never invent scanners.
+    assert_eq!(burst_scan.difference(&clean_scan).len(), 0);
+}
+
+#[test]
+fn truncation_alone_degrades_gracefully() {
+    // Truncated datagrams lose flows outright (no corruption side-channel),
+    // so like drops they can only shrink the detected sets.
+    let (clean_scan, clean_spam) = detect_under_faults(FaultConfig::default());
+    let (trunc_scan, trunc_spam) = detect_under_faults(FaultConfig {
+        truncate_chance: 0.1,
+        ..FaultConfig::default()
+    });
+    let scan_recall = trunc_scan.intersect(&clean_scan).len() as f64 / clean_scan.len() as f64;
+    let spam_recall = trunc_spam.intersect(&clean_spam).len() as f64 / clean_spam.len() as f64;
+    assert!(
+        scan_recall > 0.85,
+        "scan recall under truncation: {scan_recall}"
+    );
+    assert!(
+        spam_recall > 0.8,
+        "spam recall under truncation: {spam_recall}"
+    );
+    assert_eq!(trunc_scan.difference(&clean_scan).len(), 0);
+    assert_eq!(trunc_spam.difference(&clean_spam).len(), 0);
 }
 
 #[test]
@@ -72,7 +127,11 @@ fn duplication_inflates_spam_counts_conservatively() {
         duplicate_chance: 0.5,
         ..FaultConfig::default()
     });
-    assert_eq!(clean_spam.difference(&dup_spam).len(), 0, "no detections lost");
+    assert_eq!(
+        clean_spam.difference(&dup_spam).len(),
+        0,
+        "no detections lost"
+    );
     assert!(dup_spam.len() >= clean_spam.len());
 }
 
@@ -97,8 +156,16 @@ fn empty_pipeline_degrades_gracefully() {
         scan,
     );
     let res = std::panic::catch_unwind(|| {
-        DensityAnalysis::with_config(DensityConfig { trials: 2, ..DensityConfig::default() })
-            .run(&empty, f.reports.control.addresses(), &[], &SeedTree::new(1))
+        DensityAnalysis::with_config(DensityConfig {
+            trials: 2,
+            ..DensityConfig::default()
+        })
+        .run(
+            &empty,
+            f.reports.control.addresses(),
+            &[],
+            &SeedTree::new(1),
+        )
     });
     assert!(res.is_err(), "empty report must be rejected, not analyzed");
 }

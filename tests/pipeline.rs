@@ -38,7 +38,10 @@ fn size_ordering_matches_table1() {
     assert!(r.control.len() > r.bot.len());
     assert!(r.bot.len() > r.spam.len());
     assert!(r.spam.len() > r.scan.len());
-    assert!(r.scan.len() > r.phish.len() / 2, "scan is within reach of phish scale");
+    assert!(
+        r.scan.len() > r.phish.len() / 2,
+        "scan is within reach of phish scale"
+    );
     assert!(r.bot_test.len() <= 186);
     assert!(r.bot_test.len() >= 30);
 }
@@ -65,7 +68,11 @@ fn scan_and_bot_reports_overlap_like_figure_1() {
     // appear in the scan report (the paper saw up to 35% during campaign
     // peaks; baseline overlap is lower but must be present).
     let f = fixture();
-    let overlap = f.reports.bot.addresses().intersect(f.reports.scan.addresses());
+    let overlap = f
+        .reports
+        .bot
+        .addresses()
+        .intersect(f.reports.scan.addresses());
     assert!(
         overlap.len() * 20 >= f.reports.scan.len(),
         "scanners are drawn from the bot population: {} of {}",
@@ -79,7 +86,11 @@ fn phishing_is_disjoint_from_the_botnet_ecosystem() {
     // The mechanism behind Figure 4(ii): phishing hosts live on hosting
     // infrastructure, not in the compromised population.
     let f = fixture();
-    let with_bot = f.reports.phish.addresses().intersect(f.reports.bot.addresses());
+    let with_bot = f
+        .reports
+        .phish
+        .addresses()
+        .intersect(f.reports.bot.addresses());
     assert!(
         with_bot.len() * 20 < f.reports.phish.len().max(20),
         "phish/bot overlap should be negligible: {}",
@@ -101,7 +112,11 @@ fn no_report_contains_reserved_or_observed_addresses() {
     ] {
         for ip in report.addresses().iter() {
             assert!(!ip.is_reserved(), "{}: reserved {ip}", report.tag());
-            assert!(!observed.contains(ip), "{}: inside observed {ip}", report.tag());
+            assert!(
+                !observed.contains(ip),
+                "{}: inside observed {ip}",
+                report.tag()
+            );
         }
     }
 }

@@ -273,17 +273,25 @@ proptest! {
         let mut r = ArchiveReader::new(bytes.as_slice(), EPOCH_UNIX_SECS);
         let back = r.read_all().expect("well-formed");
         prop_assert_eq!(back, flows);
-        prop_assert_eq!(r.lost_flows, 0);
+        prop_assert_eq!(r.telemetry().lost_flows, 0);
     }
 
     #[test]
     fn fault_injector_conserves_flow_accounting(
         drop in 0.0f64..1.0, dup in 0.0f64..1.0, corrupt in 0.0f64..1.0,
+        burst in 0.0f64..0.3, burst_len in 1u32..12, trunc in 0.0f64..1.0,
         n in 0u32..500, seed in any::<u64>(),
     ) {
         use unclean_flowgen::{FaultConfig, FaultInjector, Flow};
         let mut inj = FaultInjector::new(
-            FaultConfig { drop_chance: drop, duplicate_chance: dup, corrupt_chance: corrupt },
+            FaultConfig {
+                drop_chance: drop,
+                duplicate_chance: dup,
+                corrupt_chance: corrupt,
+                burst_chance: burst,
+                burst_len,
+                truncate_chance: trunc,
+            },
             SeedTree::new(seed),
         );
         let template = Flow {
@@ -296,8 +304,9 @@ proptest! {
         }
         let s = inj.stats();
         prop_assert_eq!(s.seen, n as u64);
-        prop_assert_eq!(delivered, s.seen - s.dropped + s.duplicated);
-        prop_assert!(s.corrupted <= s.seen - s.dropped);
+        let lost = s.dropped + s.burst_dropped + s.truncated;
+        prop_assert_eq!(delivered, s.seen - lost + s.duplicated);
+        prop_assert!(s.corrupted <= s.seen - lost);
     }
 }
 
@@ -305,7 +314,11 @@ proptest! {
 fn contains_block_is_equivalent_to_blockset_contains() {
     // Deterministic sweep complementing the proptest cases: the two
     // inclusion-relation implementations agree.
-    let set = IpSet::from_raw((0..5_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect());
+    let set = IpSet::from_raw(
+        (0..5_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect(),
+    );
     for n in [8u8, 16, 20, 24, 28, 32] {
         let bs = BlockSet::of(&set, n);
         for probe in (0..2_000u32).map(|i| Ip(i.wrapping_mul(0x9e37_79b9))) {

@@ -41,8 +41,12 @@ fn headline_shapes_hold_across_seeds() {
             trials: TRIALS,
             ..TemporalConfig::default()
         });
-        let spam_pred =
-            temporal.run(&reports.bot_test, &reports.spam, control, &SeedTree::new(seed ^ 2));
+        let spam_pred = temporal.run(
+            &reports.bot_test,
+            &reports.spam,
+            control,
+            &SeedTree::new(seed ^ 2),
+        );
         assert!(
             spam_pred.hypothesis_holds(),
             "seed {seed}: bot-test must predict spam, verdicts {:?}",
@@ -64,7 +68,8 @@ fn headline_shapes_hold_across_seeds() {
         }
 
         // Blocking precision at /24.
-        let candidates = build_candidates(&scenario, &reports.bot_test, 24, &PipelineConfig::paper());
+        let candidates =
+            build_candidates(&scenario, &reports.bot_test, 24, &PipelineConfig::paper());
         let partition = Partition::new(&candidates, reports.unclean.addresses());
         let table = BlockingAnalysis::default().run(reports.bot_test.addresses(), &partition);
         let r24 = table.row(24).expect("row 24");

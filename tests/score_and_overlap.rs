@@ -52,13 +52,16 @@ fn phishing_weighting_is_a_separate_dimension() {
     ];
     let botnet_view = UncleanlinessScorer::default().score(&reports);
     let hosting_view = UncleanlinessScorer {
-        weights: ScoreWeights { bots: 0.05, spamming: 0.05, scanning: 0.05, phishing: 1.0 },
+        weights: ScoreWeights {
+            bots: 0.05,
+            spamming: 0.05,
+            scanning: 0.05,
+            phishing: 1.0,
+        },
         ..UncleanlinessScorer::default()
     }
     .score(&reports);
-    let top = |v: &[NetworkScore]| -> Vec<Cidr> {
-        v.iter().take(5).map(|n| n.network).collect()
-    };
+    let top = |v: &[NetworkScore]| -> Vec<Cidr> { v.iter().take(5).map(|n| n.network).collect() };
     let a = top(&botnet_view);
     let b = top(&hosting_view);
     let shared = a.iter().filter(|n| b.contains(n)).count();
@@ -87,8 +90,16 @@ fn cross_relationship_matrix_matches_the_abstract() {
     // The botnet ecosystem interrelates: most spammers/scanners are bots.
     let bot_spam = matrix.cell(bot, spam).expect("pair");
     let bot_scan = matrix.cell(bot, scan).expect("pair");
-    assert!(bot_spam.containment > 0.3, "bot∩spam containment {}", bot_spam.containment);
-    assert!(bot_scan.containment > 0.3, "bot∩scan containment {}", bot_scan.containment);
+    assert!(
+        bot_spam.containment > 0.3,
+        "bot∩spam containment {}",
+        bot_spam.containment
+    );
+    assert!(
+        bot_scan.containment > 0.3,
+        "bot∩scan containment {}",
+        bot_scan.containment
+    );
     assert!(bot_spam.blocks24 > 0 && bot_scan.blocks24 > 0);
 
     // Phishing is unrelated to all of it.

@@ -23,14 +23,21 @@ fn bot_test_predicts_future_bots() {
         f.reports.control.addresses(),
         &SeedTree::new(1),
     );
-    assert!(res.hypothesis_holds(), "Eq. 5 for bots: verdicts {:?}", res.verdicts());
+    assert!(
+        res.hypothesis_holds(),
+        "Eq. 5 for bots: verdicts {:?}",
+        res.verdicts()
+    );
     let band = res.predictive_band().expect("band exists");
     // The /24 view must always sit inside the predictive band (it is where
     // the paper anchors §6's blocking). The paper additionally sees the
     // band's lower edge at 20 bits — a full-scale effect: its present
     // reports blanket the /16 universe, which a scaled-down report set
     // cannot (see EXPERIMENTS.md).
-    assert!(band.0 <= 24 && 24 <= band.1, "/24 inside the band, got {band:?}");
+    assert!(
+        band.0 <= 24 && 24 <= band.1,
+        "/24 inside the band, got {band:?}"
+    );
 }
 
 #[test]
@@ -42,7 +49,11 @@ fn bot_test_predicts_future_spamming() {
         f.reports.control.addresses(),
         &SeedTree::new(2),
     );
-    assert!(res.hypothesis_holds(), "Eq. 5 for spam: verdicts {:?}", res.verdicts());
+    assert!(
+        res.hypothesis_holds(),
+        "Eq. 5 for spam: verdicts {:?}",
+        res.verdicts()
+    );
 }
 
 #[test]
@@ -54,7 +65,11 @@ fn bot_test_predicts_future_scanning() {
         f.reports.control.addresses(),
         &SeedTree::new(3),
     );
-    assert!(res.hypothesis_holds(), "Eq. 5 for scanning: verdicts {:?}", res.verdicts());
+    assert!(
+        res.hypothesis_holds(),
+        "Eq. 5 for scanning: verdicts {:?}",
+        res.verdicts()
+    );
 }
 
 #[test]
@@ -137,7 +152,9 @@ fn random_past_predicts_nothing() {
     let f = fixture();
     let control = f.reports.control.addresses();
     let mut rng = SeedTree::new(7).stream("rand-past");
-    let sample = control.sample(&mut rng, f.reports.bot_test.len()).expect("larger");
+    let sample = control
+        .sample(&mut rng, f.reports.bot_test.len())
+        .expect("larger");
     let fake = Report::new(
         "random-past",
         ReportClass::Special,
@@ -159,7 +176,10 @@ fn prediction_over_five_month_gap() {
     // predicts.
     let f = fixture();
     let gap = f.reports.bot.period().start - f.reports.bot_test.period().end;
-    assert!(gap >= 140, "bot-test precedes the unclean window by ~5 months: {gap} days");
+    assert!(
+        gap >= 140,
+        "bot-test precedes the unclean window by ~5 months: {gap} days"
+    );
 }
 
 #[test]
@@ -172,5 +192,8 @@ fn observed_intersections_decay_with_prefix_length() {
     );
     // |C_16 ∩| ≥ |C_24 ∩| ≥ |C_32 ∩| need not be monotone in general, but
     // the coarse end must dominate the fine end.
-    assert!(curve[0] >= curve[16], "coarse blocks intersect at least as much");
+    assert!(
+        curve[0] >= curve[16],
+        "coarse blocks intersect at least as much"
+    );
 }

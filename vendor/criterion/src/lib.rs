@@ -1,0 +1,232 @@
+//! Offline shim for the subset of `criterion` this workspace uses. Bench
+//! functions run with a small fixed iteration budget and report a median
+//! per-iteration time to stderr — enough to smoke-test the hot paths and
+//! compare orders of magnitude, without criterion's statistical machinery.
+// API-fidelity shim: mirrors the upstream crate's surface, so idiom lints
+// against the real API shape are expected noise here.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value wrapper (mirrors `criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `name/100`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+/// Drives one benchmark's timed iterations.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u32,
+    sample_count: u32,
+}
+
+impl<'a> Bencher<'a> {
+    /// Time the routine. The shim runs a warmup pass plus a fixed number
+    /// of timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / self.iters_per_sample);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Reduce/raise the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_count = (n as u32).clamp(2, 100);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            iters_per_sample: self.criterion.iters_per_sample,
+            sample_count: self.criterion.sample_count,
+        };
+        f(&mut bencher);
+        report(&label, &samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark against a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark names: plain strings or [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// Render the benchmark label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        eprintln!("bench {label}: no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            format!(
+                " ({:.1} Melem/s)",
+                n as f64 * 1e3 / median.as_nanos() as f64
+            )
+        }
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            format!(" ({:.1} MB/s)", n as f64 * 1e3 / median.as_nanos() as f64)
+        }
+        _ => String::new(),
+    };
+    eprintln!("bench {label}: median {median:?}/iter{rate}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    iters_per_sample: u32,
+    sample_count: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Tiny fixed budget: the shim smoke-tests rather than measures.
+        Criterion {
+            iters_per_sample: 3,
+            sample_count: 5,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// Bundle bench functions into a group runner (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit the bench `main` (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_and_bench_run() {
+        let mut criterion = Criterion::default();
+        sum_bench(&mut criterion);
+    }
+}

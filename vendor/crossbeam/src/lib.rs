@@ -1,0 +1,90 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! [`scope`] with `Scope::spawn`. Implemented over `std::thread::scope`,
+//! which provides the same structured-concurrency guarantee.
+// API-fidelity shim: mirrors the upstream crate's surface, so idiom lints
+// against the real API shape are expected noise here.
+#![allow(clippy::all)]
+
+use std::any::Any;
+
+/// A scope handle; `spawn` borrows from the enclosing environment.
+///
+/// `repr(transparent)` over [`std::thread::Scope`] so the reference handed
+/// out by `std::thread::scope` (whose lifetime *is* `'scope`) can be
+/// reinterpreted as a reference to this wrapper.
+#[repr(transparent)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: std::thread::Scope<'scope, 'env>,
+}
+
+fn wrap<'scope, 'env>(s: &'scope std::thread::Scope<'scope, 'env>) -> &'scope Scope<'scope, 'env> {
+    // SAFETY: Scope is repr(transparent) over std::thread::Scope, so the
+    // pointer cast preserves layout; lifetimes are carried through unchanged.
+    unsafe { &*(s as *const std::thread::Scope<'scope, 'env> as *const Scope<'scope, 'env>) }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives the scope again (for
+    /// nested spawns), matching crossbeam's signature.
+    pub fn spawn<F, T>(&'scope self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&'scope Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(self))
+    }
+}
+
+/// Run `f` with a scope in which borrowed threads can be spawned; joins all
+/// spawned threads before returning. Mirrors `crossbeam::scope`, including
+/// the `Result` wrapper (`Err` carries the payload when a worker panicked).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(wrap(s)))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut rows = vec![0u64; 8];
+        super::scope(|scope| {
+            for (i, row) in rows.chunks_mut(2).enumerate() {
+                scope.spawn(move |_| {
+                    for r in row.iter_mut() {
+                        *r = i as u64 + 1;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert!(rows.iter().all(|&r| r > 0));
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_arg() {
+        let total = std::sync::atomic::AtomicU32::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+                total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        })
+        .expect("no panics");
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panics_are_reported() {
+        let res = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,654 @@
+//! Offline shim for the subset of `serde` this workspace uses. Instead of
+//! serde's visitor architecture, the traits convert through a single JSON
+//! [`Value`] data model (re-exported by the `serde_json` shim). The derive
+//! macros (`serde_derive` shim) generate impls of these traits, so
+//! `#[derive(Serialize, Deserialize)]`, `#[serde(transparent)]`, field
+//! skipping for missing `Option`s, and externally-tagged enums behave like
+//! the real crates at the JSON level.
+// API-fidelity shim: mirrors the upstream crate's surface, so idiom lints
+// against the real API shape are expected noise here.
+#![allow(clippy::all)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value (shim equivalent of `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// Borrow as an object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// As `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As `i64`, if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As `bool`, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (`None` for non-objects or absent keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Value {
+        Value::Null
+    }
+}
+
+/// A JSON number: integer when possible, `f64` otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// Build from an `f64`; `None` for NaN/infinite (like serde_json).
+    pub fn from_f64(f: f64) -> Option<Number> {
+        if f.is_finite() {
+            Some(Number::Float(f))
+        } else {
+            None
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(u) => u as f64,
+            Number::NegInt(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// As `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(u) => Some(u),
+            Number::NegInt(_) | Number::Float(_) => None,
+        }
+    }
+
+    /// As `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::NegInt(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(u: u64) -> Number {
+        Number::PosInt(u)
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Number {
+        if i >= 0 {
+            Number::PosInt(i as u64)
+        } else {
+            Number::NegInt(i)
+        }
+    }
+}
+
+/// A JSON object. Backed by a `BTreeMap` (sorted keys — matches real
+/// serde_json's default, and keeps emitted files byte-deterministic).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert a member, returning any previous value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    /// Member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Remove a member.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no members.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate members in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.keys()
+    }
+
+    /// Iterate values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.values()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        Map {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert `self` into the JSON data model.
+pub trait Serialize {
+    /// Produce the JSON value for `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of a JSON value.
+    fn from_json(value: &Value) -> Result<Self, Error>;
+
+    /// Hook for absent object members; only `Option` admits them.
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+/// Derive support: fetch a struct field, routing absence through
+/// [`Deserialize::missing_field`].
+pub fn field_from_json<T: Deserialize>(value: Option<&Value>, field: &str) -> Result<T, Error> {
+    match value {
+        Some(v) => T::from_json(v).map_err(|e| Error::custom(format!("field `{field}`: {e}"))),
+        None => T::missing_field(field),
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Value) -> Result<bool, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<$t, Error> {
+                let u = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u)
+                    .map_err(|_| Error::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::from(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<$t, Error> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                match Number::from_f64(*self as f64) {
+                    Some(n) => Value::Number(n),
+                    None => Value::Null,
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<$t, Error> {
+                // Accept null for the NaN round-trip (serialize maps
+                // non-finite floats to null).
+                if value.is_null() {
+                    return Ok(<$t>::NAN);
+                }
+                value
+                    .as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &Value) -> Result<String, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(value: &Value) -> Result<Box<T>, Error> {
+        T::from_json(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Value) -> Result<Option<T>, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(value).map(Some)
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Option<T>, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Value) -> Result<Vec<T>, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json(value: &Value) -> Result<[T; N], Error> {
+        let items: Vec<T> = Vec::from_json(value)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(value: &Value) -> Result<($($name,)+), Error> {
+                let arr = value.as_array().ok_or_else(|| Error::custom("expected array"))?;
+                let want = [$($idx),+].len();
+                if arr.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected array of length {want}, got {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_json(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Types usable as JSON object keys (strings and integers, stringified —
+/// matches serde_json's map-key behavior).
+pub trait JsonKey: Sized + Ord {
+    /// Render the key.
+    fn to_key(&self) -> String;
+    /// Parse the key back.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<String, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<$t, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(concat!("invalid ", stringify!($t), " map key"))
+                })
+            }
+        }
+    )*};
+}
+
+impl_json_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.to_key(), v.to_json());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: JsonKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(value: &Value) -> Result<BTreeMap<K, V>, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        let mut out = BTreeMap::new();
+        for (k, v) in obj {
+            out.insert(K::from_key(k)?, V::from_json(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: JsonKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.to_key(), v.to_json());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: JsonKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json(value: &Value) -> Result<HashMap<K, V>, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        let mut out = HashMap::with_capacity(obj.len());
+        for (k, v) in obj {
+            out.insert(K::from_key(k)?, V::from_json(v)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_json(&42u32.to_json()).unwrap(), 42);
+        assert_eq!(i32::from_json(&(-7i32).to_json()).unwrap(), -7);
+        assert_eq!(f64::from_json(&1.5f64.to_json()).unwrap(), 1.5);
+        assert_eq!(String::from_json(&"hi".to_json()).unwrap(), "hi");
+        assert_eq!(bool::from_json(&true.to_json()).unwrap(), true);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u8, 10u64), (2, 20)];
+        assert_eq!(Vec::<(u8, u64)>::from_json(&v.to_json()).unwrap(), v);
+        let a = [1u64, 2, 3];
+        assert_eq!(<[u64; 3]>::from_json(&a.to_json()).unwrap(), a);
+        let mut m = HashMap::new();
+        m.insert(7u32, "x".to_string());
+        assert_eq!(HashMap::<u32, String>::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn option_absent_and_null() {
+        assert_eq!(Option::<i32>::from_json(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<i32>::missing_field("x").unwrap(), None);
+        assert!(i32::missing_field("x").is_err());
+    }
+
+    #[test]
+    fn nan_serializes_to_null() {
+        assert_eq!(f64::NAN.to_json(), Value::Null);
+        assert!(f64::from_json(&Value::Null).unwrap().is_nan());
+    }
+}

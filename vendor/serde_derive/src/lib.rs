@@ -1,0 +1,356 @@
+//! Offline shim for `serde_derive`: dependency-free (no syn/quote)
+//! implementations of `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! targeting the trait model of the vendored `serde` shim.
+//!
+//! Supported item shapes — the full set this workspace declares:
+//! named-field structs, newtype (single-field tuple) structs (always
+//! transparent, matching real serde's newtype behavior, so
+//! `#[serde(transparent)]` is honored implicitly), unit structs, and enums
+//! with unit and/or named-field variants (externally tagged, like serde's
+//! default). Generics are rejected with a clear error.
+// API-fidelity shim: mirrors the upstream crate's surface, so idiom lints
+// against the real API shape are expected noise here.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed description of the deriving item.
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// `struct S;`
+    Unit,
+    /// `struct S(T);` — serialized as the inner value.
+    Newtype,
+    /// `struct S { a: A, ... }`
+    Named(Vec<String>),
+    /// `enum E { A, B { x: X }, ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>,
+}
+
+/// Advance past any `#[...]` attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        match tokens.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Advance past `pub` / `pub(...)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past one type, stopping after the top-level `,` (if any).
+/// Tracks `<`/`>` depth; commas inside generic arguments don't terminate.
+fn skip_type_and_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `name: Type, ...` field lists (struct bodies, struct variants).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field name, got {other:?}"),
+        }
+        i = skip_type_and_comma(&tokens, i);
+    }
+    fields
+}
+
+/// Count the fields of a tuple-struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type_and_comma(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde shim derive: tuple enum variant `{name}` is not supported; \
+                     use a struct variant"
+                );
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Shape::Newtype,
+                    n => panic!(
+                        "serde shim derive: tuple struct `{name}` has {n} fields; \
+                         only single-field newtypes are supported"
+                    ),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Newtype => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::Named(fields) => {
+            let mut s = String::from("{ let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m) }");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let binders = fields.join(", ");
+                        s.push_str(&format!("{name}::{vn} {{ {binders} }} => {{\n"));
+                        s.push_str("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            s.push_str(&format!(
+                                "inner.insert(\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_json({f}));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "let mut outer = ::serde::Map::new();\n\
+                             outer.insert(\"{vn}\".to_string(), ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(outer) }},\n"
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => format!("::core::result::Result::Ok({name})"),
+        Shape::Newtype => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_json(value)?))")
+        }
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::field_from_json(obj.get(\"{f}\"), \"{f}\")?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("if let ::core::option::Option::Some(s) = value.as_str() {\n");
+            s.push_str("return match s {\n");
+            for v in variants {
+                if v.fields.is_none() {
+                    let vn = &v.name;
+                    s.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            s.push_str(&format!(
+                "other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n}};\n}}\n"
+            ));
+            s.push_str(&format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected string or object for {name}\"))?;\n\
+                 let (tag, inner) = obj.iter().next().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected single-key object for {name}\"))?;\n\
+                 match tag.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => s.push_str(&format!(
+                        "\"{vn}\" => {{ let _ = inner; \
+                         ::core::result::Result::Ok({name}::{vn}) }},\n"
+                    )),
+                    Some(fields) => {
+                        s.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let io = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        for f in fields {
+                            s.push_str(&format!(
+                                "{f}: ::serde::field_from_json(io.get(\"{f}\"), \"{f}\")?,\n"
+                            ));
+                        }
+                        s.push_str("})},\n");
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n}}"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(value: &::serde::Value) -> \
+         ::core::result::Result<{name}, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}
