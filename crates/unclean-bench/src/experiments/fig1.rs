@@ -10,7 +10,7 @@
 use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::BlockSet;
-use unclean_detect::{daily_scanners, BotMonitor, PipelineConfig};
+use unclean_detect::{daily_scanners_with, BotMonitor, PipelineConfig};
 
 /// Run the Figure 1 experiment.
 pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
@@ -32,7 +32,13 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
         bot_blocks.len()
     );
 
-    let series = daily_scanners(scenario, dates.fig1_span, false, &PipelineConfig::paper());
+    let series = daily_scanners_with(
+        scenario,
+        dates.fig1_span,
+        false,
+        &PipelineConfig::paper(),
+        &ctx.attempt_registry(),
+    );
     let widths = [12, 9, 10, 9];
     println!(
         "{}",

@@ -20,19 +20,26 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     let control = ctx.reports.control.addresses();
     let seeds = SeedTree::new(ctx.experiment_seed()).child("fig2");
     let trials = ctx.opts.trials;
+    let registry = ctx.attempt_registry();
 
     let empirical = DensityAnalysis::with_config(DensityConfig {
         trials,
         estimator: Estimator::Empirical,
         ..DensityConfig::default()
     })
-    .run(bot, control, &[], &seeds.child("empirical"));
+    .run_recorded(bot, control, &[], &seeds.child("empirical"), &registry);
     let naive = DensityAnalysis::with_config(DensityConfig {
         trials: trials.min(100), // the naive sampler is slower; 100 is plenty
         estimator: Estimator::Naive,
         ..DensityConfig::default()
     })
-    .run(bot, control, &allocated_slash8s(), &seeds.child("naive"));
+    .run_recorded(
+        bot,
+        control,
+        &allocated_slash8s(),
+        &seeds.child("naive"),
+        &registry,
+    );
 
     let widths = [3, 12, 24, 24];
     println!("bot report: {} addresses\n", bot.len());

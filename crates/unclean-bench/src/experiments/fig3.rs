@@ -18,6 +18,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
         ..DensityConfig::default()
     });
     let seeds = SeedTree::new(ctx.experiment_seed()).child("fig3");
+    let registry = ctx.attempt_registry();
 
     let panels = [
         ("(i)", &ctx.reports.bot),
@@ -27,7 +28,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     ];
     let mut json_panels = Vec::new();
     for (panel, report) in panels {
-        let res = analysis.run(report, control, &[], &seeds);
+        let res = analysis.run_recorded(report, control, &[], &seeds, &registry);
         println!(
             "\n-- {panel} R_{} ({} addresses) — Eq. 3 holds: {} --",
             report.tag(),

@@ -26,6 +26,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
         ..TemporalConfig::default()
     });
     let seeds = SeedTree::new(ctx.experiment_seed()).child("fig4");
+    let registry = ctx.attempt_registry();
 
     let panels = [
         ("(i)", "bots", &ctx.reports.bot),
@@ -35,7 +36,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     ];
     let mut json_panels = Vec::new();
     for (panel, name, present) in panels {
-        let res = analysis.run(&ctx.reports.bot_test, present, control, &seeds);
+        let res = analysis.run_recorded(&ctx.reports.bot_test, present, control, &seeds, &registry);
         println!(
             "\n-- {panel} vs R_{} ({} addresses) — Eq. 5 holds: {} | band: {:?} --",
             present.tag(),

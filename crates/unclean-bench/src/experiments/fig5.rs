@@ -34,11 +34,12 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
         ctx.reports.phish_window.period()
     );
 
-    let res = analysis.run(
+    let res = analysis.run_recorded(
         &ctx.reports.phish_test,
         &ctx.reports.phish_window,
         control,
         &seeds,
+        &ctx.attempt_registry(),
     );
     let widths = [3, 9, 24, 9];
     println!(

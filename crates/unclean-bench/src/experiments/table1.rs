@@ -75,6 +75,14 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
         rows.iter().take(4).map(|(r, _)| r.len()).sum::<usize>()
     );
 
+    let registry = ctx.attempt_registry();
+    registry
+        .counter("bench.inventory_reports")
+        .add(rows.len() as u64);
+    registry
+        .counter("bench.inventory_addresses")
+        .add(rows.iter().map(|(r, _)| r.len() as u64).sum());
+
     let result = json!({
         "experiment": "table1",
         "scale": scale,

@@ -5,17 +5,22 @@
 use crate::{row, rule, ExperimentContext, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
-use unclean_detect::{build_candidates, PipelineConfig};
+use unclean_detect::{build_candidates_with, PipelineConfig};
 
 /// Compute the candidate partition (shared with Table 3).
 pub fn partition(ctx: &ExperimentContext) -> (Vec<Candidate>, Partition) {
-    let candidates = build_candidates(
+    let registry = ctx.attempt_registry();
+    let candidates = build_candidates_with(
         &ctx.scenario,
         &ctx.reports.bot_test,
         24,
         &PipelineConfig::paper(),
+        &registry,
     );
     let partition = Partition::new(&candidates, ctx.reports.unclean.addresses());
+    registry
+        .counter("bench.candidates")
+        .add(candidates.len() as u64);
     (candidates, partition)
 }
 

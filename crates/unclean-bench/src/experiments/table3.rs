@@ -25,7 +25,10 @@ const PAPER_ROWS: [(u8, u64, u64, u64, u64); 9] = [
 pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     println!("\n=== Table 3: observed true and false positive counts ===\n");
     let (_candidates, part) = table2::partition(ctx);
-    let table = BlockingAnalysis::default().run(ctx.reports.bot_test.addresses(), &part);
+    let table = {
+        let _span = ctx.attempt_registry().span("blocking_sweep");
+        BlockingAnalysis::default().run(ctx.reports.bot_test.addresses(), &part)
+    };
 
     let widths = [3, 7, 7, 8, 9, 6, 22];
     println!(

@@ -30,8 +30,13 @@ pub use runner::RunError;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use unclean_detect::{build_reports, PipelineConfig, ReportSet};
+use unclean_detect::{build_reports_with, PipelineConfig, ReportSet};
 use unclean_netmodel::{Scenario, ScenarioConfig};
+use unclean_telemetry::{Registry, Snapshot, TelemetryLevel};
+
+/// The scale factor `--scale smoke` aliases to: small enough for CI,
+/// large enough that every report class is non-degenerate.
+pub const SMOKE_SCALE: f64 = 0.002;
 
 /// Options every experiment binary accepts.
 #[derive(Debug, Clone)]
@@ -44,6 +49,8 @@ pub struct BenchOpts {
     pub trials: usize,
     /// Directory for JSON results (`None` = print only).
     pub out_dir: Option<std::path::PathBuf>,
+    /// Telemetry verbosity (`--telemetry=off|summary|full`).
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for BenchOpts {
@@ -53,15 +60,17 @@ impl Default for BenchOpts {
             seed: 20061001,
             trials: 1000,
             out_dir: Some("results".into()),
+            telemetry: TelemetryLevel::Summary,
         }
     }
 }
 
 impl BenchOpts {
     /// Parse the shared flags (`--scale`, `--seed`, `--trials`, `--out`,
-    /// `--no-out`) out of `args`, returning the options plus any
-    /// unrecognized arguments for the caller to interpret (the `run_all`
-    /// supervisor layers its own flags on top). `--help` still exits 0.
+    /// `--no-out`, `--telemetry`) out of `args`, returning the options
+    /// plus any unrecognized arguments for the caller to interpret (the
+    /// `run_all` supervisor layers its own flags on top). `--help` still
+    /// exits 0.
     pub fn parse_known(args: &[String]) -> Result<(BenchOpts, Vec<String>), RunError> {
         let mut opts = BenchOpts::default();
         let mut extra = Vec::new();
@@ -73,10 +82,24 @@ impl BenchOpts {
             };
             match args[i].as_str() {
                 "--scale" => {
-                    opts.scale = value(i)?
-                        .parse()
-                        .map_err(|_| RunError::Usage("--scale takes a float".into()))?;
+                    let v = value(i)?;
+                    opts.scale = if v == "smoke" {
+                        SMOKE_SCALE
+                    } else {
+                        v.parse().map_err(|_| {
+                            RunError::Usage("--scale takes a float or `smoke`".into())
+                        })?
+                    };
                     i += 2;
+                }
+                "--telemetry" => {
+                    opts.telemetry = value(i)?.parse().map_err(RunError::Usage)?;
+                    i += 2;
+                }
+                flag if flag.starts_with("--telemetry=") => {
+                    let v = &flag["--telemetry=".len()..];
+                    opts.telemetry = v.parse().map_err(RunError::Usage)?;
+                    i += 1;
                 }
                 "--seed" => {
                     opts.seed = value(i)?
@@ -100,7 +123,8 @@ impl BenchOpts {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale 0.02] [--seed N] [--trials 1000] [--out results] [--no-out]\n\
+                        "usage: [--scale 0.02|smoke] [--seed N] [--trials 1000] [--out results] [--no-out]\n\
+                         \x20      [--telemetry off|summary|full]\n\
                          run_all also takes: [--resume] [--retries N] [--deadline SECS] [--only id1,id2]"
                     );
                     std::process::exit(0);
@@ -140,6 +164,16 @@ pub struct ExperimentContext {
     /// Current supervised attempt (0 on the first try; retries bump it so
     /// [`ExperimentContext::experiment_seed`] is perturbed).
     pub attempt: AtomicU64,
+    /// Run-level telemetry registry: scenario generation, the detector
+    /// pipeline, and the archive/flow-store audit all record here.
+    pub registry: Registry,
+    /// Snapshot of [`ExperimentContext::registry`] taken right after
+    /// generation — the shared context each experiment's telemetry is
+    /// merged with in the manifest.
+    pub shared_context: Snapshot,
+    /// Per-attempt registry, reset by [`ExperimentContext::begin_attempt`]
+    /// so a retried experiment doesn't double-count its aborted tries.
+    attempt_registry: Mutex<Registry>,
     /// Output files written during the current attempt, with content
     /// hashes — drained into the manifest by the runner.
     written: Mutex<Vec<runner::OutputFile>>,
@@ -153,21 +187,33 @@ impl ExperimentContext {
             "[bench] generating scenario: scale {} seed {} …",
             opts.scale, opts.seed
         );
+        let registry = Registry::new(opts.telemetry);
+        // Declare the audit counters up front so a clean run exports an
+        // explicit zero rather than omitting the series.
+        registry.counter("ingest.quarantined_lines");
+        registry.counter("store.flows_dropped");
+        registry.gauge("bench.scale").set(opts.scale);
+        registry.gauge("bench.trials").set(opts.trials as f64);
         let t0 = std::time::Instant::now();
-        let scenario = Scenario::generate(ScenarioConfig::at_scale(opts.scale, opts.seed));
+        let scenario =
+            Scenario::generate_recorded(ScenarioConfig::at_scale(opts.scale, opts.seed), &registry);
         eprintln!(
             "[bench] world: {} hosts / {} blocks ({:.1?}); running detectors …",
             scenario.world.population.total_hosts(),
             scenario.world.population.block_count(),
             t0.elapsed()
         );
-        let reports = build_reports(&scenario, &PipelineConfig::paper());
+        let reports = build_reports_with(&scenario, &PipelineConfig::paper(), &registry);
         eprintln!("[bench] pipeline complete ({:.1?})", t0.elapsed());
+        let shared_context = registry.snapshot();
         ExperimentContext {
+            attempt_registry: Mutex::new(Registry::new(opts.telemetry)),
             opts,
             scenario,
             reports,
             attempt: AtomicU64::new(0),
+            registry,
+            shared_context,
             written: Mutex::new(Vec::new()),
         }
     }
@@ -176,6 +222,22 @@ impl ExperimentContext {
     pub fn begin_attempt(&self, attempt: u64) {
         self.attempt.store(attempt, Ordering::SeqCst);
         self.written.lock().expect("written lock").clear();
+        *self.attempt_registry.lock().expect("registry lock") = Registry::new(self.opts.telemetry);
+    }
+
+    /// The registry experiments should record into: a cheap clone of the
+    /// current attempt's registry (fresh per supervised attempt).
+    pub fn attempt_registry(&self) -> Registry {
+        self.attempt_registry.lock().expect("registry lock").clone()
+    }
+
+    /// Snapshot the current attempt's telemetry (the runner attaches this
+    /// to the experiment's manifest record).
+    pub fn take_attempt_snapshot(&self) -> Snapshot {
+        self.attempt_registry
+            .lock()
+            .expect("registry lock")
+            .snapshot()
     }
 
     /// The seed experiments should derive their local [`unclean_stats::SeedTree`]

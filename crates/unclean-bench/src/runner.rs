@@ -30,6 +30,8 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use unclean_flowgen::ArchiveTelemetry;
+use unclean_netmodel::Scenario;
+use unclean_telemetry::{prom, Registry, Snapshot};
 
 /// Everything that can go wrong in the harness outside an experiment's own
 /// assertions: bad usage, result I/O, serialization.
@@ -185,6 +187,11 @@ pub struct RunRecord {
     pub error: Option<String>,
     /// Output files with content hashes (resume verifies these).
     pub outputs: Vec<OutputFile>,
+    /// Telemetry for the successful attempt: the shared
+    /// generation/pipeline context merged with this experiment's own
+    /// spans and counters. `None` when telemetry is off or the
+    /// experiment failed.
+    pub telemetry: Option<Snapshot>,
 }
 
 /// The run fingerprint: results are only comparable/resumable when every
@@ -403,14 +410,16 @@ fn supervise_attempt(
     }
 }
 
-/// Supervise one experiment through its retry budget. Returns the record
-/// plus the result value when it succeeded.
+/// Supervise one experiment through its retry budget. Returns the record,
+/// the result value when it succeeded, and the experiment-local telemetry
+/// snapshot (unmerged — `run_all` prefixes and rolls it into the
+/// run-level export without double-counting the shared context).
 pub fn run_one(
     ctx: &Arc<ExperimentContext>,
     id: &str,
     runner: crate::experiments::Runner,
     cfg: &RunnerConfig,
-) -> (RunRecord, Option<Value>) {
+) -> (RunRecord, Option<Value>, Option<Snapshot>) {
     let t0 = Instant::now();
     let mut last_error = String::new();
     for attempt in 0..=cfg.retries {
@@ -422,7 +431,13 @@ pub fn run_one(
                 ctx.experiment_seed()
             );
         }
-        match supervise_attempt(ctx, id, runner, cfg.deadline) {
+        let outcome = {
+            // The "run" span brackets the whole supervised attempt, so
+            // every manifest record carries at least one stage duration.
+            let _run_span = ctx.attempt_registry().span("run");
+            supervise_attempt(ctx, id, runner, cfg.deadline)
+        };
+        match outcome {
             Ok(value) => {
                 let mut outputs = ctx.take_written();
                 // Experiments that only wrote satellite files (or none)
@@ -437,6 +452,16 @@ pub fn run_one(
                         }
                     }
                 }
+                let local = if ctx.registry.enabled() {
+                    Some(ctx.take_attempt_snapshot())
+                } else {
+                    None
+                };
+                let telemetry = local.as_ref().map(|local| {
+                    let mut merged = ctx.shared_context.clone();
+                    merged.merge(local);
+                    merged
+                });
                 return (
                     RunRecord {
                         id: id.to_string(),
@@ -445,8 +470,10 @@ pub fn run_one(
                         duration_secs: t0.elapsed().as_secs_f64(),
                         error: None,
                         outputs,
+                        telemetry,
                     },
                     Some(value),
+                    local,
                 );
             }
             Err(e) => {
@@ -464,17 +491,39 @@ pub fn run_one(
             duration_secs: t0.elapsed().as_secs_f64(),
             error: Some(last_error),
             outputs: Vec::new(),
+            telemetry: None,
         },
+        None,
         None,
     )
 }
 
+/// The flow-layer audit: archive loss accounting plus collector store
+/// accounting, both recorded onto the registry the run's `metrics.prom`
+/// is rendered from — one source of truth for manifest and metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowAudit {
+    /// Archive datagram/flow loss accounting (read-back side).
+    pub archive: ArchiveTelemetry,
+    /// Flows the collector store retained.
+    pub stored: u64,
+    /// Flows the collector store dropped.
+    pub dropped: u64,
+}
+
 /// Spool one synthetic day of border flows through the archive layer and
-/// report what the collector saw — surfacing `lost_flows` and sequence-gap
-/// counts in the manifest instead of leaving archive degradation silent.
-pub fn archive_audit(ctx: &ExperimentContext) -> Result<ArchiveTelemetry, RunError> {
-    use unclean_flowgen::{ArchiveReader, ArchiveWriter, FlowGenerator, GeneratorConfig};
-    let scenario = &ctx.scenario;
+/// a collector [`unclean_flowgen::FlowStore`], and report what came back —
+/// surfacing `lost_flows`, sequence gaps, and store drops in the manifest
+/// instead of leaving flow-layer degradation silent. All counts are also
+/// recorded onto `registry`.
+pub fn flow_audit(scenario: &Scenario, registry: &Registry) -> Result<FlowAudit, RunError> {
+    use unclean_flowgen::{
+        ArchiveReader, ArchiveWriter, FlowGenerator, FlowStore, GeneratorConfig,
+    };
+    let spool_err = |e: &dyn std::fmt::Display| RunError::Io {
+        path: "<archive spool>".into(),
+        message: e.to_string(),
+    };
     let model = scenario.activity();
     let generator = FlowGenerator::new(
         &scenario.observed,
@@ -482,10 +531,14 @@ pub fn archive_audit(ctx: &ExperimentContext) -> Result<ArchiveTelemetry, RunErr
         scenario.seeds.child("archive-audit"),
     );
     let boot = unclean_flowgen::record::EPOCH_UNIX_SECS;
+    let mut span = registry.span("audit");
     let mut writer = ArchiveWriter::new(Vec::new(), boot);
+    let mut store = FlowStore::new(None, usize::MAX);
+    store.attach_telemetry(registry);
     let day = scenario.dates.unclean_window.start;
     let mut write_error = None;
     generator.flows_on(&model, day, true, |flow| {
+        store.observe(&flow);
         if write_error.is_none() {
             if let Err(e) = writer.push(&flow) {
                 write_error = Some(e);
@@ -493,21 +546,24 @@ pub fn archive_audit(ctx: &ExperimentContext) -> Result<ArchiveTelemetry, RunErr
         }
     });
     if let Some(e) = write_error {
-        return Err(RunError::Io {
-            path: "<archive spool>".into(),
-            message: e.to_string(),
-        });
+        return Err(spool_err(&e));
     }
-    let (bytes, _) = writer.finish().map_err(|e| RunError::Io {
-        path: "<archive spool>".into(),
-        message: e.to_string(),
-    })?;
-    let mut reader = ArchiveReader::new(bytes.as_slice(), boot);
-    reader.read_all().map_err(|e| RunError::Io {
-        path: "<archive spool>".into(),
-        message: e.to_string(),
-    })?;
-    Ok(reader.telemetry())
+    let (bytes, _) = writer.finish().map_err(|e| spool_err(&e))?;
+    let mut reader = ArchiveReader::with_telemetry(bytes.as_slice(), boot, registry);
+    reader.read_all().map_err(|e| spool_err(&e))?;
+    let audit = FlowAudit {
+        archive: reader.telemetry(),
+        stored: store.flows().len() as u64,
+        dropped: store.dropped(),
+    };
+    span.field("flows", audit.archive.flows);
+    Ok(audit)
+}
+
+/// [`flow_audit`] against a context's scenario and run registry,
+/// returning only the archive side (the manifest's audit field).
+pub fn archive_audit(ctx: &ExperimentContext) -> Result<ArchiveTelemetry, RunError> {
+    flow_audit(&ctx.scenario, &ctx.registry).map(|a| a.archive)
 }
 
 /// The registry `run_all` supervises: the full experiment registry plus
@@ -568,6 +624,7 @@ pub fn run_all(ctx: Arc<ExperimentContext>, cfg: &RunnerConfig) -> ExitCode {
 
     let mut records = Vec::new();
     let mut combined = serde_json::Map::new();
+    let mut locals: Vec<(String, Snapshot)> = Vec::new();
     for (id, description, runner) in &registry {
         // Resume: skip when the manifest says this experiment succeeded
         // under the same fingerprint and its outputs verify on disk.
@@ -591,10 +648,13 @@ pub fn run_all(ctx: Arc<ExperimentContext>, cfg: &RunnerConfig) -> ExitCode {
         }
         eprintln!("\n[bench] ===== {id}: {description} =====");
         let t0 = Instant::now();
-        let (record, value) = run_one(&ctx, id, *runner, cfg);
+        let (record, value, local) = run_one(&ctx, id, *runner, cfg);
         eprintln!("[bench] {id} finished in {:.1?}", t0.elapsed());
         if let Some(value) = value {
             combined.insert(id.to_string(), value);
+        }
+        if let Some(local) = local {
+            locals.push((id.to_string(), local));
         }
         records.push(record);
     }
@@ -610,8 +670,14 @@ pub fn run_all(ctx: Arc<ExperimentContext>, cfg: &RunnerConfig) -> ExitCode {
     if let Err(e) = ctx.write_result("all", &Value::Object(combined)) {
         eprintln!("[bench] failed to write all.json: {e}");
     }
-    let telemetry = match archive_audit(&ctx) {
-        Ok(t) => Some(t),
+    let telemetry = match flow_audit(&ctx.scenario, &ctx.registry) {
+        Ok(audit) => {
+            eprintln!(
+                "[bench] flow audit: {} archived ({} lost), {} stored, {} dropped",
+                audit.archive.flows, audit.archive.lost_flows, audit.stored, audit.dropped
+            );
+            Some(audit.archive)
+        }
         Err(e) => {
             eprintln!("[bench] archive audit failed: {e}");
             None
@@ -626,6 +692,28 @@ pub fn run_all(ctx: Arc<ExperimentContext>, cfg: &RunnerConfig) -> ExitCode {
         match manifest.store(dir) {
             Ok(()) => eprintln!("[bench] wrote {}", dir.join("manifest.json").display()),
             Err(e) => eprintln!("[bench] failed to write manifest: {e}"),
+        }
+    }
+
+    // Run-level telemetry exports: the run registry (generation, pipeline,
+    // declared counters, flow audit) plus every experiment's local
+    // snapshot prefixed by its id — one merged Snapshot as JSON and the
+    // same data rendered as Prometheus text.
+    if ctx.registry.enabled() {
+        let mut run_snap = ctx.registry.snapshot();
+        for (id, local) in &locals {
+            run_snap.merge(&local.prefixed(id));
+        }
+        if let Some(dir) = &out_dir {
+            match atomic_write_json(&dir.join("telemetry.json"), &run_snap) {
+                Ok(_) => eprintln!("[bench] wrote {}", dir.join("telemetry.json").display()),
+                Err(e) => eprintln!("[bench] failed to write telemetry.json: {e}"),
+            }
+            let text = prom::render(&run_snap, "unclean");
+            match atomic_write(&dir.join("metrics.prom"), text.as_bytes()) {
+                Ok(_) => eprintln!("[bench] wrote {}", dir.join("metrics.prom").display()),
+                Err(e) => eprintln!("[bench] failed to write metrics.prom: {e}"),
+            }
         }
     }
 
@@ -776,6 +864,7 @@ mod tests {
                     file: "table1.json".into(),
                     hash,
                 }],
+                telemetry: None,
             }],
             telemetry: None,
         };

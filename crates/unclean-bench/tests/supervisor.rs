@@ -79,6 +79,7 @@ proptest! {
                 duration_secs: duration,
                 error,
                 outputs,
+                telemetry: None,
             }],
             telemetry: Some(ArchiveTelemetry {
                 datagrams: seed % 1_000,
@@ -140,6 +141,7 @@ fn resume_rejects_corrupt_final_json() {
                 file: "table2.json".into(),
                 hash,
             }],
+            telemetry: None,
         }],
         telemetry: None,
     };
@@ -260,6 +262,45 @@ fn panic_isolation_partial_results_and_resume() {
         "resumed results rebuilt into all.json"
     );
     assert!(all.get("selftest").is_some());
+
+    // Telemetry satellite files: metrics.prom must be valid Prometheus
+    // text, telemetry.json must parse back into a Snapshot, and a clean
+    // synthetic run must report zero quarantined lines / store drops.
+    let prom_text = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom");
+    let exposition = unclean_telemetry::prom::parse(&prom_text).expect("metrics.prom parses");
+    assert_eq!(
+        exposition.counter_u64("unclean_store_flows_dropped"),
+        Some(0),
+        "clean run drops nothing"
+    );
+    assert_eq!(
+        exposition.counter_u64("unclean_ingest_quarantined_lines"),
+        Some(0),
+        "clean run quarantines nothing"
+    );
+    let tel_text = std::fs::read_to_string(dir.join("telemetry.json")).expect("telemetry.json");
+    let run_snap: unclean_telemetry::Snapshot =
+        serde_json::from_str(&tel_text).expect("telemetry.json is a Snapshot");
+    assert!(
+        run_snap.counters.get("detect.flows_ingested").copied() > Some(0),
+        "run-level snapshot carries the pipeline ingest counter"
+    );
+
+    // Every successful manifest record carries a telemetry object with at
+    // least the supervised "run" stage duration and the shared pipeline
+    // ingest counters.
+    let selftest_tel = selftest
+        .telemetry
+        .as_ref()
+        .expect("successful record carries telemetry");
+    assert!(
+        selftest_tel.spans.contains_key("run"),
+        "record telemetry has the run-stage span"
+    );
+    assert!(
+        selftest_tel.counters.get("detect.flows_ingested").copied() > Some(0),
+        "record telemetry includes the shared pipeline context"
+    );
 
     // Pass 3: corrupt table1.json on disk; --resume must re-run ONLY
     // table1 (hash mismatch) and skip selftest (now verified Ok).

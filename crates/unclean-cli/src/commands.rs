@@ -312,6 +312,77 @@ pub fn demo(out_dir: &Path, scale: f64, seed: u64) -> Result<String, String> {
     Ok(out)
 }
 
+/// `unclean metrics <file> [--assert-zero a,b]`: pretty-print a telemetry
+/// export. A `telemetry.json` snapshot renders as the stage tree with
+/// counter rates; a `metrics.prom` exposition is validated and
+/// summarized. `--assert-zero` fails (exit 2) when any named counter is
+/// nonzero — absent series count as zero, so a clean run that never
+/// declared the counter still passes.
+pub fn metrics(path: &Path, assert_zero: &[String]) -> Result<String, String> {
+    use unclean_telemetry::{prom, Snapshot};
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = String::new();
+    if text.trim_start().starts_with('{') {
+        let snap: Snapshot = serde_json::from_str(&text)
+            .map_err(|e| format!("{} is not a telemetry snapshot: {e}", path.display()))?;
+        out.push_str(&snap.render_tree());
+        for name in assert_zero {
+            let v = snap.counters.get(name).copied().unwrap_or(0);
+            if v != 0 {
+                return Err(format!(
+                    "assert-zero failed: counter {name} is {v} in {}",
+                    path.display()
+                ));
+            }
+        }
+    } else {
+        let exposition = prom::parse(&text)
+            .map_err(|e| format!("{} is not valid Prometheus text: {e}", path.display()))?;
+        let _ = writeln!(
+            out,
+            "{}: valid Prometheus text ({} samples, {} typed series)",
+            path.display(),
+            exposition.samples.len(),
+            exposition.types.len()
+        );
+        for sample in exposition.samples.iter().take(40) {
+            let labels = if sample.labels.is_empty() {
+                String::new()
+            } else {
+                let pairs: Vec<String> = sample
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect();
+                format!("{{{}}}", pairs.join(","))
+            };
+            let _ = writeln!(out, "  {}{labels} {}", sample.name, sample.raw_value);
+        }
+        if exposition.samples.len() > 40 {
+            let _ = writeln!(out, "  … {} more", exposition.samples.len() - 40);
+        }
+        for name in assert_zero {
+            let total: f64 = exposition
+                .samples
+                .iter()
+                .filter(|s| s.name == *name)
+                .map(|s| s.value)
+                .sum();
+            if total != 0.0 {
+                return Err(format!(
+                    "assert-zero failed: series {name} sums to {total} in {}",
+                    path.display()
+                ));
+            }
+        }
+    }
+    if !assert_zero.is_empty() {
+        let _ = writeln!(out, "assert-zero: {} counter(s) clean", assert_zero.len());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,5 +542,49 @@ mod tests {
         let merged = merge_siblings(blocks);
         let strs: Vec<String> = merged.iter().map(|c| c.to_string()).collect();
         assert_eq!(strs, vec!["9.1.0.0/22", "9.9.0.0/24"]);
+    }
+
+    fn sample_registry() -> unclean_telemetry::Registry {
+        let registry = unclean_telemetry::Registry::full();
+        registry.counter("detect.flows_ingested").add(1234);
+        registry.counter("store.flows_dropped");
+        {
+            let _span = registry.span("pipeline");
+        }
+        registry
+    }
+
+    #[test]
+    fn metrics_renders_snapshot_json_and_asserts_zero() {
+        let dir = tmp_dir("metrics-json");
+        let snap = sample_registry().snapshot();
+        let path = dir.join("telemetry.json");
+        std::fs::write(&path, serde_json::to_string(&snap).expect("serialize")).expect("write");
+        let out = metrics(&path, &["store.flows_dropped".into()]).expect("clean");
+        assert!(out.contains("detect.flows_ingested"), "{out}");
+        assert!(out.contains("pipeline"), "{out}");
+        assert!(out.contains("assert-zero: 1 counter(s) clean"), "{out}");
+        // Absent counters count as zero; nonzero ones fail.
+        metrics(&path, &["never.declared".into()]).expect("absent is zero");
+        let err = metrics(&path, &["detect.flows_ingested".into()]).expect_err("nonzero fails");
+        assert!(err.contains("1234"), "{err}");
+    }
+
+    #[test]
+    fn metrics_validates_prometheus_text_and_asserts_zero() {
+        let dir = tmp_dir("metrics-prom");
+        let text = unclean_telemetry::prom::render(&sample_registry().snapshot(), "unclean");
+        let path = dir.join("metrics.prom");
+        std::fs::write(&path, text).expect("write");
+        let out = metrics(&path, &["unclean_store_flows_dropped".into()]).expect("clean");
+        assert!(out.contains("valid Prometheus text"), "{out}");
+        assert!(out.contains("unclean_detect_flows_ingested"), "{out}");
+        let err =
+            metrics(&path, &["unclean_detect_flows_ingested".into()]).expect_err("nonzero fails");
+        assert!(err.contains("1234"), "{err}");
+        // Malformed exposition is an error, not a silent pass.
+        let bad = dir.join("torn.prom");
+        std::fs::write(&bad, "no spaces here!{").expect("write");
+        assert!(metrics(&bad, &[]).is_err());
     }
 }

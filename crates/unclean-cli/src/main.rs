@@ -30,6 +30,7 @@ USAGE:
   unclean blocklist --report <file> [--prefix 24] [--format plain|cisco|iptables] [--aggregate]
   unclean score     --report <class>=<file> ... [--prefix 16]
   unclean demo      [--out DIR] [--scale 0.002] [--seed 42]
+  unclean metrics   <telemetry.json|metrics.prom> [--assert-zero name1,name2]
 
 Report files: one IPv4 address per line; '#' comments and blanks ignored.
 Malformed lines abort the load; 'inspect --lenient' quarantines them
@@ -104,6 +105,13 @@ fn run(args: &[String]) -> Result<String, String> {
             flag_num(&rest, "--scale", 0.002f64)?,
             flag_num(&rest, "--seed", 42u64)?,
         ),
+        "metrics" => {
+            let path = positional(&rest, 0, "telemetry file")?;
+            let assert_zero: Vec<String> = flag_value(&rest, "--assert-zero")
+                .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+                .unwrap_or_default();
+            commands::metrics(&PathBuf::from(path), &assert_zero)
+        }
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown subcommand {other:?}")),
     }

@@ -17,6 +17,7 @@ use crate::cidr::{mask, Cidr};
 use crate::ip::Ip;
 use crate::ipset::IpSet;
 use serde::{Deserialize, Serialize};
+use unclean_telemetry::Registry;
 
 /// Distinct-block counts for every prefix length `0..=32`, computed in one
 /// pass.
@@ -57,6 +58,17 @@ impl BlockCounts {
         BlockCounts { counts }
     }
 
+    /// [`BlockCounts::of`] plus telemetry: bumps
+    /// `core.blocks.counts_built` and (at `Full` level) records the input
+    /// set size into the `core.blocks.input_addresses` histogram.
+    pub fn of_recorded(set: &IpSet, registry: &Registry) -> BlockCounts {
+        registry.counter("core.blocks.counts_built").inc();
+        registry
+            .histogram("core.blocks.input_addresses")
+            .record(set.len() as u64);
+        BlockCounts::of(set)
+    }
+
     /// `|C_n(S)|` — the number of distinct n-bit blocks occupied.
     pub fn at(&self, n: u8) -> u64 {
         assert!(n <= 32, "prefix length {n} out of range");
@@ -95,6 +107,18 @@ impl BlockSet {
         let mut prefixes: Vec<u32> = set.as_raw().iter().map(|&v| v >> shift).collect();
         prefixes.dedup(); // input was sorted, so shifted values are sorted.
         BlockSet { len: n, prefixes }
+    }
+
+    /// [`BlockSet::of`] plus telemetry: bumps `core.blocks.sets_built`
+    /// and (at `Full` level) records the resulting block count into the
+    /// `core.blocks.set_size` histogram.
+    pub fn of_recorded(set: &IpSet, n: u8, registry: &Registry) -> BlockSet {
+        registry.counter("core.blocks.sets_built").inc();
+        let blocks = BlockSet::of(set, n);
+        registry
+            .histogram("core.blocks.set_size")
+            .record(blocks.len() as u64);
+        blocks
     }
 
     /// The prefix length n.
@@ -350,6 +374,21 @@ mod tests {
         let blocks = BlockSet::of(&report, 24);
         let hits: Vec<String> = blocks.members_of(&traffic).map(|i| i.to_string()).collect();
         assert_eq!(hits, vec!["10.1.2.9", "10.1.2.77"]);
+    }
+
+    #[test]
+    fn recorded_constructors_match_and_count() {
+        let registry = Registry::full();
+        let s = ipset(&["10.1.2.3", "10.1.2.200", "99.0.0.1"]);
+        let counts = BlockCounts::of_recorded(&s, &registry);
+        assert_eq!(counts, BlockCounts::of(&s), "telemetry changes nothing");
+        let blocks = BlockSet::of_recorded(&s, 24, &registry);
+        assert_eq!(blocks, BlockSet::of(&s, 24));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["core.blocks.counts_built"], 1);
+        assert_eq!(snap.counters["core.blocks.sets_built"], 1);
+        assert_eq!(snap.histograms["core.blocks.set_size"].sum, 2);
+        assert_eq!(snap.histograms["core.blocks.input_addresses"].sum, 3);
     }
 
     #[test]

@@ -16,9 +16,10 @@
 use crate::blocks::BlockCounts;
 use crate::ipset::IpSet;
 use crate::report::Report;
-use crate::sampling::{naive_sample, Estimator};
+use crate::sampling::{naive_sample_counting, Estimator, SampleTelemetry};
 use serde::{Deserialize, Serialize};
 use unclean_stats::{Ensemble, EnsembleBuilder, FiveNumber, SeedTree};
+use unclean_telemetry::Registry;
 
 /// An inclusive range of CIDR prefix lengths, `[lo, hi]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -192,6 +193,23 @@ impl DensityAnalysis {
         allocated_slash8s: &[u8],
         seeds: &SeedTree,
     ) -> DensityResult {
+        self.run_recorded(unclean, control, allocated_slash8s, seeds, &Registry::off())
+    }
+
+    /// [`DensityAnalysis::run`] with telemetry: the whole analysis runs
+    /// under a `density` span (tagged with the report analyzed), each
+    /// completed trial bumps `core.density.trials`, and sampling inside
+    /// the ensemble counts `core.sampling.draws`/`core.sampling.redraws`.
+    pub fn run_recorded(
+        &self,
+        unclean: &Report,
+        control: &IpSet,
+        allocated_slash8s: &[u8],
+        seeds: &SeedTree,
+        registry: &Registry,
+    ) -> DensityResult {
+        let mut span = registry.span("density");
+        span.field("report", unclean.tag());
         let cfg = &self.config;
         let k = unclean.len();
         assert!(k > 0, "cannot analyze an empty report");
@@ -200,22 +218,31 @@ impl DensityAnalysis {
 
         let estimator = cfg.estimator;
         let range = cfg.range;
-        let ensemble = EnsembleBuilder::new(xs.clone(), cfg.trials).run(
-            &seeds.child("density").child(unclean.tag()),
-            move |_idx, rng, _xs| {
-                let sample = match estimator {
-                    Estimator::Empirical => control
-                        .sample(rng, k)
-                        .expect("control is larger than any unclean report"),
-                    Estimator::Naive => naive_sample(allocated_slash8s, k, rng)
-                        .expect("allocated space exceeds any report size"),
-                };
-                density_curve(&sample, range)
-                    .into_iter()
-                    .map(|c| c as f64)
-                    .collect()
-            },
-        );
+        let sample_telemetry = SampleTelemetry::in_registry(registry);
+        let ensemble = EnsembleBuilder::new(xs.clone(), cfg.trials)
+            .count_into(registry.counter("core.density.trials"))
+            .run(
+                &seeds.child("density").child(unclean.tag()),
+                move |_idx, rng, _xs| {
+                    let sample = match estimator {
+                        Estimator::Empirical => {
+                            let s = control
+                                .sample(rng, k)
+                                .expect("control is larger than any unclean report");
+                            sample_telemetry.count_draws(k);
+                            s
+                        }
+                        Estimator::Naive => {
+                            naive_sample_counting(allocated_slash8s, k, rng, &sample_telemetry)
+                                .expect("allocated space exceeds any report size")
+                        }
+                    };
+                    density_curve(&sample, range)
+                        .into_iter()
+                        .map(|c| c as f64)
+                        .collect()
+                },
+            );
 
         let support: Vec<f64> = observed
             .iter()
@@ -389,6 +416,25 @@ mod tests {
         let control = scattered_control();
         let empty = mk_report("none", vec![]);
         DensityAnalysis::paper().run(&empty, &control, &[], &SeedTree::new(1));
+    }
+
+    #[test]
+    fn recorded_run_matches_and_records() {
+        let control = scattered_control();
+        let unclean = clustered_report(400);
+        let analysis = DensityAnalysis::with_config(DensityConfig {
+            trials: 8,
+            ..DensityConfig::default()
+        });
+        let registry = Registry::full();
+        let recorded = analysis.run_recorded(&unclean, &control, &[], &SeedTree::new(5), &registry);
+        let plain = analysis.run(&unclean, &control, &[], &SeedTree::new(5));
+        assert_eq!(recorded.control, plain.control, "telemetry changes nothing");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["core.density.trials"], 8);
+        assert_eq!(snap.counters["core.sampling.draws"], 8 * 400);
+        assert_eq!(snap.spans["density"].count, 1);
+        assert_eq!(snap.spans["density"].fields["report"], "bot");
     }
 
     #[test]

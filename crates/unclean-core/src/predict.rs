@@ -22,6 +22,7 @@ use crate::ipset::IpSet;
 use crate::report::Report;
 use serde::{Deserialize, Serialize};
 use unclean_stats::{Ensemble, EnsembleBuilder, ExceedanceTest, SeedTree, Verdict};
+use unclean_telemetry::Registry;
 
 /// `|C_n(past) ∩ C_n(present)|` for each prefix length in `range`.
 pub fn prediction_curve(past: &IpSet, present: &IpSet, range: PrefixRange) -> Vec<u64> {
@@ -125,6 +126,23 @@ impl TemporalAnalysis {
         control: &IpSet,
         seeds: &SeedTree,
     ) -> TemporalResult {
+        self.run_recorded(past, present, control, seeds, &Registry::off())
+    }
+
+    /// [`TemporalAnalysis::run`] with telemetry: the analysis runs under a
+    /// `temporal` span tagged `past→present`, and every completed ensemble
+    /// trial bumps `core.temporal.trials`.
+    pub fn run_recorded(
+        &self,
+        past: &Report,
+        present: &Report,
+        control: &IpSet,
+        seeds: &SeedTree,
+        registry: &Registry,
+    ) -> TemporalResult {
+        let mut span = registry.span("temporal");
+        span.field("past", past.tag());
+        span.field("present", present.tag());
         let cfg = &self.config;
         let k = past.len();
         assert!(k > 0, "cannot analyze an empty past report");
@@ -141,21 +159,23 @@ impl TemporalAnalysis {
             .map(|n| BlockSet::of(present.addresses(), n))
             .collect();
         let range = cfg.range;
-        let ensemble = EnsembleBuilder::new(xs.clone(), cfg.trials).run(
-            &seeds
-                .child("temporal")
-                .child(past.tag())
-                .child(present.tag()),
-            move |_idx, rng, _xs| {
-                let sample = control
-                    .sample(rng, k)
-                    .expect("control outnumbers any past report");
-                (range.lo..=range.hi)
-                    .zip(&present_blocks)
-                    .map(|(n, pb)| BlockSet::of(&sample, n).intersect_count(pb) as f64)
-                    .collect()
-            },
-        );
+        let ensemble = EnsembleBuilder::new(xs.clone(), cfg.trials)
+            .count_into(registry.counter("core.temporal.trials"))
+            .run(
+                &seeds
+                    .child("temporal")
+                    .child(past.tag())
+                    .child(present.tag()),
+                move |_idx, rng, _xs| {
+                    let sample = control
+                        .sample(rng, k)
+                        .expect("control outnumbers any past report");
+                    (range.lo..=range.hi)
+                        .zip(&present_blocks)
+                        .map(|(n, pb)| BlockSet::of(&sample, n).intersect_count(pb) as f64)
+                        .collect()
+                },
+            );
 
         let observed_f: Vec<f64> = observed.iter().map(|&v| v as f64).collect();
         let test = ExceedanceTest::run(&ensemble, &observed_f, cfg.threshold);
@@ -264,6 +284,35 @@ mod tests {
         );
         assert_eq!(res.past_tag, "bot-test");
         assert_eq!(res.present_tag, "bot");
+    }
+
+    #[test]
+    fn recorded_run_matches_and_counts_trials() {
+        let analysis = TemporalAnalysis::with_config(TemporalConfig {
+            trials: 12,
+            ..TemporalConfig::default()
+        });
+        let registry = Registry::full();
+        let recorded = analysis.run_recorded(
+            &unclean_past(),
+            &unclean_present(),
+            &control(),
+            &SeedTree::new(1),
+            &registry,
+        );
+        let plain = analysis.run(
+            &unclean_past(),
+            &unclean_present(),
+            &control(),
+            &SeedTree::new(1),
+        );
+        assert_eq!(recorded.control, plain.control, "telemetry changes nothing");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["core.temporal.trials"], 12);
+        let span = &snap.spans["temporal"];
+        assert_eq!(span.count, 1);
+        assert_eq!(span.fields["past"], "bot-test");
+        assert_eq!(span.fields["present"], "bot");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::error::Error;
 use crate::ipset::IpSet;
 use rand::{Rng, RngCore};
+use unclean_telemetry::{Counter, Registry};
 
 /// How the reference population for a density comparison is estimated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +33,48 @@ pub fn naive_sample(
     k: usize,
     rng: &mut impl RngCore,
 ) -> Result<IpSet, Error> {
+    naive_sample_counting(allocated_slash8s, k, rng, &SampleTelemetry::off())
+}
+
+/// Per-trial sampling counters, resolved once and reused across trials
+/// (sampling runs inside the 1000-trial ensembles, so the registry map is
+/// only touched at construction).
+#[derive(Debug, Clone, Default)]
+pub struct SampleTelemetry {
+    draws: Counter,
+    redraws: Counter,
+}
+
+impl SampleTelemetry {
+    /// Counters bound to `registry`: `core.sampling.draws` (addresses
+    /// requested) and `core.sampling.redraws` (collision re-draws in the
+    /// naive estimator's rejection loop).
+    pub fn in_registry(registry: &Registry) -> SampleTelemetry {
+        SampleTelemetry {
+            draws: registry.counter("core.sampling.draws"),
+            redraws: registry.counter("core.sampling.redraws"),
+        }
+    }
+
+    /// Disabled counters (what [`Default`] gives too).
+    pub fn off() -> SampleTelemetry {
+        SampleTelemetry::default()
+    }
+
+    /// Book `k` requested draws (for samplers without a rejection loop).
+    pub fn count_draws(&self, k: usize) {
+        self.draws.add(k as u64);
+    }
+}
+
+/// [`naive_sample`] with telemetry: counts the `k` requested draws and
+/// every collision re-draw the rejection loop performs.
+pub fn naive_sample_counting(
+    allocated_slash8s: &[u8],
+    k: usize,
+    rng: &mut impl RngCore,
+    telemetry: &SampleTelemetry,
+) -> Result<IpSet, Error> {
     if allocated_slash8s.is_empty() {
         return Err(Error::SampleTooLarge {
             requested: k,
@@ -45,12 +88,16 @@ pub fn naive_sample(
             available: space as usize,
         });
     }
+    telemetry.draws.add(k as u64);
+    let mut attempts = 0u64;
     let mut addrs = std::collections::HashSet::with_capacity(k * 2);
     while addrs.len() < k {
+        attempts += 1;
         let s8 = allocated_slash8s[rng.gen_range(0..allocated_slash8s.len())];
         let host = rng.gen_range(0u32..1 << 24);
         addrs.insert(((s8 as u32) << 24) | host);
     }
+    telemetry.redraws.add(attempts - k as u64);
     Ok(IpSet::from_raw(addrs.into_iter().collect()))
 }
 
@@ -68,9 +115,32 @@ pub fn sample(
     k: usize,
     rng: &mut impl RngCore,
 ) -> Result<IpSet, Error> {
+    sample_counting(
+        estimator,
+        control,
+        allocated_slash8s,
+        k,
+        rng,
+        &SampleTelemetry::off(),
+    )
+}
+
+/// [`sample`] with telemetry: every estimator counts its draws; the naive
+/// estimator additionally counts collision re-draws.
+pub fn sample_counting(
+    estimator: Estimator,
+    control: &IpSet,
+    allocated_slash8s: &[u8],
+    k: usize,
+    rng: &mut impl RngCore,
+    telemetry: &SampleTelemetry,
+) -> Result<IpSet, Error> {
     match estimator {
-        Estimator::Naive => naive_sample(allocated_slash8s, k, rng),
-        Estimator::Empirical => empirical_sample(control, k, rng),
+        Estimator::Naive => naive_sample_counting(allocated_slash8s, k, rng, telemetry),
+        Estimator::Empirical => {
+            telemetry.draws.add(k as u64);
+            empirical_sample(control, k, rng)
+        }
     }
 }
 
@@ -134,6 +204,33 @@ mod tests {
         assert!(a.iter().all(|ip| control.contains(ip)));
         let b = sample(Estimator::Naive, &control, &[7], 10, &mut rng).expect("ok");
         assert!(b.iter().all(|ip| ip.slash8() == 7));
+    }
+
+    #[test]
+    fn telemetry_counts_draws_and_redraws() {
+        let registry = unclean_telemetry::Registry::full();
+        let telemetry = SampleTelemetry::in_registry(&registry);
+        let mut rng = SeedTree::new(9).stream("t");
+        // A tiny space (one /24 worth via narrow host range is not possible
+        // here, so use one /8) still collides rarely; force collisions by
+        // sampling a large fraction of a single /8.
+        let k = 200_000;
+        naive_sample_counting(&[4], k, &mut rng, &telemetry).expect("ok");
+        let control = IpSet::from_raw((0..1000).map(|i| (4 << 24) | i).collect());
+        sample_counting(
+            Estimator::Empirical,
+            &control,
+            &[4],
+            50,
+            &mut rng,
+            &telemetry,
+        )
+        .expect("ok");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["core.sampling.draws"], k as u64 + 50);
+        // ~200k draws from 16.7M addresses: birthday collisions are all but
+        // certain but few; the counter just has to be consistent.
+        assert!(snap.counters["core.sampling.redraws"] < k as u64 / 10);
     }
 
     #[test]

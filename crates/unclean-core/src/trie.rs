@@ -10,6 +10,7 @@
 use crate::cidr::Cidr;
 use crate::ip::Ip;
 use crate::ipset::IpSet;
+use unclean_telemetry::{Counter, Registry};
 
 /// Index of a trie node in the arena; `NONE` marks an absent child.
 type NodeIdx = u32;
@@ -34,6 +35,8 @@ impl Node {
 pub struct PrefixTrie {
     nodes: Vec<Node>,
     len: usize,
+    inserts_counter: Counter,
+    lookups_counter: Counter,
 }
 
 impl Default for PrefixTrie {
@@ -48,6 +51,8 @@ impl PrefixTrie {
         PrefixTrie {
             nodes: vec![Node::leaf()],
             len: 0,
+            inserts_counter: Counter::disabled(),
+            lookups_counter: Counter::disabled(),
         }
     }
 
@@ -60,8 +65,17 @@ impl PrefixTrie {
         t
     }
 
+    /// Record hot-path traffic onto `registry`: `core.trie.inserts`
+    /// (every [`PrefixTrie::insert`] call, new or duplicate) and
+    /// `core.trie.lookups` (every containment query).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.inserts_counter = registry.counter("core.trie.inserts");
+        self.lookups_counter = registry.counter("core.trie.lookups");
+    }
+
     /// Insert one address; returns whether it was new.
     pub fn insert(&mut self, ip: Ip) -> bool {
+        self.inserts_counter.inc();
         let mut idx: usize = 0;
         let mut created = false;
         for depth in 0..32 {
@@ -95,6 +109,7 @@ impl PrefixTrie {
 
     /// Whether the exact address is present.
     pub fn contains(&self, ip: Ip) -> bool {
+        self.lookups_counter.inc();
         self.node_at(ip, 32).is_some()
     }
 
@@ -102,6 +117,7 @@ impl PrefixTrie {
     /// the inclusion relation `i ⊏ S` at prefix length `n`.
     pub fn contains_prefix(&self, ip: Ip, n: u8) -> bool {
         assert!(n <= 32, "prefix length {n} out of range");
+        self.lookups_counter.inc();
         self.node_at(ip, n).is_some()
     }
 
@@ -336,5 +352,19 @@ mod tests {
     #[test]
     fn empty_aggregate() {
         assert!(PrefixTrie::new().aggregate().is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_inserts_and_lookups() {
+        let registry = unclean_telemetry::Registry::full();
+        let mut t = PrefixTrie::new();
+        t.attach_telemetry(&registry);
+        t.insert(ip("10.1.2.3"));
+        t.insert(ip("10.1.2.3")); // duplicate still counted as an insert
+        assert!(t.contains(ip("10.1.2.3")));
+        assert!(t.contains_prefix(ip("10.1.2.250"), 24));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["core.trie.inserts"], 2);
+        assert_eq!(snap.counters["core.trie.lookups"], 2);
     }
 }

@@ -19,6 +19,7 @@ use unclean_core::{
 };
 use unclean_flowgen::{CandidateCollector, FlowGenerator, GeneratorConfig};
 use unclean_netmodel::{control_report, Scenario};
+use unclean_telemetry::Registry;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -81,26 +82,53 @@ impl ReportSet {
 
 /// Run the full pipeline over a scenario.
 pub fn build_reports(scenario: &Scenario, cfg: &PipelineConfig) -> ReportSet {
+    build_reports_with(scenario, cfg, &Registry::off())
+}
+
+/// [`build_reports`] with telemetry: the detector sweep, provided-report
+/// assembly, and §3.2 filter each run under a `pipeline/...` span; flow
+/// generation counts onto `flowgen.*`; detector ingest and hits count
+/// onto `detect.*`; and every final report's cardinality lands in a
+/// `pipeline.reports.<tag>` counter.
+pub fn build_reports_with(
+    scenario: &Scenario,
+    cfg: &PipelineConfig,
+    registry: &Registry,
+) -> ReportSet {
+    let pipeline_span = registry.span("pipeline");
     let dates = scenario.dates;
     let model = scenario.activity();
-    let generator = FlowGenerator::new(
+    let mut generator = FlowGenerator::new(
         &scenario.observed,
         cfg.generator.clone(),
         scenario.seeds.child("flowgen"),
     );
+    generator.attach_telemetry(registry);
 
     // Observed reports: run the behavioural detectors over the unclean
     // window's border flows.
+    let flows_ingested = registry.counter("detect.flows_ingested");
     let mut scan_det = HourlyFanoutDetector::new(cfg.fanout.clone());
     let mut spam_det = SpamDetector::new(cfg.spam.clone());
-    for day in dates.unclean_window.days() {
-        generator.flows_on(&model, day, cfg.detect_over_benign, |f| {
-            scan_det.observe(&f);
-            spam_det.observe(&f);
-        });
-        scan_det.flush_window_state();
-        spam_det.flush_window_state();
+    {
+        let mut detect_span = pipeline_span.child("detect");
+        detect_span.field("days", dates.unclean_window.len_days());
+        for day in dates.unclean_window.days() {
+            generator.flows_on(&model, day, cfg.detect_over_benign, |f| {
+                flows_ingested.inc();
+                scan_det.observe(&f);
+                spam_det.observe(&f);
+            });
+            scan_det.flush_window_state();
+            spam_det.flush_window_state();
+        }
     }
+    registry
+        .counter("detect.scan.hits")
+        .add(scan_det.detected_count() as u64);
+    registry
+        .counter("detect.spam.hits")
+        .add(spam_det.detected_count() as u64);
     let scan = Report::new(
         "scan",
         ReportClass::Scanning,
@@ -117,6 +145,7 @@ pub fn build_reports(scenario: &Scenario, cfg: &PipelineConfig) -> ReportSet {
     );
 
     // Provided reports.
+    let provided_span = pipeline_span.child("provided");
     let monitor = BotMonitor::new(&scenario.channels, &cfg.monitor);
     let bot = Report::new(
         "bot",
@@ -142,10 +171,12 @@ pub fn build_reports(scenario: &Scenario, cfg: &PipelineConfig) -> ReportSet {
 
     // The observed control report.
     let control = control_report(&model, dates.control_week);
+    drop(provided_span);
 
     // Filter everything the way §3.2 requires (reserved + observed-network
     // addresses). Synthetic sources can't produce those, but the pipeline
     // runs the filter anyway — it is part of the method.
+    let filter_span = pipeline_span.child("filter");
     let observed_blocks = scenario.observed.blocks().to_vec();
     let filter = |r: Report| r.filter_for_analysis(&observed_blocks);
     let bot = filter(bot);
@@ -156,9 +187,10 @@ pub fn build_reports(scenario: &Scenario, cfg: &PipelineConfig) -> ReportSet {
     let spam = filter(spam);
     let bot_test = filter(bot_test);
     let control = filter(control);
+    drop(filter_span);
 
     let unclean = union_reports(&[&bot, &phish, &scan, &spam], "unclean");
-    ReportSet {
+    let reports = ReportSet {
         bot,
         phish,
         phish_window,
@@ -168,7 +200,21 @@ pub fn build_reports(scenario: &Scenario, cfg: &PipelineConfig) -> ReportSet {
         control,
         bot_test,
         unclean,
+    };
+    for r in [
+        &reports.bot,
+        &reports.phish,
+        &reports.scan,
+        &reports.spam,
+        &reports.control,
+        &reports.bot_test,
+        &reports.unclean,
+    ] {
+        registry
+            .counter(&format!("pipeline.reports.{}", r.tag()))
+            .add(r.len() as u64);
     }
+    reports
 }
 
 /// Stream the blocking window's traffic from `C_n(bot_test)` through the
@@ -179,14 +225,33 @@ pub fn build_candidates(
     prefix_len: u8,
     cfg: &PipelineConfig,
 ) -> Vec<Candidate> {
-    let blocks = BlockSet::of(bot_test.addresses(), prefix_len);
+    build_candidates_with(scenario, bot_test, prefix_len, cfg, &Registry::off())
+}
+
+/// [`build_candidates`] with telemetry: runs under a
+/// `pipeline/candidates` span, counts collector ingest onto
+/// `collector.*`, and books the partition sizes as
+/// `detect.candidates.total` and `detect.candidates.payload_bearing`
+/// (the §6.1 "legitimate user" half — candidates a naive blocker would
+/// falsely block).
+pub fn build_candidates_with(
+    scenario: &Scenario,
+    bot_test: &Report,
+    prefix_len: u8,
+    cfg: &PipelineConfig,
+    registry: &Registry,
+) -> Vec<Candidate> {
+    let _span = registry.span("pipeline/candidates");
+    let blocks = BlockSet::of_recorded(bot_test.addresses(), prefix_len, registry);
     let model = scenario.activity();
-    let generator = FlowGenerator::new(
+    let mut generator = FlowGenerator::new(
         &scenario.observed,
         cfg.generator.clone(),
         scenario.seeds.child("flowgen"),
     );
+    generator.attach_telemetry(registry);
     let mut collector = CandidateCollector::new(blocks.clone());
+    collector.attach_telemetry(registry);
     for day in scenario.dates.unclean_window.days() {
         model.hostile_events_on_filtered(
             day,
@@ -200,7 +265,14 @@ pub fn build_candidates(
             |e| generator.expand(&e, |f| collector.observe(&f)),
         );
     }
-    collector.candidates()
+    let candidates = collector.candidates();
+    registry
+        .counter("detect.candidates.total")
+        .add(candidates.len() as u64);
+    registry
+        .counter("detect.candidates.payload_bearing")
+        .add(candidates.iter().filter(|c| c.payload_bearing).count() as u64);
+    candidates
 }
 
 /// Figure 1's daily scanner series: for each day in `span`, the set of
@@ -216,17 +288,36 @@ pub fn daily_scanners(
     include_benign: bool,
     cfg: &PipelineConfig,
 ) -> Vec<(Day, IpSet)> {
+    daily_scanners_with(scenario, span, include_benign, cfg, &Registry::off())
+}
+
+/// [`daily_scanners`] with telemetry: the sweep runs under a
+/// `pipeline/daily_scan` span (tagged with the day count) and per-day
+/// detections accumulate into `detect.scan.daily_hits`.
+pub fn daily_scanners_with(
+    scenario: &Scenario,
+    span: DateRange,
+    include_benign: bool,
+    cfg: &PipelineConfig,
+    registry: &Registry,
+) -> Vec<(Day, IpSet)> {
+    let mut sweep_span = registry.span("pipeline/daily_scan");
+    sweep_span.field("days", span.len_days());
+    let daily_hits = registry.counter("detect.scan.daily_hits");
     let model = scenario.activity();
-    let generator = FlowGenerator::new(
+    let mut generator = FlowGenerator::new(
         &scenario.observed,
         cfg.generator.clone(),
         scenario.seeds.child("flowgen"),
     );
+    generator.attach_telemetry(registry);
     let mut out = Vec::with_capacity(span.len_days() as usize);
     for day in span.days() {
         let mut det = HourlyFanoutDetector::new(cfg.fanout.clone());
         generator.flows_on(&model, day, include_benign, |f| det.observe(&f));
-        out.push((day, det.detected()));
+        let detected = det.detected();
+        daily_hits.add(detected.len() as u64);
+        out.push((day, detected));
     }
     out
 }
@@ -359,6 +450,46 @@ mod tests {
             0,
             "no benign spam false positives"
         );
+    }
+
+    #[test]
+    fn instrumented_pipeline_matches_and_records() {
+        let s = scenario();
+        let cfg = PipelineConfig::paper();
+        let registry = Registry::full();
+        let recorded = build_reports_with(&s, &cfg, &registry);
+        let plain = build_reports(&s, &cfg);
+        assert_eq!(recorded.bot, plain.bot, "telemetry changes nothing");
+        assert_eq!(recorded.unclean, plain.unclean);
+        let candidates = build_candidates_with(&s, &recorded.bot_test, 24, &cfg, &registry);
+        let snap = registry.snapshot();
+        assert!(snap.counters["detect.flows_ingested"] > 0);
+        assert_eq!(
+            snap.counters["detect.scan.hits"],
+            recorded.scan.len() as u64
+        );
+        assert_eq!(
+            snap.counters["detect.spam.hits"],
+            recorded.spam.len() as u64
+        );
+        assert_eq!(
+            snap.counters["pipeline.reports.unclean"],
+            recorded.unclean.len() as u64
+        );
+        assert_eq!(
+            snap.counters["detect.candidates.total"],
+            candidates.len() as u64
+        );
+        assert!(
+            snap.counters["detect.candidates.payload_bearing"]
+                <= snap.counters["detect.candidates.total"]
+        );
+        assert_eq!(snap.spans["pipeline"].count, 1);
+        assert_eq!(snap.spans["pipeline/detect"].count, 1);
+        assert_eq!(snap.spans["pipeline/provided"].count, 1);
+        assert_eq!(snap.spans["pipeline/filter"].count, 1);
+        assert_eq!(snap.spans["pipeline/candidates"].count, 1);
+        assert!(snap.counters["flowgen.flows_generated"] > 0);
     }
 
     #[test]

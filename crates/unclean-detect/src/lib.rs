@@ -25,7 +25,10 @@ pub mod scan;
 pub mod spam;
 
 pub use botmonitor::{BotMonitor, MonitorConfig};
-pub use builder::{build_candidates, build_reports, daily_scanners, PipelineConfig, ReportSet};
+pub use builder::{
+    build_candidates, build_candidates_with, build_reports, build_reports_with, daily_scanners,
+    daily_scanners_with, PipelineConfig, ReportSet,
+};
 pub use phishlist::phish_report;
 pub use scan::{FanoutConfig, HourlyFanoutDetector, TrwConfig, TrwDetector};
 pub use spam::{SpamConfig, SpamDetector};

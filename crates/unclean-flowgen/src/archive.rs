@@ -13,6 +13,7 @@ use crate::record::{
 use crate::session::Flow;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
+use unclean_telemetry::{Counter, Registry};
 
 /// Packs flows into framed V5 datagrams on any `Write`.
 #[derive(Debug)]
@@ -95,13 +96,41 @@ pub struct ArchiveTelemetry {
     pub reordered: u64,
 }
 
+/// The registry counters an [`ArchiveReader`] records into. The reader's
+/// loss accounting lives in these counters — [`ArchiveReader::telemetry`]
+/// reads them back — so a registry-bound reader feeds the manifest's
+/// archive audit and `metrics.prom` from one source of truth.
+#[derive(Debug, Clone)]
+struct ArchiveCounters {
+    datagrams: Counter,
+    flows: Counter,
+    lost_flows: Counter,
+    sequence_gaps: Counter,
+    reordered: Counter,
+}
+
+impl ArchiveCounters {
+    /// Counters bound to `registry` under `archive.*` names, or private
+    /// standalone cells when the registry is disabled (a reader must keep
+    /// loss accounting regardless of telemetry level).
+    fn new(registry: &Registry) -> ArchiveCounters {
+        ArchiveCounters {
+            datagrams: registry.counter_or_standalone("archive.datagrams"),
+            flows: registry.counter_or_standalone("archive.flows"),
+            lost_flows: registry.counter_or_standalone("archive.lost_flows"),
+            sequence_gaps: registry.counter_or_standalone("archive.sequence_gaps"),
+            reordered: registry.counter_or_standalone("archive.reordered"),
+        }
+    }
+}
+
 /// Replays a framed archive, reporting flows and sequence gaps.
 #[derive(Debug)]
 pub struct ArchiveReader<R: Read> {
     input: R,
     boot_unix_secs: u32,
     expected_sequence: Option<u32>,
-    telemetry: ArchiveTelemetry,
+    counters: ArchiveCounters,
 }
 
 /// Errors while reading an archive.
@@ -125,19 +154,37 @@ impl std::fmt::Display for ArchiveError {
 impl std::error::Error for ArchiveError {}
 
 impl<R: Read> ArchiveReader<R> {
-    /// A reader over a framed archive written with the same boot anchor.
+    /// A reader over a framed archive written with the same boot anchor,
+    /// counting into private cells. Use [`ArchiveReader::with_telemetry`]
+    /// to expose the same counts on a shared registry.
     pub fn new(input: R, boot_unix_secs: u32) -> ArchiveReader<R> {
+        ArchiveReader::with_telemetry(input, boot_unix_secs, &Registry::off())
+    }
+
+    /// A reader whose loss accounting records onto `registry` as the
+    /// `archive.datagrams` / `archive.flows` / `archive.lost_flows` /
+    /// `archive.sequence_gaps` / `archive.reordered` counters — the same
+    /// cells [`ArchiveReader::telemetry`] reads back, so the manifest
+    /// audit and Prometheus export cannot disagree.
+    pub fn with_telemetry(input: R, boot_unix_secs: u32, registry: &Registry) -> ArchiveReader<R> {
         ArchiveReader {
             input,
             boot_unix_secs,
             expected_sequence: None,
-            telemetry: ArchiveTelemetry::default(),
+            counters: ArchiveCounters::new(registry),
         }
     }
 
-    /// Loss and delivery accounting so far.
+    /// Loss and delivery accounting so far (read back from the counters,
+    /// registry-bound or standalone).
     pub fn telemetry(&self) -> ArchiveTelemetry {
-        self.telemetry
+        ArchiveTelemetry {
+            datagrams: self.counters.datagrams.get(),
+            flows: self.counters.flows.get(),
+            lost_flows: self.counters.lost_flows.get(),
+            sequence_gaps: self.counters.sequence_gaps.get(),
+            reordered: self.counters.reordered.get(),
+        }
     }
 
     /// Read the next datagram's flows; `Ok(None)` at clean end-of-archive.
@@ -165,16 +212,16 @@ impl<R: Read> ArchiveReader<R> {
                 if delta == 0 {
                     self.expected_sequence = Some(next);
                 } else if delta <= u32::MAX / 2 {
-                    self.telemetry.lost_flows += u64::from(delta);
-                    self.telemetry.sequence_gaps += 1;
+                    self.counters.lost_flows.add(u64::from(delta));
+                    self.counters.sequence_gaps.inc();
                     self.expected_sequence = Some(next);
                 } else {
-                    self.telemetry.reordered += 1;
+                    self.counters.reordered.inc();
                 }
             }
         }
-        self.telemetry.datagrams += 1;
-        self.telemetry.flows += records.len() as u64;
+        self.counters.datagrams.inc();
+        self.counters.flows.add(records.len() as u64);
         Ok(Some(
             records
                 .iter()
@@ -322,6 +369,29 @@ mod tests {
             Err(ArchiveError::Decode(DecodeError::BadVersion(_))) => {}
             other => panic!("expected decode error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn registry_and_struct_report_the_same_numbers() {
+        use unclean_telemetry::TelemetryLevel;
+        // Splice out the middle datagram so loss counters are nonzero.
+        let bytes = write_archive(90);
+        let dg_len = 2 + V5_HEADER_LEN + 30 * V5_RECORD_LEN;
+        let mut spliced = Vec::new();
+        spliced.extend_from_slice(&bytes[..dg_len]);
+        spliced.extend_from_slice(&bytes[2 * dg_len..]);
+        let registry = Registry::new(TelemetryLevel::Summary);
+        let mut r = ArchiveReader::with_telemetry(spliced.as_slice(), boot(), &registry);
+        r.read_all().expect("well-formed");
+        let t = r.telemetry();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["archive.datagrams"], t.datagrams);
+        assert_eq!(snap.counters["archive.flows"], t.flows);
+        assert_eq!(snap.counters["archive.lost_flows"], t.lost_flows);
+        assert_eq!(snap.counters["archive.sequence_gaps"], t.sequence_gaps);
+        assert_eq!(snap.counters["archive.reordered"], t.reordered);
+        assert_eq!(t.lost_flows, 30);
+        assert_eq!(t.sequence_gaps, 1);
     }
 
     #[test]

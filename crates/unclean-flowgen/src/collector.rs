@@ -15,6 +15,7 @@ use crate::session::Flow;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use unclean_core::{BlockSet, Candidate, Day, Ip};
+use unclean_telemetry::{Counter, Registry};
 
 /// Per-source evidence accumulated over an observation window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -62,6 +63,8 @@ impl SrcEvidence {
 pub struct CandidateCollector {
     blocks: BlockSet,
     evidence: HashMap<u32, SrcEvidence>,
+    flows_observed: Counter,
+    flows_matched: Counter,
 }
 
 impl CandidateCollector {
@@ -70,7 +73,17 @@ impl CandidateCollector {
         CandidateCollector {
             blocks,
             evidence: HashMap::new(),
+            flows_observed: Counter::disabled(),
+            flows_matched: Counter::disabled(),
         }
+    }
+
+    /// Record ingest counts onto `registry`: `collector.flows_observed`
+    /// (every flow fed in) and `collector.flows_matched` (flows whose
+    /// source fell inside the watched blocks).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.flows_observed = registry.counter("collector.flows_observed");
+        self.flows_matched = registry.counter("collector.flows_matched");
     }
 
     /// The watched block set.
@@ -80,7 +93,9 @@ impl CandidateCollector {
 
     /// Feed one flow.
     pub fn observe(&mut self, flow: &Flow) {
+        self.flows_observed.inc();
         if self.blocks.contains(flow.src) {
+            self.flows_matched.inc();
             self.evidence
                 .entry(flow.src.raw())
                 .or_default()
@@ -128,6 +143,8 @@ pub struct FlowStore {
     cap: usize,
     flows: Vec<Flow>,
     dropped: u64,
+    stored_counter: Counter,
+    dropped_counter: Counter,
 }
 
 impl FlowStore {
@@ -139,7 +156,18 @@ impl FlowStore {
             cap,
             flows: Vec::new(),
             dropped: 0,
+            stored_counter: Counter::disabled(),
+            dropped_counter: Counter::disabled(),
         }
+    }
+
+    /// Record retention onto `registry`: `store.flows_stored` and
+    /// `store.flows_dropped` (matching flows past the cap). Declaring
+    /// both up front means a clean run exports `store.flows_dropped 0`
+    /// rather than omitting the series.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.stored_counter = registry.counter("store.flows_stored");
+        self.dropped_counter = registry.counter("store.flows_dropped");
     }
 
     /// Feed one flow.
@@ -151,8 +179,10 @@ impl FlowStore {
         }
         if self.flows.len() < self.cap {
             self.flows.push(*flow);
+            self.stored_counter.inc();
         } else {
             self.dropped += 1;
+            self.dropped_counter.inc();
         }
     }
 
@@ -291,5 +321,24 @@ mod tests {
         assert_eq!(s.flows_from("9.1.1.9".parse().expect("ok")).len(), 2);
         assert_eq!(s.flows_on(Day(273)).len(), 2);
         assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_ingest_and_drops() {
+        let registry = Registry::full();
+        let mut c = CandidateCollector::new(watch(&["9.1.1.5"]));
+        c.attach_telemetry(&registry);
+        c.observe(&flow("9.1.1.200", true, 273)); // inside
+        c.observe(&flow("9.1.2.200", true, 273)); // outside
+        let mut s = FlowStore::new(None, 1);
+        s.attach_telemetry(&registry);
+        s.observe(&flow("9.1.1.9", false, 273));
+        s.observe(&flow("9.1.1.9", false, 274)); // past cap
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["collector.flows_observed"], 2);
+        assert_eq!(snap.counters["collector.flows_matched"], 1);
+        assert_eq!(snap.counters["store.flows_stored"], 1);
+        assert_eq!(snap.counters["store.flows_dropped"], 1);
+        assert_eq!(s.dropped(), 1, "counter and field agree");
     }
 }

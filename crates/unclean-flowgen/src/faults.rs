@@ -26,6 +26,7 @@ use crate::session::Flow;
 use serde::{Deserialize, Serialize};
 use unclean_netmodel::randutil::{decides, index_hash};
 use unclean_stats::SeedTree;
+use unclean_telemetry::{Counter, Registry};
 
 /// Fault probabilities (each evaluated independently per flow).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -93,12 +94,24 @@ pub struct FaultStats {
     pub truncated: u64,
 }
 
+/// Registry counters mirroring [`FaultStats`], all disabled by default.
+#[derive(Debug, Clone, Default)]
+struct FaultCounters {
+    seen: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    corrupted: Counter,
+    burst_dropped: Counter,
+    truncated: Counter,
+}
+
 /// A seeded fault injector over flows.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     config: FaultConfig,
     seeds: SeedTree,
     stats: FaultStats,
+    counters: FaultCounters,
     counter: u32,
     burst_remaining: u32,
 }
@@ -127,9 +140,25 @@ impl FaultInjector {
             config,
             seeds,
             stats: FaultStats::default(),
+            counters: FaultCounters::default(),
             counter: 0,
             burst_remaining: 0,
         }
+    }
+
+    /// Mirror the injector's accounting onto `registry` as the
+    /// `faults.seen` / `faults.dropped` / `faults.duplicated` /
+    /// `faults.corrupted` / `faults.burst_dropped` / `faults.truncated`
+    /// counters (incremented alongside [`FaultInjector::stats`]).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.counters = FaultCounters {
+            seen: registry.counter("faults.seen"),
+            dropped: registry.counter("faults.dropped"),
+            duplicated: registry.counter("faults.duplicated"),
+            corrupted: registry.counter("faults.corrupted"),
+            burst_dropped: registry.counter("faults.burst_dropped"),
+            truncated: registry.counter("faults.truncated"),
+        };
     }
 
     /// What the injector has done so far.
@@ -143,20 +172,24 @@ impl FaultInjector {
         self.counter = self.counter.wrapping_add(1);
         let n = self.counter;
         self.stats.seen += 1;
+        self.counters.seen.inc();
         // A running burst swallows everything until it ends — correlated
         // loss, checked before any independent fault.
         if self.burst_remaining > 0 {
             self.burst_remaining -= 1;
             self.stats.burst_dropped += 1;
+            self.counters.burst_dropped.inc();
             return;
         }
         if decides(&self.seeds, n, 0, "fault-burst", self.config.burst_chance) {
             self.burst_remaining = self.config.burst_len.saturating_sub(1);
             self.stats.burst_dropped += 1;
+            self.counters.burst_dropped.inc();
             return;
         }
         if decides(&self.seeds, n, 0, "fault-drop", self.config.drop_chance) {
             self.stats.dropped += 1;
+            self.counters.dropped.inc();
             return;
         }
         if decides(
@@ -169,6 +202,7 @@ impl FaultInjector {
             // The record sits past the cut in a truncated datagram: its
             // partial bytes never decode, so the flow is simply lost.
             self.stats.truncated += 1;
+            self.counters.truncated.inc();
             return;
         }
         let delivered = if decides(
@@ -179,6 +213,7 @@ impl FaultInjector {
             self.config.corrupt_chance,
         ) {
             self.stats.corrupted += 1;
+            self.counters.corrupted.inc();
             corrupt_one_byte(flow, &self.seeds, n)
         } else {
             *flow
@@ -186,6 +221,7 @@ impl FaultInjector {
         sink(delivered);
         if decides(&self.seeds, n, 0, "fault-dup", self.config.duplicate_chance) {
             self.stats.duplicated += 1;
+            self.counters.duplicated.inc();
             sink(delivered);
         }
     }
@@ -383,6 +419,26 @@ mod tests {
             out.len() as u64,
             stats.seen - stats.dropped - stats.burst_dropped - stats.truncated + stats.duplicated
         );
+    }
+
+    #[test]
+    fn registry_counters_mirror_stats() {
+        let registry = Registry::full();
+        let mut inj = FaultInjector::new(FaultConfig::adverse(), SeedTree::new(7));
+        inj.attach_telemetry(&registry);
+        let mut delivered = 0u64;
+        for i in 0..2_000 {
+            inj.apply(&flow(i), |_| delivered += 1);
+        }
+        let stats = inj.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["faults.seen"], stats.seen);
+        assert_eq!(snap.counters["faults.dropped"], stats.dropped);
+        assert_eq!(snap.counters["faults.duplicated"], stats.duplicated);
+        assert_eq!(snap.counters["faults.corrupted"], stats.corrupted);
+        assert_eq!(snap.counters["faults.burst_dropped"], stats.burst_dropped);
+        assert_eq!(snap.counters["faults.truncated"], stats.truncated);
+        assert!(stats.dropped > 0, "adverse preset actually drops");
     }
 
     #[test]

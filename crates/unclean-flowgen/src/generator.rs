@@ -23,6 +23,7 @@ use unclean_netmodel::observed::ObservedNetwork;
 use unclean_netmodel::randutil::{index_hash, uniform_hash};
 use unclean_netmodel::{ActivityEvent, ActivityKind, ActivityModel};
 use unclean_stats::SeedTree;
+use unclean_telemetry::{Counter, Registry};
 
 /// Generator tunables.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,6 +55,9 @@ pub struct FlowGenerator<'a> {
     observed: &'a ObservedNetwork,
     config: GeneratorConfig,
     seeds: SeedTree,
+    events_counter: Counter,
+    flows_counter: Counter,
+    truncated_counter: Counter,
 }
 
 impl<'a> FlowGenerator<'a> {
@@ -69,7 +73,21 @@ impl<'a> FlowGenerator<'a> {
             observed,
             config,
             seeds,
+            events_counter: Counter::disabled(),
+            flows_counter: Counter::disabled(),
+            truncated_counter: Counter::disabled(),
         }
+    }
+
+    /// Record expansion counts onto `registry`:
+    /// `flowgen.events_expanded` (activity events fed in),
+    /// `flowgen.flows_generated` (border flows emitted), and
+    /// `flowgen.flows_truncated` (spam messages past the per-burst
+    /// expansion cap, i.e. deliberately not turned into flows).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.events_counter = registry.counter("flowgen.events_expanded");
+        self.flows_counter = registry.counter("flowgen.flows_generated");
+        self.truncated_counter = registry.counter("flowgen.flows_truncated");
     }
 
     /// Address of public server `idx`.
@@ -85,6 +103,12 @@ impl<'a> FlowGenerator<'a> {
 
     /// Expand one event into flows.
     pub fn expand(&self, event: &ActivityEvent, mut sink: impl FnMut(Flow)) {
+        self.events_counter.inc();
+        let mut emitted = 0u64;
+        let mut sink = |f: Flow| {
+            emitted += 1;
+            sink(f)
+        };
         let src = event.src;
         let e = src.raw();
         let d = event.day.0;
@@ -201,6 +225,8 @@ impl<'a> FlowGenerator<'a> {
                 // A message ≈ one SMTP delivery flow; cap the expansion so a
                 // burst never floods the pipeline.
                 let flows = (messages as u32).min(60);
+                self.truncated_counter
+                    .add(u64::from(messages as u32) - u64::from(flows));
                 for t in 0..flows {
                     let u =
                         |label: &str| uniform_hash(&self.seeds, e ^ t.rotate_left(11), d, label);
@@ -231,6 +257,7 @@ impl<'a> FlowGenerator<'a> {
                 // C&C rendezvous does not transit the observed border.
             }
         }
+        self.flows_counter.add(emitted);
     }
 
     /// Generate all border flows for one day: hostile activity plus
@@ -372,6 +399,25 @@ mod tests {
             assert!(net.contains(generator.mail_addr(i)));
         }
         assert_eq!(generator.server_addr(3), generator.server_addr(3 + 48));
+    }
+
+    #[test]
+    fn telemetry_counts_events_flows_and_truncation() {
+        let (net, cfg) = gen_fixture();
+        let registry = Registry::full();
+        let mut generator = FlowGenerator::new(&net, cfg, SeedTree::new(1));
+        generator.attach_telemetry(&registry);
+        let mut n = 0usize;
+        generator.expand(&event(ActivityKind::Scan { targets: 40 }), |_| n += 1);
+        generator.expand(&event(ActivityKind::Spam { messages: 500 }), |_| n += 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["flowgen.events_expanded"], 2);
+        assert_eq!(snap.counters["flowgen.flows_generated"], n as u64);
+        assert_eq!(snap.counters["flowgen.flows_generated"], 40 + 60);
+        assert_eq!(
+            snap.counters["flowgen.flows_truncated"], 440,
+            "spam messages past the 60-flow cap"
+        );
     }
 
     #[test]

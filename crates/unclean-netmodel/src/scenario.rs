@@ -28,6 +28,7 @@ use crate::world::{World, WorldConfig};
 use serde::{Deserialize, Serialize};
 use unclean_core::{DateRange, Day, IpSet};
 use unclean_stats::SeedTree;
+use unclean_telemetry::Registry;
 
 /// The paper's full-scale report sizes.
 pub mod paper_sizes {
@@ -168,7 +169,18 @@ pub struct Scenario {
 impl Scenario {
     /// Generate the scenario: world, calibrated epidemic, phishing,
     /// campaigns.
-    pub fn generate(mut config: ScenarioConfig) -> Scenario {
+    pub fn generate(config: ScenarioConfig) -> Scenario {
+        Scenario::generate_recorded(config, &Registry::off())
+    }
+
+    /// [`Scenario::generate`] with telemetry: the phases run as children
+    /// of a `scenario` span (`world`, `epidemic`, `phish`, `casting`) and
+    /// the generated inventory is counted (`netmodel.hosts`,
+    /// `netmodel.blocks`, `netmodel.channels`, `netmodel.infections`,
+    /// `netmodel.phish_sites`).
+    pub fn generate_recorded(mut config: ScenarioConfig, registry: &Registry) -> Scenario {
+        let mut scenario_span = registry.span("scenario");
+        scenario_span.field("scale", config.scale);
         let seeds = SeedTree::new(config.seed);
         let dates = ScenarioDates::paper();
         let observed = ObservedNetwork::paper_default();
@@ -182,10 +194,19 @@ impl Scenario {
         config.world.cascade.target_hosts =
             ((config.control_target as f64 / prior_coverage) as usize).max(64);
         config.world.cascade.exclude_slash8s = observed.slash8s();
+        let world_span = scenario_span.child("world");
         let world = World::generate(&config.world, &seeds);
+        drop(world_span);
+        registry
+            .counter("netmodel.hosts")
+            .add(world.population.total_hosts() as u64);
+        registry
+            .counter("netmodel.blocks")
+            .add(world.population.block_count() as u64);
 
         // Epidemic sized so the unclean window holds enough active bots to
         // fill the bot report at the configured coverage.
+        let epidemic_span = scenario_span.child("epidemic");
         let window_days = dates.unclean_window.len_days() as f64;
         let active_target = config.bot_target as f64 / config.bot_report_coverage;
         config.compromise.base_hazard =
@@ -198,14 +219,27 @@ impl Scenario {
             &config.compromise,
             &seeds,
         );
+        drop(epidemic_span);
+        registry
+            .counter("netmodel.channels")
+            .add(channels.len() as u64);
+        registry
+            .counter("netmodel.infections")
+            .add(infections.len() as u64);
 
         // Phishing sized to the target over its span (dedup across sites on
         // the same address loses a few percent; acceptable).
+        let phish_span = scenario_span.child("phish");
         let phish_days = dates.phish_span.len_days() as f64;
         config.phish.sites_per_day =
             config.phish_target as f64 / (config.phish.report_prob * phish_days);
         let phish_sites = generate_phish(&world, dates.phish_span, &config.phish, &seeds);
+        drop(phish_span);
+        registry
+            .counter("netmodel.phish_sites")
+            .add(phish_sites.len() as u64);
 
+        let casting_span = scenario_span.child("casting");
         // Figure 1's reported botnet: the channel with the most recruits
         // active at the report date.
         let fig1_channel = busiest_channel(&infections, dates.fig1_report_day, None);
@@ -234,6 +268,7 @@ impl Scenario {
                 decay: 0.10,
             }],
         };
+        drop(casting_span);
 
         Scenario {
             config,
@@ -469,5 +504,38 @@ mod tests {
         assert_eq!(a.phish_sites, b.phish_sites);
         assert_eq!(a.bot_test_channel, b.bot_test_channel);
         assert_eq!(a.bot_test_addrs(), b.bot_test_addrs());
+    }
+
+    #[test]
+    fn recorded_generation_matches_and_books_inventory() {
+        let registry = Registry::full();
+        let recorded = Scenario::generate_recorded(ScenarioConfig::at_scale(0.002, 7), &registry);
+        let plain = tiny();
+        assert_eq!(
+            recorded.infections, plain.infections,
+            "telemetry changes nothing"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["netmodel.hosts"],
+            recorded.world.population.total_hosts() as u64
+        );
+        assert_eq!(
+            snap.counters["netmodel.infections"],
+            recorded.infections.len() as u64
+        );
+        assert_eq!(
+            snap.counters["netmodel.phish_sites"],
+            recorded.phish_sites.len() as u64
+        );
+        for stage in [
+            "scenario",
+            "scenario/world",
+            "scenario/epidemic",
+            "scenario/phish",
+        ] {
+            assert_eq!(snap.spans[stage].count, 1, "{stage} recorded once");
+        }
+        assert_eq!(snap.spans["scenario"].fields["scale"], "0.002");
     }
 }

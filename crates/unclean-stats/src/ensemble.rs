@@ -12,6 +12,7 @@ use crate::rng::SeedTree;
 use crate::summary::FiveNumber;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use unclean_telemetry::Counter;
 
 /// A completed ensemble: for each x-axis position, the y-values produced by
 /// every trial.
@@ -98,6 +99,7 @@ pub struct EnsembleBuilder {
     xs: Vec<u32>,
     trials: usize,
     threads: usize,
+    progress: Counter,
 }
 
 impl EnsembleBuilder {
@@ -107,12 +109,20 @@ impl EnsembleBuilder {
             xs,
             trials,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            progress: Counter::disabled(),
         }
     }
 
     /// Cap the worker thread count (1 = serial).
     pub fn threads(mut self, n: usize) -> EnsembleBuilder {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Bump `counter` once per completed trial, from whichever worker
+    /// thread finished it (counters are lock-free and thread-safe).
+    pub fn count_into(mut self, counter: Counter) -> EnsembleBuilder {
+        self.progress = counter;
         self
     }
 
@@ -135,6 +145,7 @@ impl EnsembleBuilder {
                     let base = chunk_no * self.trials.div_ceil(n_threads);
                     let xs = &self.xs;
                     let trial = &trial;
+                    let progress = &self.progress;
                     scope.spawn(move |_| {
                         for (off, row) in chunk.iter_mut().enumerate() {
                             let idx = base + off;
@@ -147,6 +158,7 @@ impl EnsembleBuilder {
                                 ys.len(),
                                 xs.len()
                             );
+                            progress.inc();
                             *row = ys;
                         }
                     });
@@ -226,6 +238,17 @@ mod tests {
         // Strict comparison: equal values count in neither direction.
         assert_eq!(e.fraction_below(0, 3.0), 0.5);
         assert_eq!(e.fraction_above(0, 3.0), 0.25);
+    }
+
+    #[test]
+    fn count_into_counts_every_trial_across_threads() {
+        let counter = Counter::standalone();
+        let e = EnsembleBuilder::new(vec![1, 2], 23)
+            .threads(8)
+            .count_into(counter.clone())
+            .run(&SeedTree::new(4), toy_trial);
+        assert_eq!(e.trials(), 23);
+        assert_eq!(counter.get(), 23, "one bump per completed trial");
     }
 
     #[test]

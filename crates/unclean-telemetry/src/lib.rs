@@ -1,0 +1,111 @@
+//! # unclean-telemetry
+//!
+//! The observability substrate of the uncleanliness workspace: a
+//! zero-heavy-dependency, **global-free** metrics layer that every other
+//! crate threads explicitly. Nothing here touches process-wide state —
+//! a [`Registry`] is a value you construct, hand to the stages you want
+//! measured, and snapshot when you are done. Code that is handed a
+//! disabled registry pays one branch per recording and allocates nothing.
+//!
+//! Three instrument families:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-atomic cells for monotone event
+//!   counts (flows generated, records dropped) and last-value readings;
+//! * [`Histogram`] — log2-bucketed value distributions (flow sizes,
+//!   per-trial block counts), mergeable bucket-by-bucket;
+//! * [`Span`] — RAII wall-time timers that aggregate into a per-stage
+//!   timing *tree* keyed by `parent/child` paths, with optional
+//!   `key=value` fields.
+//!
+//! A [`Snapshot`] freezes a registry into plain serde-able data.
+//! Snapshots merge (`⊕`) so per-experiment registries roll up into one
+//! run-level account, and they export to Prometheus text exposition
+//! format ([`prom::render`]) whose output [`prom::parse`] validates and
+//! round-trips.
+//!
+//! ```
+//! use unclean_telemetry::{Registry, TelemetryLevel};
+//!
+//! let registry = Registry::new(TelemetryLevel::Full);
+//! let flows = registry.counter("flowgen.flows_generated");
+//! {
+//!     let _span = registry.span("generate");
+//!     flows.add(42);
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counters["flowgen.flows_generated"], 42);
+//! assert!(snap.spans["generate"].total_secs >= 0.0);
+//! let text = unclean_telemetry::prom::render(&snap, "unclean");
+//! unclean_telemetry::prom::parse(&text).expect("valid exposition");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prom;
+pub mod registry;
+pub mod snapshot;
+
+pub use registry::{Counter, Gauge, Histogram, Registry, Span};
+pub use snapshot::{HistBucket, HistogramSnapshot, Snapshot, SpanStat};
+
+/// How much the pipeline records.
+///
+/// * `Off` — every instrument is a no-op; snapshots are empty.
+/// * `Summary` — counters, gauges and spans; histograms disabled. This is
+///   the production default: overhead is a relaxed atomic add per event.
+/// * `Full` — everything, including histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TelemetryLevel {
+    /// Record nothing.
+    Off,
+    /// Counters, gauges and stage spans (the default).
+    #[default]
+    Summary,
+    /// Everything, including log2 histograms.
+    Full,
+}
+
+impl std::fmt::Display for TelemetryLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Summary => "summary",
+            TelemetryLevel::Full => "full",
+        })
+    }
+}
+
+impl std::str::FromStr for TelemetryLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TelemetryLevel, String> {
+        match s {
+            "off" => Ok(TelemetryLevel::Off),
+            "summary" => Ok(TelemetryLevel::Summary),
+            "full" => Ok(TelemetryLevel::Full),
+            other => Err(format!(
+                "unknown telemetry level {other:?} (expected off|summary|full)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_and_displays() {
+        for level in [
+            TelemetryLevel::Off,
+            TelemetryLevel::Summary,
+            TelemetryLevel::Full,
+        ] {
+            assert_eq!(level.to_string().parse::<TelemetryLevel>(), Ok(level));
+        }
+        assert!("verbose".parse::<TelemetryLevel>().is_err());
+        assert!(TelemetryLevel::Summary < TelemetryLevel::Full);
+        assert_eq!(TelemetryLevel::default(), TelemetryLevel::Summary);
+    }
+}

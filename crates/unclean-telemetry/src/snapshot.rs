@@ -1,0 +1,447 @@
+//! Frozen registry state: plain serde-able data with merge semantics.
+//!
+//! A [`Snapshot`] is what a [`Registry`](crate::Registry) looks like at a
+//! point in time. Snapshots are ordinary values: they serialize into the
+//! bench manifest, merge (`⊕`) so per-experiment registries roll up into
+//! one run-level account, and render as a human-readable stage tree.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One nonzero log2 bucket: `count` values were `<= le` but above the
+/// previous bucket's bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistBucket {
+    /// Inclusive upper bound of the bucket (`u64::MAX` for the top one).
+    pub le: u64,
+    /// Number of recorded values that landed in this bucket.
+    pub count: u64,
+}
+
+/// Frozen state of one log2 histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Sparse nonzero buckets, ascending by `le`.
+    pub buckets: Vec<HistBucket>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucketwise sum with `other`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        let mut by_le: BTreeMap<u64, u64> = self.buckets.iter().map(|b| (b.le, b.count)).collect();
+        for b in &other.buckets {
+            *by_le.entry(b.le).or_insert(0) += b.count;
+        }
+        self.buckets = by_le
+            .into_iter()
+            .map(|(le, count)| HistBucket { le, count })
+            .collect();
+    }
+}
+
+/// Aggregated statistics for one node of the stage timing tree.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Number of spans recorded at this path.
+    pub count: u64,
+    /// Total wall-clock seconds across all invocations.
+    pub total_secs: f64,
+    /// Shortest single invocation, in seconds.
+    pub min_secs: f64,
+    /// Longest single invocation, in seconds.
+    pub max_secs: f64,
+    /// `key=value` fields attached via [`Span::field`](crate::Span::field)
+    /// (last writer wins per key).
+    pub fields: BTreeMap<String, String>,
+}
+
+impl SpanStat {
+    /// Mean seconds per invocation (0.0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_secs / self.count as f64
+        }
+    }
+}
+
+/// A registry frozen at a point in time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Monotone event counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Log2 histograms by name (empty below `TelemetryLevel::Full`).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Stage timing tree keyed by `parent/child` path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Snapshot {
+    /// Whether the snapshot holds no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Merge `other` into `self` (`self ⊕= other`): counters and
+    /// histogram buckets sum; span nodes add counts/totals and take
+    /// min/max extremes; gauges and span fields take `other`'s value on
+    /// collision (latest wins).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+        for (path, stat) in &other.spans {
+            let agg = self.spans.entry(path.clone()).or_default();
+            if agg.count == 0 {
+                *agg = stat.clone();
+            } else {
+                agg.min_secs = agg.min_secs.min(stat.min_secs);
+                agg.max_secs = agg.max_secs.max(stat.max_secs);
+                agg.count += stat.count;
+                agg.total_secs += stat.total_secs;
+                for (k, v) in &stat.fields {
+                    agg.fields.insert(k.clone(), v.clone());
+                }
+            }
+        }
+    }
+
+    /// A copy with every series renamed under `prefix`: counters,
+    /// gauges and histograms become `prefix.name`, span paths become
+    /// `prefix/path`. Used to roll per-experiment registries into the
+    /// run-level snapshot without colliding or double counting.
+    pub fn prefixed(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (format!("{prefix}.{k}"), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (format!("{prefix}.{k}"), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (format!("{prefix}.{k}"), v.clone()))
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(k, v)| (format!("{prefix}/{k}"), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Total wall-clock seconds across root-level spans (paths without a
+    /// `/`). The denominator for event rates in [`Snapshot::render_tree`].
+    pub fn root_wall_secs(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|(path, _)| !path.contains('/'))
+            .map(|(_, stat)| stat.total_secs)
+            .sum()
+    }
+
+    /// Render a human-readable report: the stage tree (indented by path
+    /// depth, with per-invocation means) followed by counters with
+    /// event rates against total root wall time, gauges, and histogram
+    /// summaries.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("stages\n");
+            let name_width = self
+                .spans
+                .keys()
+                .map(|p| display_width(p))
+                .max()
+                .unwrap_or(0);
+            for (path, stat) in &self.spans {
+                let depth = path.matches('/').count();
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                let indent = "  ".repeat(depth + 1);
+                let label = format!("{indent}{leaf}");
+                let pad = name_width + 4usize.saturating_sub(label.len().min(4));
+                let mut line = format!(
+                    "{label:<pad$}  {total:>10.3}s  x{count:<6} mean {mean}",
+                    total = stat.total_secs,
+                    count = stat.count,
+                    mean = fmt_secs(stat.mean_secs()),
+                );
+                if !stat.fields.is_empty() {
+                    let fields: Vec<String> = stat
+                        .fields
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect();
+                    line.push_str(&format!("  [{}]", fields.join(" ")));
+                }
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        let wall = self.root_wall_secs();
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            let width = self.counters.keys().map(String::len).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                if wall > 0.0 {
+                    out.push_str(&format!(
+                        "  {name:<width$}  {v:>12}  ({rate:.1}/s)\n",
+                        rate = *v as f64 / wall
+                    ));
+                } else {
+                    out.push_str(&format!("  {name:<width$}  {v:>12}\n"));
+                }
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            let width = self.gauges.keys().map(String::len).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {v:>12.4}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            let width = self.histograms.keys().map(String::len).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  n={count} sum={sum} mean={mean:.2}\n",
+                    count = h.count,
+                    sum = h.sum,
+                    mean = h.mean(),
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty snapshot)\n");
+        }
+        out
+    }
+}
+
+fn display_width(path: &str) -> usize {
+    let depth = path.matches('/').count();
+    let leaf = path.rsplit('/').next().unwrap_or(path);
+    2 * (depth + 1) + leaf.len()
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(pairs: &[(u64, u64)], count: u64, sum: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets: pairs
+                .iter()
+                .map(|&(le, count)| HistBucket { le, count })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histogram_buckets() {
+        let mut a = Snapshot::default();
+        a.counters.insert("flows".into(), 10);
+        a.counters.insert("only_a".into(), 1);
+        a.gauges.insert("scale".into(), 0.5);
+        a.histograms
+            .insert("sizes".into(), hist(&[(1, 2), (3, 1)], 3, 7));
+
+        let mut b = Snapshot::default();
+        b.counters.insert("flows".into(), 5);
+        b.counters.insert("only_b".into(), 2);
+        b.gauges.insert("scale".into(), 2.0);
+        b.histograms
+            .insert("sizes".into(), hist(&[(3, 4), (7, 1)], 5, 30));
+
+        a.merge(&b);
+        assert_eq!(a.counters["flows"], 15);
+        assert_eq!(a.counters["only_a"], 1);
+        assert_eq!(a.counters["only_b"], 2);
+        assert_eq!(a.gauges["scale"], 2.0, "gauges: latest wins");
+        let merged = &a.histograms["sizes"];
+        assert_eq!(merged.count, 8);
+        assert_eq!(merged.sum, 37);
+        assert_eq!(
+            merged.buckets,
+            vec![
+                HistBucket { le: 1, count: 2 },
+                HistBucket { le: 3, count: 5 },
+                HistBucket { le: 7, count: 1 },
+            ],
+            "bucketwise sum keyed by le"
+        );
+    }
+
+    #[test]
+    fn merge_spans_takes_extremes_and_adds_totals() {
+        let mut a = Snapshot::default();
+        a.spans.insert(
+            "run/detect".into(),
+            SpanStat {
+                count: 2,
+                total_secs: 3.0,
+                min_secs: 1.0,
+                max_secs: 2.0,
+                fields: BTreeMap::from([("day".to_string(), "1".to_string())]),
+            },
+        );
+        let mut b = Snapshot::default();
+        b.spans.insert(
+            "run/detect".into(),
+            SpanStat {
+                count: 1,
+                total_secs: 0.5,
+                min_secs: 0.5,
+                max_secs: 0.5,
+                fields: BTreeMap::from([("day".to_string(), "2".to_string())]),
+            },
+        );
+        b.spans.insert(
+            "run/score".into(),
+            SpanStat {
+                count: 1,
+                total_secs: 4.0,
+                min_secs: 4.0,
+                max_secs: 4.0,
+                fields: BTreeMap::new(),
+            },
+        );
+        a.merge(&b);
+        let detect = &a.spans["run/detect"];
+        assert_eq!(detect.count, 3);
+        assert_eq!(detect.total_secs, 3.5);
+        assert_eq!(detect.min_secs, 0.5);
+        assert_eq!(detect.max_secs, 2.0);
+        assert_eq!(detect.fields["day"], "2");
+        assert_eq!(a.spans["run/score"].count, 1, "new paths copied over");
+    }
+
+    #[test]
+    fn merge_identity_and_double() {
+        let mut a = Snapshot::default();
+        a.counters.insert("x".into(), 7);
+        let orig = a.clone();
+        a.merge(&Snapshot::default());
+        assert_eq!(a, orig, "empty is the merge identity");
+        let mut doubled = orig.clone();
+        doubled.merge(&orig);
+        assert_eq!(doubled.counters["x"], 14);
+    }
+
+    #[test]
+    fn prefixed_renames_every_family() {
+        let mut s = Snapshot::default();
+        s.counters.insert("flows".into(), 3);
+        s.gauges.insert("scale".into(), 1.5);
+        s.histograms.insert("sizes".into(), hist(&[(1, 1)], 1, 1));
+        s.spans.insert("detect".into(), SpanStat::default());
+        let p = s.prefixed("table1");
+        assert_eq!(p.counters["table1.flows"], 3);
+        assert_eq!(p.gauges["table1.scale"], 1.5);
+        assert!(p.histograms.contains_key("table1.sizes"));
+        assert!(p.spans.contains_key("table1/detect"));
+        assert!(p.counters.len() == 1 && !p.counters.contains_key("flows"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut s = Snapshot::default();
+        s.counters.insert("flows".into(), 42);
+        s.gauges.insert("scale".into(), 0.25);
+        s.histograms
+            .insert("sizes".into(), hist(&[(1, 1), (u64::MAX, 2)], 3, 9));
+        s.spans.insert(
+            "run/detect".into(),
+            SpanStat {
+                count: 2,
+                total_secs: 1.25,
+                min_secs: 0.25,
+                max_secs: 1.0,
+                fields: BTreeMap::from([("day".to_string(), "7".to_string())]),
+            },
+        );
+        let text = serde_json::to_string(&s).expect("serialize");
+        let back: Snapshot = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn render_tree_lists_stages_and_rates() {
+        let mut s = Snapshot::default();
+        s.spans.insert(
+            "run".into(),
+            SpanStat {
+                count: 1,
+                total_secs: 2.0,
+                min_secs: 2.0,
+                max_secs: 2.0,
+                fields: BTreeMap::new(),
+            },
+        );
+        s.spans.insert(
+            "run/detect".into(),
+            SpanStat {
+                count: 4,
+                total_secs: 1.0,
+                min_secs: 0.1,
+                max_secs: 0.5,
+                fields: BTreeMap::from([("days".to_string(), "4".to_string())]),
+            },
+        );
+        s.counters.insert("flows".into(), 100);
+        let text = s.render_tree();
+        assert!(text.contains("stages"), "has a stages section:\n{text}");
+        assert!(text.contains("detect"), "child stage listed:\n{text}");
+        assert!(text.contains("[days=4]"), "fields shown:\n{text}");
+        assert!(
+            text.contains("(50.0/s)"),
+            "rate = 100 events / 2s root wall:\n{text}"
+        );
+        assert_eq!(Snapshot::default().render_tree(), "(empty snapshot)\n");
+    }
+}
