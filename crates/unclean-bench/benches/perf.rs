@@ -168,6 +168,70 @@ fn bench_flow_generation(c: &mut Criterion) {
     g.finish();
 }
 
+/// A Table-3-scale scored block set (a few thousand blocks, /16../28
+/// mixed), like the `C_n(bot-test)` blocklists the daemon serves.
+fn table3_scale_blocks() -> Vec<(Cidr, f64)> {
+    let mut blocks = Vec::with_capacity(5_000);
+    let mut x = 0x1234_5678u32;
+    for i in 0..5_000u32 {
+        x = x.wrapping_mul(0x9e37_79b9).wrapping_add(i);
+        let len = 16 + (x % 13) as u8;
+        blocks.push((Cidr::of(Ip(x), len), f64::from(x % 100) / 10.0));
+    }
+    blocks
+}
+
+/// Pointer trie vs frozen (flattened) trie on the serving hot path:
+/// longest-prefix-match lookups over a Table-3-scale block set with a
+/// ~50/50 hit/miss probe mix.
+fn bench_lpm(c: &mut Criterion) {
+    use unclean_core::frozen::{CidrTrie, FrozenTrie};
+    let blocks = table3_scale_blocks();
+    let pointer = CidrTrie::from_scored(blocks.iter().copied());
+    let frozen = FrozenTrie::freeze(&pointer);
+    let probes: Vec<Ip> = {
+        let mut probes = Vec::with_capacity(10_000);
+        let mut x = 0xdead_beefu32;
+        for (i, (cidr, _)) in blocks.iter().take(5_000).enumerate() {
+            x = x.wrapping_mul(0x9e37_79b9).wrapping_add(i as u32);
+            // Alternate an address inside the block and a random one.
+            let host_bits = !unclean_core::cidr::mask(cidr.len());
+            probes.push(Ip(cidr.first().raw() | (x & host_bits)));
+            probes.push(Ip(x));
+        }
+        probes
+    };
+    let mut g = c.benchmark_group("lpm");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::new("pointer_trie", blocks.len()),
+        &probes,
+        |b, probes| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &ip in probes.iter() {
+                    hits += usize::from(pointer.lookup(black_box(ip)).is_some());
+                }
+                hits
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("frozen_trie", blocks.len()),
+        &probes,
+        |b, probes| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &ip in probes.iter() {
+                    hits += usize::from(frozen.lookup(black_box(ip)).is_some());
+                }
+                hits
+            })
+        },
+    );
+    g.finish();
+}
+
 fn bench_density_trial(c: &mut Criterion) {
     let mut g = c.benchmark_group("density");
     g.sample_size(20);
@@ -188,6 +252,7 @@ criterion_group!(
     bench_ipset_algebra,
     bench_prediction,
     bench_trie,
+    bench_lpm,
     bench_netflow_codec,
     bench_flow_generation,
     bench_density_trial,

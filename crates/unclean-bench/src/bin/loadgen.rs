@@ -1,0 +1,288 @@
+//! `loadgen` — hammer an `unclean serve` daemon and report sustained
+//! lookups/sec plus latency percentiles.
+//!
+//! Two modes:
+//!
+//! * `loadgen --addr 127.0.0.1:7053` targets an already-running daemon.
+//! * `loadgen --blocklist list.txt` self-hosts a daemon in-process on an
+//!   ephemeral port, drives it, and shuts it down — the one-command
+//!   smoke benchmark CI runs.
+//!
+//! ```text
+//! loadgen --blocklist list.txt --clients 4 --duration-secs 5 \
+//!         --batch 100 --min-throughput 100000
+//! ```
+//!
+//! Each client thread issues `POST /batch` requests of `--batch` IPs
+//! (`--batch 1` switches to `GET /lookup` point queries). Throughput is
+//! counted in *lookups* (IPs answered), latency per *request*. With
+//! `--min-throughput N`, exits nonzero when the sustained rate falls
+//! short — the CI acceptance gate.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use unclean_stats::quantile::quantile_sorted;
+
+struct Args {
+    addr: Option<String>,
+    blocklist: Option<String>,
+    clients: usize,
+    duration: Duration,
+    batch: usize,
+    min_throughput: Option<f64>,
+}
+
+const USAGE: &str = "\
+loadgen — load-generate against an unclean-serve daemon
+
+USAGE:
+  loadgen (--addr HOST:PORT | --blocklist FILE) [--clients 4]
+          [--duration-secs 5] [--batch 100] [--min-throughput N]
+
+--batch 1 uses GET /lookup point queries; larger batches use POST /batch.
+--min-throughput N exits nonzero below N lookups/sec (the CI gate).";
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value = |flag: &str| -> Option<&str> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let num = |flag: &str, default: f64| -> Result<f64, String> {
+        match value(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{flag} got unparseable value {v:?}")),
+        }
+    };
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        return Err(String::new());
+    }
+    let args = Args {
+        addr: value("--addr").map(String::from),
+        blocklist: value("--blocklist").map(String::from),
+        clients: num("--clients", 4.0)?.max(1.0) as usize,
+        duration: Duration::from_secs_f64(num("--duration-secs", 5.0)?.max(0.1)),
+        batch: num("--batch", 100.0)?.max(1.0) as usize,
+        min_throughput: value("--min-throughput")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--min-throughput got unparseable value {v:?}"))
+            })
+            .transpose()?,
+    };
+    if args.addr.is_none() && args.blocklist.is_none() {
+        return Err("need --addr HOST:PORT or --blocklist FILE".into());
+    }
+    Ok(args)
+}
+
+/// One raw HTTP/1.0 round trip; returns the response body.
+fn roundtrip(addr: &str, request: &[u8]) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream.write_all(request).map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("torn response: {text:?}"))?;
+    if head.split_whitespace().nth(1) != Some("200") {
+        return Err(format!("non-200 response: {head}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Deterministic per-thread IP stream (xorshift); spans the whole v4
+/// space so batches mix hits and misses.
+struct IpStream(u32);
+
+impl IpStream {
+    fn next_ip(&mut self) -> u32 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.0 = x;
+        x
+    }
+}
+
+struct ClientTally {
+    lookups: u64,
+    requests: u64,
+    latencies_micros: Vec<f64>,
+    error: Option<String>,
+}
+
+fn client_loop(addr: &str, batch: usize, seed: u32, stop: &AtomicBool) -> ClientTally {
+    let mut ips = IpStream(seed | 1);
+    let mut tally = ClientTally {
+        lookups: 0,
+        requests: 0,
+        latencies_micros: Vec::new(),
+        error: None,
+    };
+    while !stop.load(Ordering::Relaxed) {
+        let request = if batch <= 1 {
+            let ip = ips.next_ip();
+            format!(
+                "GET /lookup?ip={}.{}.{}.{} HTTP/1.0\r\n\r\n",
+                ip >> 24,
+                (ip >> 16) & 255,
+                (ip >> 8) & 255,
+                ip & 255
+            )
+        } else {
+            let mut body = String::with_capacity(batch * 16);
+            for _ in 0..batch {
+                let ip = ips.next_ip();
+                body.push_str(&format!(
+                    "{}.{}.{}.{}\n",
+                    ip >> 24,
+                    (ip >> 16) & 255,
+                    (ip >> 8) & 255,
+                    ip & 255
+                ));
+            }
+            format!(
+                "POST /batch HTTP/1.0\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        };
+        let t0 = Instant::now();
+        match roundtrip(addr, request.as_bytes()) {
+            Ok(_) => {
+                tally.latencies_micros.push(t0.elapsed().as_micros() as f64);
+                tally.requests += 1;
+                tally.lookups += batch as u64;
+            }
+            Err(e) => {
+                tally.error = Some(e);
+                break;
+            }
+        }
+    }
+    tally
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Self-host when asked: an in-process daemon on an ephemeral port.
+    let hosted = match &args.blocklist {
+        Some(list) => {
+            let mut config = unclean_serve::ServeConfig::new(list);
+            config.threads = args.clients.max(4);
+            match unclean_serve::Server::start(config, unclean_telemetry::Registry::full()) {
+                Ok(server) => Some(server),
+                Err(e) => {
+                    eprintln!("error: cannot self-host from {list}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+    let addr = match (&hosted, &args.addr) {
+        (Some(server), _) => server.local_addr().to_string(),
+        (None, Some(addr)) => addr.clone(),
+        (None, None) => unreachable!("parse_args enforces one of the two"),
+    };
+
+    println!(
+        "loadgen: {} client(s) x {}s against http://{addr} ({} ips/request)",
+        args.clients,
+        args.duration.as_secs_f64(),
+        args.batch
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let batch = args.batch;
+            std::thread::spawn(move || client_loop(&addr, batch, 0x9e37 + i as u32, &stop))
+        })
+        .collect();
+    std::thread::sleep(args.duration);
+    stop.store(true, Ordering::Relaxed);
+    let tallies: Vec<ClientTally> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    if let Some(server) = hosted {
+        let registry = server.registry().clone();
+        // Graceful stop of the self-hosted daemon.
+        let _ = roundtrip(&addr, b"POST /quit HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+        server.wait();
+        let dropped = registry.counter_value("conns.dropped");
+        if dropped > 0 {
+            eprintln!("warning: daemon dropped {dropped} connection(s) under load");
+        }
+    }
+
+    for tally in &tallies {
+        if let Some(e) = &tally.error {
+            eprintln!("error: client failed mid-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let lookups: u64 = tallies.iter().map(|t| t.lookups).sum();
+    let requests: u64 = tallies.iter().map(|t| t.requests).sum();
+    let mut latencies: Vec<f64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_micros.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let throughput = lookups as f64 / elapsed;
+
+    println!("  lookups:    {lookups} ({requests} requests) in {elapsed:.2}s");
+    println!("  throughput: {throughput:.0} lookups/sec");
+    if latencies.is_empty() {
+        println!("  latency:    no completed requests");
+    } else {
+        println!(
+            "  latency:    p50 {:.0}us  p90 {:.0}us  p99 {:.0}us  max {:.0}us (per request)",
+            quantile_sorted(&latencies, 0.50),
+            quantile_sorted(&latencies, 0.90),
+            quantile_sorted(&latencies, 0.99),
+            latencies.last().copied().unwrap_or(0.0),
+        );
+    }
+
+    if let Some(floor) = args.min_throughput {
+        if throughput < floor {
+            eprintln!("error: throughput {throughput:.0} < required {floor:.0} lookups/sec");
+            return ExitCode::FAILURE;
+        }
+        println!("  gate:       >= {floor:.0} lookups/sec OK");
+    }
+    ExitCode::SUCCESS
+}

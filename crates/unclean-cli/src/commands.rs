@@ -383,6 +383,51 @@ pub fn metrics(path: &Path, assert_zero: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `unclean serve --blocklist <file> [--addr A] [--threads N]
+/// [--max-conns N] [--read-timeout-ms N] [--watch]`: run the online
+/// blocklist query daemon until a client sends `POST /quit`.
+///
+/// Blocks for the daemon's whole lifetime; the listening address is
+/// printed to stdout immediately so scripts can scrape it, and the
+/// returned string is the post-shutdown summary.
+pub fn serve(
+    blocklist: &Path,
+    addr: &str,
+    threads: usize,
+    max_conns: usize,
+    read_timeout_ms: u64,
+    watch: bool,
+) -> Result<String, String> {
+    use std::io::Write as _;
+    use std::time::Duration;
+    use unclean_serve::{ServeConfig, Server};
+    use unclean_telemetry::Registry;
+
+    let registry = Registry::full();
+    let mut config = ServeConfig::new(blocklist);
+    config.addr = addr.to_string();
+    config.threads = threads.max(1);
+    config.max_conns = max_conns.max(1);
+    config.read_timeout = Duration::from_millis(read_timeout_ms.max(1));
+    config.watch = watch.then(|| Duration::from_secs(2));
+    let server = Server::start(config, registry.clone()).map_err(|e| e.to_string())?;
+    println!(
+        "unclean-serve listening on http://{} (blocklist: {}, generation 1)",
+        server.local_addr(),
+        blocklist.display()
+    );
+    println!("endpoints: /lookup?ip=A.B.C.D /batch /healthz /snapshot /metrics /reload /quit");
+    let _ = std::io::stdout().flush();
+    server.wait();
+    Ok(format!(
+        "shut down cleanly: {} requests ({} blocked, {} clean answers), {} reload(s)\n",
+        registry.counter_value("requests"),
+        registry.counter_value("answers.blocked"),
+        registry.counter_value("answers.clean"),
+        registry.counter_value("reload.count"),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +613,55 @@ mod tests {
         metrics(&path, &["never.declared".into()]).expect("absent is zero");
         let err = metrics(&path, &["detect.flows_ingested".into()]).expect_err("nonzero fails");
         assert!(err.contains("1234"), "{err}");
+    }
+
+    #[test]
+    fn serve_runs_answers_and_quits() {
+        use std::io::{Read as _, Write as _};
+        let dir = tmp_dir("serve");
+        let list = dir.join("list.txt");
+        std::fs::write(&list, "9.1.0.0/16 # score=2.0\n").expect("write");
+        // Reserve a free port, release it, and serve there: `serve`
+        // prints the bound address to stdout, which an in-process test
+        // cannot capture, so ephemeral port 0 is not usable here.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            probe.local_addr().expect("addr").port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let daemon = {
+            let list = list.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || serve(&list, &addr, 2, 64, 2000, false))
+        };
+        let http = |req: String| -> String {
+            // The daemon may still be binding; retry the connect briefly.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                match std::net::TcpStream::connect(&addr) {
+                    Ok(mut stream) => {
+                        stream.write_all(req.as_bytes()).expect("write");
+                        let mut text = String::new();
+                        stream.read_to_string(&mut text).expect("read");
+                        return text;
+                    }
+                    Err(e) if std::time::Instant::now() < deadline => {
+                        let _ = e;
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    Err(e) => panic!("daemon never came up: {e}"),
+                }
+            }
+        };
+        let health = http("GET /healthz HTTP/1.0\r\n\r\n".into());
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+        let hit = http("GET /lookup?ip=9.1.1.7 HTTP/1.0\r\n\r\n".into());
+        assert!(hit.contains("\"blocked\":true"), "{hit}");
+        let quit = http("POST /quit HTTP/1.0\r\nContent-Length: 0\r\n\r\n".into());
+        assert!(quit.starts_with("HTTP/1.0 200"), "{quit}");
+        let summary = daemon.join().expect("join").expect("serve ok");
+        assert!(summary.contains("shut down cleanly"), "{summary}");
+        assert!(summary.contains("1 blocked"), "{summary}");
     }
 
     #[test]

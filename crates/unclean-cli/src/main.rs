@@ -31,6 +31,8 @@ USAGE:
   unclean score     --report <class>=<file> ... [--prefix 16]
   unclean demo      [--out DIR] [--scale 0.002] [--seed 42]
   unclean metrics   <telemetry.json|metrics.prom> [--assert-zero name1,name2]
+  unclean serve     --blocklist <file> [--addr 127.0.0.1:7053] [--threads 4]
+                    [--max-conns 1024] [--read-timeout-ms 5000] [--watch]
 
 Report files: one IPv4 address per line; '#' comments and blanks ignored.
 Malformed lines abort the load; 'inspect --lenient' quarantines them
@@ -112,6 +114,14 @@ fn run(args: &[String]) -> Result<String, String> {
                 .unwrap_or_default();
             commands::metrics(&PathBuf::from(path), &assert_zero)
         }
+        "serve" => commands::serve(
+            &flag_path(&rest, "--blocklist")?,
+            &flag_str(&rest, "--addr", "127.0.0.1:7053"),
+            flag_num(&rest, "--threads", 4usize)?,
+            flag_num(&rest, "--max-conns", 1024usize)?,
+            flag_num(&rest, "--read-timeout-ms", 5000u64)?,
+            has_flag(&rest, "--watch"),
+        ),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown subcommand {other:?}")),
     }

@@ -55,15 +55,58 @@ pub fn render(blocks: &[Cidr], format: BlocklistFormat, name: &str) -> String {
     out
 }
 
-/// Parse a plain-format list (ignores blank lines and `#` comments).
+/// Render a *scored* plain list: one `a.b.c.d/len # score=S` per line.
+/// [`parse_scored`] reads it back; [`parse_plain`] reads it too (scores
+/// live in the inline comment, which plain parsing ignores). This is how
+/// uncleanliness scores travel from the offline analyses to the serving
+/// daemon.
+pub fn render_scored(entries: &[(Cidr, f64)], name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# blocklist: {name} ({} entries, scored)",
+        entries.len()
+    );
+    for (cidr, score) in entries {
+        let _ = writeln!(out, "{cidr} # score={score}");
+    }
+    out
+}
+
+/// Parse a plain-format list (ignores blank lines and `#` comments,
+/// including inline comments after a CIDR; tolerates CRLF line endings).
 pub fn parse_plain(text: &str) -> Result<Vec<Cidr>, Error> {
+    Ok(parse_scored(text)?.into_iter().map(|(c, _)| c).collect())
+}
+
+/// Parse a plain-format list keeping per-block scores: a line's inline
+/// `# score=S` comment (as written by [`render_scored`]) attaches `S` to
+/// the block; lines without one score 0. Same tolerance as
+/// [`parse_plain`] for blank lines, full-line/inline comments, and CRLF.
+pub fn parse_scored(text: &str) -> Result<Vec<(Cidr, f64)>, Error> {
     let mut out = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+    for raw_line in text.lines() {
+        // `lines` splits on `\n`; a file with CRLF endings leaves the
+        // `\r` on the line, and operators hand-edit these files on every
+        // platform. Strip the comment before trimming so `cidr# c` and
+        // `cidr # c` both parse.
+        let (body, comment) = match raw_line.split_once('#') {
+            Some((body, comment)) => (body, Some(comment)),
+            None => (raw_line, None),
+        };
+        let body = body.trim();
+        if body.is_empty() {
             continue;
         }
-        out.push(line.parse()?);
+        let cidr: Cidr = body.parse()?;
+        let score = comment
+            .and_then(|c| {
+                c.split_whitespace()
+                    .find_map(|token| token.strip_prefix("score="))
+            })
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        out.push((cidr, score));
     }
     Ok(out)
 }
@@ -114,6 +157,47 @@ mod tests {
     fn parse_rejects_garbage_lines() {
         assert!(parse_plain("9.1.1.0/24\nnot-a-cidr\n").is_err());
         assert_eq!(parse_plain("\n# only comments\n").expect("ok"), vec![]);
+    }
+
+    #[test]
+    fn parse_tolerates_crlf_line_endings() {
+        let parsed = parse_plain("# header\r\n9.1.1.0/24\r\n\r\n9.5.0.0/16\r\n").expect("crlf ok");
+        assert_eq!(
+            parsed,
+            vec![
+                "9.1.1.0/24".parse::<Cidr>().expect("valid"),
+                "9.5.0.0/16".parse::<Cidr>().expect("valid"),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_tolerates_inline_comments() {
+        let text = "9.1.1.0/24 # C_24 of bot-test\n9.5.0.0/16# tight\n   # full-line\n";
+        let parsed = parse_plain(text).expect("inline comments ok");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].to_string(), "9.1.1.0/24");
+        // Garbage before an inline comment still aborts.
+        assert!(parse_plain("bogus # looks like a comment\n").is_err());
+    }
+
+    #[test]
+    fn scored_round_trips_and_defaults_to_zero() {
+        let entries = vec![
+            ("9.1.1.0/24".parse::<Cidr>().expect("valid"), 3.25),
+            ("9.5.0.0/16".parse::<Cidr>().expect("valid"), 0.5),
+        ];
+        let text = render_scored(&entries, "bot-test");
+        assert!(text.contains("9.1.1.0/24 # score=3.25"), "{text}");
+        let parsed = parse_scored(&text).expect("well-formed");
+        assert_eq!(parsed, entries);
+        // Plain parsing reads the same file, dropping scores.
+        assert_eq!(parse_plain(&text).expect("ok").len(), 2);
+        // Unscored and CRLF lines score 0; malformed score tokens too.
+        let mixed = "9.1.1.0/24\r\n9.5.0.0/16 # score=oops extra\n";
+        let parsed = parse_scored(mixed).expect("ok");
+        assert_eq!(parsed[0].1, 0.0);
+        assert_eq!(parsed[1].1, 0.0);
     }
 
     #[test]

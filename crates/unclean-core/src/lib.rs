@@ -34,6 +34,7 @@
 //! | [`ipset`] | sorted-vector address sets; set algebra; random subsets |
 //! | [`blocks`] | `C_n(S)` block sets; one-pass all-prefix block counting |
 //! | [`trie`] | binary prefix trie; minimal CIDR aggregation |
+//! | [`frozen`] | scored CIDR tries and their frozen (flattened, immutable) serving form |
 //! | [`time`] | calendar days and report periods |
 //! | [`report`] | tagged/classed/dated reports and their filtering |
 //! | [`overlap`] | cross-indicator overlap matrices (address and /24 level) |
@@ -80,6 +81,7 @@ pub mod cidr;
 pub mod clusters;
 pub mod density;
 pub mod error;
+pub mod frozen;
 pub mod ip;
 pub mod ipset;
 pub mod overlap;
@@ -95,7 +97,9 @@ pub mod prelude {
     pub use crate::blocking::{
         collect_candidates, BlockingAnalysis, BlockingRow, BlockingTable, Candidate, Partition,
     };
-    pub use crate::blocklist::{parse_plain, render as render_blocklist, BlocklistFormat};
+    pub use crate::blocklist::{
+        parse_plain, parse_scored, render as render_blocklist, render_scored, BlocklistFormat,
+    };
     pub use crate::blocks::{BlockCounts, BlockSet};
     pub use crate::cidr::Cidr;
     pub use crate::clusters::{ClusterConfig, NetworkClusters};
@@ -103,6 +107,7 @@ pub mod prelude {
         density_curve, DensityAnalysis, DensityConfig, DensityResult, PrefixRange,
     };
     pub use crate::error::Error;
+    pub use crate::frozen::{BlockEntry, CidrTrie, FrozenTrie, LpmMatch};
     pub use crate::ip::{Ip, ReservedClass};
     pub use crate::ipset::IpSet;
     pub use crate::overlap::{OverlapCell, OverlapMatrix};

@@ -205,6 +205,16 @@ impl PrefixTrie {
         false
     }
 
+    /// Freeze this address trie into a serving-ready
+    /// [`crate::frozen::FrozenTrie`]: the minimal CIDR cover
+    /// ([`PrefixTrie::aggregate`]) becomes the frozen block set, every
+    /// block at `score`. The result answers "is this address in the set
+    /// (and under which block)?" with no per-node pointers on the hot
+    /// path.
+    pub fn freeze(&self, score: f64) -> crate::frozen::FrozenTrie {
+        crate::frozen::FrozenTrie::from_scored(self.aggregate().into_iter().map(|c| (c, score)))
+    }
+
     /// Walk occupied `n`-bit blocks in ascending order.
     pub fn blocks(&self, n: u8) -> Vec<Cidr> {
         assert!(n <= 32, "prefix length {n} out of range");
@@ -352,6 +362,27 @@ mod tests {
     #[test]
     fn empty_aggregate() {
         assert!(PrefixTrie::new().aggregate().is_empty());
+    }
+
+    #[test]
+    fn freeze_serves_exactly_the_inserted_set() {
+        // A full /30 plus a lone host: freeze covers exactly those five
+        // addresses, via the aggregated cover.
+        let set = IpSet::from_ips([
+            ip("10.0.0.0"),
+            ip("10.0.0.1"),
+            ip("10.0.0.2"),
+            ip("10.0.0.3"),
+            ip("10.0.0.8"),
+        ]);
+        let frozen = PrefixTrie::from_set(&set).freeze(1.5);
+        assert_eq!(frozen.len(), 2, "/30 cover + /32 singleton");
+        for member in set.iter() {
+            let m = frozen.lookup(member).expect("member covered");
+            assert_eq!(m.score, 1.5);
+        }
+        assert!(!frozen.contains(ip("10.0.0.4")));
+        assert!(!frozen.contains(ip("10.0.0.9")));
     }
 
     #[test]

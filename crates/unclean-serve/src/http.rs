@@ -1,0 +1,199 @@
+//! A deliberately minimal HTTP/1.0 text protocol: parse one request off a
+//! stream, write one response, close. No keep-alive, no chunked encoding,
+//! no async — the daemon's concurrency model is a fixed worker pool, and
+//! a blocklist lookup's work is microseconds, so one short-lived
+//! connection per request (or per batch) is the whole protocol.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on `Content-Length`; batches beyond this are a client error.
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// Cap on the request line + headers, against slow-loris style garbage.
+const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// The path component of the target, e.g. `/lookup`.
+    pub path: String,
+    /// The raw query string (without `?`), empty when absent.
+    pub query: String,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of a `key=value` query parameter, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read and parse one request. Honors the stream's read timeout; enforces
+/// the head and body caps.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    (&mut reader)
+        .take(MAX_HEAD_BYTES as u64)
+        .read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    if !target.starts_with('/') {
+        return Err(bad(format!("bad request target {target:?}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(bad("request head too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad content-length {value:?}")))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(bad(format!("body of {content_length} bytes exceeds cap")));
+                }
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Write one HTTP/1.0 response and flush. The connection is then done.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trip helper: write `raw` into a socket, parse it server-side.
+    fn parse_raw(raw: &[u8]) -> std::io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(&raw).expect("write");
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let req = read_request(&mut stream);
+        writer.join().expect("writer");
+        req
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse_raw(b"GET /lookup?ip=9.1.1.7&x=2 HTTP/1.0\r\nHost: h\r\n\r\n").expect("ok");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/lookup");
+        assert_eq!(req.query_param("ip"), Some("9.1.1.7"));
+        assert_eq!(req.query_param("x"), Some("2"));
+        assert_eq!(req.query_param("missing"), None);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse_raw(b"POST /batch HTTP/1.0\r\nContent-Length: 8\r\n\r\n9.1.1.7\n").expect("ok");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/batch");
+        assert_eq!(req.body, b"9.1.1.7\n");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(parse_raw(b"\r\n\r\n").is_err(), "empty request line");
+        assert!(parse_raw(b"GET\r\n\r\n").is_err(), "missing target");
+        assert!(
+            parse_raw(b"GET lookup HTTP/1.0\r\n\r\n").is_err(),
+            "relative target"
+        );
+        assert!(
+            parse_raw(b"POST /b HTTP/1.0\r\nContent-Length: oops\r\n\r\n").is_err(),
+            "bad content-length"
+        );
+        assert!(
+            parse_raw(
+                format!("POST /b HTTP/1.0\r\nContent-Length: {}\r\n\r\n", 5 << 20).as_bytes()
+            )
+            .is_err(),
+            "body cap"
+        );
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reader = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            let mut text = String::new();
+            c.read_to_string(&mut text).expect("read");
+            text
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        respond(&mut stream, 200, "OK", "text/plain", b"ok\n").expect("respond");
+        drop(stream);
+        let text = reader.join().expect("reader");
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

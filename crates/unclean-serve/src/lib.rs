@@ -1,0 +1,41 @@
+//! # unclean-serve — online blocklist query daemon
+//!
+//! The paper's punchline (Collins et al., IMC 2007) is *operational*:
+//! uncleanliness is predictive enough that yesterday's unclean blocks are
+//! a usable blocklist for tomorrow's traffic. This crate is the serving
+//! side of that claim — a long-running daemon that loads a (scored)
+//! blocklist produced by the analysis pipeline into an immutable
+//! [`FrozenTrie`](unclean_core::frozen::FrozenTrie) and answers
+//! longest-prefix-match queries over a minimal HTTP/1.0 text protocol.
+//!
+//! Design in one paragraph: an accept thread pushes connections into a
+//! bounded crossbeam channel drained by a fixed pool of worker threads
+//! (no async runtime); each worker answers from an `Arc` clone of the
+//! current [`ServingSnapshot`](snapshot::ServingSnapshot). Snapshots are
+//! generation-numbered; a watcher thread (or `POST /reload`) rebuilds
+//! off the serving path and atomically swaps the `Arc`, so a hot reload
+//! under load loses zero requests — in-flight lookups keep answering
+//! from the generation they loaded.
+//!
+//! | module | what lives there |
+//! |---|---|
+//! | [`http`] | one-request-per-connection HTTP/1.0 parse + respond |
+//! | [`snapshot`] | generation-numbered builds, atomic swap store |
+//! | [`server`] | accept loop, worker pool, watcher, routing, metrics |
+//!
+//! ```no_run
+//! use unclean_serve::{ServeConfig, Server};
+//! use unclean_telemetry::Registry;
+//!
+//! let config = ServeConfig::new("blocklist.txt");
+//! let server = Server::start(config, Registry::full()).expect("start");
+//! println!("serving on http://{}", server.local_addr());
+//! server.wait(); // until POST /quit
+//! ```
+
+pub mod http;
+pub mod server;
+pub mod snapshot;
+
+pub use server::{ServeConfig, Server};
+pub use snapshot::{build_snapshot, ServeError, ServingSnapshot, SnapshotStore};

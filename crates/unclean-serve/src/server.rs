@@ -1,0 +1,602 @@
+//! The daemon: a `TcpListener` accept loop feeding a fixed worker pool
+//! through a bounded crossbeam channel, answering lookups from the
+//! current [`SnapshotStore`] generation.
+//!
+//! There is no async runtime: the workspace is offline/vendored and a
+//! frozen-trie lookup is sub-microsecond, so N blocking workers saturate
+//! the listener long before the trie is the bottleneck. Backpressure is
+//! explicit — when the accept→worker queue is full the daemon answers
+//! `503` immediately (counted on `conns.dropped`) instead of queueing
+//! unboundedly.
+//!
+//! Endpoints (HTTP/1.0, one request per connection):
+//!
+//! | endpoint | answer |
+//! |---|---|
+//! | `GET /lookup?ip=a.b.c.d` | JSON: blocked?, matched CIDR, prefix length, score, generation |
+//! | `POST /batch` | newline-delimited IPs in, one text verdict per line out |
+//! | `GET /healthz` | `ok` |
+//! | `GET /snapshot` | JSON: generation, block count, build time, source |
+//! | `GET /metrics` | Prometheus text exposition (`unclean_serve_*`) |
+//! | `POST /reload` | rebuild the snapshot now; JSON: new generation |
+//! | `POST /quit` | graceful shutdown: drain in-flight requests, then exit |
+
+use crate::http::{read_request, respond, Request};
+use crate::snapshot::{build_snapshot, ServeError, ServingSnapshot, SnapshotStore};
+use crossbeam::channel::{self, TrySendError};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use unclean_core::prelude::Ip;
+use unclean_telemetry::{prom, Counter, Gauge, Histogram, Registry};
+
+/// Daemon configuration (the CLI's `unclean serve` flags map onto this).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The blocklist file to serve (plain or scored format).
+    pub source: PathBuf,
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads answering requests.
+    pub threads: usize,
+    /// Accept→worker queue bound; connections beyond it get `503`.
+    pub max_conns: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Poll interval for source-file changes (`None`: no watcher; reloads
+    /// only via `POST /reload`).
+    pub watch: Option<Duration>,
+}
+
+impl ServeConfig {
+    /// Defaults: ephemeral localhost port, 4 workers, 1024-deep queue,
+    /// 5 s read timeout, no watcher.
+    pub fn new(source: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            source: source.into(),
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            max_conns: 1024,
+            read_timeout: Duration::from_secs(5),
+            watch: None,
+        }
+    }
+}
+
+/// Cached instrument handles — resolved once, recorded lock-free on the
+/// hot path. All series are declared at startup so a clean run exports
+/// explicit zeros (the CI gate asserts `conns.dropped == 0`).
+#[derive(Clone)]
+struct Metrics {
+    requests: Counter,
+    lookup: Counter,
+    batch: Counter,
+    batch_ips: Counter,
+    healthz: Counter,
+    snapshot_req: Counter,
+    metrics_req: Counter,
+    reload_req: Counter,
+    quit: Counter,
+    blocked: Counter,
+    clean: Counter,
+    bad_request: Counter,
+    not_found: Counter,
+    accepted: Counter,
+    dropped: Counter,
+    read_errors: Counter,
+    reloads: Counter,
+    reload_errors: Counter,
+    latency_micros: Histogram,
+    generation: Gauge,
+    entries: Gauge,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Metrics {
+        Metrics {
+            requests: registry.counter("requests"),
+            lookup: registry.counter("requests.lookup"),
+            batch: registry.counter("requests.batch"),
+            batch_ips: registry.counter("batch.ips"),
+            healthz: registry.counter("requests.healthz"),
+            snapshot_req: registry.counter("requests.snapshot"),
+            metrics_req: registry.counter("requests.metrics"),
+            reload_req: registry.counter("requests.reload"),
+            quit: registry.counter("requests.quit"),
+            blocked: registry.counter("answers.blocked"),
+            clean: registry.counter("answers.clean"),
+            bad_request: registry.counter("responses.bad_request"),
+            not_found: registry.counter("responses.not_found"),
+            accepted: registry.counter("conns.accepted"),
+            dropped: registry.counter("conns.dropped"),
+            read_errors: registry.counter("conns.read_errors"),
+            reloads: registry.counter("reload.count"),
+            reload_errors: registry.counter("reload.errors"),
+            latency_micros: registry.histogram("request_micros"),
+            generation: registry.gauge("snapshot.generation"),
+            entries: registry.gauge("snapshot.entries"),
+        }
+    }
+}
+
+struct Shared {
+    store: SnapshotStore,
+    registry: Registry,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    source: PathBuf,
+    addr: SocketAddr,
+    read_timeout: Duration,
+    rebuild_lock: Mutex<()>,
+}
+
+impl Shared {
+    /// Rebuild from the source file and install. Serialized so concurrent
+    /// `/reload`s and the watcher cannot install out of order; the build
+    /// itself runs here, off every *other* worker's serving path.
+    fn rebuild(&self) -> Result<Arc<ServingSnapshot>, ServeError> {
+        let _guard = self.rebuild_lock.lock().expect("rebuild lock");
+        let generation = self.store.claim_generation();
+        match build_snapshot(&self.source, generation, &self.registry) {
+            Ok(snapshot) => {
+                self.metrics.reloads.inc();
+                self.metrics.generation.set(snapshot.generation as f64);
+                self.metrics.entries.set(snapshot.trie.len() as f64);
+                self.store.install(snapshot);
+                Ok(self.store.load())
+            }
+            Err(e) => {
+                self.metrics.reload_errors.inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop it — call
+/// [`Server::shutdown`] (or send `POST /quit` and [`Server::wait`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Build the boot snapshot, bind, and spawn the accept loop, worker
+    /// pool, and (optionally) the source-file watcher.
+    pub fn start(config: ServeConfig, registry: Registry) -> Result<Server, ServeError> {
+        let metrics = Metrics::new(&registry);
+        let boot = build_snapshot(&config.source, 1, &registry)?;
+        metrics.generation.set(boot.generation as f64);
+        metrics.entries.set(boot.trie.len() as f64);
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: SnapshotStore::new(boot),
+            registry,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            source: config.source.clone(),
+            addr,
+            read_timeout: config.read_timeout,
+            rebuild_lock: Mutex::new(()),
+        });
+
+        let (tx, rx) = channel::bounded::<TcpStream>(config.max_conns.max(1));
+        let mut threads = Vec::with_capacity(config.threads + 2);
+        for i in 0..config.threads.max(1) {
+            let shared_n = Arc::clone(&shared);
+            let rx_n = rx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared_n, &rx_n))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+        drop(rx);
+        {
+            let shared_a = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".to_string())
+                    .spawn(move || accept_loop(&shared_a, &listener, tx))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+        if let Some(interval) = config.watch {
+            let shared_w = Arc::clone(&shared);
+            // Fingerprint the source *before* returning, so an edit made
+            // the instant the server is up is still seen as a change.
+            let baseline = std::fs::metadata(&config.source)
+                .ok()
+                .map(|m| fingerprint(&m));
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-watch".to_string())
+                    .spawn(move || watcher_loop(&shared_w, interval, baseline))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+        Ok(Server { shared, threads })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The telemetry registry the daemon records into.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// The currently served generation number.
+    pub fn generation(&self) -> u64 {
+        self.shared.store.load().generation
+    }
+
+    /// Force a rebuild from the source file; returns the new generation.
+    pub fn reload(&self) -> Result<u64, ServeError> {
+        self.shared.rebuild().map(|s| s.generation)
+    }
+
+    /// Initiate graceful shutdown and wait: stop accepting, drain queued
+    /// and in-flight requests, join every thread.
+    pub fn shutdown(self) {
+        self.shared.initiate_shutdown();
+        self.wait();
+    }
+
+    /// Wait for the daemon to stop (e.g. a client sent `POST /quit`).
+    /// In-flight requests finish before this returns.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: channel::Sender<TcpStream>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.metrics.accepted.inc();
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Explicit backpressure: refuse loudly rather than queue
+                // without bound. Best-effort write; the client may already
+                // be gone.
+                shared.metrics.dropped.inc();
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let _ = respond(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    b"overloaded\n",
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` here lets workers drain whatever is queued, then exit.
+}
+
+fn worker_loop(shared: &Shared, rx: &channel::Receiver<TcpStream>) {
+    while let Ok(mut stream) = rx.recv() {
+        handle_conn(shared, &mut stream);
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let t0 = Instant::now();
+    shared.metrics.requests.inc();
+    match read_request(stream) {
+        Ok(request) => route(shared, stream, &request),
+        Err(e) => {
+            shared.metrics.read_errors.inc();
+            let _ = respond(
+                stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                format!("bad request: {e}\n").as_bytes(),
+            );
+        }
+    }
+    shared
+        .metrics
+        .latency_micros
+        .record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+}
+
+#[derive(Serialize)]
+struct LookupAnswer {
+    ip: String,
+    blocked: bool,
+    cidr: Option<String>,
+    n: Option<u8>,
+    score: Option<f64>,
+    generation: u64,
+}
+
+#[derive(Serialize)]
+struct SnapshotAnswer {
+    generation: u64,
+    entries: usize,
+    source: String,
+    build_micros: u64,
+    built_unix_ms: u64,
+    memory_bytes: usize,
+}
+
+#[derive(Serialize)]
+struct ReloadAnswer {
+    generation: u64,
+    entries: usize,
+}
+
+fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
+    let metrics = &shared.metrics;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            metrics.healthz.inc();
+            let _ = respond(stream, 200, "OK", "text/plain", b"ok\n");
+        }
+        ("GET", "/lookup") => {
+            metrics.lookup.inc();
+            let Some(raw_ip) = request.query_param("ip") else {
+                metrics.bad_request.inc();
+                let _ = respond(
+                    stream,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    b"missing ip= query parameter\n",
+                );
+                return;
+            };
+            let Ok(ip) = raw_ip.parse::<Ip>() else {
+                metrics.bad_request.inc();
+                let _ = respond(
+                    stream,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    format!("unparseable ip {raw_ip:?}\n").as_bytes(),
+                );
+                return;
+            };
+            let snapshot = shared.store.load();
+            let answer = match snapshot.trie.lookup(ip) {
+                Some(m) => {
+                    metrics.blocked.inc();
+                    LookupAnswer {
+                        ip: ip.to_string(),
+                        blocked: true,
+                        cidr: Some(m.cidr.to_string()),
+                        n: Some(m.cidr.len()),
+                        score: Some(m.score),
+                        generation: snapshot.generation,
+                    }
+                }
+                None => {
+                    metrics.clean.inc();
+                    LookupAnswer {
+                        ip: ip.to_string(),
+                        blocked: false,
+                        cidr: None,
+                        n: None,
+                        score: None,
+                        generation: snapshot.generation,
+                    }
+                }
+            };
+            respond_json(stream, &answer);
+        }
+        ("POST", "/batch") => {
+            metrics.batch.inc();
+            let body = String::from_utf8_lossy(&request.body);
+            let snapshot = shared.store.load();
+            let mut out = String::new();
+            let mut ips = 0u64;
+            for line in body.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                ips += 1;
+                match line.parse::<Ip>() {
+                    Ok(ip) => match snapshot.trie.lookup(ip) {
+                        Some(m) => {
+                            metrics.blocked.inc();
+                            let _ = writeln!(
+                                out,
+                                "{ip} blocked {} {} {}",
+                                m.cidr,
+                                m.cidr.len(),
+                                m.score
+                            );
+                        }
+                        None => {
+                            metrics.clean.inc();
+                            let _ = writeln!(out, "{ip} clean");
+                        }
+                    },
+                    Err(_) => {
+                        let _ = writeln!(out, "{line} error");
+                    }
+                }
+            }
+            metrics.batch_ips.add(ips);
+            let _ = respond(stream, 200, "OK", "text/plain", out.as_bytes());
+        }
+        ("GET", "/snapshot") => {
+            metrics.snapshot_req.inc();
+            let snapshot = shared.store.load();
+            respond_json(
+                stream,
+                &SnapshotAnswer {
+                    generation: snapshot.generation,
+                    entries: snapshot.trie.len(),
+                    source: snapshot.source.clone(),
+                    build_micros: snapshot.build_micros,
+                    built_unix_ms: snapshot.built_unix_ms,
+                    memory_bytes: snapshot.trie.memory_bytes(),
+                },
+            );
+        }
+        ("GET", "/metrics") => {
+            metrics.metrics_req.inc();
+            let text = prom::render(&shared.registry.snapshot(), "unclean_serve");
+            let _ = respond(
+                stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+            );
+        }
+        ("POST", "/reload") => {
+            metrics.reload_req.inc();
+            match shared.rebuild() {
+                Ok(snapshot) => respond_json(
+                    stream,
+                    &ReloadAnswer {
+                        generation: snapshot.generation,
+                        entries: snapshot.trie.len(),
+                    },
+                ),
+                Err(e) => {
+                    let _ = respond(
+                        stream,
+                        500,
+                        "Internal Server Error",
+                        "text/plain",
+                        format!("reload failed: {e}\n").as_bytes(),
+                    );
+                }
+            }
+        }
+        ("POST", "/quit") => {
+            metrics.quit.inc();
+            let _ = respond(stream, 200, "OK", "text/plain", b"shutting down\n");
+            shared.initiate_shutdown();
+        }
+        _ => {
+            metrics.not_found.inc();
+            let _ = respond(
+                stream,
+                404,
+                "Not Found",
+                "text/plain",
+                format!("no such endpoint: {} {}\n", request.method, request.path).as_bytes(),
+            );
+        }
+    }
+}
+
+fn respond_json<T: Serialize>(stream: &mut TcpStream, value: &T) {
+    match serde_json::to_string(value) {
+        Ok(body) => {
+            let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+        }
+        Err(e) => {
+            let _ = respond(
+                stream,
+                500,
+                "Internal Server Error",
+                "text/plain",
+                format!("serialize: {e}\n").as_bytes(),
+            );
+        }
+    }
+}
+
+/// A change fingerprint for the watched source file.
+fn fingerprint(meta: &std::fs::Metadata) -> (Option<std::time::SystemTime>, u64) {
+    (meta.modified().ok(), meta.len())
+}
+
+fn watcher_loop(
+    shared: &Shared,
+    interval: Duration,
+    baseline: Option<(Option<std::time::SystemTime>, u64)>,
+) {
+    let mut last = baseline;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Sleep in short slices so shutdown joins promptly even with a
+        // long poll interval.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = (interval - slept).min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let current = std::fs::metadata(&shared.source)
+            .ok()
+            .map(|m| fingerprint(&m));
+        if current.is_some() && current != last {
+            // A failed build keeps serving the old generation (the error
+            // is counted on reload.errors); either way this fingerprint
+            // has been dealt with.
+            let _ = shared.rebuild();
+            last = current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let config = ServeConfig::new("/tmp/list.txt");
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert!(config.threads >= 1);
+        assert!(config.max_conns >= 1);
+        assert!(config.watch.is_none());
+        assert_eq!(config.source, PathBuf::from("/tmp/list.txt"));
+    }
+
+    #[test]
+    fn start_fails_cleanly_on_missing_source() {
+        let config = ServeConfig::new("/nonexistent/unclean/blocklist.txt");
+        match Server::start(config, Registry::off()) {
+            Err(ServeError::Source(msg)) => assert!(msg.contains("nonexistent"), "{msg}"),
+            other => panic!("expected Source error, got {other:?}"),
+        }
+    }
+
+    impl std::fmt::Debug for Server {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Server")
+                .field("addr", &self.shared.addr)
+                .finish()
+        }
+    }
+}

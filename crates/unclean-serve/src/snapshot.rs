@@ -1,0 +1,192 @@
+//! Generation-numbered frozen-trie snapshots and the store that swaps
+//! them atomically.
+//!
+//! A [`ServingSnapshot`] is immutable: the frozen trie plus its build
+//! provenance. The [`SnapshotStore`] hands out `Arc` clones to request
+//! handlers; installing a new generation swaps the `Arc` under a lock
+//! held for nanoseconds, so in-flight requests keep answering from the
+//! generation they loaded — a hot reload under load loses nothing.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use unclean_core::frozen::FrozenTrie;
+use unclean_telemetry::Registry;
+
+/// One immutable generation of the serving state.
+#[derive(Debug)]
+pub struct ServingSnapshot {
+    /// Monotone generation number (1 for the boot snapshot).
+    pub generation: u64,
+    /// The frozen longest-prefix-match trie requests are answered from.
+    pub trie: FrozenTrie,
+    /// The source file the snapshot was built from.
+    pub source: String,
+    /// Wall-clock time spent parsing + building + freezing, microseconds.
+    pub build_micros: u64,
+    /// Unix milliseconds at which the build finished.
+    pub built_unix_ms: u64,
+}
+
+/// Errors surfaced by snapshot building and daemon startup.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The blocklist source could not be read or parsed.
+    Source(String),
+    /// A socket operation failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Source(msg) => write!(f, "blocklist source: {msg}"),
+            ServeError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+/// Build one snapshot from a scored (or plain) blocklist file. Runs off
+/// the serving path; the old generation keeps serving while this parses
+/// and freezes. Records a `build` span with `generation`/`entries`
+/// fields on `registry`.
+pub fn build_snapshot(
+    source: &Path,
+    generation: u64,
+    registry: &Registry,
+) -> Result<ServingSnapshot, ServeError> {
+    let mut span = registry.span("build");
+    span.field("generation", generation);
+    let t0 = Instant::now();
+    let text = std::fs::read_to_string(source)
+        .map_err(|e| ServeError::Source(format!("cannot read {}: {e}", source.display())))?;
+    let scored = unclean_core::blocklist::parse_scored(&text)
+        .map_err(|e| ServeError::Source(format!("cannot parse {}: {e}", source.display())))?;
+    let trie = FrozenTrie::from_scored(scored);
+    span.field("entries", trie.len());
+    Ok(ServingSnapshot {
+        generation,
+        trie,
+        source: source.display().to_string(),
+        build_micros: t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        built_unix_ms: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0),
+    })
+}
+
+/// Holds the current generation; hands out `Arc` clones and swaps in new
+/// generations atomically.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: Mutex<Arc<ServingSnapshot>>,
+    next_generation: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// A store serving `boot` as generation `boot.generation`.
+    pub fn new(boot: ServingSnapshot) -> SnapshotStore {
+        let next = boot.generation + 1;
+        SnapshotStore {
+            current: Mutex::new(Arc::new(boot)),
+            next_generation: AtomicU64::new(next),
+        }
+    }
+
+    /// The current generation, shared. Callers keep answering from their
+    /// clone even if a newer generation is installed mid-request.
+    pub fn load(&self) -> Arc<ServingSnapshot> {
+        Arc::clone(&self.current.lock().expect("snapshot store"))
+    }
+
+    /// Claim the next generation number (for a build about to start).
+    pub fn claim_generation(&self) -> u64 {
+        self.next_generation.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Install a newly built generation. Refuses to go backwards: if a
+    /// newer generation was installed while this one built, it is dropped
+    /// and `false` is returned.
+    pub fn install(&self, snapshot: ServingSnapshot) -> bool {
+        let mut current = self.current.lock().expect("snapshot store");
+        if snapshot.generation <= current.generation {
+            return false;
+        }
+        *current = Arc::new(snapshot);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unclean_core::prelude::Ip;
+
+    fn snapshot(generation: u64, text: &str) -> ServingSnapshot {
+        let dir = std::env::temp_dir().join("unclean-serve-snapshot");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!(
+            "list-{generation}-{:?}.txt",
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, text).expect("write");
+        build_snapshot(&path, generation, &Registry::full()).expect("build")
+    }
+
+    #[test]
+    fn build_parses_scores_and_records_provenance() {
+        let snap = snapshot(1, "9.1.0.0/16 # score=2.5\n203.0.113.0/24\n");
+        assert_eq!(snap.generation, 1);
+        assert_eq!(snap.trie.len(), 2);
+        let m = snap.trie.lookup("9.1.44.44".parse::<Ip>().expect("ip"));
+        assert_eq!(m.expect("blocked").score, 2.5);
+        assert!(snap.built_unix_ms > 0);
+        assert!(snap.source.contains("list-1"));
+    }
+
+    #[test]
+    fn build_errors_on_missing_or_garbage_source() {
+        let registry = Registry::off();
+        let missing = Path::new("/nonexistent/unclean/blocklist.txt");
+        assert!(matches!(
+            build_snapshot(missing, 1, &registry),
+            Err(ServeError::Source(_))
+        ));
+        let dir = std::env::temp_dir().join("unclean-serve-snapshot");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let bad = dir.join("garbage.txt");
+        std::fs::write(&bad, "not-a-cidr\n").expect("write");
+        let err = build_snapshot(&bad, 1, &registry).expect_err("garbage");
+        assert!(err.to_string().contains("garbage.txt"), "{err}");
+    }
+
+    #[test]
+    fn store_swaps_forward_only() {
+        let store = SnapshotStore::new(snapshot(1, "9.1.0.0/16\n"));
+        let held = store.load();
+        assert_eq!(held.generation, 1);
+
+        let gen2 = store.claim_generation();
+        let gen3 = store.claim_generation();
+        assert_eq!((gen2, gen3), (2, 3));
+
+        // Generation 3 finishes building first; 2 must then be refused.
+        assert!(store.install(snapshot(gen3, "10.0.0.0/8\n")));
+        assert!(!store.install(snapshot(gen2, "11.0.0.0/8\n")), "stale");
+        assert_eq!(store.load().generation, 3);
+
+        // The earlier load still answers from its own generation.
+        assert_eq!(held.generation, 1);
+        assert!(held.trie.contains("9.1.0.0".parse::<Ip>().expect("ip")));
+    }
+}

@@ -1,0 +1,267 @@
+//! End-to-end daemon tests: boot on an ephemeral port, speak real HTTP
+//! over real sockets, hot-reload under load, shut down gracefully.
+
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use unclean_serve::{ServeConfig, Server};
+use unclean_telemetry::{prom, Registry};
+
+/// A scratch blocklist file unique to the calling test.
+fn scratch_list(tag: &str, text: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("unclean-serve-daemon");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("{tag}-{:?}.txt", std::thread::current().id()));
+    std::fs::write(&path, text).expect("write blocklist");
+    path
+}
+
+/// Issue one HTTP/1.0 request, return `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.0\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, "GET", path, b"")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, String) {
+    request(addr, "POST", path, body)
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> Value {
+    let (status, body) = get(addr, path);
+    assert_eq!(status, 200, "GET {path}: {body}");
+    serde_json::from_str(&body).unwrap_or_else(|e| panic!("bad json from {path}: {e} {body:?}"))
+}
+
+#[test]
+fn endpoints_answer_over_real_sockets() {
+    let list = scratch_list("endpoints", "9.1.0.0/16 # score=2.5\n203.0.113.0/24\n");
+    let server = Server::start(ServeConfig::new(&list), Registry::full()).expect("start");
+    let addr = server.local_addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let hit = get_json(addr, "/lookup?ip=9.1.44.44");
+    assert_eq!(hit.get("blocked").and_then(Value::as_bool), Some(true));
+    assert_eq!(hit.get("cidr").and_then(Value::as_str), Some("9.1.0.0/16"));
+    assert_eq!(hit.get("n").and_then(Value::as_u64), Some(16));
+    assert_eq!(hit.get("score").and_then(Value::as_f64), Some(2.5));
+    assert_eq!(hit.get("generation").and_then(Value::as_u64), Some(1));
+
+    let miss = get_json(addr, "/lookup?ip=8.8.8.8");
+    assert_eq!(miss.get("blocked").and_then(Value::as_bool), Some(false));
+
+    let (status, body) = post(
+        addr,
+        "/batch",
+        b"9.1.1.7\n8.8.8.8\nnot-an-ip\n\n# comment\n",
+    );
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 3, "{body:?}");
+    assert_eq!(lines[0], "9.1.1.7 blocked 9.1.0.0/16 16 2.5");
+    assert_eq!(lines[1], "8.8.8.8 clean");
+    assert_eq!(lines[2], "not-an-ip error");
+
+    let snap = get_json(addr, "/snapshot");
+    assert_eq!(snap.get("generation").and_then(Value::as_u64), Some(1));
+    assert_eq!(snap.get("entries").and_then(Value::as_u64), Some(2));
+    assert!(
+        snap.get("memory_bytes")
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            > 0
+    );
+
+    // Client errors are answered, not dropped.
+    assert_eq!(get(addr, "/lookup").0, 400, "missing ip=");
+    assert_eq!(get(addr, "/lookup?ip=512.0.0.1").0, 400, "bad ip");
+    assert_eq!(get(addr, "/no-such").0, 404);
+
+    // /metrics is valid Prometheus exposition and a clean run shows
+    // explicit zeros on the drop counters.
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let exposition = prom::parse(&text).expect("prometheus parse");
+    assert_eq!(
+        exposition.counter_u64("unclean_serve_conns_dropped"),
+        Some(0)
+    );
+    assert_eq!(
+        exposition.counter_u64("unclean_serve_reload_errors"),
+        Some(0)
+    );
+    assert!(
+        exposition
+            .counter_u64("unclean_serve_requests_lookup")
+            .unwrap_or(0)
+            >= 4
+    );
+
+    let (status, body) = post(addr, "/quit", b"");
+    assert_eq!((status, body.as_str()), (200, "shutting down\n"));
+    server.wait(); // joins cleanly: accept loop exited, workers drained
+}
+
+#[test]
+fn post_reload_advances_generation_and_changes_answers() {
+    let list = scratch_list("reload", "9.1.0.0/16 # score=2.5\n");
+    let server = Server::start(ServeConfig::new(&list), Registry::full()).expect("start");
+    let addr = server.local_addr();
+
+    let before = get_json(addr, "/lookup?ip=9.1.44.44");
+    assert_eq!(before.get("blocked").and_then(Value::as_bool), Some(true));
+
+    // Swap the blocklist contents entirely: the old block disappears, a
+    // new one appears.
+    std::fs::write(&list, "198.51.100.0/24 # score=9.0\n").expect("rewrite");
+    let reloaded = {
+        let (status, body) = post(addr, "/reload", b"");
+        assert_eq!(status, 200, "{body}");
+        serde_json::from_str::<Value>(&body).expect("reload json")
+    };
+    assert_eq!(reloaded.get("generation").and_then(Value::as_u64), Some(2));
+    assert_eq!(reloaded.get("entries").and_then(Value::as_u64), Some(1));
+
+    let after = get_json(addr, "/lookup?ip=9.1.44.44");
+    assert_eq!(after.get("blocked").and_then(Value::as_bool), Some(false));
+    assert_eq!(after.get("generation").and_then(Value::as_u64), Some(2));
+    let new_block = get_json(addr, "/lookup?ip=198.51.100.7");
+    assert_eq!(
+        new_block.get("blocked").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(new_block.get("score").and_then(Value::as_f64), Some(9.0));
+
+    // A reload that fails to parse keeps serving the old generation.
+    std::fs::write(&list, "complete garbage\n").expect("rewrite");
+    let (status, _) = post(addr, "/reload", b"");
+    assert_eq!(status, 500);
+    let still = get_json(addr, "/lookup?ip=198.51.100.7");
+    assert_eq!(still.get("blocked").and_then(Value::as_bool), Some(true));
+    assert_eq!(still.get("generation").and_then(Value::as_u64), Some(2));
+    assert_eq!(server.registry().counter_value("reload.errors"), 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn watcher_hot_reloads_on_file_change() {
+    let list = scratch_list("watch", "9.1.0.0/16\n");
+    let mut config = ServeConfig::new(&list);
+    config.watch = Some(Duration::from_millis(25));
+    let server = Server::start(config, Registry::full()).expect("start");
+    let addr = server.local_addr();
+    assert_eq!(server.generation(), 1);
+
+    // Rewrite with different contents *and* length so the (mtime, len)
+    // fingerprint changes even on coarse-mtime filesystems.
+    std::fs::write(&list, "10.0.0.0/8 # score=1.0\n172.16.0.0/12\n").expect("rewrite");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = get_json(addr, "/snapshot");
+        if snap.get("generation").and_then(Value::as_u64) >= Some(2) {
+            assert_eq!(snap.get("entries").and_then(Value::as_u64), Some(2));
+            break;
+        }
+        assert!(Instant::now() < deadline, "watcher never picked up change");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let hit = get_json(addr, "/lookup?ip=10.9.9.9");
+    assert_eq!(hit.get("blocked").and_then(Value::as_bool), Some(true));
+    let gone = get_json(addr, "/lookup?ip=9.1.44.44");
+    assert_eq!(gone.get("blocked").and_then(Value::as_bool), Some(false));
+
+    server.shutdown();
+}
+
+/// The tentpole's zero-loss claim: clients hammering `/lookup` while the
+/// snapshot is rebuilt repeatedly see only complete 200 responses, each
+/// from a well-defined generation, and generations never move backwards
+/// from any single client's point of view.
+#[test]
+fn hot_reload_under_load_loses_no_requests() {
+    let texts = [
+        "9.1.0.0/16 # score=1.0\n203.0.113.0/24\n",
+        "9.1.0.0/16 # score=2.0\n198.51.100.0/24 # score=3.5\n",
+    ];
+    let list = scratch_list("underload", texts[0]);
+    let mut config = ServeConfig::new(&list);
+    config.threads = 4;
+    config.max_conns = 512;
+    let server = Server::start(config, Registry::full()).expect("start");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut answered = 0u64;
+                let mut last_generation = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let body = get_json(addr, "/lookup?ip=9.1.44.44");
+                    assert_eq!(body.get("blocked").and_then(Value::as_bool), Some(true));
+                    let generation = body
+                        .get("generation")
+                        .and_then(Value::as_u64)
+                        .expect("generation");
+                    assert!(generation >= last_generation, "generation went backwards");
+                    last_generation = generation;
+                    answered += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Ten full hot reloads while the clients run.
+    for round in 0..10 {
+        std::fs::write(&list, texts[(round + 1) % 2]).expect("rewrite");
+        let (status, _) = post(addr, "/reload", b"");
+        assert_eq!(status, 200);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let answered: u64 = clients.into_iter().map(|c| c.join().expect("client")).sum();
+    assert!(answered > 0, "clients made no progress");
+
+    assert_eq!(server.generation(), 11);
+    let registry = server.registry().clone();
+    server.shutdown();
+    // Nothing was dropped or errored across the whole run.
+    assert_eq!(registry.counter_value("conns.dropped"), 0);
+    assert_eq!(registry.counter_value("conns.read_errors"), 0);
+    assert_eq!(registry.counter_value("reload.errors"), 0);
+    assert_eq!(registry.counter_value("reload.count"), 10);
+}

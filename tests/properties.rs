@@ -330,3 +330,67 @@ fn contains_block_is_equivalent_to_blockset_contains() {
         }
     }
 }
+
+proptest! {
+    #[test]
+    fn frozen_trie_is_equivalent_to_pointer_trie_and_linear_scan(
+        raw in vec(any::<u64>(), 1..80),
+        extra_probes in vec(any::<u32>(), 0..64),
+    ) {
+        // The daemon's frozen (flattened) trie must answer exactly like
+        // the pointer trie it was frozen from, and both must agree with
+        // a brute-force longest-prefix scan — including at and just
+        // outside block boundaries, where off-by-one bit walks hide.
+        use unclean_core::frozen::{CidrTrie, FrozenTrie};
+        let blocks: Vec<(Cidr, f64)> = raw
+            .iter()
+            .map(|&x| {
+                // One u64 per block: high bits pick the address, the rest
+                // a length in 8..=32 and a score in [0, 100).
+                let ip = (x >> 32) as u32;
+                let len = 8 + (x % 25) as u8;
+                let score = ((x >> 8) % 1000) as f64 / 10.0;
+                (Cidr::of(Ip(ip), len), score)
+            })
+            .collect();
+        let pointer = CidrTrie::from_scored(blocks.iter().copied());
+        let frozen = FrozenTrie::freeze(&pointer);
+        prop_assert_eq!(pointer.len(), frozen.len());
+
+        // Reference: scan every block, keep the longest-prefix hit. On a
+        // duplicate CIDR the trie keeps the *last* score inserted, so
+        // scan in insertion order with >=.
+        let reference = |ip: Ip| -> Option<(Cidr, f64)> {
+            let mut best: Option<(Cidr, f64)> = None;
+            for &(cidr, score) in &blocks {
+                if cidr.contains(ip)
+                    && best.is_none_or(|(b, _)| cidr.len() >= b.len())
+                {
+                    best = Some((cidr, score));
+                }
+            }
+            best
+        };
+
+        // Probe each block's boundaries and one-off neighbours, plus
+        // arbitrary addresses.
+        let mut probes: Vec<Ip> = Vec::new();
+        for (cidr, _) in &blocks {
+            let first = cidr.first().raw();
+            let last = cidr.last().raw();
+            for raw in [first, last, first.wrapping_sub(1), last.wrapping_add(1)] {
+                probes.push(Ip(raw));
+            }
+        }
+        probes.extend(extra_probes.iter().map(|&r| Ip(r)));
+
+        for ip in probes {
+            let expect = reference(ip);
+            let from_pointer = pointer.lookup(ip).map(|m| (m.cidr, m.score));
+            let from_frozen = frozen.lookup(ip).map(|m| (m.cidr, m.score));
+            prop_assert_eq!(from_pointer, expect, "pointer trie at {}", ip);
+            prop_assert_eq!(from_frozen, expect, "frozen trie at {}", ip);
+            prop_assert_eq!(frozen.contains(ip), expect.is_some());
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! Offline shim for the subset of `crossbeam` this workspace uses:
-//! [`scope`] with `Scope::spawn`. Implemented over `std::thread::scope`,
-//! which provides the same structured-concurrency guarantee.
+//! [`scope`] with `Scope::spawn` (over `std::thread::scope`, which
+//! provides the same structured-concurrency guarantee) and
+//! [`channel`] — MPMC bounded/unbounded channels over `Mutex` +
+//! `Condvar` with crossbeam's disconnect semantics.
 // API-fidelity shim: mirrors the upstream crate's surface, so idiom lints
 // against the real API shape are expected noise here.
 #![allow(clippy::all)]
@@ -45,6 +47,356 @@ where
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         std::thread::scope(|s| f(wrap(s)))
     }))
+}
+
+pub mod channel {
+    //! MPMC channels mirroring `crossbeam_channel`'s core API: [`bounded`]
+    //! and [`unbounded`] constructors, cloneable [`Sender`]/[`Receiver`]
+    //! halves, blocking and non-blocking sends/receives, and disconnect
+    //! errors once every handle on the other side has dropped.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half. Clones share the queue.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half. Clones share the queue (each message is
+    /// delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// A channel holding at most `cap` in-flight messages; sends block
+    /// (or [`TrySendError::Full`]) once full. `cap` of zero is bumped to
+    /// one (the shim has no rendezvous mode; the workspace only uses
+    /// positive bounds).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued (or every receiver is gone).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().expect("channel state");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.inner.not_full.wait(state).expect("channel state");
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue without blocking; fails when full or disconnected.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.state.lock().expect("channel state");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.inner.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().expect("channel state").queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives (or every sender is gone and the
+        /// queue is drained).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.state.lock().expect("channel state");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.not_empty.wait(state).expect("channel state");
+            }
+        }
+
+        /// Like [`Receiver::recv`], giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.inner.state.lock().expect("channel state");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, timed_out) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel state");
+                state = next;
+                if timed_out.timed_out() && state.queue.is_empty() {
+                    return Err(if state.senders == 0 {
+                        RecvTimeoutError::Disconnected
+                    } else {
+                        RecvTimeoutError::Timeout
+                    });
+                }
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.state.lock().expect("channel state");
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().expect("channel state").queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.inner.state.lock().expect("channel state").senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.inner.state.lock().expect("channel state").receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().expect("channel state");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().expect("channel state");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_across_threads() {
+            let (tx, rx) = bounded::<u32>(4);
+            let producer = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let got: Vec<u32> = (0..100).map(|_| rx.recv().expect("sender alive")).collect();
+            producer.join().expect("producer");
+            assert_eq!(got, (0..100).collect::<Vec<u32>>());
+        }
+
+        #[test]
+        fn try_send_reports_full_then_succeeds_after_drain() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).expect("room");
+            tx.try_send(2).expect("room");
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).expect("room again");
+            assert_eq!(rx.len(), 2);
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(7).expect("ok");
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7), "queued messages drain first");
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded::<u8>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).expect("ok");
+            assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(9));
+        }
+
+        #[test]
+        fn multiple_consumers_partition_the_stream() {
+            let (tx, rx) = bounded::<u64>(8);
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut sum = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 1..=100u64 {
+                tx.send(i).expect("consumers alive");
+            }
+            drop(tx);
+            let total: u64 = consumers
+                .into_iter()
+                .map(|c| c.join().expect("consumer"))
+                .sum();
+            assert_eq!(total, 5050, "every message delivered exactly once");
+        }
+    }
 }
 
 #[cfg(test)]
