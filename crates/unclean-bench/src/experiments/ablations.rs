@@ -11,12 +11,10 @@
 //!   aggregation attribute to the botnet, and when does it dissolve into
 //!   noise?
 
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
-use unclean_detect::{
-    BotMonitor, FanoutConfig, HourlyFanoutDetector, PipelineConfig, TrwConfig, TrwDetector,
-};
+use unclean_detect::{BotMonitor, FanoutConfig, HourlyFanoutDetector, TrwConfig, TrwDetector};
 use unclean_flowgen::{FlowGenerator, GeneratorConfig};
 use unclean_stats::SeedTree;
 
@@ -25,12 +23,13 @@ use unclean_stats::SeedTree;
 /// Takes channel snapshots at increasing distances before the unclean
 /// window and measures each one's predictive band and /24 advantage over
 /// control draws against the present bot report.
-pub fn report_aging(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn report_aging(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Ablation A: prediction vs report age ===\n");
     let scenario = &ctx.scenario;
     let window_start = scenario.dates.unclean_window.start;
     let analysis = TemporalAnalysis::with_config(TemporalConfig {
         trials: ctx.opts.trials.min(250),
+        threads: ctx.threads,
         ..TemporalConfig::default()
     });
     let seeds = SeedTree::new(ctx.experiment_seed()).child("ablation-aging");
@@ -107,7 +106,7 @@ pub fn report_aging(ctx: &ExperimentContext) -> Result<Value, RunError> {
 
 /// Ablation B: hourly fan-out detector vs the TRW baseline on one day of
 /// border traffic.
-pub fn detector_comparison(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn detector_comparison(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Ablation B: fan-out detector vs TRW ===\n");
     let scenario = &ctx.scenario;
     let model = scenario.activity();
@@ -153,7 +152,7 @@ pub fn detector_comparison(ctx: &ExperimentContext) -> Result<Value, RunError> {
 }
 
 /// Ablation C: the Figure 1 overlap gain, swept over aggregation levels.
-pub fn aggregation_sweep(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn aggregation_sweep(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Ablation C: bot/scan overlap vs aggregation level ===\n");
     let scenario = &ctx.scenario;
     let day = scenario.dates.fig1_report_day;
@@ -162,7 +161,7 @@ pub fn aggregation_sweep(ctx: &ExperimentContext) -> Result<Value, RunError> {
         scenario,
         DateRange::single(day),
         false,
-        &PipelineConfig::paper(),
+        &ctx.pipeline_config(),
     )
     .remove(0)
     .1;
@@ -224,7 +223,7 @@ pub fn aggregation_sweep(ctx: &ExperimentContext) -> Result<Value, RunError> {
 /// spatial uncleanliness disappears? Regenerates small scenarios with the
 /// hazard exponent swept from "compromise ignores hygiene" (0) upward and
 /// tests Eq. 3 on each bot report.
-pub fn concentration_sweep(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn concentration_sweep(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Ablation D: hygiene–hazard coupling strength ===\n");
     use unclean_detect::build_reports;
     use unclean_netmodel::{Scenario, ScenarioConfig};
@@ -249,9 +248,10 @@ pub fn concentration_sweep(ctx: &ExperimentContext) -> Result<Value, RunError> {
         let mut cfg = ScenarioConfig::at_scale(0.002, ctx.experiment_seed());
         cfg.compromise.hygiene_exponent = exponent;
         let scenario = Scenario::generate(cfg);
-        let reports = build_reports(&scenario, &PipelineConfig::paper());
+        let reports = build_reports(&scenario, &ctx.pipeline_config());
         let analysis = DensityAnalysis::with_config(DensityConfig {
             trials: 200,
+            threads: ctx.threads,
             ..DensityConfig::default()
         });
         let res = analysis.run(
@@ -295,7 +295,7 @@ pub fn concentration_sweep(ctx: &ExperimentContext) -> Result<Value, RunError> {
 /// signal (occupied partitions, unclean vs equal-size control draws) under
 /// both partitionings and reports the cluster-population dispersion the
 /// paper warns about.
-pub fn clustering_comparison(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn clustering_comparison(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Ablation E: fixed /24 blocks vs network-aware clusters ===\n");
     let control = ctx.reports.control.addresses();
     let clusters = NetworkClusters::build(control, &ClusterConfig::default());
@@ -371,7 +371,7 @@ pub fn clustering_comparison(ctx: &ExperimentContext) -> Result<Value, RunError>
 /// `S(Δ) = P(/24 unclean at t+Δ | unclean at t)` that the temporal
 /// uncleanliness hypothesis rides on, measured directly from the
 /// simulation's infection history.
-pub fn persistence_curve(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn persistence_curve(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Ablation F: /24 uncleanliness survival ===\n");
     use unclean_netmodel::UncleanTimelines;
     let timelines = UncleanTimelines::build(&ctx.scenario.infections);
@@ -396,7 +396,7 @@ pub fn persistence_curve(ctx: &ExperimentContext) -> Result<Value, RunError> {
 }
 
 /// Run all ablations.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     let a = report_aging(ctx)?;
     let b = detector_comparison(ctx)?;
     let c = aggregation_sweep(ctx)?;

@@ -3,7 +3,7 @@
 //! is unrelated to all three. Prints the pairwise overlap matrix with a
 //! random-draw baseline for every pair.
 
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_stats::SeedTree;
@@ -33,7 +33,7 @@ fn baseline_overlap(
 }
 
 /// Run the cross-relationship experiment.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Cross-relationship: pairwise indicator overlap ===\n");
     let reports = [
         &ctx.reports.bot,

@@ -7,13 +7,13 @@
 //! before the report and drops after it, the bot/scan intersection peaks
 //! around 35%, and the /24 view finds more scanners than the address view.
 
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::BlockSet;
-use unclean_detect::{daily_scanners_with, BotMonitor, PipelineConfig};
+use unclean_detect::{daily_scanners_with, BotMonitor};
 
 /// Run the Figure 1 experiment.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Figure 1: scanning vs botnet report ===\n");
     let scenario = &ctx.scenario;
     let dates = scenario.dates;
@@ -36,7 +36,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
         scenario,
         dates.fig1_span,
         false,
-        &PipelineConfig::paper(),
+        &ctx.pipeline_config(),
         &ctx.attempt_registry(),
     );
     let widths = [12, 9, 10, 9];

@@ -7,14 +7,14 @@
 //! "considerably higher", roughly doubling per bit, while the empirical
 //! estimate and the bot report bend far below it.
 
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_netmodel::allocated_slash8s;
 use unclean_stats::SeedTree;
 
 /// Run the Figure 2 experiment.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Figure 2: density estimation techniques ===\n");
     let bot = &ctx.reports.bot;
     let control = ctx.reports.control.addresses();
@@ -25,12 +25,14 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     let empirical = DensityAnalysis::with_config(DensityConfig {
         trials,
         estimator: Estimator::Empirical,
+        threads: ctx.threads,
         ..DensityConfig::default()
     })
     .run_recorded(bot, control, &[], &seeds.child("empirical"), &registry);
     let naive = DensityAnalysis::with_config(DensityConfig {
         trials: trials.min(100), // the naive sampler is slower; 100 is plenty
         estimator: Estimator::Naive,
+        threads: ctx.threads,
         ..DensityConfig::default()
     })
     .run_recorded(

@@ -4,17 +4,18 @@
 //! boxplot of 1000 equal-cardinality control subsets; the unclean curve
 //! must sit at or below the control's at every prefix length (Eq. 3).
 
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_stats::SeedTree;
 
 /// Run the Figure 3 experiment.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Figure 3: comparative density of the unclean classes ===");
     let control = ctx.reports.control.addresses();
     let analysis = DensityAnalysis::with_config(DensityConfig {
         trials: ctx.opts.trials,
+        threads: ctx.threads,
         ..DensityConfig::default()
     });
     let seeds = SeedTree::new(ctx.experiment_seed()).child("fig3");

@@ -7,13 +7,13 @@
 //! spamming and scanning over a band of prefix lengths, and fails entirely
 //! for phishing.
 
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_stats::{SeedTree, Verdict};
 
 /// Run the Figure 4 experiment.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Figure 4: predictive capacity of R_bot-test ===");
     println!(
         "predictor: {} addresses from {} (five months before the window)",
@@ -23,6 +23,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
     let control = ctx.reports.control.addresses();
     let analysis = TemporalAnalysis::with_config(TemporalConfig {
         trials: ctx.opts.trials,
+        threads: ctx.threads,
         ..TemporalConfig::default()
     });
     let seeds = SeedTree::new(ctx.experiment_seed()).child("fig4");

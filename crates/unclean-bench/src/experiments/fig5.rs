@@ -6,17 +6,18 @@
 //! uncleanliness in phishing" — phishing predicts itself even though
 //! botnet history cannot predict it.
 
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 use unclean_stats::{SeedTree, Verdict};
 
 /// Run the Figure 5 experiment.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Figure 5: phishing self-prediction ===\n");
     let control = ctx.reports.control.addresses();
     let analysis = TemporalAnalysis::with_config(TemporalConfig {
         trials: ctx.opts.trials,
+        threads: ctx.threads,
         ..TemporalConfig::default()
     });
     let seeds = SeedTree::new(ctx.experiment_seed()).child("fig5");

@@ -1,5 +1,5 @@
 //! One module per paper table/figure. Each exposes
-//! `run(&ExperimentContext) -> Result<serde_json::Value, RunError>`: it
+//! `run(&ExperimentSlot) -> Result<serde_json::Value, RunError>`: it
 //! prints the human-readable rows/series and returns the machine-readable
 //! result (persistence failures propagate; assertion failures panic and
 //! are caught by the supervisor in [`crate::runner`]).
@@ -15,11 +15,11 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
-use crate::{ExperimentContext, RunError};
+use crate::{ExperimentSlot, RunError};
 use serde_json::Value;
 
 /// The signature every experiment implements.
-pub type Runner = fn(&ExperimentContext) -> Result<Value, RunError>;
+pub type Runner = fn(&ExperimentSlot) -> Result<Value, RunError>;
 
 /// Every experiment, in paper order: (id, description, runner).
 pub type Experiment = (&'static str, &'static str, Runner);

@@ -2,13 +2,13 @@
 //! and sizes, compared against the paper's numbers scaled by the run's
 //! scale factor.
 
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::Report;
 use unclean_netmodel::paper_sizes;
 
 /// Run the Table 1 experiment.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Table 1: report inventory ===\n");
     let scale = ctx.opts.scale;
     let rows: Vec<(&Report, usize)> = vec![

@@ -2,19 +2,19 @@
 //! `R_unclean` union, the candidate traffic from `C_24(R_bot-test)`, and
 //! its partition into hostile / unknown / innocent.
 
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
-use unclean_detect::{build_candidates_with, PipelineConfig};
+use unclean_detect::build_candidates_with;
 
 /// Compute the candidate partition (shared with Table 3).
-pub fn partition(ctx: &ExperimentContext) -> (Vec<Candidate>, Partition) {
+pub fn partition(ctx: &ExperimentSlot) -> (Vec<Candidate>, Partition) {
     let registry = ctx.attempt_registry();
     let candidates = build_candidates_with(
         &ctx.scenario,
         &ctx.reports.bot_test,
         24,
-        &PipelineConfig::paper(),
+        &ctx.pipeline_config(),
         &registry,
     );
     let partition = Partition::new(&candidates, ctx.reports.unclean.addresses());
@@ -25,7 +25,7 @@ pub fn partition(ctx: &ExperimentContext) -> (Vec<Candidate>, Partition) {
 }
 
 /// Run the Table 2 experiment.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Table 2: reports used for the prediction test ===\n");
     let (candidates, part) = partition(ctx);
     let window = ctx.scenario.dates.unclean_window;

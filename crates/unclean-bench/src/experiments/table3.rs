@@ -4,7 +4,7 @@
 //! communicated).
 
 use crate::experiments::table2;
-use crate::{row, rule, ExperimentContext, RunError};
+use crate::{row, rule, ExperimentSlot, RunError};
 use serde_json::{json, Value};
 use unclean_core::prelude::*;
 
@@ -22,7 +22,7 @@ const PAPER_ROWS: [(u8, u64, u64, u64, u64); 9] = [
 ];
 
 /// Run the Table 3 experiment.
-pub fn run(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn run(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     println!("\n=== Table 3: observed true and false positive counts ===\n");
     let (_candidates, part) = table2::partition(ctx);
     let table = {

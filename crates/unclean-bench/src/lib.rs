@@ -26,13 +26,14 @@ pub mod experiments;
 pub mod runner;
 
 pub use runner::RunError;
+pub use unclean_telemetry::TelemetryLevel;
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use unclean_detect::{build_reports_with, PipelineConfig, ReportSet};
 use unclean_netmodel::{Scenario, ScenarioConfig};
-use unclean_telemetry::{Registry, Snapshot, TelemetryLevel};
+use unclean_telemetry::{Registry, Snapshot};
 
 /// The scale factor `--scale smoke` aliases to: small enough for CI,
 /// large enough that every report class is non-degenerate.
@@ -51,6 +52,10 @@ pub struct BenchOpts {
     pub out_dir: Option<std::path::PathBuf>,
     /// Telemetry verbosity (`--telemetry=off|summary|full`).
     pub telemetry: TelemetryLevel,
+    /// Worker threads for every parallel stage — the detector sweeps, the
+    /// trial ensembles, and the experiment scheduler (0 = one per core,
+    /// 1 = fully serial). Results are identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for BenchOpts {
@@ -61,6 +66,7 @@ impl Default for BenchOpts {
             trials: 1000,
             out_dir: Some("results".into()),
             telemetry: TelemetryLevel::Summary,
+            threads: 0,
         }
     }
 }
@@ -73,6 +79,11 @@ impl BenchOpts {
     /// exits 0.
     pub fn parse_known(args: &[String]) -> Result<(BenchOpts, Vec<String>), RunError> {
         let mut opts = BenchOpts::default();
+        if let Ok(v) = std::env::var("UNCLEAN_THREADS") {
+            opts.threads = v
+                .parse()
+                .map_err(|_| RunError::Usage("UNCLEAN_THREADS takes an integer".into()))?;
+        }
         let mut extra = Vec::new();
         let mut i = 0;
         while i < args.len() {
@@ -107,6 +118,12 @@ impl BenchOpts {
                         .map_err(|_| RunError::Usage("--seed takes an integer".into()))?;
                     i += 2;
                 }
+                "--threads" => {
+                    opts.threads = value(i)?
+                        .parse()
+                        .map_err(|_| RunError::Usage("--threads takes an integer".into()))?;
+                    i += 2;
+                }
                 "--trials" => {
                     opts.trials = value(i)?
                         .parse()
@@ -124,7 +141,9 @@ impl BenchOpts {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale 0.02|smoke] [--seed N] [--trials 1000] [--out results] [--no-out]\n\
-                         \x20      [--telemetry off|summary|full]\n\
+                         \x20      [--telemetry off|summary|full] [--threads N]\n\
+                         --threads 0 (or the UNCLEAN_THREADS env var) means one worker per core;\n\
+                         results are identical at any thread count.\n\
                          run_all also takes: [--resume] [--retries N] [--deadline SECS] [--only id1,id2]"
                     );
                     std::process::exit(0);
@@ -153,17 +172,20 @@ impl BenchOpts {
 }
 
 /// A generated scenario plus the report inventory: what every experiment
-/// consumes.
+/// consumes. Shared read-only between concurrently scheduled experiments;
+/// per-attempt mutable state lives in each experiment's
+/// [`ExperimentSlot`].
 pub struct ExperimentContext {
     /// The options used.
     pub opts: BenchOpts,
+    /// Resolved worker-thread count (≥ 1): `opts.threads` with 0 replaced
+    /// by the available core count. Governs the detector sweeps, the
+    /// trial ensembles, and the experiment scheduler alike.
+    pub threads: usize,
     /// The scenario.
     pub scenario: Scenario,
     /// The Table 1 / Table 2 report inventory.
     pub reports: ReportSet,
-    /// Current supervised attempt (0 on the first try; retries bump it so
-    /// [`ExperimentContext::experiment_seed`] is perturbed).
-    pub attempt: AtomicU64,
     /// Run-level telemetry registry: scenario generation, the detector
     /// pipeline, and the archive/flow-store audit all record here.
     pub registry: Registry,
@@ -171,21 +193,16 @@ pub struct ExperimentContext {
     /// generation — the shared context each experiment's telemetry is
     /// merged with in the manifest.
     pub shared_context: Snapshot,
-    /// Per-attempt registry, reset by [`ExperimentContext::begin_attempt`]
-    /// so a retried experiment doesn't double-count its aborted tries.
-    attempt_registry: Mutex<Registry>,
-    /// Output files written during the current attempt, with content
-    /// hashes — drained into the manifest by the runner.
-    written: Mutex<Vec<runner::OutputFile>>,
 }
 
 impl ExperimentContext {
     /// Generate a context (this runs the full pipeline; seconds to minutes
     /// depending on scale).
     pub fn generate(opts: BenchOpts) -> ExperimentContext {
+        let threads = crossbeam::executor::resolve_threads(opts.threads);
         eprintln!(
-            "[bench] generating scenario: scale {} seed {} …",
-            opts.scale, opts.seed
+            "[bench] generating scenario: scale {} seed {} threads {} …",
+            opts.scale, opts.seed, threads
         );
         let registry = Registry::new(opts.telemetry);
         // Declare the audit counters up front so a clean run exports an
@@ -203,18 +220,65 @@ impl ExperimentContext {
             scenario.world.population.block_count(),
             t0.elapsed()
         );
-        let reports = build_reports_with(&scenario, &PipelineConfig::paper(), &registry);
+        let reports = build_reports_with(&scenario, &self::pipeline_config(threads), &registry);
         eprintln!("[bench] pipeline complete ({:.1?})", t0.elapsed());
         let shared_context = registry.snapshot();
         ExperimentContext {
-            attempt_registry: Mutex::new(Registry::new(opts.telemetry)),
             opts,
+            threads,
             scenario,
             reports,
-            attempt: AtomicU64::new(0),
             registry,
             shared_context,
+        }
+    }
+
+    /// The paper pipeline configuration at this context's thread count.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        self::pipeline_config(self.threads)
+    }
+}
+
+fn pipeline_config(threads: usize) -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper();
+    cfg.threads = threads;
+    cfg
+}
+
+/// Per-experiment mutable state: the current supervised attempt, its
+/// telemetry registry, and the output files it has written. Each
+/// concurrently scheduled experiment gets its own slot wrapping the
+/// shared [`ExperimentContext`] (which it derefs to), so one experiment's
+/// retries never perturb another's seed or telemetry.
+pub struct ExperimentSlot {
+    ctx: Arc<ExperimentContext>,
+    /// Current supervised attempt (0 on the first try; retries bump it so
+    /// [`ExperimentSlot::experiment_seed`] is perturbed).
+    pub attempt: AtomicU64,
+    /// Per-attempt registry, reset by [`ExperimentSlot::begin_attempt`]
+    /// so a retried experiment doesn't double-count its aborted tries.
+    attempt_registry: Mutex<Registry>,
+    /// Output files written during the current attempt, with content
+    /// hashes — drained into the manifest by the runner.
+    written: Mutex<Vec<runner::OutputFile>>,
+}
+
+impl std::ops::Deref for ExperimentSlot {
+    type Target = ExperimentContext;
+
+    fn deref(&self) -> &ExperimentContext {
+        &self.ctx
+    }
+}
+
+impl ExperimentSlot {
+    /// A fresh slot over the shared context.
+    pub fn new(ctx: Arc<ExperimentContext>) -> ExperimentSlot {
+        ExperimentSlot {
+            attempt: AtomicU64::new(0),
+            attempt_registry: Mutex::new(Registry::new(ctx.opts.telemetry)),
             written: Mutex::new(Vec::new()),
+            ctx,
         }
     }
 

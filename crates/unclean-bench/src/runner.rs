@@ -14,20 +14,27 @@
 //!   duration, error text and the content hash of every output file;
 //! * `--resume` fingerprints the run (scale, seed, trials, crate version)
 //!   against the manifest and re-runs only experiments whose recorded
-//!   outputs are missing, corrupt, or from a failed attempt.
+//!   outputs are missing, corrupt, or from a failed attempt;
+//! * experiments are scheduled over a (currently edge-free) dependency
+//!   DAG and run concurrently on `--threads` workers, each in its own
+//!   [`ExperimentSlot`] so one experiment's retries and telemetry never
+//!   bleed into another's. Scheduling never affects results: every
+//!   experiment derives its randomness from its own seed, and outputs,
+//!   `all.json` and the manifest are emitted in registry order whatever
+//!   order the workers finished in.
 //!
 //! Retries perturb only the *experiment-local* seed (via
-//! [`ExperimentContext::experiment_seed`]); the scenario seed — and hence
+//! [`ExperimentSlot::experiment_seed`]); the scenario seed — and hence
 //! the generated world every experiment shares — is never changed.
 
-use crate::{BenchOpts, ExperimentContext};
+use crate::{BenchOpts, ExperimentContext, ExperimentSlot};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc;
 use std::sync::Arc;
+use std::sync::{mpsc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use unclean_flowgen::ArchiveTelemetry;
 use unclean_netmodel::Scenario;
@@ -345,7 +352,7 @@ impl RunnerConfig {
 /// The integration-test experiment `--self-test-panic` appends: panics on
 /// attempt 0, succeeds on any retry — exercising fault isolation, retry
 /// seed perturbation, and resume in one knob.
-pub fn self_test_experiment(ctx: &ExperimentContext) -> Result<Value, RunError> {
+pub fn self_test_experiment(ctx: &ExperimentSlot) -> Result<Value, RunError> {
     if ctx.attempt.load(Ordering::SeqCst) == 0 {
         panic!("injected panic (--self-test-panic, attempt 0)");
     }
@@ -371,18 +378,18 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Run one attempt on its own thread; a panic is caught, a deadline
 /// overrun abandons the worker (it is detached, never joined).
 fn supervise_attempt(
-    ctx: &Arc<ExperimentContext>,
+    slot: &Arc<ExperimentSlot>,
     id: &str,
     runner: crate::experiments::Runner,
     deadline: Option<Duration>,
 ) -> Result<Value, RunError> {
     let (tx, rx) = mpsc::channel();
-    let worker_ctx = Arc::clone(ctx);
+    let worker_slot = Arc::clone(slot);
     let spawned = std::thread::Builder::new()
         .name(format!("exp-{id}"))
         .spawn(move || {
             let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner(&worker_ctx)));
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner(&worker_slot)));
             let _ = tx.send(outcome);
         });
     let handle = match spawned {
@@ -415,7 +422,7 @@ fn supervise_attempt(
 /// snapshot (unmerged — `run_all` prefixes and rolls it into the
 /// run-level export without double-counting the shared context).
 pub fn run_one(
-    ctx: &Arc<ExperimentContext>,
+    slot: &Arc<ExperimentSlot>,
     id: &str,
     runner: crate::experiments::Runner,
     cfg: &RunnerConfig,
@@ -423,42 +430,42 @@ pub fn run_one(
     let t0 = Instant::now();
     let mut last_error = String::new();
     for attempt in 0..=cfg.retries {
-        ctx.begin_attempt(attempt);
+        slot.begin_attempt(attempt);
         if attempt > 0 {
             eprintln!(
                 "[bench] {id}: retry {attempt}/{} (experiment seed {:#x})",
                 cfg.retries,
-                ctx.experiment_seed()
+                slot.experiment_seed()
             );
         }
         let outcome = {
             // The "run" span brackets the whole supervised attempt, so
             // every manifest record carries at least one stage duration.
-            let _run_span = ctx.attempt_registry().span("run");
-            supervise_attempt(ctx, id, runner, cfg.deadline)
+            let _run_span = slot.attempt_registry().span("run");
+            supervise_attempt(slot, id, runner, cfg.deadline)
         };
         match outcome {
             Ok(value) => {
-                let mut outputs = ctx.take_written();
+                let mut outputs = slot.take_written();
                 // Experiments that only wrote satellite files (or none)
                 // still get a canonical `results/<id>.json` so resume has
                 // something to verify and `all.json` can be rebuilt.
                 if !outputs.iter().any(|o| o.file == format!("{id}.json")) {
-                    match ctx.write_result(id, &value) {
-                        Ok(()) => outputs.extend(ctx.take_written()),
+                    match slot.write_result(id, &value) {
+                        Ok(()) => outputs.extend(slot.take_written()),
                         Err(e) => {
                             last_error = e.to_string();
                             continue;
                         }
                     }
                 }
-                let local = if ctx.registry.enabled() {
-                    Some(ctx.take_attempt_snapshot())
+                let local = if slot.registry.enabled() {
+                    Some(slot.take_attempt_snapshot())
                 } else {
                     None
                 };
                 let telemetry = local.as_ref().map(|local| {
-                    let mut merged = ctx.shared_context.clone();
+                    let mut merged = slot.shared_context.clone();
                     merged.merge(local);
                     merged
                 });
@@ -478,7 +485,7 @@ pub fn run_one(
             }
             Err(e) => {
                 last_error = e.to_string();
-                let _ = ctx.take_written();
+                let _ = slot.take_written();
                 eprintln!("[bench] {id}: attempt {} failed: {last_error}", attempt + 1);
             }
         }
@@ -597,11 +604,120 @@ pub fn validate_config(cfg: &RunnerConfig) -> Result<(), RunError> {
     Ok(())
 }
 
+/// Dependency edges between experiments: `id` may only start once every
+/// experiment named here has finished. Every current experiment is
+/// independent — each consumes only the shared pre-generated
+/// [`ExperimentContext`] — so the table is empty. The scheduler in
+/// [`run_all`] honours it regardless, so a future derived experiment
+/// (say, a summary that reads other experiments' result values) can
+/// declare prerequisites without the scheduling code changing.
+pub fn experiment_dependencies(_id: &str) -> &'static [&'static str] {
+    &[]
+}
+
+/// One finished experiment, parked until the ordered emission pass.
+type Outcome = (RunRecord, Option<Value>, Option<Snapshot>);
+
+/// Scheduler bookkeeping shared by the worker threads.
+struct SchedState {
+    /// Registry indices whose dependencies have all finished, kept sorted
+    /// so workers always claim the lowest index first — with one worker
+    /// this reproduces the old serial registry order exactly.
+    ready: Vec<usize>,
+    /// Per registry index: unfinished dependencies (usize::MAX = done or
+    /// not scheduled).
+    waiting_on: Vec<usize>,
+    /// Scheduled experiments not yet finished.
+    outstanding: usize,
+}
+
+/// Run the non-resumed experiments concurrently over the dependency DAG,
+/// filling `outcomes` (one slot per registry entry). Failures never stop
+/// the schedule: a failed experiment counts as "finished" for its
+/// dependents, which then run against whatever the shared context holds —
+/// exactly the fault-isolation contract the serial loop had.
+fn run_scheduled(
+    ctx: &Arc<ExperimentContext>,
+    registry: &[crate::experiments::Experiment],
+    pending: &[usize],
+    cfg: &RunnerConfig,
+    outcomes: &[Mutex<Option<Outcome>>],
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let index_of = |id: &str| registry.iter().position(|(rid, _, _)| *rid == id);
+    let mut waiting_on = vec![usize::MAX; registry.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); registry.len()];
+    let mut ready = Vec::new();
+    for &i in pending {
+        // Dependencies that were resumed (or filtered out by --only) are
+        // already satisfied; only edges into still-pending work count.
+        let deps: Vec<usize> = experiment_dependencies(registry[i].0)
+            .iter()
+            .filter_map(|d| index_of(d))
+            .filter(|d| pending.contains(d))
+            .collect();
+        waiting_on[i] = deps.len();
+        for d in deps {
+            dependents[d].push(i);
+        }
+        if waiting_on[i] == 0 {
+            ready.push(i);
+        }
+    }
+    ready.sort_unstable();
+    let state = Mutex::new(SchedState {
+        ready,
+        waiting_on,
+        outstanding: pending.len(),
+    });
+    let wake = Condvar::new();
+    let workers = ctx.threads.min(pending.len()).max(1);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let claimed = {
+                    let mut st = state.lock().expect("scheduler lock");
+                    loop {
+                        if !st.ready.is_empty() {
+                            break Some(st.ready.remove(0));
+                        }
+                        if st.outstanding == 0 {
+                            break None;
+                        }
+                        st = wake.wait(st).expect("scheduler lock");
+                    }
+                };
+                let Some(i) = claimed else { return };
+                let (id, description, runner) = registry[i];
+                eprintln!("\n[bench] ===== {id}: {description} =====");
+                let t0 = Instant::now();
+                let slot = Arc::new(ExperimentSlot::new(Arc::clone(ctx)));
+                let outcome = run_one(&slot, id, runner, cfg);
+                eprintln!("[bench] {id} finished in {:.1?}", t0.elapsed());
+                *outcomes[i].lock().expect("outcome slot") = Some(outcome);
+                let mut st = state.lock().expect("scheduler lock");
+                st.outstanding -= 1;
+                for &d in &dependents[i] {
+                    st.waiting_on[d] -= 1;
+                    if st.waiting_on[d] == 0 {
+                        let at = st.ready.partition_point(|&r| r < d);
+                        st.ready.insert(at, d);
+                    }
+                }
+                wake.notify_all();
+            });
+        }
+    })
+    .expect("scheduler workers never panic outside supervised experiments");
+}
+
 /// The full supervised run: every registry experiment (filtered by
-/// `--only`), resume-aware, failure-isolated. Writes per-experiment
-/// results, the combined `all.json` (partial on failures) and
-/// `manifest.json`; prints a failure summary; returns the process exit
-/// code (0 all ok, 3 partial).
+/// `--only`), resume-aware, failure-isolated, scheduled over
+/// `--threads` workers. Writes per-experiment results, the combined
+/// `all.json` (partial on failures) and `manifest.json`; prints a failure
+/// summary; returns the process exit code (0 all ok, 3 partial).
 pub fn run_all(ctx: Arc<ExperimentContext>, cfg: &RunnerConfig) -> ExitCode {
     if let Err(e) = validate_config(cfg) {
         eprintln!("{e}");
@@ -622,34 +738,47 @@ pub fn run_all(ctx: Arc<ExperimentContext>, cfg: &RunnerConfig) -> ExitCode {
         eprintln!("[bench] --resume: no usable manifest; running everything");
     }
 
-    let mut records = Vec::new();
-    let mut combined = serde_json::Map::new();
-    let mut locals: Vec<(String, Snapshot)> = Vec::new();
-    for (id, description, runner) in &registry {
-        // Resume: skip when the manifest says this experiment succeeded
-        // under the same fingerprint and its outputs verify on disk.
-        if let (Some(dir), Some(manifest)) = (&out_dir, &previous) {
-            if can_skip(manifest, &fingerprint, id, dir) {
+    // Resume pre-pass (serial): park verified prior results in their
+    // outcome slots, collect everything else for the scheduler.
+    let outcomes: Vec<Mutex<Option<Outcome>>> = registry.iter().map(|_| Mutex::new(None)).collect();
+    let mut pending = Vec::new();
+    for (i, (id, _, _)) in registry.iter().enumerate() {
+        let resumed = match (&out_dir, &previous) {
+            (Some(dir), Some(manifest)) if can_skip(manifest, &fingerprint, id, dir) => {
                 let prior = manifest.record(id).expect("can_skip checked presence");
                 eprintln!("[bench] {id}: resumed (outputs verified, skipping)");
-                if let Ok(text) = std::fs::read_to_string(dir.join(format!("{id}.json"))) {
-                    if let Ok(value) = serde_json::from_str::<Value>(&text) {
-                        combined.insert(id.to_string(), value);
-                    }
-                }
-                records.push(RunRecord {
+                let value = std::fs::read_to_string(dir.join(format!("{id}.json")))
+                    .ok()
+                    .and_then(|text| serde_json::from_str::<Value>(&text).ok());
+                let record = RunRecord {
                     status: RunStatus::Resumed,
                     attempts: 0,
                     duration_secs: 0.0,
                     ..prior.clone()
-                });
-                continue;
+                };
+                Some((record, value, None))
             }
+            _ => None,
+        };
+        match resumed {
+            Some(outcome) => *outcomes[i].lock().expect("outcome slot") = Some(outcome),
+            None => pending.push(i),
         }
-        eprintln!("\n[bench] ===== {id}: {description} =====");
-        let t0 = Instant::now();
-        let (record, value, local) = run_one(&ctx, id, *runner, cfg);
-        eprintln!("[bench] {id} finished in {:.1?}", t0.elapsed());
+    }
+
+    run_scheduled(&ctx, &registry, &pending, cfg, &outcomes);
+
+    // Ordered emission: drain the outcome slots in registry order so
+    // records, all.json and telemetry are identical at any thread count.
+    let mut records = Vec::new();
+    let mut combined = serde_json::Map::new();
+    let mut locals: Vec<(String, Snapshot)> = Vec::new();
+    for ((id, _, _), slot) in registry.iter().zip(&outcomes) {
+        let (record, value, local) = slot
+            .lock()
+            .expect("outcome slot")
+            .take()
+            .expect("every scheduled experiment leaves an outcome");
         if let Some(value) = value {
             combined.insert(id.to_string(), value);
         }
@@ -667,8 +796,12 @@ pub fn run_all(ctx: Arc<ExperimentContext>, cfg: &RunnerConfig) -> ExitCode {
 
     // The combined file is written even when partial: the successes are
     // the evening's salvage, not collateral damage.
-    if let Err(e) = ctx.write_result("all", &Value::Object(combined)) {
-        eprintln!("[bench] failed to write all.json: {e}");
+    if let Some(dir) = &out_dir {
+        let path = dir.join("all.json");
+        match atomic_write_json(&path, &Value::Object(combined)) {
+            Ok(_) => eprintln!("[bench] wrote {}", path.display()),
+            Err(e) => eprintln!("[bench] failed to write all.json: {e}"),
+        }
     }
     let telemetry = match flow_audit(&ctx.scenario, &ctx.registry) {
         Ok(audit) => {
@@ -746,13 +879,14 @@ pub fn single_main(id: &str) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    let ctx = ExperimentContext::generate(opts);
+    let ctx = Arc::new(ExperimentContext::generate(opts));
+    let slot = ExperimentSlot::new(ctx);
     let runner = crate::experiments::all()
         .into_iter()
         .find(|(rid, _, _)| *rid == id)
         .map(|(_, _, runner)| runner)
         .unwrap_or_else(|| panic!("unknown experiment id {id}"));
-    match runner(&ctx) {
+    match runner(&slot) {
         Ok(_) => ExitCode::from(EXIT_OK),
         Err(e) => {
             eprintln!("error: {e}");

@@ -210,6 +210,65 @@ pub fn per_block_population(blocks: &BlockSet, set: &IpSet) -> Vec<(Cidr, usize)
         .collect()
 }
 
+/// `|C_n(A) ∩ C_n(B)|` for every n in `[lo, hi]` at once — the inner loop
+/// of every temporal-analysis trial (Eq. 5 over the paper's 17 prefix
+/// lengths), in one sweep over the sorted /32s instead of building and
+/// intersecting a [`BlockSet`] per prefix length.
+///
+/// For each `a` in `A` (sorted), let `d(a)` be the longest common bit
+/// prefix between `a` and any element of `B` (found by binary search:
+/// only the two neighbours of `a`'s insertion point can maximize it), and
+/// let `s(a)` be the common prefix with `a`'s predecessor in `A` (so `a`
+/// opens a new n-block of `A` exactly when `n > s(a)`). Whether an
+/// n-block of `A` intersects `C_n(B)` is a property of the block — every
+/// member shares the block's n-bit prefix, so one member shares an n-bit
+/// prefix with `B` iff all do. The block's opener therefore decides for
+/// the whole block, and the intersection count at n is the number of
+/// openers with `d(a) ≥ n`:
+///
+/// `|C_n(A) ∩ C_n(B)| = |{a : s(a) < n ≤ d(a)}|`
+///
+/// which a difference array over n accumulates in O(1) per element. Total
+/// cost is O(|A| log |B|) for all 17 prefix lengths together.
+pub fn shared_block_counts(a: &IpSet, b: &IpSet, lo: u8, hi: u8) -> Vec<u64> {
+    assert!(lo <= hi && hi <= 32, "bad prefix range [{lo}, {hi}]");
+    let width = (hi - lo + 1) as usize;
+    let (araw, braw) = (a.as_raw(), b.as_raw());
+    if araw.is_empty() || braw.is_empty() {
+        return vec![0; width];
+    }
+    let lcp = |x: u32, y: u32| (x ^ y).leading_zeros(); // 32 when equal
+    let mut diff = vec![0i64; width + 1];
+    let mut prev: Option<u32> = None;
+    for &x in araw {
+        let i = braw.partition_point(|&v| v < x);
+        let mut d = 0u32;
+        if i < braw.len() {
+            d = d.max(lcp(x, braw[i]));
+        }
+        if i > 0 {
+            d = d.max(lcp(x, braw[i - 1]));
+        }
+        // First n at which x opens a new block of A: every n for the first
+        // element, n > lcp(prev, x) afterwards.
+        let s = prev.map_or(0, |p| lcp(x, p) + 1);
+        let from = s.max(lo as u32);
+        let to = d.min(hi as u32);
+        if from <= to {
+            diff[(from - lo as u32) as usize] += 1;
+            diff[(to - lo as u32 + 1) as usize] -= 1;
+        }
+        prev = Some(x);
+    }
+    let mut out = Vec::with_capacity(width);
+    let mut acc = 0i64;
+    for &delta in diff.iter().take(width) {
+        acc += delta;
+        out.push(acc as u64);
+    }
+    out
+}
+
 /// Naive reference implementation of block counting (hash-set based) used
 /// by tests and benches to validate [`BlockCounts`].
 pub fn block_count_naive(set: &IpSet, n: u8) -> u64 {
@@ -389,6 +448,86 @@ mod tests {
         assert_eq!(snap.counters["core.blocks.sets_built"], 1);
         assert_eq!(snap.histograms["core.blocks.set_size"].sum, 2);
         assert_eq!(snap.histograms["core.blocks.input_addresses"].sum, 3);
+    }
+
+    fn shared_counts_reference(a: &IpSet, b: &IpSet, lo: u8, hi: u8) -> Vec<u64> {
+        (lo..=hi)
+            .map(|n| BlockSet::of(a, n).intersect_count(&BlockSet::of(b, n)))
+            .collect()
+    }
+
+    #[test]
+    fn shared_block_counts_match_per_length_intersections() {
+        let a = ipset(&[
+            "10.1.2.3",
+            "10.1.2.200",
+            "10.9.0.0",
+            "99.0.0.1",
+            "99.0.0.2",
+            "200.200.200.200",
+        ]);
+        let b = ipset(&["10.1.2.200", "10.1.3.1", "50.0.0.1", "99.0.0.77"]);
+        assert_eq!(
+            shared_block_counts(&a, &b, 0, 32),
+            shared_counts_reference(&a, &b, 0, 32)
+        );
+        assert_eq!(
+            shared_block_counts(&a, &b, 16, 32),
+            shared_counts_reference(&a, &b, 16, 32)
+        );
+        assert_eq!(
+            shared_block_counts(&b, &a, 16, 32),
+            shared_counts_reference(&b, &a, 16, 32)
+        );
+    }
+
+    #[test]
+    fn shared_block_counts_on_structured_sets() {
+        // Hash-scattered sample vs a clustered "present" set, the shape the
+        // temporal analysis feeds in, across every sub-range bound.
+        let a = IpSet::from_raw(
+            (0..2_000u32)
+                .map(|i| i.wrapping_mul(2_654_435_761))
+                .collect(),
+        );
+        let b = IpSet::from_raw(
+            (0..500u32)
+                .map(|i| (i.wrapping_mul(2_654_435_761) & 0xffff_ff00) | (i % 7))
+                .collect(),
+        );
+        assert_eq!(
+            shared_block_counts(&a, &b, 16, 32),
+            shared_counts_reference(&a, &b, 16, 32)
+        );
+        assert_eq!(shared_block_counts(&a, &b, 24, 24)[0], {
+            BlockSet::of(&a, 24).intersect_count(&BlockSet::of(&b, 24))
+        });
+    }
+
+    #[test]
+    fn shared_block_counts_edge_cases() {
+        let a = ipset(&["10.1.2.3"]);
+        assert_eq!(
+            shared_block_counts(&a, &IpSet::empty(), 16, 32),
+            vec![0; 17]
+        );
+        assert_eq!(
+            shared_block_counts(&IpSet::empty(), &a, 16, 32),
+            vec![0; 17]
+        );
+        // Identical singletons intersect at every length.
+        assert_eq!(shared_block_counts(&a, &a, 0, 32), vec![1; 33]);
+        // Addresses differing in the top bit share only the universal block.
+        let b = ipset(&["200.1.2.3"]);
+        let counts = shared_block_counts(&a, &b, 0, 8);
+        assert_eq!(counts[0], 1);
+        assert!(counts[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad prefix range")]
+    fn shared_block_counts_rejects_inverted_range() {
+        let _ = shared_block_counts(&IpSet::empty(), &IpSet::empty(), 20, 16);
     }
 
     #[test]

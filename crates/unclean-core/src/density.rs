@@ -77,6 +77,9 @@ pub struct DensityConfig {
     pub threshold: f64,
     /// How reference populations are drawn.
     pub estimator: Estimator,
+    /// Ensemble worker threads (0 = one per core). Results are identical
+    /// at any thread count.
+    pub threads: usize,
 }
 
 impl Default for DensityConfig {
@@ -86,6 +89,7 @@ impl Default for DensityConfig {
             trials: 1000,
             threshold: 0.95,
             estimator: Estimator::Empirical,
+            threads: 0,
         }
     }
 }
@@ -220,6 +224,7 @@ impl DensityAnalysis {
         let range = cfg.range;
         let sample_telemetry = SampleTelemetry::in_registry(registry);
         let ensemble = EnsembleBuilder::new(xs.clone(), cfg.trials)
+            .threads(cfg.threads)
             .count_into(registry.counter("core.density.trials"))
             .run(
                 &seeds.child("density").child(unclean.tag()),

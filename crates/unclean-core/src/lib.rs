@@ -100,7 +100,7 @@ pub mod prelude {
     pub use crate::blocklist::{
         parse_plain, parse_scored, render as render_blocklist, render_scored, BlocklistFormat,
     };
-    pub use crate::blocks::{BlockCounts, BlockSet};
+    pub use crate::blocks::{shared_block_counts, BlockCounts, BlockSet};
     pub use crate::cidr::Cidr;
     pub use crate::clusters::{ClusterConfig, NetworkClusters};
     pub use crate::density::{

@@ -16,7 +16,7 @@
 //! the control sample covers more blocks, so coarse blocks give it many
 //! imprecise successes).
 
-use crate::blocks::BlockSet;
+use crate::blocks::shared_block_counts;
 use crate::density::PrefixRange;
 use crate::ipset::IpSet;
 use crate::report::Report;
@@ -24,11 +24,11 @@ use serde::{Deserialize, Serialize};
 use unclean_stats::{Ensemble, EnsembleBuilder, ExceedanceTest, SeedTree, Verdict};
 use unclean_telemetry::Registry;
 
-/// `|C_n(past) ∩ C_n(present)|` for each prefix length in `range`.
+/// `|C_n(past) ∩ C_n(present)|` for each prefix length in `range` — one
+/// sweep over the sorted /32s for all prefix lengths together
+/// ([`shared_block_counts`]).
 pub fn prediction_curve(past: &IpSet, present: &IpSet, range: PrefixRange) -> Vec<u64> {
-    (range.lo..=range.hi)
-        .map(|n| BlockSet::of(past, n).intersect_count(&BlockSet::of(present, n)))
-        .collect()
+    shared_block_counts(past, present, range.lo, range.hi)
 }
 
 /// Configuration for a temporal uncleanliness analysis.
@@ -40,6 +40,9 @@ pub struct TemporalConfig {
     pub trials: usize,
     /// The "better predictor" threshold (the paper: 0.95).
     pub threshold: f64,
+    /// Ensemble worker threads (0 = one per core). Results are identical
+    /// at any thread count.
+    pub threads: usize,
 }
 
 impl Default for TemporalConfig {
@@ -48,6 +51,7 @@ impl Default for TemporalConfig {
             range: PrefixRange::PAPER,
             trials: 1000,
             threshold: 0.95,
+            threads: 0,
         }
     }
 }
@@ -153,13 +157,10 @@ impl TemporalAnalysis {
         let xs = cfg.range.xs();
         let observed = prediction_curve(past.addresses(), present.addresses(), cfg.range);
 
-        // Precompute the present block sets once; each trial only has to
-        // block-ify its own sample.
-        let present_blocks: Vec<BlockSet> = (cfg.range.lo..=cfg.range.hi)
-            .map(|n| BlockSet::of(present.addresses(), n))
-            .collect();
         let range = cfg.range;
+        let present_addrs = present.addresses();
         let ensemble = EnsembleBuilder::new(xs.clone(), cfg.trials)
+            .threads(cfg.threads)
             .count_into(registry.counter("core.temporal.trials"))
             .run(
                 &seeds
@@ -170,9 +171,9 @@ impl TemporalAnalysis {
                     let sample = control
                         .sample(rng, k)
                         .expect("control outnumbers any past report");
-                    (range.lo..=range.hi)
-                        .zip(&present_blocks)
-                        .map(|(n, pb)| BlockSet::of(&sample, n).intersect_count(pb) as f64)
+                    shared_block_counts(&sample, present_addrs, range.lo, range.hi)
+                        .into_iter()
+                        .map(|c| c as f64)
                         .collect()
                 },
             );

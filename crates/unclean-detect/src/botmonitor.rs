@@ -8,9 +8,10 @@
 //! know about — which is why the provided bot report never contains every
 //! active bot (and why §6's unknown population is as large as it is).
 
+use crossbeam::executor::Executor;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use unclean_core::{DateRange, IpSet};
+use unclean_core::{DateRange, Day, IpSet};
 use unclean_netmodel::{ActivityKind, ActivityModel, ChannelDirectory, Infection};
 
 /// Monitor configuration.
@@ -35,6 +36,26 @@ impl Default for MonitorConfig {
 #[derive(Debug, Clone)]
 pub struct BotMonitor {
     monitored: HashSet<u16>,
+}
+
+/// Partial result of a monitor sweep over a subset of a window's days.
+/// Shards merge in day order; [`MonitorSweep::finish`] canonicalizes, so
+/// the merged result is independent of how the window was sharded.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorSweep {
+    raw: Vec<u32>,
+}
+
+impl MonitorSweep {
+    /// Fold another shard's sightings into this one.
+    pub fn merge(&mut self, other: MonitorSweep) {
+        self.raw.extend(other.raw);
+    }
+
+    /// The deduplicated address set seen across the merged shards.
+    pub fn finish(self) -> IpSet {
+        IpSet::from_raw(self.raw)
+    }
 }
 
 impl BotMonitor {
@@ -66,17 +87,42 @@ impl BotMonitor {
     /// Collect the bot report for a window: every address seen checking in
     /// on a monitored channel during the window.
     pub fn collect(&self, model: &ActivityModel<'_>, window: DateRange) -> IpSet {
-        let mut raw = Vec::new();
+        let mut acc = MonitorSweep::default();
         for day in window.days() {
-            model.hostile_events_on(day, |e| {
-                if let ActivityKind::C2Checkin { channel } = e.kind {
-                    if self.watches(channel) {
-                        raw.push(e.src.raw());
-                    }
-                }
-            });
+            acc.merge(self.sweep_day(model, day));
         }
-        IpSet::from_raw(raw)
+        acc.finish()
+    }
+
+    /// One day's worth of check-ins on monitored channels — the shard unit
+    /// for parallel collection.
+    pub fn sweep_day(&self, model: &ActivityModel<'_>, day: Day) -> MonitorSweep {
+        let mut raw = Vec::new();
+        model.hostile_events_on(day, |e| {
+            if let ActivityKind::C2Checkin { channel } = e.kind {
+                if self.watches(channel) {
+                    raw.push(e.src.raw());
+                }
+            }
+        });
+        MonitorSweep { raw }
+    }
+
+    /// [`BotMonitor::collect`] sharded by day over `pool`. Shards merge in
+    /// day order, so the result is identical at any thread count.
+    pub fn collect_with(
+        &self,
+        model: &ActivityModel<'_>,
+        window: DateRange,
+        pool: &Executor,
+    ) -> IpSet {
+        let days: Vec<Day> = window.days().collect();
+        let shards = pool.run_indexed(days.len(), |i| self.sweep_day(model, days[i]));
+        let mut acc = MonitorSweep::default();
+        for shard in shards {
+            acc.merge(shard);
+        }
+        acc.finish()
     }
 
     /// A single-channel roster snapshot ("private communication", like the

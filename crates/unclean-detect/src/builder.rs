@@ -13,12 +13,13 @@ use crate::botmonitor::{BotMonitor, MonitorConfig};
 use crate::phishlist::phish_report;
 use crate::scan::{FanoutConfig, HourlyFanoutDetector};
 use crate::spam::{SpamConfig, SpamDetector};
+use crossbeam::executor::Executor;
 use serde::{Deserialize, Serialize};
 use unclean_core::{
     union_reports, BlockSet, Candidate, DateRange, Day, IpSet, Provenance, Report, ReportClass,
 };
 use unclean_flowgen::{CandidateCollector, FlowGenerator, GeneratorConfig};
-use unclean_netmodel::{control_report, Scenario};
+use unclean_netmodel::{control_report_with, Scenario};
 use unclean_telemetry::Registry;
 
 /// Pipeline configuration.
@@ -36,6 +37,12 @@ pub struct PipelineConfig {
     /// the false-positive behaviour; the detectors' thresholds sit far
     /// above benign fan-out either way).
     pub detect_over_benign: bool,
+    /// Worker threads for the day-sharded sweeps (0 = one per core).
+    /// Results are identical at any thread count, so this is a pure
+    /// throughput knob and is deliberately not serialized with the rest
+    /// of the configuration.
+    #[serde(skip)]
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -106,21 +113,34 @@ pub fn build_reports_with(
     generator.attach_telemetry(registry);
 
     // Observed reports: run the behavioural detectors over the unclean
-    // window's border flows.
+    // window's border flows, one shard per day. Flows never cross a day
+    // boundary and the sequential sweep flushes window state between
+    // days, so folding the per-day detectors in day order reproduces the
+    // sequential result bit-for-bit at any thread count.
+    let pool = Executor::new(cfg.threads);
     let flows_ingested = registry.counter("detect.flows_ingested");
     let mut scan_det = HourlyFanoutDetector::new(cfg.fanout.clone());
     let mut spam_det = SpamDetector::new(cfg.spam.clone());
     {
         let mut detect_span = pipeline_span.child("detect");
         detect_span.field("days", dates.unclean_window.len_days());
-        for day in dates.unclean_window.days() {
-            generator.flows_on(&model, day, cfg.detect_over_benign, |f| {
+        detect_span.field("threads", pool.threads() as u64);
+        let days: Vec<Day> = dates.unclean_window.days().collect();
+        let shards = pool.run_indexed(days.len(), |i| {
+            let mut scan_shard = HourlyFanoutDetector::new(cfg.fanout.clone());
+            let mut spam_shard = SpamDetector::new(cfg.spam.clone());
+            generator.flows_on(&model, days[i], cfg.detect_over_benign, |f| {
                 flows_ingested.inc();
-                scan_det.observe(&f);
-                spam_det.observe(&f);
+                scan_shard.observe(&f);
+                spam_shard.observe(&f);
             });
-            scan_det.flush_window_state();
-            spam_det.flush_window_state();
+            scan_shard.flush_window_state();
+            spam_shard.flush_window_state();
+            (scan_shard, spam_shard)
+        });
+        for (scan_shard, spam_shard) in shards {
+            scan_det.merge(scan_shard);
+            spam_det.merge(spam_shard);
         }
     }
     registry
@@ -152,7 +172,7 @@ pub fn build_reports_with(
         ReportClass::Bots,
         Provenance::Provided,
         dates.unclean_window,
-        monitor.collect(&model, dates.unclean_window),
+        monitor.collect_with(&model, dates.unclean_window, &pool),
     );
     let phish = phish_report(&scenario.phish_sites, dates.phish_span, "phish");
     let phish_window = phish_report(&scenario.phish_sites, dates.unclean_window, "phish-oct");
@@ -170,7 +190,7 @@ pub fn build_reports_with(
     );
 
     // The observed control report.
-    let control = control_report(&model, dates.control_week);
+    let control = control_report_with(&model, dates.control_week, &pool);
     drop(provided_span);
 
     // Filter everything the way §3.2 requires (reserved + observed-network
@@ -311,15 +331,16 @@ pub fn daily_scanners_with(
         scenario.seeds.child("flowgen"),
     );
     generator.attach_telemetry(registry);
-    let mut out = Vec::with_capacity(span.len_days() as usize);
-    for day in span.days() {
+    // Each day gets a fresh detector, so the series is embarrassingly
+    // parallel; results come back in day order regardless of thread count.
+    let days: Vec<Day> = span.days().collect();
+    Executor::new(cfg.threads).run_indexed(days.len(), |i| {
         let mut det = HourlyFanoutDetector::new(cfg.fanout.clone());
-        generator.flows_on(&model, day, include_benign, |f| det.observe(&f));
+        generator.flows_on(&model, days[i], include_benign, |f| det.observe(&f));
         let detected = det.detected();
         daily_hits.add(detected.len() as u64);
-        out.push((day, detected));
-    }
-    out
+        (days[i], detected)
+    })
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ pub mod phishlist;
 pub mod scan;
 pub mod spam;
 
-pub use botmonitor::{BotMonitor, MonitorConfig};
+pub use botmonitor::{BotMonitor, MonitorConfig, MonitorSweep};
 pub use builder::{
     build_candidates, build_candidates_with, build_reports, build_reports_with, daily_scanners,
     daily_scanners_with, PipelineConfig, ReportSet,

@@ -93,6 +93,23 @@ impl HourlyFanoutDetector {
         self.state.clear();
     }
 
+    /// Fold another detector's detections into this one. Used to combine
+    /// per-day shards of the pipeline: because detection state is scoped
+    /// to a single hour and every shard covers whole days, a shard that
+    /// has completed its window (`flush_window_state`) carries no
+    /// cross-shard hour state, so the union of per-shard detections
+    /// equals the sequential sweep.
+    pub fn merge(&mut self, other: HourlyFanoutDetector) {
+        debug_assert!(
+            other.state.is_empty(),
+            "merge requires flushed window state"
+        );
+        for src in other.detected {
+            self.detected.insert(src);
+            self.state.remove(&src);
+        }
+    }
+
     /// Sources flagged as scanners so far.
     pub fn detected(&self) -> IpSet {
         IpSet::from_raw(self.detected.iter().copied().collect())

@@ -81,6 +81,22 @@ impl SpamDetector {
         self.state.clear();
     }
 
+    /// Fold another detector's detections into this one. Used to combine
+    /// per-day shards of the pipeline: message counts are scoped to a
+    /// single day, so a shard that has completed its window
+    /// (`flush_window_state`) carries no cross-shard day state and the
+    /// union of per-shard detections equals the sequential sweep.
+    pub fn merge(&mut self, other: SpamDetector) {
+        debug_assert!(
+            other.state.is_empty(),
+            "merge requires flushed window state"
+        );
+        for src in other.detected {
+            self.detected.insert(src);
+            self.state.remove(&src);
+        }
+    }
+
     /// Sources flagged as spammers.
     pub fn detected(&self) -> IpSet {
         IpSet::from_raw(self.detected.iter().copied().collect())

@@ -104,18 +104,19 @@ pub struct EnsembleBuilder {
 
 impl EnsembleBuilder {
     /// An ensemble over the given x-axis with `trials` repetitions.
+    /// Defaults to one worker per available core.
     pub fn new(xs: Vec<u32>, trials: usize) -> EnsembleBuilder {
         EnsembleBuilder {
             xs,
             trials,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: 0,
             progress: Counter::disabled(),
         }
     }
 
-    /// Cap the worker thread count (1 = serial).
+    /// Set the worker thread count (1 = serial, 0 = one per core).
     pub fn threads(mut self, n: usize) -> EnsembleBuilder {
-        self.threads = n.max(1);
+        self.threads = n;
         self
     }
 
@@ -126,46 +127,31 @@ impl EnsembleBuilder {
         self
     }
 
-    /// Execute the ensemble.
+    /// Execute the ensemble on the shared work-stealing executor.
     ///
     /// `trial` receives the trial index, a ChaCha8 RNG derived from
-    /// `seeds.child_idx(index)`, and the x-axis; it must return one y per x.
-    /// Trials are distributed over threads; determinism is preserved because
-    /// each trial's randomness depends only on its index.
+    /// `seeds.stream_idx(index)`, and the x-axis; it must return one y per
+    /// x. Trials are distributed over the pool's workers; determinism is
+    /// preserved because each trial's randomness depends only on its index
+    /// and results come back in trial order regardless of scheduling.
     pub fn run<F>(&self, seeds: &SeedTree, trial: F) -> Ensemble
     where
         F: Fn(usize, &mut ChaCha8Rng, &[u32]) -> Vec<f64> + Sync,
     {
-        let n_threads = self.threads.min(self.trials.max(1));
-        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); self.trials];
-        if self.trials > 0 {
-            crossbeam::scope(|scope| {
-                let chunks = rows.chunks_mut(self.trials.div_ceil(n_threads));
-                for (chunk_no, chunk) in chunks.enumerate() {
-                    let base = chunk_no * self.trials.div_ceil(n_threads);
-                    let xs = &self.xs;
-                    let trial = &trial;
-                    let progress = &self.progress;
-                    scope.spawn(move |_| {
-                        for (off, row) in chunk.iter_mut().enumerate() {
-                            let idx = base + off;
-                            let mut rng = seeds.stream_idx(idx as u64);
-                            let ys = trial(idx, &mut rng, xs);
-                            assert_eq!(
-                                ys.len(),
-                                xs.len(),
-                                "trial {idx} returned {} y-values for {} x positions",
-                                ys.len(),
-                                xs.len()
-                            );
-                            progress.inc();
-                            *row = ys;
-                        }
-                    });
-                }
-            })
-            .expect("ensemble worker panicked");
-        }
+        let pool = crossbeam::executor::Executor::new(self.threads);
+        let rows: Vec<Vec<f64>> = pool.run_indexed(self.trials, |idx| {
+            let mut rng = seeds.stream_idx(idx as u64);
+            let ys = trial(idx, &mut rng, &self.xs);
+            assert_eq!(
+                ys.len(),
+                self.xs.len(),
+                "trial {idx} returned {} y-values for {} x positions",
+                ys.len(),
+                self.xs.len()
+            );
+            self.progress.inc();
+            ys
+        });
         // Transpose rows (per-trial) into columns (per-x).
         let mut samples = vec![Vec::with_capacity(self.trials); self.xs.len()];
         for row in &rows {

@@ -188,6 +188,20 @@ mod tests {
     }
 
     #[test]
+    fn sample_indices_never_allocates_the_population() {
+        // Floyd's algorithm touches O(k) memory. Draw a tiny sample from a
+        // population so large (2^50) that any O(n) scratch — a shuffle
+        // buffer, a bitmap, even one bit per element — would exhaust
+        // memory; completing at all proves the scratch scales with k.
+        let mut rng = SeedTree::new(5).stream("huge");
+        let n = 1usize << 50;
+        let s = sample_indices(&mut rng, n, 64);
+        assert_eq!(s.len(), 64);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
     fn sample_indices_is_roughly_uniform() {
         // Chi-square-ish sanity: each decile of [0, 1000) should receive
         // roughly k/10 picks over many trials.

@@ -1,8 +1,11 @@
 //! Offline shim for the subset of `crossbeam` this workspace uses:
 //! [`scope`] with `Scope::spawn` (over `std::thread::scope`, which
-//! provides the same structured-concurrency guarantee) and
+//! provides the same structured-concurrency guarantee),
 //! [`channel`] — MPMC bounded/unbounded channels over `Mutex` +
-//! `Condvar` with crossbeam's disconnect semantics.
+//! `Condvar` with crossbeam's disconnect semantics — and
+//! [`executor`] — a scoped work-stealing thread pool with deterministic,
+//! index-ordered results shared by the generation, detection, and
+//! experiment-supervision layers.
 // API-fidelity shim: mirrors the upstream crate's surface, so idiom lints
 // against the real API shape are expected noise here.
 #![allow(clippy::all)]
@@ -395,6 +398,239 @@ pub mod channel {
                 .map(|c| c.join().expect("consumer"))
                 .sum();
             assert_eq!(total, 5050, "every message delivered exactly once");
+        }
+    }
+}
+
+pub mod executor {
+    //! A scoped work-stealing thread pool with deterministic output.
+    //!
+    //! [`Executor::run_indexed`] evaluates `f(0..jobs)` across worker
+    //! threads and returns the results in index order, so the output is
+    //! identical at any thread count — callers derive any randomness for
+    //! job `i` from `i` itself (e.g. a `SeedTree` stream), never from
+    //! which worker ran it. Each worker starts with a contiguous slice of
+    //! the index range and steals the upper half of another worker's
+    //! remaining range when its own runs dry, which keeps workers busy
+    //! under skewed per-job costs without a shared-queue bottleneck.
+    //!
+    //! Panics inside a job abort the pool (other workers stop picking up
+    //! new jobs) and the first panic payload is re-raised on the caller's
+    //! thread, so `catch_unwind` around `run_indexed` sees the original
+    //! payload, not a generic join error.
+
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    /// Resolve a `--threads`-style knob: `0` means one worker per
+    /// available core, anything else is taken literally.
+    pub fn resolve_threads(threads: usize) -> usize {
+        if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        }
+    }
+
+    /// A fixed-width work-stealing pool. Cheap to construct; threads are
+    /// scoped to each [`Executor::run_indexed`] call, so an `Executor` can
+    /// be kept in a config struct without holding OS resources.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Executor {
+        threads: usize,
+    }
+
+    /// Half-open index range `[start, end)` still owed by a worker.
+    type Range = (usize, usize);
+
+    impl Executor {
+        /// `threads == 0` selects one worker per available core.
+        pub fn new(threads: usize) -> Executor {
+            Executor {
+                threads: resolve_threads(threads),
+            }
+        }
+
+        /// The resolved worker count.
+        pub fn threads(&self) -> usize {
+            self.threads
+        }
+
+        /// Evaluate `f(i)` for every `i in 0..jobs` and return the results
+        /// in index order. Deterministic: the mapping from index to result
+        /// does not depend on the worker count or on scheduling.
+        pub fn run_indexed<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+        where
+            T: Send,
+            F: Fn(usize) -> T + Sync,
+        {
+            if jobs == 0 {
+                return Vec::new();
+            }
+            let workers = self.threads.min(jobs);
+            if workers == 1 {
+                return (0..jobs).map(f).collect();
+            }
+
+            // One deque of ranges per worker; workers steal the upper half
+            // of a victim's bottom range when their own deque is empty.
+            let queues: Vec<Mutex<Vec<Range>>> = (0..workers)
+                .map(|w| {
+                    let lo = jobs * w / workers;
+                    let hi = jobs * (w + 1) / workers;
+                    Mutex::new(if lo < hi { vec![(lo, hi)] } else { Vec::new() })
+                })
+                .collect();
+            let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+            let aborted = AtomicBool::new(false);
+            let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+            let outer = super::scope(|scope| {
+                for w in 0..workers {
+                    let queues = &queues;
+                    let slots = &slots;
+                    let aborted = &aborted;
+                    let first_panic = &first_panic;
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        while !aborted.load(Ordering::Acquire) {
+                            let Some(idx) = next_job(queues, w) else {
+                                return;
+                            };
+                            match catch_unwind(AssertUnwindSafe(|| f(idx))) {
+                                Ok(value) => {
+                                    *slots[idx].lock().expect("result slot") = Some(value);
+                                }
+                                Err(payload) => {
+                                    let mut first = first_panic.lock().expect("panic slot");
+                                    first.get_or_insert(payload);
+                                    aborted.store(true, Ordering::Release);
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            if let Err(payload) = outer {
+                resume_unwind(payload);
+            }
+            if let Some(payload) = first_panic.into_inner().expect("panic slot") {
+                resume_unwind(payload);
+            }
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot")
+                        .expect("every job ran to completion")
+                })
+                .collect()
+        }
+    }
+
+    /// Pop the next index from worker `w`'s own deque, or steal the upper
+    /// half of the largest remaining range among the other workers.
+    fn next_job(queues: &[Mutex<Vec<Range>>], w: usize) -> Option<usize> {
+        {
+            let mut own = queues[w].lock().expect("work queue");
+            if let Some((start, end)) = own.pop() {
+                if start + 1 < end {
+                    own.push((start + 1, end));
+                }
+                return Some(start);
+            }
+        }
+        loop {
+            // Scan victims starting after `w` so concurrent thieves spread
+            // out instead of hammering worker 0.
+            let mut best: Option<(usize, usize)> = None; // (victim, width)
+            for off in 1..queues.len() {
+                let v = (w + off) % queues.len();
+                let queue = queues[v].lock().expect("work queue");
+                let width: usize = queue.iter().map(|&(s, e)| e - s).sum();
+                if width > 0 && best.is_none_or(|(_, bw)| width > bw) {
+                    best = Some((v, width));
+                }
+            }
+            let Some((victim, _)) = best else {
+                return None;
+            };
+            let mut queue = queues[victim].lock().expect("work queue");
+            // Re-check under the lock: the victim may have drained since
+            // the scan.
+            let Some((start, end)) = queue.pop() else {
+                continue;
+            };
+            if end - start == 1 {
+                return Some(start);
+            }
+            let mid = (start + end) / 2;
+            queue.push((start, mid));
+            drop(queue);
+            let mut own = queues[w].lock().expect("work queue");
+            if mid + 1 < end {
+                own.push((mid + 1, end));
+            }
+            return Some(mid);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn results_are_index_ordered_at_any_thread_count() {
+            let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+            for threads in [1, 2, 3, 8, 97, 200] {
+                let got = Executor::new(threads).run_indexed(97, |i| i * i);
+                assert_eq!(got, expected, "threads={threads}");
+            }
+        }
+
+        #[test]
+        fn zero_jobs_and_zero_threads_resolve() {
+            assert!(Executor::new(0).threads() >= 1);
+            let got: Vec<u8> = Executor::new(4).run_indexed(0, |_| 1u8);
+            assert!(got.is_empty());
+        }
+
+        #[test]
+        fn skewed_job_costs_complete_via_stealing() {
+            // Worker 0's initial slice holds all the slow jobs; the other
+            // workers must steal to finish. Every job must still run
+            // exactly once.
+            let ran = AtomicUsize::new(0);
+            let got = Executor::new(4).run_indexed(64, |i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if i < 16 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 64);
+            assert_eq!(got, (0..64).collect::<Vec<usize>>());
+        }
+
+        #[test]
+        fn panic_payload_is_preserved() {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                Executor::new(4).run_indexed(32, |i| {
+                    if i == 17 {
+                        panic!("job 17 failed");
+                    }
+                    i
+                })
+            }));
+            let payload = result.expect_err("panic propagates");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .expect("payload is the original &str");
+            assert_eq!(msg, "job 17 failed");
         }
     }
 }
