@@ -523,9 +523,16 @@ pub struct FlowAudit {
 /// surfacing `lost_flows`, sequence gaps, and store drops in the manifest
 /// instead of leaving flow-layer degradation silent. All counts are also
 /// recorded onto `registry`.
+///
+/// The spool uses the v2 indexed segment format and replays it through the
+/// indexed zero-copy path (CRC-verified per segment). A one-day audit is a
+/// single segment, and the v2 cursor books the same gap/loss accounting as
+/// the v1 reader, so the manifest telemetry values are unchanged from the
+/// v1-based audit.
 pub fn flow_audit(scenario: &Scenario, registry: &Registry) -> Result<FlowAudit, RunError> {
+    use crossbeam::executor::Executor;
     use unclean_flowgen::{
-        ArchiveReader, ArchiveWriter, FlowGenerator, FlowStore, GeneratorConfig,
+        FlowGenerator, FlowStore, GeneratorConfig, IndexedArchive, IndexedArchiveWriter,
     };
     let spool_err = |e: &dyn std::fmt::Display| RunError::Io {
         path: "<archive spool>".into(),
@@ -539,7 +546,7 @@ pub fn flow_audit(scenario: &Scenario, registry: &Registry) -> Result<FlowAudit,
     );
     let boot = unclean_flowgen::record::EPOCH_UNIX_SECS;
     let mut span = registry.span("audit");
-    let mut writer = ArchiveWriter::new(Vec::new(), boot);
+    let mut writer = IndexedArchiveWriter::new(Vec::new(), boot);
     let mut store = FlowStore::new(None, usize::MAX);
     store.attach_telemetry(registry);
     let day = scenario.dates.unclean_window.start;
@@ -556,10 +563,18 @@ pub fn flow_audit(scenario: &Scenario, registry: &Registry) -> Result<FlowAudit,
         return Err(spool_err(&e));
     }
     let (bytes, _) = writer.finish().map_err(|e| spool_err(&e))?;
-    let mut reader = ArchiveReader::with_telemetry(bytes.as_slice(), boot, registry);
-    reader.read_all().map_err(|e| spool_err(&e))?;
+    let archive = IndexedArchive::open(&bytes)
+        .map_err(|e| spool_err(&e))?
+        .ok_or_else(|| spool_err(&"fresh spool missing v2 index"))?;
+    let replay = archive
+        .replay_with(&Executor::new(1), None, false, |_, cursor| {
+            cursor.for_each_flow(|_| {})?;
+            Ok(())
+        })
+        .map_err(|e| spool_err(&e))?;
+    replay.telemetry.record(registry);
     let audit = FlowAudit {
-        archive: reader.telemetry(),
+        archive: replay.telemetry,
         stored: store.flows().len() as u64,
         dropped: store.dropped(),
     };

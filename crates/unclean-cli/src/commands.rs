@@ -10,10 +10,224 @@ use std::path::Path;
 use unclean_core::prelude::*;
 use unclean_stats::SeedTree;
 
-/// `unclean inspect <file> [--lenient [--max-bad N]]`: parse and profile
-/// one report. Lenient mode quarantines malformed lines (up to the error
-/// budget) and reports them instead of aborting.
-pub fn inspect(path: &Path, mode: ParseMode) -> Result<String, String> {
+/// `unclean inspect <file> [--lenient [--max-bad N]] [--verbose]`: sniff
+/// and profile one file. Flow archives (v2 indexed or v1 framed) get a
+/// per-day replay summary; anything else is parsed as an IP report.
+/// Lenient mode quarantines malformed report lines — or, for a v2
+/// archive, damaged segments — and reports them instead of aborting.
+pub fn inspect(path: &Path, mode: ParseMode, verbose: bool) -> Result<String, String> {
+    match sniff_archive(path)? {
+        ArchiveKind::V2 => return inspect_archive_v2(path, mode, verbose),
+        ArchiveKind::V1 => return inspect_archive_v1(path, verbose),
+        ArchiveKind::NotAnArchive => {}
+    }
+    inspect_report(path, mode)
+}
+
+/// What the leading/trailing bytes of a file say it is.
+enum ArchiveKind {
+    V2,
+    V1,
+    NotAnArchive,
+}
+
+/// Cheap archive sniff: the v2 trailer magic, else a plausible v1 frame
+/// leading with the V5 version word. Reads at most a few bytes.
+fn sniff_archive(path: &Path) -> Result<ArchiveKind, String> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    let mut file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let len = file
+        .seek(SeekFrom::End(0))
+        .map_err(|e| format!("cannot seek {}: {e}", path.display()))?;
+    let read_at = |file: &mut std::fs::File, at: u64, buf: &mut [u8]| -> Result<(), String> {
+        file.seek(SeekFrom::Start(at))
+            .and_then(|_| file.read_exact(buf))
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let magic_len = unclean_flowgen::indexed::ARCHIVE_MAGIC.len() as u64;
+    if len >= magic_len {
+        let mut tail = [0u8; 7];
+        read_at(&mut file, len - magic_len, &mut tail)?;
+        if tail == *unclean_flowgen::indexed::ARCHIVE_MAGIC {
+            return Ok(ArchiveKind::V2);
+        }
+    }
+    if len >= 4 {
+        let mut head = [0u8; 4];
+        read_at(&mut file, 0, &mut head)?;
+        let frame = u16::from_be_bytes([head[0], head[1]]) as u64;
+        if head[2] == 0 && head[3] == 5 && frame >= 24 && 2 + frame <= len {
+            return Ok(ArchiveKind::V1);
+        }
+    }
+    Ok(ArchiveKind::NotAnArchive)
+}
+
+/// Streaming per-day summary of a v2 indexed archive: one bounded buffer,
+/// one row per segment. `--lenient` quarantines damaged segments (up to
+/// the `--max-bad` budget) and keeps going.
+fn inspect_archive_v2(path: &Path, mode: ParseMode, verbose: bool) -> Result<String, String> {
+    use unclean_flowgen::{ArchiveTelemetry, SegmentCursor, SegmentReader};
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let mut reader = SegmentReader::open(file)
+        .map_err(|e| format!("{}: {e}", path.display()))?
+        .ok_or_else(|| format!("{}: trailer vanished mid-read", path.display()))?;
+    let index = reader.index().clone();
+    let budget = match mode {
+        ParseMode::Strict => None,
+        ParseMode::Lenient { max_bad } => Some(max_bad),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: v2 indexed flow archive, {} segment(s), boot {}",
+        path.display(),
+        index.segments.len(),
+        index.boot_unix_secs
+    );
+    let _ = writeln!(
+        out,
+        "{:>12}  {:>10}  {:>10}  {:>12}  {:>6}  {:>10}",
+        "day", "flows", "datagrams", "bytes", "gaps", "lost"
+    );
+    let mut totals = ArchiveTelemetry::default();
+    let mut quarantined: Vec<(usize, String)> = Vec::new();
+    for (i, info) in index.segments.iter().enumerate() {
+        // Contiguous walk: carry the previous segment's exit sequence so
+        // gap accounting matches a sequential v1-style read.
+        let entry = (i > 0).then(|| index.segments[i - 1].end_seq);
+        let walked: Result<ArchiveTelemetry, String> = reader
+            .load_segment(i)
+            .map_err(|e| e.to_string())
+            .and_then(|seg| {
+                let mut cursor = SegmentCursor::new(seg, index.boot_unix_secs, entry);
+                cursor
+                    .for_each_flow(|_| {})
+                    .map_err(|e| e.to_string())
+                    .map(|()| cursor.telemetry())
+            });
+        match walked {
+            Ok(t) => {
+                totals.accumulate(&t);
+                let _ = writeln!(
+                    out,
+                    "{:>12}  {:>10}  {:>10}  {:>12}  {:>6}  {:>10}",
+                    info.day.to_string(),
+                    t.flows,
+                    t.datagrams,
+                    info.len,
+                    t.sequence_gaps,
+                    t.lost_flows
+                );
+            }
+            Err(detail) => {
+                if budget.is_none() {
+                    return Err(format!("segment {i} ({}): {detail}", info.day));
+                }
+                quarantined.push((i, detail));
+                if quarantined.len() > budget.unwrap_or(0) {
+                    return Err(format!(
+                        "{} damaged segment(s) exceeds --max-bad {}",
+                        quarantined.len(),
+                        budget.unwrap_or(0)
+                    ));
+                }
+                let _ = writeln!(
+                    out,
+                    "{:>12}  {:>10}  {:>10}  {:>12}  {:>6}  {:>10}",
+                    info.day.to_string(),
+                    "-",
+                    "-",
+                    info.len,
+                    "-",
+                    "-"
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "total: {} flows, {} datagrams, {} gap(s), {} lost, {} reordered",
+        totals.flows, totals.datagrams, totals.sequence_gaps, totals.lost_flows, totals.reordered
+    );
+    if !quarantined.is_empty() {
+        let _ = writeln!(out, "quarantined {} segment(s):", quarantined.len());
+        for (i, detail) in &quarantined {
+            let _ = writeln!(out, "  segment {i}: {detail}");
+        }
+    }
+    if verbose {
+        let _ = writeln!(
+            out,
+            "peak segment buffer: {} bytes (largest indexed segment: {} bytes)",
+            reader.peak_buffer_bytes(),
+            index.max_segment_len()
+        );
+    }
+    Ok(out)
+}
+
+/// Sequential per-day summary of a legacy v1 framed archive.
+fn inspect_archive_v1(path: &Path, verbose: bool) -> Result<String, String> {
+    use std::collections::BTreeMap;
+    use unclean_flowgen::ArchiveReader;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    // The v1 writer stamps its boot anchor into every header's unix_secs
+    // field; recover it from the first frame (offset 2 skips the length,
+    // 8 skips version/count/uptime).
+    let boot = u32::from_be_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]);
+    let mut reader = ArchiveReader::new(bytes.as_slice(), boot);
+    let mut per_day: BTreeMap<i32, u64> = BTreeMap::new();
+    loop {
+        match reader.next_datagram() {
+            Ok(Some(batch)) => {
+                for flow in &batch {
+                    *per_day.entry(flow.day().0).or_default() += 1;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        }
+    }
+    let telemetry = reader.telemetry();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: v1 framed flow archive (no index — sequential read), boot {boot}",
+        path.display()
+    );
+    let _ = writeln!(out, "{:>12}  {:>10}", "day", "flows");
+    for (day, flows) in &per_day {
+        let _ = writeln!(
+            out,
+            "{:>12}  {flows:>10}",
+            unclean_core::Day(*day).to_string()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total: {} flows, {} datagrams, {} gap(s), {} lost, {} reordered",
+        telemetry.flows,
+        telemetry.datagrams,
+        telemetry.sequence_gaps,
+        telemetry.lost_flows,
+        telemetry.reordered
+    );
+    if verbose {
+        let _ = writeln!(
+            out,
+            "whole archive buffered: {} bytes (v1 has no segment index; \
+             run `unclean archive index` to upgrade)",
+            bytes.len()
+        );
+    }
+    Ok(out)
+}
+
+/// The original report-file profile.
+fn inspect_report(path: &Path, mode: ParseMode) -> Result<String, String> {
     let (report, quarantine) = load_report_with(
         path,
         "report",
@@ -51,6 +265,89 @@ pub fn inspect(path: &Path, mode: ParseMode) -> Result<String, String> {
         let _ = writeln!(out, "  {}  {} addresses", ns.network, ns.total_evidence());
     }
     Ok(out)
+}
+
+/// `unclean archive index <file> [--out PATH]`: print a v2 archive's
+/// footer index, or upgrade a v1 archive to v2 (writing to `--out`,
+/// default `<file>.v2`) and print the index it gained.
+pub fn archive_index(path: &Path, out_path: Option<&Path>) -> Result<String, String> {
+    use unclean_flowgen::indexed::upgrade_v1;
+    use unclean_flowgen::{FlowArchive, IndexedArchive};
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = String::new();
+    match FlowArchive::open(&bytes).map_err(|e| format!("{}: {e}", path.display()))? {
+        FlowArchive::V2(archive) => {
+            if out_path.is_some() {
+                return Err(format!(
+                    "{} is already a v2 indexed archive",
+                    path.display()
+                ));
+            }
+            let _ = writeln!(out, "{}: v2 indexed flow archive", path.display());
+            out.push_str(&index_table(&archive));
+        }
+        FlowArchive::V1(data) => {
+            if !unclean_flowgen::indexed::looks_like_v1(data) {
+                return Err(format!("{}: not a flow archive", path.display()));
+            }
+            let boot = u32::from_be_bytes([data[10], data[11], data[12], data[13]]);
+            let (v2, _, telemetry) =
+                upgrade_v1(data, boot).map_err(|e| format!("{}: {e}", path.display()))?;
+            let default_out = path.with_extension(match path.extension() {
+                Some(ext) => format!("{}.v2", ext.to_string_lossy()),
+                None => "v2".to_string(),
+            });
+            let target = out_path.unwrap_or(&default_out);
+            std::fs::write(target, &v2)
+                .map_err(|e| format!("cannot write {}: {e}", target.display()))?;
+            let _ = writeln!(
+                out,
+                "{}: v1 framed archive — upgraded to {} ({} flows, {} datagrams, {} lost)",
+                path.display(),
+                target.display(),
+                telemetry.flows,
+                telemetry.datagrams,
+                telemetry.lost_flows
+            );
+            let archive = IndexedArchive::open(&v2)
+                .map_err(|e| format!("{}: {e}", target.display()))?
+                .ok_or_else(|| "upgrade produced no index".to_string())?;
+            out.push_str(&index_table(&archive));
+        }
+    }
+    Ok(out)
+}
+
+/// Render a v2 archive's footer index as a table.
+fn index_table(archive: &unclean_flowgen::IndexedArchive<'_>) -> String {
+    let mut out = String::new();
+    let index = archive.index();
+    let _ = writeln!(out, "boot: {} (unix secs)", index.boot_unix_secs);
+    let _ = writeln!(
+        out,
+        "{:>3}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}  {:>10}",
+        "#", "day", "offset", "bytes", "datagrams", "flows", "crc32"
+    );
+    for (i, s) in index.segments.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{i:>3}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}  {:>10}",
+            s.day.to_string(),
+            s.offset,
+            s.len,
+            s.datagrams,
+            s.flows,
+            format!("{:08x}", s.crc)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total: {} flows in {} datagrams across {} segment(s)",
+        index.total_flows(),
+        index.total_datagrams(),
+        index.segments.len()
+    );
+    out
 }
 
 /// `unclean spatial --report R --control C`: the Eq. 3 test.
@@ -453,7 +750,7 @@ mod tests {
             "r.txt",
             &["9.1.1.1", "9.1.1.2", "9.1.2.1", "10.0.0.1"],
         );
-        let out = inspect(&path, ParseMode::Strict).expect("ok");
+        let out = inspect(&path, ParseMode::Strict, false).expect("ok");
         assert!(out.contains("4 addresses"));
         assert!(out.contains("/24 3"), "{out}");
         assert!(out.contains("top /16s"));
@@ -464,15 +761,15 @@ mod tests {
         let dir = tmp_dir("inspect-lenient");
         let path = write_file(&dir, "r.txt", &["9.1.1.1", "oops", "9.1.1.2"]);
         // Strict aborts with the line number…
-        let err = inspect(&path, ParseMode::Strict).expect_err("strict");
+        let err = inspect(&path, ParseMode::Strict, false).expect_err("strict");
         assert!(err.contains("line 2"), "{err}");
         // …lenient loads the valid addresses and reports the quarantine.
-        let out = inspect(&path, ParseMode::Lenient { max_bad: 10 }).expect("lenient");
+        let out = inspect(&path, ParseMode::Lenient { max_bad: 10 }, false).expect("lenient");
         assert!(out.contains("2 addresses"), "{out}");
         assert!(out.contains("quarantined 1"), "{out}");
         assert!(out.contains("line 2"), "{out}");
         // …and the budget still binds.
-        let err = inspect(&path, ParseMode::Lenient { max_bad: 0 }).expect_err("budget");
+        let err = inspect(&path, ParseMode::Lenient { max_bad: 0 }, false).expect_err("budget");
         assert!(err.contains("--max-bad budget of 0"), "{err}");
     }
 

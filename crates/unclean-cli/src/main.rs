@@ -24,7 +24,8 @@ const USAGE: &str = "\
 unclean — uncleanliness analyses over IP report files (Collins et al., IMC 2007)
 
 USAGE:
-  unclean inspect <file> [--lenient] [--max-bad N]
+  unclean inspect <file> [--lenient] [--max-bad N] [--verbose]
+  unclean archive index <file> [--out PATH]
   unclean spatial   --report <file> --control <file> [--trials N] [--seed N]
   unclean temporal  --past <file> --present <file> --control <file> [--trials N] [--seed N]
   unclean blocklist --report <file> [--prefix 24] [--format plain|cisco|iptables] [--aggregate]
@@ -37,7 +38,13 @@ USAGE:
 Report files: one IPv4 address per line; '#' comments and blanks ignored.
 Malformed lines abort the load; 'inspect --lenient' quarantines them
 instead (reported with line numbers), failing only past --max-bad (default
-100).";
+100).
+
+'inspect' also recognizes flow archives (v2 indexed or legacy v1 framed)
+and prints a per-day replay summary instead; --lenient quarantines damaged
+v2 segments, --verbose adds the peak replay buffer size. 'archive index'
+prints a v2 archive's footer index, or upgrades a v1 archive in place of
+an index.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,8 +78,15 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
                 io::ParseMode::Strict
             };
-            commands::inspect(&PathBuf::from(path), mode)
+            commands::inspect(&PathBuf::from(path), mode, has_flag(&rest, "--verbose"))
         }
+        "archive" => match positional(&rest, 0, "archive action (index)")? {
+            "index" => commands::archive_index(
+                &PathBuf::from(positional(&rest, 1, "archive file")?),
+                flag_value(&rest, "--out").map(PathBuf::from).as_deref(),
+            ),
+            other => Err(format!("unknown archive action {other:?} (want: index)")),
+        },
         "spatial" => commands::spatial(
             &flag_path(&rest, "--report")?,
             &flag_path(&rest, "--control")?,
@@ -235,6 +249,87 @@ mod tests {
         // Unparseable budget is a usage error.
         let err = run(&argv(&format!("inspect {p} --lenient --max-bad lots"))).expect_err("usage");
         assert!(err.contains("--max-bad"), "{err}");
+    }
+
+    #[test]
+    fn inspect_and_index_flow_archives() {
+        use unclean_flowgen::{ArchiveWriter, Flow, IndexedArchiveWriter};
+        let dir = std::env::temp_dir().join("unclean-cli-archive");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let boot = unclean_flowgen::record::EPOCH_UNIX_SECS;
+        let flow = |day: i64, i: u32| Flow {
+            src: unclean_core::Ip(0x0901_0000 + i),
+            dst: unclean_core::Ip(0x1e00_0001),
+            src_port: 1024,
+            dst_port: 80,
+            proto: 6,
+            packets: 3,
+            octets: 200,
+            flags: 0x12,
+            start_secs: day * 86_400 + i64::from(i),
+            duration_secs: 1,
+        };
+
+        // v2: per-day rows, totals, and --verbose peak buffer.
+        let mut w2 = IndexedArchiveWriter::new(Vec::new(), boot);
+        for day in 0..3i64 {
+            for i in 0..40u32 {
+                w2.push(&flow(day, i)).expect("push");
+            }
+        }
+        let (v2_bytes, _) = w2.finish().expect("finish");
+        let v2_path = dir.join("spool.flows");
+        std::fs::write(&v2_path, &v2_bytes).expect("write");
+        let p2 = v2_path.to_string_lossy().to_string();
+        let out = run(&argv(&format!("inspect {p2}"))).expect("v2 inspect");
+        assert!(out.contains("v2 indexed flow archive"), "{out}");
+        assert!(out.contains("total: 120 flows"), "{out}");
+        let out = run(&argv(&format!("inspect {p2} --verbose"))).expect("verbose");
+        assert!(out.contains("peak segment buffer"), "{out}");
+        let out = run(&argv(&format!("archive index {p2}"))).expect("v2 index");
+        assert!(out.contains("across 3 segment(s)"), "{out}");
+
+        // A corrupt middle segment aborts strict inspect but is
+        // quarantined under --lenient.
+        let mut damaged = v2_bytes.clone();
+        let seg1 = {
+            let archive = unclean_flowgen::IndexedArchive::open(&v2_bytes)
+                .expect("open")
+                .expect("v2");
+            archive.segments()[1]
+        };
+        damaged[seg1.offset as usize] ^= 0xff;
+        let bad_path = dir.join("damaged.flows");
+        std::fs::write(&bad_path, &damaged).expect("write");
+        let pb = bad_path.to_string_lossy().to_string();
+        let err = run(&argv(&format!("inspect {pb}"))).expect_err("strict aborts");
+        assert!(err.contains("segment 1"), "{err}");
+        let out = run(&argv(&format!("inspect {pb} --lenient"))).expect("lenient ok");
+        assert!(out.contains("quarantined 1 segment(s)"), "{out}");
+        assert!(out.contains("total: 80 flows"), "{out}");
+
+        // v1: sequential summary, then `archive index` upgrades it and the
+        // upgrade inspects as v2 with the same flow count.
+        let mut w1 = ArchiveWriter::new(Vec::new(), boot);
+        for day in 0..2i64 {
+            for i in 0..35u32 {
+                w1.push(&flow(day, i)).expect("push");
+            }
+        }
+        let (v1_bytes, _) = w1.finish().expect("finish");
+        let v1_path = dir.join("legacy.flows");
+        std::fs::write(&v1_path, &v1_bytes).expect("write");
+        let p1 = v1_path.to_string_lossy().to_string();
+        let out = run(&argv(&format!("inspect {p1}"))).expect("v1 inspect");
+        assert!(out.contains("v1 framed flow archive"), "{out}");
+        assert!(out.contains("total: 70 flows"), "{out}");
+        let up_path = dir.join("legacy.v2");
+        let up = up_path.to_string_lossy().to_string();
+        let out = run(&argv(&format!("archive index {p1} --out {up}"))).expect("upgrade");
+        assert!(out.contains("upgraded"), "{out}");
+        let out = run(&argv(&format!("inspect {up}"))).expect("upgraded inspect");
+        assert!(out.contains("v2 indexed flow archive"), "{out}");
+        assert!(out.contains("total: 70 flows"), "{out}");
     }
 
     #[test]

@@ -18,7 +18,10 @@ use serde::{Deserialize, Serialize};
 use unclean_core::{
     union_reports, BlockSet, Candidate, DateRange, Day, IpSet, Provenance, Report, ReportClass,
 };
-use unclean_flowgen::{CandidateCollector, FlowGenerator, GeneratorConfig};
+use unclean_flowgen::record::EPOCH_UNIX_SECS;
+use unclean_flowgen::{
+    CandidateCollector, FlowGenerator, GeneratorConfig, IndexedArchive, IndexedArchiveWriter,
+};
 use unclean_netmodel::{control_report_with, Scenario};
 use unclean_telemetry::Registry;
 
@@ -254,6 +257,15 @@ pub fn build_candidates(
 /// `detect.candidates.total` and `detect.candidates.payload_bearing`
 /// (the §6.1 "legitimate user" half — candidates a naive blocker would
 /// falsely block).
+///
+/// The §6 scan is archive-shaped, the way the paper's authors replayed
+/// their SiLK spool: the window's candidate traffic is spooled once
+/// (serially — generation order defines the canonical stream) into an
+/// in-memory v2 indexed archive, then replayed one executor worker per
+/// day-segment with per-segment collectors merged in day order. Evidence
+/// merging is order-insensitive and the v2 codec round-trips flows
+/// exactly, so the candidate list is byte-identical to the direct
+/// sequential scan at any `--threads` value.
 pub fn build_candidates_with(
     scenario: &Scenario,
     bot_test: &Report,
@@ -261,7 +273,7 @@ pub fn build_candidates_with(
     cfg: &PipelineConfig,
     registry: &Registry,
 ) -> Vec<Candidate> {
-    let _span = registry.span("pipeline/candidates");
+    let mut span = registry.span("pipeline/candidates");
     let blocks = BlockSet::of_recorded(bot_test.addresses(), prefix_len, registry);
     let model = scenario.activity();
     let mut generator = FlowGenerator::new(
@@ -270,21 +282,45 @@ pub fn build_candidates_with(
         scenario.seeds.child("flowgen"),
     );
     generator.attach_telemetry(registry);
-    let mut collector = CandidateCollector::new(blocks.clone());
-    collector.attach_telemetry(registry);
-    for day in scenario.dates.unclean_window.days() {
+    let window = scenario.dates.unclean_window;
+    // Anchor the exporter clock at the window start: every spooled flow
+    // sits well inside the ~49.7-day SysUptime horizon, so the archive
+    // round trip is lossless.
+    let boot = (i64::from(EPOCH_UNIX_SECS) + i64::from(window.start.0) * 86_400).max(0) as u32;
+    let mut writer = IndexedArchiveWriter::new(Vec::new(), boot);
+    for day in window.days() {
         model.hostile_events_on_filtered(
             day,
             |ip| blocks.contains(ip),
-            |e| generator.expand(&e, |f| collector.observe(&f)),
+            |e| generator.expand(&e, |f| writer.push(&f).expect("in-memory spool")),
         );
         // Benign traffic from those same /24s (the innocents at risk).
         model.benign_events_on_filtered(
             day,
             |prefix24| blocks.contains(unclean_core::Ip(prefix24 << 8)),
-            |e| generator.expand(&e, |f| collector.observe(&f)),
+            |e| generator.expand(&e, |f| writer.push(&f).expect("in-memory spool")),
         );
     }
+    let (spool, _) = writer.finish().expect("in-memory spool");
+    let archive = IndexedArchive::open(&spool)
+        .expect("fresh spool has a valid index")
+        .expect("fresh spool is v2");
+    span.field("spool_segments", archive.segments().len() as u64);
+    span.field("spool_bytes", spool.len() as u64);
+    let pool = Executor::new(cfg.threads);
+    let replay = archive
+        .replay_with(&pool, None, false, |_, cursor| {
+            let mut shard = CandidateCollector::new(blocks.clone());
+            cursor.for_each_flow(|f| shard.observe(f))?;
+            Ok(shard)
+        })
+        .expect("fresh spool replays cleanly");
+    let mut collector = CandidateCollector::new(blocks.clone());
+    collector.attach_telemetry(registry);
+    for output in &replay.outputs {
+        collector.merge(output.output.as_ref().expect("strict replay delivers"));
+    }
+    replay.telemetry.record(registry);
     let candidates = collector.candidates();
     registry
         .counter("detect.candidates.total")

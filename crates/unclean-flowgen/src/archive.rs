@@ -63,7 +63,18 @@ impl<W: Write> ArchiveWriter<W> {
             sampling_interval: 0,
         };
         let wire = encode_datagram(&header, &self.pending);
-        self.out.write_all(&(wire.len() as u16).to_be_bytes())?;
+        // The v1 frame is a 2-byte length: a datagram beyond 65535 bytes
+        // (impossible today at 24 + 30×48, but one added record field
+        // away) must fail loudly rather than write a silently wrapped
+        // length that desynchronizes every later frame. v2 frames are
+        // varints and have no such ceiling.
+        let frame_len = u16::try_from(wire.len()).map_err(|_| {
+            io::Error::other(format!(
+                "datagram of {} bytes exceeds the v1 u16 frame ceiling",
+                wire.len()
+            ))
+        })?;
+        self.out.write_all(&frame_len.to_be_bytes())?;
         self.out.write_all(&wire)?;
         self.sequence = self.sequence.wrapping_add(self.pending.len() as u32);
         self.pending.clear();
@@ -94,6 +105,30 @@ pub struct ArchiveTelemetry {
     /// Datagrams whose sequence number went *backwards* (reordered or
     /// replayed export) — counted separately, never as loss.
     pub reordered: u64,
+}
+
+impl ArchiveTelemetry {
+    /// Fold another reader's accounting into this one — how per-segment
+    /// parallel replays sum to the sequential totals.
+    pub fn accumulate(&mut self, other: &ArchiveTelemetry) {
+        self.datagrams += other.datagrams;
+        self.flows += other.flows;
+        self.lost_flows += other.lost_flows;
+        self.sequence_gaps += other.sequence_gaps;
+        self.reordered += other.reordered;
+    }
+
+    /// Record this accounting onto `registry` under the same `archive.*`
+    /// counter names a live [`ArchiveReader`] uses, so indexed replays
+    /// feed the manifest audit and Prometheus export identically.
+    pub fn record(&self, registry: &Registry) {
+        let counters = ArchiveCounters::new(registry);
+        counters.datagrams.add(self.datagrams);
+        counters.flows.add(self.flows);
+        counters.lost_flows.add(self.lost_flows);
+        counters.sequence_gaps.add(self.sequence_gaps);
+        counters.reordered.add(self.reordered);
+    }
 }
 
 /// The registry counters an [`ArchiveReader`] records into. The reader's
@@ -237,6 +272,17 @@ impl<R: Read> ArchiveReader<R> {
             out.extend(batch);
         }
         Ok(out)
+    }
+}
+
+impl<'a> ArchiveReader<&'a [u8]> {
+    /// Sniff an archive image: a v2 trailer yields an
+    /// [`crate::indexed::IndexedArchive`] with seekable per-day segments;
+    /// anything else falls back to the sequential v1 representation.
+    pub fn open_indexed(
+        data: &'a [u8],
+    ) -> Result<crate::indexed::FlowArchive<'a>, crate::indexed::IndexedError> {
+        crate::indexed::FlowArchive::open(data)
     }
 }
 

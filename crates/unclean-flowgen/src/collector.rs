@@ -35,6 +35,25 @@ pub struct SrcEvidence {
 }
 
 impl SrcEvidence {
+    /// Fold another window's evidence for the same source into this one.
+    /// Order-insensitive (counts sum, day bounds min/max), so sharded
+    /// collectors merge to exactly what one sequential pass would hold.
+    pub fn merge(&mut self, other: &SrcEvidence) {
+        if other.flows == 0 {
+            return;
+        }
+        if self.flows == 0 {
+            *self = *other;
+            return;
+        }
+        self.first_day = self.first_day.min(other.first_day);
+        self.last_day = self.last_day.max(other.last_day);
+        self.flows += other.flows;
+        self.tcp_flows += other.tcp_flows;
+        self.payload_flows += other.payload_flows;
+        self.probe_flows += other.probe_flows;
+    }
+
     fn observe(&mut self, flow: &Flow) {
         let day = flow.day().0;
         if self.flows == 0 {
@@ -63,6 +82,8 @@ impl SrcEvidence {
 pub struct CandidateCollector {
     blocks: BlockSet,
     evidence: HashMap<u32, SrcEvidence>,
+    observed: u64,
+    matched: u64,
     flows_observed: Counter,
     flows_matched: Counter,
 }
@@ -73,6 +94,8 @@ impl CandidateCollector {
         CandidateCollector {
             blocks,
             evidence: HashMap::new(),
+            observed: 0,
+            matched: 0,
             flows_observed: Counter::disabled(),
             flows_matched: Counter::disabled(),
         }
@@ -93,13 +116,39 @@ impl CandidateCollector {
 
     /// Feed one flow.
     pub fn observe(&mut self, flow: &Flow) {
+        self.observed += 1;
         self.flows_observed.inc();
         if self.blocks.contains(flow.src) {
+            self.matched += 1;
             self.flows_matched.inc();
             self.evidence
                 .entry(flow.src.raw())
                 .or_default()
                 .observe(flow);
+        }
+    }
+
+    /// Flows fed in so far (counted regardless of telemetry level).
+    pub fn flows_observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Flows whose source fell inside the watched blocks.
+    pub fn flows_matched(&self) -> u64 {
+        self.matched
+    }
+
+    /// Fold a shard's collection into this one. Evidence merging is
+    /// order-insensitive, so parallel per-segment collectors folded in
+    /// any order equal one sequential pass; ingest counts (and any
+    /// attached registry counters) sum as well.
+    pub fn merge(&mut self, other: &CandidateCollector) {
+        self.observed += other.observed;
+        self.matched += other.matched;
+        self.flows_observed.add(other.observed);
+        self.flows_matched.add(other.matched);
+        for (&addr, ev) in &other.evidence {
+            self.evidence.entry(addr).or_default().merge(ev);
         }
     }
 
@@ -299,6 +348,56 @@ mod tests {
             .evidence_for("9.1.1.40".parse().expect("ok"))
             .expect("seen");
         assert_eq!(ev.probe_flows, 1);
+    }
+
+    #[test]
+    fn merged_shards_equal_sequential_collection() {
+        let watch_set = watch(&["9.1.1.5", "9.1.2.5"]);
+        let flows: Vec<Flow> = (0..40)
+            .map(|i| {
+                flow(
+                    if i % 2 == 0 { "9.1.1.7" } else { "9.1.2.9" },
+                    i % 3 == 0,
+                    273 + (i % 5),
+                )
+            })
+            .collect();
+        let mut sequential = CandidateCollector::new(watch_set.clone());
+        for f in &flows {
+            sequential.observe(f);
+        }
+        // Shard by thirds, observe independently, merge in order.
+        let mut merged = CandidateCollector::new(watch_set.clone());
+        for chunk in flows.chunks(13) {
+            let mut shard = CandidateCollector::new(watch_set.clone());
+            for f in chunk {
+                shard.observe(f);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.candidates(), sequential.candidates());
+        assert_eq!(merged.flows_observed(), sequential.flows_observed());
+        assert_eq!(merged.flows_matched(), sequential.flows_matched());
+        for ip in ["9.1.1.7", "9.1.2.9"] {
+            let ip: Ip = ip.parse().expect("ok");
+            assert_eq!(merged.evidence_for(ip), sequential.evidence_for(ip));
+        }
+    }
+
+    #[test]
+    fn merge_feeds_attached_counters() {
+        let registry = Registry::full();
+        let mut master = CandidateCollector::new(watch(&["9.1.1.5"]));
+        master.attach_telemetry(&registry);
+        let mut shard = CandidateCollector::new(watch(&["9.1.1.5"]));
+        shard.observe(&flow("9.1.1.200", true, 273)); // inside
+        shard.observe(&flow("9.1.2.200", true, 273)); // outside
+        master.merge(&shard);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["collector.flows_observed"], 2);
+        assert_eq!(snap.counters["collector.flows_matched"], 1);
+        assert_eq!(master.flows_observed(), 2);
+        assert_eq!(master.flows_matched(), 1);
     }
 
     #[test]

@@ -227,6 +227,34 @@ impl FaultInjector {
     }
 }
 
+/// Zero the last `tail` bytes of `segment` inside a v2 archive image —
+/// what a crash-truncated final write leaves once the spool is padded
+/// back to its indexed length. The footer and trailer survive, so an
+/// indexed replay sees a CRC mismatch localized to this one segment
+/// instead of a poisoned stream.
+pub fn truncate_segment_tail(bytes: &mut [u8], segment: &crate::indexed::SegmentInfo, tail: usize) {
+    let end = (segment.offset + segment.len) as usize;
+    let start = end - tail.min(segment.len as usize);
+    for b in &mut bytes[start..end] {
+        *b = 0;
+    }
+}
+
+/// Flip one seeded byte inside `segment` (bit rot, a bad sector): the
+/// archive-level analogue of [`FaultConfig::corrupt_chance`], pointed at
+/// the spool instead of the export stream.
+pub fn corrupt_segment_byte(
+    bytes: &mut [u8],
+    segment: &crate::indexed::SegmentInfo,
+    seeds: &SeedTree,
+    nonce: u32,
+) {
+    let idx = segment.offset as usize
+        + index_hash(seeds, nonce, 3, "fault-seg-byte", segment.len as usize);
+    let bit = index_hash(seeds, nonce, 4, "fault-seg-bit", 8);
+    bytes[idx] ^= 1 << bit;
+}
+
 /// Flip one byte of the flow's V5 wire encoding and decode it back.
 fn corrupt_one_byte(flow: &Flow, seeds: &SeedTree, nonce: u32) -> Flow {
     // Anchor the exporter clock near the flow so the encoding round-trips.
@@ -439,6 +467,48 @@ mod tests {
         assert_eq!(snap.counters["faults.burst_dropped"], stats.burst_dropped);
         assert_eq!(snap.counters["faults.truncated"], stats.truncated);
         assert!(stats.dropped > 0, "adverse preset actually drops");
+    }
+
+    #[test]
+    fn archive_fault_helpers_damage_exactly_one_segment() {
+        use crate::indexed::{crc32, IndexedArchive, IndexedArchiveWriter};
+        let mut w = IndexedArchiveWriter::new(Vec::new(), EPOCH_UNIX_SECS);
+        for day in 0..3 {
+            for i in 0..50u32 {
+                let f = Flow {
+                    start_secs: i64::from(day) * 86_400 + i64::from(i),
+                    ..flow(i)
+                };
+                w.push(&f).expect("write");
+            }
+        }
+        let (bytes, index) = w.finish().expect("finish");
+        // Truncation helper: only the last segment's CRC breaks.
+        let mut truncated = bytes.clone();
+        truncate_segment_tail(&mut truncated, &index.segments[2], 16);
+        let archive = IndexedArchive::open(&truncated)
+            .expect("trailer intact")
+            .expect("v2");
+        assert!(archive.verify_segment(0).is_ok());
+        assert!(archive.verify_segment(1).is_ok());
+        assert!(archive.verify_segment(2).is_err());
+        // Corruption helper: deterministic, and only the target segment.
+        let mut bitrot = bytes.clone();
+        corrupt_segment_byte(&mut bitrot, &index.segments[1], &SeedTree::new(9), 1);
+        let mut bitrot2 = bytes.clone();
+        corrupt_segment_byte(&mut bitrot2, &index.segments[1], &SeedTree::new(9), 1);
+        assert_eq!(bitrot, bitrot2, "seeded damage is reproducible");
+        assert_ne!(bitrot, bytes);
+        let s0 = &index.segments[0];
+        let s1 = &index.segments[1];
+        assert_eq!(
+            crc32(&bitrot[s0.offset as usize..(s0.offset + s0.len) as usize]),
+            s0.crc
+        );
+        assert_ne!(
+            crc32(&bitrot[s1.offset as usize..(s1.offset + s1.len) as usize]),
+            s1.crc
+        );
     }
 
     #[test]

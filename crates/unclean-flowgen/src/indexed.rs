@@ -1,0 +1,1241 @@
+//! Archive format v2: per-day indexed segments with zero-copy replay.
+//!
+//! The v1 spool (`archive`) is a flat run of u16-framed V5 datagrams: the
+//! only way to answer "what happened on day 17" is to decode everything
+//! before it, one `Vec<V5Record>` per datagram. The §6 replay — two weeks
+//! of border flow at >20M-address scale — is the largest serial cost left
+//! in the pipeline, so v2 restructures the spool for parallel scans:
+//!
+//! ```text
+//! v1:  [u16 len][V5 datagram] [u16 len][V5 datagram] ...                 EOF
+//!
+//! v2:  ├── segment (day d0) ──┤├── segment (day d1) ──┤
+//!      [uv len][v2 datagram]...[uv len][v2 datagram]...[footer][trailer] EOF
+//!       footer  = boot, per-segment {day, offset, len, datagrams, flows,
+//!                 first_seq, end_seq, crc32}
+//!       trailer = [footer_len u32-le][version 2][magic "UNCLARC"]
+//! ```
+//!
+//! * **Segments** break on day boundaries, so a consumer seeks straight to
+//!   the days it needs and an executor replays one worker per segment.
+//! * **v2 datagrams** are varint delta-encoded ([`encode_datagram_v2`]):
+//!   IPs and timestamps of consecutive records compress to their deltas,
+//!   and the varint frame removes the v1 u16 ceiling.
+//! * **Decoding is zero-copy**: [`SegmentCursor`] walks a borrowed
+//!   segment buffer and [`FlowView`] yields `Flow`s straight off the
+//!   wire — no `Vec<V5Record>` per datagram, no per-flow allocation.
+//! * **Per-segment CRCs** make corruption local: with lenient replay a
+//!   bad segment is quarantined and every other segment still lands,
+//!   where a corrupt v1 frame poisons the rest of the spool.
+//! * A file without the trailer is read as v1 ([`FlowArchive::open`]
+//!   falls back to the sequential [`ArchiveReader`] path).
+
+use crate::archive::{ArchiveError, ArchiveReader, ArchiveTelemetry};
+use crate::record::{
+    decode_header_v2, encode_datagram_v2, get_uvarint, put_uvarint, unzigzag32, zigzag32,
+    DecodeError, V2RecordCursor, V5Header, V5Record, V5_MAX_RECORDS,
+};
+use crate::session::Flow;
+use crossbeam::executor::Executor;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use unclean_core::{DateRange, Day};
+
+/// Trailing magic identifying an indexed archive.
+pub const ARCHIVE_MAGIC: &[u8; 7] = b"UNCLARC";
+/// Archive format version this module writes.
+pub const ARCHIVE_VERSION: u8 = 2;
+/// Fixed trailer size: footer length (4) + version (1) + magic (7).
+pub const TRAILER_LEN: usize = 12;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` one).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// A fresh accumulator.
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// Finalize to the checksum value.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// CRC-32 of a whole buffer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// One footer index entry: where a day's run of datagrams lives and what
+/// it should contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentInfo {
+    /// Day every flow in the segment started on.
+    pub day: Day,
+    /// Byte offset of the segment's first frame.
+    pub offset: u64,
+    /// Segment length in bytes.
+    pub len: u64,
+    /// Datagrams in the segment.
+    pub datagrams: u64,
+    /// Flow records in the segment.
+    pub flows: u64,
+    /// Flow sequence number of the segment's first datagram.
+    pub first_seq: u32,
+    /// Sequence number immediately after the segment's last record — the
+    /// next segment's expected entry sequence, so per-segment readers
+    /// reproduce the sequential gap accounting exactly.
+    pub end_seq: u32,
+    /// CRC-32 of the segment bytes.
+    pub crc: u32,
+}
+
+/// Errors from the indexed archive layer.
+#[derive(Debug)]
+pub enum IndexedError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A frame or footer field failed to decode.
+    Decode(DecodeError),
+    /// Structural damage (bad offsets, overrunning frames, short footer).
+    Corrupt(String),
+    /// A segment's bytes do not match the indexed checksum.
+    CrcMismatch {
+        /// Segment index in the footer.
+        segment: usize,
+        /// Checksum the footer recorded.
+        expected: u32,
+        /// Checksum of the bytes actually present.
+        actual: u32,
+    },
+    /// The trailer magic matched but the version is unknown.
+    UnsupportedVersion(u8),
+}
+
+impl std::fmt::Display for IndexedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexedError::Io(e) => write!(f, "indexed archive I/O error: {e}"),
+            IndexedError::Decode(e) => write!(f, "indexed archive decode error: {e}"),
+            IndexedError::Corrupt(detail) => write!(f, "corrupt indexed archive: {detail}"),
+            IndexedError::CrcMismatch {
+                segment,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "segment {segment} CRC mismatch: footer says {expected:#010x}, bytes hash to {actual:#010x}"
+            ),
+            IndexedError::UnsupportedVersion(v) => {
+                write!(f, "unsupported indexed archive version {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexedError {}
+
+impl From<io::Error> for IndexedError {
+    fn from(e: io::Error) -> IndexedError {
+        IndexedError::Io(e)
+    }
+}
+
+impl From<DecodeError> for IndexedError {
+    fn from(e: DecodeError) -> IndexedError {
+        IndexedError::Decode(e)
+    }
+}
+
+/// The parsed footer of a v2 archive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchiveIndex {
+    /// Exporter boot anchor all segments were encoded against.
+    pub boot_unix_secs: u32,
+    /// Per-segment entries in file (= day) order.
+    pub segments: Vec<SegmentInfo>,
+}
+
+impl ArchiveIndex {
+    /// Parse the footer out of a complete archive. `Ok(None)` means the
+    /// trailer magic is absent — a v1 archive (or empty file), to be read
+    /// sequentially.
+    pub fn parse(data: &[u8]) -> Result<Option<ArchiveIndex>, IndexedError> {
+        if data.len() < TRAILER_LEN {
+            return Ok(None);
+        }
+        let trailer = &data[data.len() - TRAILER_LEN..];
+        let Some(footer_len) = trailer_footer_len(trailer)? else {
+            return Ok(None);
+        };
+        let footer_len = footer_len as usize;
+        let data_end = data
+            .len()
+            .checked_sub(TRAILER_LEN + footer_len)
+            .ok_or_else(|| {
+                IndexedError::Corrupt(format!(
+                    "footer of {footer_len} bytes larger than the {}-byte file",
+                    data.len()
+                ))
+            })?;
+        let footer = &data[data_end..data.len() - TRAILER_LEN];
+        let index = parse_footer(footer, data_end as u64)?;
+        Ok(Some(index))
+    }
+
+    /// Total flows recorded across all segments.
+    pub fn total_flows(&self) -> u64 {
+        self.segments.iter().map(|s| s.flows).sum()
+    }
+
+    /// Total datagrams recorded across all segments.
+    pub fn total_datagrams(&self) -> u64 {
+        self.segments.iter().map(|s| s.datagrams).sum()
+    }
+
+    /// The largest segment length — the buffer high-water mark a
+    /// one-segment-at-a-time reader needs.
+    pub fn max_segment_len(&self) -> u64 {
+        self.segments.iter().map(|s| s.len).max().unwrap_or(0)
+    }
+
+    /// Indexes of segments whose day falls in `range` (all when `None`).
+    pub fn select(&self, range: Option<DateRange>) -> Vec<usize> {
+        (0..self.segments.len())
+            .filter(|&i| range.is_none_or(|r| r.contains(self.segments[i].day)))
+            .collect()
+    }
+
+    fn encode_footer(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, u64::from(self.boot_unix_secs));
+        put_uvarint(out, self.segments.len() as u64);
+        for s in &self.segments {
+            put_uvarint(out, zigzag32(s.day.0));
+            put_uvarint(out, s.offset);
+            put_uvarint(out, s.len);
+            put_uvarint(out, s.datagrams);
+            put_uvarint(out, s.flows);
+            put_uvarint(out, u64::from(s.first_seq));
+            put_uvarint(out, u64::from(s.end_seq));
+            out.extend_from_slice(&s.crc.to_le_bytes());
+        }
+    }
+}
+
+/// Interpret a 12-byte trailer: `Ok(None)` when the magic is absent (v1),
+/// the footer length when it is, an error on a magic-but-unknown version.
+fn trailer_footer_len(trailer: &[u8]) -> Result<Option<u32>, IndexedError> {
+    debug_assert_eq!(trailer.len(), TRAILER_LEN);
+    if &trailer[5..] != ARCHIVE_MAGIC {
+        return Ok(None);
+    }
+    if trailer[4] != ARCHIVE_VERSION {
+        return Err(IndexedError::UnsupportedVersion(trailer[4]));
+    }
+    Ok(Some(u32::from_le_bytes([
+        trailer[0], trailer[1], trailer[2], trailer[3],
+    ])))
+}
+
+/// Parse footer bytes; `data_end` is where segment data stops (= the
+/// footer's file offset), used to validate that the index tiles the data
+/// region exactly.
+fn parse_footer(footer: &[u8], data_end: u64) -> Result<ArchiveIndex, IndexedError> {
+    let mut pos = 0;
+    let get_u32 = |footer: &[u8], pos: &mut usize| -> Result<u32, IndexedError> {
+        u32::try_from(get_uvarint(footer, pos)?)
+            .map_err(|_| IndexedError::Decode(DecodeError::BadVarint))
+    };
+    let boot_unix_secs = get_u32(footer, &mut pos)?;
+    let count = get_uvarint(footer, &mut pos)?;
+    if count > data_end.max(1) {
+        // Each segment holds at least one byte: a count beyond the data
+        // region is garbage, not a huge allocation request.
+        return Err(IndexedError::Corrupt(format!(
+            "footer claims {count} segments in {data_end} bytes of data"
+        )));
+    }
+    let mut segments = Vec::with_capacity(count as usize);
+    let mut expected_offset = 0u64;
+    for i in 0..count {
+        let day = Day(unzigzag32(get_uvarint(footer, &mut pos)?)?);
+        let offset = get_uvarint(footer, &mut pos)?;
+        let len = get_uvarint(footer, &mut pos)?;
+        let datagrams = get_uvarint(footer, &mut pos)?;
+        let flows = get_uvarint(footer, &mut pos)?;
+        let first_seq = get_u32(footer, &mut pos)?;
+        let end_seq = get_u32(footer, &mut pos)?;
+        let crc_bytes =
+            footer
+                .get(pos..pos + 4)
+                .ok_or(IndexedError::Decode(DecodeError::Truncated {
+                    needed: pos + 4,
+                    got: footer.len(),
+                }))?;
+        pos += 4;
+        let crc = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if offset != expected_offset {
+            return Err(IndexedError::Corrupt(format!(
+                "segment {i} starts at {offset}, expected {expected_offset}"
+            )));
+        }
+        expected_offset = offset.checked_add(len).ok_or_else(|| {
+            IndexedError::Corrupt(format!("segment {i} length overflows the file"))
+        })?;
+        if expected_offset > data_end {
+            return Err(IndexedError::Corrupt(format!(
+                "segment {i} runs to {expected_offset}, past the footer at {data_end}"
+            )));
+        }
+        segments.push(SegmentInfo {
+            day,
+            offset,
+            len,
+            datagrams,
+            flows,
+            first_seq,
+            end_seq,
+            crc,
+        });
+    }
+    if pos != footer.len() {
+        return Err(IndexedError::Corrupt(format!(
+            "{} trailing footer bytes",
+            footer.len() - pos
+        )));
+    }
+    if expected_offset != data_end {
+        return Err(IndexedError::Corrupt(format!(
+            "segments cover {expected_offset} bytes but data runs to {data_end}"
+        )));
+    }
+    Ok(ArchiveIndex {
+        boot_unix_secs,
+        segments,
+    })
+}
+
+/// In-progress state of the segment being written.
+#[derive(Debug)]
+struct OpenSegment {
+    day: Day,
+    start: u64,
+    datagrams: u64,
+    flows: u64,
+    first_seq: u32,
+    crc: Crc32,
+}
+
+/// Writes flows into a v2 indexed archive: per-day segments of
+/// varint-framed delta-compressed datagrams, a footer index, and the
+/// magic trailer.
+#[derive(Debug)]
+pub struct IndexedArchiveWriter<W: Write> {
+    out: W,
+    boot_unix_secs: u32,
+    pending: Vec<V5Record>,
+    sequence: u32,
+    offset: u64,
+    body: Vec<u8>,
+    frame_len: Vec<u8>,
+    segments: Vec<SegmentInfo>,
+    open: Option<OpenSegment>,
+}
+
+impl<W: Write> IndexedArchiveWriter<W> {
+    /// A writer exporting against the given boot anchor (same lossless
+    /// round-trip horizon as [`crate::ArchiveWriter`]: flows must start
+    /// within ~49 days of it).
+    pub fn new(out: W, boot_unix_secs: u32) -> IndexedArchiveWriter<W> {
+        IndexedArchiveWriter {
+            out,
+            boot_unix_secs,
+            pending: Vec::with_capacity(V5_MAX_RECORDS),
+            sequence: 0,
+            offset: 0,
+            body: Vec::new(),
+            frame_len: Vec::new(),
+            segments: Vec::new(),
+            open: None,
+        }
+    }
+
+    /// Queue one flow. A day change closes the current segment; 30 queued
+    /// records flush a datagram.
+    pub fn push(&mut self, flow: &Flow) -> io::Result<()> {
+        let day = flow.day();
+        if self.open.as_ref().is_some_and(|s| s.day != day) {
+            self.flush_datagram()?;
+            self.close_segment();
+        }
+        if self.open.is_none() {
+            self.open = Some(OpenSegment {
+                day,
+                start: self.offset,
+                datagrams: 0,
+                flows: 0,
+                first_seq: self.sequence,
+                crc: Crc32::new(),
+            });
+        }
+        self.pending.push(flow.to_v5(self.boot_unix_secs));
+        if self.pending.len() == V5_MAX_RECORDS {
+            self.flush_datagram()?;
+        }
+        Ok(())
+    }
+
+    /// Flush any partial datagram into the open segment.
+    pub fn flush_datagram(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let open = self
+            .open
+            .as_mut()
+            .expect("pending records imply an open segment");
+        let header = V5Header {
+            count: self.pending.len() as u16,
+            sys_uptime_ms: 0,
+            unix_secs: self.boot_unix_secs,
+            unix_nsecs: 0,
+            flow_sequence: self.sequence,
+            engine_type: 0,
+            engine_id: 0,
+            sampling_interval: 0,
+        };
+        self.body.clear();
+        encode_datagram_v2(&header, &self.pending, &mut self.body);
+        self.frame_len.clear();
+        put_uvarint(&mut self.frame_len, self.body.len() as u64);
+        self.out.write_all(&self.frame_len)?;
+        self.out.write_all(&self.body)?;
+        open.crc.update(&self.frame_len);
+        open.crc.update(&self.body);
+        self.offset += (self.frame_len.len() + self.body.len()) as u64;
+        open.datagrams += 1;
+        open.flows += self.pending.len() as u64;
+        self.sequence = self.sequence.wrapping_add(self.pending.len() as u32);
+        self.pending.clear();
+        Ok(())
+    }
+
+    fn close_segment(&mut self) {
+        if let Some(open) = self.open.take() {
+            self.segments.push(SegmentInfo {
+                day: open.day,
+                offset: open.start,
+                len: self.offset - open.start,
+                datagrams: open.datagrams,
+                flows: open.flows,
+                first_seq: open.first_seq,
+                end_seq: self.sequence,
+                crc: open.crc.finish(),
+            });
+        }
+    }
+
+    /// Finish: flush, close the last segment, write footer + trailer, and
+    /// return the inner writer with the index that was persisted.
+    pub fn finish(mut self) -> io::Result<(W, ArchiveIndex)> {
+        self.flush_datagram()?;
+        self.close_segment();
+        let index = ArchiveIndex {
+            boot_unix_secs: self.boot_unix_secs,
+            segments: std::mem::take(&mut self.segments),
+        };
+        let mut footer = Vec::new();
+        index.encode_footer(&mut footer);
+        self.out.write_all(&footer)?;
+        let mut trailer = [0u8; TRAILER_LEN];
+        trailer[..4].copy_from_slice(&(footer.len() as u32).to_le_bytes());
+        trailer[4] = ARCHIVE_VERSION;
+        trailer[5..].copy_from_slice(ARCHIVE_MAGIC);
+        self.out.write_all(&trailer)?;
+        self.out.flush()?;
+        Ok((self.out, index))
+    }
+}
+
+/// Zero-copy iterator over the flows of one decoded datagram. Borrows the
+/// segment buffer; every [`Flow`] comes straight off the delta-decoded
+/// wire with no intermediate `Vec<V5Record>`.
+#[derive(Debug)]
+pub struct FlowView<'a> {
+    header: V5Header,
+    records: V2RecordCursor<'a>,
+    boot_unix_secs: u32,
+}
+
+impl FlowView<'_> {
+    /// The datagram's export header.
+    pub fn header(&self) -> &V5Header {
+        &self.header
+    }
+
+    /// Decode the next flow; `Ok(None)` when the datagram is drained.
+    pub fn try_next(&mut self) -> Result<Option<Flow>, IndexedError> {
+        Ok(self
+            .records
+            .next_record()?
+            .map(|r| Flow::from_v5(&r, self.boot_unix_secs)))
+    }
+}
+
+impl Iterator for FlowView<'_> {
+    type Item = Result<Flow, IndexedError>;
+
+    fn next(&mut self) -> Option<Result<Flow, IndexedError>> {
+        self.try_next().transpose()
+    }
+}
+
+/// Streaming decoder over one segment's bytes, with the same
+/// sequence-gap/reorder accounting as the v1 [`ArchiveReader`] — kept in
+/// a plain [`ArchiveTelemetry`] so parallel per-segment cursors sum
+/// without shared counters.
+#[derive(Debug)]
+pub struct SegmentCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    boot_unix_secs: u32,
+    expected_sequence: Option<u32>,
+    telemetry: ArchiveTelemetry,
+}
+
+impl<'a> SegmentCursor<'a> {
+    /// A cursor over `data` (exactly one segment). `entry_sequence` is the
+    /// sequence number expected at the segment's first datagram —
+    /// `Some(prev_segment.end_seq)` when replaying contiguously, `None`
+    /// at the start of a scan — so per-segment accounting reproduces the
+    /// sequential reader's gap bookkeeping exactly.
+    pub fn new(
+        data: &'a [u8],
+        boot_unix_secs: u32,
+        entry_sequence: Option<u32>,
+    ) -> SegmentCursor<'a> {
+        SegmentCursor {
+            data,
+            pos: 0,
+            boot_unix_secs,
+            expected_sequence: entry_sequence,
+            telemetry: ArchiveTelemetry::default(),
+        }
+    }
+
+    /// Loss and delivery accounting so far.
+    pub fn telemetry(&self) -> ArchiveTelemetry {
+        self.telemetry
+    }
+
+    /// Decode the next datagram's frame; `Ok(None)` at the segment end.
+    pub fn next_datagram(&mut self) -> Result<Option<FlowView<'a>>, IndexedError> {
+        if self.pos == self.data.len() {
+            return Ok(None);
+        }
+        let frame_len = get_uvarint(self.data, &mut self.pos)? as usize;
+        let end = self
+            .pos
+            .checked_add(frame_len)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| {
+                IndexedError::Corrupt(format!("frame of {frame_len} bytes overruns the segment"))
+            })?;
+        let body = &self.data[self.pos..end];
+        self.pos = end;
+        let mut bpos = 0;
+        let header = decode_header_v2(body, &mut bpos)?;
+        // Same circle-splitting gap/reorder disambiguation as the v1
+        // reader: forward jumps are loss, backward jumps are reorders.
+        let next = header.flow_sequence.wrapping_add(u32::from(header.count));
+        match self.expected_sequence {
+            None => self.expected_sequence = Some(next),
+            Some(expected) => {
+                let delta = header.flow_sequence.wrapping_sub(expected);
+                if delta == 0 {
+                    self.expected_sequence = Some(next);
+                } else if delta <= u32::MAX / 2 {
+                    self.telemetry.lost_flows += u64::from(delta);
+                    self.telemetry.sequence_gaps += 1;
+                    self.expected_sequence = Some(next);
+                } else {
+                    self.telemetry.reordered += 1;
+                }
+            }
+        }
+        self.telemetry.datagrams += 1;
+        self.telemetry.flows += u64::from(header.count);
+        Ok(Some(FlowView {
+            header,
+            records: V2RecordCursor::new(body, bpos, header.count),
+            boot_unix_secs: self.boot_unix_secs,
+        }))
+    }
+
+    /// Drain the segment, feeding every flow to `sink`.
+    pub fn for_each_flow(&mut self, mut sink: impl FnMut(&Flow)) -> Result<(), IndexedError> {
+        while let Some(mut view) = self.next_datagram()? {
+            while let Some(flow) = view.try_next()? {
+                sink(&flow);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A segment the lenient replay skipped instead of failing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedSegment {
+    /// Segment index in the footer.
+    pub segment: usize,
+    /// The day the segment covered.
+    pub day: Day,
+    /// Why it was skipped.
+    pub detail: String,
+}
+
+/// Outcome of replaying one segment: `output` is `None` when the segment
+/// was quarantined.
+#[derive(Debug, Clone)]
+pub struct SegmentOutput<T> {
+    /// Segment index in the footer.
+    pub segment: usize,
+    /// The footer entry.
+    pub info: SegmentInfo,
+    /// The per-segment worker's result.
+    pub output: Option<T>,
+}
+
+/// Result of a (possibly parallel) replay: per-segment outputs in file
+/// (= day) order, summed telemetry, and any quarantined segments.
+#[derive(Debug, Clone)]
+pub struct Replay<T> {
+    /// Per-segment results in day order.
+    pub outputs: Vec<SegmentOutput<T>>,
+    /// Loss accounting summed over all replayed segments — equal to what
+    /// one sequential pass would have recorded.
+    pub telemetry: ArchiveTelemetry,
+    /// Segments skipped by lenient replay.
+    pub quarantined: Vec<QuarantinedSegment>,
+}
+
+/// A v2 archive opened over a byte slice: the footer index plus seekable,
+/// independently decodable segments.
+#[derive(Debug, Clone)]
+pub struct IndexedArchive<'a> {
+    data: &'a [u8],
+    index: ArchiveIndex,
+}
+
+impl<'a> IndexedArchive<'a> {
+    /// Open a complete archive image. `Ok(None)` means no v2 trailer —
+    /// treat the bytes as a v1 archive.
+    pub fn open(data: &'a [u8]) -> Result<Option<IndexedArchive<'a>>, IndexedError> {
+        Ok(ArchiveIndex::parse(data)?.map(|index| IndexedArchive { data, index }))
+    }
+
+    /// The exporter boot anchor recorded in the footer.
+    pub fn boot_unix_secs(&self) -> u32 {
+        self.index.boot_unix_secs
+    }
+
+    /// The parsed footer.
+    pub fn index(&self) -> &ArchiveIndex {
+        &self.index
+    }
+
+    /// Footer entries in file (= day) order.
+    pub fn segments(&self) -> &[SegmentInfo] {
+        &self.index.segments
+    }
+
+    /// The raw bytes of segment `i`.
+    pub fn segment_bytes(&self, i: usize) -> &'a [u8] {
+        let s = &self.index.segments[i];
+        &self.data[s.offset as usize..(s.offset + s.len) as usize]
+    }
+
+    /// Check segment `i` against its indexed CRC.
+    pub fn verify_segment(&self, i: usize) -> Result<(), IndexedError> {
+        let expected = self.index.segments[i].crc;
+        let actual = crc32(self.segment_bytes(i));
+        if actual != expected {
+            return Err(IndexedError::CrcMismatch {
+                segment: i,
+                expected,
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Expected entry sequence for segment `i` given that `prev_selected`
+    /// says whether segment `i - 1` is part of the same scan.
+    fn entry_sequence(&self, i: usize, prev_selected: bool) -> Option<u32> {
+        if i == 0 || !prev_selected {
+            None
+        } else {
+            Some(self.index.segments[i - 1].end_seq)
+        }
+    }
+
+    /// Sequentially read the flows of the days in `range` (the whole
+    /// archive when `None`), verifying CRCs, with summed telemetry.
+    pub fn read_day_range(
+        &self,
+        range: Option<DateRange>,
+    ) -> Result<(Vec<Flow>, ArchiveTelemetry), IndexedError> {
+        let selected = self.index.select(range);
+        let mut flows = Vec::new();
+        let mut telemetry = ArchiveTelemetry::default();
+        let mut prev: Option<usize> = None;
+        for &i in &selected {
+            self.verify_segment(i)?;
+            let entry = self.entry_sequence(i, prev == Some(i.wrapping_sub(1)));
+            let mut cursor =
+                SegmentCursor::new(self.segment_bytes(i), self.index.boot_unix_secs, entry);
+            cursor.for_each_flow(|f| flows.push(*f))?;
+            telemetry.accumulate(&cursor.telemetry());
+            prev = Some(i);
+        }
+        Ok((flows, telemetry))
+    }
+
+    /// Replay the segments of `range` (all when `None`) in parallel — one
+    /// worker per segment over `pool`, outputs merged in day order, so the
+    /// result is identical at any thread count. Each worker CRC-verifies
+    /// its segment, then runs `f` with a zero-copy [`SegmentCursor`].
+    ///
+    /// With `lenient`, a segment that fails its CRC or decode is
+    /// quarantined (recorded, output `None`) and every other segment
+    /// still lands; otherwise the first failing segment's error (in day
+    /// order) aborts the replay.
+    pub fn replay_with<T, F>(
+        &self,
+        pool: &Executor,
+        range: Option<DateRange>,
+        lenient: bool,
+        f: F,
+    ) -> Result<Replay<T>, IndexedError>
+    where
+        T: Send,
+        F: Fn(&SegmentInfo, &mut SegmentCursor<'a>) -> Result<T, IndexedError> + Sync,
+    {
+        let selected = self.index.select(range);
+        let results = pool.run_indexed(selected.len(), |k| {
+            let i = selected[k];
+            self.verify_segment(i)?;
+            let entry = self.entry_sequence(i, k > 0 && selected[k - 1] == i - 1);
+            let mut cursor =
+                SegmentCursor::new(self.segment_bytes(i), self.index.boot_unix_secs, entry);
+            let output = f(&self.index.segments[i], &mut cursor)?;
+            Ok::<_, IndexedError>((output, cursor.telemetry()))
+        });
+        let mut replay = Replay {
+            outputs: Vec::with_capacity(selected.len()),
+            telemetry: ArchiveTelemetry::default(),
+            quarantined: Vec::new(),
+        };
+        for (k, result) in results.into_iter().enumerate() {
+            let i = selected[k];
+            let info = self.index.segments[i];
+            match result {
+                Ok((output, telemetry)) => {
+                    replay.telemetry.accumulate(&telemetry);
+                    replay.outputs.push(SegmentOutput {
+                        segment: i,
+                        info,
+                        output: Some(output),
+                    });
+                }
+                Err(e) if lenient => {
+                    replay.quarantined.push(QuarantinedSegment {
+                        segment: i,
+                        day: info.day,
+                        detail: e.to_string(),
+                    });
+                    replay.outputs.push(SegmentOutput {
+                        segment: i,
+                        info,
+                        output: None,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(replay)
+    }
+}
+
+/// An archive of either vintage, sniffed from its bytes.
+#[derive(Debug)]
+pub enum FlowArchive<'a> {
+    /// v2: trailer present, indexed access available.
+    V2(IndexedArchive<'a>),
+    /// v1 (no trailer): read sequentially with [`ArchiveReader`].
+    V1(&'a [u8]),
+}
+
+impl<'a> FlowArchive<'a> {
+    /// Sniff and open: v2 when the trailer magic is present, v1 fallback
+    /// otherwise.
+    pub fn open(data: &'a [u8]) -> Result<FlowArchive<'a>, IndexedError> {
+        Ok(match IndexedArchive::open(data)? {
+            Some(archive) => FlowArchive::V2(archive),
+            None => FlowArchive::V1(data),
+        })
+    }
+}
+
+/// Whether bytes look like a v1 framed archive: a plausible u16 frame
+/// whose payload leads with the V5 version word.
+pub fn looks_like_v1(data: &[u8]) -> bool {
+    if data.len() < 4 {
+        return false;
+    }
+    let frame = u16::from_be_bytes([data[0], data[1]]) as usize;
+    frame >= crate::record::V5_HEADER_LEN && 2 + frame <= data.len() && data[2] == 0 && data[3] == 5
+}
+
+/// Re-encode a v1 archive as v2 (the `unclean archive index` upgrade).
+/// Returns the v2 bytes, the index, and the v1 read's loss accounting —
+/// sequence gaps in the source survive as gaps in the re-export.
+pub fn upgrade_v1(
+    data: &[u8],
+    boot_unix_secs: u32,
+) -> Result<(Vec<u8>, ArchiveIndex, ArchiveTelemetry), ArchiveError> {
+    let mut reader = ArchiveReader::new(data, boot_unix_secs);
+    let mut writer = IndexedArchiveWriter::new(Vec::new(), boot_unix_secs);
+    while let Some(batch) = reader.next_datagram()? {
+        for flow in &batch {
+            writer.push(flow).map_err(ArchiveError::Io)?;
+        }
+    }
+    let (bytes, index) = writer.finish().map_err(ArchiveError::Io)?;
+    Ok((bytes, index, reader.telemetry()))
+}
+
+/// Streams a v2 archive from a seekable source one segment at a time
+/// through a reusable buffer — constant memory in the archive size, the
+/// high-water mark being the largest single segment.
+#[derive(Debug)]
+pub struct SegmentReader<R> {
+    inner: R,
+    index: ArchiveIndex,
+    buf: Vec<u8>,
+    peak: usize,
+}
+
+impl<R: Read + Seek> SegmentReader<R> {
+    /// Open a seekable v2 archive; `Ok(None)` when the trailer is absent
+    /// (v1 — read it sequentially instead).
+    pub fn open(mut inner: R) -> Result<Option<SegmentReader<R>>, IndexedError> {
+        let len = inner.seek(SeekFrom::End(0))?;
+        if len < TRAILER_LEN as u64 {
+            return Ok(None);
+        }
+        inner.seek(SeekFrom::Start(len - TRAILER_LEN as u64))?;
+        let mut trailer = [0u8; TRAILER_LEN];
+        inner.read_exact(&mut trailer)?;
+        let Some(footer_len) = trailer_footer_len(&trailer)? else {
+            return Ok(None);
+        };
+        let footer_len = footer_len as u64;
+        let data_end = len
+            .checked_sub(TRAILER_LEN as u64 + footer_len)
+            .ok_or_else(|| {
+                IndexedError::Corrupt(format!(
+                    "footer of {footer_len} bytes larger than the {len}-byte file"
+                ))
+            })?;
+        inner.seek(SeekFrom::Start(data_end))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        inner.read_exact(&mut footer)?;
+        let index = parse_footer(&footer, data_end)?;
+        Ok(Some(SegmentReader {
+            inner,
+            index,
+            buf: Vec::new(),
+            peak: 0,
+        }))
+    }
+
+    /// The parsed footer.
+    pub fn index(&self) -> &ArchiveIndex {
+        &self.index
+    }
+
+    /// Load segment `i` into the reusable buffer and CRC-verify it.
+    pub fn load_segment(&mut self, i: usize) -> Result<&[u8], IndexedError> {
+        let info = self.index.segments[i];
+        self.inner.seek(SeekFrom::Start(info.offset))?;
+        self.buf.resize(info.len as usize, 0);
+        self.inner.read_exact(&mut self.buf)?;
+        self.peak = self.peak.max(self.buf.len());
+        let actual = crc32(&self.buf);
+        if actual != info.crc {
+            return Err(IndexedError::CrcMismatch {
+                segment: i,
+                expected: info.crc,
+                actual,
+            });
+        }
+        Ok(&self.buf)
+    }
+
+    /// Largest buffer held so far — the reader's RSS-relevant high-water
+    /// mark.
+    pub fn peak_buffer_bytes(&self) -> usize {
+        self.peak
+    }
+
+    /// Give back the underlying source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{proto, tcp_flags, EPOCH_UNIX_SECS};
+    use unclean_core::Ip;
+
+    fn boot() -> u32 {
+        EPOCH_UNIX_SECS + 86_400 * 270
+    }
+
+    fn flow(day: i32, i: u32) -> Flow {
+        Flow {
+            src: Ip(0x0901_0000 + i),
+            dst: Ip(0x1e00_0001),
+            src_port: (1024 + i % 60_000) as u16,
+            dst_port: 80,
+            proto: proto::TCP,
+            packets: 3 + i % 5,
+            octets: 200 + i,
+            flags: tcp_flags::SYN | tcp_flags::ACK,
+            start_secs: i64::from(day) * 86_400 + i64::from(i % 86_000),
+            duration_secs: i % 30,
+        }
+    }
+
+    /// 3 days × `per_day` flows, days 273..=275.
+    fn write_archive(per_day: u32) -> (Vec<u8>, ArchiveIndex, Vec<Flow>) {
+        let mut w = IndexedArchiveWriter::new(Vec::new(), boot());
+        let mut all = Vec::new();
+        for day in 273..276 {
+            for i in 0..per_day {
+                let f = flow(day, i);
+                w.push(&f).expect("in-memory write");
+                all.push(f);
+            }
+        }
+        let (bytes, index) = w.finish().expect("finish");
+        (bytes, index, all)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let (bytes, index, all) = write_archive(95);
+        assert_eq!(index.segments.len(), 3, "one segment per day");
+        assert_eq!(index.total_flows(), all.len() as u64);
+        assert_eq!(index.total_datagrams(), 3 * 4, "95 flows = 4 datagrams/day");
+        let parsed = ArchiveIndex::parse(&bytes)
+            .expect("well-formed")
+            .expect("v2");
+        assert_eq!(parsed, index);
+        let days: Vec<i32> = index.segments.iter().map(|s| s.day.0).collect();
+        assert_eq!(days, vec![273, 274, 275]);
+        // Sequence continuity across segments.
+        assert_eq!(index.segments[0].first_seq, 0);
+        assert_eq!(index.segments[0].end_seq, 95);
+        assert_eq!(index.segments[1].first_seq, 95);
+    }
+
+    #[test]
+    fn sequential_read_matches_original() {
+        let (bytes, _, all) = write_archive(95);
+        let archive = IndexedArchive::open(&bytes).expect("ok").expect("v2");
+        let (flows, telemetry) = archive.read_day_range(None).expect("clean");
+        assert_eq!(flows, all);
+        assert_eq!(telemetry.flows, all.len() as u64);
+        assert_eq!(telemetry.lost_flows, 0);
+        assert_eq!(telemetry.sequence_gaps, 0);
+        assert_eq!(telemetry.reordered, 0);
+    }
+
+    #[test]
+    fn parallel_replay_equals_sequential_at_any_thread_count() {
+        let (bytes, _, all) = write_archive(200);
+        let archive = IndexedArchive::open(&bytes).expect("ok").expect("v2");
+        let (seq_flows, seq_t) = archive.read_day_range(None).expect("clean");
+        for threads in [1, 2, 7] {
+            let pool = Executor::new(threads);
+            let replay = archive
+                .replay_with(&pool, None, false, |_, cursor| {
+                    let mut flows = Vec::new();
+                    cursor.for_each_flow(|f| flows.push(*f))?;
+                    Ok(flows)
+                })
+                .expect("clean");
+            let merged: Vec<Flow> = replay
+                .outputs
+                .iter()
+                .flat_map(|o| o.output.clone().expect("no quarantine"))
+                .collect();
+            assert_eq!(merged, seq_flows, "threads={threads}");
+            assert_eq!(merged, all);
+            assert_eq!(replay.telemetry, seq_t, "threads={threads}");
+            assert!(replay.quarantined.is_empty());
+        }
+    }
+
+    #[test]
+    fn day_range_seeks_only_the_asked_days() {
+        let (bytes, _, all) = write_archive(50);
+        let archive = IndexedArchive::open(&bytes).expect("ok").expect("v2");
+        let range = DateRange::new(Day(274), Day(274));
+        let (flows, telemetry) = archive.read_day_range(Some(range)).expect("clean");
+        let expected: Vec<Flow> = all
+            .iter()
+            .filter(|f| f.day() == Day(274))
+            .copied()
+            .collect();
+        assert_eq!(flows, expected);
+        assert_eq!(telemetry.flows, 50);
+        // A mid-archive scan must not book the skipped prefix as loss.
+        assert_eq!(telemetry.lost_flows, 0);
+        assert_eq!(telemetry.sequence_gaps, 0);
+    }
+
+    #[test]
+    fn corrupt_segment_quarantines_only_itself() {
+        let (mut bytes, index, _) = write_archive(95);
+        // Flip a byte in the middle segment's data.
+        let mid = &index.segments[1];
+        bytes[(mid.offset + mid.len / 2) as usize] ^= 0xff;
+        let archive = IndexedArchive::open(&bytes).expect("ok").expect("v2");
+        // Strict replay fails with the CRC mismatch…
+        let pool = Executor::new(2);
+        let strict = archive.replay_with(&pool, None, false, |_, cursor| {
+            let mut n = 0u64;
+            cursor.for_each_flow(|_| n += 1)?;
+            Ok(n)
+        });
+        assert!(matches!(
+            strict,
+            Err(IndexedError::CrcMismatch { segment: 1, .. })
+        ));
+        // …lenient replay quarantines day 274 and delivers the other two.
+        let replay = archive
+            .replay_with(&pool, None, true, |_, cursor| {
+                let mut n = 0u64;
+                cursor.for_each_flow(|_| n += 1)?;
+                Ok(n)
+            })
+            .expect("lenient");
+        assert_eq!(replay.quarantined.len(), 1);
+        assert_eq!(replay.quarantined[0].segment, 1);
+        assert_eq!(replay.quarantined[0].day, Day(274));
+        let delivered: u64 = replay.outputs.iter().filter_map(|o| o.output).sum();
+        assert_eq!(delivered, 2 * 95);
+        assert!(replay.outputs[1].output.is_none());
+    }
+
+    #[test]
+    fn v1_bytes_fall_back() {
+        let mut w = crate::ArchiveWriter::new(Vec::new(), boot());
+        for i in 0..40 {
+            w.push(&flow(273, i)).expect("write");
+        }
+        let (bytes, _) = w.finish().expect("finish");
+        assert!(ArchiveIndex::parse(&bytes).expect("ok").is_none());
+        match FlowArchive::open(&bytes).expect("ok") {
+            FlowArchive::V1(data) => {
+                assert!(looks_like_v1(data));
+                let mut r = ArchiveReader::new(data, boot());
+                assert_eq!(r.read_all().expect("ok").len(), 40);
+            }
+            FlowArchive::V2(_) => panic!("v1 bytes must not open as v2"),
+        }
+    }
+
+    #[test]
+    fn empty_archive_is_v2_with_no_segments() {
+        let (bytes, index) = IndexedArchiveWriter::new(Vec::new(), boot())
+            .finish()
+            .expect("ok");
+        assert!(index.segments.is_empty());
+        let archive = IndexedArchive::open(&bytes).expect("ok").expect("v2");
+        let (flows, telemetry) = archive.read_day_range(None).expect("ok");
+        assert!(flows.is_empty());
+        assert_eq!(telemetry, ArchiveTelemetry::default());
+    }
+
+    #[test]
+    fn unsupported_version_errors_rather_than_misreads() {
+        let (mut bytes, _, _) = write_archive(10);
+        let version_at = bytes.len() - TRAILER_LEN + 4;
+        bytes[version_at] = 3;
+        assert!(matches!(
+            ArchiveIndex::parse(&bytes),
+            Err(IndexedError::UnsupportedVersion(3))
+        ));
+    }
+
+    #[test]
+    fn damaged_footer_is_corrupt_not_v1() {
+        let (bytes, index, _) = write_archive(10);
+        // Rebuild the archive with a footer whose first segment claims to
+        // start one byte in: the index no longer tiles the data region.
+        let data_end: u64 = index.segments.iter().map(|s| s.len).sum();
+        let mut bad_index = index.clone();
+        bad_index.segments[0].offset += 1;
+        let mut footer = Vec::new();
+        bad_index.encode_footer(&mut footer);
+        let mut bad = bytes[..data_end as usize].to_vec();
+        bad.extend_from_slice(&footer);
+        let mut trailer = [0u8; TRAILER_LEN];
+        trailer[..4].copy_from_slice(&(footer.len() as u32).to_le_bytes());
+        trailer[4] = ARCHIVE_VERSION;
+        trailer[5..].copy_from_slice(ARCHIVE_MAGIC);
+        bad.extend_from_slice(&trailer);
+        assert!(matches!(
+            ArchiveIndex::parse(&bad),
+            Err(IndexedError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn upgrade_v1_preserves_flows_and_builds_segments() {
+        let mut w = crate::ArchiveWriter::new(Vec::new(), boot());
+        let mut all = Vec::new();
+        for day in 273..275 {
+            for i in 0..35 {
+                let f = flow(day, i);
+                w.push(&f).expect("write");
+                all.push(f);
+            }
+        }
+        let (v1, _) = w.finish().expect("finish");
+        let (v2, index, telemetry) = upgrade_v1(&v1, boot()).expect("upgrade");
+        assert_eq!(telemetry.flows, 70);
+        assert_eq!(index.segments.len(), 2);
+        let archive = IndexedArchive::open(&v2).expect("ok").expect("v2");
+        let (flows, _) = archive.read_day_range(None).expect("clean");
+        assert_eq!(flows, all);
+    }
+
+    #[test]
+    fn segment_reader_streams_with_bounded_buffer() {
+        let (bytes, index, all) = write_archive(64);
+        let mut reader = SegmentReader::open(io::Cursor::new(&bytes))
+            .expect("ok")
+            .expect("v2");
+        assert_eq!(reader.index(), &index);
+        let mut flows = Vec::new();
+        let mut prev: Option<u32> = None;
+        for i in 0..reader.index().segments.len() {
+            let entry = prev;
+            prev = Some(reader.index().segments[i].end_seq);
+            let boot = reader.index().boot_unix_secs;
+            let seg = reader.load_segment(i).expect("crc ok");
+            let mut cursor = SegmentCursor::new(seg, boot, entry);
+            cursor.for_each_flow(|f| flows.push(*f)).expect("clean");
+        }
+        assert_eq!(flows, all);
+        assert_eq!(
+            reader.peak_buffer_bytes() as u64,
+            reader.index().max_segment_len(),
+            "high-water mark is the largest single segment"
+        );
+        assert!((reader.peak_buffer_bytes() as u64) < bytes.len() as u64);
+    }
+
+    #[test]
+    fn v2_spool_is_smaller_than_v1() {
+        let (v2, _, all) = write_archive(500);
+        let mut w = crate::ArchiveWriter::new(Vec::new(), boot());
+        for f in &all {
+            w.push(f).expect("write");
+        }
+        let (v1, _) = w.finish().expect("finish");
+        assert!(
+            (v2.len() as f64) < 0.6 * v1.len() as f64,
+            "delta compression: v2 {} bytes vs v1 {}",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(IndexedError::UnsupportedVersion(7)
+            .to_string()
+            .contains('7'));
+        assert!(IndexedError::Corrupt("x".into()).to_string().contains('x'));
+        assert!(IndexedError::CrcMismatch {
+            segment: 2,
+            expected: 1,
+            actual: 3
+        }
+        .to_string()
+        .contains("segment 2"));
+        assert!(IndexedError::Decode(DecodeError::BadVarint)
+            .to_string()
+            .contains("varint"));
+        assert!(IndexedError::Io(io::Error::other("y"))
+            .to_string()
+            .contains("I/O"));
+    }
+}

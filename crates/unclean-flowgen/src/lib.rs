@@ -18,7 +18,10 @@
 //! * [`faults`] — seeded drop/duplicate/corrupt fault injection, for
 //!   proving the analyses degrade gracefully under real telemetry loss;
 //! * [`archive`] — framed on-disk spooling of V5 export streams with
-//!   sequence-gap accounting on replay.
+//!   sequence-gap accounting on replay (the v1 format);
+//! * [`indexed`] — archive format v2: per-day CRC'd segments of varint
+//!   delta-compressed datagrams behind a footer index, zero-copy segment
+//!   cursors, and executor-parallel replay with per-segment quarantine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ pub mod archive;
 pub mod collector;
 pub mod faults;
 pub mod generator;
+pub mod indexed;
 pub mod record;
 pub mod session;
 
@@ -34,6 +38,10 @@ pub use archive::{ArchiveError, ArchiveReader, ArchiveTelemetry, ArchiveWriter};
 pub use collector::{CandidateCollector, FlowStore, SrcEvidence};
 pub use faults::{FaultConfig, FaultInjector, FaultStats};
 pub use generator::{FlowGenerator, GeneratorConfig};
+pub use indexed::{
+    ArchiveIndex, FlowArchive, FlowView, IndexedArchive, IndexedArchiveWriter, IndexedError,
+    QuarantinedSegment, Replay, SegmentCursor, SegmentInfo, SegmentOutput, SegmentReader,
+};
 pub use record::{
     decode_datagram, encode_datagram, DecodeError, V5Header, V5Record, V5_HEADER_LEN,
     V5_MAX_RECORDS, V5_RECORD_LEN,

@@ -128,6 +128,8 @@ pub enum DecodeError {
     BadVersion(u16),
     /// Record count outside 1..=30 or inconsistent with the payload size.
     BadCount(u16),
+    /// A varint ran past 10 bytes or overflowed 64 bits (v2 framing).
+    BadVarint,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -138,6 +140,7 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::BadVersion(v) => write!(f, "not a NetFlow V5 datagram (version {v})"),
             DecodeError::BadCount(c) => write!(f, "invalid record count {c}"),
+            DecodeError::BadVarint => write!(f, "malformed varint"),
         }
     }
 }
@@ -273,6 +276,271 @@ pub fn decode_datagram(mut data: &[u8]) -> Result<(V5Header, Vec<V5Record>), Dec
     Ok((header, records))
 }
 
+/// Append `v` as an LEB128 varint (7 bits per byte, high bit = continue).
+#[inline]
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint from `data` at `*pos`, advancing `*pos`.
+#[inline]
+pub fn get_uvarint(data: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    // Single-byte fast path: the dominant case for delta-encoded fields.
+    if let Some(&byte) = data.get(*pos) {
+        if byte & 0x80 == 0 {
+            *pos += 1;
+            return Ok(u64::from(byte));
+        }
+    }
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = data.get(*pos) else {
+            return Err(DecodeError::Truncated {
+                needed: *pos + 1,
+                got: data.len(),
+            });
+        };
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(DecodeError::BadVarint);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::BadVarint);
+        }
+    }
+}
+
+/// Zigzag-map a signed 32-bit delta so small magnitudes of either sign
+/// varint-encode short.
+#[inline]
+pub fn zigzag32(v: i32) -> u64 {
+    (((v << 1) ^ (v >> 31)) as u32) as u64
+}
+
+/// Inverse of [`zigzag32`]; errors if the value does not fit 32 bits.
+#[inline]
+pub fn unzigzag32(v: u64) -> Result<i32, DecodeError> {
+    let v = u32::try_from(v).map_err(|_| DecodeError::BadVarint)?;
+    Ok(((v >> 1) as i32) ^ -((v & 1) as i32))
+}
+
+/// Delta of `cur` against `prev` on the u32 circle, zigzagged so the
+/// common close-together case stays short and the wrap case stays exact.
+#[inline]
+fn delta32(cur: u32, prev: u32) -> u64 {
+    zigzag32(cur.wrapping_sub(prev) as i32)
+}
+
+/// Apply an encoded [`delta32`] to `prev`.
+#[inline]
+fn apply_delta32(prev: u32, encoded: u64) -> Result<u32, DecodeError> {
+    Ok(prev.wrapping_add(unzigzag32(encoded)? as u32))
+}
+
+/// Encode a header + records as a **v2 compressed datagram body** (no
+/// frame length — the segment writer prepends a varint frame).
+///
+/// Every u32 field is a zigzag varint delta against the previous record
+/// (the first record deltas against an all-zero record), which is where
+/// the compression comes from: consecutive records in a datagram share
+/// address prefixes and near-identical timestamps. `last` is carried as a
+/// delta against the record's own `first` (the flow duration). u16 fields
+/// are plain varints and u8 fields raw bytes.
+///
+/// Panics under the same preconditions as [`encode_datagram`].
+pub fn encode_datagram_v2(header: &V5Header, records: &[V5Record], out: &mut Vec<u8>) {
+    assert!(
+        !records.is_empty() && records.len() <= V5_MAX_RECORDS,
+        "V5 datagrams carry 1..=30 records, got {}",
+        records.len()
+    );
+    assert_eq!(
+        header.count as usize,
+        records.len(),
+        "header count mismatch"
+    );
+    put_uvarint(out, u64::from(header.count));
+    put_uvarint(out, u64::from(header.sys_uptime_ms));
+    put_uvarint(out, u64::from(header.unix_secs));
+    put_uvarint(out, u64::from(header.unix_nsecs));
+    put_uvarint(out, u64::from(header.flow_sequence));
+    out.push(header.engine_type);
+    out.push(header.engine_id);
+    put_uvarint(out, u64::from(header.sampling_interval));
+    let mut prev = V5Record::default();
+    for r in records {
+        put_uvarint(out, delta32(r.srcaddr, prev.srcaddr));
+        put_uvarint(out, delta32(r.dstaddr, prev.dstaddr));
+        put_uvarint(out, delta32(r.nexthop, prev.nexthop));
+        put_uvarint(out, u64::from(r.input));
+        put_uvarint(out, u64::from(r.output));
+        put_uvarint(out, delta32(r.d_pkts, prev.d_pkts));
+        put_uvarint(out, delta32(r.d_octets, prev.d_octets));
+        put_uvarint(out, delta32(r.first, prev.first));
+        put_uvarint(out, delta32(r.last, r.first));
+        put_uvarint(out, u64::from(r.srcport));
+        put_uvarint(out, u64::from(r.dstport));
+        out.push(r.tcp_flags);
+        out.push(r.prot);
+        out.push(r.tos);
+        put_uvarint(out, u64::from(r.src_as));
+        put_uvarint(out, u64::from(r.dst_as));
+        out.push(r.src_mask);
+        out.push(r.dst_mask);
+        prev = *r;
+    }
+}
+
+/// Decode the v2 datagram header at `*pos`, leaving `*pos` on the first
+/// record. Use a [`V2RecordCursor`] over the same slice to walk records.
+pub fn decode_header_v2(data: &[u8], pos: &mut usize) -> Result<V5Header, DecodeError> {
+    let count_raw = get_uvarint(data, pos)?;
+    let count = u16::try_from(count_raw).map_err(|_| DecodeError::BadCount(u16::MAX))?;
+    if count == 0 || count as usize > V5_MAX_RECORDS {
+        return Err(DecodeError::BadCount(count));
+    }
+    let read_u32 = |data: &[u8], pos: &mut usize| -> Result<u32, DecodeError> {
+        u32::try_from(get_uvarint(data, pos)?).map_err(|_| DecodeError::BadVarint)
+    };
+    let sys_uptime_ms = read_u32(data, pos)?;
+    let unix_secs = read_u32(data, pos)?;
+    let unix_nsecs = read_u32(data, pos)?;
+    let flow_sequence = read_u32(data, pos)?;
+    let (engine_type, engine_id) = match (data.get(*pos), data.get(*pos + 1)) {
+        (Some(&t), Some(&i)) => (t, i),
+        _ => {
+            return Err(DecodeError::Truncated {
+                needed: *pos + 2,
+                got: data.len(),
+            })
+        }
+    };
+    *pos += 2;
+    let sampling_interval =
+        u16::try_from(get_uvarint(data, pos)?).map_err(|_| DecodeError::BadVarint)?;
+    Ok(V5Header {
+        count,
+        sys_uptime_ms,
+        unix_secs,
+        unix_nsecs,
+        flow_sequence,
+        engine_type,
+        engine_id,
+        sampling_interval,
+    })
+}
+
+/// Zero-allocation walk over the delta-encoded records of one v2
+/// datagram. Borrows the datagram bytes; each [`V5Record`] is produced by
+/// value (it is `Copy`), so draining a datagram allocates nothing.
+#[derive(Debug)]
+pub struct V2RecordCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: u16,
+    prev: V5Record,
+}
+
+impl<'a> V2RecordCursor<'a> {
+    /// A cursor starting at `pos` (just past the header) with `count`
+    /// records ahead.
+    pub fn new(data: &'a [u8], pos: usize, count: u16) -> V2RecordCursor<'a> {
+        V2RecordCursor {
+            data,
+            pos,
+            remaining: count,
+            prev: V5Record::default(),
+        }
+    }
+
+    /// Position in the underlying slice after the records consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Records not yet decoded.
+    pub fn remaining(&self) -> u16 {
+        self.remaining
+    }
+
+    /// Decode the next record; `Ok(None)` once `count` records were read.
+    pub fn next_record(&mut self) -> Result<Option<V5Record>, DecodeError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let data = self.data;
+        let pos = &mut self.pos;
+        let u8_at = |data: &[u8], pos: &mut usize| -> Result<u8, DecodeError> {
+            let Some(&b) = data.get(*pos) else {
+                return Err(DecodeError::Truncated {
+                    needed: *pos + 1,
+                    got: data.len(),
+                });
+            };
+            *pos += 1;
+            Ok(b)
+        };
+        let u16_var = |data: &[u8], pos: &mut usize| -> Result<u16, DecodeError> {
+            u16::try_from(get_uvarint(data, pos)?).map_err(|_| DecodeError::BadVarint)
+        };
+        let srcaddr = apply_delta32(self.prev.srcaddr, get_uvarint(data, pos)?)?;
+        let dstaddr = apply_delta32(self.prev.dstaddr, get_uvarint(data, pos)?)?;
+        let nexthop = apply_delta32(self.prev.nexthop, get_uvarint(data, pos)?)?;
+        let input = u16_var(data, pos)?;
+        let output = u16_var(data, pos)?;
+        let d_pkts = apply_delta32(self.prev.d_pkts, get_uvarint(data, pos)?)?;
+        let d_octets = apply_delta32(self.prev.d_octets, get_uvarint(data, pos)?)?;
+        let first = apply_delta32(self.prev.first, get_uvarint(data, pos)?)?;
+        let last = apply_delta32(first, get_uvarint(data, pos)?)?;
+        let srcport = u16_var(data, pos)?;
+        let dstport = u16_var(data, pos)?;
+        let tcp_flags = u8_at(data, pos)?;
+        let prot = u8_at(data, pos)?;
+        let tos = u8_at(data, pos)?;
+        let src_as = u16_var(data, pos)?;
+        let dst_as = u16_var(data, pos)?;
+        let src_mask = u8_at(data, pos)?;
+        let dst_mask = u8_at(data, pos)?;
+        let record = V5Record {
+            srcaddr,
+            dstaddr,
+            nexthop,
+            input,
+            output,
+            d_pkts,
+            d_octets,
+            first,
+            last,
+            srcport,
+            dstport,
+            tcp_flags,
+            prot,
+            tos,
+            src_as,
+            dst_as,
+            src_mask,
+            dst_mask,
+        };
+        self.prev = record;
+        self.remaining -= 1;
+        Ok(Some(record))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,5 +659,173 @@ mod tests {
         assert!(DecodeError::Truncated { needed: 24, got: 3 }
             .to_string()
             .contains("24"));
+        assert!(DecodeError::BadVarint.to_string().contains("varint"));
+    }
+
+    #[test]
+    fn uvarint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_uvarint(&buf, &mut pos).expect("valid"), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn uvarint_rejects_overlong_and_truncated() {
+        // 10 continuation bytes with a high final byte overflow 64 bits.
+        let overlong = [0xffu8; 11];
+        let mut pos = 0;
+        assert_eq!(
+            get_uvarint(&overlong, &mut pos),
+            Err(DecodeError::BadVarint)
+        );
+        // A dangling continuation bit truncates.
+        let mut pos = 0;
+        assert!(matches!(
+            get_uvarint(&[0x80], &mut pos),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i32, 1, -1, 63, -64, i32::MAX, i32::MIN] {
+            assert_eq!(unzigzag32(zigzag32(v)).expect("fits"), v);
+        }
+        assert_eq!(zigzag32(0), 0);
+        assert_eq!(zigzag32(-1), 1, "small magnitudes encode short");
+        assert!(unzigzag32(u64::from(u32::MAX) + 1).is_err());
+    }
+
+    fn decode_v2(body: &[u8]) -> (V5Header, Vec<V5Record>) {
+        let mut pos = 0;
+        let header = decode_header_v2(body, &mut pos).expect("header");
+        let mut cursor = V2RecordCursor::new(body, pos, header.count);
+        let mut records = Vec::new();
+        while let Some(r) = cursor.next_record().expect("record") {
+            records.push(r);
+        }
+        assert_eq!(cursor.pos(), body.len(), "cursor consumed the body");
+        (header, records)
+    }
+
+    #[test]
+    fn v2_round_trip_typical() {
+        let recs: Vec<V5Record> = (0..30).map(record).collect();
+        let mut body = Vec::new();
+        encode_datagram_v2(&header(30), &recs, &mut body);
+        let (h, r) = decode_v2(&body);
+        assert_eq!(h, header(30));
+        assert_eq!(r, recs);
+        // Consecutive near-identical records delta-compress well below the
+        // fixed 48-byte wire records.
+        assert!(
+            body.len() < V5_HEADER_LEN + 30 * V5_RECORD_LEN * 2 / 3,
+            "compressed body {} bytes",
+            body.len()
+        );
+    }
+
+    /// The satellite regression: a 30-record datagram at worst-case field
+    /// widths. Every u32 delta alternates across the full circle (5-byte
+    /// varints everywhere), so this body is *larger* than the fixed v1
+    /// encoding — the exact shape whose frame length a u16 prefix cannot
+    /// be trusted to carry as fields grow. v2's varint frames and this
+    /// round trip are the guard.
+    #[test]
+    fn v2_round_trip_worst_case_widths() {
+        // Alternating 0 ↔ 2^31 maximizes every zigzag delta magnitude
+        // (|delta| = 2^31 → 5-byte varints), unlike 0 ↔ u32::MAX whose
+        // wrapping delta is ±1.
+        const HALF: u32 = 1 << 31;
+        let recs: Vec<V5Record> = (0..30)
+            .map(|i| {
+                let hi = i % 2 == 0;
+                V5Record {
+                    srcaddr: if hi { HALF } else { 0 },
+                    dstaddr: if hi { 0 } else { HALF },
+                    nexthop: if hi { HALF } else { 0 },
+                    input: u16::MAX,
+                    output: u16::MAX,
+                    d_pkts: if hi { HALF } else { 0 },
+                    d_octets: if hi { 0 } else { HALF },
+                    first: if hi { HALF } else { 0 },
+                    last: if hi { 0 } else { HALF },
+                    srcport: u16::MAX,
+                    dstport: u16::MAX,
+                    tcp_flags: 0xff,
+                    prot: 0xff,
+                    tos: 0xff,
+                    src_as: u16::MAX,
+                    dst_as: u16::MAX,
+                    src_mask: 32,
+                    dst_mask: 32,
+                }
+            })
+            .collect();
+        let h = V5Header {
+            count: 30,
+            sys_uptime_ms: u32::MAX,
+            unix_secs: u32::MAX,
+            unix_nsecs: u32::MAX,
+            flow_sequence: u32::MAX,
+            engine_type: u8::MAX,
+            engine_id: u8::MAX,
+            sampling_interval: u16::MAX,
+        };
+        let mut body = Vec::new();
+        encode_datagram_v2(&h, &recs, &mut body);
+        assert!(
+            body.len() > V5_HEADER_LEN + 30 * V5_RECORD_LEN,
+            "worst case ({} bytes) exceeds the fixed v1 datagram",
+            body.len()
+        );
+        let (dh, dr) = decode_v2(&body);
+        assert_eq!(dh, h);
+        assert_eq!(dr, recs);
+    }
+
+    #[test]
+    fn v2_decode_rejects_garbage() {
+        let mut body = Vec::new();
+        encode_datagram_v2(&header(2), &[record(0), record(1)], &mut body);
+        // Truncate mid-record.
+        let cut = &body[..body.len() - 4];
+        let mut pos = 0;
+        let h = decode_header_v2(cut, &mut pos).expect("header intact");
+        let mut cursor = V2RecordCursor::new(cut, pos, h.count);
+        assert!(cursor.next_record().expect("first record fits").is_some());
+        assert!(matches!(
+            cursor.next_record(),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Zero count.
+        let mut pos = 0;
+        assert_eq!(
+            decode_header_v2(&[0u8], &mut pos),
+            Err(DecodeError::BadCount(0))
+        );
+        // Count over 30.
+        let mut pos = 0;
+        assert_eq!(
+            decode_header_v2(&[31u8], &mut pos),
+            Err(DecodeError::BadCount(31))
+        );
     }
 }
