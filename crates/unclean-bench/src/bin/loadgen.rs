@@ -34,6 +34,8 @@ struct Args {
     duration: Duration,
     batch: usize,
     min_throughput: Option<f64>,
+    healthz_poll: bool,
+    max_staleness_secs: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -42,9 +44,13 @@ loadgen — load-generate against an unclean-serve daemon
 USAGE:
   loadgen (--addr HOST:PORT | --blocklist FILE) [--clients 4]
           [--duration-secs 5] [--batch 100] [--min-throughput N]
+          [--healthz-poll] [--max-staleness-secs N]
 
 --batch 1 uses GET /lookup point queries; larger batches use POST /batch.
---min-throughput N exits nonzero below N lookups/sec (the CI gate).";
+--min-throughput N exits nonzero below N lookups/sec (the CI gate).
+--healthz-poll samples GET /healthz during the run and reports the peak
+generation age; with --max-staleness-secs N it exits nonzero when any
+sample exceeds N seconds or reports degraded (the freshness gate).";
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -77,7 +83,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--min-throughput got unparseable value {v:?}"))
             })
             .transpose()?,
+        healthz_poll: argv.iter().any(|a| a == "--healthz-poll"),
+        max_staleness_secs: value("--max-staleness-secs")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--max-staleness-secs got unparseable value {v:?}"))
+            })
+            .transpose()?,
     };
+    if args.max_staleness_secs.is_some() && !args.healthz_poll {
+        return Err("--max-staleness-secs needs --healthz-poll".into());
+    }
     if args.addr.is_none() && args.blocklist.is_none() {
         return Err("need --addr HOST:PORT or --blocklist FILE".into());
     }
@@ -117,6 +133,93 @@ impl IpStream {
         self.0 = x;
         x
     }
+}
+
+/// What the staleness poller saw across the run.
+#[derive(Default)]
+struct HealthzTally {
+    samples: u64,
+    max_age_secs: u64,
+    /// Worst status observed, ranked ok < stale < degraded.
+    worst: String,
+    degraded_samples: u64,
+    error: Option<String>,
+}
+
+/// One `GET /healthz` exchange, accepting any status code (degraded
+/// answers 503 by design) — returns the raw body line.
+fn fetch_healthz(addr: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+        .map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    text.split_once("\r\n\r\n")
+        .map(|(_, body)| body.trim().to_string())
+        .ok_or_else(|| format!("torn healthz response: {text:?}"))
+}
+
+/// Sample `/healthz` every 500ms until told to stop, tracking the peak
+/// `age_secs` and the worst status word.
+fn healthz_loop(addr: &str, stop: &AtomicBool) -> HealthzTally {
+    let mut tally = HealthzTally {
+        worst: "ok".to_string(),
+        ..HealthzTally::default()
+    };
+    let rank = |s: &str| match s {
+        "ok" => 0,
+        "stale" => 1,
+        _ => 2,
+    };
+    loop {
+        match fetch_healthz(addr) {
+            Ok(body) => {
+                // Body shape: "{status} generation=G age_secs=A".
+                let status = body.split_whitespace().next().unwrap_or("").to_string();
+                let age = body
+                    .split_whitespace()
+                    .find_map(|w| w.strip_prefix("age_secs="))
+                    .and_then(|v| v.parse::<u64>().ok());
+                match age {
+                    Some(age) => {
+                        tally.samples += 1;
+                        tally.max_age_secs = tally.max_age_secs.max(age);
+                        if status == "degraded" {
+                            tally.degraded_samples += 1;
+                        }
+                        if rank(&status) > rank(&tally.worst) {
+                            tally.worst = status;
+                        }
+                    }
+                    None => {
+                        tally.error = Some(format!("healthz body lacks age_secs: {body:?}"));
+                        break;
+                    }
+                }
+            }
+            Err(e) => {
+                tally.error = Some(e);
+                break;
+            }
+        }
+        // Sleep in short slices so shutdown is prompt.
+        for _ in 0..25 {
+            if stop.load(Ordering::Relaxed) {
+                return tally;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if stop.load(Ordering::Relaxed) {
+            return tally;
+        }
+    }
+    tally
 }
 
 struct ClientTally {
@@ -228,12 +331,18 @@ fn main() -> ExitCode {
             std::thread::spawn(move || client_loop(&addr, batch, 0x9e37 + i as u32, &stop))
         })
         .collect();
+    let poller = args.healthz_poll.then(|| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || healthz_loop(&addr, &stop))
+    });
     std::thread::sleep(args.duration);
     stop.store(true, Ordering::Relaxed);
     let tallies: Vec<ClientTally> = clients
         .into_iter()
         .map(|c| c.join().expect("client thread"))
         .collect();
+    let health = poller.map(|p| p.join().expect("healthz poller"));
     let elapsed = t0.elapsed().as_secs_f64();
 
     if let Some(server) = hosted {
@@ -277,12 +386,39 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(health) = &health {
+        if let Some(e) = &health.error {
+            eprintln!("error: healthz poller failed mid-run: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  staleness:  {} healthz sample(s), peak age {}s, worst status {} \
+             ({} degraded)",
+            health.samples, health.max_age_secs, health.worst, health.degraded_samples
+        );
+    }
+
     if let Some(floor) = args.min_throughput {
         if throughput < floor {
             eprintln!("error: throughput {throughput:.0} < required {floor:.0} lookups/sec");
             return ExitCode::FAILURE;
         }
         println!("  gate:       >= {floor:.0} lookups/sec OK");
+    }
+    if let Some(bound) = args.max_staleness_secs {
+        let health = health.as_ref().expect("parse_args ties the flags together");
+        if health.samples == 0 {
+            eprintln!("error: staleness gate got zero healthz samples");
+            return ExitCode::FAILURE;
+        }
+        if health.max_age_secs > bound || health.degraded_samples > 0 {
+            eprintln!(
+                "error: staleness gate: peak generation age {}s (bound {}s), {} degraded sample(s)",
+                health.max_age_secs, bound, health.degraded_samples
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("  gate:       generation age <= {bound}s OK");
     }
     ExitCode::SUCCESS
 }

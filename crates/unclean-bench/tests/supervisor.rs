@@ -87,6 +87,8 @@ proptest! {
                 lost_flows: seed % 100,
                 sequence_gaps: seed % 7,
                 reordered: seed % 3,
+                recovered_flows: seed % 11,
+                duplicates: seed % 5,
             }),
         };
         let text = serde_json::to_string_pretty(&manifest).expect("serialize");

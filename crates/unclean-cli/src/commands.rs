@@ -694,6 +694,7 @@ pub fn serve(
     max_conns: usize,
     read_timeout_ms: u64,
     watch: bool,
+    staleness: (Option<u64>, Option<u64>),
 ) -> Result<String, String> {
     use std::io::Write as _;
     use std::time::Duration;
@@ -707,6 +708,8 @@ pub fn serve(
     config.max_conns = max_conns.max(1);
     config.read_timeout = Duration::from_millis(read_timeout_ms.max(1));
     config.watch = watch.then(|| Duration::from_secs(2));
+    config.stale_after = staleness.0.map(Duration::from_secs);
+    config.degraded_after = staleness.1.map(Duration::from_secs);
     let server = Server::start(config, registry.clone()).map_err(|e| e.to_string())?;
     println!(
         "unclean-serve listening on http://{} (blocklist: {}, generation 1)",
@@ -929,7 +932,7 @@ mod tests {
         let daemon = {
             let list = list.clone();
             let addr = addr.clone();
-            std::thread::spawn(move || serve(&list, &addr, 2, 64, 2000, false))
+            std::thread::spawn(move || serve(&list, &addr, 2, 64, 2000, false, (None, None)))
         };
         let http = |req: String| -> String {
             // The daemon may still be binding; retry the connect briefly.

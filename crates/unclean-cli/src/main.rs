@@ -15,6 +15,7 @@
 //! lines are ignored.
 
 mod commands;
+mod ingest;
 mod io;
 
 use std::path::PathBuf;
@@ -34,6 +35,15 @@ USAGE:
   unclean metrics   <telemetry.json|metrics.prom> [--assert-zero name1,name2]
   unclean serve     --blocklist <file> [--addr 127.0.0.1:7053] [--threads 4]
                     [--max-conns 1024] [--read-timeout-ms 5000] [--watch]
+                    [--stale-after-secs N] [--degraded-after-secs N]
+  unclean ingest    --spool <dir> --out <file> [--bind 127.0.0.1:9995]
+                    [--control 127.0.0.1:7055] [--rescore-ms 2000]
+                    [--ring-capacity 65536] [--shed oldest|newest] [--prefix 24]
+                    [--min-score 0] [--threads 0] [--retries 3] [--backoff-ms 200]
+                    [--deadline-secs N] [--stale-after-secs 15]
+                    [--degraded-after-secs 60]
+  unclean replay    --to <host:port> [--archive <file> | --synth 20000]
+                    [--faults none|adverse] [--seed 42] [--pace-ms 0]
 
 Report files: one IPv4 address per line; '#' comments and blanks ignored.
 Malformed lines abort the load; 'inspect --lenient' quarantines them
@@ -135,7 +145,45 @@ fn run(args: &[String]) -> Result<String, String> {
             flag_num(&rest, "--max-conns", 1024usize)?,
             flag_num(&rest, "--read-timeout-ms", 5000u64)?,
             has_flag(&rest, "--watch"),
+            (
+                flag_opt_num(&rest, "--stale-after-secs")?,
+                flag_opt_num(&rest, "--degraded-after-secs")?,
+            ),
         ),
+        "ingest" => ingest::ingest(&ingest::IngestOpts {
+            spool_dir: flag_path(&rest, "--spool")?,
+            out: flag_path(&rest, "--out")?,
+            bind: flag_str(&rest, "--bind", "127.0.0.1:9995"),
+            control: flag_str(&rest, "--control", "127.0.0.1:7055"),
+            rescore_ms: flag_num(&rest, "--rescore-ms", 2000u64)?,
+            ring_capacity: flag_num(&rest, "--ring-capacity", 65_536usize)?,
+            shed: flag_num(&rest, "--shed", unclean_flowgen::ShedPolicy::DropOldest)?,
+            prefix_len: flag_num(&rest, "--prefix", 24u8)?,
+            min_score: flag_num(&rest, "--min-score", 0.0f64)?,
+            threads: flag_num(&rest, "--threads", 0usize)?,
+            retries: flag_num(&rest, "--retries", 3u32)?,
+            backoff_ms: flag_num(&rest, "--backoff-ms", 200u64)?,
+            deadline_secs: flag_opt_num(&rest, "--deadline-secs")?,
+            stale_after_secs: flag_num(&rest, "--stale-after-secs", 15u64)?,
+            degraded_after_secs: flag_num(&rest, "--degraded-after-secs", 60u64)?,
+            boot_unix_secs: unclean_flowgen::record::EPOCH_UNIX_SECS,
+            fail_attempts: flag_num(&rest, "--fail-attempts", 0u32)?,
+        }),
+        "replay" => ingest::replay(&ingest::ReplayOpts {
+            to: flag_value(&rest, "--to")
+                .ok_or("missing required --to <host:port>")?
+                .to_string(),
+            archive: flag_value(&rest, "--archive").map(PathBuf::from),
+            synth: flag_num(&rest, "--synth", 20_000u64)?,
+            faults: match flag_str(&rest, "--faults", "none").as_str() {
+                "none" => unclean_flowgen::FaultConfig::default(),
+                "adverse" => unclean_flowgen::FaultConfig::adverse(),
+                other => return Err(format!("--faults wants none|adverse, got {other:?}")),
+            },
+            seed: flag_num(&rest, "--seed", 42u64)?,
+            pace_ms: flag_num(&rest, "--pace-ms", 0u64)?,
+            boot_unix_secs: unclean_flowgen::record::EPOCH_UNIX_SECS,
+        }),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -185,6 +233,16 @@ fn flag_num<T: std::str::FromStr>(rest: &[&String], flag: &str, default: T) -> R
         None => Ok(default),
         Some(v) => v
             .parse()
+            .map_err(|_| format!("{flag} got unparseable value {v:?}")),
+    }
+}
+
+fn flag_opt_num<T: std::str::FromStr>(rest: &[&String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(rest, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
             .map_err(|_| format!("{flag} got unparseable value {v:?}")),
     }
 }

@@ -13,13 +13,18 @@
 //! * [`phishlist`] — the provided phishing list;
 //! * [`builder`] — the full pipeline: scenario → flows → detectors →
 //!   the paper's report inventory, candidate collection, and Figure 1's
-//!   daily scanner series.
+//!   daily scanner series;
+//! * [`live`] — the ingest daemon's analysis half: window-scoped
+//!   rescoring of a spooled archive image into a scored blocklist, with
+//!   day-grouped workers so multi-segment WAL days stay bit-identical to
+//!   a sequential scan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod botmonitor;
 pub mod builder;
+pub mod live;
 pub mod phishlist;
 pub mod scan;
 pub mod spam;
@@ -29,6 +34,7 @@ pub use builder::{
     build_candidates, build_candidates_with, build_reports, build_reports_with, daily_scanners,
     daily_scanners_with, PipelineConfig, ReportSet,
 };
+pub use live::{archive_candidates, rescore_window, LiveScanConfig, WindowScan};
 pub use phishlist::phish_report;
 pub use scan::{FanoutConfig, HourlyFanoutDetector, TrwConfig, TrwDetector};
 pub use spam::{SpamConfig, SpamDetector};

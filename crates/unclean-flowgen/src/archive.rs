@@ -10,6 +10,7 @@
 use crate::record::{
     decode_datagram, encode_datagram, DecodeError, V5Header, V5Record, V5_MAX_RECORDS,
 };
+use crate::seq::{SeqObservation, SequenceTracker};
 use crate::session::Flow;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -102,9 +103,19 @@ pub struct ArchiveTelemetry {
     pub lost_flows: u64,
     /// Forward gap events (distinct runs of loss, not flows).
     pub sequence_gaps: u64,
-    /// Datagrams whose sequence number went *backwards* (reordered or
-    /// replayed export) — counted separately, never as loss.
+    /// Datagrams whose sequence number went *backwards* but still carried
+    /// new data (late arrivals repaying a booked gap) — counted
+    /// separately, never as loss.
     pub reordered: u64,
+    /// Flows re-delivered by duplicated datagrams, detected by
+    /// `first_seq`/`end_seq` overlap with already-ingested sequence space
+    /// and *withheld* — counted here exactly once, never double-ingested.
+    #[serde(default)]
+    pub duplicates: u64,
+    /// Flows that arrived late and repaid a run previously booked in
+    /// `lost_flows`; net loss is `lost_flows - recovered_flows`.
+    #[serde(default)]
+    pub recovered_flows: u64,
 }
 
 impl ArchiveTelemetry {
@@ -116,6 +127,18 @@ impl ArchiveTelemetry {
         self.lost_flows += other.lost_flows;
         self.sequence_gaps += other.sequence_gaps;
         self.reordered += other.reordered;
+        self.duplicates += other.duplicates;
+        self.recovered_flows += other.recovered_flows;
+    }
+
+    /// Apply one datagram's [`SeqObservation`] deltas (`flows` excluded —
+    /// the caller adds the admitted count once it knows it).
+    pub(crate) fn apply(&mut self, obs: &SeqObservation) {
+        self.lost_flows += obs.lost_flows;
+        self.sequence_gaps += obs.sequence_gaps;
+        self.reordered += obs.reordered;
+        self.duplicates += obs.duplicates;
+        self.recovered_flows += obs.recovered_flows;
     }
 
     /// Record this accounting onto `registry` under the same `archive.*`
@@ -128,6 +151,8 @@ impl ArchiveTelemetry {
         counters.lost_flows.add(self.lost_flows);
         counters.sequence_gaps.add(self.sequence_gaps);
         counters.reordered.add(self.reordered);
+        counters.duplicates.add(self.duplicates);
+        counters.recovered_flows.add(self.recovered_flows);
     }
 }
 
@@ -142,6 +167,8 @@ struct ArchiveCounters {
     lost_flows: Counter,
     sequence_gaps: Counter,
     reordered: Counter,
+    duplicates: Counter,
+    recovered_flows: Counter,
 }
 
 impl ArchiveCounters {
@@ -155,7 +182,18 @@ impl ArchiveCounters {
             lost_flows: registry.counter_or_standalone("archive.lost_flows"),
             sequence_gaps: registry.counter_or_standalone("archive.sequence_gaps"),
             reordered: registry.counter_or_standalone("archive.reordered"),
+            duplicates: registry.counter_or_standalone("archive.duplicates"),
+            recovered_flows: registry.counter_or_standalone("archive.recovered_flows"),
         }
+    }
+
+    /// Apply one datagram's observation deltas (all but `flows`).
+    fn apply(&self, obs: &SeqObservation) {
+        self.lost_flows.add(obs.lost_flows);
+        self.sequence_gaps.add(obs.sequence_gaps);
+        self.reordered.add(obs.reordered);
+        self.duplicates.add(obs.duplicates);
+        self.recovered_flows.add(obs.recovered_flows);
     }
 }
 
@@ -164,7 +202,7 @@ impl ArchiveCounters {
 pub struct ArchiveReader<R: Read> {
     input: R,
     boot_unix_secs: u32,
-    expected_sequence: Option<u32>,
+    tracker: SequenceTracker,
     counters: ArchiveCounters,
 }
 
@@ -205,7 +243,7 @@ impl<R: Read> ArchiveReader<R> {
         ArchiveReader {
             input,
             boot_unix_secs,
-            expected_sequence: None,
+            tracker: SequenceTracker::new(None),
             counters: ArchiveCounters::new(registry),
         }
     }
@@ -219,10 +257,14 @@ impl<R: Read> ArchiveReader<R> {
             lost_flows: self.counters.lost_flows.get(),
             sequence_gaps: self.counters.sequence_gaps.get(),
             reordered: self.counters.reordered.get(),
+            duplicates: self.counters.duplicates.get(),
+            recovered_flows: self.counters.recovered_flows.get(),
         }
     }
 
-    /// Read the next datagram's flows; `Ok(None)` at clean end-of-archive.
+    /// Read the next datagram's admitted flows; `Ok(None)` at clean
+    /// end-of-archive. A fully duplicated datagram yields an *empty*
+    /// batch: it is consumed and counted, but no flow is re-delivered.
     pub fn next_datagram(&mut self) -> Result<Option<Vec<Flow>>, ArchiveError> {
         let mut len_buf = [0u8; 2];
         match self.input.read_exact(&mut len_buf) {
@@ -234,35 +276,25 @@ impl<R: Read> ArchiveReader<R> {
         let mut buf = vec![0u8; len];
         self.input.read_exact(&mut buf).map_err(ArchiveError::Io)?;
         let (header, records) = decode_datagram(&buf).map_err(ArchiveError::Decode)?;
-        // A forward jump is loss; a *backward* jump is a reordered or
-        // replayed datagram and must not be booked as (huge, wrapped)
-        // loss. Split the u32 circle at its midpoint, the way RTP and
-        // NetFlow collectors disambiguate, and hold the high-water
-        // expectation across a reordered datagram.
-        let next = header.flow_sequence.wrapping_add(records.len() as u32);
-        match self.expected_sequence {
-            None => self.expected_sequence = Some(next),
-            Some(expected) => {
-                let delta = header.flow_sequence.wrapping_sub(expected);
-                if delta == 0 {
-                    self.expected_sequence = Some(next);
-                } else if delta <= u32::MAX / 2 {
-                    self.counters.lost_flows.add(u64::from(delta));
-                    self.counters.sequence_gaps.inc();
-                    self.expected_sequence = Some(next);
-                } else {
-                    self.counters.reordered.inc();
-                }
-            }
-        }
+        // A forward jump is loss; a *backward* jump is a late reordered
+        // arrival (repaying a booked gap — delivered) or a duplicated
+        // datagram (overlapping already-ingested sequence space —
+        // withheld). The tracker splits the u32 circle at its midpoint,
+        // the way RTP and NetFlow collectors disambiguate, and keeps the
+        // outstanding-gap book that tells the two apart.
+        let obs = self
+            .tracker
+            .observe(header.flow_sequence, records.len() as u32);
+        self.counters.apply(&obs);
         self.counters.datagrams.inc();
-        self.counters.flows.add(records.len() as u64);
-        Ok(Some(
-            records
-                .iter()
-                .map(|r| Flow::from_v5(r, self.boot_unix_secs))
-                .collect(),
-        ))
+        let flows: Vec<Flow> = records
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| obs.admit.admits(*k as u32))
+            .map(|(_, r)| Flow::from_v5(r, self.boot_unix_secs))
+            .collect();
+        self.counters.flows.add(flows.len() as u64);
+        Ok(Some(flows))
     }
 
     /// Drain the whole archive into a vector.
@@ -391,11 +423,37 @@ mod tests {
         assert_eq!(flows.len(), 90, "every flow still delivered");
         let t = r.telemetry();
         assert_eq!(t.reordered, 1, "the late datagram is flagged");
-        // The jump 1→3 looks like one gap; the late arrival must not add
-        // wrapped loss on top.
+        // The jump 1→3 looks like one gap; the late arrival repays it
+        // (recovered) rather than adding wrapped loss on top.
         assert_eq!(t.sequence_gaps, 1);
         assert_eq!(t.lost_flows, 30);
+        assert_eq!(t.recovered_flows, 30, "the gap was repaid in full");
+        assert_eq!(t.duplicates, 0, "a reorder is not a duplicate");
         assert!(t.lost_flows < 100, "no wrapped u32 catastrophe");
+    }
+
+    #[test]
+    fn duplicated_datagram_is_withheld_and_counted_once() {
+        // Deliver 1,2,2,3: the re-sent datagram 2 overlaps sequence space
+        // already ingested and must not double-deliver its flows.
+        let bytes = write_archive(90); // 3 datagrams of 30
+        let dg_len = 2 + V5_HEADER_LEN + 30 * V5_RECORD_LEN;
+        let mut duped = Vec::new();
+        duped.extend_from_slice(&bytes[..2 * dg_len]); // datagrams 1, 2
+        duped.extend_from_slice(&bytes[dg_len..2 * dg_len]); // datagram 2 again
+        duped.extend_from_slice(&bytes[2 * dg_len..]); // datagram 3
+        let mut r = ArchiveReader::new(duped.as_slice(), boot());
+        let flows = r.read_all().expect("well-formed");
+        assert_eq!(flows.len(), 90, "each flow ingested exactly once");
+        for (i, f) in flows.iter().enumerate() {
+            assert_eq!(*f, flow(i as u32));
+        }
+        let t = r.telemetry();
+        assert_eq!(t.duplicates, 30, "the re-sent datagram's flows, once");
+        assert_eq!(t.reordered, 0, "a duplicate is not a reorder");
+        assert_eq!(t.lost_flows, 0);
+        assert_eq!(t.flows, 90, "flows counts deliveries, not arrivals");
+        assert_eq!(t.datagrams, 4, "the duplicate frame was still read");
     }
 
     #[test]
@@ -436,6 +494,8 @@ mod tests {
         assert_eq!(snap.counters["archive.lost_flows"], t.lost_flows);
         assert_eq!(snap.counters["archive.sequence_gaps"], t.sequence_gaps);
         assert_eq!(snap.counters["archive.reordered"], t.reordered);
+        assert_eq!(snap.counters["archive.duplicates"], t.duplicates);
+        assert_eq!(snap.counters["archive.recovered_flows"], t.recovered_flows);
         assert_eq!(t.lost_flows, 30);
         assert_eq!(t.sequence_gaps, 1);
     }

@@ -46,6 +46,12 @@ pub struct FaultConfig {
     /// Probability the flow's export datagram is truncated mid-record,
     /// losing the flow.
     pub truncate_chance: f64,
+    /// Probability a whole *encoded export datagram* is delivered twice
+    /// on the wire ([`FaultInjector::apply_datagram`]) — a retransmitted
+    /// UDP export, the fault a collector must detect by
+    /// `first_seq`/`end_seq` overlap rather than double-ingest.
+    #[serde(default)]
+    pub dup_datagram_chance: f64,
 }
 
 impl Default for FaultConfig {
@@ -57,6 +63,7 @@ impl Default for FaultConfig {
             burst_chance: 0.0,
             burst_len: 8,
             truncate_chance: 0.0,
+            dup_datagram_chance: 0.0,
         }
     }
 }
@@ -73,6 +80,7 @@ impl FaultConfig {
             burst_chance: 0.005,
             burst_len: 8,
             truncate_chance: 0.05,
+            dup_datagram_chance: 0.05,
         }
     }
 }
@@ -92,6 +100,10 @@ pub struct FaultStats {
     pub burst_dropped: u64,
     /// Flows lost to datagram truncation.
     pub truncated: u64,
+    /// Whole export datagrams delivered twice by
+    /// [`FaultInjector::apply_datagram`].
+    #[serde(default)]
+    pub duplicated_datagrams: u64,
 }
 
 /// Registry counters mirroring [`FaultStats`], all disabled by default.
@@ -103,6 +115,7 @@ struct FaultCounters {
     corrupted: Counter,
     burst_dropped: Counter,
     truncated: Counter,
+    duplicated_datagrams: Counter,
 }
 
 /// A seeded fault injector over flows.
@@ -113,6 +126,7 @@ pub struct FaultInjector {
     stats: FaultStats,
     counters: FaultCounters,
     counter: u32,
+    datagram_counter: u32,
     burst_remaining: u32,
 }
 
@@ -126,6 +140,7 @@ impl FaultInjector {
             config.corrupt_chance,
             config.burst_chance,
             config.truncate_chance,
+            config.dup_datagram_chance,
         ] {
             assert!(
                 (0.0..=1.0).contains(&p),
@@ -142,6 +157,7 @@ impl FaultInjector {
             stats: FaultStats::default(),
             counters: FaultCounters::default(),
             counter: 0,
+            datagram_counter: 0,
             burst_remaining: 0,
         }
     }
@@ -158,6 +174,7 @@ impl FaultInjector {
             corrupted: registry.counter("faults.corrupted"),
             burst_dropped: registry.counter("faults.burst_dropped"),
             truncated: registry.counter("faults.truncated"),
+            duplicated_datagrams: registry.counter("faults.duplicated_datagrams"),
         };
     }
 
@@ -223,6 +240,30 @@ impl FaultInjector {
             self.stats.duplicated += 1;
             self.counters.duplicated.inc();
             sink(delivered);
+        }
+    }
+
+    /// Pass one *encoded export datagram* through the datagram-level fault
+    /// model: with [`FaultConfig::dup_datagram_chance`] the whole wire
+    /// image is delivered twice — the retransmitted-export fault whose
+    /// `first_seq`/`end_seq` overlap a collector's sequence accounting
+    /// must catch (and withhold) instead of double-ingesting. Uses its
+    /// own nonce stream, so interleaving it with [`FaultInjector::apply`]
+    /// never perturbs the flow-level fault pattern.
+    pub fn apply_datagram(&mut self, wire: &[u8], mut sink: impl FnMut(&[u8])) {
+        self.datagram_counter = self.datagram_counter.wrapping_add(1);
+        let n = self.datagram_counter;
+        sink(wire);
+        if decides(
+            &self.seeds,
+            n,
+            1,
+            "fault-dup-datagram",
+            self.config.dup_datagram_chance,
+        ) {
+            self.stats.duplicated_datagrams += 1;
+            self.counters.duplicated_datagrams.inc();
+            sink(wire);
         }
     }
 }
@@ -467,6 +508,39 @@ mod tests {
         assert_eq!(snap.counters["faults.burst_dropped"], stats.burst_dropped);
         assert_eq!(snap.counters["faults.truncated"], stats.truncated);
         assert!(stats.dropped > 0, "adverse preset actually drops");
+    }
+
+    #[test]
+    fn datagram_duplication_delivers_whole_datagrams_twice() {
+        let cfg = FaultConfig {
+            dup_datagram_chance: 0.25,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg, SeedTree::new(7));
+        let mut delivered = 0u64;
+        let wire = [0u8; 72];
+        for _ in 0..8_000 {
+            inj.apply_datagram(&wire, |w| {
+                assert_eq!(w, wire);
+                delivered += 1;
+            });
+        }
+        let stats = inj.stats();
+        assert_eq!(delivered, 8_000 + stats.duplicated_datagrams);
+        let rate = stats.duplicated_datagrams as f64 / 8_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "dup-datagram rate {rate}");
+        // The datagram lane must not consume the flow lane's nonces: the
+        // flow-level pattern with and without interleaved datagram faults
+        // is identical.
+        let mut plain = FaultInjector::new(FaultConfig::adverse(), SeedTree::new(3));
+        let mut mixed = FaultInjector::new(FaultConfig::adverse(), SeedTree::new(3));
+        let (mut out_plain, mut out_mixed) = (Vec::new(), Vec::new());
+        for i in 0..2_000 {
+            plain.apply(&flow(i), |f| out_plain.push(f));
+            mixed.apply_datagram(&wire, |_| {});
+            mixed.apply(&flow(i), |f| out_mixed.push(f));
+        }
+        assert_eq!(out_plain, out_mixed);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::record::{
     decode_header_v2, encode_datagram_v2, get_uvarint, put_uvarint, unzigzag32, zigzag32,
     DecodeError, V2RecordCursor, V5Header, V5Record, V5_MAX_RECORDS,
 };
+use crate::seq::{Admit, SequenceTracker};
 use crate::session::Flow;
 use crossbeam::executor::Executor;
 use serde::{Deserialize, Serialize};
@@ -246,6 +247,27 @@ impl ArchiveIndex {
         (0..self.segments.len())
             .filter(|&i| range.is_none_or(|r| r.contains(self.segments[i].day)))
             .collect()
+    }
+
+    /// Append this index's footer and trailer to `data`, turning a raw
+    /// segment data region (segment offsets tiling `data` exactly from 0)
+    /// into a complete v2 archive image that [`IndexedArchive::open`]
+    /// accepts. The WAL spooler's recovery path uses this to replay its
+    /// sealed prefix through the ordinary indexed readers.
+    pub fn seal_image(&self, data: &mut Vec<u8>) {
+        debug_assert_eq!(
+            self.segments.iter().map(|s| s.len).sum::<u64>(),
+            data.len() as u64,
+            "index must tile the data region exactly"
+        );
+        let mut footer = Vec::new();
+        self.encode_footer(&mut footer);
+        data.extend_from_slice(&footer);
+        let mut trailer = [0u8; TRAILER_LEN];
+        trailer[..4].copy_from_slice(&(footer.len() as u32).to_le_bytes());
+        trailer[4] = ARCHIVE_VERSION;
+        trailer[5..].copy_from_slice(ARCHIVE_MAGIC);
+        data.extend_from_slice(&trailer);
     }
 
     fn encode_footer(&self, out: &mut Vec<u8>) {
@@ -507,6 +529,8 @@ pub struct FlowView<'a> {
     header: V5Header,
     records: V2RecordCursor<'a>,
     boot_unix_secs: u32,
+    admit: Admit,
+    next_index: u32,
 }
 
 impl FlowView<'_> {
@@ -515,12 +539,18 @@ impl FlowView<'_> {
         &self.header
     }
 
-    /// Decode the next flow; `Ok(None)` when the datagram is drained.
+    /// Decode the next *admitted* flow; `Ok(None)` when the datagram is
+    /// drained. Records withheld as duplicates are decoded past, never
+    /// yielded.
     pub fn try_next(&mut self) -> Result<Option<Flow>, IndexedError> {
-        Ok(self
-            .records
-            .next_record()?
-            .map(|r| Flow::from_v5(&r, self.boot_unix_secs)))
+        while let Some(r) = self.records.next_record()? {
+            let k = self.next_index;
+            self.next_index += 1;
+            if self.admit.admits(k) {
+                return Ok(Some(Flow::from_v5(&r, self.boot_unix_secs)));
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -541,7 +571,7 @@ pub struct SegmentCursor<'a> {
     data: &'a [u8],
     pos: usize,
     boot_unix_secs: u32,
-    expected_sequence: Option<u32>,
+    tracker: SequenceTracker,
     telemetry: ArchiveTelemetry,
 }
 
@@ -560,7 +590,7 @@ impl<'a> SegmentCursor<'a> {
             data,
             pos: 0,
             boot_unix_secs,
-            expected_sequence: entry_sequence,
+            tracker: SequenceTracker::new(entry_sequence),
             telemetry: ArchiveTelemetry::default(),
         }
     }
@@ -587,30 +617,22 @@ impl<'a> SegmentCursor<'a> {
         self.pos = end;
         let mut bpos = 0;
         let header = decode_header_v2(body, &mut bpos)?;
-        // Same circle-splitting gap/reorder disambiguation as the v1
-        // reader: forward jumps are loss, backward jumps are reorders.
-        let next = header.flow_sequence.wrapping_add(u32::from(header.count));
-        match self.expected_sequence {
-            None => self.expected_sequence = Some(next),
-            Some(expected) => {
-                let delta = header.flow_sequence.wrapping_sub(expected);
-                if delta == 0 {
-                    self.expected_sequence = Some(next);
-                } else if delta <= u32::MAX / 2 {
-                    self.telemetry.lost_flows += u64::from(delta);
-                    self.telemetry.sequence_gaps += 1;
-                    self.expected_sequence = Some(next);
-                } else {
-                    self.telemetry.reordered += 1;
-                }
-            }
-        }
+        // Same circle-splitting gap/reorder/duplicate disambiguation as
+        // the v1 reader: forward jumps are loss, backward jumps are
+        // classified against the outstanding-gap book — late arrivals
+        // deliver (recovered), re-deliveries are withheld (duplicates).
+        let obs = self
+            .tracker
+            .observe(header.flow_sequence, u32::from(header.count));
+        self.telemetry.apply(&obs);
         self.telemetry.datagrams += 1;
-        self.telemetry.flows += u64::from(header.count);
+        self.telemetry.flows += u64::from(obs.admit.admitted(u32::from(header.count)));
         Ok(Some(FlowView {
             header,
             records: V2RecordCursor::new(body, bpos, header.count),
             boot_unix_secs: self.boot_unix_secs,
+            admit: obs.admit,
+            next_index: 0,
         }))
     }
 

@@ -32,7 +32,10 @@ pub mod faults;
 pub mod generator;
 pub mod indexed;
 pub mod record;
+pub mod seq;
 pub mod session;
+pub mod source;
+pub mod spool;
 
 pub use archive::{ArchiveError, ArchiveReader, ArchiveTelemetry, ArchiveWriter};
 pub use collector::{CandidateCollector, FlowStore, SrcEvidence};
@@ -46,4 +49,10 @@ pub use record::{
     decode_datagram, encode_datagram, DecodeError, V5Header, V5Record, V5_HEADER_LEN,
     V5_MAX_RECORDS, V5_RECORD_LEN,
 };
+pub use seq::{Admit, SeqObservation, SequenceTracker};
 pub use session::Flow;
+pub use source::{
+    ArchiveFlowSource, BatchStatus, FlowRing, FlowSource, RingTelemetry, ShedPolicy,
+    SourceCheckpoint, SourceError, UdpFlowSource, UdpSourceConfig,
+};
+pub use spool::{RecoveryReport, SpoolError, WalCheckpoint, WalSpool};

@@ -1,0 +1,367 @@
+//! Shared V5 sequence-number accounting.
+//!
+//! Every collector-side reader — the v1 [`crate::ArchiveReader`], the v2
+//! [`crate::indexed::SegmentCursor`], and the live UDP source — faces the
+//! same question per datagram: given the export header's `flow_sequence`
+//! and record count, is this datagram *fresh*, a *gap* (loss), a *late
+//! reordered arrival* repaying a booked gap, or a *duplicate* re-delivery
+//! of records already ingested? Getting the last two confused either
+//! double-ingests flows (duplicates treated as reorders) or silently
+//! discards real data (reorders treated as duplicates).
+//!
+//! [`SequenceTracker`] resolves it by remembering the *outstanding gaps*:
+//! the runs of sequence space booked as lost. A backward datagram is
+//! classified record-by-record against those gaps — records falling in a
+//! gap are recovered (the loss is repaid in `recovered_flows`), records
+//! outside every gap were already delivered and are counted in
+//! `duplicates` and withheld from the sink. The accounting identity every
+//! reader then satisfies is:
+//!
+//! ```text
+//! unique records sent = flows delivered + lost_flows − recovered_flows
+//! ```
+//!
+//! with `duplicates` counting the withheld re-deliveries on the side —
+//! no flow is ever counted twice and none disappears silently.
+
+/// Ceiling on remembered gaps. Beyond it the oldest gap is forgotten:
+/// a datagram that would have repaid it is then (conservatively) booked
+/// as a duplicate and withheld, which can under-deliver but never
+/// double-ingests. 512 distinct outstanding loss runs is far beyond any
+/// realistic reorder horizon.
+const MAX_GAPS: usize = 512;
+
+/// One outstanding run of sequence space booked as lost: `[start,
+/// start + len)` in u32 circle arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Gap {
+    start: u32,
+    len: u32,
+}
+
+/// Which records of a datagram the reader should deliver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admit {
+    /// Every record is fresh (or repays a gap): deliver all.
+    All,
+    /// The whole datagram re-delivers already-ingested records: deliver
+    /// nothing.
+    Nothing,
+    /// A mix: deliver only record indexes inside these half-open ranges
+    /// (sorted, disjoint).
+    Ranges(Vec<(u32, u32)>),
+}
+
+impl Admit {
+    /// Whether record index `k` should be delivered.
+    pub fn admits(&self, k: u32) -> bool {
+        match self {
+            Admit::All => true,
+            Admit::Nothing => false,
+            Admit::Ranges(ranges) => ranges.iter().any(|&(lo, hi)| (lo..hi).contains(&k)),
+        }
+    }
+
+    /// How many of `count` records the filter lets through.
+    pub fn admitted(&self, count: u32) -> u32 {
+        match self {
+            Admit::All => count,
+            Admit::Nothing => 0,
+            Admit::Ranges(ranges) => ranges.iter().map(|&(lo, hi)| hi.min(count) - lo).sum(),
+        }
+    }
+}
+
+/// The per-datagram verdict: counter deltas plus the admission filter.
+/// All deltas are in *flows* except `sequence_gaps` and `reordered`,
+/// which count events, matching [`crate::ArchiveTelemetry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqObservation {
+    /// Flows newly booked as lost (a forward jump).
+    pub lost_flows: u64,
+    /// 1 when this datagram opened a new loss run.
+    pub sequence_gaps: u64,
+    /// 1 when this datagram arrived out of order but carried data.
+    pub reordered: u64,
+    /// Flows re-delivered and withheld (already ingested earlier).
+    pub duplicates: u64,
+    /// Flows that repaid a booked gap (delivered late; the matching
+    /// `lost_flows` booking is compensated by this counter).
+    pub recovered_flows: u64,
+    /// Which records to deliver.
+    pub admit: Admit,
+}
+
+impl Default for SeqObservation {
+    fn default() -> SeqObservation {
+        SeqObservation {
+            lost_flows: 0,
+            sequence_gaps: 0,
+            reordered: 0,
+            duplicates: 0,
+            recovered_flows: 0,
+            admit: Admit::All,
+        }
+    }
+}
+
+/// Sequence-gap / reorder / duplicate disambiguation with the u32 circle
+/// split at its midpoint (the RTP / NetFlow collector convention):
+/// forward jumps are loss, backward jumps are classified against the
+/// outstanding-gap list.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceTracker {
+    expected: Option<u32>,
+    gaps: Vec<Gap>,
+}
+
+impl SequenceTracker {
+    /// A tracker expecting `entry` as the next sequence number — `None`
+    /// locks onto the first datagram seen, `Some(prev end_seq)` continues
+    /// a contiguous scan.
+    pub fn new(entry: Option<u32>) -> SequenceTracker {
+        SequenceTracker {
+            expected: entry,
+            gaps: Vec::new(),
+        }
+    }
+
+    /// The next sequence number the tracker expects, once locked.
+    pub fn expected(&self) -> Option<u32> {
+        self.expected
+    }
+
+    /// Classify one datagram of `count` records starting at `first_seq`
+    /// and update the gap book. The caller applies the returned deltas to
+    /// its own counters and filters delivery through `admit`.
+    pub fn observe(&mut self, first_seq: u32, count: u32) -> SeqObservation {
+        let mut obs = SeqObservation::default();
+        let next = first_seq.wrapping_add(count);
+        let Some(expected) = self.expected else {
+            self.expected = Some(next);
+            return obs;
+        };
+        let delta = first_seq.wrapping_sub(expected);
+        if delta == 0 {
+            self.expected = Some(next);
+        } else if delta <= u32::MAX / 2 {
+            // Forward jump: a run of `delta` records never arrived (yet).
+            obs.lost_flows = u64::from(delta);
+            obs.sequence_gaps = 1;
+            self.push_gap(Gap {
+                start: expected,
+                len: delta,
+            });
+            self.expected = Some(next);
+        } else {
+            // Backward jump: late reorder, duplicate, or a mix — decided
+            // record-by-record against the outstanding gaps.
+            self.classify_backward(first_seq, count, &mut obs);
+        }
+        obs
+    }
+
+    /// Intersect the backward datagram `[first, first + count)` with the
+    /// gap book: overlapping stretches are recovered (and erased from the
+    /// book), the rest are duplicates.
+    fn classify_backward(&mut self, first: u32, count: u32, obs: &mut SeqObservation) {
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        let mut remaining: Vec<Gap> = Vec::new();
+        for gap in self.gaps.drain(..) {
+            // Gap start relative to the datagram's first record, signed
+            // across the wrap (distances are < 2^31 by construction).
+            let fwd = gap.start.wrapping_sub(first);
+            let off = if fwd <= u32::MAX / 2 {
+                i64::from(fwd)
+            } else {
+                -i64::from(first.wrapping_sub(gap.start))
+            };
+            let lo = off.max(0);
+            let hi = (off + i64::from(gap.len)).min(i64::from(count));
+            if lo >= hi {
+                remaining.push(gap);
+                continue;
+            }
+            ranges.push((lo as u32, hi as u32));
+            // Keep the unfilled slivers of the gap on the book.
+            if off < lo {
+                remaining.push(Gap {
+                    start: gap.start,
+                    len: (lo - off) as u32,
+                });
+            }
+            let gap_end = off + i64::from(gap.len);
+            if gap_end > hi {
+                remaining.push(Gap {
+                    start: first.wrapping_add(hi as u32),
+                    len: (gap_end - hi) as u32,
+                });
+            }
+        }
+        self.gaps = remaining;
+        ranges.sort_unstable();
+        let recovered: u32 = ranges.iter().map(|&(lo, hi)| hi - lo).sum();
+        obs.recovered_flows = u64::from(recovered);
+        obs.duplicates = u64::from(count - recovered);
+        if recovered == 0 {
+            obs.admit = Admit::Nothing;
+        } else {
+            obs.reordered = 1;
+            obs.admit = if recovered == count {
+                Admit::All
+            } else {
+                Admit::Ranges(ranges)
+            };
+        }
+    }
+
+    fn push_gap(&mut self, gap: Gap) {
+        if self.gaps.len() == MAX_GAPS {
+            self.gaps.remove(0);
+        }
+        self.gaps.push(gap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_is_all_fresh() {
+        let mut t = SequenceTracker::new(None);
+        for i in 0..5u32 {
+            let obs = t.observe(i * 30, 30);
+            assert_eq!(obs, SeqObservation::default(), "datagram {i}");
+        }
+        assert_eq!(t.expected(), Some(150));
+    }
+
+    #[test]
+    fn forward_jump_books_loss_and_a_gap() {
+        let mut t = SequenceTracker::new(None);
+        t.observe(0, 30);
+        let obs = t.observe(60, 30);
+        assert_eq!(obs.lost_flows, 30);
+        assert_eq!(obs.sequence_gaps, 1);
+        assert_eq!(obs.admit, Admit::All);
+    }
+
+    #[test]
+    fn late_arrival_repays_the_gap() {
+        let mut t = SequenceTracker::new(None);
+        t.observe(0, 30);
+        t.observe(60, 30); // books [30, 60) lost
+        let obs = t.observe(30, 30); // the missing datagram shows up late
+        assert_eq!(obs.recovered_flows, 30);
+        assert_eq!(obs.duplicates, 0);
+        assert_eq!(obs.reordered, 1);
+        assert_eq!(obs.admit, Admit::All);
+        // A second copy of the same datagram is now a pure duplicate.
+        let obs = t.observe(30, 30);
+        assert_eq!(obs.duplicates, 30);
+        assert_eq!(obs.recovered_flows, 0);
+        assert_eq!(obs.reordered, 0);
+        assert_eq!(obs.admit, Admit::Nothing);
+    }
+
+    #[test]
+    fn exact_redelivery_is_a_duplicate() {
+        let mut t = SequenceTracker::new(None);
+        t.observe(0, 30);
+        let obs = t.observe(0, 30);
+        assert_eq!(obs.duplicates, 30);
+        assert_eq!(obs.admit, Admit::Nothing);
+        assert_eq!(obs.lost_flows, 0, "no wrapped-loss catastrophe");
+        // The high-water expectation is unchanged: the in-order successor
+        // is still fresh.
+        let obs = t.observe(30, 30);
+        assert_eq!(obs, SeqObservation::default());
+    }
+
+    #[test]
+    fn partial_overlap_splits_the_datagram() {
+        let mut t = SequenceTracker::new(None);
+        t.observe(0, 30);
+        t.observe(45, 30); // books [30, 45) lost
+                           // A re-sent datagram [15, 45): records 0..15 were delivered in the
+                           // first datagram, records 15..30 repay the gap.
+        let obs = t.observe(15, 30);
+        assert_eq!(obs.recovered_flows, 15);
+        assert_eq!(obs.duplicates, 15);
+        assert_eq!(obs.reordered, 1);
+        assert_eq!(obs.admit, Admit::Ranges(vec![(15, 30)]));
+        assert!(!obs.admit.admits(0) && obs.admit.admits(15) && obs.admit.admits(29));
+        assert_eq!(obs.admit.admitted(30), 15);
+        // The gap is fully repaid: replaying the same datagram again now
+        // yields pure duplicates.
+        let obs = t.observe(15, 30);
+        assert_eq!(obs.duplicates, 30);
+        assert_eq!(obs.admit, Admit::Nothing);
+    }
+
+    #[test]
+    fn gap_split_keeps_unfilled_slivers() {
+        let mut t = SequenceTracker::new(None);
+        t.observe(0, 10);
+        t.observe(100, 10); // books [10, 100) lost
+                            // Fill the middle [40, 50) of the gap.
+        let obs = t.observe(40, 10);
+        assert_eq!(obs.recovered_flows, 10);
+        // Both slivers are still on the book.
+        assert_eq!(t.observe(10, 30).recovered_flows, 30);
+        assert_eq!(t.observe(50, 50).recovered_flows, 50);
+        // Nothing outstanding now: everything backward is a duplicate.
+        assert_eq!(t.observe(40, 10).duplicates, 10);
+    }
+
+    #[test]
+    fn accounting_identity_under_loss_reorder_and_duplication() {
+        // Send datagrams 0..20 (30 records each); drop some, deliver some
+        // late, duplicate some — the identity must balance exactly.
+        let mut t = SequenceTracker::new(None);
+        let mut delivered = 0u64;
+        let mut lost = 0u64;
+        let mut recovered = 0u64;
+        let mut dups = 0u64;
+        let order: &[u32] = &[0, 1, 3, 4, 3, 2, 6, 6, 8, 9, 7, 9, 5];
+        for &i in order {
+            let obs = t.observe(i * 30, 30);
+            delivered += u64::from(obs.admit.admitted(30));
+            lost += obs.lost_flows;
+            recovered += obs.recovered_flows;
+            dups += obs.duplicates;
+        }
+        // Unique datagrams sent: 0..=9 → 300 records.
+        assert_eq!(delivered + lost - recovered, 300);
+        assert!(dups > 0, "the replayed datagrams were caught");
+    }
+
+    #[test]
+    fn wraparound_sequences_classify_correctly() {
+        let start = u32::MAX - 45;
+        let mut t = SequenceTracker::new(Some(start));
+        assert_eq!(t.observe(start, 30), SeqObservation::default());
+        // Gap straddling the wrap: [MAX-15, MAX+15 mod 2^32).
+        let obs = t.observe(start.wrapping_add(60), 30);
+        assert_eq!(obs.lost_flows, 30);
+        // Late fill straddles the wrap too.
+        let obs = t.observe(start.wrapping_add(30), 30);
+        assert_eq!(obs.recovered_flows, 30);
+        assert_eq!(obs.duplicates, 0);
+        // And a replay of the first datagram is a duplicate.
+        let obs = t.observe(start, 30);
+        assert_eq!(obs.duplicates, 30);
+    }
+
+    #[test]
+    fn gap_book_is_bounded() {
+        let mut t = SequenceTracker::new(None);
+        t.observe(0, 1);
+        // Open far more gaps than the book holds: every other record lost.
+        for i in 1..(MAX_GAPS as u32 * 2 + 10) {
+            t.observe(i * 2, 1);
+        }
+        assert!(t.gaps.len() <= MAX_GAPS);
+    }
+}

@@ -1,0 +1,752 @@
+//! The durable WAL spooler: live flows sealed into v2 indexed segments.
+//!
+//! A live collector cannot use [`crate::IndexedArchiveWriter`] directly:
+//! that format's index lives in a footer written at `finish()`, so a
+//! crash mid-day loses the *whole* spool's index. [`WalSpool`] splits the
+//! archive into its two durability domains, one file each:
+//!
+//! ```text
+//! spool-dir/
+//!   segments.dat   append-only v2 segment data (varint-framed datagrams)
+//!   index.wal      "UNCLWAL1" header, then one CRC'd record per *sealed*
+//!                  segment — appended only after segments.dat is fsynced
+//! ```
+//!
+//! The seal protocol is the WAL invariant: data fsync *then* index append
+//! *then* index fsync. An index record therefore proves its segment is
+//! durable. Recovery ([`WalSpool::open`]) replays `index.wal`, stops at
+//! the first record that is torn or whose segment bytes fail their CRC,
+//! quarantines everything past the sealed prefix into `torn_tail.bin`,
+//! and resumes writing from the last sealed `end_seq` — a flow is never
+//! double-counted and a torn tail is never silently dropped.
+//!
+//! [`WalSpool::sealed_image`] re-assembles the sealed prefix plus a
+//! synthesized footer into a byte-exact v2 archive image, so the rescore
+//! loop replays the WAL through the ordinary [`crate::IndexedArchive`]
+//! readers (CRC checks, day-range selection, parallel replay) unchanged.
+
+use crate::indexed::{crc32, ArchiveIndex, Crc32, SegmentInfo};
+use crate::record::{encode_datagram_v2, get_uvarint, put_uvarint, unzigzag32, zigzag32};
+use crate::record::{V5Header, V5Record, V5_MAX_RECORDS};
+use crate::session::Flow;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use unclean_core::Day;
+
+/// Magic leading `index.wal`.
+const WAL_MAGIC: &[u8; 8] = b"UNCLWAL1";
+
+/// Data file name inside the spool directory.
+pub const SEGMENTS_FILE: &str = "segments.dat";
+/// Index WAL file name inside the spool directory.
+pub const INDEX_FILE: &str = "index.wal";
+/// Where a recovery quarantines torn tail bytes.
+pub const TORN_TAIL_FILE: &str = "torn_tail.bin";
+
+/// Errors surfaced by the spooler.
+#[derive(Debug)]
+pub enum SpoolError {
+    /// Filesystem failure (including injected write faults / disk full).
+    Io(io::Error),
+    /// The WAL's own framing is unusable (bad magic/header).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SpoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpoolError::Io(e) => write!(f, "spool I/O error: {e}"),
+            SpoolError::Corrupt(msg) => write!(f, "spool corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpoolError {}
+
+impl From<io::Error> for SpoolError {
+    fn from(e: io::Error) -> SpoolError {
+        SpoolError::Io(e)
+    }
+}
+
+/// A durable position in the spool: everything up to here survives a
+/// crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalCheckpoint {
+    /// Sealed segments on disk.
+    pub sealed_segments: usize,
+    /// Sealed data bytes in `segments.dat`.
+    pub sealed_bytes: u64,
+    /// The sequence number the next sealed flow will carry.
+    pub end_seq: u32,
+    /// Flows inside sealed segments.
+    pub sealed_flows: u64,
+    /// Flows pushed but not yet sealed (lost if we crash now).
+    pub unsealed_flows: u64,
+}
+
+/// What [`WalSpool::open`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Intact sealed segments recovered.
+    pub sealed_segments: usize,
+    /// Flows inside them.
+    pub sealed_flows: u64,
+    /// The sequence number writing resumes from.
+    pub resumed_end_seq: u32,
+    /// Data bytes past the sealed prefix, moved to `torn_tail.bin`.
+    pub torn_tail_bytes: u64,
+    /// Trailing `index.wal` bytes discarded (a torn index append, or
+    /// records whose segment bytes failed their CRC).
+    pub torn_index_bytes: u64,
+}
+
+/// Injectable fault hook: called before every data-file write with the
+/// cumulative bytes already written and the size about to be written;
+/// returning an error aborts the write — a crash or a full disk,
+/// on demand, at byte granularity.
+pub type WriteFault = Box<dyn FnMut(u64, usize) -> io::Result<()> + Send>;
+
+/// In-progress state of the segment being written (mirrors the indexed
+/// writer's `OpenSegment`).
+#[derive(Debug)]
+struct OpenSegment {
+    day: Day,
+    start: u64,
+    datagrams: u64,
+    flows: u64,
+    first_seq: u32,
+    crc: Crc32,
+}
+
+/// The WAL-style durable spooler.
+pub struct WalSpool {
+    dir: PathBuf,
+    data: File,
+    index: File,
+    boot_unix_secs: u32,
+    pending: Vec<V5Record>,
+    sequence: u32,
+    /// Total data bytes written (sealed + unsealed).
+    offset: u64,
+    sealed: Vec<SegmentInfo>,
+    sealed_bytes: u64,
+    open: Option<OpenSegment>,
+    body: Vec<u8>,
+    frame_len: Vec<u8>,
+    written_total: u64,
+    fault: Option<WriteFault>,
+}
+
+impl std::fmt::Debug for WalSpool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalSpool")
+            .field("dir", &self.dir)
+            .field("sealed_segments", &self.sealed.len())
+            .field("sealed_bytes", &self.sealed_bytes)
+            .field("sequence", &self.sequence)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WalSpool {
+    /// Create a fresh spool in `dir` (created if missing; existing spool
+    /// files are truncated).
+    pub fn create(dir: &Path, boot_unix_secs: u32) -> Result<WalSpool, SpoolError> {
+        std::fs::create_dir_all(dir)?;
+        let data = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(dir.join(SEGMENTS_FILE))?;
+        let mut index = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(dir.join(INDEX_FILE))?;
+        let mut header = Vec::with_capacity(16);
+        header.extend_from_slice(WAL_MAGIC);
+        put_uvarint(&mut header, u64::from(boot_unix_secs));
+        index.write_all(&header)?;
+        index.sync_all()?;
+        Ok(WalSpool {
+            dir: dir.to_path_buf(),
+            data,
+            index,
+            boot_unix_secs,
+            pending: Vec::with_capacity(V5_MAX_RECORDS),
+            sequence: 0,
+            offset: 0,
+            sealed: Vec::new(),
+            sealed_bytes: 0,
+            open: None,
+            body: Vec::new(),
+            frame_len: Vec::new(),
+            written_total: 0,
+            fault: None,
+        })
+    }
+
+    /// Reopen an existing spool, recovering the sealed prefix: index
+    /// records are replayed until one is torn or its segment bytes fail
+    /// their CRC; everything past the sealed prefix is quarantined into
+    /// `torn_tail.bin` and both files are truncated back to durable
+    /// state. Writing resumes from the last sealed `end_seq`.
+    pub fn open(dir: &Path) -> Result<(WalSpool, RecoveryReport), SpoolError> {
+        let index_path = dir.join(INDEX_FILE);
+        let data_path = dir.join(SEGMENTS_FILE);
+        let index_bytes = std::fs::read(&index_path)?;
+        if index_bytes.len() < WAL_MAGIC.len() || &index_bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(SpoolError::Corrupt(format!(
+                "{} lacks the WAL magic",
+                index_path.display()
+            )));
+        }
+        let mut pos = WAL_MAGIC.len();
+        let boot_unix_secs = u32::try_from(
+            get_uvarint(&index_bytes, &mut pos)
+                .map_err(|e| SpoolError::Corrupt(format!("WAL header: {e}")))?,
+        )
+        .map_err(|_| SpoolError::Corrupt("WAL boot anchor overflows u32".to_string()))?;
+
+        let mut data = OpenOptions::new().read(true).write(true).open(&data_path)?;
+        let data_len = data.metadata()?.len();
+
+        // Replay index records until one is torn, inconsistent, or its
+        // segment bytes are not durably intact.
+        let mut sealed: Vec<SegmentInfo> = Vec::new();
+        let mut expected_offset = 0u64;
+        let mut valid_index_end = pos;
+        let mut segment_buf = Vec::new();
+        while let Some(info) = parse_index_record(&index_bytes, &mut pos) {
+            if info.offset != expected_offset {
+                break;
+            }
+            let end = info.offset.saturating_add(info.len);
+            if end > data_len {
+                break;
+            }
+            // CRC the segment's bytes straight off disk.
+            segment_buf.resize(info.len as usize, 0);
+            data.seek(SeekFrom::Start(info.offset))?;
+            if data.read_exact(&mut segment_buf).is_err() {
+                break;
+            }
+            if crc32(&segment_buf) != info.crc {
+                break;
+            }
+            if let Some(prev) = sealed.last() {
+                if info.first_seq != prev.end_seq {
+                    break;
+                }
+            }
+            expected_offset = end;
+            valid_index_end = pos;
+            sealed.push(info);
+        }
+
+        // Quarantine whatever data lies past the sealed prefix, then
+        // truncate both files back to the durable state.
+        let sealed_bytes = expected_offset;
+        let torn_tail_bytes = data_len.saturating_sub(sealed_bytes);
+        if torn_tail_bytes > 0 {
+            let mut tail = vec![0u8; torn_tail_bytes as usize];
+            data.seek(SeekFrom::Start(sealed_bytes))?;
+            data.read_exact(&mut tail)?;
+            std::fs::write(dir.join(TORN_TAIL_FILE), &tail)?;
+        }
+        data.set_len(sealed_bytes)?;
+        data.sync_all()?;
+        let torn_index_bytes = (index_bytes.len() - valid_index_end) as u64;
+        let index = OpenOptions::new().write(true).open(&index_path)?;
+        index.set_len(valid_index_end as u64)?;
+        index.sync_all()?;
+        let mut index = index;
+        index.seek(SeekFrom::End(0))?;
+        data.seek(SeekFrom::End(0))?;
+
+        let report = RecoveryReport {
+            sealed_segments: sealed.len(),
+            sealed_flows: sealed.iter().map(|s| s.flows).sum(),
+            resumed_end_seq: sealed.last().map_or(0, |s| s.end_seq),
+            torn_tail_bytes,
+            torn_index_bytes,
+        };
+        let spool = WalSpool {
+            dir: dir.to_path_buf(),
+            data,
+            index,
+            boot_unix_secs,
+            pending: Vec::with_capacity(V5_MAX_RECORDS),
+            sequence: report.resumed_end_seq,
+            offset: sealed_bytes,
+            sealed_bytes,
+            sealed,
+            open: None,
+            body: Vec::new(),
+            frame_len: Vec::new(),
+            written_total: 0,
+            fault: None,
+        };
+        Ok((spool, report))
+    }
+
+    /// Install a fault hook on the data path (see [`WriteFault`]) — the
+    /// injectable spool writer the crash-recovery tests drive.
+    pub fn set_write_fault(&mut self, fault: WriteFault) {
+        self.fault = Some(fault);
+    }
+
+    /// The exporter boot anchor flows are encoded against.
+    pub fn boot_unix_secs(&self) -> u32 {
+        self.boot_unix_secs
+    }
+
+    /// The spool directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sealed-segment index entries, in seal order.
+    pub fn sealed_segments(&self) -> &[SegmentInfo] {
+        &self.sealed
+    }
+
+    /// Where the spool stands.
+    pub fn checkpoint(&self) -> WalCheckpoint {
+        let open_flows = self.open.as_ref().map_or(0, |o| o.flows);
+        WalCheckpoint {
+            sealed_segments: self.sealed.len(),
+            sealed_bytes: self.sealed_bytes,
+            end_seq: self.sealed.last().map_or(0, |s| s.end_seq),
+            sealed_flows: self.sealed.iter().map(|s| s.flows).sum(),
+            unsealed_flows: open_flows + self.pending.len() as u64,
+        }
+    }
+
+    fn write_data(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if let Some(fault) = self.fault.as_mut() {
+            fault(self.written_total, bytes.len())?;
+        }
+        self.data.write_all(bytes)?;
+        self.written_total += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Queue one flow. A day change seals the current segment durably;
+    /// 30 queued records flush a datagram to the data file.
+    pub fn push(&mut self, flow: &Flow) -> Result<(), SpoolError> {
+        let day = flow.day();
+        if self.open.as_ref().is_some_and(|s| s.day != day) {
+            self.seal()?;
+        }
+        if self.open.is_none() {
+            self.open = Some(OpenSegment {
+                day,
+                start: self.offset,
+                datagrams: 0,
+                flows: 0,
+                first_seq: self.sequence,
+                crc: Crc32::new(),
+            });
+        }
+        self.pending.push(flow.to_v5(self.boot_unix_secs));
+        if self.pending.len() == V5_MAX_RECORDS {
+            self.flush_datagram()?;
+        }
+        Ok(())
+    }
+
+    /// Flush any partial datagram into the open segment (data file only —
+    /// not yet durable; see [`WalSpool::seal`]).
+    pub fn flush_datagram(&mut self) -> Result<(), SpoolError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let header = V5Header {
+            count: self.pending.len() as u16,
+            sys_uptime_ms: 0,
+            unix_secs: self.boot_unix_secs,
+            unix_nsecs: 0,
+            flow_sequence: self.sequence,
+            engine_type: 0,
+            engine_id: 0,
+            sampling_interval: 0,
+        };
+        self.body.clear();
+        let pending = std::mem::take(&mut self.pending);
+        encode_datagram_v2(&header, &pending, &mut self.body);
+        self.frame_len.clear();
+        put_uvarint(&mut self.frame_len, self.body.len() as u64);
+        let frame = std::mem::take(&mut self.frame_len);
+        let body = std::mem::take(&mut self.body);
+        let write = self
+            .write_data(&frame)
+            .and_then(|()| self.write_data(&body));
+        let open = self
+            .open
+            .as_mut()
+            .expect("pending records imply an open segment");
+        if let Err(e) = write {
+            // The data file may now hold a torn frame; the segment can
+            // never seal. Recovery will quarantine it.
+            self.frame_len = frame;
+            self.body = body;
+            self.pending = pending;
+            return Err(SpoolError::Io(e));
+        }
+        open.crc.update(&frame);
+        open.crc.update(&body);
+        self.offset += (frame.len() + body.len()) as u64;
+        open.datagrams += 1;
+        open.flows += pending.len() as u64;
+        self.sequence = self.sequence.wrapping_add(pending.len() as u32);
+        self.frame_len = frame;
+        self.body = body;
+        self.pending = pending;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Seal the open segment durably: flush the partial datagram, fsync
+    /// the data file, append the segment's index record, fsync the index.
+    /// Returns the sealed entry (`None` when there was nothing to seal).
+    pub fn seal(&mut self) -> Result<Option<SegmentInfo>, SpoolError> {
+        self.flush_datagram()?;
+        let Some(open) = self.open.take() else {
+            return Ok(None);
+        };
+        if open.flows == 0 {
+            return Ok(None);
+        }
+        let info = SegmentInfo {
+            day: open.day,
+            offset: open.start,
+            len: self.offset - open.start,
+            datagrams: open.datagrams,
+            flows: open.flows,
+            first_seq: open.first_seq,
+            end_seq: self.sequence,
+            crc: open.crc.finish(),
+        };
+        // WAL invariant: the data must be durable before the index record
+        // that vouches for it exists.
+        self.data.sync_all()?;
+        let mut record = Vec::with_capacity(64);
+        encode_index_record(&info, &mut record);
+        self.index.write_all(&record)?;
+        self.index.sync_all()?;
+        self.sealed_bytes = self.offset;
+        self.sealed.push(info);
+        Ok(Some(info))
+    }
+
+    /// Assemble the sealed prefix into a complete, self-contained v2
+    /// archive image (data + synthesized footer + trailer) — byte-exact
+    /// what `IndexedArchiveWriter` would have produced for the same
+    /// flows, ready for [`crate::IndexedArchive::open`].
+    pub fn sealed_image(&self) -> Result<Vec<u8>, SpoolError> {
+        let mut file = File::open(self.dir.join(SEGMENTS_FILE))?;
+        let mut data = vec![0u8; self.sealed_bytes as usize];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut data)?;
+        let index = ArchiveIndex {
+            boot_unix_secs: self.boot_unix_secs,
+            segments: self.sealed.clone(),
+        };
+        index.seal_image(&mut data);
+        Ok(data)
+    }
+}
+
+/// Serialize one sealed-segment record: varint fields, the segment CRC,
+/// then a CRC over the record itself, all behind a varint length so a
+/// torn append is detectable.
+fn encode_index_record(info: &SegmentInfo, out: &mut Vec<u8>) {
+    let mut body = Vec::with_capacity(48);
+    put_uvarint(&mut body, zigzag32(info.day.0));
+    put_uvarint(&mut body, info.offset);
+    put_uvarint(&mut body, info.len);
+    put_uvarint(&mut body, info.datagrams);
+    put_uvarint(&mut body, info.flows);
+    put_uvarint(&mut body, u64::from(info.first_seq));
+    put_uvarint(&mut body, u64::from(info.end_seq));
+    body.extend_from_slice(&info.crc.to_le_bytes());
+    body.extend_from_slice(&crc32(&body).to_le_bytes());
+    put_uvarint(out, body.len() as u64);
+    out.extend_from_slice(&body);
+}
+
+/// Parse one index record at `*pos`; `None` when the bytes are exhausted,
+/// torn, or fail the record CRC (recovery stops there).
+fn parse_index_record(bytes: &[u8], pos: &mut usize) -> Option<SegmentInfo> {
+    if *pos == bytes.len() {
+        return None;
+    }
+    let mut p = *pos;
+    let len = get_uvarint(bytes, &mut p).ok()? as usize;
+    let body = bytes.get(p..p.checked_add(len)?)?;
+    if len < 8 {
+        return None;
+    }
+    let (fields, crc_bytes) = body.split_at(len - 4);
+    let record_crc = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc32(fields) != record_crc {
+        return None;
+    }
+    let mut fp = 0usize;
+    let day = Day(unzigzag32(get_uvarint(fields, &mut fp).ok()?).ok()?);
+    let offset = get_uvarint(fields, &mut fp).ok()?;
+    let seg_len = get_uvarint(fields, &mut fp).ok()?;
+    let datagrams = get_uvarint(fields, &mut fp).ok()?;
+    let flows = get_uvarint(fields, &mut fp).ok()?;
+    let first_seq = u32::try_from(get_uvarint(fields, &mut fp).ok()?).ok()?;
+    let end_seq = u32::try_from(get_uvarint(fields, &mut fp).ok()?).ok()?;
+    let seg_crc_bytes = fields.get(fp..fp + 4)?;
+    if fp + 4 != fields.len() {
+        return None;
+    }
+    let crc = u32::from_le_bytes([
+        seg_crc_bytes[0],
+        seg_crc_bytes[1],
+        seg_crc_bytes[2],
+        seg_crc_bytes[3],
+    ]);
+    *pos = p + len;
+    Some(SegmentInfo {
+        day,
+        offset,
+        len: seg_len,
+        datagrams,
+        flows,
+        first_seq,
+        end_seq,
+        crc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexed::{IndexedArchive, IndexedArchiveWriter};
+    use crate::record::{proto, tcp_flags, EPOCH_UNIX_SECS};
+    use unclean_core::Ip;
+
+    fn boot() -> u32 {
+        EPOCH_UNIX_SECS
+    }
+
+    fn flow(day: u32, i: u32) -> Flow {
+        Flow {
+            src: Ip(0x0901_0000 + i),
+            dst: Ip(0x1e00_0001),
+            src_port: 40_000,
+            dst_port: 445,
+            proto: proto::TCP,
+            packets: 1,
+            octets: 40,
+            flags: tcp_flags::SYN,
+            start_secs: i64::from(day) * 86_400 + i64::from(i),
+            duration_secs: 0,
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("unclean-wal-spool")
+            .join(format!("{name}-{:?}", std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sealed_image_is_byte_identical_to_indexed_writer() {
+        let dir = tmp_dir("image");
+        let mut spool = WalSpool::create(&dir, boot()).expect("create");
+        let mut reference = IndexedArchiveWriter::new(Vec::new(), boot());
+        for day in 0..3 {
+            for i in 0..77u32 {
+                let f = flow(day, i);
+                spool.push(&f).expect("push");
+                reference.push(&f).expect("push");
+            }
+        }
+        spool.seal().expect("seal");
+        let (expected, _) = reference.finish().expect("finish");
+        let image = spool.sealed_image().expect("image");
+        assert_eq!(image, expected, "WAL assembles the exact v2 image");
+        let archive = IndexedArchive::open(&image).expect("parse").expect("v2");
+        assert_eq!(archive.index().total_flows(), 231);
+    }
+
+    #[test]
+    fn reopen_resumes_from_sealed_state() {
+        let dir = tmp_dir("resume");
+        let mut spool = WalSpool::create(&dir, boot()).expect("create");
+        for i in 0..100u32 {
+            spool.push(&flow(0, i)).expect("push");
+        }
+        spool.seal().expect("seal");
+        let cp = spool.checkpoint();
+        assert_eq!(cp.sealed_flows, 100);
+        assert_eq!(cp.end_seq, 100);
+        drop(spool);
+
+        let (mut spool, report) = WalSpool::open(&dir).expect("reopen");
+        assert_eq!(report.sealed_segments, 1);
+        assert_eq!(report.sealed_flows, 100);
+        assert_eq!(report.resumed_end_seq, 100);
+        assert_eq!(report.torn_tail_bytes, 0);
+        // Resumed writes continue the sequence space with no overlap.
+        for i in 0..50u32 {
+            spool.push(&flow(1, i)).expect("push");
+        }
+        spool.seal().expect("seal");
+        let segs = spool.sealed_segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1].first_seq, 100);
+        assert_eq!(segs[1].end_seq, 150);
+        let image = spool.sealed_image().expect("image");
+        let archive = IndexedArchive::open(&image).expect("parse").expect("v2");
+        let (flows, t) = archive.read_day_range(None).expect("read");
+        assert_eq!(flows.len(), 150);
+        assert_eq!(t.lost_flows, 0);
+        assert_eq!(t.duplicates, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_quarantined_and_sealed_prefix_survives() {
+        let dir = tmp_dir("torn");
+        let mut spool = WalSpool::create(&dir, boot()).expect("create");
+        for i in 0..60u32 {
+            spool.push(&flow(0, i)).expect("push");
+        }
+        spool.seal().expect("seal");
+        let sealed_image = spool.sealed_image().expect("image");
+        // More flows spooled but never sealed — then "crash".
+        for i in 0..45u32 {
+            spool.push(&flow(1, i)).expect("push");
+        }
+        spool.flush_datagram().expect("flush");
+        drop(spool);
+
+        let (spool, report) = WalSpool::open(&dir).expect("recover");
+        assert_eq!(report.sealed_segments, 1);
+        assert_eq!(report.sealed_flows, 60);
+        assert_eq!(report.resumed_end_seq, 60);
+        assert!(report.torn_tail_bytes > 0, "unsealed day-1 bytes");
+        let tail = std::fs::read(dir.join(TORN_TAIL_FILE)).expect("quarantine file");
+        assert_eq!(tail.len() as u64, report.torn_tail_bytes);
+        // The recovered archive equals the uninterrupted sealed prefix,
+        // byte for byte.
+        assert_eq!(spool.sealed_image().expect("image"), sealed_image);
+    }
+
+    #[test]
+    fn torn_index_append_is_discarded() {
+        let dir = tmp_dir("torn-index");
+        let mut spool = WalSpool::create(&dir, boot()).expect("create");
+        for i in 0..30u32 {
+            spool.push(&flow(0, i)).expect("push");
+        }
+        spool.seal().expect("seal");
+        drop(spool);
+        // Append half an index record: a crash mid-append.
+        let mut index = OpenOptions::new()
+            .append(true)
+            .open(dir.join(INDEX_FILE))
+            .expect("open index");
+        index.write_all(&[17, 1, 2, 3]).expect("torn append");
+        drop(index);
+        let (_, report) = WalSpool::open(&dir).expect("recover");
+        assert_eq!(report.sealed_segments, 1);
+        assert_eq!(report.torn_index_bytes, 4);
+    }
+
+    #[test]
+    fn write_fault_surfaces_and_recovery_matches_uninterrupted_run() {
+        let dir = tmp_dir("fault");
+        // Uninterrupted reference: the first 90 flows, sealed.
+        let ref_dir = tmp_dir("fault-ref");
+        let mut reference = WalSpool::create(&ref_dir, boot()).expect("create");
+        for i in 0..90u32 {
+            reference.push(&flow(0, i)).expect("push");
+        }
+        reference.seal().expect("seal");
+        let reference_image = reference.sealed_image().expect("image");
+
+        let mut spool = WalSpool::create(&dir, boot()).expect("create");
+        for i in 0..90u32 {
+            spool.push(&flow(0, i)).expect("push");
+        }
+        spool.seal().expect("seal");
+        let sealed_so_far = spool.checkpoint().sealed_bytes;
+        // Fail after ~64 more data bytes: mid-segment, like a yanked disk.
+        spool.set_write_fault(Box::new(move |written, _| {
+            if written >= sealed_so_far + 64 {
+                Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+            } else {
+                Ok(())
+            }
+        }));
+        let mut failed = false;
+        for i in 0..600u32 {
+            if spool.push(&flow(0, 90 + i)).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "the injected fault fired");
+        // Sealing now must fail too (flushing the pending datagram hits
+        // the same full disk) — the error path is loud, not silent.
+        assert!(matches!(spool.seal(), Err(SpoolError::Io(_))));
+        drop(spool);
+
+        let (spool, report) = WalSpool::open(&dir).expect("recover");
+        assert_eq!(report.sealed_segments, 1);
+        assert_eq!(report.sealed_flows, 90);
+        assert!(report.torn_tail_bytes > 0, "the torn mid-segment bytes");
+        assert_eq!(
+            spool.sealed_image().expect("image"),
+            reference_image,
+            "recovered flow set == sealed prefix of an uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn recovery_rejects_flipped_data_bytes() {
+        let dir = tmp_dir("bitrot");
+        let mut spool = WalSpool::create(&dir, boot()).expect("create");
+        for day in 0..2 {
+            for i in 0..40u32 {
+                spool.push(&flow(day, i)).expect("push");
+            }
+        }
+        spool.seal().expect("seal");
+        drop(spool);
+        // Flip a byte inside the *second* sealed segment.
+        let data_path = dir.join(SEGMENTS_FILE);
+        let mut bytes = std::fs::read(&data_path).expect("read");
+        let seg2_mid = bytes.len() - 10;
+        bytes[seg2_mid] ^= 0x40;
+        std::fs::write(&data_path, &bytes).expect("write");
+        let (_, report) = WalSpool::open(&dir).expect("recover");
+        assert_eq!(
+            report.sealed_segments, 1,
+            "the damaged segment and everything after it is quarantined"
+        );
+        assert!(report.torn_tail_bytes > 0);
+        assert!(report.torn_index_bytes > 0, "its index record too");
+    }
+
+    #[test]
+    fn empty_spool_recovers_empty() {
+        let dir = tmp_dir("empty");
+        let spool = WalSpool::create(&dir, boot()).expect("create");
+        drop(spool);
+        let (spool, report) = WalSpool::open(&dir).expect("recover");
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(spool.checkpoint(), WalCheckpoint::default());
+    }
+}

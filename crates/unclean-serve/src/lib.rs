@@ -37,5 +37,5 @@ pub mod http;
 pub mod server;
 pub mod snapshot;
 
-pub use server::{ServeConfig, Server};
+pub use server::{Health, ServeConfig, Server};
 pub use snapshot::{build_snapshot, ServeError, ServingSnapshot, SnapshotStore};

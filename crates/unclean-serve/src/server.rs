@@ -15,11 +15,22 @@
 //! |---|---|
 //! | `GET /lookup?ip=a.b.c.d` | JSON: blocked?, matched CIDR, prefix length, score, generation |
 //! | `POST /batch` | newline-delimited IPs in, one text verdict per line out |
-//! | `GET /healthz` | `ok` |
+//! | `GET /healthz` | `ok\|stale\|degraded generation=G age_secs=A` |
 //! | `GET /snapshot` | JSON: generation, block count, build time, source |
 //! | `GET /metrics` | Prometheus text exposition (`unclean_serve_*`) |
 //! | `POST /reload` | rebuild the snapshot now; JSON: new generation |
 //! | `POST /quit` | graceful shutdown: drain in-flight requests, then exit |
+//!
+//! **Degraded-mode serving.** A live deployment is fed by the ingest
+//! daemon's rescore loop; if that loop stalls, the trie keeps answering
+//! from the last good generation — availability is never sacrificed to
+//! freshness. What changes is *honesty about staleness*: a watchdog
+//! thread tracks the serving generation's age as the
+//! `generation_age_secs` gauge, and `/healthz` reports `stale`
+//! (200 — a warning) past `stale_after` and `degraded` (503 — take me
+//! out of rotation) past `degraded_after`, while `/lookup` and `/batch`
+//! answer normally throughout. With no thresholds configured the
+//! daemon's health is always `ok`, as before.
 
 use crate::http::{read_request, respond, Request};
 use crate::snapshot::{build_snapshot, ServeError, ServingSnapshot, SnapshotStore};
@@ -51,6 +62,12 @@ pub struct ServeConfig {
     /// Poll interval for source-file changes (`None`: no watcher; reloads
     /// only via `POST /reload`).
     pub watch: Option<Duration>,
+    /// Generation age past which `/healthz` answers `stale` (still 200).
+    /// `None` disables staleness tracking in the health answer.
+    pub stale_after: Option<Duration>,
+    /// Generation age past which `/healthz` answers `degraded` with 503
+    /// (lookups keep working from the last good generation).
+    pub degraded_after: Option<Duration>,
 }
 
 impl ServeConfig {
@@ -64,6 +81,42 @@ impl ServeConfig {
             max_conns: 1024,
             read_timeout: Duration::from_secs(5),
             watch: None,
+            stale_after: None,
+            degraded_after: None,
+        }
+    }
+}
+
+/// The three health states `/healthz` can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Generation fresh (or staleness tracking disabled).
+    Ok,
+    /// Generation older than `stale_after`; still serving, still 200.
+    Stale,
+    /// Generation older than `degraded_after`; serving continues but
+    /// `/healthz` answers 503 so balancers rotate the instance out.
+    Degraded,
+}
+
+impl Health {
+    /// Classify a generation age against the configured thresholds.
+    pub fn of(age: Duration, stale: Option<Duration>, degraded: Option<Duration>) -> Health {
+        if degraded.is_some_and(|d| age >= d) {
+            Health::Degraded
+        } else if stale.is_some_and(|s| age >= s) {
+            Health::Stale
+        } else {
+            Health::Ok
+        }
+    }
+
+    /// The `/healthz` status word.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Stale => "stale",
+            Health::Degraded => "degraded",
         }
     }
 }
@@ -94,6 +147,7 @@ struct Metrics {
     latency_micros: Histogram,
     generation: Gauge,
     entries: Gauge,
+    generation_age_secs: Gauge,
 }
 
 impl Metrics {
@@ -120,6 +174,7 @@ impl Metrics {
             latency_micros: registry.histogram("request_micros"),
             generation: registry.gauge("snapshot.generation"),
             entries: registry.gauge("snapshot.entries"),
+            generation_age_secs: registry.gauge("generation_age_secs"),
         }
     }
 }
@@ -133,6 +188,28 @@ struct Shared {
     addr: SocketAddr,
     read_timeout: Duration,
     rebuild_lock: Mutex<()>,
+    stale_after: Option<Duration>,
+    degraded_after: Option<Duration>,
+}
+
+impl Shared {
+    /// The serving generation's age. Wall clocks can step backwards;
+    /// a future-dated build reads as age zero rather than underflowing.
+    fn generation_age(&self) -> Duration {
+        let built_ms = self.store.load().built_unix_ms;
+        let now_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        Duration::from_millis(now_ms.saturating_sub(built_ms))
+    }
+
+    /// Refresh the age gauge and classify against the thresholds.
+    fn observe_health(&self) -> (Health, Duration) {
+        let age = self.generation_age();
+        self.metrics.generation_age_secs.set(age.as_secs_f64());
+        (Health::of(age, self.stale_after, self.degraded_after), age)
+    }
 }
 
 impl Shared {
@@ -191,6 +268,8 @@ impl Server {
             addr,
             read_timeout: config.read_timeout,
             rebuild_lock: Mutex::new(()),
+            stale_after: config.stale_after,
+            degraded_after: config.degraded_after,
         });
 
         let (tx, rx) = channel::bounded::<TcpStream>(config.max_conns.max(1));
@@ -212,6 +291,17 @@ impl Server {
                 std::thread::Builder::new()
                     .name("serve-accept".to_string())
                     .spawn(move || accept_loop(&shared_a, &listener, tx))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+        {
+            // The staleness watchdog: keeps `generation_age_secs` fresh in
+            // `/metrics` even when nobody polls `/healthz`.
+            let shared_h = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-health".to_string())
+                    .spawn(move || watchdog_loop(&shared_h))
                     .map_err(ServeError::Io)?,
             );
         }
@@ -361,7 +451,18 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             metrics.healthz.inc();
-            let _ = respond(stream, 200, "OK", "text/plain", b"ok\n");
+            let (health, age) = shared.observe_health();
+            let generation = shared.store.load().generation;
+            let body = format!(
+                "{} generation={generation} age_secs={}\n",
+                health.as_str(),
+                age.as_secs()
+            );
+            let (code, reason) = match health {
+                Health::Ok | Health::Stale => (200, "OK"),
+                Health::Degraded => (503, "Service Unavailable"),
+            };
+            let _ = respond(stream, code, reason, "text/plain", body.as_bytes());
         }
         ("GET", "/lookup") => {
             metrics.lookup.inc();
@@ -533,6 +634,14 @@ fn respond_json<T: Serialize>(stream: &mut TcpStream, value: &T) {
     }
 }
 
+/// Refresh the generation-age gauge twice a second until shutdown.
+fn watchdog_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let _ = shared.observe_health();
+        std::thread::sleep(Duration::from_millis(500));
+    }
+}
+
 /// A change fingerprint for the watched source file.
 fn fingerprint(meta: &std::fs::Metadata) -> (Option<std::time::SystemTime>, u64) {
     (meta.modified().ok(), meta.len())
@@ -581,6 +690,27 @@ mod tests {
         assert!(config.max_conns >= 1);
         assert!(config.watch.is_none());
         assert_eq!(config.source, PathBuf::from("/tmp/list.txt"));
+    }
+
+    #[test]
+    fn health_classification_thresholds() {
+        let s = Duration::from_secs;
+        // No thresholds: always ok, whatever the age.
+        assert_eq!(Health::of(s(1_000_000), None, None), Health::Ok);
+        // Stale only.
+        assert_eq!(Health::of(s(5), Some(s(10)), None), Health::Ok);
+        assert_eq!(Health::of(s(10), Some(s(10)), None), Health::Stale);
+        // Both: degraded wins past its threshold.
+        assert_eq!(Health::of(s(15), Some(s(10)), Some(s(30))), Health::Stale);
+        assert_eq!(
+            Health::of(s(30), Some(s(10)), Some(s(30))),
+            Health::Degraded
+        );
+        // Degraded without stale still works.
+        assert_eq!(Health::of(s(31), None, Some(s(30))), Health::Degraded);
+        assert_eq!(Health::Ok.as_str(), "ok");
+        assert_eq!(Health::Stale.as_str(), "stale");
+        assert_eq!(Health::Degraded.as_str(), "degraded");
     }
 
     #[test]

@@ -67,7 +67,11 @@ fn endpoints_answer_over_real_sockets() {
     let addr = server.local_addr();
 
     let (status, body) = get(addr, "/healthz");
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(status, 200);
+    assert!(
+        body.starts_with("ok generation=1 age_secs="),
+        "healthz body: {body:?}"
+    );
 
     let hit = get_json(addr, "/lookup?ip=9.1.44.44");
     assert_eq!(hit.get("blocked").and_then(Value::as_bool), Some(true));
@@ -201,6 +205,65 @@ fn watcher_hot_reloads_on_file_change() {
     assert_eq!(hit.get("blocked").and_then(Value::as_bool), Some(true));
     let gone = get_json(addr, "/lookup?ip=9.1.44.44");
     assert_eq!(gone.get("blocked").and_then(Value::as_bool), Some(false));
+
+    server.shutdown();
+}
+
+/// Degraded-mode serving: with staleness thresholds set, `/healthz`
+/// walks ok → stale (200) → degraded (503) as the generation ages, the
+/// trie answers lookups throughout, and a reload snaps health back to ok.
+#[test]
+fn healthz_degrades_with_generation_age_and_recovers_on_reload() {
+    let list = scratch_list("stale", "9.1.0.0/16 # score=2.5\n");
+    let mut config = ServeConfig::new(&list);
+    config.stale_after = Some(Duration::from_millis(400));
+    config.degraded_after = Some(Duration::from_millis(1_200));
+    let server = Server::start(config, Registry::full()).expect("start");
+    let addr = server.local_addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with("ok "), "fresh boot: {body:?}");
+
+    let wait_for = |prefix: &str, want_status: u16| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (status, body) = get(addr, "/healthz");
+            if body.starts_with(prefix) {
+                assert_eq!(status, want_status, "{body}");
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "never reached {prefix:?}: {body:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+    wait_for("stale ", 200);
+    wait_for("degraded ", 503);
+
+    // Degraded ≠ down: lookups still answer from the last generation.
+    let hit = get_json(addr, "/lookup?ip=9.1.44.44");
+    assert_eq!(hit.get("blocked").and_then(Value::as_bool), Some(true));
+
+    // The age gauge is exported and past the degraded threshold.
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let exposition = prom::parse(&text).expect("prometheus parse");
+    let age: f64 = exposition
+        .find("unclean_serve_generation_age_secs")
+        .and_then(|s| s.raw_value.parse().ok())
+        .expect("age gauge exported");
+    assert!(age >= 1.2, "age gauge {age} tracks staleness");
+
+    // A fresh generation restores health immediately.
+    std::fs::write(&list, "9.1.0.0/16 # score=3.0\n10.0.0.0/8\n").expect("rewrite");
+    let (status, _) = post(addr, "/reload", b"");
+    assert_eq!(status, 200);
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with("ok generation=2 "), "recovered: {body:?}");
 
     server.shutdown();
 }

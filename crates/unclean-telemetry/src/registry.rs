@@ -199,6 +199,20 @@ impl Registry {
             .unwrap_or(0)
     }
 
+    /// The current value of a gauge (0.0 when absent or disabled) — the
+    /// counterpart of [`Registry::counter_value`] for watchdog-style
+    /// gauges such as the serving generation's age.
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        let Some(inner) = &self.inner else { return 0.0 };
+        inner
+            .gauges
+            .lock()
+            .expect("gauge map")
+            .get(name)
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+            .unwrap_or(0.0)
+    }
+
     /// Freeze the registry into a serde-able [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
         let Some(inner) = &self.inner else {
