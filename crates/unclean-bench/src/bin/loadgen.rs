@@ -36,6 +36,8 @@ struct Args {
     min_throughput: Option<f64>,
     healthz_poll: bool,
     max_staleness_secs: Option<u64>,
+    json: Option<String>,
+    trace_sample: u64,
 }
 
 const USAGE: &str = "\
@@ -44,13 +46,18 @@ loadgen — load-generate against an unclean-serve daemon
 USAGE:
   loadgen (--addr HOST:PORT | --blocklist FILE) [--clients 4]
           [--duration-secs 5] [--batch 100] [--min-throughput N]
-          [--healthz-poll] [--max-staleness-secs N]
+          [--healthz-poll] [--max-staleness-secs N] [--json PATH]
+          [--trace-sample N]
 
 --batch 1 uses GET /lookup point queries; larger batches use POST /batch.
 --min-throughput N exits nonzero below N lookups/sec (the CI gate).
 --healthz-poll samples GET /healthz during the run and reports the peak
 generation age; with --max-staleness-secs N it exits nonzero when any
-sample exceeds N seconds or reports degraded (the freshness gate).";
+sample exceeds N seconds or reports degraded (the freshness gate).
+--json PATH writes a machine-readable report (the BENCH_serve.json rows).
+--trace-sample N head-samples 1-in-N requests for stage tracing on the
+self-hosted daemon (needs --blocklist; 0 = tracing off) — the knob the
+tracing-overhead experiment sweeps.";
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -90,9 +97,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--max-staleness-secs got unparseable value {v:?}"))
             })
             .transpose()?,
+        json: value("--json").map(String::from),
+        trace_sample: num("--trace-sample", 0.0)?.max(0.0) as u64,
     };
     if args.max_staleness_secs.is_some() && !args.healthz_poll {
         return Err("--max-staleness-secs needs --healthz-poll".into());
+    }
+    if args.trace_sample > 0 && args.blocklist.is_none() {
+        return Err(
+            "--trace-sample needs --blocklist (it configures the self-hosted daemon)".into(),
+        );
     }
     if args.addr.is_none() && args.blocklist.is_none() {
         return Err("need --addr HOST:PORT or --blocklist FILE".into());
@@ -298,6 +312,7 @@ fn main() -> ExitCode {
         Some(list) => {
             let mut config = unclean_serve::ServeConfig::new(list);
             config.threads = args.clients.max(4);
+            config.trace_sample = args.trace_sample;
             match unclean_serve::Server::start(config, unclean_telemetry::Registry::full()) {
                 Ok(server) => Some(server),
                 Err(e) => {
@@ -396,6 +411,41 @@ fn main() -> ExitCode {
              ({} degraded)",
             health.samples, health.max_age_secs, health.worst, health.degraded_samples
         );
+    }
+
+    if let Some(path) = &args.json {
+        let q = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                0.0
+            } else {
+                quantile_sorted(&latencies, p)
+            }
+        };
+        let report = serde_json::json!({
+            "benchmark": "serve-loadgen",
+            "addr": addr.as_str(),
+            "self_hosted": args.blocklist.is_some(),
+            "clients": args.clients,
+            "batch": args.batch,
+            "trace_sample": args.trace_sample,
+            "duration_secs": args.duration.as_secs_f64(),
+            "elapsed_secs": elapsed,
+            "lookups": lookups,
+            "requests": requests,
+            "throughput_lookups_per_sec": throughput,
+            "latency_micros": {
+                "p50": q(0.50),
+                "p90": q(0.90),
+                "p99": q(0.99),
+                "max": latencies.last().copied().unwrap_or(0.0),
+            },
+        });
+        let body = serde_json::to_string(&report).unwrap_or_default();
+        if let Err(e) = std::fs::write(path, format!("{body}\n")) {
+            eprintln!("error: cannot write --json {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  json:       wrote {path}");
     }
 
     if let Some(floor) = args.min_throughput {

@@ -680,6 +680,18 @@ pub fn metrics(path: &Path, assert_zero: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Daemon knobs that ride along with `unclean serve` but sit off the
+/// request path: health staleness thresholds plus the trace ring,
+/// request-sampling rate, and flight-recorder cadence.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeTuning {
+    pub stale_after_secs: Option<u64>,
+    pub degraded_after_secs: Option<u64>,
+    pub trace_sample: u64,
+    pub trace_events: usize,
+    pub history_ms: u64,
+}
+
 /// `unclean serve --blocklist <file> [--addr A] [--threads N]
 /// [--max-conns N] [--read-timeout-ms N] [--watch]`: run the online
 /// blocklist query daemon until a client sends `POST /quit`.
@@ -694,7 +706,7 @@ pub fn serve(
     max_conns: usize,
     read_timeout_ms: u64,
     watch: bool,
-    staleness: (Option<u64>, Option<u64>),
+    tuning: ServeTuning,
 ) -> Result<String, String> {
     use std::io::Write as _;
     use std::time::Duration;
@@ -708,15 +720,22 @@ pub fn serve(
     config.max_conns = max_conns.max(1);
     config.read_timeout = Duration::from_millis(read_timeout_ms.max(1));
     config.watch = watch.then(|| Duration::from_secs(2));
-    config.stale_after = staleness.0.map(Duration::from_secs);
-    config.degraded_after = staleness.1.map(Duration::from_secs);
+    config.stale_after = tuning.stale_after_secs.map(Duration::from_secs);
+    config.degraded_after = tuning.degraded_after_secs.map(Duration::from_secs);
+    config.trace_sample = tuning.trace_sample;
+    config.trace_events = tuning.trace_events;
+    config.history_interval =
+        (tuning.history_ms > 0).then(|| Duration::from_millis(tuning.history_ms));
     let server = Server::start(config, registry.clone()).map_err(|e| e.to_string())?;
     println!(
         "unclean-serve listening on http://{} (blocklist: {}, generation 1)",
         server.local_addr(),
         blocklist.display()
     );
-    println!("endpoints: /lookup?ip=A.B.C.D /batch /healthz /snapshot /metrics /reload /quit");
+    println!(
+        "endpoints: /lookup?ip=A.B.C.D /batch /healthz /snapshot /metrics \
+         /metrics/history /trace /reload /quit"
+    );
     let _ = std::io::stdout().flush();
     server.wait();
     Ok(format!(
@@ -726,6 +745,263 @@ pub fn serve(
         registry.counter_value("answers.clean"),
         registry.counter_value("reload.count"),
     ))
+}
+
+/// One raw HTTP/1.0 GET round trip against a daemon control/serving
+/// port; returns the response body on any 2xx status.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("torn response from {addr}{path}: {text:?}"))?;
+    match head.split_whitespace().nth(1) {
+        Some(code) if code.starts_with('2') => Ok(body.to_string()),
+        _ => Err(format!("{addr}{path} answered: {head}")),
+    }
+}
+
+/// `unclean metrics --diff A.prom B.prom [--interval-secs S]`: what
+/// changed between two Prometheus scrapes of the same daemon. Counter
+/// series print their delta (and per-second rate when the scrape
+/// interval is given); gauge series print before → after. Series whose
+/// value did not move are suppressed.
+pub fn metrics_diff(a: &Path, b: &Path, interval_secs: Option<f64>) -> Result<String, String> {
+    use std::collections::BTreeMap;
+    use unclean_telemetry::prom;
+    let load = |path: &Path| -> Result<BTreeMap<String, f64>, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let exposition = prom::parse(&text)
+            .map_err(|e| format!("{} is not valid Prometheus text: {e}", path.display()))?;
+        let mut series = BTreeMap::new();
+        for sample in &exposition.samples {
+            let key = if sample.labels.is_empty() {
+                sample.name.clone()
+            } else {
+                let pairs: Vec<String> = sample
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect();
+                format!("{}{{{}}}", sample.name, pairs.join(","))
+            };
+            series.insert(key, sample.value);
+        }
+        Ok(series)
+    };
+    let before = load(a)?;
+    let after = load(b)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "metrics diff: {} -> {}{}",
+        a.display(),
+        b.display(),
+        interval_secs.map_or(String::new(), |s| format!(" over {s}s"))
+    );
+    let mut moved = 0usize;
+    for (key, new) in &after {
+        let old = before.get(key).copied().unwrap_or(0.0);
+        let delta = new - old;
+        if delta == 0.0 {
+            continue;
+        }
+        moved += 1;
+        match interval_secs {
+            Some(secs) if secs > 0.0 => {
+                let _ = writeln!(
+                    out,
+                    "  {key}  {old} -> {new}  (+{delta}, {:.1}/s)",
+                    delta / secs
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "  {key}  {old} -> {new}  (+{delta})");
+            }
+        }
+    }
+    for key in before.keys() {
+        if !after.contains_key(key) {
+            moved += 1;
+            let _ = writeln!(out, "  {key}  disappeared");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{moved} series moved, {} unchanged",
+        after.len().saturating_sub(moved)
+    );
+    Ok(out)
+}
+
+/// `unclean trace export <addr|events.json> [--out FILE]`: produce a
+/// Chrome/Perfetto `about:tracing` JSON trace. Given a daemon address,
+/// fetches `/trace` (already chrome-format). Given a file of raw events
+/// (`/trace?format=events` shape), converts it offline.
+pub fn trace_export(target: &str, out: Option<&Path>) -> Result<String, String> {
+    use unclean_telemetry::{chrome_trace_json, Snapshot, TraceEvent};
+    let (chrome, origin) = if Path::new(target).is_file() {
+        let text =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        if text.contains("\"traceEvents\"") {
+            (text, format!("file {target} (already chrome-format)"))
+        } else {
+            let value: serde_json::Value =
+                serde_json::from_str(&text).map_err(|e| format!("{target} is not JSON: {e}"))?;
+            let events_json = value
+                .get("events")
+                .ok_or_else(|| format!("{target} has no \"events\" key"))?;
+            let events: Vec<TraceEvent> = serde_json::from_str(
+                &serde_json::to_string(events_json).map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| format!("{target} events do not deserialize: {e}"))?;
+            let n = events.len();
+            (
+                chrome_trace_json(&Snapshot::default(), &events, "unclean"),
+                format!("file {target} ({n} raw events)"),
+            )
+        }
+    } else {
+        let body = http_get(target, "/trace")?;
+        (body, format!("daemon {target}"))
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(path, &chrome)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            Ok(format!(
+                "exported chrome trace from {origin} to {} ({} bytes); open in \
+                 chrome://tracing or https://ui.perfetto.dev\n",
+                path.display(),
+                chrome.len()
+            ))
+        }
+        None => Ok(chrome),
+    }
+}
+
+/// Unicode sparkline over a value series (empty input → empty string).
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// `unclean top <addr> [--interval-ms N] [--iterations N] [--no-clear]`:
+/// a live TTY dashboard over a daemon's `/metrics/history` flight
+/// recorder — per-counter rates with sparklines, plus the health line.
+/// Works against both `unclean serve` and the `unclean ingest` control
+/// port. `--iterations 0` runs until the daemon goes away.
+pub fn top(
+    addr: &str,
+    interval_ms: u64,
+    iterations: u64,
+    no_clear: bool,
+) -> Result<String, String> {
+    use std::io::Write as _;
+    let mut iteration = 0u64;
+    loop {
+        iteration += 1;
+        let body = http_get(addr, "/metrics/history")?;
+        let value: serde_json::Value = serde_json::from_str(&body)
+            .map_err(|e| format!("{addr}/metrics/history is not JSON: {e}"))?;
+        let samples: Vec<unclean_telemetry::HistorySample> = match value.get("samples") {
+            Some(s) => {
+                let text = serde_json::to_string(s).map_err(|e| e.to_string())?;
+                serde_json::from_str(&text)
+                    .map_err(|e| format!("samples do not deserialize: {e}"))?
+            }
+            None => Vec::new(),
+        };
+        let health = http_get(addr, "/healthz").unwrap_or_else(|e| format!("unavailable ({e})"));
+
+        let mut screen = String::new();
+        let _ = writeln!(
+            screen,
+            "unclean top — {addr}  ({} history sample(s), refresh {}ms)",
+            samples.len(),
+            interval_ms
+        );
+        let _ = writeln!(screen, "health: {}", health.trim());
+        if let Some(latest) = samples.last() {
+            // Every rate name seen anywhere in the window, so a counter
+            // that just went quiet keeps its row (and its sparkline tail).
+            let mut names: Vec<&String> = samples
+                .iter()
+                .flat_map(|s| s.rates.keys())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            // Busiest rows first; the terminal only has so many lines.
+            names.sort_by(|a, b| {
+                let ra = latest.rates.get(*a).copied().unwrap_or(0.0);
+                let rb = latest.rates.get(*b).copied().unwrap_or(0.0);
+                rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let _ = writeln!(screen, "{:<34} {:>12}  trend", "counter", "rate/s");
+            for name in names.iter().take(20) {
+                let series: Vec<f64> = samples
+                    .iter()
+                    .map(|s| s.rates.get(*name).copied().unwrap_or(0.0))
+                    .collect();
+                let tail: Vec<f64> = series.iter().rev().take(40).rev().copied().collect();
+                let _ = writeln!(
+                    screen,
+                    "{:<34} {:>12.1}  {}",
+                    name,
+                    latest.rates.get(*name).copied().unwrap_or(0.0),
+                    sparkline(&tail)
+                );
+            }
+            let mut gauges: Vec<(&String, &f64)> = latest.gauges.iter().collect();
+            gauges.truncate(10);
+            if !gauges.is_empty() {
+                let _ = writeln!(screen, "{:<34} {:>12}", "gauge", "value");
+                for (name, value) in gauges {
+                    let _ = writeln!(screen, "{:<34} {:>12.1}", name, value);
+                }
+            }
+        } else {
+            let _ = writeln!(
+                screen,
+                "(no samples yet — the recorder fills one per interval)"
+            );
+        }
+
+        let done = iterations != 0 && iteration >= iterations;
+        if done {
+            // Final frame goes through the normal return path so tests
+            // (and shell pipelines) can capture it.
+            return Ok(screen);
+        }
+        if !no_clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{screen}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
 }
 
 #[cfg(test)]
@@ -743,6 +1019,82 @@ mod tests {
         let body: String = addrs.iter().map(|a| format!("{a}\n")).collect();
         std::fs::write(&path, body).expect("write");
         path
+    }
+
+    #[test]
+    fn metrics_diff_reports_moved_series_and_rates() {
+        let dir = tmp_dir("metrics-diff");
+        let a = dir.join("a.prom");
+        let b = dir.join("b.prom");
+        std::fs::write(
+            &a,
+            "# TYPE unclean_requests counter\nunclean_requests 10\nunclean_reloads 5\n",
+        )
+        .expect("write a");
+        std::fs::write(
+            &b,
+            "# TYPE unclean_requests counter\nunclean_requests 25\nunclean_reloads 5\nunclean_drops 3\n",
+        )
+        .expect("write b");
+        let out = metrics_diff(&a, &b, Some(5.0)).expect("diff");
+        assert!(
+            out.contains("unclean_requests  10 -> 25  (+15, 3.0/s)"),
+            "{out}"
+        );
+        assert!(out.contains("unclean_drops  0 -> 3"), "{out}");
+        assert!(
+            !out.contains("unclean_reloads"),
+            "unchanged series must be suppressed: {out}"
+        );
+        // Without an interval there is no rate column.
+        let out = metrics_diff(&a, &b, None).expect("diff");
+        assert!(out.contains("(+15)"), "{out}");
+        // Garbage input is a parse error, not a panic.
+        std::fs::write(&a, "{not prometheus").expect("write");
+        assert!(metrics_diff(&a, &b, None).is_err());
+    }
+
+    #[test]
+    fn trace_export_converts_raw_events_offline() {
+        use unclean_telemetry::{TraceEvent, TraceKind};
+        let dir = tmp_dir("trace-export");
+        let events = vec![
+            TraceEvent::now(TraceKind::Publish)
+                .generation(7)
+                .dur_ns(1500),
+            TraceEvent::now(TraceKind::Lookup)
+                .generation(1)
+                .source_generation(7)
+                .dur_ns(900),
+        ];
+        let raw = dir.join("events.json");
+        std::fs::write(
+            &raw,
+            format!(
+                "{{\"events\":{}}}",
+                serde_json::to_string(&events).expect("serialize")
+            ),
+        )
+        .expect("write");
+        let out_path = dir.join("chrome.json");
+        let msg = trace_export(raw.to_str().expect("utf8"), Some(&out_path)).expect("export");
+        assert!(msg.contains("2 raw events"), "{msg}");
+        let chrome = std::fs::read_to_string(&out_path).expect("read");
+        let value: serde_json::Value = serde_json::from_str(&chrome).expect("chrome JSON");
+        let entries = value
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert!(
+            entries
+                .iter()
+                .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("publish")),
+            "{chrome}"
+        );
+        // A chrome-format file passes through unchanged; with no --out the
+        // JSON itself is the command output.
+        let through = trace_export(out_path.to_str().expect("utf8"), None).expect("passthrough");
+        assert_eq!(through, chrome);
     }
 
     #[test]
@@ -932,7 +1284,22 @@ mod tests {
         let daemon = {
             let list = list.clone();
             let addr = addr.clone();
-            std::thread::spawn(move || serve(&list, &addr, 2, 64, 2000, false, (None, None)))
+            std::thread::spawn(move || {
+                serve(
+                    &list,
+                    &addr,
+                    2,
+                    64,
+                    2000,
+                    false,
+                    ServeTuning {
+                        trace_sample: 4,
+                        trace_events: 4096,
+                        history_ms: 200,
+                        ..ServeTuning::default()
+                    },
+                )
+            })
         };
         let http = |req: String| -> String {
             // The daemon may still be binding; retry the connect briefly.
@@ -957,6 +1324,14 @@ mod tests {
         assert!(health.starts_with("HTTP/1.0 200"), "{health}");
         let hit = http("GET /lookup?ip=9.1.1.7 HTTP/1.0\r\n\r\n".into());
         assert!(hit.contains("\"blocked\":true"), "{hit}");
+        // The observability endpoints the new flags switch on.
+        let trace = http("GET /trace HTTP/1.0\r\n\r\n".into());
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        let history = http("GET /metrics/history HTTP/1.0\r\n\r\n".into());
+        assert!(history.contains("\"interval_secs\""), "{history}");
+        let metrics = http("GET /metrics HTTP/1.0\r\n\r\n".into());
+        assert!(metrics.contains("unclean_serve_build_info"), "{metrics}");
+        assert!(metrics.contains("process_start_time_seconds"), "{metrics}");
         let quit = http("POST /quit HTTP/1.0\r\nContent-Length: 0\r\n\r\n".into());
         assert!(quit.starts_with("HTTP/1.0 200"), "{quit}");
         let summary = daemon.join().expect("join").expect("serve ok");

@@ -36,7 +36,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
-use unclean_core::blocklist::render_scored;
+use unclean_core::blocklist::render_scored_with_meta;
 use unclean_core::Ip;
 use unclean_detect::{rescore_window, LiveScanConfig};
 use unclean_flowgen::record::{proto, tcp_flags, EPOCH_UNIX_SECS};
@@ -49,7 +49,20 @@ use unclean_netmodel::randutil::{decides, index_hash};
 use unclean_serve::http::{read_request, respond};
 use unclean_serve::Health;
 use unclean_stats::SeedTree;
-use unclean_telemetry::{prom, Counter, Registry};
+use unclean_telemetry::{
+    chrome_trace_json, prom, Counter, MetricsHistory, Registry, TraceEvent, TraceKind,
+};
+
+/// Compile-time build identity for `unclean_ingest_build_info` (the CI
+/// build exports `UNCLEAN_GIT_SHA`; local builds say "unreleased").
+const GIT_SHA: &str = match option_env!("UNCLEAN_GIT_SHA") {
+    Some(sha) => sha,
+    None => "unreleased",
+};
+
+/// Flight-recorder depth: at the default 2s interval this is ten minutes
+/// of metric history.
+const HISTORY_SAMPLES: usize = 300;
 
 /// Set by the SIGTERM/SIGINT handler; the ingest loop polls it and turns
 /// the signal into the same graceful drain as `POST /quit`.
@@ -114,6 +127,10 @@ pub struct IngestOpts {
     /// Fault hook: the first N attempts fail right after recovery, to
     /// exercise the supervisor (0 = disabled).
     pub fail_attempts: u32,
+    /// Trace-ring capacity in events (0 disables tracing entirely).
+    pub trace_events: usize,
+    /// Flight-recorder sampling interval in ms (0 disables `/metrics/history`).
+    pub history_ms: u64,
 }
 
 impl Default for IngestOpts {
@@ -136,6 +153,8 @@ impl Default for IngestOpts {
             degraded_after_secs: 60,
             boot_unix_secs: EPOCH_UNIX_SECS,
             fail_attempts: 0,
+            trace_events: 4096,
+            history_ms: 2_000,
         }
     }
 }
@@ -164,10 +183,19 @@ struct ControlShared {
     sealed_flows: AtomicU64,
     unsealed_flows: AtomicU64,
     end_seq: AtomicU64,
+    /// Flight recorder (None when `--history-secs 0`); scraped by the
+    /// control thread on its poll cadence.
+    history: Option<Arc<MetricsHistory>>,
+    history_interval: Duration,
 }
 
 impl ControlShared {
     fn new(opts: &IngestOpts, registry: Registry) -> ControlShared {
+        if opts.trace_events > 0 {
+            registry.install_trace(opts.trace_events);
+        }
+        let history_interval = Duration::from_millis(opts.history_ms);
+        let history = (opts.history_ms > 0).then(|| Arc::new(MetricsHistory::new(HISTORY_SAMPLES)));
         ControlShared {
             registry,
             quit: AtomicBool::new(false),
@@ -180,6 +208,8 @@ impl ControlShared {
             sealed_flows: AtomicU64::new(0),
             unsealed_flows: AtomicU64::new(0),
             end_seq: AtomicU64::new(0),
+            history,
+            history_interval,
         }
     }
 
@@ -239,7 +269,16 @@ impl ControlServer {
             std::thread::Builder::new()
                 .name("ingest-control".to_string())
                 .spawn(move || {
+                    // The flight recorder rides the accept loop's poll
+                    // cadence: no extra thread, one snapshot per interval.
+                    let mut next_sample = Instant::now();
                     while !stop.load(Ordering::SeqCst) {
+                        if let Some(history) = &shared.history {
+                            if Instant::now() >= next_sample {
+                                history.observe(now_unix_ms(), &shared.registry.snapshot());
+                                next_sample = Instant::now() + shared.history_interval;
+                            }
+                        }
                         match listener.accept() {
                             Ok((mut stream, _)) => {
                                 let _ = stream.set_nonblocking(false);
@@ -290,7 +329,13 @@ fn handle_control(stream: &mut TcpStream, shared: &ControlShared) {
         }
         ("GET", "/metrics") => {
             shared.health();
-            let text = prom::render(&shared.registry.snapshot(), "unclean_ingest");
+            let mut text = prom::render(&shared.registry.snapshot(), "unclean_ingest");
+            text.push_str(&prom::build_info(
+                "unclean_ingest",
+                env!("CARGO_PKG_VERSION"),
+                GIT_SHA,
+                shared.started_ms as f64 / 1000.0,
+            ));
             respond(
                 stream,
                 200,
@@ -299,6 +344,43 @@ fn handle_control(stream: &mut TcpStream, shared: &ControlShared) {
                 text.as_bytes(),
             )
         }
+        ("GET", "/trace") => {
+            let events = shared
+                .registry
+                .trace()
+                .map(|ring| ring.events())
+                .unwrap_or_default();
+            if request.query_param("format") == Some("events") {
+                // Same machine-readable shape as serve's `/trace?format=events`,
+                // so one lineage walker reads both daemons.
+                let body = serde_json::to_string(&events)
+                    .map(|events| format!("{{\"events\":{events}}}"))
+                    .unwrap_or_else(|_| "{\"events\":[]}".to_string());
+                respond(stream, 200, "OK", "application/json", body.as_bytes())
+            } else {
+                let body =
+                    chrome_trace_json(&shared.registry.snapshot(), &events, "unclean-ingest");
+                respond(stream, 200, "OK", "application/json", body.as_bytes())
+            }
+        }
+        ("GET", "/metrics/history") => match &shared.history {
+            Some(history) => {
+                let samples =
+                    serde_json::to_string(&history.samples()).unwrap_or_else(|_| "[]".to_string());
+                let body = format!(
+                    "{{\"interval_secs\":{},\"samples\":{samples}}}",
+                    shared.history_interval.as_secs_f64()
+                );
+                respond(stream, 200, "OK", "application/json", body.as_bytes())
+            }
+            None => respond(
+                stream,
+                404,
+                "Not Found",
+                "text/plain",
+                b"flight recorder disabled\n",
+            ),
+        },
         ("GET", "/checkpoint") => {
             let body = format!(
                 "{{\"generation\":{},\"sealed_segments\":{},\"sealed_flows\":{},\
@@ -444,18 +526,39 @@ impl Publisher {
         if !force && self.last_sealed_flows == Some(checkpoint.sealed_flows) {
             return Ok(false);
         }
+        let t0 = Instant::now();
         let image = spool
             .sealed_image()
             .map_err(|e| fail(format!("sealed image: {e}")))?;
         let scan = rescore_window(&image, None, &self.cfg, &shared.registry)
             .map_err(|e| fail(format!("rescore: {e}")))?;
-        let text = render_scored(&scan.blocklist, "unclean-ingest");
+        // Stamp the generation *into* the published file before bumping
+        // the shared counter: the header a `serve --watch` reload parses
+        // must name exactly the generation this process reports, or the
+        // cross-process lineage chain breaks at the boundary.
+        let generation = shared.generation.load(Ordering::SeqCst) + 1;
+        let published_ms = now_unix_ms();
+        let text = render_scored_with_meta(
+            &scan.blocklist,
+            "unclean-ingest",
+            &[
+                ("generation", generation.to_string()),
+                ("published_unix_ms", published_ms.to_string()),
+            ],
+        );
         atomic_publish(&self.out, text.as_bytes()).map_err(fail)?;
         self.last_sealed_flows = Some(checkpoint.sealed_flows);
-        let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
-        shared
-            .last_publish_ms
-            .store(now_unix_ms(), Ordering::SeqCst);
+        shared.generation.store(generation, Ordering::SeqCst);
+        shared.last_publish_ms.store(published_ms, Ordering::SeqCst);
+        shared.registry.trace_event(
+            TraceEvent::now(TraceKind::Publish)
+                .dur_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                .generation(generation)
+                .seq_range(0, u64::from(checkpoint.end_seq))
+                .field("networks", scan.blocklist.len())
+                .field("sealed_flows", checkpoint.sealed_flows)
+                .field("out", self.out.display()),
+        );
         shared.registry.counter("rescore.count").inc();
         shared
             .registry
@@ -500,7 +603,7 @@ pub fn ingest(opts: &IngestOpts) -> Result<String, String> {
         opts.spool_dir.display(),
         opts.out.display()
     );
-    println!("endpoints: /healthz /metrics /checkpoint /quit");
+    println!("endpoints: /healthz /metrics /metrics/history /trace /checkpoint /quit");
     let _ = std::io::stdout().flush();
 
     let started = Instant::now();
@@ -604,6 +707,7 @@ fn run_attempt(opts: &IngestOpts, shared: &ControlShared, attempt: u32) -> Resul
             None,
         )
     };
+    spool.attach_telemetry(&shared.registry);
     if let Some(report) = &recovered {
         shared.registry.counter("ingest.recoveries").inc();
         shared
@@ -654,6 +758,9 @@ fn run_attempt(opts: &IngestOpts, shared: &ControlShared, attempt: u32) -> Resul
     let mut last_rescore = Instant::now();
     let mut spooled: u64 = sync.spooled;
     let mut batch: Vec<Flow> = Vec::new();
+    // Resolve the trace ring once; the hot loop must not take the
+    // registry lock per batch.
+    let trace = shared.registry.trace();
     while !shared.stopping() {
         batch.clear();
         match source
@@ -661,10 +768,19 @@ fn run_attempt(opts: &IngestOpts, shared: &ControlShared, attempt: u32) -> Resul
             .map_err(|e| format!("source: {e}"))?
         {
             BatchStatus::Delivered(_) => {
+                let first_seq = spool.next_seq();
                 for flow in &batch {
                     spool.push(flow).map_err(|e| format!("spool: {e}"))?;
                 }
                 spooled += batch.len() as u64;
+                if let Some(ring) = &trace {
+                    ring.record(
+                        TraceEvent::now(TraceKind::IngestBatch)
+                            .seq_range(u64::from(first_seq), u64::from(spool.next_seq()))
+                            .field("flows", batch.len())
+                            .field("spooled_total", spooled),
+                    );
+                }
             }
             BatchStatus::Idle => {}
             BatchStatus::Exhausted => break,
@@ -1087,6 +1203,154 @@ mod tests {
         let (_, report) = WalSpool::open(&opts.spool_dir).expect("reopen");
         assert_eq!(report.sealed_flows, 2_000);
         assert_eq!(report.torn_tail_bytes, 0);
+    }
+
+    /// Fetch `/trace?format=events` from a daemon and deserialize.
+    fn fetch_events(addr: &str) -> Vec<unclean_telemetry::TraceEvent> {
+        let response = http(addr, "GET /trace?format=events HTTP/1.0\r\n\r\n");
+        let value: serde_json::Value =
+            serde_json::from_str(body_of(&response)).expect("trace JSON");
+        let events = value.get("events").expect("events key");
+        serde_json::from_str(&serde_json::to_string(events).expect("reserialize"))
+            .expect("events deserialize")
+    }
+
+    /// The tentpole acceptance test: one sampled `/lookup` on the serving
+    /// daemon walks back — by generation id across the process boundary,
+    /// then by WAL sequence range inside the producer — through reload →
+    /// publish → rescore → WAL seal → ingest batch.
+    #[test]
+    fn lookup_traces_back_to_ingest_batch_by_generation() {
+        let dir = tmp_dir("lineage");
+        let opts = test_opts(&dir);
+        let (bind, control) = (opts.bind.clone(), opts.control.clone());
+        let daemon = {
+            let opts = opts.clone();
+            std::thread::spawn(move || ingest(&opts))
+        };
+        let health = http(&control, "GET /healthz HTTP/1.0\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+
+        replay_with_stats(&ReplayOpts {
+            to: bind,
+            synth: 2_000,
+            pace_ms: 1,
+            ..ReplayOpts::default()
+        })
+        .expect("replay");
+
+        // Wait for a post-flow generation: a blocklist that names the
+        // scanner's /24 *and* carries lineage metadata in its header.
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            let text = std::fs::read_to_string(&opts.out).unwrap_or_default();
+            let meta = unclean_core::blocklist::parse_header_meta(&text);
+            if text.contains("9.1.0.0/24") && meta.contains_key("generation") {
+                assert!(meta.contains_key("published_unix_ms"), "{text:?}");
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "published list never carried lineage metadata: {text:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        // Serve the published file with every request sampled.
+        let mut config = unclean_serve::ServeConfig::new(&opts.out);
+        config.threads = 2;
+        config.trace_sample = 1;
+        let server = unclean_serve::Server::start(config, Registry::full()).expect("serve starts");
+        let serve_addr = server.local_addr().to_string();
+        let lookup = http(&serve_addr, "GET /lookup?ip=9.1.0.5 HTTP/1.0\r\n\r\n");
+        assert!(lookup.starts_with("HTTP/1.0 200"), "{lookup}");
+        assert!(body_of(&lookup).contains("\"blocked\":true"), "{lookup}");
+
+        // The sampled Lookup event lands just after the response bytes;
+        // poll the ring until it shows with its source generation.
+        use unclean_telemetry::TraceKind;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let (lookup_event, source_generation) = loop {
+            let events = fetch_events(&serve_addr);
+            if let Some(event) = events
+                .iter()
+                .find(|e| e.kind == TraceKind::Lookup && e.source_generation.is_some())
+            {
+                break (event.clone(), event.source_generation.expect("source gen"));
+            }
+            assert!(Instant::now() < deadline, "no sampled lookup: {events:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+
+        // Link 1 (serve): the lookup answered from a reload (here: the
+        // boot snapshot) of the same serving generation, which names the
+        // producer generation it was built from.
+        let serve_events = fetch_events(&serve_addr);
+        let reload = serve_events
+            .iter()
+            .find(|e| e.kind == TraceKind::Reload && e.generation == lookup_event.generation)
+            .expect("reload event for the serving generation");
+        assert_eq!(reload.source_generation, Some(source_generation));
+
+        // Link 2 (across processes, by generation id): the producer's
+        // Publish event for exactly that generation.
+        let ingest_events = fetch_events(&control);
+        let publish = ingest_events
+            .iter()
+            .find(|e| e.kind == TraceKind::Publish && e.generation == Some(source_generation))
+            .expect("publish event for the source generation");
+        let end_seq = publish.end_seq.expect("publish end_seq");
+        assert!(end_seq > 0, "{publish:?}");
+
+        // Link 3: a rescore ran to produce it.
+        assert!(
+            ingest_events.iter().any(|e| e.kind == TraceKind::Rescore),
+            "no rescore event: {ingest_events:?}"
+        );
+
+        // Link 4 (by WAL sequence range): a sealed segment covering the
+        // published window, and an ingest batch inside that segment.
+        let seal = ingest_events
+            .iter()
+            .find(|e| e.kind == TraceKind::WalSeal && e.end_seq == Some(end_seq))
+            .expect("wal seal event sealing the published window");
+        assert!(seal.first_seq.is_some(), "{seal:?}");
+        // The published window is the whole sealed image, [0, end_seq).
+        let batch = ingest_events
+            .iter()
+            .find(|e| {
+                e.kind == TraceKind::IngestBatch && e.end_seq.is_some_and(|l| 0 < l && l <= end_seq)
+            })
+            .expect("ingest batch inside the published window");
+        assert!(batch.seq < seal.seq, "batch recorded before its seal");
+
+        // The ops tooling reads the same daemons: `unclean trace export`
+        // saves a chrome trace, `unclean top` renders the flight recorder.
+        let exported = dir.join("trace.json");
+        let out = crate::commands::trace_export(&control, Some(&exported)).expect("export");
+        assert!(out.contains("exported chrome trace"), "{out}");
+        let chrome = std::fs::read_to_string(&exported).expect("read export");
+        assert!(chrome.contains("\"traceEvents\""), "{chrome:?}");
+        let dashboard = crate::commands::top(&control, 100, 1, true).expect("top");
+        assert!(dashboard.contains("unclean top"), "{dashboard}");
+
+        // Drain both daemons.
+        let quit = http(&control, "POST /quit HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+        assert_eq!(body_of(&quit), "draining\n");
+        daemon.join().expect("join").expect("ingest ok");
+        let serve_registry = server.registry().clone();
+        let _ = http(
+            &serve_addr,
+            "POST /quit HTTP/1.0\r\nContent-Length: 0\r\n\r\n",
+        );
+        server.wait();
+
+        // The bounded ring never dropped an event in this run.
+        assert_eq!(
+            serve_registry.counter_value("trace.events_dropped"),
+            0,
+            "serve ring dropped events"
+        );
     }
 
     #[test]

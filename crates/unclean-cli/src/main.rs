@@ -33,17 +33,28 @@ USAGE:
   unclean score     --report <class>=<file> ... [--prefix 16]
   unclean demo      [--out DIR] [--scale 0.002] [--seed 42]
   unclean metrics   <telemetry.json|metrics.prom> [--assert-zero name1,name2]
+  unclean metrics   --diff <a.prom> <b.prom> [--interval-secs S]
   unclean serve     --blocklist <file> [--addr 127.0.0.1:7053] [--threads 4]
                     [--max-conns 1024] [--read-timeout-ms 5000] [--watch]
                     [--stale-after-secs N] [--degraded-after-secs N]
+                    [--trace-sample N] [--trace-events 4096] [--history-ms 2000]
   unclean ingest    --spool <dir> --out <file> [--bind 127.0.0.1:9995]
                     [--control 127.0.0.1:7055] [--rescore-ms 2000]
                     [--ring-capacity 65536] [--shed oldest|newest] [--prefix 24]
                     [--min-score 0] [--threads 0] [--retries 3] [--backoff-ms 200]
                     [--deadline-secs N] [--stale-after-secs 15]
-                    [--degraded-after-secs 60]
+                    [--degraded-after-secs 60] [--trace-events 4096]
+                    [--history-ms 2000]
   unclean replay    --to <host:port> [--archive <file> | --synth 20000]
                     [--faults none|adverse] [--seed 42] [--pace-ms 0]
+  unclean trace     export <addr|events.json> [--out FILE]
+  unclean top       <addr> [--interval-ms 2000] [--iterations 0] [--no-clear]
+
+'serve' and 'ingest' both record causally-linked trace events onto a
+bounded ring: 'unclean trace export 127.0.0.1:7053 --out t.json' saves a
+chrome://tracing / Perfetto trace; 'unclean top' tails a daemon's
+/metrics/history flight recorder as a terminal dashboard. --trace-sample N
+head-samples 1-in-N serve requests with per-stage timings (0 = off).
 
 Report files: one IPv4 address per line; '#' comments and blanks ignored.
 Malformed lines abort the load; 'inspect --lenient' quarantines them
@@ -132,6 +143,20 @@ fn run(args: &[String]) -> Result<String, String> {
             flag_num(&rest, "--seed", 42u64)?,
         ),
         "metrics" => {
+            if let Some(i) = rest.iter().position(|a| a.as_str() == "--diff") {
+                let a = rest
+                    .get(i + 1)
+                    .ok_or("--diff wants two .prom files: --diff a.prom b.prom")?;
+                let b = rest
+                    .get(i + 2)
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or("--diff wants two .prom files: --diff a.prom b.prom")?;
+                return commands::metrics_diff(
+                    &PathBuf::from(a.as_str()),
+                    &PathBuf::from(b.as_str()),
+                    flag_opt_num(&rest, "--interval-secs")?,
+                );
+            }
             let path = positional(&rest, 0, "telemetry file")?;
             let assert_zero: Vec<String> = flag_value(&rest, "--assert-zero")
                 .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
@@ -145,10 +170,26 @@ fn run(args: &[String]) -> Result<String, String> {
             flag_num(&rest, "--max-conns", 1024usize)?,
             flag_num(&rest, "--read-timeout-ms", 5000u64)?,
             has_flag(&rest, "--watch"),
-            (
-                flag_opt_num(&rest, "--stale-after-secs")?,
-                flag_opt_num(&rest, "--degraded-after-secs")?,
+            commands::ServeTuning {
+                stale_after_secs: flag_opt_num(&rest, "--stale-after-secs")?,
+                degraded_after_secs: flag_opt_num(&rest, "--degraded-after-secs")?,
+                trace_sample: flag_num(&rest, "--trace-sample", 0u64)?,
+                trace_events: flag_num(&rest, "--trace-events", 4096usize)?,
+                history_ms: flag_num(&rest, "--history-ms", 2000u64)?,
+            },
+        ),
+        "trace" => match positional(&rest, 0, "trace action (export)")? {
+            "export" => commands::trace_export(
+                positional(&rest, 1, "daemon address or events.json file")?,
+                flag_value(&rest, "--out").map(PathBuf::from).as_deref(),
             ),
+            other => Err(format!("unknown trace action {other:?} (want: export)")),
+        },
+        "top" => commands::top(
+            positional(&rest, 0, "daemon address")?,
+            flag_num(&rest, "--interval-ms", 2000u64)?,
+            flag_num(&rest, "--iterations", 0u64)?,
+            has_flag(&rest, "--no-clear"),
         ),
         "ingest" => ingest::ingest(&ingest::IngestOpts {
             spool_dir: flag_path(&rest, "--spool")?,
@@ -168,6 +209,8 @@ fn run(args: &[String]) -> Result<String, String> {
             degraded_after_secs: flag_num(&rest, "--degraded-after-secs", 60u64)?,
             boot_unix_secs: unclean_flowgen::record::EPOCH_UNIX_SECS,
             fail_attempts: flag_num(&rest, "--fail-attempts", 0u32)?,
+            trace_events: flag_num(&rest, "--trace-events", 4096usize)?,
+            history_ms: flag_num(&rest, "--history-ms", 2000u64)?,
         }),
         "replay" => ingest::replay(&ingest::ReplayOpts {
             to: flag_value(&rest, "--to")

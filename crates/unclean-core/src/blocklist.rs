@@ -73,6 +73,62 @@ pub fn render_scored(entries: &[(Cidr, f64)], name: &str) -> String {
     out
 }
 
+/// Render a scored list whose header carries `key=value` provenance
+/// metadata on a second comment line — the cross-process lineage
+/// carrier: `unclean ingest` stamps `generation=G published_unix_ms=T`
+/// here, `unclean serve` reads it back with [`parse_header_meta`], and
+/// every parser that ignores comments ([`parse_plain`],
+/// [`parse_scored`]) still reads the list unchanged.
+pub fn render_scored_with_meta(
+    entries: &[(Cidr, f64)],
+    name: &str,
+    meta: &[(&str, String)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# blocklist: {name} ({} entries, scored)",
+        entries.len()
+    );
+    if !meta.is_empty() {
+        out.push('#');
+        for (key, value) in meta {
+            let _ = write!(out, " {key}={value}");
+        }
+        out.push('\n');
+    }
+    for (cidr, score) in entries {
+        let _ = writeln!(out, "{cidr} # score={score}");
+    }
+    out
+}
+
+/// Collect `key=value` tokens from the leading comment block of a
+/// rendered blocklist (the lines [`render_scored_with_meta`] writes).
+/// Scanning stops at the first non-comment, non-blank line, so inline
+/// `score=` comments on entry lines are never mistaken for metadata.
+/// Later duplicates win.
+pub fn parse_header_meta(text: &str) -> std::collections::BTreeMap<String, String> {
+    let mut meta = std::collections::BTreeMap::new();
+    for raw_line in text.lines() {
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(comment) = line.strip_prefix('#') else {
+            break;
+        };
+        for token in comment.split_whitespace() {
+            if let Some((key, value)) = token.split_once('=') {
+                if !key.is_empty() {
+                    meta.insert(key.to_string(), value.to_string());
+                }
+            }
+        }
+    }
+    meta
+}
+
 /// Parse a plain-format list (ignores blank lines and `#` comments,
 /// including inline comments after a CIDR; tolerates CRLF line endings).
 pub fn parse_plain(text: &str) -> Result<Vec<Cidr>, Error> {
@@ -198,6 +254,35 @@ mod tests {
         let parsed = parse_scored(mixed).expect("ok");
         assert_eq!(parsed[0].1, 0.0);
         assert_eq!(parsed[1].1, 0.0);
+    }
+
+    #[test]
+    fn header_meta_round_trips_and_stays_backward_compatible() {
+        let entries = vec![
+            ("9.1.1.0/24".parse::<Cidr>().expect("valid"), 3.25),
+            ("9.5.0.0/16".parse::<Cidr>().expect("valid"), 0.5),
+        ];
+        let meta = [
+            ("generation", "17".to_string()),
+            ("published_unix_ms", "1754700000123".to_string()),
+        ];
+        let text = render_scored_with_meta(&entries, "unclean-ingest", &meta);
+        let parsed_meta = parse_header_meta(&text);
+        assert_eq!(
+            parsed_meta.get("generation").map(String::as_str),
+            Some("17")
+        );
+        assert_eq!(
+            parsed_meta.get("published_unix_ms").map(String::as_str),
+            Some("1754700000123")
+        );
+        // Every existing parser still reads the list unchanged.
+        assert_eq!(parse_scored(&text).expect("scored ok"), entries);
+        assert_eq!(parse_plain(&text).expect("plain ok").len(), 2);
+        // Inline `score=` comments never leak into header metadata, and
+        // a meta-free list yields an empty map.
+        assert!(!parse_header_meta(&text).contains_key("score"));
+        assert!(parse_header_meta(&render_scored(&entries, "plain")).is_empty());
     }
 
     #[test]

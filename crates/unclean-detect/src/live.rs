@@ -30,7 +30,7 @@ use unclean_core::{
 use unclean_flowgen::{
     ArchiveTelemetry, CandidateCollector, IndexedArchive, IndexedError, SegmentCursor,
 };
-use unclean_telemetry::Registry;
+use unclean_telemetry::{Registry, TraceEvent, TraceKind};
 
 /// Settings for a live window rescore.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -120,6 +120,7 @@ pub fn rescore_window(
     cfg: &LiveScanConfig,
     registry: &Registry,
 ) -> Result<WindowScan, IndexedError> {
+    let t0 = std::time::Instant::now();
     let mut span = registry.span("live/rescore");
     let archive = match IndexedArchive::open(data)? {
         Some(archive) => archive,
@@ -209,6 +210,13 @@ pub fn rescore_window(
         .collect();
     span.field("flows", flows);
     span.field("networks", blocklist.len() as u64);
+    registry.trace_event(
+        TraceEvent::now(TraceKind::Rescore)
+            .dur_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .field("days", groups.len())
+            .field("flows", flows)
+            .field("networks", blocklist.len()),
+    );
     Ok(WindowScan {
         window,
         flows,

@@ -33,6 +33,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use unclean_core::Day;
+use unclean_telemetry::{Registry, TraceEvent, TraceKind};
 
 /// Magic leading `index.wal`.
 const WAL_MAGIC: &[u8; 8] = b"UNCLWAL1";
@@ -137,6 +138,7 @@ pub struct WalSpool {
     frame_len: Vec<u8>,
     written_total: u64,
     fault: Option<WriteFault>,
+    telemetry: Registry,
 }
 
 impl std::fmt::Debug for WalSpool {
@@ -185,6 +187,7 @@ impl WalSpool {
             frame_len: Vec::new(),
             written_total: 0,
             fault: None,
+            telemetry: Registry::off(),
         })
     }
 
@@ -288,6 +291,7 @@ impl WalSpool {
             frame_len: Vec::new(),
             written_total: 0,
             fault: None,
+            telemetry: Registry::off(),
         };
         Ok((spool, report))
     }
@@ -296,6 +300,22 @@ impl WalSpool {
     /// injectable spool writer the crash-recovery tests drive.
     pub fn set_write_fault(&mut self, fault: WriteFault) {
         self.fault = Some(fault);
+    }
+
+    /// Attach a telemetry registry: every durable seal from here on
+    /// emits a [`TraceKind::WalSeal`] event (carrying the segment's flow
+    /// sequence range) onto the registry's trace ring, if one is
+    /// installed — the WAL link in the flow→blocklist lineage chain.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = registry.clone();
+    }
+
+    /// The sequence number the next pushed flow will eventually carry
+    /// (pending, unflushed flows included). Bracketing a push batch with
+    /// two calls yields the batch's exclusive-end WAL sequence range —
+    /// the causal id an ingest-batch trace event carries.
+    pub fn next_seq(&self) -> u32 {
+        self.sequence.wrapping_add(self.pending.len() as u32)
     }
 
     /// The exporter boot anchor flows are encoded against.
@@ -439,6 +459,14 @@ impl WalSpool {
         self.index.sync_all()?;
         self.sealed_bytes = self.offset;
         self.sealed.push(info);
+        self.telemetry.trace_event(
+            TraceEvent::now(TraceKind::WalSeal)
+                .seq_range(u64::from(info.first_seq), u64::from(info.end_seq))
+                .field("day", info.day)
+                .field("flows", info.flows)
+                .field("datagrams", info.datagrams)
+                .field("bytes", info.len),
+        );
         Ok(Some(info))
     }
 

@@ -39,12 +39,29 @@ use serde::Serialize;
 use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use unclean_core::prelude::Ip;
-use unclean_telemetry::{prom, Counter, Gauge, Histogram, Registry};
+use unclean_telemetry::{
+    chrome_trace_json, prom, Counter, Gauge, Histogram, MetricsHistory, Registry, TraceEvent,
+    TraceKind, TraceRing,
+};
+
+/// Compile-time build identity for `unclean_serve_build_info` (the CI
+/// build exports `UNCLEAN_GIT_SHA`; local builds say "unreleased").
+const GIT_SHA: &str = match option_env!("UNCLEAN_GIT_SHA") {
+    Some(sha) => sha,
+    None => "unreleased",
+};
+
+fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
 
 /// Daemon configuration (the CLI's `unclean serve` flags map onto this).
 #[derive(Debug, Clone)]
@@ -68,11 +85,21 @@ pub struct ServeConfig {
     /// Generation age past which `/healthz` answers `degraded` with 503
     /// (lookups keep working from the last good generation).
     pub degraded_after: Option<Duration>,
+    /// Head-sample one connection in N for stage tracing (`0` disables
+    /// request sampling entirely; unsampled connections pay one branch).
+    pub trace_sample: u64,
+    /// Trace-event ring capacity (`0`: no ring — `/trace` serves span
+    /// aggregates only and reloads go unrecorded).
+    pub trace_events: usize,
+    /// Flight-recorder scrape cadence for `/metrics/history` (`None`
+    /// disables the scraper thread and the endpoint answers 404).
+    pub history_interval: Option<Duration>,
 }
 
 impl ServeConfig {
     /// Defaults: ephemeral localhost port, 4 workers, 1024-deep queue,
-    /// 5 s read timeout, no watcher.
+    /// 5 s read timeout, no watcher; tracing ring installed (4096
+    /// events) but request sampling off; flight recorder every 2 s.
     pub fn new(source: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             source: source.into(),
@@ -83,9 +110,16 @@ impl ServeConfig {
             watch: None,
             stale_after: None,
             degraded_after: None,
+            trace_sample: 0,
+            trace_events: 4096,
+            history_interval: Some(Duration::from_secs(2)),
         }
     }
 }
+
+/// How many flight-recorder samples `/metrics/history` retains (at the
+/// default 2 s cadence: ten minutes of rate history).
+const HISTORY_SAMPLES: usize = 300;
 
 /// The three health states `/healthz` can report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,7 +178,13 @@ struct Metrics {
     read_errors: Counter,
     reloads: Counter,
     reload_errors: Counter,
+    trace_req: Counter,
+    history_req: Counter,
+    sampled: Counter,
     latency_micros: Histogram,
+    stage_parse_ns: Histogram,
+    stage_lookup_ns: Histogram,
+    stage_write_ns: Histogram,
     generation: Gauge,
     entries: Gauge,
     generation_age_secs: Gauge,
@@ -171,7 +211,13 @@ impl Metrics {
             read_errors: registry.counter("conns.read_errors"),
             reloads: registry.counter("reload.count"),
             reload_errors: registry.counter("reload.errors"),
+            trace_req: registry.counter("requests.trace"),
+            history_req: registry.counter("requests.history"),
+            sampled: registry.counter("trace.sampled_requests"),
             latency_micros: registry.histogram("request_micros"),
+            stage_parse_ns: registry.histogram("stage_ns.parse"),
+            stage_lookup_ns: registry.histogram("stage_ns.lookup"),
+            stage_write_ns: registry.histogram("stage_ns.write"),
             generation: registry.gauge("snapshot.generation"),
             entries: registry.gauge("snapshot.entries"),
             generation_age_secs: registry.gauge("generation_age_secs"),
@@ -190,6 +236,14 @@ struct Shared {
     rebuild_lock: Mutex<()>,
     stale_after: Option<Duration>,
     degraded_after: Option<Duration>,
+    // Tracing: the ring Arc is cached here so sampled requests never pay
+    // the registry's trace-slot mutex.
+    trace: Option<Arc<TraceRing>>,
+    sample_every: u64,
+    sample_counter: AtomicU64,
+    history: Option<Arc<MetricsHistory>>,
+    history_interval: Duration,
+    start_unix_secs: f64,
 }
 
 impl Shared {
@@ -224,6 +278,7 @@ impl Shared {
                 self.metrics.reloads.inc();
                 self.metrics.generation.set(snapshot.generation as f64);
                 self.metrics.entries.set(snapshot.trie.len() as f64);
+                self.record_reload_event(&snapshot);
                 self.store.install(snapshot);
                 Ok(self.store.load())
             }
@@ -232,6 +287,23 @@ impl Shared {
                 Err(e)
             }
         }
+    }
+
+    /// Record a [`TraceKind::Reload`] event carrying the serving
+    /// generation and — when the source was published by `unclean
+    /// ingest` — the upstream generation that links this reload into the
+    /// producer's lineage.
+    fn record_reload_event(&self, snapshot: &ServingSnapshot) {
+        let Some(ring) = &self.trace else { return };
+        let mut event = TraceEvent::now(TraceKind::Reload)
+            .generation(snapshot.generation)
+            .dur_ns(snapshot.build_micros.saturating_mul(1000))
+            .field("entries", snapshot.trie.len())
+            .field("source", &snapshot.source);
+        if let Some(source_generation) = snapshot.source_generation {
+            event = event.source_generation(source_generation);
+        }
+        ring.record(event);
     }
 
     fn initiate_shutdown(&self) {
@@ -254,6 +326,14 @@ impl Server {
     /// pool, and (optionally) the source-file watcher.
     pub fn start(config: ServeConfig, registry: Registry) -> Result<Server, ServeError> {
         let metrics = Metrics::new(&registry);
+        let trace = if config.trace_events > 0 {
+            registry.install_trace(config.trace_events)
+        } else {
+            None
+        };
+        let history = config
+            .history_interval
+            .map(|_| Arc::new(MetricsHistory::new(HISTORY_SAMPLES)));
         let boot = build_snapshot(&config.source, 1, &registry)?;
         metrics.generation.set(boot.generation as f64);
         metrics.entries.set(boot.trie.len() as f64);
@@ -270,7 +350,17 @@ impl Server {
             rebuild_lock: Mutex::new(()),
             stale_after: config.stale_after,
             degraded_after: config.degraded_after,
+            trace,
+            sample_every: config.trace_sample,
+            sample_counter: AtomicU64::new(0),
+            history,
+            history_interval: config.history_interval.unwrap_or(Duration::from_secs(2)),
+            start_unix_secs: unix_ms_now() as f64 / 1000.0,
         });
+        // The boot build is generation 1's "reload": record it so a
+        // lookup served before any watcher/reload fires still has a
+        // reload event to chain through.
+        shared.record_reload_event(&shared.store.load());
 
         let (tx, rx) = channel::bounded::<TcpStream>(config.max_conns.max(1));
         let mut threads = Vec::with_capacity(config.threads + 2);
@@ -302,6 +392,17 @@ impl Server {
                 std::thread::Builder::new()
                     .name("serve-health".to_string())
                     .spawn(move || watchdog_loop(&shared_h))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+        if shared.history.is_some() {
+            // The flight recorder: periodic snapshot deltas for
+            // `/metrics/history` and `unclean top`.
+            let shared_f = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-history".to_string())
+                    .spawn(move || history_loop(&shared_f))
                     .map_err(ServeError::Io)?,
             );
         }
@@ -396,13 +497,50 @@ fn worker_loop(shared: &Shared, rx: &channel::Receiver<TcpStream>) {
     }
 }
 
+/// Per-request stage timings collected only on head-sampled
+/// connections. The unsampled hot path never constructs one — it pays a
+/// single `sample_every > 0` branch plus one relaxed counter increment.
+struct StageTrace {
+    parse_ns: u64,
+    lookup_ns: u64,
+    write_ns: u64,
+    generation: u64,
+    source_generation: Option<u64>,
+}
+
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 fn handle_conn(shared: &Shared, stream: &mut TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    // Head-sampling: the decision is made before the request is read, on
+    // a relaxed shared counter — 1 in N connections, whatever they turn
+    // out to ask for.
+    let sampled = shared.sample_every > 0
+        && shared
+            .sample_counter
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(shared.sample_every);
     let t0 = Instant::now();
     shared.metrics.requests.inc();
     match read_request(stream) {
-        Ok(request) => route(shared, stream, &request),
+        Ok(request) => {
+            if sampled {
+                let mut stages = StageTrace {
+                    parse_ns: elapsed_ns(t0),
+                    lookup_ns: 0,
+                    write_ns: 0,
+                    generation: 0,
+                    source_generation: None,
+                };
+                route(shared, stream, &request, Some(&mut stages));
+                record_sampled_request(shared, &request, &stages, elapsed_ns(t0));
+            } else {
+                route(shared, stream, &request, None);
+            }
+        }
         Err(e) => {
             shared.metrics.read_errors.inc();
             let _ = respond(
@@ -418,6 +556,30 @@ fn handle_conn(shared: &Shared, stream: &mut TcpStream) {
         .metrics
         .latency_micros
         .record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+}
+
+/// Book a sampled request into the per-stage histograms and the trace
+/// ring (a [`TraceKind::Lookup`] event whose generation ids chain the
+/// request back to the ingest lineage).
+fn record_sampled_request(shared: &Shared, request: &Request, stages: &StageTrace, total_ns: u64) {
+    shared.metrics.sampled.inc();
+    shared.metrics.stage_parse_ns.record(stages.parse_ns);
+    shared.metrics.stage_lookup_ns.record(stages.lookup_ns);
+    shared.metrics.stage_write_ns.record(stages.write_ns);
+    let Some(ring) = &shared.trace else { return };
+    let mut event = TraceEvent::now(TraceKind::Lookup)
+        .dur_ns(total_ns)
+        .field("path", &request.path)
+        .field("parse_ns", stages.parse_ns)
+        .field("lookup_ns", stages.lookup_ns)
+        .field("write_ns", stages.write_ns);
+    if stages.generation > 0 {
+        event = event.generation(stages.generation);
+    }
+    if let Some(source_generation) = stages.source_generation {
+        event = event.source_generation(source_generation);
+    }
+    ring.record(event);
 }
 
 #[derive(Serialize)]
@@ -438,6 +600,8 @@ struct SnapshotAnswer {
     build_micros: u64,
     built_unix_ms: u64,
     memory_bytes: usize,
+    source_generation: Option<u64>,
+    source_published_unix_ms: Option<u64>,
 }
 
 #[derive(Serialize)]
@@ -446,7 +610,23 @@ struct ReloadAnswer {
     entries: usize,
 }
 
-fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
+#[derive(Serialize)]
+struct TraceAnswer {
+    events: Vec<TraceEvent>,
+}
+
+#[derive(Serialize)]
+struct HistoryAnswer {
+    interval_secs: f64,
+    samples: Vec<unclean_telemetry::HistorySample>,
+}
+
+fn route(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request: &Request,
+    trace: Option<&mut StageTrace>,
+) {
     let metrics = &shared.metrics;
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
@@ -488,6 +668,7 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                 );
                 return;
             };
+            let t_lookup = trace.as_ref().map(|_| Instant::now());
             let snapshot = shared.store.load();
             let answer = match snapshot.trie.lookup(ip) {
                 Some(m) => {
@@ -513,7 +694,16 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                     }
                 }
             };
-            respond_json(stream, &answer);
+            if let (Some(stages), Some(t_lookup)) = (trace, t_lookup) {
+                stages.lookup_ns = elapsed_ns(t_lookup);
+                stages.generation = snapshot.generation;
+                stages.source_generation = snapshot.source_generation;
+                let t_write = Instant::now();
+                respond_json(stream, &answer);
+                stages.write_ns = elapsed_ns(t_write);
+            } else {
+                respond_json(stream, &answer);
+            }
         }
         ("POST", "/batch") => {
             metrics.batch.inc();
@@ -564,12 +754,20 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                     build_micros: snapshot.build_micros,
                     built_unix_ms: snapshot.built_unix_ms,
                     memory_bytes: snapshot.trie.memory_bytes(),
+                    source_generation: snapshot.source_generation,
+                    source_published_unix_ms: snapshot.source_published_unix_ms,
                 },
             );
         }
         ("GET", "/metrics") => {
             metrics.metrics_req.inc();
-            let text = prom::render(&shared.registry.snapshot(), "unclean_serve");
+            let mut text = prom::render(&shared.registry.snapshot(), "unclean_serve");
+            text.push_str(&prom::build_info(
+                "unclean_serve",
+                env!("CARGO_PKG_VERSION"),
+                GIT_SHA,
+                shared.start_unix_secs,
+            ));
             let _ = respond(
                 stream,
                 200,
@@ -577,6 +775,43 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                 "text/plain; version=0.0.4",
                 text.as_bytes(),
             );
+        }
+        ("GET", "/trace") => {
+            metrics.trace_req.inc();
+            let events = shared
+                .trace
+                .as_ref()
+                .map(|ring| ring.events())
+                .unwrap_or_default();
+            if request.query_param("format") == Some("events") {
+                // Machine-readable raw events (the e2e lineage walkers
+                // deserialize these directly).
+                respond_json(stream, &TraceAnswer { events });
+            } else {
+                let body = chrome_trace_json(&shared.registry.snapshot(), &events, "unclean-serve");
+                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+            }
+        }
+        ("GET", "/metrics/history") => {
+            metrics.history_req.inc();
+            match &shared.history {
+                Some(history) => respond_json(
+                    stream,
+                    &HistoryAnswer {
+                        interval_secs: shared.history_interval.as_secs_f64(),
+                        samples: history.samples(),
+                    },
+                ),
+                None => {
+                    let _ = respond(
+                        stream,
+                        404,
+                        "Not Found",
+                        "text/plain",
+                        b"flight recorder disabled\n",
+                    );
+                }
+            }
         }
         ("POST", "/reload") => {
             metrics.reload_req.inc();
@@ -631,6 +866,28 @@ fn respond_json<T: Serialize>(stream: &mut TcpStream, value: &T) {
                 format!("serialize: {e}\n").as_bytes(),
             );
         }
+    }
+}
+
+/// The flight-recorder scraper: fold a registry snapshot into the
+/// history ring on the configured cadence (sleeping in short slices so
+/// shutdown joins promptly).
+fn history_loop(shared: &Shared) {
+    let Some(history) = &shared.history else {
+        return;
+    };
+    history.observe(unix_ms_now(), &shared.registry.snapshot());
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let mut slept = Duration::ZERO;
+        while slept < shared.history_interval && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = (shared.history_interval - slept).min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        history.observe(unix_ms_now(), &shared.registry.snapshot());
     }
 }
 

@@ -27,6 +27,15 @@ pub struct ServingSnapshot {
     pub build_micros: u64,
     /// Unix milliseconds at which the build finished.
     pub built_unix_ms: u64,
+    /// The producer's generation number, parsed from the blocklist
+    /// header's `generation=G` metadata (written by `unclean ingest`).
+    /// This is the causal id that ties a served lookup back across the
+    /// process boundary to the publish / rescore / WAL-segment events
+    /// that produced its verdict. `None` for lists without metadata.
+    pub source_generation: Option<u64>,
+    /// The producer's publish timestamp (`published_unix_ms=T` header
+    /// metadata), if present.
+    pub source_published_unix_ms: Option<u64>,
 }
 
 /// Errors surfaced by snapshot building and daemon startup.
@@ -71,8 +80,14 @@ pub fn build_snapshot(
         .map_err(|e| ServeError::Source(format!("cannot read {}: {e}", source.display())))?;
     let scored = unclean_core::blocklist::parse_scored(&text)
         .map_err(|e| ServeError::Source(format!("cannot parse {}: {e}", source.display())))?;
+    let meta = unclean_core::blocklist::parse_header_meta(&text);
+    let source_generation = meta.get("generation").and_then(|g| g.parse().ok());
+    let source_published_unix_ms = meta.get("published_unix_ms").and_then(|t| t.parse().ok());
     let trie = FrozenTrie::from_scored(scored);
     span.field("entries", trie.len());
+    if let Some(source_generation) = source_generation {
+        span.field("source_generation", source_generation);
+    }
     Ok(ServingSnapshot {
         generation,
         trie,
@@ -82,6 +97,8 @@ pub fn build_snapshot(
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
             .unwrap_or(0),
+        source_generation,
+        source_published_unix_ms,
     })
 }
 
@@ -168,6 +185,25 @@ mod tests {
         std::fs::write(&bad, "not-a-cidr\n").expect("write");
         let err = build_snapshot(&bad, 1, &registry).expect_err("garbage");
         assert!(err.to_string().contains("garbage.txt"), "{err}");
+    }
+
+    #[test]
+    fn build_reads_source_generation_from_header_meta() {
+        let entries = vec![("9.1.0.0/16".parse().expect("cidr"), 2.5)];
+        let text = unclean_core::blocklist::render_scored_with_meta(
+            &entries,
+            "unclean-ingest",
+            &[
+                ("generation", "41".to_string()),
+                ("published_unix_ms", "1754700000123".to_string()),
+            ],
+        );
+        let snap = snapshot(1, &text);
+        assert_eq!(snap.source_generation, Some(41));
+        assert_eq!(snap.source_published_unix_ms, Some(1754700000123));
+        // A list without metadata builds with no source generation.
+        let bare = snapshot(2, "9.1.0.0/16 # score=2.5\n");
+        assert_eq!(bare.source_generation, None);
     }
 
     #[test]

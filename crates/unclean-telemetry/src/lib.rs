@@ -45,9 +45,13 @@
 pub mod prom;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
 pub use registry::{Counter, Gauge, Histogram, Registry, Span};
 pub use snapshot::{HistBucket, HistogramSnapshot, Snapshot, SpanStat};
+pub use trace::{
+    chrome_trace_json, HistorySample, MetricsHistory, TraceEvent, TraceKind, TraceRing,
+};
 
 /// How much the pipeline records.
 ///

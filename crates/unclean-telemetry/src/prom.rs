@@ -45,6 +45,31 @@ fn escape_label(value: &str) -> String {
     out
 }
 
+/// Render the standard process-identity block both daemons append to
+/// their `/metrics` exposition: a `{ns}_build_info` gauge whose
+/// `version`/`git_sha` labels identify the running build (value always
+/// 1, the conventional info-metric shape) and the conventional
+/// `process_start_time_seconds` gauge (Unix seconds, fractional).
+pub fn build_info(ns: &str, version: &str, git_sha: &str, start_unix_secs: f64) -> String {
+    let ns = sanitize(ns);
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP {ns}_build_info Build identity of this binary.");
+    let _ = writeln!(out, "# TYPE {ns}_build_info gauge");
+    let _ = writeln!(
+        out,
+        "{ns}_build_info{{version=\"{}\",git_sha=\"{}\"}} 1",
+        escape_label(version),
+        escape_label(git_sha)
+    );
+    let _ = writeln!(
+        out,
+        "# HELP process_start_time_seconds Unix time the process started."
+    );
+    let _ = writeln!(out, "# TYPE process_start_time_seconds gauge");
+    let _ = writeln!(out, "process_start_time_seconds {start_unix_secs}");
+    out
+}
+
 /// Render a snapshot as Prometheus text exposition. Every metric name is
 /// prefixed with `{ns}_`; internal series names are sanitized into the
 /// metric-name charset. Counters render as integers; histograms render

@@ -68,6 +68,7 @@ struct Inner {
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>, // f64 bit patterns
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
     spans: Mutex<BTreeMap<String, SpanAgg>>,
+    trace: Mutex<Option<Arc<crate::trace::TraceRing>>>,
 }
 
 /// An explicitly-threaded metrics registry. Clone freely — clones share
@@ -141,6 +142,39 @@ impl Registry {
             self.counter(name)
         } else {
             Counter::standalone()
+        }
+    }
+
+    /// Install a bounded trace-event ring of at least `capacity` events
+    /// (see [`crate::trace::TraceRing`]) on this registry, replacing any
+    /// previous ring. Its exact recorded/evicted totals mirror onto the
+    /// `trace.events_recorded` / `trace.events_dropped` counters so the
+    /// exposition and CI `--assert-zero` gates see them. Returns `None`
+    /// on a disabled registry.
+    pub fn install_trace(&self, capacity: usize) -> Option<Arc<crate::trace::TraceRing>> {
+        let inner = self.inner.as_ref()?;
+        let ring = Arc::new(crate::trace::TraceRing::new(
+            capacity,
+            self.counter("trace.events_recorded"),
+            self.counter("trace.events_dropped"),
+        ));
+        *inner.trace.lock().expect("trace ring slot") = Some(Arc::clone(&ring));
+        Some(ring)
+    }
+
+    /// The installed trace-event ring, if any.
+    pub fn trace(&self) -> Option<Arc<crate::trace::TraceRing>> {
+        let inner = self.inner.as_ref()?;
+        inner.trace.lock().expect("trace ring slot").clone()
+    }
+
+    /// Record a trace event onto the installed ring; a no-op when no
+    /// ring is installed (so pipeline stages can emit unconditionally).
+    /// Hot paths should cache [`Registry::trace`] instead of paying this
+    /// lookup per event.
+    pub fn trace_event(&self, event: crate::trace::TraceEvent) {
+        if let Some(ring) = self.trace() {
+            ring.record(event);
         }
     }
 

@@ -1,0 +1,648 @@
+//! Structured trace events and the bounded flight-recorder rings.
+//!
+//! Two complementary recorders live here:
+//!
+//! * [`TraceRing`] — a bounded, mutex-sharded ring of typed
+//!   [`TraceEvent`]s carrying causal identifiers (flow sequence ranges
+//!   and blocklist generation numbers). Producers append lock-cheaply
+//!   (one shard mutex per event); when a shard is full the oldest event
+//!   is evicted and the eviction is counted *exactly* — both on the
+//!   ring's own atomic and on a registry counter so `/metrics` and CI
+//!   `--assert-zero` gates see the same number.
+//! * [`MetricsHistory`] — a ring of periodic snapshot deltas (counter
+//!   rates per second plus raw gauges), fed by a daemon scraper thread
+//!   and served as `/metrics/history` for `unclean top`.
+//!
+//! [`chrome_trace_json`] renders a snapshot's span aggregates plus the
+//! event ring as Chrome/Perfetto trace-event JSON (`chrome://tracing`,
+//! <https://ui.perfetto.dev>).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::Counter;
+use crate::snapshot::Snapshot;
+
+/// What a trace event marks. The pipeline stages appear in causal
+/// order: a served lookup's lineage walks backwards
+/// `Lookup → Reload → Publish → Rescore → WalSeal → IngestBatch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TraceKind {
+    /// A batch of datagrams popped from the ingest ring.
+    IngestBatch,
+    /// A WAL segment sealed durably to the spool.
+    WalSeal,
+    /// A rescore sweep over the sealed window.
+    Rescore,
+    /// A blocklist generation published atomically.
+    Publish,
+    /// A serving snapshot (re)built from a published blocklist.
+    Reload,
+    /// A sampled request served (stage nanos in `fields`).
+    Lookup,
+    /// Anything else (free-form marker).
+    Mark,
+}
+
+impl TraceKind {
+    /// Stable lowercase name (also the serde encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::IngestBatch => "ingest_batch",
+            TraceKind::WalSeal => "wal_seal",
+            TraceKind::Rescore => "rescore",
+            TraceKind::Publish => "publish",
+            TraceKind::Reload => "reload",
+            TraceKind::Lookup => "lookup",
+            TraceKind::Mark => "mark",
+        }
+    }
+}
+
+/// One typed event. `seq` is assigned by the ring at record time and
+/// totally orders events across shards. The optional causal ids tie
+/// stages together: `first_seq..end_seq` is the flow-sequence range an
+/// event covers (batches, seals, publishes), `generation` is the
+/// blocklist generation an event produced or served, and
+/// `source_generation` is the upstream ingest generation parsed from a
+/// published blocklist header (serve-side events only).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global record order, assigned by the ring.
+    #[serde(default)]
+    pub seq: u64,
+    /// Wall-clock timestamp (Unix milliseconds).
+    pub unix_ms: u64,
+    /// Which pipeline stage this event marks.
+    pub kind: TraceKind,
+    /// Duration in nanoseconds; 0 renders as an instant event.
+    #[serde(default)]
+    pub duration_ns: u64,
+    /// Blocklist generation this event produced or served.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub generation: Option<u64>,
+    /// Upstream ingest generation (serve-side events only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub source_generation: Option<u64>,
+    /// First flow sequence number this event covers.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub first_seq: Option<u64>,
+    /// Flow sequence number the covered range ends at (exclusive,
+    /// matching the WAL's `end_seq` convention).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub end_seq: Option<u64>,
+    /// Free-form `key=value` annotations.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub fields: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// A fresh event stamped with the current wall clock.
+    pub fn now(kind: TraceKind) -> TraceEvent {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        TraceEvent {
+            seq: 0,
+            unix_ms,
+            kind,
+            duration_ns: 0,
+            generation: None,
+            source_generation: None,
+            first_seq: None,
+            end_seq: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder: set the duration.
+    pub fn dur_ns(mut self, ns: u64) -> TraceEvent {
+        self.duration_ns = ns;
+        self
+    }
+
+    /// Builder: set the blocklist generation this event produced/served.
+    pub fn generation(mut self, generation: u64) -> TraceEvent {
+        self.generation = Some(generation);
+        self
+    }
+
+    /// Builder: set the upstream (ingest) generation.
+    pub fn source_generation(mut self, generation: u64) -> TraceEvent {
+        self.source_generation = Some(generation);
+        self
+    }
+
+    /// Builder: set the flow-sequence range this event covers.
+    pub fn seq_range(mut self, first_seq: u64, end_seq: u64) -> TraceEvent {
+        self.first_seq = Some(first_seq);
+        self.end_seq = Some(end_seq);
+        self
+    }
+
+    /// Builder: attach a free-form field.
+    pub fn field(mut self, key: &str, value: impl ToString) -> TraceEvent {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+}
+
+const TRACE_SHARDS: usize = 8;
+
+/// Bounded, mutex-sharded ring of [`TraceEvent`]s.
+///
+/// Events are distributed round-robin over [`TRACE_SHARDS`] shards by
+/// their global sequence number, so concurrent producers contend on
+/// 1/8th of a mutex each. Total capacity is rounded up to a multiple of
+/// the shard count. When a shard is full its oldest event is evicted;
+/// evictions are counted exactly on both the ring's own atomic and the
+/// registry counters handed in at construction.
+pub struct TraceRing {
+    shards: Vec<Mutex<VecDeque<TraceEvent>>>,
+    shard_cap: usize,
+    next_seq: AtomicU64,
+    recorded_total: AtomicU64,
+    dropped_total: AtomicU64,
+    recorded_counter: Counter,
+    dropped_counter: Counter,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// A ring holding at least `capacity` events (rounded up to a
+    /// multiple of the shard count; minimum one per shard). The two
+    /// counters mirror the ring's exact recorded/evicted totals onto a
+    /// registry so they surface in `/metrics`.
+    pub fn new(capacity: usize, recorded_counter: Counter, dropped_counter: Counter) -> TraceRing {
+        let shard_cap = capacity.div_ceil(TRACE_SHARDS).max(1);
+        TraceRing {
+            shards: (0..TRACE_SHARDS)
+                .map(|_| Mutex::new(VecDeque::with_capacity(shard_cap)))
+                .collect(),
+            shard_cap,
+            next_seq: AtomicU64::new(0),
+            recorded_total: AtomicU64::new(0),
+            dropped_total: AtomicU64::new(0),
+            recorded_counter,
+            dropped_counter,
+        }
+    }
+
+    /// Total event capacity (shards × per-shard depth).
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * self.shards.len()
+    }
+
+    /// Append an event, assigning its global sequence number. Evicts
+    /// the shard's oldest event when full (counted, never blocking).
+    pub fn record(&self, mut event: TraceEvent) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        event.seq = seq;
+        let shard = &self.shards[(seq as usize) % self.shards.len()];
+        let mut deque = match shard.lock() {
+            Ok(deque) => deque,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if deque.len() >= self.shard_cap {
+            deque.pop_front();
+            self.dropped_total.fetch_add(1, Ordering::Relaxed);
+            self.dropped_counter.inc();
+        }
+        deque.push_back(event);
+        drop(deque);
+        self.recorded_total.fetch_add(1, Ordering::Relaxed);
+        self.recorded_counter.inc();
+    }
+
+    /// All retained events, ordered by global sequence number.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::with_capacity(self.capacity());
+        for shard in &self.shards {
+            let deque = match shard.lock() {
+                Ok(deque) => deque,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            all.extend(deque.iter().cloned());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Exact number of events ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded_total.load(Ordering::Relaxed)
+    }
+
+    /// Exact number of events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+}
+
+/// One flight-recorder sample: counter rates over the interval since
+/// the previous sample, plus raw counter totals and gauge values.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HistorySample {
+    /// Wall-clock timestamp of the observation (Unix milliseconds).
+    pub unix_ms: u64,
+    /// Seconds since the previous sample (0 for the first).
+    pub interval_secs: f64,
+    /// Per-second counter deltas over the interval.
+    pub rates: BTreeMap<String, f64>,
+    /// Raw counter totals at sample time.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values at sample time.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+struct HistoryInner {
+    last: Option<(u64, BTreeMap<String, u64>)>,
+    ring: VecDeque<HistorySample>,
+}
+
+/// Flight recorder: a bounded ring of periodic [`HistorySample`]s.
+/// A daemon scraper thread calls [`MetricsHistory::observe`] on a fixed
+/// cadence; `/metrics/history` serves [`MetricsHistory::samples`].
+pub struct MetricsHistory {
+    capacity: usize,
+    inner: Mutex<HistoryInner>,
+}
+
+impl MetricsHistory {
+    /// A recorder retaining the most recent `capacity` samples.
+    pub fn new(capacity: usize) -> MetricsHistory {
+        MetricsHistory {
+            capacity: capacity.max(2),
+            inner: Mutex::new(HistoryInner {
+                last: None,
+                ring: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Fold a snapshot into the ring, computing per-second counter
+    /// rates against the previous observation.
+    pub fn observe(&self, unix_ms: u64, snapshot: &Snapshot) {
+        let mut inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut rates = BTreeMap::new();
+        let mut interval_secs = 0.0;
+        if let Some((prev_ms, prev_counters)) = &inner.last {
+            interval_secs = (unix_ms.saturating_sub(*prev_ms)) as f64 / 1000.0;
+            if interval_secs > 0.0 {
+                for (name, value) in &snapshot.counters {
+                    let prev = prev_counters.get(name).copied().unwrap_or(0);
+                    let delta = value.saturating_sub(prev);
+                    rates.insert(name.clone(), delta as f64 / interval_secs);
+                }
+            }
+        }
+        let sample = HistorySample {
+            unix_ms,
+            interval_secs,
+            rates,
+            counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
+        };
+        inner.last = Some((unix_ms, snapshot.counters.clone()));
+        if inner.ring.len() >= self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(sample);
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> Vec<HistorySample> {
+        let inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.ring.iter().cloned().collect()
+    }
+}
+
+/// Lane (Chrome `tid`) per event kind so each pipeline stage renders as
+/// its own track.
+fn kind_lane(kind: TraceKind) -> u64 {
+    match kind {
+        TraceKind::IngestBatch => 1,
+        TraceKind::WalSeal => 2,
+        TraceKind::Rescore => 3,
+        TraceKind::Publish => 4,
+        TraceKind::Reload => 5,
+        TraceKind::Lookup => 6,
+        TraceKind::Mark => 7,
+    }
+}
+
+/// Render a snapshot's span aggregates plus the event ring as Chrome
+/// trace-event JSON (the `{"traceEvents": [...]}` object form).
+///
+/// Events carry real wall-clock timestamps and land on process 1, one
+/// lane per [`TraceKind`]. Span aggregates have no per-instance
+/// timestamps (they are RAII totals), so they render on process 2 as a
+/// synthetic flame view: each root span starts at 0 and children are
+/// packed sequentially inside their parent's extent.
+pub fn chrome_trace_json(snapshot: &Snapshot, events: &[TraceEvent], process: &str) -> String {
+    use serde_json::{json, Map, Value};
+
+    fn metadata(pid: u64, name: String) -> Value {
+        let mut args = Map::new();
+        args.insert("name".into(), json!(name));
+        json!({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0u64,
+            "args": Value::Object(args)
+        })
+    }
+
+    let mut out: Vec<Value> = Vec::with_capacity(events.len() + snapshot.spans.len() + 4);
+    out.push(metadata(1, format!("{process} events")));
+    out.push(metadata(2, format!("{process} span aggregates")));
+
+    for event in events {
+        let ts = event.unix_ms.saturating_mul(1000); // microseconds
+        let mut args = Map::new();
+        args.insert("seq".into(), json!(event.seq));
+        if let Some(generation) = event.generation {
+            args.insert("generation".into(), json!(generation));
+        }
+        if let Some(source) = event.source_generation {
+            args.insert("source_generation".into(), json!(source));
+        }
+        if let Some(first) = event.first_seq {
+            args.insert("first_seq".into(), json!(first));
+        }
+        if let Some(end) = event.end_seq {
+            args.insert("end_seq".into(), json!(end));
+        }
+        for (key, value) in &event.fields {
+            args.insert(key.clone(), json!(value.as_str()));
+        }
+        let lane = kind_lane(event.kind);
+        if event.duration_ns > 0 {
+            out.push(json!({
+                "name": event.kind.name(), "ph": "X", "pid": 1u64, "tid": lane,
+                "ts": ts, "dur": (event.duration_ns / 1000).max(1),
+                "args": Value::Object(args)
+            }));
+        } else {
+            out.push(json!({
+                "name": event.kind.name(), "ph": "i", "s": "t", "pid": 1u64, "tid": lane,
+                "ts": ts, "args": Value::Object(args)
+            }));
+        }
+    }
+
+    // Synthetic flame view of the aggregated span tree. BTreeMap order
+    // visits parents before children ("a" < "a/b"), so each path's
+    // start offset is its parent's start plus what earlier siblings
+    // consumed.
+    let mut placed: BTreeMap<&str, (f64, f64)> = BTreeMap::new(); // path -> (start_us, consumed_us)
+    let mut root_cursor = 0.0f64;
+    for (path, stat) in &snapshot.spans {
+        let dur_us = (stat.total_secs * 1e6).max(1.0);
+        let start = match path.rsplit_once('/') {
+            Some((parent, _)) => {
+                if let Some((parent_start, consumed)) = placed.get(parent).copied() {
+                    placed.insert(parent, (parent_start, consumed + dur_us));
+                    parent_start + consumed
+                } else {
+                    let s = root_cursor;
+                    root_cursor += dur_us;
+                    s
+                }
+            }
+            None => {
+                let s = root_cursor;
+                root_cursor += dur_us;
+                s
+            }
+        };
+        placed.insert(path, (start, 0.0));
+        let mut args = Map::new();
+        args.insert("count".into(), json!(stat.count));
+        args.insert("mean_secs".into(), json!(stat.mean_secs()));
+        for (key, value) in &stat.fields {
+            args.insert(key.clone(), json!(value.as_str()));
+        }
+        out.push(json!({
+            "name": path.rsplit('/').next().unwrap_or(path), "ph": "X",
+            "pid": 2u64, "tid": 1u64, "ts": start, "dur": dur_us,
+            "args": Value::Object(args)
+        }));
+    }
+
+    serde_json::to_string(&json!({
+        "displayTimeUnit": "ms",
+        "traceEvents": Value::Array(out),
+    }))
+    .unwrap_or_else(|_| "{\"traceEvents\":[]}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn ring(capacity: usize) -> TraceRing {
+        TraceRing::new(capacity, Counter::standalone(), Counter::standalone())
+    }
+
+    #[test]
+    fn ring_retains_and_orders_events() {
+        let ring = ring(64);
+        for i in 0..10u64 {
+            ring.record(TraceEvent::now(TraceKind::Mark).field("i", i));
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 10);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overflow_accounting_is_exact() {
+        let ring = ring(16); // 8 shards x 2
+        let capacity = ring.capacity() as u64;
+        let total = capacity + 37;
+        for _ in 0..total {
+            ring.record(TraceEvent::now(TraceKind::Lookup));
+        }
+        assert_eq!(ring.recorded(), total);
+        assert_eq!(ring.dropped(), total - capacity);
+        assert_eq!(ring.events().len(), capacity as usize);
+        // Survivors are exactly the newest `capacity` sequence numbers.
+        let min_seq = ring.events().first().unwrap().seq;
+        assert_eq!(min_seq, total - capacity);
+    }
+
+    #[test]
+    fn ring_overflow_mirrors_registry_counters() {
+        let registry = Registry::full();
+        let ring = registry.install_trace(8).unwrap();
+        let capacity = ring.capacity() as u64;
+        for _ in 0..capacity + 5 {
+            ring.record(TraceEvent::now(TraceKind::Mark));
+        }
+        assert_eq!(
+            registry.counter_value("trace.events_recorded"),
+            capacity + 5
+        );
+        assert_eq!(registry.counter_value("trace.events_dropped"), 5);
+        assert_eq!(ring.dropped(), 5);
+    }
+
+    #[test]
+    fn ring_overflow_exact_under_concurrency() {
+        let ring = std::sync::Arc::new(ring(32));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        ring.record(TraceEvent::now(TraceKind::IngestBatch));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 4000);
+        assert_eq!(ring.dropped(), 4000 - ring.capacity() as u64);
+        assert_eq!(ring.events().len(), ring.capacity());
+    }
+
+    #[test]
+    fn trace_event_json_round_trips() {
+        let event = TraceEvent::now(TraceKind::Publish)
+            .generation(7)
+            .seq_range(100, 250)
+            .dur_ns(1_500_000)
+            .field("networks", 42u32);
+        let json = serde_json::to_string(&event).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.kind, TraceKind::Publish);
+        assert_eq!(back.generation, Some(7));
+        assert_eq!(back.first_seq, Some(100));
+        assert_eq!(back.end_seq, Some(250));
+        assert_eq!(back.duration_ns, 1_500_000);
+        assert_eq!(
+            back.fields,
+            vec![("networks".to_string(), "42".to_string())]
+        );
+    }
+
+    #[test]
+    fn chrome_trace_schema_round_trips() {
+        let registry = Registry::full();
+        {
+            let root = registry.span("pipeline");
+            let _child = root.child("detect");
+        }
+        let events = vec![
+            TraceEvent::now(TraceKind::Publish)
+                .generation(3)
+                .dur_ns(2_000_000),
+            TraceEvent::now(TraceKind::Reload).source_generation(3),
+        ];
+        let json = chrome_trace_json(&registry.snapshot(), &events, "test");
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let trace_events = value.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 process_name metadata + 2 events + 2 spans.
+        assert_eq!(trace_events.len(), 6);
+        let named = |entry: &serde_json::Value, key: &str| entry.get(key).cloned();
+        for entry in trace_events {
+            assert!(named(entry, "name").unwrap().as_str().is_some());
+            let ph = named(entry, "ph").unwrap().as_str().unwrap().to_string();
+            assert!(named(entry, "pid").unwrap().as_u64().is_some());
+            assert!(named(entry, "tid").unwrap().as_u64().is_some());
+            if ph != "M" {
+                assert!(
+                    named(entry, "ts").unwrap().as_f64().is_some(),
+                    "non-metadata events carry ts"
+                );
+            }
+            if ph == "X" {
+                assert!(
+                    named(entry, "dur").unwrap().as_f64().is_some(),
+                    "complete events carry dur"
+                );
+            }
+        }
+        let by_name = |name: &str| {
+            trace_events
+                .iter()
+                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+                .unwrap()
+        };
+        // The publish event keeps its generation in args.
+        let publish = by_name("publish");
+        assert_eq!(
+            publish
+                .get("args")
+                .unwrap()
+                .get("generation")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        // Span aggregates land on pid 2 with the child nested inside
+        // the root's extent.
+        let root = by_name("pipeline");
+        let child = by_name("detect");
+        assert_eq!(root.get("pid").unwrap().as_u64(), Some(2));
+        let root_ts = root.get("ts").unwrap().as_f64().unwrap();
+        let child_ts = child.get("ts").unwrap().as_f64().unwrap();
+        assert!(child_ts >= root_ts);
+    }
+
+    #[test]
+    fn history_rates_are_per_second() {
+        let registry = Registry::full();
+        let hits = registry.counter("serve.lookups");
+        let history = MetricsHistory::new(8);
+        hits.add(100);
+        history.observe(10_000, &registry.snapshot());
+        hits.add(50);
+        history.observe(12_000, &registry.snapshot());
+        let samples = history.samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].interval_secs, 0.0);
+        assert!(samples[0].rates.is_empty());
+        assert_eq!(samples[1].interval_secs, 2.0);
+        assert_eq!(samples[1].rates["serve.lookups"], 25.0);
+        assert_eq!(samples[1].counters["serve.lookups"], 150);
+    }
+
+    #[test]
+    fn history_ring_is_bounded() {
+        let registry = Registry::full();
+        let history = MetricsHistory::new(4);
+        for i in 0..10u64 {
+            history.observe(1000 * i, &registry.snapshot());
+        }
+        let samples = history.samples();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].unix_ms, 6000);
+        assert_eq!(samples[3].unix_ms, 9000);
+    }
+}
