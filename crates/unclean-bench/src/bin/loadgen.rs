@@ -30,9 +30,12 @@ use unclean_stats::quantile::quantile_sorted;
 struct Args {
     addr: Option<String>,
     blocklist: Option<String>,
+    forecast: Option<String>,
     clients: usize,
     duration: Duration,
     batch: usize,
+    endpoint: String,
+    forecast_share: f64,
     min_throughput: Option<f64>,
     healthz_poll: bool,
     max_staleness_secs: Option<u64>,
@@ -44,12 +47,19 @@ const USAGE: &str = "\
 loadgen — load-generate against an unclean-serve daemon
 
 USAGE:
-  loadgen (--addr HOST:PORT | --blocklist FILE) [--clients 4]
-          [--duration-secs 5] [--batch 100] [--min-throughput N]
-          [--healthz-poll] [--max-staleness-secs N] [--json PATH]
-          [--trace-sample N]
+  loadgen (--addr HOST:PORT | --blocklist FILE) [--forecast FILE]
+          [--clients 4] [--duration-secs 5] [--batch 100]
+          [--endpoint /lookup|/forecast] [--forecast-share 0.5]
+          [--min-throughput N] [--healthz-poll] [--max-staleness-secs N]
+          [--json PATH] [--trace-sample N]
 
 --batch 1 uses GET /lookup point queries; larger batches use POST /batch.
+--endpoint /forecast mixes GET /forecast?ip= point queries into the
+stream: each request is a forecast query with probability
+--forecast-share (default 0.5), otherwise the usual lookup/batch
+request. --forecast FILE boots the self-hosted daemon with a forecast
+artifact (needs --blocklist); without it /forecast answers 404 and the
+mix fails fast.
 --min-throughput N exits nonzero below N lookups/sec (the CI gate).
 --healthz-poll samples GET /healthz during the run and reports the peak
 generation age; with --max-staleness-secs N it exits nonzero when any
@@ -81,9 +91,12 @@ fn parse_args() -> Result<Args, String> {
     let args = Args {
         addr: value("--addr").map(String::from),
         blocklist: value("--blocklist").map(String::from),
+        forecast: value("--forecast").map(String::from),
         clients: num("--clients", 4.0)?.max(1.0) as usize,
         duration: Duration::from_secs_f64(num("--duration-secs", 5.0)?.max(0.1)),
         batch: num("--batch", 100.0)?.max(1.0) as usize,
+        endpoint: value("--endpoint").unwrap_or("/lookup").to_string(),
+        forecast_share: num("--forecast-share", 0.5)?.clamp(0.0, 1.0),
         min_throughput: value("--min-throughput")
             .map(|v| {
                 v.parse()
@@ -107,6 +120,15 @@ fn parse_args() -> Result<Args, String> {
         return Err(
             "--trace-sample needs --blocklist (it configures the self-hosted daemon)".into(),
         );
+    }
+    if args.forecast.is_some() && args.blocklist.is_none() {
+        return Err("--forecast needs --blocklist (it configures the self-hosted daemon)".into());
+    }
+    if args.endpoint != "/lookup" && args.endpoint != "/forecast" {
+        return Err(format!(
+            "--endpoint must be /lookup or /forecast, got {:?}",
+            args.endpoint
+        ));
     }
     if args.addr.is_none() && args.blocklist.is_none() {
         return Err("need --addr HOST:PORT or --blocklist FILE".into());
@@ -239,27 +261,54 @@ fn healthz_loop(addr: &str, stop: &AtomicBool) -> HealthzTally {
 struct ClientTally {
     lookups: u64,
     requests: u64,
+    forecast_requests: u64,
     latencies_micros: Vec<f64>,
     error: Option<String>,
 }
 
-fn client_loop(addr: &str, batch: usize, seed: u32, stop: &AtomicBool) -> ClientTally {
+fn client_loop(
+    addr: &str,
+    batch: usize,
+    forecast_share: f64,
+    seed: u32,
+    stop: &AtomicBool,
+) -> ClientTally {
     let mut ips = IpStream(seed | 1);
     let mut tally = ClientTally {
         lookups: 0,
         requests: 0,
+        forecast_requests: 0,
         latencies_micros: Vec::new(),
         error: None,
     };
     while !stop.load(Ordering::Relaxed) {
-        let request = if batch <= 1 {
+        // Deterministic per-request coin flip for the /forecast mix,
+        // drawn from the same xorshift stream as the addresses.
+        let forecast_turn =
+            forecast_share > 0.0 && (ips.next_ip() as f64) < forecast_share * u32::MAX as f64;
+        let (request, ips_in_request) = if forecast_turn {
             let ip = ips.next_ip();
-            format!(
-                "GET /lookup?ip={}.{}.{}.{} HTTP/1.0\r\n\r\n",
-                ip >> 24,
-                (ip >> 16) & 255,
-                (ip >> 8) & 255,
-                ip & 255
+            (
+                format!(
+                    "GET /forecast?ip={}.{}.{}.{} HTTP/1.0\r\n\r\n",
+                    ip >> 24,
+                    (ip >> 16) & 255,
+                    (ip >> 8) & 255,
+                    ip & 255
+                ),
+                1u64,
+            )
+        } else if batch <= 1 {
+            let ip = ips.next_ip();
+            (
+                format!(
+                    "GET /lookup?ip={}.{}.{}.{} HTTP/1.0\r\n\r\n",
+                    ip >> 24,
+                    (ip >> 16) & 255,
+                    (ip >> 8) & 255,
+                    ip & 255
+                ),
+                1u64,
             )
         } else {
             let mut body = String::with_capacity(batch * 16);
@@ -273,9 +322,12 @@ fn client_loop(addr: &str, batch: usize, seed: u32, stop: &AtomicBool) -> Client
                     ip & 255
                 ));
             }
-            format!(
-                "POST /batch HTTP/1.0\r\nContent-Length: {}\r\n\r\n{body}",
-                body.len()
+            (
+                format!(
+                    "POST /batch HTTP/1.0\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                ),
+                batch as u64,
             )
         };
         let t0 = Instant::now();
@@ -283,7 +335,10 @@ fn client_loop(addr: &str, batch: usize, seed: u32, stop: &AtomicBool) -> Client
             Ok(_) => {
                 tally.latencies_micros.push(t0.elapsed().as_micros() as f64);
                 tally.requests += 1;
-                tally.lookups += batch as u64;
+                tally.lookups += ips_in_request;
+                if forecast_turn {
+                    tally.forecast_requests += 1;
+                }
             }
             Err(e) => {
                 tally.error = Some(e);
@@ -313,6 +368,7 @@ fn main() -> ExitCode {
             let mut config = unclean_serve::ServeConfig::new(list);
             config.threads = args.clients.max(4);
             config.trace_sample = args.trace_sample;
+            config.forecast = args.forecast.as_ref().map(std::path::PathBuf::from);
             match unclean_serve::Server::start(config, unclean_telemetry::Registry::full()) {
                 Ok(server) => Some(server),
                 Err(e) => {
@@ -329,11 +385,21 @@ fn main() -> ExitCode {
         (None, None) => unreachable!("parse_args enforces one of the two"),
     };
 
+    let forecast_share = if args.endpoint == "/forecast" {
+        args.forecast_share
+    } else {
+        0.0
+    };
     println!(
-        "loadgen: {} client(s) x {}s against http://{addr} ({} ips/request)",
+        "loadgen: {} client(s) x {}s against http://{addr} ({} ips/request{})",
         args.clients,
         args.duration.as_secs_f64(),
-        args.batch
+        args.batch,
+        if forecast_share > 0.0 {
+            format!(", {:.0}% /forecast mix", forecast_share * 100.0)
+        } else {
+            String::new()
+        }
     );
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -343,7 +409,9 @@ fn main() -> ExitCode {
             let addr = addr.clone();
             let stop = Arc::clone(&stop);
             let batch = args.batch;
-            std::thread::spawn(move || client_loop(&addr, batch, 0x9e37 + i as u32, &stop))
+            std::thread::spawn(move || {
+                client_loop(&addr, batch, forecast_share, 0x9e37 + i as u32, &stop)
+            })
         })
         .collect();
     let poller = args.healthz_poll.then(|| {
@@ -380,6 +448,7 @@ fn main() -> ExitCode {
 
     let lookups: u64 = tallies.iter().map(|t| t.lookups).sum();
     let requests: u64 = tallies.iter().map(|t| t.requests).sum();
+    let forecast_requests: u64 = tallies.iter().map(|t| t.forecast_requests).sum();
     let mut latencies: Vec<f64> = tallies
         .iter()
         .flat_map(|t| t.latencies_micros.iter().copied())
@@ -388,6 +457,12 @@ fn main() -> ExitCode {
     let throughput = lookups as f64 / elapsed;
 
     println!("  lookups:    {lookups} ({requests} requests) in {elapsed:.2}s");
+    if forecast_requests > 0 {
+        println!(
+            "  mix:        {forecast_requests} /forecast requests ({:.1}% of requests)",
+            100.0 * forecast_requests as f64 / requests.max(1) as f64
+        );
+    }
     println!("  throughput: {throughput:.0} lookups/sec");
     if latencies.is_empty() {
         println!("  latency:    no completed requests");
@@ -427,6 +502,9 @@ fn main() -> ExitCode {
             "self_hosted": args.blocklist.is_some(),
             "clients": args.clients,
             "batch": args.batch,
+            "endpoint": args.endpoint.as_str(),
+            "forecast_share": forecast_share,
+            "forecast_requests": forecast_requests,
             "trace_sample": args.trace_sample,
             "duration_secs": args.duration.as_secs_f64(),
             "elapsed_secs": elapsed,

@@ -681,10 +681,12 @@ pub fn metrics(path: &Path, assert_zero: &[String]) -> Result<String, String> {
 }
 
 /// Daemon knobs that ride along with `unclean serve` but sit off the
-/// request path: health staleness thresholds plus the trace ring,
-/// request-sampling rate, and flight-recorder cadence.
-#[derive(Clone, Copy, Debug, Default)]
+/// request path: the optional forecast artifact, health staleness
+/// thresholds, plus the trace ring, request-sampling rate, and
+/// flight-recorder cadence.
+#[derive(Clone, Debug, Default)]
 pub struct ServeTuning {
+    pub forecast: Option<std::path::PathBuf>,
     pub stale_after_secs: Option<u64>,
     pub degraded_after_secs: Option<u64>,
     pub trace_sample: u64,
@@ -715,6 +717,7 @@ pub fn serve(
 
     let registry = Registry::full();
     let mut config = ServeConfig::new(blocklist);
+    config.forecast = tuning.forecast.clone();
     config.addr = addr.to_string();
     config.threads = threads.max(1);
     config.max_conns = max_conns.max(1);
@@ -728,13 +731,18 @@ pub fn serve(
         (tuning.history_ms > 0).then(|| Duration::from_millis(tuning.history_ms));
     let server = Server::start(config, registry.clone()).map_err(|e| e.to_string())?;
     println!(
-        "unclean-serve listening on http://{} (blocklist: {}, generation 1)",
+        "unclean-serve listening on http://{} (blocklist: {}{}, generation 1)",
         server.local_addr(),
-        blocklist.display()
+        blocklist.display(),
+        tuning
+            .forecast
+            .as_ref()
+            .map(|f| format!(", forecast: {}", f.display()))
+            .unwrap_or_default()
     );
     println!(
-        "endpoints: /lookup?ip=A.B.C.D /batch /healthz /snapshot /metrics \
-         /metrics/history /trace /reload /quit"
+        "endpoints: /lookup?ip=A.B.C.D /batch /forecast?net=A.B.0.0/16 /healthz \
+         /snapshot /metrics /metrics/history /trace /reload /quit"
     );
     let _ = std::io::stdout().flush();
     server.wait();
@@ -945,6 +953,25 @@ pub fn top(
         );
         let _ = writeln!(screen, "health: {}", health.trim());
         if let Some(latest) = samples.last() {
+            // Generation staleness at a glance: the blocklist line always
+            // shows once the age gauge exists; the forecast line appears
+            // only for daemons serving a `--forecast` artifact.
+            let gauge = |name: &str| latest.gauges.get(name).copied();
+            if let Some(age) = gauge("generation_age_secs") {
+                let mut line = format!(
+                    "blocklist: generation {:.0} age {age:.0}s",
+                    gauge("snapshot.generation").unwrap_or(0.0)
+                );
+                if gauge("forecast.generation").is_some_and(|g| g > 0.0) {
+                    let _ = write!(
+                        line,
+                        "  |  forecast: generation {:.0} age {:.0}s",
+                        gauge("forecast.generation").unwrap_or(0.0),
+                        gauge("forecast_generation_age_secs").unwrap_or(0.0)
+                    );
+                }
+                let _ = writeln!(screen, "{line}");
+            }
             // Every rate name seen anywhere in the window, so a counter
             // that just went quiet keeps its row (and its sparkline tail).
             let mut names: Vec<&String> = samples

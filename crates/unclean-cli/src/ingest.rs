@@ -1244,7 +1244,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(15);
         loop {
             let text = std::fs::read_to_string(&opts.out).unwrap_or_default();
-            let meta = unclean_core::blocklist::parse_header_meta(&text);
+            let meta = unclean_core::blocklist::parse_header_meta(&text).unwrap_or_default();
             if text.contains("9.1.0.0/24") && meta.contains_key("generation") {
                 assert!(meta.contains_key("published_unix_ms"), "{text:?}");
                 break;

@@ -15,6 +15,7 @@
 //! lines are ignored.
 
 mod commands;
+mod forecast;
 mod ingest;
 mod io;
 
@@ -34,10 +35,21 @@ USAGE:
   unclean demo      [--out DIR] [--scale 0.002] [--seed 42]
   unclean metrics   <telemetry.json|metrics.prom> [--assert-zero name1,name2]
   unclean metrics   --diff <a.prom> <b.prom> [--interval-secs S]
-  unclean serve     --blocklist <file> [--addr 127.0.0.1:7053] [--threads 4]
-                    [--max-conns 1024] [--read-timeout-ms 5000] [--watch]
-                    [--stale-after-secs N] [--degraded-after-secs N]
+  unclean serve     --blocklist <file> [--forecast <file>] [--addr 127.0.0.1:7053]
+                    [--threads 4] [--max-conns 1024] [--read-timeout-ms 5000]
+                    [--watch] [--stale-after-secs N] [--degraded-after-secs N]
                     [--trace-sample N] [--trace-events 4096] [--history-ms 2000]
+  unclean forecast  synth --out <spool.flows> [--scale 0.002] [--seed 42]
+                    [--days 60] [--benign]
+  unclean forecast  fit --archive <spool.flows> [--out forecast.txt]
+                    [--horizon 7] [--level-half-life 7] [--trend-half-life 14]
+                    [--neighbor-weight 0.15] [--threads 0] [--generation 1]
+                    [--name NAME] [--telemetry telemetry.json]
+  unclean forecast  eval --archive <spool.flows> [--train-days 0=auto]
+                    [--horizon 7] [--threads 0] [--assert-beats-persistence]
+  unclean forecast  simulate [--scale 0.02] [--seed 42] [--days 280]
+                    [--remediate-day 140] [--compliance 0.8] [--hygiene-lift 0.7]
+                    [--targets 24] [--period-days 28] [--threads 0]
   unclean ingest    --spool <dir> --out <file> [--bind 127.0.0.1:9995]
                     [--control 127.0.0.1:7055] [--rescore-ms 2000]
                     [--ring-capacity 65536] [--shed oldest|newest] [--prefix 24]
@@ -171,6 +183,7 @@ fn run(args: &[String]) -> Result<String, String> {
             flag_num(&rest, "--read-timeout-ms", 5000u64)?,
             has_flag(&rest, "--watch"),
             commands::ServeTuning {
+                forecast: flag_value(&rest, "--forecast").map(PathBuf::from),
                 stale_after_secs: flag_opt_num(&rest, "--stale-after-secs")?,
                 degraded_after_secs: flag_opt_num(&rest, "--degraded-after-secs")?,
                 trace_sample: flag_num(&rest, "--trace-sample", 0u64)?,
@@ -178,6 +191,44 @@ fn run(args: &[String]) -> Result<String, String> {
                 history_ms: flag_num(&rest, "--history-ms", 2000u64)?,
             },
         ),
+        "forecast" => match positional(&rest, 0, "forecast action (synth|fit|eval|simulate)")? {
+            "synth" => forecast::synth(&forecast::SynthOpts {
+                out: flag_path(&rest, "--out")?,
+                scale: flag_num(&rest, "--scale", 0.002f64)?,
+                seed: flag_num(&rest, "--seed", 42u64)?,
+                days: flag_num(&rest, "--days", 60u32)?,
+                benign: has_flag(&rest, "--benign"),
+            }),
+            "fit" => forecast::fit(&forecast::FitOpts {
+                archive: flag_path(&rest, "--archive")?,
+                out: PathBuf::from(flag_str(&rest, "--out", "forecast.txt")),
+                model: forecast_model_opts(&rest)?,
+                generation: flag_num(&rest, "--generation", 1u64)?,
+                name: flag_str(&rest, "--name", "unclean-forecast"),
+                telemetry: flag_value(&rest, "--telemetry").map(PathBuf::from),
+            }),
+            "eval" => forecast::eval(
+                &flag_path(&rest, "--archive")?,
+                flag_num(&rest, "--train-days", 0usize)?,
+                &forecast_model_opts(&rest)?,
+                has_flag(&rest, "--assert-beats-persistence"),
+            ),
+            "simulate" => forecast::simulate(&unclean_forecast::SimulateConfig {
+                scale: flag_num(&rest, "--scale", 0.02f64)?,
+                seed: flag_num(&rest, "--seed", 42u64)?,
+                days: flag_num(&rest, "--days", 280u32)?,
+                remediate_day: flag_num(&rest, "--remediate-day", 140i32)?,
+                compliance: flag_num(&rest, "--compliance", 0.8f64)?,
+                hygiene_lift: flag_num(&rest, "--hygiene-lift", 0.7f64)?,
+                targets: flag_num(&rest, "--targets", 24usize)?,
+                period_days: flag_num(&rest, "--period-days", 28u32)?,
+                threads: flag_num(&rest, "--threads", 0usize)?,
+                ..unclean_forecast::SimulateConfig::default()
+            }),
+            other => Err(format!(
+                "unknown forecast action {other:?} (want: synth|fit|eval|simulate)"
+            )),
+        },
         "trace" => match positional(&rest, 0, "trace action (export)")? {
             "export" => commands::trace_export(
                 positional(&rest, 1, "daemon address or events.json file")?,
@@ -230,6 +281,17 @@ fn run(args: &[String]) -> Result<String, String> {
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// The forecaster tunables `forecast fit` and `forecast eval` share.
+fn forecast_model_opts(rest: &[&String]) -> Result<forecast::ModelOpts, String> {
+    Ok(forecast::ModelOpts {
+        horizon: flag_num(rest, "--horizon", 7u32)?,
+        level_half_life: flag_num(rest, "--level-half-life", 7.0f64)?,
+        trend_half_life: flag_num(rest, "--trend-half-life", 14.0f64)?,
+        neighbor_weight: flag_num(rest, "--neighbor-weight", 0.15f64)?,
+        threads: flag_num(rest, "--threads", 0usize)?,
+    })
 }
 
 fn positional<'a>(rest: &[&'a String], idx: usize, what: &str) -> Result<&'a str, String> {

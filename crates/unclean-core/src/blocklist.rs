@@ -103,12 +103,20 @@ pub fn render_scored_with_meta(
     out
 }
 
+/// Header keys whose values must parse as unsigned integers. A list
+/// whose `# generation=` line is corrupt must fail loudly: silently
+/// dropping the value would let a serving daemon install the snapshot
+/// with no lineage, and the staleness watchdog would never notice.
+const NUMERIC_META_KEYS: &[&str] = &["generation", "published_unix_ms", "horizon_days"];
+
 /// Collect `key=value` tokens from the leading comment block of a
 /// rendered blocklist (the lines [`render_scored_with_meta`] writes).
 /// Scanning stops at the first non-comment, non-blank line, so inline
 /// `score=` comments on entry lines are never mistaken for metadata.
-/// Later duplicates win.
-pub fn parse_header_meta(text: &str) -> std::collections::BTreeMap<String, String> {
+/// Later duplicates win. Keys that carry lineage ([`NUMERIC_META_KEYS`])
+/// are validated: a non-numeric value returns
+/// [`Error::MalformedHeaderMeta`] instead of being silently ignored.
+pub fn parse_header_meta(text: &str) -> Result<std::collections::BTreeMap<String, String>, Error> {
     let mut meta = std::collections::BTreeMap::new();
     for raw_line in text.lines() {
         let line = raw_line.trim();
@@ -120,13 +128,20 @@ pub fn parse_header_meta(text: &str) -> std::collections::BTreeMap<String, Strin
         };
         for token in comment.split_whitespace() {
             if let Some((key, value)) = token.split_once('=') {
-                if !key.is_empty() {
-                    meta.insert(key.to_string(), value.to_string());
+                if key.is_empty() {
+                    continue;
                 }
+                if NUMERIC_META_KEYS.contains(&key) && value.parse::<u64>().is_err() {
+                    return Err(Error::MalformedHeaderMeta {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    });
+                }
+                meta.insert(key.to_string(), value.to_string());
             }
         }
     }
-    meta
+    Ok(meta)
 }
 
 /// Parse a plain-format list (ignores blank lines and `#` comments,
@@ -267,7 +282,7 @@ mod tests {
             ("published_unix_ms", "1754700000123".to_string()),
         ];
         let text = render_scored_with_meta(&entries, "unclean-ingest", &meta);
-        let parsed_meta = parse_header_meta(&text);
+        let parsed_meta = parse_header_meta(&text).expect("well-formed meta");
         assert_eq!(
             parsed_meta.get("generation").map(String::as_str),
             Some("17")
@@ -281,8 +296,31 @@ mod tests {
         assert_eq!(parse_plain(&text).expect("plain ok").len(), 2);
         // Inline `score=` comments never leak into header metadata, and
         // a meta-free list yields an empty map.
-        assert!(!parse_header_meta(&text).contains_key("score"));
-        assert!(parse_header_meta(&render_scored(&entries, "plain")).is_empty());
+        assert!(!parse_header_meta(&text).expect("ok").contains_key("score"));
+        assert!(parse_header_meta(&render_scored(&entries, "plain"))
+            .expect("ok")
+            .is_empty());
+    }
+
+    #[test]
+    fn header_meta_rejects_non_numeric_generation() {
+        for bad in [
+            "# blocklist: x (0 entries)\n# generation=seventeen\n",
+            "# generation=17.5 published_unix_ms=1754700000123\n",
+            "# generation=17 published_unix_ms=-3\n",
+        ] {
+            match parse_header_meta(bad) {
+                Err(Error::MalformedHeaderMeta { key, .. }) => {
+                    assert!(key == "generation" || key == "published_unix_ms");
+                }
+                other => panic!("expected MalformedHeaderMeta, got {other:?}"),
+            }
+        }
+        // Free-form keys stay unvalidated; entry lines are never scanned.
+        let tolerated = "# note=not-a-number\n9.1.1.0/24 # generation=bogus\n";
+        let meta = parse_header_meta(tolerated).expect("ok");
+        assert_eq!(meta.get("note").map(String::as_str), Some("not-a-number"));
+        assert!(!meta.contains_key("generation"));
     }
 
     #[test]

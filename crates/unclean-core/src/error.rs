@@ -34,6 +34,14 @@ pub enum Error {
     },
     /// A date string or component was invalid.
     InvalidDate(String),
+    /// A header metadata key that must be numeric (e.g. `generation=`)
+    /// carried a non-numeric value.
+    MalformedHeaderMeta {
+        /// The metadata key (e.g. `generation`).
+        key: String,
+        /// The offending value.
+        value: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -59,6 +67,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::InvalidDate(s) => write!(f, "invalid date: {s:?}"),
+            Error::MalformedHeaderMeta { key, value } => {
+                write!(f, "header metadata {key}={value:?} is not a number")
+            }
         }
     }
 }
@@ -91,6 +102,13 @@ mod tests {
                 "5",
             ),
             (Error::InvalidDate("2006-13-01".into()), "2006-13-01"),
+            (
+                Error::MalformedHeaderMeta {
+                    key: "generation".into(),
+                    value: "seventeen".into(),
+                },
+                "seventeen",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

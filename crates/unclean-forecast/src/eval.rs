@@ -1,0 +1,193 @@
+//! Held-out scoring against a persistence baseline.
+//!
+//! The honest question for any forecaster is whether it beats the dumb
+//! thing: carry the last observed day forward (persistence). Both
+//! predictors answer the same two questions about each (network, horizon
+//! day) pair and are scored the same way:
+//!
+//! * **Brier** — the predicted probability that the network emits at
+//!   least one report that day, `p = 1 − exp(−rate)` for a Poisson
+//!   arrival at the predicted rate, squared-error against the outcome;
+//! * **MAE** — absolute error of the predicted daily rate against the
+//!   realized count.
+
+use crossbeam::executor::Executor;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ForecastConfig, ForecastModel};
+use crate::series::DailySeries;
+
+/// Errors splitting the series.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// Fewer observed days than `train_days + horizon_days`.
+    SeriesTooShort {
+        /// Days available in the series.
+        have: usize,
+        /// Days the split requires.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::SeriesTooShort { have, need } => {
+                write!(f, "series has {have} days, need {need} for this split")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Side-by-side scores for the model and the persistence baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Networks scored.
+    pub networks: usize,
+    /// Training days per network.
+    pub train_days: usize,
+    /// Held-out horizon (days).
+    pub horizon_days: u32,
+    /// Mean Brier score of the model (lower is better).
+    pub model_brier: f64,
+    /// Mean Brier score of persistence.
+    pub persistence_brier: f64,
+    /// Mean absolute rate error of the model.
+    pub model_mae: f64,
+    /// Mean absolute rate error of persistence.
+    pub persistence_mae: f64,
+}
+
+impl EvalReport {
+    /// Whether the model beats persistence on Brier score.
+    pub fn beats_persistence(&self) -> bool {
+        self.model_brier < self.persistence_brier
+    }
+
+    /// Brier improvement over persistence as a fraction of the
+    /// persistence score (positive = better).
+    pub fn brier_skill(&self) -> f64 {
+        if self.persistence_brier <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.model_brier / self.persistence_brier
+    }
+}
+
+/// Probability of at least one report in a day at `rate` arrivals/day.
+fn p_report(rate: f64) -> f64 {
+    1.0 - (-rate.max(0.0)).exp()
+}
+
+/// Fit on the first `train_days` of `series`, score model and
+/// persistence on the following `config.horizon_days` days.
+/// Deterministic at any `pool` width.
+pub fn evaluate(
+    series: &DailySeries,
+    train_days: usize,
+    config: &ForecastConfig,
+    pool: &Executor,
+) -> Result<EvalReport, EvalError> {
+    let horizon = config.horizon_days as usize;
+    let need = train_days + horizon;
+    if train_days < 2 || series.days() < need {
+        return Err(EvalError::SeriesTooShort {
+            have: series.days(),
+            need,
+        });
+    }
+    let model = ForecastModel::fit_prefix(series, train_days, config, pool);
+
+    let mut model_brier = 0.0;
+    let mut pers_brier = 0.0;
+    let mut model_mae = 0.0;
+    let mut pers_mae = 0.0;
+    let mut samples = 0usize;
+    for (i, forecast) in model.forecasts.iter().enumerate() {
+        let persistence_rate = series.count(i, train_days - 1);
+        for h in 1..=horizon {
+            let actual = series.count(i, train_days + h - 1);
+            let outcome = if actual > 0.0 { 1.0 } else { 0.0 };
+            let model_rate = forecast.rate_at(h as u32);
+            model_brier += (p_report(model_rate) - outcome).powi(2);
+            pers_brier += (p_report(persistence_rate) - outcome).powi(2);
+            model_mae += (model_rate - actual).abs();
+            pers_mae += (persistence_rate - actual).abs();
+            samples += 1;
+        }
+    }
+    let n = samples.max(1) as f64;
+    Ok(EvalReport {
+        networks: model.forecasts.len(),
+        train_days,
+        horizon_days: config.horizon_days,
+        model_brier: model_brier / n,
+        persistence_brier: pers_brier / n,
+        model_mae: model_mae / n,
+        persistence_mae: pers_mae / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unclean_core::{DateRange, Day};
+    use unclean_netmodel::Infection;
+    use unclean_stats::SeedTree;
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        let infections = vec![Infection {
+            addr: 0x09010001,
+            start: 0,
+            end: 9,
+            recruited: false,
+            channel: 0,
+        }];
+        let series = DailySeries::from_infections(
+            &infections,
+            DateRange::new(Day(0), Day(9)),
+            1.0,
+            &SeedTree::new(1),
+        );
+        let err = evaluate(&series, 8, &ForecastConfig::default(), &Executor::new(1));
+        assert_eq!(err, Err(EvalError::SeriesTooShort { have: 10, need: 15 }));
+    }
+
+    #[test]
+    fn smoothing_beats_persistence_on_noisy_counts() {
+        // Many small networks with thinned reporting: persistence chases
+        // single-day binomial noise (and predicts p = 0 whenever the last
+        // training day happened to be quiet); the smoother does not.
+        let mut infections = Vec::new();
+        for net in 0..48u32 {
+            for host in 0..(2 + net % 5) {
+                infections.push(Infection {
+                    addr: ((0x0900 + net) << 16) | host,
+                    start: 0,
+                    end: 99,
+                    recruited: false,
+                    channel: 0,
+                });
+            }
+        }
+        let series = DailySeries::from_infections(
+            &infections,
+            DateRange::new(Day(0), Day(99)),
+            0.3,
+            &SeedTree::new(5),
+        );
+        let report = evaluate(&series, 60, &ForecastConfig::default(), &Executor::new(2))
+            .expect("split fits");
+        assert!(
+            report.beats_persistence(),
+            "model {} vs persistence {}",
+            report.model_brier,
+            report.persistence_brier
+        );
+        assert!(report.model_mae < report.persistence_mae);
+        assert!(report.brier_skill() > 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! The per-network forecaster: Holt level+trend with spatial smoothing.
+//!
+//! Chen et al.'s observation is that per-network attack rates carry
+//! exploitable structure in both time (rates persist and drift slowly)
+//! and space (adjacent networks attack alike — the same clustering the
+//! paper's spatial uncleanliness measures). The model here is the
+//! smallest one that uses both: an exponentially weighted level+trend
+//! (Holt) per /16, then a blend of each network's state with its
+//! immediately adjacent /16s. Everything is fit per network through the
+//! deterministic executor, so results are byte-identical at any thread
+//! count.
+
+use crossbeam::executor::Executor;
+use serde::{Deserialize, Serialize};
+
+use crate::series::DailySeries;
+
+/// Score half-lives are capped here (≈10 years) — "never decays" in a
+/// finite rendering.
+pub const HALF_LIFE_CAP_DAYS: f64 = 3650.0;
+
+/// Forecaster tunables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecastConfig {
+    /// Default prediction horizon (days ahead of the last observed day).
+    pub horizon_days: u32,
+    /// Half-life (days) of the level smoother; smaller = more reactive.
+    pub level_half_life: f64,
+    /// Half-life (days) of the trend smoother.
+    pub trend_half_life: f64,
+    /// Weight of the adjacent-/16 spatial term in `[0, 1)`.
+    pub neighbor_weight: f64,
+    /// z-score of the confidence interval (1.96 ≈ 95%).
+    pub ci_z: f64,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> ForecastConfig {
+        ForecastConfig {
+            horizon_days: 7,
+            level_half_life: 7.0,
+            trend_half_life: 14.0,
+            neighbor_weight: 0.15,
+            ci_z: 1.96,
+        }
+    }
+}
+
+/// One network's fitted state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkForecast {
+    /// The /16 prefix (address >> 16).
+    pub network: u32,
+    /// Smoothed daily report rate at the end of the training window.
+    pub level: f64,
+    /// Smoothed daily change of the rate.
+    pub trend: f64,
+    /// EWMA standard deviation of one-step-ahead residuals.
+    pub sigma: f64,
+    /// Days until the predicted rate halves (capped at
+    /// [`HALF_LIFE_CAP_DAYS`]; the cap means "not decaying").
+    pub score_half_life: f64,
+}
+
+impl NetworkForecast {
+    /// Predicted daily report rate `horizon` days ahead.
+    pub fn rate_at(&self, horizon: u32) -> f64 {
+        (self.level + self.trend * horizon as f64).max(0.0)
+    }
+
+    /// `(ci_low, ci_high)` around [`NetworkForecast::rate_at`], widening
+    /// with the square root of the horizon.
+    pub fn ci_at(&self, horizon: u32, z: f64) -> (f64, f64) {
+        let rate = self.rate_at(horizon);
+        let spread = z * self.sigma * (horizon as f64).sqrt();
+        ((rate - spread).max(0.0), rate + spread)
+    }
+}
+
+/// A fitted model: one [`NetworkForecast`] per series network, in
+/// network order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecastModel {
+    /// The configuration the model was fit with.
+    pub config: ForecastConfig,
+    /// Per-network state, sorted by `network`.
+    pub forecasts: Vec<NetworkForecast>,
+}
+
+impl ForecastModel {
+    /// Fit on the whole series.
+    pub fn fit(series: &DailySeries, config: &ForecastConfig, pool: &Executor) -> ForecastModel {
+        ForecastModel::fit_prefix(series, series.days(), config, pool)
+    }
+
+    /// Fit on the first `days` observations of each network (the
+    /// train/test split [`crate::eval`] uses). Per-network fits run on
+    /// `pool`; the spatial blend is a sequential pass over the indexed
+    /// results, so output is independent of thread count.
+    pub fn fit_prefix(
+        series: &DailySeries,
+        days: usize,
+        config: &ForecastConfig,
+        pool: &Executor,
+    ) -> ForecastModel {
+        let days = days.min(series.days());
+        let networks = series.networks();
+        let raw: Vec<(f64, f64, f64)> =
+            pool.run_indexed(networks.len(), |i| holt_fit(&series.row(i)[..days], config));
+
+        let w = config.neighbor_weight.clamp(0.0, 0.99);
+        let forecasts = networks
+            .iter()
+            .enumerate()
+            .map(|(i, &network)| {
+                let (level, trend, sigma) = raw[i];
+                // Spatial term: mean state of the adjacent /16s (prefix
+                // ±1) that appear in the series. Networks are sorted, so
+                // adjacency is a neighbor-index check.
+                let mut acc = (0.0, 0.0, 0usize);
+                if i > 0 && networks[i - 1] + 1 == network {
+                    acc = (acc.0 + raw[i - 1].0, acc.1 + raw[i - 1].1, acc.2 + 1);
+                }
+                if i + 1 < networks.len() && networks[i + 1] == network + 1 {
+                    acc = (acc.0 + raw[i + 1].0, acc.1 + raw[i + 1].1, acc.2 + 1);
+                }
+                let (level, trend) = if acc.2 > 0 {
+                    let n = acc.2 as f64;
+                    (
+                        (1.0 - w) * level + w * acc.0 / n,
+                        (1.0 - w) * trend + w * acc.1 / n,
+                    )
+                } else {
+                    (level, trend)
+                };
+                NetworkForecast {
+                    network,
+                    level,
+                    trend,
+                    sigma,
+                    score_half_life: score_half_life(level, trend),
+                }
+            })
+            .collect();
+        ForecastModel {
+            config: config.clone(),
+            forecasts,
+        }
+    }
+}
+
+/// Days until `level + trend·d` reaches `level / 2`; capped, and the cap
+/// when the rate is flat or growing.
+pub fn score_half_life(level: f64, trend: f64) -> f64 {
+    if trend < -1e-12 && level > 0.0 {
+        (level / (-2.0 * trend)).min(HALF_LIFE_CAP_DAYS)
+    } else {
+        HALF_LIFE_CAP_DAYS
+    }
+}
+
+/// Holt's linear method with half-life-parameterized smoothing factors.
+/// Returns `(level, trend, residual_sigma)` after the last observation.
+fn holt_fit(row: &[f64], config: &ForecastConfig) -> (f64, f64, f64) {
+    let alpha = 1.0 - 0.5f64.powf(1.0 / config.level_half_life.max(1.0));
+    let beta = 1.0 - 0.5f64.powf(1.0 / config.trend_half_life.max(1.0));
+    let mut level = row.first().copied().unwrap_or(0.0);
+    let mut trend = 0.0;
+    let mut var = 0.0;
+    for &y in row.iter().skip(1) {
+        let predicted = level + trend;
+        let resid = y - predicted;
+        var = (1.0 - alpha) * var + alpha * resid * resid;
+        let prev_level = level;
+        level = alpha * y + (1.0 - alpha) * predicted;
+        trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+    }
+    (level.max(0.0), trend, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unclean_core::{DateRange, Day};
+    use unclean_netmodel::Infection;
+    use unclean_stats::SeedTree;
+
+    fn series_of(infections: &[Infection], days: i32) -> DailySeries {
+        DailySeries::from_infections(
+            infections,
+            DateRange::new(Day(0), Day(days - 1)),
+            1.0,
+            &SeedTree::new(1),
+        )
+    }
+
+    fn host_block(net: u32, hosts: u32, start: i32, end: i32) -> Vec<Infection> {
+        (0..hosts)
+            .map(|i| Infection {
+                addr: (net << 16) | i,
+                start,
+                end,
+                recruited: false,
+                channel: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn level_tracks_steady_rate_and_trend_sees_decay() {
+        // Network 0x0901: steady 40 hosts. Network 0x0B02: hosts drop off
+        // halfway (staggered cleanups ⇒ downward trend); the series ends
+        // mid-decay so level is still positive while trend is negative.
+        let mut infections = host_block(0x0901, 40, 0, 59);
+        for (i, inf) in host_block(0x0B02, 40, 0, 59).iter().enumerate() {
+            let mut inf = *inf;
+            inf.end = 30 + (i as i32) % 20;
+            infections.push(inf);
+        }
+        let series = series_of(&infections, 45);
+        let model = ForecastModel::fit(&series, &ForecastConfig::default(), &Executor::new(1));
+        let steady = model.forecasts[0];
+        let decaying = model.forecasts[1];
+        assert!((steady.level - 40.0).abs() < 2.0, "level {}", steady.level);
+        assert!(steady.trend.abs() < 0.5, "steady trend {}", steady.trend);
+        assert!(decaying.trend < -0.2, "decay trend {}", decaying.trend);
+        assert!(decaying.score_half_life < HALF_LIFE_CAP_DAYS);
+        assert!(steady.score_half_life == HALF_LIFE_CAP_DAYS);
+        // Rates project the trend and never go negative.
+        assert!(decaying.rate_at(400) == 0.0);
+        let (lo, hi) = steady.ci_at(7, 1.96);
+        assert!(lo <= steady.rate_at(7) && steady.rate_at(7) <= hi);
+    }
+
+    #[test]
+    fn neighbor_term_pulls_adjacent_blocks_together() {
+        // 0x0901 is hot; 0x0902 is adjacent and quiet; 0x0B02 is far and
+        // quiet. The spatial term raises only the adjacent one.
+        let mut infections = host_block(0x0901, 50, 0, 39);
+        infections.extend(host_block(0x0902, 2, 0, 39));
+        infections.extend(host_block(0x0B02, 2, 0, 39));
+        let series = series_of(&infections, 40);
+        let cfg = ForecastConfig {
+            neighbor_weight: 0.3,
+            ..ForecastConfig::default()
+        };
+        let model = ForecastModel::fit(&series, &cfg, &Executor::new(1));
+        let adjacent = model.forecasts[1];
+        let far = model.forecasts[2];
+        assert_eq!(adjacent.network, 0x0902);
+        assert_eq!(far.network, 0x0B02);
+        assert!(
+            adjacent.level > far.level + 5.0,
+            "adjacent {} vs far {}",
+            adjacent.level,
+            far.level
+        );
+    }
+
+    #[test]
+    fn fit_is_thread_count_invariant() {
+        let mut infections = Vec::new();
+        for net in 0..64u32 {
+            infections.extend(host_block(0x0900 + net, 1 + net % 13, 0, 89));
+        }
+        let series = DailySeries::from_infections(
+            &infections,
+            DateRange::new(Day(0), Day(89)),
+            0.4,
+            &SeedTree::new(3),
+        );
+        let cfg = ForecastConfig::default();
+        let one = ForecastModel::fit(&series, &cfg, &Executor::new(1));
+        let eight = ForecastModel::fit(&series, &cfg, &Executor::new(8));
+        assert_eq!(one, eight);
+    }
+}

@@ -1,0 +1,252 @@
+//! Remediation interventions: notify-and-cleanup campaigns.
+//!
+//! The paper closes by suggesting uncleanliness predictions could steer
+//! *proactive* defense. AbuseHUB-style clearinghouses take the next step:
+//! notify the worst networks and measure whether coordinated cleanup
+//! actually bends the infection curve. This module models that
+//! counterfactual on the synthetic world: at day D a campaign notifies a
+//! target set of /16 networks; a complying network's latent hygiene
+//! rises, its active infections are cleaned after a short lag, and its
+//! *future* compromise hazard and infection lifetimes shrink to match the
+//! new hygiene.
+//!
+//! The transform is applied to an already-generated infection history, so
+//! the same seeded epidemic can be replayed with and without the
+//! intervention and differenced exactly. All decisions use stable hashes
+//! keyed on (network, day) or (host, start-day), so outcomes are
+//! deterministic and independent of iteration order or thread count.
+
+use crate::compromise::{CompromiseConfig, Infection};
+use crate::randutil::uniform_hash;
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+use unclean_core::Day;
+use unclean_stats::SeedTree;
+
+/// A notify-and-cleanup campaign against a set of /16 networks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Remediation {
+    /// The day operators are notified.
+    pub day: Day,
+    /// Probability a notified network complies (cleans up and hardens).
+    pub compliance: f64,
+    /// Hygiene lift applied to complying networks:
+    /// `h' = h + (1 − h)·lift`.
+    pub hygiene_lift: f64,
+    /// Days between notification and completed cleanup.
+    pub cleanup_lag_days: u32,
+    /// Targeted /16 prefixes (address >> 16).
+    pub targets: Vec<u32>,
+}
+
+impl Remediation {
+    /// Target the `top_k` lowest-hygiene /16s of `world` — the campaign a
+    /// forecaster would recommend.
+    pub fn targeting_worst(
+        world: &World,
+        top_k: usize,
+        day: Day,
+        compliance: f64,
+        hygiene_lift: f64,
+    ) -> Remediation {
+        let mut by_hygiene: Vec<(f32, u32)> = world
+            .slash16s()
+            .iter()
+            .enumerate()
+            .map(|(i, &prefix)| (world.profile(i).hygiene, prefix))
+            .collect();
+        by_hygiene.sort_by(|a, b| a.partial_cmp(b).expect("finite hygiene"));
+        Remediation {
+            day,
+            compliance,
+            hygiene_lift,
+            cleanup_lag_days: 3,
+            targets: by_hygiene
+                .into_iter()
+                .take(top_k)
+                .map(|(_, prefix)| prefix)
+                .collect(),
+        }
+    }
+
+    /// Apply the campaign: mutate `world` hygiene for complying networks
+    /// and rewrite `infections` in place — active infections are
+    /// truncated at the cleanup day, future infections are thinned by
+    /// the hazard ratio and shortened by the lifetime ratio implied by
+    /// the hygiene change. Infections stay sorted by `(start, addr)`.
+    pub fn apply(
+        &self,
+        world: &mut World,
+        infections: &mut Vec<Infection>,
+        cfg: &CompromiseConfig,
+        seeds: &SeedTree,
+    ) -> RemediationOutcome {
+        let seeds = seeds.child("remediation");
+        let mut outcome = RemediationOutcome {
+            notified: self.targets.len(),
+            ..RemediationOutcome::default()
+        };
+        // (prefix16, keep_ratio, shrink_ratio) per complying network.
+        let mut complied: Vec<(u32, f64, f64)> = Vec::new();
+        for &prefix16 in &self.targets {
+            let Ok(idx) = world.slash16s().binary_search(&prefix16) else {
+                continue; // no active hosts there
+            };
+            if uniform_hash(&seeds, prefix16, self.day.0, "comply") >= self.compliance {
+                continue;
+            }
+            let before = world.profile(idx).hygiene;
+            outcome.hygiene_before_sum += before as f64;
+            let after = world.raise_hygiene(idx, self.hygiene_lift);
+            outcome.hygiene_after_sum += after as f64;
+            let keep = (cfg.hazard(after) / cfg.hazard(before)).clamp(0.0, 1.0);
+            let shrink = (cfg.duration_mean(after) / cfg.duration_mean(before)).clamp(0.0, 1.0);
+            complied.push((prefix16, keep, shrink));
+            outcome.complied += 1;
+        }
+        complied.sort_unstable_by_key(|&(p, _, _)| p);
+
+        let cleanup_day = self.day.0 + self.cleanup_lag_days as i32;
+        infections.retain_mut(|inf| {
+            let Ok(i) = complied.binary_search_by_key(&(inf.addr >> 16), |&(p, _, _)| p) else {
+                return true;
+            };
+            let (_, keep, shrink) = complied[i];
+            if inf.start <= cleanup_day {
+                // Pre-campaign compromise: cleaned once the operators
+                // finish their sweep (if still alive by then).
+                if inf.end > cleanup_day {
+                    inf.end = cleanup_day;
+                    outcome.cleaned += 1;
+                }
+                return true;
+            }
+            // Post-campaign compromise: the hardened network would have
+            // averted a fraction of these entirely …
+            if uniform_hash(&seeds, inf.addr, inf.start, "avert") >= keep {
+                outcome.averted += 1;
+                return false;
+            }
+            // … and notices the rest sooner.
+            let dur = (inf.end - inf.start + 1) as f64;
+            let new_dur = (dur * shrink).round().max(1.0) as i32;
+            if new_dur < dur as i32 {
+                inf.end = inf.start + new_dur - 1;
+                outcome.shortened += 1;
+            }
+            true
+        });
+        outcome
+    }
+}
+
+/// What a campaign changed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RemediationOutcome {
+    /// Networks notified (targets, whether or not populated).
+    pub notified: usize,
+    /// Networks that complied and were hardened.
+    pub complied: usize,
+    /// Active infections truncated at the cleanup day.
+    pub cleaned: usize,
+    /// Future infections that never happen under the new hazard.
+    pub averted: usize,
+    /// Future infections whose lifetime shrank.
+    pub shortened: usize,
+    /// Sum of complying networks' hygiene before the lift.
+    pub hygiene_before_sum: f64,
+    /// Sum of complying networks' hygiene after the lift.
+    pub hygiene_after_sum: f64,
+}
+
+impl RemediationOutcome {
+    /// Mean hygiene of complying networks before the campaign.
+    pub fn mean_hygiene_before(&self) -> f64 {
+        self.hygiene_before_sum / self.complied.max(1) as f64
+    }
+
+    /// Mean hygiene of complying networks after the campaign.
+    pub fn mean_hygiene_after(&self) -> f64 {
+        self.hygiene_after_sum / self.complied.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compromise::{
+        active_on, calibrate_base_hazard, generate_infections, ChannelDirectory,
+    };
+    use crate::population::CascadeConfig;
+    use crate::world::WorldConfig;
+    use unclean_core::DateRange;
+
+    fn setup(seed: u64) -> (World, CompromiseConfig, Vec<Infection>) {
+        let cfg = WorldConfig {
+            cascade: CascadeConfig {
+                target_hosts: 30_000,
+                ..CascadeConfig::default()
+            },
+            ..WorldConfig::default()
+        };
+        let world = World::generate(&cfg, &SeedTree::new(seed));
+        let mut ccfg = CompromiseConfig::default();
+        ccfg.base_hazard = calibrate_base_hazard(&world, &ccfg, 3000.0, 14.0);
+        let channels = ChannelDirectory::generate(&world, &ccfg, &SeedTree::new(seed));
+        let span = DateRange::new(Day(0), Day(180));
+        let infections = generate_infections(&world, &channels, span, &ccfg, &SeedTree::new(seed));
+        (world, ccfg, infections)
+    }
+
+    #[test]
+    fn remediation_cuts_prevalence_after_day_d() {
+        let (world, ccfg, baseline) = setup(11);
+        let mut treated_world = world.clone();
+        let mut treated = baseline.clone();
+        let campaign = Remediation::targeting_worst(&world, 24, Day(90), 1.0, 0.8);
+        let outcome = campaign.apply(&mut treated_world, &mut treated, &ccfg, &SeedTree::new(11));
+        assert_eq!(outcome.complied, outcome.notified.min(24));
+        assert!(outcome.cleaned > 0, "active infections get cleaned");
+        assert!(outcome.mean_hygiene_after() > outcome.mean_hygiene_before());
+
+        let before_base = active_on(&baseline, Day(85)).count();
+        let before_treated = active_on(&treated, Day(85)).count();
+        assert_eq!(before_base, before_treated, "pre-campaign days untouched");
+
+        let after_base = active_on(&baseline, Day(140)).count();
+        let after_treated = active_on(&treated, Day(140)).count();
+        assert!(
+            (after_treated as f64) < after_base as f64 * 0.8,
+            "prevalence drops: {after_treated} vs {after_base}"
+        );
+    }
+
+    #[test]
+    fn zero_compliance_is_a_no_op() {
+        let (world, ccfg, baseline) = setup(12);
+        let mut w = world.clone();
+        let mut treated = baseline.clone();
+        let campaign = Remediation::targeting_worst(&world, 24, Day(90), 0.0, 0.8);
+        let outcome = campaign.apply(&mut w, &mut treated, &ccfg, &SeedTree::new(12));
+        assert_eq!(outcome.complied, 0);
+        assert_eq!(treated, baseline);
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let (world, ccfg, baseline) = setup(13);
+        let campaign = Remediation::targeting_worst(&world, 16, Day(60), 0.7, 0.6);
+        let run = || {
+            let mut w = world.clone();
+            let mut infs = baseline.clone();
+            campaign.apply(&mut w, &mut infs, &ccfg, &SeedTree::new(13));
+            infs
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // Sorted-by-(start, addr) invariant survives the rewrite.
+        assert!(a
+            .windows(2)
+            .all(|w| (w[0].start, w[0].addr) <= (w[1].start, w[1].addr)));
+    }
+}

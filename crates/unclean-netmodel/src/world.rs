@@ -243,6 +243,26 @@ impl World {
             .map(move |i| (self.population.block(i), self.block_hygiene[i]))
     }
 
+    /// Raise the latent hygiene of /16 `slash16_idx` toward 1 by `lift`
+    /// (0 = no change, 1 = perfectly clean): `h' = h + (1 − h)·lift`.
+    /// Member /24 blocks move by the same transform, so their relative
+    /// noise around the /16 score shrinks but never inverts. Returns the
+    /// new /16 hygiene. This is the mutation a notify-and-cleanup
+    /// campaign applies (see [`crate::remediation`]).
+    pub fn raise_hygiene(&mut self, slash16_idx: usize, lift: f64) -> f32 {
+        let lift = lift.clamp(0.0, 1.0) as f32;
+        let p = &mut self.profiles[slash16_idx];
+        p.hygiene = (p.hygiene + (1.0 - p.hygiene) * lift).clamp(0.005, 0.995);
+        let prefix16 = self.slash16s[slash16_idx];
+        for i in 0..self.population.block_count() {
+            if self.population.block(i).prefix >> 8 == prefix16 {
+                let h = self.block_hygiene[i];
+                self.block_hygiene[i] = (h + (1.0 - h) * lift).clamp(0.005, 0.995);
+            }
+        }
+        self.profiles[slash16_idx].hygiene
+    }
+
     /// Indices of datacenter blocks (phishing hosting candidates).
     pub fn datacenter_blocks(&self) -> Vec<usize> {
         (0..self.population.block_count())

@@ -38,4 +38,7 @@ pub mod server;
 pub mod snapshot;
 
 pub use server::{Health, ServeConfig, Server};
-pub use snapshot::{build_snapshot, ServeError, ServingSnapshot, SnapshotStore};
+pub use snapshot::{
+    build_forecast_snapshot, build_snapshot, ForecastSnapshot, ForecastStore, ServeError,
+    ServingSnapshot, SnapshotStore,
+};

@@ -15,6 +15,7 @@
 //! |---|---|
 //! | `GET /lookup?ip=a.b.c.d` | JSON: blocked?, matched CIDR, prefix length, score, generation |
 //! | `POST /batch` | newline-delimited IPs in, one text verdict per line out |
+//! | `GET /forecast?net=a.b.0.0/16&horizon=N` | JSON: predicted rate, CI, score half-life (404 unless `--forecast` artifact configured) |
 //! | `GET /healthz` | `ok\|stale\|degraded generation=G age_secs=A` |
 //! | `GET /snapshot` | JSON: generation, block count, build time, source |
 //! | `GET /metrics` | Prometheus text exposition (`unclean_serve_*`) |
@@ -33,7 +34,10 @@
 //! daemon's health is always `ok`, as before.
 
 use crate::http::{read_request, respond, Request};
-use crate::snapshot::{build_snapshot, ServeError, ServingSnapshot, SnapshotStore};
+use crate::snapshot::{
+    build_forecast_snapshot, build_snapshot, ForecastSnapshot, ForecastStore, ServeError,
+    ServingSnapshot, SnapshotStore,
+};
 use crossbeam::channel::{self, TrySendError};
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -68,6 +72,10 @@ fn unix_ms_now() -> u64 {
 pub struct ServeConfig {
     /// The blocklist file to serve (plain or scored format).
     pub source: PathBuf,
+    /// An optional forecast artifact (written by `unclean forecast
+    /// fit`); enables `GET /forecast`, hot-reloaded through the same
+    /// watch/reload paths as the blocklist.
+    pub forecast: Option<PathBuf>,
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
     /// Worker threads answering requests.
@@ -103,6 +111,7 @@ impl ServeConfig {
     pub fn new(source: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             source: source.into(),
+            forecast: None,
             addr: "127.0.0.1:0".to_string(),
             threads: 4,
             max_conns: 1024,
@@ -181,6 +190,12 @@ struct Metrics {
     trace_req: Counter,
     history_req: Counter,
     sampled: Counter,
+    forecast_req: Counter,
+    forecast_hits: Counter,
+    forecast_misses: Counter,
+    forecast_bad_request: Counter,
+    forecast_reloads: Counter,
+    forecast_reload_errors: Counter,
     latency_micros: Histogram,
     stage_parse_ns: Histogram,
     stage_lookup_ns: Histogram,
@@ -188,6 +203,9 @@ struct Metrics {
     generation: Gauge,
     entries: Gauge,
     generation_age_secs: Gauge,
+    forecast_generation: Gauge,
+    forecast_entries: Gauge,
+    forecast_generation_age_secs: Gauge,
 }
 
 impl Metrics {
@@ -214,6 +232,12 @@ impl Metrics {
             trace_req: registry.counter("requests.trace"),
             history_req: registry.counter("requests.history"),
             sampled: registry.counter("trace.sampled_requests"),
+            forecast_req: registry.counter("requests.forecast"),
+            forecast_hits: registry.counter("forecast.hits"),
+            forecast_misses: registry.counter("forecast.misses"),
+            forecast_bad_request: registry.counter("forecast.bad_request"),
+            forecast_reloads: registry.counter("forecast.reload.count"),
+            forecast_reload_errors: registry.counter("forecast.reload.errors"),
             latency_micros: registry.histogram("request_micros"),
             stage_parse_ns: registry.histogram("stage_ns.parse"),
             stage_lookup_ns: registry.histogram("stage_ns.lookup"),
@@ -221,12 +245,26 @@ impl Metrics {
             generation: registry.gauge("snapshot.generation"),
             entries: registry.gauge("snapshot.entries"),
             generation_age_secs: registry.gauge("generation_age_secs"),
+            forecast_generation: registry.gauge("forecast.generation"),
+            forecast_entries: registry.gauge("forecast.entries"),
+            forecast_generation_age_secs: registry.gauge("forecast_generation_age_secs"),
         }
     }
 }
 
+/// Forecast serving state, present only when `--forecast` points at an
+/// artifact. The blocklist trio (store, watched source, rebuild lock) is
+/// mirrored here so the forecast hot-reloads through exactly the same
+/// generation discipline without perturbing blocklist serving.
+struct ForecastShared {
+    store: ForecastStore,
+    source: PathBuf,
+    rebuild_lock: Mutex<()>,
+}
+
 struct Shared {
     store: SnapshotStore,
+    forecast: Option<ForecastShared>,
     registry: Registry,
     metrics: Metrics,
     shutdown: AtomicBool,
@@ -262,6 +300,13 @@ impl Shared {
     fn observe_health(&self) -> (Health, Duration) {
         let age = self.generation_age();
         self.metrics.generation_age_secs.set(age.as_secs_f64());
+        if let Some(forecast) = &self.forecast {
+            let built_ms = forecast.store.load().built_unix_ms;
+            let forecast_age = Duration::from_millis(unix_ms_now().saturating_sub(built_ms));
+            self.metrics
+                .forecast_generation_age_secs
+                .set(forecast_age.as_secs_f64());
+        }
         (Health::of(age, self.stale_after, self.degraded_after), age)
     }
 }
@@ -306,6 +351,51 @@ impl Shared {
         ring.record(event);
     }
 
+    /// Rebuild the forecast snapshot from its artifact and install, the
+    /// forecast twin of [`Shared::rebuild`]. Returns `Ok(None)` when no
+    /// forecast artifact is configured.
+    fn rebuild_forecast(&self) -> Result<Option<Arc<ForecastSnapshot>>, ServeError> {
+        let Some(forecast) = &self.forecast else {
+            return Ok(None);
+        };
+        let _guard = forecast.rebuild_lock.lock().expect("forecast rebuild lock");
+        let generation = forecast.store.claim_generation();
+        match build_forecast_snapshot(&forecast.source, generation, &self.registry) {
+            Ok(snapshot) => {
+                self.metrics.forecast_reloads.inc();
+                self.metrics
+                    .forecast_generation
+                    .set(snapshot.generation as f64);
+                self.metrics
+                    .forecast_entries
+                    .set(snapshot.artifact.entries.len() as f64);
+                self.record_forecast_reload_event(&snapshot);
+                forecast.store.install(snapshot);
+                Ok(Some(forecast.store.load()))
+            }
+            Err(e) => {
+                self.metrics.forecast_reload_errors.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Record a [`TraceKind::Reload`] event for a forecast generation,
+    /// tagged `artifact=forecast` so lineage walks can tell the two
+    /// reload streams apart.
+    fn record_forecast_reload_event(&self, snapshot: &ForecastSnapshot) {
+        let Some(ring) = &self.trace else { return };
+        let mut event = TraceEvent::now(TraceKind::Reload)
+            .generation(snapshot.generation)
+            .field("artifact", "forecast")
+            .field("entries", snapshot.artifact.entries.len() as u64)
+            .field("source", &snapshot.source);
+        if let Some(source_generation) = snapshot.source_generation {
+            event = event.source_generation(source_generation);
+        }
+        ring.record(event);
+    }
+
     fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The accept loop is blocked in `accept`; a throwaway connection
@@ -337,10 +427,28 @@ impl Server {
         let boot = build_snapshot(&config.source, 1, &registry)?;
         metrics.generation.set(boot.generation as f64);
         metrics.entries.set(boot.trie.len() as f64);
+        // Fail fast on a bad forecast artifact: a daemon started with
+        // `--forecast` should not come up silently forecast-less.
+        let forecast = match &config.forecast {
+            Some(source) => {
+                let boot_forecast = build_forecast_snapshot(source, 1, &registry)?;
+                metrics.forecast_generation.set(1.0);
+                metrics
+                    .forecast_entries
+                    .set(boot_forecast.artifact.entries.len() as f64);
+                Some(ForecastShared {
+                    store: ForecastStore::new(boot_forecast),
+                    source: source.clone(),
+                    rebuild_lock: Mutex::new(()),
+                })
+            }
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             store: SnapshotStore::new(boot),
+            forecast,
             registry,
             metrics,
             shutdown: AtomicBool::new(false),
@@ -361,6 +469,9 @@ impl Server {
         // lookup served before any watcher/reload fires still has a
         // reload event to chain through.
         shared.record_reload_event(&shared.store.load());
+        if let Some(forecast) = &shared.forecast {
+            shared.record_forecast_reload_event(&forecast.store.load());
+        }
 
         let (tx, rx) = channel::bounded::<TcpStream>(config.max_conns.max(1));
         let mut threads = Vec::with_capacity(config.threads + 2);
@@ -413,12 +524,33 @@ impl Server {
             let baseline = std::fs::metadata(&config.source)
                 .ok()
                 .map(|m| fingerprint(&m));
+            let source = config.source.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("serve-watch".to_string())
-                    .spawn(move || watcher_loop(&shared_w, interval, baseline))
+                    .spawn(move || {
+                        watcher_loop(&shared_w, interval, baseline, &source, |s| {
+                            let _ = s.rebuild();
+                        })
+                    })
                     .map_err(ServeError::Io)?,
             );
+            if let Some(forecast_source) = config.forecast.clone() {
+                let shared_fw = Arc::clone(&shared);
+                let baseline = std::fs::metadata(&forecast_source)
+                    .ok()
+                    .map(|m| fingerprint(&m));
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("serve-watch-forecast".to_string())
+                        .spawn(move || {
+                            watcher_loop(&shared_fw, interval, baseline, &forecast_source, |s| {
+                                let _ = s.rebuild_forecast();
+                            })
+                        })
+                        .map_err(ServeError::Io)?,
+                );
+            }
         }
         Ok(Server { shared, threads })
     }
@@ -436,6 +568,15 @@ impl Server {
     /// The currently served generation number.
     pub fn generation(&self) -> u64 {
         self.shared.store.load().generation
+    }
+
+    /// The currently served forecast generation, when a forecast artifact
+    /// is configured.
+    pub fn forecast_generation(&self) -> Option<u64> {
+        self.shared
+            .forecast
+            .as_ref()
+            .map(|f| f.store.load().generation)
     }
 
     /// Force a rebuild from the source file; returns the new generation.
@@ -602,12 +743,31 @@ struct SnapshotAnswer {
     memory_bytes: usize,
     source_generation: Option<u64>,
     source_published_unix_ms: Option<u64>,
+    forecast_generation: Option<u64>,
+    forecast_entries: Option<usize>,
+    forecast_source: Option<String>,
+    forecast_source_generation: Option<u64>,
 }
 
 #[derive(Serialize)]
 struct ReloadAnswer {
     generation: u64,
     entries: usize,
+    forecast_generation: Option<u64>,
+    forecast_entries: Option<usize>,
+}
+
+#[derive(Serialize)]
+struct ForecastAnswer {
+    net: String,
+    known: bool,
+    horizon_days: u32,
+    predicted_rate: f64,
+    ci_low: f64,
+    ci_high: f64,
+    score_half_life: f64,
+    generation: u64,
+    source_generation: Option<u64>,
 }
 
 #[derive(Serialize)]
@@ -705,6 +865,109 @@ fn route(
                 respond_json(stream, &answer);
             }
         }
+        ("GET", "/forecast") => {
+            metrics.forecast_req.inc();
+            let Some(forecast) = &shared.forecast else {
+                metrics.not_found.inc();
+                let _ = respond(
+                    stream,
+                    404,
+                    "Not Found",
+                    "text/plain",
+                    b"no forecast artifact configured (start with --forecast)\n",
+                );
+                return;
+            };
+            // `net=` takes a /16 CIDR or a bare address; `ip=` is an
+            // alias so loadgen can reuse its lookup address stream.
+            let raw_net = request
+                .query_param("net")
+                .or_else(|| request.query_param("ip"));
+            let Some(raw_net) = raw_net else {
+                metrics.forecast_bad_request.inc();
+                metrics.bad_request.inc();
+                let _ = respond(
+                    stream,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    b"missing net= (a.b.0.0/16 or bare address) query parameter\n",
+                );
+                return;
+            };
+            let prefix16 = if raw_net.contains('/') {
+                match raw_net.parse::<unclean_core::Cidr>() {
+                    Ok(cidr) if cidr.len() == 16 => Some(cidr.base().raw() >> 16),
+                    _ => None,
+                }
+            } else {
+                raw_net.parse::<Ip>().ok().map(|ip| ip.raw() >> 16)
+            };
+            let Some(prefix16) = prefix16 else {
+                metrics.forecast_bad_request.inc();
+                metrics.bad_request.inc();
+                let _ = respond(
+                    stream,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    format!("net {raw_net:?} is not a /16 or an address\n").as_bytes(),
+                );
+                return;
+            };
+            let snapshot = forecast.store.load();
+            let horizon = match request.query_param("horizon") {
+                None => snapshot.artifact.horizon_days,
+                Some(h) => match h.parse::<u32>() {
+                    Ok(h) if (1..=365).contains(&h) => h,
+                    _ => {
+                        metrics.forecast_bad_request.inc();
+                        metrics.bad_request.inc();
+                        let _ = respond(
+                            stream,
+                            400,
+                            "Bad Request",
+                            "text/plain",
+                            format!("horizon {h:?} is not in 1..=365\n").as_bytes(),
+                        );
+                        return;
+                    }
+                },
+            };
+            let net = format!("{}.{}.0.0/16", prefix16 >> 8, prefix16 & 0xFF);
+            let answer = match snapshot.artifact.lookup(prefix16) {
+                Some(e) => {
+                    metrics.forecast_hits.inc();
+                    let (ci_low, ci_high) = e.ci_at(horizon, snapshot.artifact.ci_z);
+                    ForecastAnswer {
+                        net,
+                        known: true,
+                        horizon_days: horizon,
+                        predicted_rate: e.rate_at(horizon),
+                        ci_low,
+                        ci_high,
+                        score_half_life: e.score_half_life,
+                        generation: snapshot.generation,
+                        source_generation: snapshot.source_generation,
+                    }
+                }
+                None => {
+                    metrics.forecast_misses.inc();
+                    ForecastAnswer {
+                        net,
+                        known: false,
+                        horizon_days: horizon,
+                        predicted_rate: 0.0,
+                        ci_low: 0.0,
+                        ci_high: 0.0,
+                        score_half_life: 0.0,
+                        generation: snapshot.generation,
+                        source_generation: snapshot.source_generation,
+                    }
+                }
+            };
+            respond_json(stream, &answer);
+        }
         ("POST", "/batch") => {
             metrics.batch.inc();
             let body = String::from_utf8_lossy(&request.body);
@@ -745,6 +1008,7 @@ fn route(
         ("GET", "/snapshot") => {
             metrics.snapshot_req.inc();
             let snapshot = shared.store.load();
+            let forecast = shared.forecast.as_ref().map(|f| f.store.load());
             respond_json(
                 stream,
                 &SnapshotAnswer {
@@ -756,6 +1020,10 @@ fn route(
                     memory_bytes: snapshot.trie.memory_bytes(),
                     source_generation: snapshot.source_generation,
                     source_published_unix_ms: snapshot.source_published_unix_ms,
+                    forecast_generation: forecast.as_ref().map(|f| f.generation),
+                    forecast_entries: forecast.as_ref().map(|f| f.artifact.entries.len()),
+                    forecast_source: forecast.as_ref().map(|f| f.source.clone()),
+                    forecast_source_generation: forecast.as_ref().and_then(|f| f.source_generation),
                 },
             );
         }
@@ -816,13 +1084,21 @@ fn route(
         ("POST", "/reload") => {
             metrics.reload_req.inc();
             match shared.rebuild() {
-                Ok(snapshot) => respond_json(
-                    stream,
-                    &ReloadAnswer {
-                        generation: snapshot.generation,
-                        entries: snapshot.trie.len(),
-                    },
-                ),
+                Ok(snapshot) => {
+                    // The forecast rebuild rides along; a failure keeps
+                    // serving the old forecast generation (counted on
+                    // forecast.reload.errors) and reports null here.
+                    let forecast = shared.rebuild_forecast().ok().flatten();
+                    respond_json(
+                        stream,
+                        &ReloadAnswer {
+                            generation: snapshot.generation,
+                            entries: snapshot.trie.len(),
+                            forecast_generation: forecast.as_ref().map(|f| f.generation),
+                            forecast_entries: forecast.as_ref().map(|f| f.artifact.entries.len()),
+                        },
+                    )
+                }
                 Err(e) => {
                     let _ = respond(
                         stream,
@@ -899,15 +1175,28 @@ fn watchdog_loop(shared: &Shared) {
     }
 }
 
-/// A change fingerprint for the watched source file.
-fn fingerprint(meta: &std::fs::Metadata) -> (Option<std::time::SystemTime>, u64) {
-    (meta.modified().ok(), meta.len())
+/// A change fingerprint for the watched source file. The inode matters:
+/// atomic publishers (tmp + fsync + rename) produce a fresh inode per
+/// generation, which catches a republish that lands with an unchanged
+/// length inside the filesystem's mtime granularity.
+fn fingerprint(meta: &std::fs::Metadata) -> (Option<std::time::SystemTime>, u64, u64) {
+    #[cfg(unix)]
+    let ino = std::os::unix::fs::MetadataExt::ino(meta);
+    #[cfg(not(unix))]
+    let ino = 0u64;
+    (meta.modified().ok(), meta.len(), ino)
 }
 
+/// Poll `source` for fingerprint changes and invoke `rebuild` on each.
+/// One instance runs per watched file — the blocklist, and the forecast
+/// artifact when configured — so a slow forecast refit can never delay a
+/// blocklist reload.
 fn watcher_loop(
     shared: &Shared,
     interval: Duration,
-    baseline: Option<(Option<std::time::SystemTime>, u64)>,
+    baseline: Option<(Option<std::time::SystemTime>, u64, u64)>,
+    source: &std::path::Path,
+    rebuild: impl Fn(&Shared),
 ) {
     let mut last = baseline;
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -922,14 +1211,12 @@ fn watcher_loop(
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let current = std::fs::metadata(&shared.source)
-            .ok()
-            .map(|m| fingerprint(&m));
+        let current = std::fs::metadata(source).ok().map(|m| fingerprint(&m));
         if current.is_some() && current != last {
             // A failed build keeps serving the old generation (the error
             // is counted on reload.errors); either way this fingerprint
             // has been dealt with.
-            let _ = shared.rebuild();
+            rebuild(shared);
             last = current;
         }
     }

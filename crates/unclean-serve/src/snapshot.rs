@@ -80,7 +80,8 @@ pub fn build_snapshot(
         .map_err(|e| ServeError::Source(format!("cannot read {}: {e}", source.display())))?;
     let scored = unclean_core::blocklist::parse_scored(&text)
         .map_err(|e| ServeError::Source(format!("cannot parse {}: {e}", source.display())))?;
-    let meta = unclean_core::blocklist::parse_header_meta(&text);
+    let meta = unclean_core::blocklist::parse_header_meta(&text)
+        .map_err(|e| ServeError::Source(format!("corrupt header in {}: {e}", source.display())))?;
     let source_generation = meta.get("generation").and_then(|g| g.parse().ok());
     let source_published_unix_ms = meta.get("published_unix_ms").and_then(|t| t.parse().ok());
     let trie = FrozenTrie::from_scored(scored);
@@ -100,6 +101,92 @@ pub fn build_snapshot(
         source_generation,
         source_published_unix_ms,
     })
+}
+
+/// One immutable generation of the forecast serving state: a parsed
+/// [`unclean_forecast::ForecastArtifact`] plus build provenance, the
+/// same shape [`ServingSnapshot`] gives the blocklist.
+#[derive(Debug)]
+pub struct ForecastSnapshot {
+    /// Monotone generation number (1 for the boot snapshot).
+    pub generation: u64,
+    /// The parsed forecast artifact requests are answered from.
+    pub artifact: unclean_forecast::ForecastArtifact,
+    /// The source file the snapshot was built from.
+    pub source: String,
+    /// Unix milliseconds at which the build finished.
+    pub built_unix_ms: u64,
+    /// The publisher's generation stamp from the artifact header.
+    pub source_generation: Option<u64>,
+    /// The publisher's timestamp from the artifact header.
+    pub source_published_unix_ms: Option<u64>,
+}
+
+/// Build one forecast snapshot from a published artifact. Runs off the
+/// serving path, like [`build_snapshot`]; records a `forecast_build`
+/// span with `generation`/`entries` fields on `registry`.
+pub fn build_forecast_snapshot(
+    source: &Path,
+    generation: u64,
+    registry: &Registry,
+) -> Result<ForecastSnapshot, ServeError> {
+    let mut span = registry.span("forecast_build");
+    span.field("generation", generation);
+    let text = std::fs::read_to_string(source)
+        .map_err(|e| ServeError::Source(format!("cannot read {}: {e}", source.display())))?;
+    let artifact = unclean_forecast::ForecastArtifact::parse(&text)
+        .map_err(|e| ServeError::Source(format!("cannot parse {}: {e}", source.display())))?;
+    span.field("entries", artifact.entries.len() as u64);
+    Ok(ForecastSnapshot {
+        generation,
+        source: source.display().to_string(),
+        built_unix_ms: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0),
+        source_generation: artifact.generation,
+        source_published_unix_ms: artifact.published_unix_ms,
+        artifact,
+    })
+}
+
+/// [`SnapshotStore`]'s twin for forecast generations: `Arc` clones out,
+/// forward-only installs in.
+#[derive(Debug)]
+pub struct ForecastStore {
+    current: Mutex<Arc<ForecastSnapshot>>,
+    next_generation: AtomicU64,
+}
+
+impl ForecastStore {
+    /// A store serving `boot` as generation `boot.generation`.
+    pub fn new(boot: ForecastSnapshot) -> ForecastStore {
+        let next = boot.generation + 1;
+        ForecastStore {
+            current: Mutex::new(Arc::new(boot)),
+            next_generation: AtomicU64::new(next),
+        }
+    }
+
+    /// The current generation, shared.
+    pub fn load(&self) -> Arc<ForecastSnapshot> {
+        Arc::clone(&self.current.lock().expect("forecast store"))
+    }
+
+    /// Claim the next generation number (for a build about to start).
+    pub fn claim_generation(&self) -> u64 {
+        self.next_generation.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Install a newly built generation; refuses to go backwards.
+    pub fn install(&self, snapshot: ForecastSnapshot) -> bool {
+        let mut current = self.current.lock().expect("forecast store");
+        if snapshot.generation <= current.generation {
+            return false;
+        }
+        *current = Arc::new(snapshot);
+        true
+    }
 }
 
 /// Holds the current generation; hands out `Arc` clones and swaps in new

@@ -44,6 +44,10 @@ pub enum TraceKind {
     Reload,
     /// A sampled request served (stage nanos in `fields`).
     Lookup,
+    /// A forecast model fit over an archive or scenario window.
+    ForecastFit,
+    /// A forecast artifact published atomically.
+    ForecastPublish,
     /// Anything else (free-form marker).
     Mark,
 }
@@ -58,6 +62,8 @@ impl TraceKind {
             TraceKind::Publish => "publish",
             TraceKind::Reload => "reload",
             TraceKind::Lookup => "lookup",
+            TraceKind::ForecastFit => "forecast_fit",
+            TraceKind::ForecastPublish => "forecast_publish",
             TraceKind::Mark => "mark",
         }
     }
@@ -347,7 +353,9 @@ fn kind_lane(kind: TraceKind) -> u64 {
         TraceKind::Publish => 4,
         TraceKind::Reload => 5,
         TraceKind::Lookup => 6,
-        TraceKind::Mark => 7,
+        TraceKind::ForecastFit => 7,
+        TraceKind::ForecastPublish => 8,
+        TraceKind::Mark => 9,
     }
 }
 
