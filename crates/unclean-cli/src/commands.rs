@@ -502,6 +502,98 @@ pub fn blocklist(
     ))
 }
 
+/// `unclean blocklist freeze <scored-list> --out <snap>`: parse a
+/// scored (or plain) text blocklist and write the mmap-able frozen-trie
+/// snapshot `unclean serve` maps in O(1) (and co-located daemons share
+/// via the page cache). Provenance from the list's header metadata
+/// (`generation=G`) is carried into the snapshot header.
+pub fn blocklist_freeze(list: &Path, out: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(list)
+        .map_err(|e| format!("cannot read {}: {e}", list.display()))?;
+    let scored = unclean_core::blocklist::parse_scored(&text)
+        .map_err(|e| format!("cannot parse {}: {e}", list.display()))?;
+    let meta = unclean_core::blocklist::parse_header_meta(&text)
+        .map_err(|e| format!("corrupt header in {}: {e}", list.display()))?;
+    let source_generation = meta.get("generation").and_then(|g| g.parse().ok());
+    let entries = scored.len();
+    let trie = unclean_core::frozen::FrozenTrie::from_scored(scored);
+    let built_unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0);
+    trie.freeze_to_file(
+        out,
+        unclean_core::snap::SnapshotMeta {
+            built_unix_ms,
+            source_generation,
+        },
+    )
+    .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    let info = unclean_core::snap::inspect(out).map_err(|e| e.to_string())?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "froze {entries} entries ({} nodes) from {} into {} ({} bytes)",
+        info.node_count,
+        list.display(),
+        out.display(),
+        info.file_len,
+    );
+    let _ = writeln!(
+        report,
+        "source generation: {}",
+        source_generation
+            .map(|g: u64| g.to_string())
+            .unwrap_or_else(|| "none".into())
+    );
+    Ok(report)
+}
+
+/// `unclean snapshot inspect <snap>`: print a frozen snapshot's header,
+/// section geometry, provenance, and the outcome of full CRC
+/// verification.
+pub fn snapshot_inspect(path: &Path) -> Result<String, String> {
+    let info = unclean_core::snap::inspect(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "frozen-trie snapshot: {}", path.display());
+    let _ = writeln!(out, "  version:      {}", info.version);
+    let _ = writeln!(out, "  file length:  {} bytes", info.file_len);
+    let _ = writeln!(
+        out,
+        "  nodes:        {} x 16 B at offset {}",
+        info.node_count, info.nodes_off
+    );
+    let _ = writeln!(
+        out,
+        "  entries:      {} x 16 B at offset {}",
+        info.entry_count, info.entries_off
+    );
+    let _ = writeln!(out, "  built:        unix_ms {}", info.meta.built_unix_ms);
+    let _ = writeln!(
+        out,
+        "  source gen:   {}",
+        info.meta
+            .source_generation
+            .map(|g| g.to_string())
+            .unwrap_or_else(|| "none".into())
+    );
+    let _ = writeln!(
+        out,
+        "  crc:          header={:08x} nodes={:08x} entries={:08x} -> {}",
+        info.header_crc,
+        info.nodes_crc,
+        info.entries_crc,
+        if info.crc_ok { "OK" } else { "MISMATCH" }
+    );
+    if !info.crc_ok {
+        return Err(format!(
+            "{}: section CRC mismatch (file is corrupt)\n{out}",
+            path.display()
+        ));
+    }
+    Ok(out)
+}
+
 /// Merge adjacent sibling blocks into their parents, repeatedly.
 fn merge_siblings(mut blocks: Vec<Cidr>) -> Vec<Cidr> {
     loop {
@@ -692,6 +784,7 @@ pub struct ServeTuning {
     pub trace_sample: u64,
     pub trace_events: usize,
     pub history_ms: u64,
+    pub max_requests_per_conn: u64,
 }
 
 /// `unclean serve --blocklist <file> [--addr A] [--threads N]
@@ -727,6 +820,7 @@ pub fn serve(
     config.degraded_after = tuning.degraded_after_secs.map(Duration::from_secs);
     config.trace_sample = tuning.trace_sample;
     config.trace_events = tuning.trace_events;
+    config.max_requests_per_conn = tuning.max_requests_per_conn.max(1);
     config.history_interval =
         (tuning.history_ms > 0).then(|| Duration::from_millis(tuning.history_ms));
     let server = Server::start(config, registry.clone()).map_err(|e| e.to_string())?;

@@ -31,14 +31,17 @@ USAGE:
   unclean spatial   --report <file> --control <file> [--trials N] [--seed N]
   unclean temporal  --past <file> --present <file> --control <file> [--trials N] [--seed N]
   unclean blocklist --report <file> [--prefix 24] [--format plain|cisco|iptables] [--aggregate]
+  unclean blocklist freeze <scored-list> --out <snapshot>
+  unclean snapshot  inspect <snapshot>
   unclean score     --report <class>=<file> ... [--prefix 16]
   unclean demo      [--out DIR] [--scale 0.002] [--seed 42]
   unclean metrics   <telemetry.json|metrics.prom> [--assert-zero name1,name2]
   unclean metrics   --diff <a.prom> <b.prom> [--interval-secs S]
-  unclean serve     --blocklist <file> [--forecast <file>] [--addr 127.0.0.1:7053]
+  unclean serve     --blocklist <file|snapshot> [--forecast <file>] [--addr 127.0.0.1:7053]
                     [--threads 4] [--max-conns 1024] [--read-timeout-ms 5000]
                     [--watch] [--stale-after-secs N] [--degraded-after-secs N]
                     [--trace-sample N] [--trace-events 4096] [--history-ms 2000]
+                    [--max-requests-per-conn 100000]
   unclean forecast  synth --out <spool.flows> [--scale 0.002] [--seed 42]
                     [--days 60] [--benign]
   unclean forecast  fit --archive <spool.flows> [--out forecast.txt]
@@ -67,6 +70,13 @@ bounded ring: 'unclean trace export 127.0.0.1:7053 --out t.json' saves a
 chrome://tracing / Perfetto trace; 'unclean top' tails a daemon's
 /metrics/history flight recorder as a terminal dashboard. --trace-sample N
 head-samples 1-in-N serve requests with per-stage timings (0 = off).
+
+'blocklist freeze' writes a scored list as an mmap-able frozen-trie
+snapshot; 'serve --blocklist' auto-detects snapshot files by magic and
+maps them in O(1) instead of parsing. 'snapshot inspect' prints a
+snapshot's header, geometry, provenance and CRC verification. The serve
+daemon speaks HTTP/1.1 keep-alive (and pipelining) plus a binary batch
+protocol on POST /batch-bin for bulk verdicts.
 
 Report files: one IPv4 address per line; '#' comments and blanks ignored.
 Malformed lines abort the load; 'inspect --lenient' quarantines them
@@ -133,12 +143,26 @@ fn run(args: &[String]) -> Result<String, String> {
             flag_num(&rest, "--trials", 200)?,
             flag_num(&rest, "--seed", 42)?,
         ),
-        "blocklist" => commands::blocklist(
-            &flag_path(&rest, "--report")?,
-            flag_num(&rest, "--prefix", 24u8)?,
-            &flag_str(&rest, "--format", "plain"),
-            has_flag(&rest, "--aggregate"),
-        ),
+        "blocklist" => {
+            if rest.first().map(|a| a.as_str()) == Some("freeze") {
+                return commands::blocklist_freeze(
+                    &PathBuf::from(positional(&rest, 1, "scored blocklist file")?),
+                    &flag_path(&rest, "--out")?,
+                );
+            }
+            commands::blocklist(
+                &flag_path(&rest, "--report")?,
+                flag_num(&rest, "--prefix", 24u8)?,
+                &flag_str(&rest, "--format", "plain"),
+                has_flag(&rest, "--aggregate"),
+            )
+        }
+        "snapshot" => match positional(&rest, 0, "snapshot action (inspect)")? {
+            "inspect" => {
+                commands::snapshot_inspect(&PathBuf::from(positional(&rest, 1, "snapshot file")?))
+            }
+            other => Err(format!("unknown snapshot action {other:?} (want: inspect)")),
+        },
         "score" => {
             let mut inputs = Vec::new();
             for value in flag_all(&rest, "--report") {
@@ -189,6 +213,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 trace_sample: flag_num(&rest, "--trace-sample", 0u64)?,
                 trace_events: flag_num(&rest, "--trace-events", 4096usize)?,
                 history_ms: flag_num(&rest, "--history-ms", 2000u64)?,
+                max_requests_per_conn: flag_num(&rest, "--max-requests-per-conn", 100_000u64)?,
             },
         ),
         "forecast" => match positional(&rest, 0, "forecast action (synth|fit|eval|simulate)")? {
@@ -493,6 +518,37 @@ mod tests {
         let out = run(&argv(&format!("inspect {up}"))).expect("upgraded inspect");
         assert!(out.contains("v2 indexed flow archive"), "{out}");
         assert!(out.contains("total: 70 flows"), "{out}");
+    }
+
+    #[test]
+    fn blocklist_freeze_and_snapshot_inspect_round_trip() {
+        let dir = std::env::temp_dir().join("unclean-cli-freeze");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let list = dir.join("scored.txt");
+        std::fs::write(
+            &list,
+            "9.1.0.0/16 # score=2.5\n203.0.113.0/24 # score=1.0\n",
+        )
+        .expect("write");
+        let snap = dir.join("scored.snap");
+        let (l, s) = (
+            list.to_string_lossy().to_string(),
+            snap.to_string_lossy().to_string(),
+        );
+        let out = run(&argv(&format!("blocklist freeze {l} --out {s}"))).expect("freeze");
+        assert!(out.contains("froze 2 entries"), "{out}");
+        let out = run(&argv(&format!("snapshot inspect {s}"))).expect("inspect");
+        assert!(out.contains("OK"), "{out}");
+        assert!(out.contains("2 x 16 B"), "{out}");
+        // A flipped byte in the node section fails CRC verification.
+        let mut bytes = std::fs::read(&snap).expect("read");
+        bytes[4096] ^= 0xff;
+        std::fs::write(&snap, &bytes).expect("rewrite");
+        let err = run(&argv(&format!("snapshot inspect {s}"))).expect_err("corrupt");
+        assert!(err.contains("MISMATCH"), "{err}");
+        // A non-snapshot file is refused outright.
+        let err = run(&argv(&format!("snapshot inspect {l}"))).expect_err("not a snapshot");
+        assert!(err.contains("magic"), "{err}");
     }
 
     #[test]

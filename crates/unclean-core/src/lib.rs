@@ -35,6 +35,7 @@
 //! | [`blocks`] | `C_n(S)` block sets; one-pass all-prefix block counting |
 //! | [`trie`] | binary prefix trie; minimal CIDR aggregation |
 //! | [`frozen`] | scored CIDR tries and their frozen (flattened, immutable) serving form |
+//! | [`snap`] | the mmap-able on-disk snapshot format behind `FrozenTrie::open_mmap` |
 //! | [`time`] | calendar days and report periods |
 //! | [`report`] | tagged/classed/dated reports and their filtering |
 //! | [`overlap`] | cross-indicator overlap matrices (address and /24 level) |
@@ -71,7 +72,10 @@
 //! assert!(result.hypothesis_holds());
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is banned everywhere except [`snap`], the single audited
+// module holding the snapshot mmap FFI and its record/byte casts (it
+// opts back in with a module-level `allow`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocking;
@@ -89,6 +93,7 @@ pub mod predict;
 pub mod report;
 pub mod sampling;
 pub mod score;
+pub mod snap;
 pub mod time;
 pub mod trie;
 
@@ -115,6 +120,7 @@ pub mod prelude {
     pub use crate::report::{union_reports, Provenance, Report, ReportClass};
     pub use crate::sampling::{empirical_sample, naive_sample, Estimator};
     pub use crate::score::{NetworkScore, ScoreWeights, UncleanlinessScorer};
+    pub use crate::snap::{SnapError, SnapshotInfo, SnapshotMeta};
     pub use crate::time::{DateRange, Day};
     pub use crate::trie::PrefixTrie;
 }

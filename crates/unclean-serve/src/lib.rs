@@ -6,22 +6,33 @@
 //! side of that claim — a long-running daemon that loads a (scored)
 //! blocklist produced by the analysis pipeline into an immutable
 //! [`FrozenTrie`](unclean_core::frozen::FrozenTrie) and answers
-//! longest-prefix-match queries over a minimal HTTP/1.0 text protocol.
+//! longest-prefix-match queries over HTTP/1.1 (keep-alive and pipelining
+//! first-class; HTTP/1.0 close-per-request still honored) plus a
+//! length-prefixed binary batch protocol (`POST /batch-bin`) for
+//! consumers that need millions of verdicts per second.
 //!
-//! Design in one paragraph: an accept thread pushes connections into a
-//! bounded crossbeam channel drained by a fixed pool of worker threads
-//! (no async runtime); each worker answers from an `Arc` clone of the
-//! current [`ServingSnapshot`](snapshot::ServingSnapshot). Snapshots are
-//! generation-numbered; a watcher thread (or `POST /reload`) rebuilds
-//! off the serving path and atomically swaps the `Arc`, so a hot reload
-//! under load loses zero requests — in-flight lookups keep answering
-//! from the generation they loaded.
+//! Design in one paragraph: N shard threads each own a listening socket
+//! (`SO_REUSEPORT` on Linux, so the kernel spreads accepts), a private
+//! epoll/poll event loop ([`poll`]), and the nonblocking connections it
+//! accepted — no async runtime, no cross-thread handoff on the hot
+//! path. Requests parse incrementally off per-connection buffers
+//! ([`http::parse_request`]); responses serialize into per-connection
+//! output buffers flushed as sockets allow. Every shard answers from an
+//! `Arc` clone of the current [`ServingSnapshot`](snapshot::ServingSnapshot).
+//! Snapshots are generation-numbered; a watcher thread (or `POST
+//! /reload`) rebuilds off the serving path and atomically swaps the
+//! `Arc`, so a hot reload under load loses zero requests — in-flight
+//! lookups keep answering from the generation they loaded. The source
+//! can be a text blocklist *or* a frozen-trie snapshot file
+//! (`unclean blocklist freeze`), which is memory-mapped: cold start is
+//! O(1) and co-located daemons share one page-cache copy.
 //!
 //! | module | what lives there |
 //! |---|---|
-//! | [`http`] | one-request-per-connection HTTP/1.0 parse + respond |
-//! | [`snapshot`] | generation-numbered builds, atomic swap store |
-//! | [`server`] | accept loop, worker pool, watcher, routing, metrics |
+//! | [`http`] | incremental HTTP/1.x request parser + response serializer |
+//! | [`poll`] | epoll/poll readiness wrapper, SO_REUSEPORT shard listeners (unix) |
+//! | [`snapshot`] | generation-numbered builds (text or mmap), atomic swap store |
+//! | [`server`] | shard event loops, watcher, routing, binary batch protocol, metrics |
 //!
 //! ```no_run
 //! use unclean_serve::{ServeConfig, Server};
@@ -34,6 +45,8 @@
 //! ```
 
 pub mod http;
+#[cfg(unix)]
+pub mod poll;
 pub mod server;
 pub mod snapshot;
 

@@ -1,26 +1,44 @@
-//! The daemon: a `TcpListener` accept loop feeding a fixed worker pool
-//! through a bounded crossbeam channel, answering lookups from the
-//! current [`SnapshotStore`] generation.
+//! The daemon: N shard threads, each owning a listening socket
+//! (SO_REUSEPORT on Linux — see [`crate::poll`]), a private epoll/poll
+//! event loop, and the nonblocking keep-alive connections it accepted.
+//! Lookups are answered from the current [`SnapshotStore`] generation.
 //!
 //! There is no async runtime: the workspace is offline/vendored and a
-//! frozen-trie lookup is sub-microsecond, so N blocking workers saturate
-//! the listener long before the trie is the bottleneck. Backpressure is
-//! explicit — when the accept→worker queue is full the daemon answers
+//! frozen-trie lookup is sub-microsecond, so the hot path is parse →
+//! lookup → serialize on the shard's own thread, with no cross-thread
+//! handoff. Requests parse incrementally off per-connection input
+//! buffers ([`crate::http::parse_request`]), so HTTP/1.1 keep-alive and
+//! pipelining cost nothing extra; responses accumulate in per-connection
+//! output buffers flushed as the socket allows. Backpressure is
+//! explicit at both ends: a shard past its connection share answers
 //! `503` immediately (counted on `conns.dropped`) instead of queueing
-//! unboundedly.
+//! unboundedly, and a connection whose output buffer passes the high
+//! water mark stops being read until it drains.
 //!
-//! Endpoints (HTTP/1.0, one request per connection):
+//! Endpoints (HTTP/1.0 close-per-request and HTTP/1.1 keep-alive both
+//! honored):
 //!
 //! | endpoint | answer |
 //! |---|---|
 //! | `GET /lookup?ip=a.b.c.d` | JSON: blocked?, matched CIDR, prefix length, score, generation |
 //! | `POST /batch` | newline-delimited IPs in, one text verdict per line out |
+//! | `POST /batch-bin` | length-prefixed binary IPs in, one verdict byte each out (see below) |
 //! | `GET /forecast?net=a.b.0.0/16&horizon=N` | JSON: predicted rate, CI, score half-life (404 unless `--forecast` artifact configured) |
 //! | `GET /healthz` | `ok\|stale\|degraded generation=G age_secs=A` |
 //! | `GET /snapshot` | JSON: generation, block count, build time, source |
 //! | `GET /metrics` | Prometheus text exposition (`unclean_serve_*`) |
 //! | `POST /reload` | rebuild the snapshot now; JSON: new generation |
 //! | `POST /quit` | graceful shutdown: drain in-flight requests, then exit |
+//!
+//! **The binary batch protocol.** `POST /batch-bin` is the bulk path
+//! for consumers that need millions of verdicts per second and do not
+//! want to pay text formatting: the body is a `u32` big-endian count
+//! followed by that many `u32` big-endian IPv4 addresses; the response
+//! body is a `u32` BE serving generation, a `u32` BE count, then one
+//! verdict byte per address (`0` = clean, else matched prefix length
+//! plus one). With `?detail=1` the response appends one `u32` BE
+//! matched CIDR base per address (`0` for clean) so clients can
+//! reconstruct the full match without a text round-trip.
 //!
 //! **Degraded-mode serving.** A live deployment is fed by the ingest
 //! daemon's rescore loop; if that loop stalls, the trie keeps answering
@@ -33,12 +51,11 @@
 //! answer normally throughout. With no thresholds configured the
 //! daemon's health is always `ok`, as before.
 
-use crate::http::{read_request, respond, Request};
+use crate::http::{respond, write_response, Request, Version};
 use crate::snapshot::{
     build_forecast_snapshot, build_snapshot, ForecastSnapshot, ForecastStore, ServeError,
     ServingSnapshot, SnapshotStore,
 };
-use crossbeam::channel::{self, TrySendError};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -52,6 +69,38 @@ use unclean_telemetry::{
     chrome_trace_json, prom, Counter, Gauge, Histogram, MetricsHistory, Registry, TraceEvent,
     TraceKind, TraceRing,
 };
+
+#[cfg(unix)]
+use crate::http::{parse_request, HttpError, Parse};
+#[cfg(unix)]
+use crate::poll;
+#[cfg(unix)]
+use std::collections::HashMap;
+#[cfg(unix)]
+use std::io::{Read as _, Write as _};
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
+
+/// Non-unix fallback for [`poll::shard_listeners`]: clones of one
+/// blocking listener (the blocking per-shard accept loop uses them).
+#[cfg(not(unix))]
+mod poll {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+
+    pub fn shard_listeners(
+        addr: &str,
+        shards: usize,
+    ) -> io::Result<(Vec<TcpListener>, SocketAddr)> {
+        let first = TcpListener::bind(addr)?;
+        let resolved = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..shards.max(1) {
+            listeners.push(listeners[0].try_clone()?);
+        }
+        Ok((listeners, resolved))
+    }
+}
 
 /// Compile-time build identity for `unclean_serve_build_info` (the CI
 /// build exports `UNCLEAN_GIT_SHA`; local builds say "unreleased").
@@ -70,7 +119,9 @@ fn unix_ms_now() -> u64 {
 /// Daemon configuration (the CLI's `unclean serve` flags map onto this).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// The blocklist file to serve (plain or scored format).
+    /// The blocklist file to serve: plain or scored text, or a frozen
+    /// snapshot written by `unclean blocklist freeze` (detected by
+    /// magic), which is memory-mapped for O(1) start.
     pub source: PathBuf,
     /// An optional forecast artifact (written by `unclean forecast
     /// fit`); enables `GET /forecast`, hot-reloaded through the same
@@ -78,11 +129,13 @@ pub struct ServeConfig {
     pub forecast: Option<PathBuf>,
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads answering requests.
+    /// Shard threads; each owns a listening socket and an event loop.
     pub threads: usize,
-    /// Accept→worker queue bound; connections beyond it get `503`.
+    /// Total concurrent-connection budget, split evenly across shards;
+    /// connections beyond a shard's share get `503`.
     pub max_conns: usize,
-    /// Per-connection socket read timeout.
+    /// Per-connection idle timeout (keep-alive connections quiet for
+    /// longer are closed; also the blocking-path socket read timeout).
     pub read_timeout: Duration,
     /// Poll interval for source-file changes (`None`: no watcher; reloads
     /// only via `POST /reload`).
@@ -93,8 +146,8 @@ pub struct ServeConfig {
     /// Generation age past which `/healthz` answers `degraded` with 503
     /// (lookups keep working from the last good generation).
     pub degraded_after: Option<Duration>,
-    /// Head-sample one connection in N for stage tracing (`0` disables
-    /// request sampling entirely; unsampled connections pay one branch).
+    /// Head-sample one request in N for stage tracing (`0` disables
+    /// request sampling entirely; unsampled requests pay one branch).
     pub trace_sample: u64,
     /// Trace-event ring capacity (`0`: no ring — `/trace` serves span
     /// aggregates only and reloads go unrecorded).
@@ -102,11 +155,14 @@ pub struct ServeConfig {
     /// Flight-recorder scrape cadence for `/metrics/history` (`None`
     /// disables the scraper thread and the endpoint answers 404).
     pub history_interval: Option<Duration>,
+    /// Close a keep-alive connection after this many requests, so churn
+    /// (and its metrics) cannot be starved by immortal connections.
+    pub max_requests_per_conn: u64,
 }
 
 impl ServeConfig {
-    /// Defaults: ephemeral localhost port, 4 workers, 1024-deep queue,
-    /// 5 s read timeout, no watcher; tracing ring installed (4096
+    /// Defaults: ephemeral localhost port, 4 shards, 1024 connections,
+    /// 5 s idle timeout, no watcher; tracing ring installed (4096
     /// events) but request sampling off; flight recorder every 2 s.
     pub fn new(source: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
@@ -122,6 +178,7 @@ impl ServeConfig {
             trace_sample: 0,
             trace_events: 4096,
             history_interval: Some(Duration::from_secs(2)),
+            max_requests_per_conn: 100_000,
         }
     }
 }
@@ -129,6 +186,20 @@ impl ServeConfig {
 /// How many flight-recorder samples `/metrics/history` retains (at the
 /// default 2 s cadence: ten minutes of rate history).
 const HISTORY_SAMPLES: usize = 300;
+
+/// The shard event loop's poll timeout: also the worst-case delay for a
+/// shard to observe the shutdown flag without being woken.
+#[cfg(unix)]
+const POLL_TIMEOUT_MS: i32 = 100;
+
+/// Event-loop token reserved for the shard's listener.
+#[cfg(unix)]
+const TOKEN_LISTENER: u64 = 0;
+
+/// Stop reading a connection whose unflushed output passes this mark;
+/// reads resume when the socket drains.
+#[cfg(unix)]
+const OUT_HIGH_WATER: usize = 1 << 20;
 
 /// The three health states `/healthz` can report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +244,8 @@ struct Metrics {
     lookup: Counter,
     batch: Counter,
     batch_ips: Counter,
+    batch_bin: Counter,
+    batch_bin_ips: Counter,
     healthz: Counter,
     snapshot_req: Counter,
     metrics_req: Counter,
@@ -215,6 +288,8 @@ impl Metrics {
             lookup: registry.counter("requests.lookup"),
             batch: registry.counter("requests.batch"),
             batch_ips: registry.counter("batch.ips"),
+            batch_bin: registry.counter("requests.batch_bin"),
+            batch_bin_ips: registry.counter("batch_bin.ips"),
             healthz: registry.counter("requests.healthz"),
             snapshot_req: registry.counter("requests.snapshot"),
             metrics_req: registry.counter("requests.metrics"),
@@ -282,6 +357,7 @@ struct Shared {
     history: Option<Arc<MetricsHistory>>,
     history_interval: Duration,
     start_unix_secs: f64,
+    max_requests_per_conn: u64,
 }
 
 impl Shared {
@@ -314,7 +390,7 @@ impl Shared {
 impl Shared {
     /// Rebuild from the source file and install. Serialized so concurrent
     /// `/reload`s and the watcher cannot install out of order; the build
-    /// itself runs here, off every *other* worker's serving path.
+    /// itself runs here, off every *other* shard's serving path.
     fn rebuild(&self) -> Result<Arc<ServingSnapshot>, ServeError> {
         let _guard = self.rebuild_lock.lock().expect("rebuild lock");
         let generation = self.store.claim_generation();
@@ -398,8 +474,9 @@ impl Shared {
 
     fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop is blocked in `accept`; a throwaway connection
-        // wakes it so it can observe the flag.
+        // Shards notice the flag within one poll timeout; a throwaway
+        // connection wakes at least one immediately (with SO_REUSEPORT
+        // the kernel picks which).
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
     }
 }
@@ -412,8 +489,8 @@ pub struct Server {
 }
 
 impl Server {
-    /// Build the boot snapshot, bind, and spawn the accept loop, worker
-    /// pool, and (optionally) the source-file watcher.
+    /// Build the boot snapshot, bind the shard listeners, and spawn the
+    /// shard event loops and (optionally) the source-file watcher.
     pub fn start(config: ServeConfig, registry: Registry) -> Result<Server, ServeError> {
         let metrics = Metrics::new(&registry);
         let trace = if config.trace_events > 0 {
@@ -444,8 +521,9 @@ impl Server {
             }
             None => None,
         };
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
+        let shards = config.threads.max(1);
+        let (listeners, addr) = poll::shard_listeners(&config.addr, shards)?;
+        let conn_limit = (config.max_conns.max(1) / listeners.len()).max(1);
         let shared = Arc::new(Shared {
             store: SnapshotStore::new(boot),
             forecast,
@@ -464,6 +542,7 @@ impl Server {
             history,
             history_interval: config.history_interval.unwrap_or(Duration::from_secs(2)),
             start_unix_secs: unix_ms_now() as f64 / 1000.0,
+            max_requests_per_conn: config.max_requests_per_conn.max(1),
         });
         // The boot build is generation 1's "reload": record it so a
         // lookup served before any watcher/reload fires still has a
@@ -473,25 +552,13 @@ impl Server {
             shared.record_forecast_reload_event(&forecast.store.load());
         }
 
-        let (tx, rx) = channel::bounded::<TcpStream>(config.max_conns.max(1));
-        let mut threads = Vec::with_capacity(config.threads + 2);
-        for i in 0..config.threads.max(1) {
+        let mut threads = Vec::with_capacity(listeners.len() + 3);
+        for (i, listener) in listeners.into_iter().enumerate() {
             let shared_n = Arc::clone(&shared);
-            let rx_n = rx.clone();
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared_n, &rx_n))
-                    .map_err(ServeError::Io)?,
-            );
-        }
-        drop(rx);
-        {
-            let shared_a = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("serve-accept".to_string())
-                    .spawn(move || accept_loop(&shared_a, &listener, tx))
+                    .name(format!("serve-shard-{i}"))
+                    .spawn(move || shard_loop(&shared_n, listener, conn_limit))
                     .map_err(ServeError::Io)?,
             );
         }
@@ -584,8 +651,8 @@ impl Server {
         self.shared.rebuild().map(|s| s.generation)
     }
 
-    /// Initiate graceful shutdown and wait: stop accepting, drain queued
-    /// and in-flight requests, join every thread.
+    /// Initiate graceful shutdown and wait: stop accepting, flush
+    /// buffered responses, join every thread.
     pub fn shutdown(self) {
         self.shared.initiate_shutdown();
         self.wait();
@@ -600,47 +667,9 @@ impl Server {
     }
 }
 
-fn accept_loop(shared: &Shared, listener: &TcpListener, tx: channel::Sender<TcpStream>) {
-    for conn in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        shared.metrics.accepted.inc();
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) => {
-                // Explicit backpressure: refuse loudly rather than queue
-                // without bound. Best-effort write; the client may already
-                // be gone.
-                shared.metrics.dropped.inc();
-                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-                let _ = respond(
-                    &mut stream,
-                    503,
-                    "Service Unavailable",
-                    "text/plain",
-                    b"overloaded\n",
-                );
-            }
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-    // Dropping `tx` here lets workers drain whatever is queued, then exit.
-}
-
-fn worker_loop(shared: &Shared, rx: &channel::Receiver<TcpStream>) {
-    while let Ok(mut stream) = rx.recv() {
-        handle_conn(shared, &mut stream);
-    }
-}
-
-/// Per-request stage timings collected only on head-sampled
-/// connections. The unsampled hot path never constructs one — it pays a
-/// single `sample_every > 0` branch plus one relaxed counter increment.
+/// Per-request stage timings collected only on head-sampled requests.
+/// The unsampled hot path never constructs one — it pays a single
+/// `sample_every > 0` branch plus one relaxed counter increment.
 struct StageTrace {
     parse_ns: u64,
     lookup_ns: u64,
@@ -653,50 +682,121 @@ fn elapsed_ns(t0: Instant) -> u64 {
     t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
-fn handle_conn(shared: &Shared, stream: &mut TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.read_timeout));
-    // Head-sampling: the decision is made before the request is read, on
-    // a relaxed shared counter — 1 in N connections, whatever they turn
-    // out to ask for.
+/// One routed response, produced by [`route`] and serialized by
+/// [`dispatch`] into the connection's output buffer.
+struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: Vec<u8>,
+    /// `POST /quit` sets this: serialize the ack, then shut down.
+    quit: bool,
+}
+
+impl Response {
+    fn text(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain",
+            body: body.into(),
+            quit: false,
+        }
+    }
+
+    fn ok_with(content_type: &'static str, body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            reason: "OK",
+            content_type,
+            body,
+            quit: false,
+        }
+    }
+
+    fn json<T: Serialize>(value: &T) -> Response {
+        match serde_json::to_string(value) {
+            Ok(body) => Response::ok_with("application/json", body.into_bytes()),
+            Err(e) => Response::text(500, "Internal Server Error", format!("serialize: {e}\n")),
+        }
+    }
+}
+
+/// What [`dispatch`] tells the connection driver.
+struct DispatchOutcome {
+    /// Keep the connection open for the next request.
+    keep_alive: bool,
+    /// The request was `POST /quit`; shutdown has been initiated.
+    quit: bool,
+}
+
+/// Route one parsed request and serialize its response into `out`.
+/// This is the whole per-request hot path: metrics, optional stage
+/// sampling, routing, serialization, latency accounting.
+fn dispatch(
+    shared: &Shared,
+    request: &Request,
+    parse_ns: u64,
+    out: &mut Vec<u8>,
+) -> DispatchOutcome {
+    shared.metrics.requests.inc();
+    let t0 = Instant::now();
+    // Head-sampling: 1 request in N, decided on a relaxed shared
+    // counter, whatever the request turns out to ask for.
     let sampled = shared.sample_every > 0
         && shared
             .sample_counter
             .fetch_add(1, Ordering::Relaxed)
             .is_multiple_of(shared.sample_every);
-    let t0 = Instant::now();
-    shared.metrics.requests.inc();
-    match read_request(stream) {
-        Ok(request) => {
-            if sampled {
-                let mut stages = StageTrace {
-                    parse_ns: elapsed_ns(t0),
-                    lookup_ns: 0,
-                    write_ns: 0,
-                    generation: 0,
-                    source_generation: None,
-                };
-                route(shared, stream, &request, Some(&mut stages));
-                record_sampled_request(shared, &request, &stages, elapsed_ns(t0));
-            } else {
-                route(shared, stream, &request, None);
-            }
-        }
-        Err(e) => {
-            shared.metrics.read_errors.inc();
-            let _ = respond(
-                stream,
-                400,
-                "Bad Request",
-                "text/plain",
-                format!("bad request: {e}\n").as_bytes(),
-            );
-        }
+    let (response, keep_alive);
+    if sampled {
+        let mut stages = StageTrace {
+            parse_ns,
+            lookup_ns: 0,
+            write_ns: 0,
+            generation: 0,
+            source_generation: None,
+        };
+        let r = route(shared, request, Some(&mut stages));
+        keep_alive = request.keep_alive && !r.quit;
+        let t_write = Instant::now();
+        write_response(
+            out,
+            request.version,
+            r.status,
+            r.reason,
+            r.content_type,
+            keep_alive,
+            &r.body,
+        );
+        stages.write_ns = elapsed_ns(t_write);
+        record_sampled_request(shared, request, &stages, parse_ns + elapsed_ns(t0));
+        response = r;
+    } else {
+        let r = route(shared, request, None);
+        keep_alive = request.keep_alive && !r.quit;
+        write_response(
+            out,
+            request.version,
+            r.status,
+            r.reason,
+            r.content_type,
+            keep_alive,
+            &r.body,
+        );
+        response = r;
     }
     shared
         .metrics
         .latency_micros
-        .record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        .record((parse_ns + elapsed_ns(t0)) / 1000);
+    if response.quit {
+        shared.initiate_shutdown();
+    }
+    DispatchOutcome {
+        keep_alive,
+        quit: response.quit,
+    }
 }
 
 /// Book a sampled request into the per-stage histograms and the trace
@@ -781,12 +881,7 @@ struct HistoryAnswer {
     samples: Vec<unclean_telemetry::HistorySample>,
 }
 
-fn route(
-    shared: &Shared,
-    stream: &mut TcpStream,
-    request: &Request,
-    trace: Option<&mut StageTrace>,
-) {
+fn route(shared: &Shared, request: &Request, trace: Option<&mut StageTrace>) -> Response {
     let metrics = &shared.metrics;
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
@@ -802,31 +897,17 @@ fn route(
                 Health::Ok | Health::Stale => (200, "OK"),
                 Health::Degraded => (503, "Service Unavailable"),
             };
-            let _ = respond(stream, code, reason, "text/plain", body.as_bytes());
+            Response::text(code, reason, body)
         }
         ("GET", "/lookup") => {
             metrics.lookup.inc();
             let Some(raw_ip) = request.query_param("ip") else {
                 metrics.bad_request.inc();
-                let _ = respond(
-                    stream,
-                    400,
-                    "Bad Request",
-                    "text/plain",
-                    b"missing ip= query parameter\n",
-                );
-                return;
+                return Response::text(400, "Bad Request", "missing ip= query parameter\n");
             };
             let Ok(ip) = raw_ip.parse::<Ip>() else {
                 metrics.bad_request.inc();
-                let _ = respond(
-                    stream,
-                    400,
-                    "Bad Request",
-                    "text/plain",
-                    format!("unparseable ip {raw_ip:?}\n").as_bytes(),
-                );
-                return;
+                return Response::text(400, "Bad Request", format!("unparseable ip {raw_ip:?}\n"));
             };
             let t_lookup = trace.as_ref().map(|_| Instant::now());
             let snapshot = shared.store.load();
@@ -858,25 +939,18 @@ fn route(
                 stages.lookup_ns = elapsed_ns(t_lookup);
                 stages.generation = snapshot.generation;
                 stages.source_generation = snapshot.source_generation;
-                let t_write = Instant::now();
-                respond_json(stream, &answer);
-                stages.write_ns = elapsed_ns(t_write);
-            } else {
-                respond_json(stream, &answer);
             }
+            Response::json(&answer)
         }
         ("GET", "/forecast") => {
             metrics.forecast_req.inc();
             let Some(forecast) = &shared.forecast else {
                 metrics.not_found.inc();
-                let _ = respond(
-                    stream,
+                return Response::text(
                     404,
                     "Not Found",
-                    "text/plain",
-                    b"no forecast artifact configured (start with --forecast)\n",
+                    "no forecast artifact configured (start with --forecast)\n",
                 );
-                return;
             };
             // `net=` takes a /16 CIDR or a bare address; `ip=` is an
             // alias so loadgen can reuse its lookup address stream.
@@ -886,14 +960,11 @@ fn route(
             let Some(raw_net) = raw_net else {
                 metrics.forecast_bad_request.inc();
                 metrics.bad_request.inc();
-                let _ = respond(
-                    stream,
+                return Response::text(
                     400,
                     "Bad Request",
-                    "text/plain",
-                    b"missing net= (a.b.0.0/16 or bare address) query parameter\n",
+                    "missing net= (a.b.0.0/16 or bare address) query parameter\n",
                 );
-                return;
             };
             let prefix16 = if raw_net.contains('/') {
                 match raw_net.parse::<unclean_core::Cidr>() {
@@ -906,14 +977,11 @@ fn route(
             let Some(prefix16) = prefix16 else {
                 metrics.forecast_bad_request.inc();
                 metrics.bad_request.inc();
-                let _ = respond(
-                    stream,
+                return Response::text(
                     400,
                     "Bad Request",
-                    "text/plain",
-                    format!("net {raw_net:?} is not a /16 or an address\n").as_bytes(),
+                    format!("net {raw_net:?} is not a /16 or an address\n"),
                 );
-                return;
             };
             let snapshot = forecast.store.load();
             let horizon = match request.query_param("horizon") {
@@ -923,14 +991,11 @@ fn route(
                     _ => {
                         metrics.forecast_bad_request.inc();
                         metrics.bad_request.inc();
-                        let _ = respond(
-                            stream,
+                        return Response::text(
                             400,
                             "Bad Request",
-                            "text/plain",
-                            format!("horizon {h:?} is not in 1..=365\n").as_bytes(),
+                            format!("horizon {h:?} is not in 1..=365\n"),
                         );
-                        return;
                     }
                 },
             };
@@ -966,11 +1031,12 @@ fn route(
                     }
                 }
             };
-            respond_json(stream, &answer);
+            Response::json(&answer)
         }
         ("POST", "/batch") => {
             metrics.batch.inc();
             let body = String::from_utf8_lossy(&request.body);
+            let t_lookup = trace.as_ref().map(|_| Instant::now());
             let snapshot = shared.store.load();
             let mut out = String::new();
             let mut ips = 0u64;
@@ -1003,29 +1069,99 @@ fn route(
                 }
             }
             metrics.batch_ips.add(ips);
-            let _ = respond(stream, 200, "OK", "text/plain", out.as_bytes());
+            if let (Some(stages), Some(t_lookup)) = (trace, t_lookup) {
+                stages.lookup_ns = elapsed_ns(t_lookup);
+                stages.generation = snapshot.generation;
+                stages.source_generation = snapshot.source_generation;
+            }
+            Response::text(200, "OK", out.into_bytes())
+        }
+        ("POST", "/batch-bin") => {
+            metrics.batch_bin.inc();
+            let body = &request.body;
+            if body.len() < 4 {
+                metrics.bad_request.inc();
+                return Response::text(
+                    400,
+                    "Bad Request",
+                    "binary batch body shorter than its count prefix\n",
+                );
+            }
+            let count = u32::from_be_bytes([body[0], body[1], body[2], body[3]]) as usize;
+            if body.len() != 4 + count * 4 {
+                metrics.bad_request.inc();
+                return Response::text(
+                    400,
+                    "Bad Request",
+                    format!(
+                        "binary batch length mismatch: count={count} wants {} body bytes, got {}\n",
+                        4 + count * 4,
+                        body.len()
+                    ),
+                );
+            }
+            let detail = request.query_param("detail") == Some("1");
+            let t_lookup = trace.as_ref().map(|_| Instant::now());
+            let snapshot = shared.store.load();
+            let mut out = Vec::with_capacity(8 + count + if detail { 4 * count } else { 0 });
+            out.extend_from_slice(&(snapshot.generation.min(u32::MAX as u64) as u32).to_be_bytes());
+            out.extend_from_slice(&(count as u32).to_be_bytes());
+            let mut bases: Vec<u8> = if detail {
+                Vec::with_capacity(4 * count)
+            } else {
+                Vec::new()
+            };
+            let (mut blocked, mut clean) = (0u64, 0u64);
+            for i in 0..count {
+                let off = 4 + i * 4;
+                let raw =
+                    u32::from_be_bytes([body[off], body[off + 1], body[off + 2], body[off + 3]]);
+                match snapshot.trie.lookup(Ip(raw)) {
+                    Some(m) => {
+                        blocked += 1;
+                        out.push(m.cidr.len() + 1);
+                        if detail {
+                            bases.extend_from_slice(&m.cidr.base().raw().to_be_bytes());
+                        }
+                    }
+                    None => {
+                        clean += 1;
+                        out.push(0);
+                        if detail {
+                            bases.extend_from_slice(&0u32.to_be_bytes());
+                        }
+                    }
+                }
+            }
+            out.extend_from_slice(&bases);
+            metrics.batch_bin_ips.add(count as u64);
+            metrics.blocked.add(blocked);
+            metrics.clean.add(clean);
+            if let (Some(stages), Some(t_lookup)) = (trace, t_lookup) {
+                stages.lookup_ns = elapsed_ns(t_lookup);
+                stages.generation = snapshot.generation;
+                stages.source_generation = snapshot.source_generation;
+            }
+            Response::ok_with("application/octet-stream", out)
         }
         ("GET", "/snapshot") => {
             metrics.snapshot_req.inc();
             let snapshot = shared.store.load();
             let forecast = shared.forecast.as_ref().map(|f| f.store.load());
-            respond_json(
-                stream,
-                &SnapshotAnswer {
-                    generation: snapshot.generation,
-                    entries: snapshot.trie.len(),
-                    source: snapshot.source.clone(),
-                    build_micros: snapshot.build_micros,
-                    built_unix_ms: snapshot.built_unix_ms,
-                    memory_bytes: snapshot.trie.memory_bytes(),
-                    source_generation: snapshot.source_generation,
-                    source_published_unix_ms: snapshot.source_published_unix_ms,
-                    forecast_generation: forecast.as_ref().map(|f| f.generation),
-                    forecast_entries: forecast.as_ref().map(|f| f.artifact.entries.len()),
-                    forecast_source: forecast.as_ref().map(|f| f.source.clone()),
-                    forecast_source_generation: forecast.as_ref().and_then(|f| f.source_generation),
-                },
-            );
+            Response::json(&SnapshotAnswer {
+                generation: snapshot.generation,
+                entries: snapshot.trie.len(),
+                source: snapshot.source.clone(),
+                build_micros: snapshot.build_micros,
+                built_unix_ms: snapshot.built_unix_ms,
+                memory_bytes: snapshot.trie.memory_bytes(),
+                source_generation: snapshot.source_generation,
+                source_published_unix_ms: snapshot.source_published_unix_ms,
+                forecast_generation: forecast.as_ref().map(|f| f.generation),
+                forecast_entries: forecast.as_ref().map(|f| f.artifact.entries.len()),
+                forecast_source: forecast.as_ref().map(|f| f.source.clone()),
+                forecast_source_generation: forecast.as_ref().and_then(|f| f.source_generation),
+            })
         }
         ("GET", "/metrics") => {
             metrics.metrics_req.inc();
@@ -1036,13 +1172,13 @@ fn route(
                 GIT_SHA,
                 shared.start_unix_secs,
             ));
-            let _ = respond(
-                stream,
-                200,
-                "OK",
-                "text/plain; version=0.0.4",
-                text.as_bytes(),
-            );
+            Response {
+                status: 200,
+                reason: "OK",
+                content_type: "text/plain; version=0.0.4",
+                body: text.into_bytes(),
+                quit: false,
+            }
         }
         ("GET", "/trace") => {
             metrics.trace_req.inc();
@@ -1054,31 +1190,20 @@ fn route(
             if request.query_param("format") == Some("events") {
                 // Machine-readable raw events (the e2e lineage walkers
                 // deserialize these directly).
-                respond_json(stream, &TraceAnswer { events });
+                Response::json(&TraceAnswer { events })
             } else {
                 let body = chrome_trace_json(&shared.registry.snapshot(), &events, "unclean-serve");
-                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+                Response::ok_with("application/json", body.into_bytes())
             }
         }
         ("GET", "/metrics/history") => {
             metrics.history_req.inc();
             match &shared.history {
-                Some(history) => respond_json(
-                    stream,
-                    &HistoryAnswer {
-                        interval_secs: shared.history_interval.as_secs_f64(),
-                        samples: history.samples(),
-                    },
-                ),
-                None => {
-                    let _ = respond(
-                        stream,
-                        404,
-                        "Not Found",
-                        "text/plain",
-                        b"flight recorder disabled\n",
-                    );
-                }
+                Some(history) => Response::json(&HistoryAnswer {
+                    interval_secs: shared.history_interval.as_secs_f64(),
+                    samples: history.samples(),
+                }),
+                None => Response::text(404, "Not Found", "flight recorder disabled\n"),
             }
         }
         ("POST", "/reload") => {
@@ -1089,58 +1214,408 @@ fn route(
                     // serving the old forecast generation (counted on
                     // forecast.reload.errors) and reports null here.
                     let forecast = shared.rebuild_forecast().ok().flatten();
-                    respond_json(
-                        stream,
-                        &ReloadAnswer {
-                            generation: snapshot.generation,
-                            entries: snapshot.trie.len(),
-                            forecast_generation: forecast.as_ref().map(|f| f.generation),
-                            forecast_entries: forecast.as_ref().map(|f| f.artifact.entries.len()),
-                        },
-                    )
+                    Response::json(&ReloadAnswer {
+                        generation: snapshot.generation,
+                        entries: snapshot.trie.len(),
+                        forecast_generation: forecast.as_ref().map(|f| f.generation),
+                        forecast_entries: forecast.as_ref().map(|f| f.artifact.entries.len()),
+                    })
                 }
-                Err(e) => {
-                    let _ = respond(
-                        stream,
-                        500,
-                        "Internal Server Error",
-                        "text/plain",
-                        format!("reload failed: {e}\n").as_bytes(),
-                    );
-                }
+                Err(e) => Response::text(
+                    500,
+                    "Internal Server Error",
+                    format!("reload failed: {e}\n"),
+                ),
             }
         }
         ("POST", "/quit") => {
             metrics.quit.inc();
-            let _ = respond(stream, 200, "OK", "text/plain", b"shutting down\n");
-            shared.initiate_shutdown();
+            let mut response = Response::text(200, "OK", "shutting down\n");
+            response.quit = true;
+            response
         }
         _ => {
             metrics.not_found.inc();
-            let _ = respond(
-                stream,
+            Response::text(
                 404,
                 "Not Found",
-                "text/plain",
-                format!("no such endpoint: {} {}\n", request.method, request.path).as_bytes(),
-            );
+                format!("no such endpoint: {} {}\n", request.method, request.path),
+            )
         }
     }
 }
 
-fn respond_json<T: Serialize>(stream: &mut TcpStream, value: &T) {
-    match serde_json::to_string(value) {
-        Ok(body) => {
-            let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+/// One nonblocking keep-alive connection owned by a shard event loop.
+#[cfg(unix)]
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into requests.
+    in_buf: Vec<u8>,
+    /// Serialized responses not yet accepted by the socket.
+    out: Vec<u8>,
+    /// How much of `out` has been written already.
+    out_pos: usize,
+    /// Requests answered on this connection.
+    served: u64,
+    last_active: Instant,
+    /// Stop parsing; close once `out` drains (HTTP/1.0, `Connection:
+    /// close`, per-conn request cap, parse error, or shutdown).
+    close_after_flush: bool,
+    /// Peer sent EOF (or the socket errored); no more reads.
+    peer_closed: bool,
+    /// Registered (read, write) interest, to skip no-op `modify` calls.
+    interest: (bool, bool),
+}
+
+#[cfg(unix)]
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            in_buf: Vec::new(),
+            out: Vec::with_capacity(1024),
+            out_pos: 0,
+            served: 0,
+            last_active: Instant::now(),
+            close_after_flush: false,
+            peer_closed: false,
+            interest: (true, false),
         }
-        Err(e) => {
-            let _ = respond(
-                stream,
-                500,
-                "Internal Server Error",
-                "text/plain",
-                format!("serialize: {e}\n").as_bytes(),
-            );
+    }
+
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Drain the socket's receive buffer into `in_buf` (level-triggered
+    /// readiness: read until `WouldBlock` or EOF).
+    fn read_some(&mut self, shared: &Shared) {
+        let mut chunk = [0u8; 16 << 10];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.in_buf.extend_from_slice(&chunk[..n]);
+                    self.last_active = Instant::now();
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    shared.metrics.read_errors.inc();
+                    self.peer_closed = true;
+                    self.close_after_flush = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Parse and dispatch every complete request buffered so far,
+    /// stopping at the output high-water mark. Returns whether anything
+    /// was dispatched (callers loop process→flush until quiescent, so a
+    /// drained socket can unblock further pipelined parsing).
+    fn process(&mut self, shared: &Shared) -> bool {
+        let mut consumed = 0usize;
+        let mut progressed = false;
+        while !self.close_after_flush && self.pending_out() < OUT_HIGH_WATER {
+            let t0 = Instant::now();
+            match parse_request(&self.in_buf[consumed..]) {
+                Ok(Parse::Complete(request, used)) => {
+                    consumed += used;
+                    let parse_ns = elapsed_ns(t0);
+                    let outcome = dispatch(shared, &request, parse_ns, &mut self.out);
+                    self.served += 1;
+                    self.last_active = Instant::now();
+                    progressed = true;
+                    if !outcome.keep_alive
+                        || outcome.quit
+                        || self.served >= shared.max_requests_per_conn
+                    {
+                        self.close_after_flush = true;
+                    }
+                }
+                Ok(Parse::Partial) => {
+                    if self.peer_closed && self.in_buf.len() > consumed {
+                        // EOF mid-request: the blocking reader called this
+                        // a read error; keep the accounting. (EOF on an
+                        // *empty* buffer is just a clean close.)
+                        shared.metrics.read_errors.inc();
+                        self.close_after_flush = true;
+                    }
+                    break;
+                }
+                Err(e) => {
+                    // Byte boundaries are lost; answer and close. 505
+                    // only for a well-formed line naming a version we
+                    // genuinely do not speak.
+                    shared.metrics.read_errors.inc();
+                    let (status, reason) = match &e {
+                        HttpError::UnsupportedVersion(_) => (505, "HTTP Version Not Supported"),
+                        _ => (400, "Bad Request"),
+                    };
+                    write_response(
+                        &mut self.out,
+                        Version::Http10,
+                        status,
+                        reason,
+                        "text/plain",
+                        false,
+                        format!("bad request: {e}\n").as_bytes(),
+                    );
+                    self.close_after_flush = true;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            self.in_buf.drain(..consumed);
+        }
+        progressed
+    }
+
+    /// Push buffered output at the socket until it blocks or drains.
+    fn flush(&mut self) {
+        while self.pending_out() > 0 {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    self.out_pos = self.out.len();
+                    break;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_active = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.peer_closed = true;
+                    self.out_pos = self.out.len();
+                    break;
+                }
+            }
+        }
+        if self.pending_out() == 0 && !self.out.is_empty() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+    }
+
+    /// Loop process→flush until quiescent: flushing can free output
+    /// space that unblocks parsing of further pipelined requests.
+    fn drive(&mut self, shared: &Shared) {
+        loop {
+            let progressed = self.process(shared);
+            self.flush();
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Whether the event loop should retire this connection.
+    fn finished(&self) -> bool {
+        (self.close_after_flush || self.peer_closed) && self.pending_out() == 0
+    }
+
+    /// The (read, write) interest matching the current buffer state.
+    fn wanted_interest(&self) -> (bool, bool) {
+        (
+            !self.close_after_flush && !self.peer_closed && self.pending_out() < OUT_HIGH_WATER,
+            self.pending_out() > 0,
+        )
+    }
+}
+
+/// One shard: a nonblocking listener plus every connection it accepted,
+/// multiplexed on a private [`poll::Poller`].
+#[cfg(unix)]
+fn shard_loop(shared: &Shared, listener: TcpListener, conn_limit: usize) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let Ok(mut poller) = poll::Poller::new() else {
+        return;
+    };
+    if poller
+        .register(listener.as_raw_fd(), TOKEN_LISTENER, true, false)
+        .is_err()
+    {
+        return;
+    }
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = TOKEN_LISTENER + 1;
+    let mut events = Vec::new();
+    let mut last_sweep = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if poller.wait(&mut events, POLL_TIMEOUT_MS).is_err() {
+            break;
+        }
+        for &event in &events {
+            if event.token == TOKEN_LISTENER {
+                accept_new(
+                    shared,
+                    &listener,
+                    &mut poller,
+                    &mut conns,
+                    &mut next_token,
+                    conn_limit,
+                );
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&event.token) else {
+                continue;
+            };
+            if event.readable {
+                conn.read_some(shared);
+            }
+            conn.drive(shared);
+            if conn.finished() {
+                let fd = conn.stream.as_raw_fd();
+                let _ = poller.deregister(fd);
+                conns.remove(&event.token);
+            } else {
+                let wanted = conn.wanted_interest();
+                if wanted != conn.interest {
+                    conn.interest = wanted;
+                    let fd = conn.stream.as_raw_fd();
+                    let _ = poller.modify(fd, event.token, wanted.0, wanted.1);
+                }
+            }
+        }
+        // Idle sweep: retire keep-alive connections quiet past the
+        // configured timeout.
+        if last_sweep.elapsed() >= Duration::from_millis(500) {
+            last_sweep = Instant::now();
+            let now = Instant::now();
+            let idle: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| now.duration_since(c.last_active) > shared.read_timeout)
+                .map(|(t, _)| *t)
+                .collect();
+            for token in idle {
+                if let Some(conn) = conns.remove(&token) {
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                }
+            }
+        }
+    }
+    // Graceful exit: deliver whatever is already serialized (notably the
+    // `POST /quit` ack) with a short blocking flush, then drop.
+    for (_, mut conn) in conns {
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+        if conn.pending_out() > 0 {
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn
+                .stream
+                .set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = conn.stream.write_all(&conn.out[conn.out_pos..]);
+        }
+    }
+}
+
+/// Accept everything pending on the shard's listener. Beyond the
+/// shard's connection share, answer `503` immediately (explicit
+/// backpressure, counted on `conns.dropped`) instead of queueing.
+#[cfg(unix)]
+fn accept_new(
+    shared: &Shared,
+    listener: &TcpListener,
+    poller: &mut poll::Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    conn_limit: usize,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.accepted.inc();
+                if conns.len() >= conn_limit {
+                    shared.metrics.dropped.inc();
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = respond(
+                        &mut stream,
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        b"overloaded\n",
+                    );
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let token = *next_token;
+                *next_token += 1;
+                if poller
+                    .register(stream.as_raw_fd(), token, true, false)
+                    .is_err()
+                {
+                    continue;
+                }
+                conns.insert(token, Conn::new(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Non-unix fallback: a blocking accept loop per shard, one connection
+/// served at a time (keep-alive still honored on that connection).
+#[cfg(not(unix))]
+fn shard_loop(shared: &Shared, listener: TcpListener, _conn_limit: usize) {
+    let _ = listener.set_nonblocking(true);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                shared.metrics.accepted.inc();
+                let _ = stream.set_nonblocking(false);
+                serve_conn_blocking(shared, &mut stream);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn serve_conn_blocking(shared: &Shared, stream: &mut TcpStream) {
+    use std::io::Write as _;
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let mut served = 0u64;
+    loop {
+        let t0 = Instant::now();
+        match crate::http::read_request(stream) {
+            Ok(request) => {
+                let mut out = Vec::with_capacity(256);
+                let outcome = dispatch(shared, &request, elapsed_ns(t0), &mut out);
+                if stream.write_all(&out).is_err() {
+                    break;
+                }
+                served += 1;
+                if !outcome.keep_alive || outcome.quit || served >= shared.max_requests_per_conn {
+                    break;
+                }
+            }
+            Err(e) => {
+                // EOF before any bytes of a follow-up request is a clean
+                // keep-alive close, not an error.
+                if e.kind() != std::io::ErrorKind::UnexpectedEof {
+                    shared.metrics.read_errors.inc();
+                }
+                break;
+            }
         }
     }
 }
@@ -1232,6 +1707,7 @@ mod tests {
         assert_eq!(config.addr, "127.0.0.1:0");
         assert!(config.threads >= 1);
         assert!(config.max_conns >= 1);
+        assert!(config.max_requests_per_conn >= 1);
         assert!(config.watch.is_none());
         assert_eq!(config.source, PathBuf::from("/tmp/list.txt"));
     }

@@ -64,7 +64,10 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
-/// Build one snapshot from a scored (or plain) blocklist file. Runs off
+/// Build one snapshot from a scored (or plain) blocklist file — or,
+/// when the file leads with the frozen-snapshot magic (`unclean
+/// blocklist freeze`), memory-map it: O(1) regardless of entry count,
+/// no parse, and co-located daemons share one page-cache copy. Runs off
 /// the serving path; the old generation keeps serving while this parses
 /// and freezes. Records a `build` span with `generation`/`entries`
 /// fields on `registry`.
@@ -76,6 +79,29 @@ pub fn build_snapshot(
     let mut span = registry.span("build");
     span.field("generation", generation);
     let t0 = Instant::now();
+    if unclean_core::snap::is_snapshot(source) {
+        let trie = FrozenTrie::open_mmap(source)
+            .map_err(|e| ServeError::Source(format!("cannot map {}: {e}", source.display())))?;
+        let meta = trie.snapshot_meta();
+        span.field("entries", trie.len());
+        span.field("mmap", 1u64);
+        let source_generation = meta.and_then(|m| m.source_generation);
+        if let Some(source_generation) = source_generation {
+            span.field("source_generation", source_generation);
+        }
+        return Ok(ServingSnapshot {
+            generation,
+            source: source.display().to_string(),
+            build_micros: t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            built_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+                .unwrap_or(0),
+            source_generation,
+            source_published_unix_ms: meta.map(|m| m.built_unix_ms),
+            trie,
+        });
+    }
     let text = std::fs::read_to_string(source)
         .map_err(|e| ServeError::Source(format!("cannot read {}: {e}", source.display())))?;
     let scored = unclean_core::blocklist::parse_scored(&text)
@@ -291,6 +317,36 @@ mod tests {
         // A list without metadata builds with no source generation.
         let bare = snapshot(2, "9.1.0.0/16 # score=2.5\n");
         assert_eq!(bare.source_generation, None);
+    }
+
+    #[test]
+    fn build_maps_frozen_snapshot_sources() {
+        let dir = std::env::temp_dir().join("unclean-serve-snapshot");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!("frozen-{:?}.snap", std::thread::current().id()));
+        let text = "9.1.0.0/16 # score=2.5\n203.0.113.0/24 # score=1.0\n";
+        let scored = unclean_core::blocklist::parse_scored(text).expect("parse");
+        let trie = unclean_core::frozen::FrozenTrie::from_scored(scored);
+        trie.freeze_to_file(
+            &path,
+            unclean_core::snap::SnapshotMeta {
+                built_unix_ms: 123,
+                source_generation: Some(41),
+            },
+        )
+        .expect("freeze");
+
+        let snap = build_snapshot(&path, 7, &Registry::full()).expect("build");
+        assert!(snap.trie.is_mapped(), "snapshot sources are mmapped");
+        assert_eq!(snap.generation, 7);
+        assert_eq!(snap.trie.len(), 2);
+        assert_eq!(snap.source_generation, Some(41));
+        assert_eq!(snap.source_published_unix_ms, Some(123));
+        let m = snap
+            .trie
+            .lookup("9.1.44.44".parse::<Ip>().expect("ip"))
+            .expect("blocked");
+        assert_eq!(m.score, 2.5);
     }
 
     #[test]

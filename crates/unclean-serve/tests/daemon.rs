@@ -50,6 +50,94 @@ fn get(addr: SocketAddr, path: &str) -> (u16, String) {
     request(addr, "GET", path, b"")
 }
 
+/// Like [`request`] but returns the raw body bytes — the binary batch
+/// endpoint answers frames that are not UTF-8.
+fn request_raw(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.0\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read response");
+    let head_end = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("torn response: {} bytes", bytes.len()));
+    let status: u16 = std::str::from_utf8(&bytes[..head_end])
+        .ok()
+        .and_then(|h| h.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, bytes[head_end + 4..].to_vec())
+}
+
+/// One persistent HTTP/1.1 keep-alive connection with responses framed
+/// by `Content-Length` — supports writing a pipelined burst and then
+/// draining the answers in order.
+struct KeepAliveConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl KeepAliveConn {
+    fn connect(addr: SocketAddr) -> KeepAliveConn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        KeepAliveConn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write request");
+    }
+
+    /// Read exactly one framed response off the connection.
+    fn read_response(&mut self) -> (u16, Vec<u8>) {
+        let mut chunk = [0u8; 8192];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "connection closed mid-response");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end]).expect("ascii head");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .expect("content-length header");
+        let total = head_end + 4 + content_length;
+        while self.buf.len() < total {
+            let n = self.stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "connection closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        (status, body)
+    }
+}
+
 fn post(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, String) {
     request(addr, "POST", path, body)
 }
@@ -266,6 +354,192 @@ fn healthz_degrades_with_generation_age_and_recovers_on_reload() {
     assert!(body.starts_with("ok generation=2 "), "recovered: {body:?}");
 
     server.shutdown();
+}
+
+/// The binary batch endpoint must agree verdict-for-verdict with the
+/// text endpoint over the same addresses, and `?detail=1` must name the
+/// same matched prefixes.
+#[test]
+fn batch_bin_agrees_with_text_batch() {
+    let list = scratch_list("batchbin", "9.1.0.0/16 # score=2.5\n203.0.113.0/24\n");
+    let server = Server::start(ServeConfig::new(&list), Registry::full()).expect("start");
+    let addr = server.local_addr();
+
+    let ips: [u32; 5] = [
+        (9 << 24) | (1 << 16) | (44 << 8) | 44, // 9.1.44.44  → /16 hit
+        (8 << 24) | (8 << 16) | (8 << 8) | 8,   // 8.8.8.8    → clean
+        (203 << 24) | (113 << 8) | 1,           // 203.0.113.1 → /24 hit
+        (9 << 24) | (2 << 16),                  // 9.2.0.0    → clean (outside /16)
+        u32::MAX,                               // 255.255.255.255 → clean
+    ];
+
+    // Text answers over /batch.
+    let text_body: String = ips
+        .iter()
+        .map(|&ip| {
+            format!(
+                "{}.{}.{}.{}\n",
+                ip >> 24,
+                (ip >> 16) & 255,
+                (ip >> 8) & 255,
+                ip & 255
+            )
+        })
+        .collect();
+    let (status, text_answers) = post(addr, "/batch", text_body.as_bytes());
+    assert_eq!(status, 200);
+    let text_blocked: Vec<bool> = text_answers
+        .lines()
+        .map(|l| l.contains(" blocked "))
+        .collect();
+    assert_eq!(text_blocked, [true, false, true, false, false]);
+
+    // Binary answers over /batch-bin: u32-BE count, then addresses.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(ips.len() as u32).to_be_bytes());
+    for &ip in &ips {
+        frame.extend_from_slice(&ip.to_be_bytes());
+    }
+    let (status, body) = request_raw(addr, "POST", "/batch-bin", &frame);
+    assert_eq!(status, 200);
+    assert_eq!(
+        body.len(),
+        8 + ips.len(),
+        "gen + count + one verdict byte each"
+    );
+    let generation = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
+    let count = u32::from_be_bytes([body[4], body[5], body[6], body[7]]);
+    assert_eq!((generation, count), (1, ips.len() as u32));
+    // Verdict byte: 0 = clean, else matched prefix length + 1.
+    let verdicts = &body[8..];
+    assert_eq!(verdicts, [17, 0, 25, 0, 0], "text/binary verdict mismatch");
+    for (i, &v) in verdicts.iter().enumerate() {
+        assert_eq!(v != 0, text_blocked[i], "ip #{i}");
+    }
+
+    // ?detail=1 appends the matched CIDR base per address (0 if clean).
+    let (status, body) = request_raw(addr, "POST", "/batch-bin?detail=1", &frame);
+    assert_eq!(status, 200);
+    assert_eq!(body.len(), 8 + ips.len() + 4 * ips.len());
+    let bases: Vec<u32> = body[8 + ips.len()..]
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    assert_eq!(
+        bases,
+        [
+            (9 << 24) | (1 << 16), // 9.1.0.0
+            0,
+            (203 << 24) | (113 << 8), // 203.0.113.0
+            0,
+            0
+        ]
+    );
+
+    // A torn frame (count promises more addresses than the body holds)
+    // is a client error, not a crash.
+    let (status, _) = request_raw(addr, "POST", "/batch-bin", &8u32.to_be_bytes());
+    assert_eq!(status, 400);
+
+    server.shutdown();
+}
+
+/// Keep-alive clients pipelining bursts of requests down one connection
+/// while the snapshot hot-reloads underneath them: every response is
+/// complete, generations never move backwards on any connection (text
+/// and binary responses both carry the generation), and nothing is
+/// dropped or mis-framed across the run.
+#[test]
+fn keepalive_pipelined_clients_survive_hot_reload() {
+    let texts = [
+        "9.1.0.0/16 # score=1.0\n203.0.113.0/24\n",
+        "9.1.0.0/16 # score=2.0\n198.51.100.0/24 # score=3.5\n",
+    ];
+    let list = scratch_list("ka-reload", texts[0]);
+    let mut config = ServeConfig::new(&list);
+    config.threads = 2;
+    config.max_conns = 64;
+    let server = Server::start(config, Registry::full()).expect("start");
+    let addr = server.local_addr();
+
+    // One binary /batch-bin frame asking about a single always-blocked
+    // address, reused by every burst.
+    let mut bin_frame = Vec::new();
+    bin_frame.extend_from_slice(&1u32.to_be_bytes());
+    bin_frame.extend_from_slice(&(((9u32) << 24) | (1 << 16) | (44 << 8) | 44).to_be_bytes());
+    let bin_request = {
+        let mut req = format!(
+            "POST /batch-bin HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            bin_frame.len()
+        )
+        .into_bytes();
+        req.extend_from_slice(&bin_frame);
+        req
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let bin_request = bin_request.clone();
+            std::thread::spawn(move || {
+                let mut conn = KeepAliveConn::connect(addr);
+                let mut answered = 0u64;
+                let mut last_generation = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Pipeline a burst: 7 text lookups + 1 binary batch,
+                    // written back-to-back before reading any answer.
+                    let mut burst = Vec::new();
+                    for _ in 0..7 {
+                        burst.extend_from_slice(b"GET /lookup?ip=9.1.44.44 HTTP/1.1\r\n\r\n");
+                    }
+                    burst.extend_from_slice(&bin_request);
+                    conn.send(&burst);
+                    for i in 0..8 {
+                        let (status, body) = conn.read_response();
+                        assert_eq!(status, 200, "response #{i} in burst");
+                        let generation = if i < 7 {
+                            let json: Value = serde_json::from_slice(&body).expect("lookup json");
+                            assert_eq!(json.get("blocked").and_then(Value::as_bool), Some(true));
+                            json.get("generation")
+                                .and_then(Value::as_u64)
+                                .expect("generation")
+                        } else {
+                            assert_eq!(body.len(), 9, "binary frame: gen+count+verdict");
+                            assert_ne!(body[8], 0, "binary verdict must be blocked");
+                            u64::from(u32::from_be_bytes([body[0], body[1], body[2], body[3]]))
+                        };
+                        assert!(
+                            generation >= last_generation,
+                            "generation went backwards on a live connection"
+                        );
+                        last_generation = generation;
+                        answered += 1;
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Ten full hot reloads while the pipelined clients run.
+    for round in 0..10 {
+        std::fs::write(&list, texts[(round + 1) % 2]).expect("rewrite");
+        let (status, _) = post(addr, "/reload", b"");
+        assert_eq!(status, 200);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let answered: u64 = clients.into_iter().map(|c| c.join().expect("client")).sum();
+    assert!(answered >= 24, "clients made no progress: {answered}");
+
+    assert_eq!(server.generation(), 11);
+    let registry = server.registry().clone();
+    server.shutdown();
+    assert_eq!(registry.counter_value("conns.dropped"), 0);
+    assert_eq!(registry.counter_value("conns.read_errors"), 0);
+    assert_eq!(registry.counter_value("reload.errors"), 0);
+    assert_eq!(registry.counter_value("reload.count"), 10);
 }
 
 /// The tentpole's zero-loss claim: clients hammering `/lookup` while the

@@ -394,4 +394,129 @@ proptest! {
             prop_assert_eq!(frozen.contains(ip), expect.is_some());
         }
     }
+
+    #[test]
+    fn mmap_snapshot_is_equivalent_to_heap_trie(
+        raw in vec(any::<u64>(), 1..80),
+        extra_probes in vec(any::<u32>(), 0..64),
+    ) {
+        // A frozen trie written with freeze_to_file and mapped back from
+        // disk must answer every lookup — verdict, matched prefix, AND
+        // score — exactly like the heap-backed trie it serialized, and
+        // the round trip must preserve the snapshot metadata.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use unclean_core::frozen::FrozenTrie;
+        use unclean_core::snap::SnapshotMeta;
+        static CASE: AtomicU64 = AtomicU64::new(0);
+
+        let blocks: Vec<(Cidr, f64)> = raw
+            .iter()
+            .map(|&x| {
+                let ip = (x >> 32) as u32;
+                let len = 8 + (x % 25) as u8;
+                let score = ((x >> 8) % 1000) as f64 / 10.0;
+                (Cidr::of(Ip(ip), len), score)
+            })
+            .collect();
+        let heap = FrozenTrie::from_scored(blocks.iter().copied());
+
+        let path = std::env::temp_dir().join(format!(
+            "unclean-prop-snap-{}-{}.snap",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let meta = SnapshotMeta { built_unix_ms: 777, source_generation: Some(9) };
+        heap.freeze_to_file(&path, meta).expect("freeze_to_file");
+        // Full-CRC open: the strictest read path must accept its own
+        // writer's output bit-for-bit.
+        let mapped = FrozenTrie::open_mmap_verified(&path).expect("open_mmap_verified");
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert!(mapped.is_mapped());
+        prop_assert_eq!(mapped.len(), heap.len());
+        prop_assert_eq!(mapped.snapshot_meta(), Some(meta));
+
+        let mut probes: Vec<Ip> = Vec::new();
+        for (cidr, _) in &blocks {
+            let first = cidr.first().raw();
+            let last = cidr.last().raw();
+            for raw in [first, last, first.wrapping_sub(1), last.wrapping_add(1)] {
+                probes.push(Ip(raw));
+            }
+        }
+        probes.extend(extra_probes.iter().map(|&r| Ip(r)));
+
+        for ip in probes {
+            let from_heap = heap.lookup(ip).map(|m| (m.cidr, m.score));
+            let from_mmap = mapped.lookup(ip).map(|m| (m.cidr, m.score));
+            prop_assert_eq!(from_mmap, from_heap, "mmap vs heap at {}", ip);
+            prop_assert_eq!(mapped.contains(ip), from_heap.is_some());
+        }
+    }
+
+    #[test]
+    fn corrupt_or_truncated_snapshots_are_rejected(
+        raw in vec(any::<u64>(), 1..40),
+        flip in any::<u32>(),
+    ) {
+        // Any single flipped byte or truncation must be caught: header
+        // damage by the O(1) open, section damage by the verified open.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use unclean_core::frozen::FrozenTrie;
+        use unclean_core::snap::SnapshotMeta;
+        static CASE: AtomicU64 = AtomicU64::new(0);
+
+        let blocks: Vec<(Cidr, f64)> = raw
+            .iter()
+            .map(|&x| (Cidr::of(Ip((x >> 32) as u32), 8 + (x % 25) as u8), 1.0))
+            .collect();
+        let heap = FrozenTrie::from_scored(blocks.iter().copied());
+        let path = std::env::temp_dir().join(format!(
+            "unclean-prop-corrupt-{}-{}.snap",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let meta = SnapshotMeta { built_unix_ms: 0, source_generation: None };
+        heap.freeze_to_file(&path, meta).expect("freeze_to_file");
+        let pristine = std::fs::read(&path).expect("read snapshot");
+
+        // Flip one byte anywhere integrity is promised — the header's
+        // CRC-covered bytes (incl. the stored CRC itself) or the node
+        // and entry sections; page-alignment padding between them is
+        // explicitly don't-care. The verified open must reject it
+        // (header CRC, section CRC, or geometry check — any is fine).
+        let info = unclean_core::snap::inspect(&path).expect("inspect pristine");
+        let covered_ranges = [
+            (0usize, 76usize),
+            (info.nodes_off as usize, (info.node_count * 16) as usize),
+            (info.entries_off as usize, (info.entry_count * 16) as usize),
+        ];
+        let covered: usize = covered_ranges.iter().map(|&(_, len)| len).sum();
+        let mut slot = (flip as usize) % covered;
+        let mut at = 0usize;
+        for &(start, len) in &covered_ranges {
+            if slot < len {
+                at = start + slot;
+                break;
+            }
+            slot -= len;
+        }
+        let mut corrupt = pristine.clone();
+        corrupt[at] ^= 0x01 | ((flip >> 8) as u8);
+        std::fs::write(&path, &corrupt).expect("write corrupt");
+        prop_assert!(
+            FrozenTrie::open_mmap_verified(&path).is_err(),
+            "flipped byte at {} accepted", at
+        );
+
+        // Truncate anywhere strictly inside the file: must be rejected
+        // even by the cheap open (bounds check against the header).
+        let cut = (flip as usize) % pristine.len();
+        std::fs::write(&path, &pristine[..cut]).expect("write truncated");
+        prop_assert!(
+            FrozenTrie::open_mmap(&path).is_err(),
+            "truncation to {} bytes accepted", cut
+        );
+        let _ = std::fs::remove_file(&path);
+    }
 }
