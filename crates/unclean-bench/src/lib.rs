@@ -39,6 +39,15 @@ use unclean_telemetry::{Registry, Snapshot};
 /// large enough that every report class is non-degenerate.
 pub const SMOKE_SCALE: f64 = 0.002;
 
+/// Process peak RSS in kB — the `VmHWM` high-water mark from
+/// `/proc/self/status`. Monotonic for the life of the process; `None`
+/// off Linux or when procfs is unreadable.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Options every experiment binary accepts.
 #[derive(Debug, Clone)]
 pub struct BenchOpts {
@@ -212,8 +221,9 @@ impl ExperimentContext {
         registry.gauge("bench.scale").set(opts.scale);
         registry.gauge("bench.trials").set(opts.trials as f64);
         let t0 = std::time::Instant::now();
-        let scenario =
-            Scenario::generate_recorded(ScenarioConfig::at_scale(opts.scale, opts.seed), &registry);
+        let mut scenario_config = ScenarioConfig::at_scale(opts.scale, opts.seed);
+        scenario_config.threads = opts.threads;
+        let scenario = Scenario::generate_recorded(scenario_config, &registry);
         eprintln!(
             "[bench] world: {} hosts / {} blocks ({:.1?}); running detectors …",
             scenario.world.population.total_hosts(),

@@ -199,6 +199,12 @@ pub struct RunRecord {
     /// spans and counters. `None` when telemetry is off or the
     /// experiment failed.
     pub telemetry: Option<Snapshot>,
+    /// Process peak RSS (`VmHWM`, kB) sampled when this experiment
+    /// finished. The high-water mark is process-wide and monotonic, so
+    /// this is "peak so far", not the experiment's own footprint; the
+    /// maximum across records is the run's true peak. `None` off Linux
+    /// or in manifests written before this field existed.
+    pub peak_rss_kb: Option<u64>,
 }
 
 /// The run fingerprint: results are only comparable/resumable when every
@@ -478,6 +484,7 @@ pub fn run_one(
                         error: None,
                         outputs,
                         telemetry,
+                        peak_rss_kb: crate::peak_rss_kb(),
                     },
                     Some(value),
                     local,
@@ -499,6 +506,7 @@ pub fn run_one(
             error: Some(last_error),
             outputs: Vec::new(),
             telemetry: None,
+            peak_rss_kb: crate::peak_rss_kb(),
         },
         None,
         None,
@@ -1014,6 +1022,7 @@ mod tests {
                     hash,
                 }],
                 telemetry: None,
+                peak_rss_kb: None,
             }],
             telemetry: None,
         };

@@ -80,6 +80,7 @@ proptest! {
                 error,
                 outputs,
                 telemetry: None,
+                peak_rss_kb: seed.is_multiple_of(2).then(|| (seed % (1 << 20)) + 1024),
             }],
             telemetry: Some(ArchiveTelemetry {
                 datagrams: seed % 1_000,
@@ -144,6 +145,7 @@ fn resume_rejects_corrupt_final_json() {
                 hash,
             }],
             telemetry: None,
+            peak_rss_kb: None,
         }],
         telemetry: None,
     };

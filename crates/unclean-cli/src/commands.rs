@@ -94,7 +94,14 @@ fn inspect_archive_v2(path: &Path, mode: ParseMode, verbose: bool) -> Result<Str
     );
     let mut totals = ArchiveTelemetry::default();
     let mut quarantined: Vec<(usize, String)> = Vec::new();
+    // Per-day decode-buffer high-water mark: the largest segment the
+    // reusable segment buffer must hold to replay that day. Days are
+    // decoded one segment at a time, so this — not the day's total
+    // bytes — is the replay memory a day costs.
+    let mut day_peak: std::collections::BTreeMap<i32, u64> = std::collections::BTreeMap::new();
     for (i, info) in index.segments.iter().enumerate() {
+        let peak = day_peak.entry(info.day.0).or_insert(0);
+        *peak = (*peak).max(info.len);
         // Contiguous walk: carry the previous segment's exit sequence so
         // gap accounting matches a sequential v1-style read.
         let entry = (i > 0).then(|| index.segments[i - 1].end_seq);
@@ -165,6 +172,11 @@ fn inspect_archive_v2(path: &Path, mode: ParseMode, verbose: bool) -> Result<Str
             reader.peak_buffer_bytes(),
             index.max_segment_len()
         );
+        let _ = writeln!(out, "per-day peak decode buffer:");
+        let _ = writeln!(out, "{:>12}  {:>14}", "day", "peak bytes");
+        for (day, peak) in &day_peak {
+            let _ = writeln!(out, "{:>12}  {:>14}", Day(*day).to_string(), peak);
+        }
     }
     Ok(out)
 }

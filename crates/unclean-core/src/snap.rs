@@ -79,7 +79,10 @@ pub(crate) fn record_bytes<T: Record>(records: &[T]) -> &[u8] {
     // byte of the slice is initialized; the view covers exactly the
     // slice's memory and borrows it immutably.
     unsafe {
-        std::slice::from_raw_parts(records.as_ptr() as *const u8, std::mem::size_of_val(records))
+        std::slice::from_raw_parts(
+            records.as_ptr() as *const u8,
+            std::mem::size_of_val(records),
+        )
     }
 }
 

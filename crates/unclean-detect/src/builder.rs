@@ -58,6 +58,42 @@ impl PipelineConfig {
     }
 }
 
+/// Days per detector-sweep replay chunk. A chunk is served by one
+/// detector pair whose window state is flushed (cleared, capacity kept)
+/// at every day boundary, so its size trades scratch reuse against
+/// replay parallelism. It must depend only on the data — never on the
+/// worker count — to keep the sweep byte-identical at any `--threads`.
+const SWEEP_CHUNK_DAYS: usize = 2;
+
+/// Exporter boot anchor for a one-day spool: the day's own midnight, so
+/// every flow sits well inside the ~49.7-day SysUptime horizon and the
+/// archive round trip is lossless.
+fn day_boot(day: Day) -> u32 {
+    (i64::from(EPOCH_UNIX_SECS) + i64::from(day.0) * 86_400).max(0) as u32
+}
+
+/// Stream every flow of a freshly written one-day spool to `sink`,
+/// threading entry sequences across segments exactly like the
+/// sequential reader. Decoding is zero-copy over the compressed bytes:
+/// no `Vec<Flow>` is ever built.
+fn replay_day_spool(spool: &[u8], mut sink: impl FnMut(&unclean_flowgen::Flow)) {
+    let archive = IndexedArchive::open(spool)
+        .expect("fresh spool has a valid index")
+        .expect("fresh spool is v2");
+    let mut entry = None;
+    for i in 0..archive.segments().len() {
+        let mut cursor = unclean_flowgen::SegmentCursor::new(
+            archive.segment_bytes(i),
+            archive.boot_unix_secs(),
+            entry,
+        );
+        cursor
+            .for_each_flow(&mut sink)
+            .expect("fresh spool replays cleanly");
+        entry = Some(archive.segments()[i].end_seq);
+    }
+}
+
 /// The paper's report inventory (Tables 1 and 2).
 #[derive(Debug, Clone)]
 pub struct ReportSet {
@@ -115,11 +151,18 @@ pub fn build_reports_with(
     );
     generator.attach_telemetry(registry);
 
-    // Observed reports: run the behavioural detectors over the unclean
-    // window's border flows, one shard per day. Flows never cross a day
-    // boundary and the sequential sweep flushes window state between
-    // days, so folding the per-day detectors in day order reproduces the
-    // sequential result bit-for-bit at any thread count.
+    // Observed reports: the out-of-core sweep. Stage 1 spools each day's
+    // border flows straight through the v2 varint encoder — one worker
+    // per day, flows streaming into the compressed spool as they are
+    // generated, so no day's expanded flows are ever materialized.
+    // Stage 2 replays the spools through the detectors in fixed-size day
+    // chunks: one detector pair per chunk walks its days' segments with a
+    // zero-copy cursor, flushing window state at every day boundary
+    // (clearing state, keeping capacity — the shard's reused scratch).
+    // Chunk boundaries depend only on the day list, never the worker
+    // count; flows never cross a day boundary and the detectors' merge
+    // is a pure union over flushed shards, so the result is bit-for-bit
+    // identical to the sequential sweep at any thread count.
     let pool = Executor::new(cfg.threads);
     let flows_ingested = registry.counter("detect.flows_ingested");
     let mut scan_det = HourlyFanoutDetector::new(cfg.fanout.clone());
@@ -129,16 +172,31 @@ pub fn build_reports_with(
         detect_span.field("days", dates.unclean_window.len_days());
         detect_span.field("threads", pool.threads() as u64);
         let days: Vec<Day> = dates.unclean_window.days().collect();
-        let shards = pool.run_indexed(days.len(), |i| {
-            let mut scan_shard = HourlyFanoutDetector::new(cfg.fanout.clone());
-            let mut spam_shard = SpamDetector::new(cfg.spam.clone());
+        let spools = pool.run_indexed(days.len(), |i| {
+            let mut writer = IndexedArchiveWriter::new(Vec::new(), day_boot(days[i]));
             generator.flows_on(&model, days[i], cfg.detect_over_benign, |f| {
                 flows_ingested.inc();
-                scan_shard.observe(&f);
-                spam_shard.observe(&f);
+                writer.push(&f).expect("in-memory spool");
             });
-            scan_shard.flush_window_state();
-            spam_shard.flush_window_state();
+            let (bytes, _) = writer.finish().expect("in-memory spool");
+            bytes
+        });
+        detect_span.field(
+            "spool_bytes",
+            spools.iter().map(|s| s.len() as u64).sum::<u64>(),
+        );
+        let chunks: Vec<&[Vec<u8>]> = spools.chunks(SWEEP_CHUNK_DAYS).collect();
+        let shards = pool.run_indexed(chunks.len(), |c| {
+            let mut scan_shard = HourlyFanoutDetector::new(cfg.fanout.clone());
+            let mut spam_shard = SpamDetector::new(cfg.spam.clone());
+            for spool in chunks[c] {
+                replay_day_spool(spool, |f| {
+                    scan_shard.observe(f);
+                    spam_shard.observe(f);
+                });
+                scan_shard.flush_window_state();
+                spam_shard.flush_window_state();
+            }
             (scan_shard, spam_shard)
         });
         for (scan_shard, spam_shard) in shards {
@@ -302,6 +360,12 @@ pub fn build_candidates_with(
         );
     }
     let (spool, _) = writer.finish().expect("in-memory spool");
+    // The spool is now the only copy of the window's candidate traffic:
+    // drop the generator and activity model (and their RNG/campaign
+    // state) before the replay so the scan stage holds nothing but the
+    // compressed bytes and the per-source evidence being accumulated.
+    drop(generator);
+    drop(model);
     let archive = IndexedArchive::open(&spool)
         .expect("fresh spool has a valid index")
         .expect("fresh spool is v2");

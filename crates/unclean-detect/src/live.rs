@@ -13,11 +13,11 @@
 //! segments for the same day (the spooler seals on every checkpoint, not
 //! just at day boundaries). The detectors carry hourly-window state, so
 //! splitting one day across workers would split fan-out windows and lose
-//! detections. The sweep therefore shards **by day, not by segment**:
-//! one worker per day walks that day's segments sequentially with a
-//! single detector pair, flushes window state at the day boundary, and
-//! the per-day shards merge in day order — bit-identical to a sequential
-//! scan at any thread count.
+//! detections. The sweep therefore shards **by whole days, not by
+//! segment**: each worker takes a fixed-size chunk of days, walks their
+//! segments sequentially with a single reused detector pair, flushes
+//! window state at every day boundary, and the chunks merge in day
+//! order — bit-identical to a sequential scan at any thread count.
 
 use crate::scan::{FanoutConfig, HourlyFanoutDetector};
 use crate::spam::{SpamConfig, SpamDetector};
@@ -90,6 +90,12 @@ pub struct WindowScan {
 /// indexed readers use).
 type DayGroup = (Day, Vec<(usize, Option<u32>)>);
 
+/// Whole-day groups per rescore replay chunk — see the matching
+/// `SWEEP_CHUNK_DAYS` in the offline builder for the contract: data-
+/// defined boundaries, one reused detector pair per chunk, flushed at
+/// every day boundary.
+const RESCORE_CHUNK_DAYS: usize = 2;
+
 /// Selected segment indexes grouped into runs of equal day.
 fn day_groups(archive: &IndexedArchive<'_>, range: Option<DateRange>) -> Vec<DayGroup> {
     let selected = archive.index().select(range);
@@ -138,25 +144,32 @@ pub fn rescore_window(
     span.field("days", groups.len() as u64);
     let pool = Executor::new(cfg.threads);
     span.field("threads", pool.threads() as u64);
-    let shards = pool.run_indexed(groups.len(), |g| {
-        let (_, segments) = &groups[g];
+    // Fixed-size chunks of whole days: one detector pair per chunk,
+    // window state flushed (cleared, capacity kept) at every day
+    // boundary. Chunk boundaries depend only on the day list, so the
+    // sweep stays bit-identical at any thread count while each shard
+    // reuses its detector scratch across days.
+    let chunks: Vec<&[DayGroup]> = groups.chunks(RESCORE_CHUNK_DAYS).collect();
+    let shards = pool.run_indexed(chunks.len(), |c| {
         let mut scan_shard = HourlyFanoutDetector::new(cfg.fanout.clone());
         let mut spam_shard = SpamDetector::new(cfg.spam.clone());
         let mut telemetry = ArchiveTelemetry::default();
         let mut flows = 0u64;
-        for &(i, entry) in segments {
-            archive.verify_segment(i)?;
-            let mut cursor =
-                SegmentCursor::new(archive.segment_bytes(i), archive.boot_unix_secs(), entry);
-            cursor.for_each_flow(|f| {
-                flows += 1;
-                scan_shard.observe(f);
-                spam_shard.observe(f);
-            })?;
-            telemetry.accumulate(&cursor.telemetry());
+        for (_, segments) in chunks[c] {
+            for &(i, entry) in segments {
+                archive.verify_segment(i)?;
+                let mut cursor =
+                    SegmentCursor::new(archive.segment_bytes(i), archive.boot_unix_secs(), entry);
+                cursor.for_each_flow(|f| {
+                    flows += 1;
+                    scan_shard.observe(f);
+                    spam_shard.observe(f);
+                })?;
+                telemetry.accumulate(&cursor.telemetry());
+            }
+            scan_shard.flush_window_state();
+            spam_shard.flush_window_state();
         }
-        scan_shard.flush_window_state();
-        spam_shard.flush_window_state();
         Ok::<_, IndexedError>((scan_shard, spam_shard, telemetry, flows))
     });
 

@@ -12,6 +12,7 @@
 
 use crate::randutil::{geometric_days, pareto, poisson};
 use crate::world::World;
+use crossbeam::executor::Executor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use unclean_core::{DateRange, Day, Ip};
@@ -239,7 +240,8 @@ impl ChannelDirectory {
 }
 
 /// Generate the full infection history for `span` (burn-in included
-/// automatically: intervals may begin before `span.start`).
+/// automatically: intervals may begin before `span.start`). Serial
+/// convenience wrapper around [`generate_infections_with`].
 pub fn generate_infections(
     world: &World,
     channels: &ChannelDirectory,
@@ -247,44 +249,65 @@ pub fn generate_infections(
     cfg: &CompromiseConfig,
     seeds: &SeedTree,
 ) -> Vec<Infection> {
+    generate_infections_with(world, channels, span, cfg, seeds, &Executor::new(1))
+}
+
+/// Generate the infection history, fanning /8 shards of blocks across
+/// `pool`. Every /24 draws from its own prefix-keyed stream and shard
+/// outputs concatenate in block order before the final chronological
+/// sort, so the result is byte-identical at any thread count.
+pub fn generate_infections_with(
+    world: &World,
+    channels: &ChannelDirectory,
+    span: DateRange,
+    cfg: &CompromiseConfig,
+    seeds: &SeedTree,
+    pool: &Executor,
+) -> Vec<Infection> {
     let gen_start = span.start.0 - cfg.burn_in_days as i32;
     let gen_days = (span.end.0 - gen_start + 1) as f64;
-    let mut infections = Vec::new();
-    let block_count = world.population.block_count();
-    for i in 0..block_count {
-        let block = world.population.block(i);
-        let hygiene = world.block_hygiene(i);
-        let rate = block_rate(world, cfg, i, hygiene);
-        let lambda = block.hosts.len() as f64 * rate * gen_days;
-        if lambda <= 0.0 {
-            continue;
-        }
-        let mut rng = seeds.child("infections").stream_idx(block.prefix as u64);
-        let n = poisson(&mut rng, lambda);
-        for _ in 0..n {
-            let host = block.hosts[rng.gen_range(0..block.hosts.len())];
-            let addr = (block.prefix << 8) | host as u32;
-            let start = gen_start + rng.gen_range(0..gen_days as i32);
-            let dur = geometric_days(&mut rng, cfg.duration_mean(hygiene));
-            let end = start + dur as i32 - 1;
-            if end < span.start.0 {
-                continue; // cleaned up before the span of interest
+    let infection_seeds = seeds.child("infections");
+    let shards = crate::world::slash8_block_ranges(&world.population);
+    let parts = pool.run_indexed(shards.len(), |si| {
+        let (lo, hi) = shards[si];
+        let mut infections = Vec::new();
+        for i in lo..hi {
+            let block = world.population.block(i);
+            let hygiene = world.block_hygiene(i);
+            let rate = block_rate(world, cfg, i, hygiene);
+            let lambda = block.hosts.len() as f64 * rate * gen_days;
+            if lambda <= 0.0 {
+                continue;
             }
-            let recruited = rng.gen_range(0.0..1.0f64) < cfg.recruit_prob;
-            let channel = if recruited {
-                channels.recruit_channel(addr, cfg, &mut rng)
-            } else {
-                0
-            };
-            infections.push(Infection {
-                addr,
-                start,
-                end,
-                recruited,
-                channel,
-            });
+            let mut rng = infection_seeds.stream_idx(block.prefix as u64);
+            let n = poisson(&mut rng, lambda);
+            for _ in 0..n {
+                let host = block.hosts[rng.gen_range(0..block.hosts.len())];
+                let addr = (block.prefix << 8) | host as u32;
+                let start = gen_start + rng.gen_range(0..gen_days as i32);
+                let dur = geometric_days(&mut rng, cfg.duration_mean(hygiene));
+                let end = start + dur as i32 - 1;
+                if end < span.start.0 {
+                    continue; // cleaned up before the span of interest
+                }
+                let recruited = rng.gen_range(0.0..1.0f64) < cfg.recruit_prob;
+                let channel = if recruited {
+                    channels.recruit_channel(addr, cfg, &mut rng)
+                } else {
+                    0
+                };
+                infections.push(Infection {
+                    addr,
+                    start,
+                    end,
+                    recruited,
+                    channel,
+                });
+            }
         }
-    }
+        infections
+    });
+    let mut infections: Vec<Infection> = parts.into_iter().flatten().collect();
     infections.sort_by_key(|inf| (inf.start, inf.addr));
     infections
 }

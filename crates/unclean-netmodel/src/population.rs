@@ -21,6 +21,7 @@
 
 use crate::allocation::allocated_slash8s;
 use crate::randutil::pareto;
+use crossbeam::executor::Executor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use unclean_core::{Ip, IpSet};
@@ -98,8 +99,21 @@ impl BlockView<'_> {
 }
 
 impl Population {
-    /// Run the cascade.
+    /// Run the cascade (serial convenience wrapper around
+    /// [`Population::generate_with`]).
     pub fn generate(cfg: &CascadeConfig, seeds: &SeedTree) -> Population {
+        Population::generate_with(cfg, seeds, &Executor::new(1))
+    }
+
+    /// Run the cascade, fanning the per-/8 sub-cascades across `pool`.
+    ///
+    /// The /8 share stage stays serial on the `cascade-slash8` stream;
+    /// each surviving /8 then fills from its own prefix-keyed stream
+    /// (`cascade-slash16` / the /8 number), so sub-cascades are
+    /// order-independent. Shard outputs concatenate in /8 order with host
+    /// offsets rebased — byte-identical to the serial cascade at any
+    /// thread count.
+    pub fn generate_with(cfg: &CascadeConfig, seeds: &SeedTree, pool: &Executor) -> Population {
         assert!(cfg.target_hosts > 0, "empty population requested");
         let slash8s: Vec<u8> = allocated_slash8s()
             .into_iter()
@@ -107,24 +121,29 @@ impl Population {
             .collect();
         assert!(!slash8s.is_empty(), "every /8 excluded");
 
-        // Level 1: /8 shares.
+        // Level 1: /8 shares — serial, on the shared slash8 stream.
         let mut rng8 = seeds.stream("cascade-slash8");
         let w8: Vec<f64> = slash8s
             .iter()
             .map(|_| pareto(&mut rng8, cfg.slash8_alpha))
             .collect();
         let total_w8: f64 = w8.iter().sum();
+        let surviving: Vec<(u8, f64)> = slash8s
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s8)| {
+                let t8 = cfg.target_hosts as f64 * w8[i] / total_w8;
+                (t8 >= 0.5).then_some((s8, t8))
+            })
+            .collect();
 
-        let mut prefixes = Vec::new();
-        let mut offsets: Vec<u32> = vec![0];
-        let mut hosts: Vec<u8> = Vec::with_capacity(cfg.target_hosts);
-
-        for (i, &s8) in slash8s.iter().enumerate() {
-            let t8 = cfg.target_hosts as f64 * w8[i] / total_w8;
-            if t8 < 0.5 {
-                continue;
-            }
+        // Levels 2–4: one job per surviving /8, each on its own stream.
+        let shards = pool.run_indexed(surviving.len(), |i| {
+            let (s8, t8) = surviving[i];
             let mut rng = seeds.child("cascade-slash16").stream_idx(s8 as u64);
+            let mut prefixes = Vec::new();
+            let mut offsets: Vec<u32> = vec![0];
+            let mut hosts: Vec<u8> = Vec::new();
             Self::fill_slash8(
                 cfg,
                 s8,
@@ -134,6 +153,18 @@ impl Population {
                 &mut offsets,
                 &mut hosts,
             );
+            (prefixes, offsets, hosts)
+        });
+
+        // Concatenate in /8 order, rebasing host offsets.
+        let mut prefixes = Vec::new();
+        let mut offsets: Vec<u32> = vec![0];
+        let mut hosts: Vec<u8> = Vec::with_capacity(cfg.target_hosts);
+        for (p, o, h) in shards {
+            let base = hosts.len() as u32;
+            prefixes.extend(p);
+            offsets.extend(o.into_iter().skip(1).map(|off| base + off));
+            hosts.extend(h);
         }
         debug_assert!(prefixes.windows(2).all(|w| w[0] < w[1]));
         Population {

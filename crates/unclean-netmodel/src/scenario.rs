@@ -20,11 +20,12 @@
 use crate::activity::{ActivityModel, BenignConfig};
 use crate::actors::{Campaign, Campaigns, TaskingConfig};
 use crate::compromise::{
-    calibrate_base_hazard, generate_infections, ChannelDirectory, CompromiseConfig, Infection,
+    calibrate_base_hazard, generate_infections_with, ChannelDirectory, CompromiseConfig, Infection,
 };
 use crate::observed::ObservedNetwork;
 use crate::phish::{generate_phish, PhishConfig, PhishSite};
 use crate::world::{World, WorldConfig};
+use crossbeam::executor::Executor;
 use serde::{Deserialize, Serialize};
 use unclean_core::{DateRange, Day, IpSet};
 use unclean_stats::SeedTree;
@@ -108,6 +109,10 @@ pub struct ScenarioConfig {
     /// provided bot report (recruitment × channel coverage × check-in
     /// visibility); used to back out the epidemic size from `bot_target`.
     pub bot_report_coverage: f64,
+    /// Worker threads for generation (0 = one per core, 1 = serial).
+    /// Runtime tuning only: the generated scenario is byte-identical at
+    /// any value, so it is excluded from run fingerprints.
+    pub threads: usize,
 }
 
 impl ScenarioConfig {
@@ -135,6 +140,7 @@ impl ScenarioConfig {
             // the fraction of window-active compromised hosts expected to
             // appear in the provided bot report.
             bot_report_coverage: 0.36,
+            threads: 0,
         }
     }
 }
@@ -184,6 +190,10 @@ impl Scenario {
         let seeds = SeedTree::new(config.seed);
         let dates = ScenarioDates::paper();
         let observed = ObservedNetwork::paper_default();
+        // One worker pool for the whole generation: population, per-/24
+        // profile work, and the epidemic all fan /8-shaped shards across
+        // it. Results are byte-identical at any thread count.
+        let pool = Executor::new(config.threads);
 
         // Population sized so the weekly control observation approximates
         // the control target. Weekly coverage for a block with daily visit
@@ -195,7 +205,7 @@ impl Scenario {
             ((config.control_target as f64 / prior_coverage) as usize).max(64);
         config.world.cascade.exclude_slash8s = observed.slash8s();
         let world_span = scenario_span.child("world");
-        let world = World::generate(&config.world, &seeds);
+        let world = World::generate_with(&config.world, &seeds, &pool);
         drop(world_span);
         registry
             .counter("netmodel.hosts")
@@ -212,12 +222,13 @@ impl Scenario {
         config.compromise.base_hazard =
             calibrate_base_hazard(&world, &config.compromise, active_target, window_days);
         let channels = ChannelDirectory::generate(&world, &config.compromise, &seeds);
-        let infections = generate_infections(
+        let infections = generate_infections_with(
             &world,
             &channels,
             dates.full_span,
             &config.compromise,
             &seeds,
+            &pool,
         );
         drop(epidemic_span);
         registry

@@ -18,6 +18,7 @@
 //! traffic.
 
 use crate::population::{BlockView, CascadeConfig, Population};
+use crossbeam::executor::Executor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use unclean_stats::SeedTree;
@@ -101,6 +102,11 @@ pub struct World {
     profiles: Vec<NetworkProfile>,
     /// Per-/24 hygiene, aligned with `population` block order.
     block_hygiene: Vec<f32>,
+    /// Interned /16 index per /24 block (index into `slash16s`/`profiles`),
+    /// aligned with `population` block order. Replaces the per-call binary
+    /// search the per-host hot paths (benign visit probability, datacenter
+    /// tests) used to pay.
+    block_slash16: Vec<u32>,
     /// Per-/24 attack-exposure multiplier (mean 1), aligned with
     /// `population` block order. Worm propagation is subnet-bursty: once a
     /// block is found, it is swept — so compromise hazard concentrates in
@@ -109,10 +115,35 @@ pub struct World {
     block_exposure: Vec<f32>,
 }
 
+/// Contiguous runs of population blocks sharing a /8, as `lo..hi` block
+/// index ranges. These are the generation shards: boundaries depend only
+/// on the population (never on the worker count), so sharded generation
+/// is byte-identical at any thread count.
+pub(crate) fn slash8_block_ranges(population: &Population) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..population.block_count() {
+        let s8 = population.block(i).prefix >> 16;
+        match ranges.last_mut() {
+            Some((lo, hi)) if population.block(*lo).prefix >> 16 == s8 => *hi = i + 1,
+            _ => ranges.push((i, i + 1)),
+        }
+    }
+    ranges
+}
+
 impl World {
-    /// Generate population and profiles.
+    /// Generate population and profiles (serial convenience wrapper around
+    /// [`World::generate_with`]).
     pub fn generate(cfg: &WorldConfig, seeds: &SeedTree) -> World {
-        let population = Population::generate(&cfg.cascade, seeds);
+        World::generate_with(cfg, seeds, &Executor::new(1))
+    }
+
+    /// Generate population and profiles, fanning the per-/24 work (hygiene
+    /// noise, attack exposure, /16 interning) across `pool` in /8 shards.
+    /// Every per-/24 draw comes from its own prefix-keyed RNG stream, so
+    /// the result is byte-identical at any thread count.
+    pub fn generate_with(cfg: &WorldConfig, seeds: &SeedTree, pool: &Executor) -> World {
+        let population = Population::generate_with(&cfg.cascade, seeds, pool);
 
         // Distinct /16s in population order.
         let mut slash16s: Vec<u32> = population.blocks().map(|b| b.prefix >> 8).collect();
@@ -153,35 +184,57 @@ impl World {
             });
         }
 
-        // Per-/24 hygiene: /16 score plus noise.
-        let mut block_hygiene = Vec::with_capacity(population.block_count());
-        let mut rng24 = seeds.stream("world-block-hygiene");
-        for b in population.blocks() {
-            let idx = slash16s
-                .binary_search(&(b.prefix >> 8))
-                .expect("every block's /16 is registered");
-            let base = profiles[idx].hygiene;
-            let noise = rng24.gen_range(-cfg.hygiene_noise..=cfg.hygiene_noise) as f32;
-            block_hygiene.push((base + noise).clamp(0.005, 0.995));
-        }
+        // Per-/24 hygiene noise, attack exposure, and the interned /16
+        // index, one /8 shard per job. Each /24 draws from its own
+        // prefix-keyed stream, so a shard regenerates its blocks without
+        // consuming any other shard's randomness.
+        let hygiene_seeds = seeds.child("world-block-hygiene");
+        let exposure_seeds = seeds.child("world-exposure");
+        let shards = slash8_block_ranges(&population);
+        let parts = pool.run_indexed(shards.len(), |si| {
+            let (lo, hi) = shards[si];
+            let mut hygiene = Vec::with_capacity(hi - lo);
+            let mut slash16_idx = Vec::with_capacity(hi - lo);
+            let mut raw_exposure = Vec::with_capacity(hi - lo);
+            let mut exposure_sum = 0.0f64;
+            for i in lo..hi {
+                let b = population.block(i);
+                let idx = slash16s
+                    .binary_search(&(b.prefix >> 8))
+                    .expect("every block's /16 is registered");
+                slash16_idx.push(idx as u32);
+                let base = profiles[idx].hygiene;
+                let mut rng24 = hygiene_seeds.stream_idx(b.prefix as u64);
+                let noise = rng24.gen_range(-cfg.hygiene_noise..=cfg.hygiene_noise) as f32;
+                hygiene.push((base + noise).clamp(0.005, 0.995));
+                let mut rng_exp = exposure_seeds.stream_idx(b.prefix as u64);
+                let e = crate::randutil::pareto(&mut rng_exp, cfg.exposure_alpha);
+                exposure_sum += e;
+                raw_exposure.push(e);
+            }
+            (hygiene, slash16_idx, raw_exposure, exposure_sum)
+        });
 
-        // Per-/24 attack exposure: heavy-tailed, normalized to mean 1 so
-        // the analytic hazard calibration stays exact.
-        let mut rng_exp = seeds.stream("world-exposure");
-        let raw_exposure: Vec<f64> = (0..population.block_count())
-            .map(|_| crate::randutil::pareto(&mut rng_exp, cfg.exposure_alpha))
-            .collect();
-        let mean_exp = raw_exposure.iter().sum::<f64>() / raw_exposure.len().max(1) as f64;
-        let block_exposure = raw_exposure
-            .iter()
-            .map(|&e| (e / mean_exp) as f32)
-            .collect();
+        // Exposure is heavy-tailed but normalized to mean 1 so the
+        // analytic hazard calibration stays exact. The mean folds partial
+        // sums in shard order — deterministic at any thread count.
+        let total_exposure: f64 = parts.iter().map(|(_, _, _, s)| s).sum();
+        let mean_exp = total_exposure / population.block_count().max(1) as f64;
+        let mut block_hygiene = Vec::with_capacity(population.block_count());
+        let mut block_slash16 = Vec::with_capacity(population.block_count());
+        let mut block_exposure = Vec::with_capacity(population.block_count());
+        for (hygiene, slash16_idx, raw_exposure, _) in parts {
+            block_hygiene.extend(hygiene);
+            block_slash16.extend(slash16_idx);
+            block_exposure.extend(raw_exposure.into_iter().map(|e| (e / mean_exp) as f32));
+        }
 
         World {
             population,
             slash16s,
             profiles,
             block_hygiene,
+            block_slash16,
             block_exposure,
         }
     }
@@ -224,17 +277,13 @@ impl World {
 
     /// Whether population block `i` sits in a datacenter /16.
     pub fn block_datacenter(&self, i: usize) -> bool {
-        let prefix16 = self.population.block(i).prefix >> 8;
-        let idx = self.slash16s.binary_search(&prefix16).expect("registered");
-        self.profiles[idx].datacenter
+        self.profiles[self.block_slash16[i] as usize].datacenter
     }
 
     /// Audience affinity of block `i` (the /16's visit-probability
     /// multiplier).
     pub fn block_affinity(&self, i: usize) -> f64 {
-        let prefix16 = self.population.block(i).prefix >> 8;
-        let idx = self.slash16s.binary_search(&prefix16).expect("registered");
-        self.profiles[idx].affinity as f64
+        self.profiles[self.block_slash16[i] as usize].affinity as f64
     }
 
     /// Iterate blocks together with their hygiene.

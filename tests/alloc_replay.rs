@@ -10,9 +10,11 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use unclean_core::Ip;
+use unclean_core::{BlockSet, Ip, IpSet};
 use unclean_flowgen::record::EPOCH_UNIX_SECS;
-use unclean_flowgen::{Flow, IndexedArchive, IndexedArchiveWriter, SegmentCursor};
+use unclean_flowgen::{
+    CandidateCollector, Flow, IndexedArchive, IndexedArchiveWriter, SegmentCursor,
+};
 
 struct CountingAlloc;
 
@@ -100,5 +102,60 @@ fn replay_allocations_do_not_scale_with_flow_count() {
     assert!(
         large_allocs <= 8,
         "zero-copy replay of {large_flows} flows made {large_allocs} allocations"
+    );
+}
+
+/// Walk every segment of `bytes` through the zero-copy cursor and feed
+/// each flow to `collector` — the §6 candidate scan path. Returns
+/// (flows delivered, heap allocations during the walk).
+fn candidate_scan_counting(bytes: &[u8], collector: &mut CandidateCollector) -> (u64, u64) {
+    let archive = IndexedArchive::open(bytes).expect("indexes").expect("v2");
+    let segments = archive.segments().to_vec();
+    let mut flows = 0u64;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..segments.len() {
+        let entry = (i > 0).then(|| segments[i - 1].end_seq);
+        let mut cursor = SegmentCursor::new(archive.segment_bytes(i), EPOCH_UNIX_SECS, entry);
+        cursor
+            .for_each_flow(|f| {
+                flows += 1;
+                collector.observe(f);
+            })
+            .expect("clean replay");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    (flows, after - before)
+}
+
+#[test]
+fn candidate_scan_allocations_do_not_scale_with_flow_count() {
+    let small = spool(500);
+    let large = spool(2_000);
+
+    // Watch every /24 the spool's sources fall into, so each flow takes
+    // the expensive branch (block match + evidence update).
+    let sources = IpSet::from_ips((0..2_000u32).map(|i| Ip(0x0a00_0000 + i)));
+    let mut collector = CandidateCollector::new(BlockSet::of(&sources, 24));
+
+    // Warm-up: first-seen sources legitimately allocate their evidence
+    // entries (amortized over the archive's life); the steady-state
+    // contract covers re-scans over a warmed collector — the shape of
+    // the §6 analysis, which replays the same spool repeatedly.
+    let _ = candidate_scan_counting(&small, &mut collector);
+    let _ = candidate_scan_counting(&large, &mut collector);
+
+    let (small_flows, small_allocs) = candidate_scan_counting(&small, &mut collector);
+    let (large_flows, large_allocs) = candidate_scan_counting(&large, &mut collector);
+    assert_eq!(small_flows, 3 * 500);
+    assert_eq!(large_flows, 3 * 2_000);
+    assert!(collector.flows_matched() > 0, "scan exercised the hot path");
+
+    assert!(
+        small_allocs <= 8,
+        "candidate scan of {small_flows} flows made {small_allocs} allocations"
+    );
+    assert!(
+        large_allocs <= 8,
+        "candidate scan of {large_flows} flows made {large_allocs} allocations"
     );
 }

@@ -1,0 +1,286 @@
+//! Typed bump arena and scratch-buffer pool, vendored for offline builds.
+//!
+//! The workspace's library crates `forbid(unsafe_code)`, so this is a
+//! *safe* arena: instead of handing out raw pointers it hands out `u32`
+//! handles ([`Idx`]) into chunked storage. The properties that matter for
+//! the hot paths here are the bump-allocator ones:
+//!
+//! * allocation is a bounds-checked push into the current chunk — no
+//!   per-value heap allocation, no reallocation-copy of earlier values
+//!   (chunks are fixed-capacity and never grow);
+//! * [`Arena::reset`] drops the *values* but keeps every chunk's
+//!   capacity, so a per-shard arena reused across days/events settles
+//!   into zero steady-state allocations;
+//! * handles are plain `u32`s — they stay valid across further
+//!   allocations (until `reset`), can be stored in packed side tables,
+//!   and make "interned ID" designs cheap.
+//!
+//! [`Pool`] is the companion for plain `Vec<T>` scratch: lease a buffer,
+//! fill it, and dropping the lease clears it (keeping capacity) and
+//! returns it to the pool for the next worker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Mutex;
+
+/// Default values per chunk: large enough to amortize chunk bookkeeping,
+/// small enough that a mostly-empty arena wastes little.
+pub const DEFAULT_CHUNK_CAPACITY: usize = 1024;
+
+/// A handle into an [`Arena`]: index of an allocated value, valid until
+/// the next [`Arena::reset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Idx(pub u32);
+
+/// A typed, chunked bump arena. See the crate docs for the contract.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    chunks: Vec<Vec<T>>,
+    chunk_cap: usize,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Arena<T> {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena with the default chunk capacity.
+    pub fn new() -> Arena<T> {
+        Arena::with_chunk_capacity(DEFAULT_CHUNK_CAPACITY)
+    }
+
+    /// An empty arena whose chunks hold `chunk_cap` values each.
+    pub fn with_chunk_capacity(chunk_cap: usize) -> Arena<T> {
+        assert!(chunk_cap > 0, "chunk capacity must be positive");
+        Arena {
+            chunks: Vec::new(),
+            chunk_cap,
+            len: 0,
+        }
+    }
+
+    /// Bump-allocate `value`, returning its handle.
+    pub fn alloc(&mut self, value: T) -> Idx {
+        let idx = self.len;
+        assert!(idx < u32::MAX as usize, "arena handle space exhausted");
+        let cap = self.chunk_cap;
+        let needs_chunk = match self.chunks.last() {
+            Some(c) => c.len() == cap,
+            None => true,
+        };
+        if needs_chunk {
+            // A fixed-capacity chunk: it never grows, so values (and the
+            // handles pointing at them) never move.
+            let live = idx / cap;
+            if live < self.chunks.len() {
+                // reset() kept this chunk's capacity around — reuse it.
+                debug_assert!(self.chunks[live].is_empty());
+            } else {
+                self.chunks.push(Vec::with_capacity(cap));
+            }
+        }
+        let chunk = idx / cap;
+        self.chunks[chunk].push(value);
+        self.len = idx + 1;
+        Idx(idx as u32)
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value behind `handle`. Panics on a stale (post-reset) handle.
+    pub fn get(&self, handle: Idx) -> &T {
+        let i = handle.0 as usize;
+        assert!(i < self.len, "stale arena handle");
+        &self.chunks[i / self.chunk_cap][i % self.chunk_cap]
+    }
+
+    /// Mutable access to the value behind `handle`.
+    pub fn get_mut(&mut self, handle: Idx) -> &mut T {
+        let i = handle.0 as usize;
+        assert!(i < self.len, "stale arena handle");
+        &mut self.chunks[i / self.chunk_cap][i % self.chunk_cap]
+    }
+
+    /// Drop every value but keep every chunk's capacity — the bump reset.
+    /// All outstanding handles become stale.
+    pub fn reset(&mut self) {
+        for chunk in &mut self.chunks {
+            chunk.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Iterate the live values in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Heap capacity currently retained, in values (across all chunks).
+    pub fn capacity(&self) -> usize {
+        self.chunks.len() * self.chunk_cap
+    }
+}
+
+impl<T> Extend<T> for Arena<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.alloc(v);
+        }
+    }
+}
+
+/// A pool of recycled `Vec<T>` scratch buffers shared between workers.
+///
+/// [`Pool::lease`] hands out an empty buffer (reusing a returned one when
+/// available); dropping the [`Scratch`] lease clears the buffer — keeping
+/// its capacity — and returns it to the pool.
+#[derive(Debug, Default)]
+pub struct Pool<T> {
+    free: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T> Pool<T> {
+    /// An empty pool.
+    pub fn new() -> Pool<T> {
+        Pool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Lease a cleared buffer, recycling capacity from earlier leases.
+    pub fn lease(&self) -> Scratch<'_, T> {
+        let buf = self
+            .free
+            .lock()
+            .expect("arena pool lock")
+            .pop()
+            .unwrap_or_default();
+        debug_assert!(buf.is_empty());
+        Scratch {
+            pool: self,
+            buf: Some(buf),
+        }
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("arena pool lock").len()
+    }
+}
+
+/// A leased scratch buffer; derefs to `Vec<T>` and returns the buffer
+/// (cleared, capacity kept) to its [`Pool`] on drop.
+#[derive(Debug)]
+pub struct Scratch<'a, T> {
+    pool: &'a Pool<T>,
+    buf: Option<Vec<T>>,
+}
+
+impl<T> std::ops::Deref for Scratch<'_, T> {
+    type Target = Vec<T>;
+
+    fn deref(&self) -> &Vec<T> {
+        self.buf.as_ref().expect("live lease")
+    }
+}
+
+impl<T> std::ops::DerefMut for Scratch<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        self.buf.as_mut().expect("live lease")
+    }
+}
+
+impl<T> Drop for Scratch<'_, T> {
+    fn drop(&mut self) {
+        if let Some(mut buf) = self.buf.take() {
+            buf.clear();
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(buf);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_roundtrip_across_chunks() {
+        let mut a = Arena::with_chunk_capacity(4);
+        let handles: Vec<Idx> = (0..11).map(|i| a.alloc(i * 10)).collect();
+        assert_eq!(a.len(), 11);
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(*a.get(*h), i * 10);
+        }
+        *a.get_mut(handles[7]) = 700;
+        assert_eq!(*a.get(handles[7]), 700);
+        assert_eq!(a.iter().count(), 11);
+    }
+
+    #[test]
+    fn reset_keeps_chunk_capacity() {
+        let mut a = Arena::with_chunk_capacity(8);
+        for i in 0..20 {
+            a.alloc(i);
+        }
+        let cap = a.capacity();
+        assert!(cap >= 20);
+        a.reset();
+        assert!(a.is_empty());
+        assert_eq!(a.capacity(), cap, "reset must not free chunks");
+        for i in 0..20 {
+            a.alloc(i);
+        }
+        assert_eq!(a.capacity(), cap, "refill must reuse retained chunks");
+        assert_eq!(a.iter().copied().sum::<usize>(), (0..20).sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn stale_handle_panics() {
+        let mut a: Arena<u8> = Arena::new();
+        let h = a.alloc(1);
+        a.reset();
+        let _ = a.get(h);
+    }
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let pool: Pool<u64> = Pool::new();
+        let cap = {
+            let mut s = pool.lease();
+            s.extend(0..100);
+            assert_eq!(s.len(), 100);
+            s.capacity()
+        };
+        assert_eq!(pool.idle(), 1);
+        let s = pool.lease();
+        assert!(s.is_empty(), "lease hands back a cleared buffer");
+        assert_eq!(s.capacity(), cap, "and keeps its capacity");
+        drop(s);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pool_supports_concurrent_leases() {
+        let pool: Pool<u8> = Pool::new();
+        let a = pool.lease();
+        let b = pool.lease();
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
+    }
+}
